@@ -1,0 +1,265 @@
+//! A **Batcher–banyan** self-routing switch: bitonic sorting network +
+//! banyan router — *the* classical self-routing unicast fabric of the
+//! paper's era (Starlite/Sunshine-style), added as the sorting-network
+//! point of comparison for the BRSMN's binary *radix* sorting approach.
+//!
+//! * The Batcher bitonic network sorts packets by destination address with
+//!   `m(m+1)/2` comparator stages of `n/2` comparators (idle lines sort as
+//!   `+∞`), leaving active packets concentrated and monotone;
+//! * a banyan (the reverse-banyan greedy router from
+//!   [`crate::concentrator`]) then delivers them — nonblocking for sorted
+//!   inputs, the classical theorem.
+//!
+//! Cost: `n·m(m+1)/4` comparators + `(n/2)·m` switches — the same
+//! `Θ(n log² n)` class as the BRSMN, but comparators carry full `log n`-bit
+//! keys (heavier than 2×2 tag switches) and the fabric is unicast-only:
+//! multicast requires a copy network in front, exactly the classical
+//! copy-then-route structure of [`crate::multicast`].
+
+use crate::concentrator::{route_monotone_msb, ConcentratorConflict};
+use brsmn_core::{CoreError, MulticastAssignment, RoutingResult};
+use brsmn_topology::{check_size, log2_exact};
+
+/// The Batcher–banyan switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatcherBanyan {
+    n: usize,
+}
+
+impl BatcherBanyan {
+    /// Creates a switch of size `n = 2^m`.
+    pub fn new(n: usize) -> Result<Self, CoreError> {
+        check_size(n).map_err(CoreError::Size)?;
+        Ok(BatcherBanyan { n })
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Comparator count of the bitonic sorter: `n·m(m+1)/4`.
+    pub fn comparators(&self) -> u64 {
+        let m = log2_exact(self.n) as u64;
+        (self.n as u64) * m * (m + 1) / 4
+    }
+
+    /// Switch count of the banyan stage: `(n/2)·m`.
+    pub fn banyan_switches(&self) -> u64 {
+        let m = log2_exact(self.n) as u64;
+        (self.n as u64 / 2) * m
+    }
+
+    /// Total stage depth: `m(m+1)/2` comparator stages + `m` banyan stages.
+    pub fn depth(&self) -> u64 {
+        let m = log2_exact(self.n) as u64;
+        m * (m + 1) / 2 + m
+    }
+
+    /// Sorts `items` by key ascending with the bitonic network (`None`
+    /// sorts high). Exposed for tests and for reuse as a hardware-shaped
+    /// sorting primitive.
+    pub fn bitonic_sort<T: Clone>(&self, items: Vec<Option<(usize, T)>>) -> Vec<Option<(usize, T)>> {
+        assert_eq!(items.len(), self.n);
+        let mut lines = items;
+        let m = log2_exact(self.n);
+        // Standard bitonic sorting network over the in-place line model.
+        for k in 0..m {
+            for j in (0..=k).rev() {
+                let bit = 1usize << j;
+                for u in 0..self.n {
+                    if u & bit != 0 {
+                        continue;
+                    }
+                    let l = u | bit;
+                    // Direction: ascending iff bit (k+1) of u is 0.
+                    let ascending = u & (1usize << (k + 1)) == 0 || k == m - 1;
+                    let key = |x: &Option<(usize, T)>| x.as_ref().map(|(d, _)| *d);
+                    let (ku, kl) = (key(&lines[u]), key(&lines[l]));
+                    let swap = match (ku, kl) {
+                        (Some(a), Some(b)) => {
+                            if ascending {
+                                a > b
+                            } else {
+                                a < b
+                            }
+                        }
+                        // None = +∞: goes to the "high" side.
+                        (None, Some(_)) => ascending,
+                        (Some(_), None) => !ascending,
+                        (None, None) => false,
+                    };
+                    if swap {
+                        lines.swap(u, l);
+                    }
+                }
+            }
+        }
+        lines
+    }
+
+    /// Routes a (partial) permutation: bitonic sort by destination, then a
+    /// banyan delivery pass.
+    pub fn route_permutation(
+        &self,
+        perm: &[Option<usize>],
+    ) -> Result<RoutingResult, CoreError> {
+        assert_eq!(perm.len(), self.n);
+        // Validate.
+        let mut seen = vec![false; self.n];
+        for (i, &p) in perm.iter().enumerate() {
+            if let Some(o) = p {
+                assert!(o < self.n, "target out of range");
+                if seen[o] {
+                    return Err(CoreError::OutputConflict { output: o });
+                }
+                seen[o] = true;
+                let _ = i;
+            }
+        }
+
+        // Sort by destination (payload = source index).
+        let items: Vec<Option<(usize, usize)>> = perm
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p.map(|o| (o, i)))
+            .collect();
+        let sorted = self.bitonic_sort(items);
+
+        // Sorted packets are concentrated + monotone: the banyan delivers.
+        let targets: Vec<Option<usize>> = sorted.iter().map(|x| x.as_ref().map(|(d, _)| *d)).collect();
+        let payloads: Vec<Option<usize>> = sorted.into_iter().map(|x| x.map(|(_, s)| s)).collect();
+        let delivered = route_monotone_msb(payloads, &targets)
+            .map_err(|e: ConcentratorConflict| CoreError::Internal(e.to_string()))?;
+        Ok(RoutingResult::new(delivered))
+    }
+
+    /// Routes a permutation assignment.
+    pub fn route(&self, asg: &MulticastAssignment) -> Result<RoutingResult, CoreError> {
+        assert!(asg.is_permutation(), "Batcher–banyan is unicast-only");
+        let perm: Vec<Option<usize>> = (0..self.n)
+            .map(|i| asg.dests(i).first().copied())
+            .collect();
+        self.route_permutation(&perm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brsmn_core::Brsmn;
+
+    #[test]
+    fn bitonic_sorts_exhaustively_n8_permutations() {
+        let net = BatcherBanyan::new(8).unwrap();
+        // All rotations and strides plus reversal.
+        let cases: Vec<Vec<usize>> = (0..8)
+            .map(|k| (0..8).map(|i| (i + k) % 8).collect())
+            .chain([(0..8).rev().collect::<Vec<_>>()])
+            .chain([vec![3, 1, 4, 1, 5, 9, 2, 6]
+                .into_iter()
+                .map(|x| x % 8)
+                .collect::<Vec<usize>>()])
+            .collect();
+        for keys in cases {
+            let items: Vec<Option<(usize, usize)>> =
+                keys.iter().enumerate().map(|(i, &d)| Some((d, i))).collect();
+            let sorted = net.bitonic_sort(items);
+            let out_keys: Vec<usize> = sorted.iter().map(|x| x.unwrap().0).collect();
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            assert_eq!(out_keys, expect, "{keys:?}");
+        }
+    }
+
+    #[test]
+    fn bitonic_sorts_random_large() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let net = BatcherBanyan::new(256).unwrap();
+        for _ in 0..10 {
+            let mut keys: Vec<usize> = (0..256).collect();
+            keys.shuffle(&mut rng);
+            let items: Vec<Option<(usize, usize)>> =
+                keys.iter().enumerate().map(|(i, &d)| Some((d, i))).collect();
+            let sorted = net.bitonic_sort(items);
+            let out: Vec<usize> = sorted.iter().map(|x| x.unwrap().0).collect();
+            assert_eq!(out, (0..256).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn idle_lines_sort_high() {
+        let net = BatcherBanyan::new(8).unwrap();
+        let items: Vec<Option<(usize, usize)>> = vec![
+            None,
+            Some((5, 1)),
+            None,
+            Some((2, 3)),
+            Some((7, 4)),
+            None,
+            Some((0, 6)),
+            None,
+        ];
+        let sorted = net.bitonic_sort(items);
+        let keys: Vec<Option<usize>> = sorted.iter().map(|x| x.as_ref().map(|(d, _)| *d)).collect();
+        assert_eq!(
+            keys,
+            vec![Some(0), Some(2), Some(5), Some(7), None, None, None, None]
+        );
+    }
+
+    #[test]
+    fn routes_full_and_partial_permutations() {
+        let net = BatcherBanyan::new(32).unwrap();
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for trial in 0..10 {
+            let mut outs: Vec<usize> = (0..32).collect();
+            outs.shuffle(&mut rng);
+            let perm: Vec<Option<usize>> = outs
+                .iter()
+                .enumerate()
+                .map(|(i, &o)| (trial % 3 != 0 || i % 4 != 1).then_some(o))
+                .collect();
+            let r = net.route_permutation(&perm).unwrap();
+            for (i, &t) in perm.iter().enumerate() {
+                if let Some(o) = t {
+                    assert_eq!(r.output_source(o), Some(i), "trial {trial}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brsmn_on_permutations() {
+        let n = 64;
+        let batcher = BatcherBanyan::new(n).unwrap();
+        let brsmn = Brsmn::new(n).unwrap();
+        for seed in 0..5usize {
+            let perm: Vec<Option<usize>> =
+                (0..n).map(|i| Some((i * 29 + seed * 3) % n)).collect();
+            let asg = MulticastAssignment::from_permutation(&perm).unwrap();
+            assert_eq!(batcher.route(&asg).unwrap(), brsmn.route(&asg).unwrap());
+        }
+    }
+
+    #[test]
+    fn duplicate_targets_rejected() {
+        let net = BatcherBanyan::new(4).unwrap();
+        let err = net
+            .route_permutation(&[Some(2), Some(2), None, None])
+            .unwrap_err();
+        assert!(matches!(err, CoreError::OutputConflict { output: 2 }));
+    }
+
+    #[test]
+    fn cost_formulas() {
+        let net = BatcherBanyan::new(16).unwrap();
+        assert_eq!(net.comparators(), 16 * 4 * 5 / 4);
+        assert_eq!(net.banyan_switches(), 32);
+        assert_eq!(net.depth(), 10 + 4);
+    }
+}

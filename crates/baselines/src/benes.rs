@@ -1,0 +1,386 @@
+//! A Beneš rearrangeable permutation network routed by the classical
+//! **looping algorithm** — the permutation substrate of copy-then-route
+//! multicast switches.
+//!
+//! An `n × n` Beneš network is an input stage of `n/2` switches, two
+//! `n/2 × n/2` Beneš subnetworks, and an output stage of `n/2` switches
+//! (`2 log n − 1` stages, `(n/2)(2 log n − 1)` switches). The looping
+//! algorithm 2-colors the constraint graph whose vertices are connections
+//! and whose edges join connections sharing an input or output switch; the
+//! graph is a disjoint union of paths and even cycles, so the coloring—and
+//! hence the routing—always exists. Looping is inherently **serial** (it
+//! walks chains connection by connection), which is exactly the routing-time
+//! disadvantage the self-routing BRSMN removes.
+
+use brsmn_topology::{check_size, log2_exact, SizeError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from Beneš routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenesError {
+    /// Invalid network size.
+    Size(SizeError),
+    /// The requested mapping sends two inputs to one output.
+    DuplicateTarget {
+        /// The contested output.
+        output: usize,
+    },
+    /// A target is out of range.
+    TargetOutOfRange {
+        /// The offending target.
+        output: usize,
+    },
+}
+
+impl fmt::Display for BenesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenesError::Size(e) => e.fmt(f),
+            BenesError::DuplicateTarget { output } => {
+                write!(f, "two inputs target output {output}")
+            }
+            BenesError::TargetOutOfRange { output } => {
+                write!(f, "target output {output} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BenesError {}
+
+impl From<SizeError> for BenesError {
+    fn from(e: SizeError) -> Self {
+        BenesError::Size(e)
+    }
+}
+
+/// The switch settings of one routed Beneš instance (recursive).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenesSettings {
+    n: usize,
+    /// `true` = crossing, per input-stage switch. For `n = 2` this is the
+    /// single middle switch.
+    input_sw: Vec<bool>,
+    /// `true` = crossing, per output-stage switch (empty for `n = 2`).
+    output_sw: Vec<bool>,
+    /// Upper and lower subnetworks (`None` for `n = 2`).
+    sub: Option<Box<(BenesSettings, BenesSettings)>>,
+}
+
+impl BenesSettings {
+    /// Evaluates the settings on a vector of input tokens, returning the
+    /// token arriving at each output.
+    pub fn eval<T: Clone>(&self, inputs: &[Option<T>]) -> Vec<Option<T>> {
+        assert_eq!(inputs.len(), self.n);
+        if self.n == 2 {
+            return if self.input_sw[0] {
+                vec![inputs[1].clone(), inputs[0].clone()]
+            } else {
+                inputs.to_vec()
+            };
+        }
+        let half = self.n / 2;
+        // Input stage: switch k takes lines (2k, 2k+1); upper output feeds
+        // upper subnet input k, lower output feeds lower subnet input k.
+        let mut up_in = vec![None; half];
+        let mut low_in = vec![None; half];
+        for k in 0..half {
+            let (a, b) = (inputs[2 * k].clone(), inputs[2 * k + 1].clone());
+            let (u, l) = if self.input_sw[k] { (b, a) } else { (a, b) };
+            up_in[k] = u;
+            low_in[k] = l;
+        }
+        let sub = self.sub.as_ref().expect("n > 2 has subnetworks");
+        let up_out = sub.0.eval(&up_in);
+        let low_out = sub.1.eval(&low_in);
+        // Output stage: switch k takes (upper subnet output k, lower subnet
+        // output k) and feeds lines (2k, 2k+1).
+        let mut out = vec![None; self.n];
+        for k in 0..half {
+            let (u, l) = (up_out[k].clone(), low_out[k].clone());
+            let (a, b) = if self.output_sw[k] { (l, u) } else { (u, l) };
+            out[2 * k] = a;
+            out[2 * k + 1] = b;
+        }
+        out
+    }
+}
+
+/// Statistics of one looping run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LoopingStats {
+    /// Serial chain-following steps taken (one per connection per recursion
+    /// level) — the routing-time driver of the looping algorithm.
+    pub steps: u64,
+}
+
+/// An `n × n` Beneš network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenesNetwork {
+    n: usize,
+}
+
+impl BenesNetwork {
+    /// Creates a Beneš network of size `n = 2^m`.
+    pub fn new(n: usize) -> Result<Self, BenesError> {
+        check_size(n)?;
+        Ok(BenesNetwork { n })
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Switch count `(n/2)(2 log n − 1)`.
+    pub fn switches(&self) -> u64 {
+        let m = log2_exact(self.n) as u64;
+        (self.n as u64 / 2) * (2 * m - 1)
+    }
+
+    /// Stage depth `2 log n − 1`.
+    pub fn depth(&self) -> u64 {
+        2 * log2_exact(self.n) as u64 - 1
+    }
+
+    /// Routes the (partial) permutation `perm[i] = Some(output)` with the
+    /// looping algorithm, returning settings and serial-step statistics.
+    pub fn route(
+        &self,
+        perm: &[Option<usize>],
+    ) -> Result<(BenesSettings, LoopingStats), BenesError> {
+        assert_eq!(perm.len(), self.n);
+        let mut seen = vec![false; self.n];
+        for &p in perm {
+            if let Some(o) = p {
+                if o >= self.n {
+                    return Err(BenesError::TargetOutOfRange { output: o });
+                }
+                if seen[o] {
+                    return Err(BenesError::DuplicateTarget { output: o });
+                }
+                seen[o] = true;
+            }
+        }
+        let mut stats = LoopingStats::default();
+        let settings = loop_route(perm, &mut stats);
+        Ok((settings, stats))
+    }
+}
+
+/// The looping algorithm proper (recursive).
+fn loop_route(perm: &[Option<usize>], stats: &mut LoopingStats) -> BenesSettings {
+    let n = perm.len();
+    if n == 2 {
+        // One switch: crossing iff input 0 targets output 1 or input 1
+        // targets output 0.
+        let cross = perm[0] == Some(1) || perm[1] == Some(0);
+        if perm[0].is_some() || perm[1].is_some() {
+            stats.steps += 1;
+        }
+        return BenesSettings {
+            n,
+            input_sw: vec![cross],
+            output_sw: vec![],
+            sub: None,
+        };
+    }
+    let half = n / 2;
+
+    // Connections: (input, output) active pairs.
+    let conns: Vec<(usize, usize)> = perm
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &o)| o.map(|o| (i, o)))
+        .collect();
+
+    // 2-color by looping: connections sharing an input switch or an output
+    // switch must use different subnetworks. Chains alternate colors.
+    let mut color: Vec<Option<u8>> = vec![None; conns.len()];
+    let mut by_in_sw: Vec<Vec<usize>> = vec![Vec::new(); half];
+    let mut by_out_sw: Vec<Vec<usize>> = vec![Vec::new(); half];
+    for (c, &(i, o)) in conns.iter().enumerate() {
+        by_in_sw[i / 2].push(c);
+        by_out_sw[o / 2].push(c);
+    }
+    for start in 0..conns.len() {
+        if color[start].is_some() {
+            continue;
+        }
+        // Walk the chain/cycle through alternating switch constraints.
+        let mut frontier = vec![(start, 0u8)];
+        while let Some((c, col)) = frontier.pop() {
+            match color[c] {
+                Some(existing) => {
+                    debug_assert_eq!(existing, col, "constraint graph not bipartite");
+                    continue;
+                }
+                None => {
+                    color[c] = Some(col);
+                    stats.steps += 1;
+                }
+            }
+            let (i, o) = conns[c];
+            for &peer in &by_in_sw[i / 2] {
+                if peer != c {
+                    frontier.push((peer, 1 - col));
+                }
+            }
+            for &peer in &by_out_sw[o / 2] {
+                if peer != c {
+                    frontier.push((peer, 1 - col));
+                }
+            }
+        }
+    }
+
+    // Derive stage settings and subnetwork permutations.
+    let mut input_sw = vec![false; half];
+    let mut output_sw = vec![false; half];
+    let mut sub_perm = [vec![None; half], vec![None; half]];
+    for (c, &(i, o)) in conns.iter().enumerate() {
+        let col = color[c].unwrap() as usize;
+        sub_perm[col][i / 2] = Some(o / 2);
+        // Input switch: the connection must leave on output `col`
+        // (0 = upper). It entered on port i % 2; crossing iff ports differ.
+        if i % 2 != col {
+            input_sw[i / 2] = true;
+        }
+        // Output switch: arrives on input `col`, must leave on port o % 2.
+        if o % 2 != col {
+            output_sw[o / 2] = true;
+        }
+    }
+    let up = loop_route(&sub_perm[0], stats);
+    let low = loop_route(&sub_perm[1], stats);
+    BenesSettings {
+        n,
+        input_sw,
+        output_sw,
+        sub: Some(Box::new((up, low))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Routes `perm` and checks the evaluated network realizes it exactly.
+    fn check(perm: &[Option<usize>]) {
+        let n = perm.len();
+        let net = BenesNetwork::new(n).unwrap();
+        let (settings, _) = net.route(perm).unwrap();
+        let inputs: Vec<Option<usize>> = (0..n).map(Some).collect();
+        let out = settings.eval(&inputs);
+        for (o, got) in out.iter().enumerate() {
+            let expect = perm.iter().position(|&p| p == Some(o));
+            match (got, expect) {
+                (Some(src), Some(e)) => assert_eq!(*src, e, "output {o} (perm {perm:?})"),
+                // Idle inputs may land anywhere not claimed; outputs that are
+                // claimed must receive exactly their source.
+                (_, None) => {}
+                (None, Some(_)) => panic!("output {o} lost its message (perm {perm:?})"),
+            }
+        }
+    }
+
+    #[test]
+    fn identity_and_reversal() {
+        check(&(0..8).map(Some).collect::<Vec<_>>());
+        check(&(0..8).rev().map(Some).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn n2_cases() {
+        check(&[Some(0), Some(1)]);
+        check(&[Some(1), Some(0)]);
+        check(&[Some(1), None]);
+        check(&[None, None]);
+    }
+
+    #[test]
+    fn exhaustive_n4_full_permutations() {
+        // All 24 permutations of 4 elements.
+        let mut items = [0usize, 1, 2, 3];
+        permute(&mut items, 0, &mut |p| {
+            check(&p.iter().map(|&o| Some(o)).collect::<Vec<_>>())
+        });
+    }
+
+    fn permute(items: &mut [usize; 4], k: usize, f: &mut impl FnMut(&[usize; 4])) {
+        if k == 4 {
+            f(items);
+            return;
+        }
+        for i in k..4 {
+            items.swap(k, i);
+            permute(items, k + 1, f);
+            items.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn exhaustive_n8_rotations_and_strides() {
+        for k in 0..8 {
+            check(&(0..8).map(|i| Some((i + k) % 8)).collect::<Vec<_>>());
+        }
+        for stride in [1usize, 3, 5, 7] {
+            check(&(0..8).map(|i| Some(i * stride % 8)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn random_large_permutations() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for n in [16usize, 64, 256] {
+            for _ in 0..5 {
+                let mut outs: Vec<usize> = (0..n).collect();
+                outs.shuffle(&mut rng);
+                check(&outs.into_iter().map(Some).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn partial_permutations() {
+        check(&[Some(3), None, Some(0), None, None, Some(7), None, Some(4)]);
+        check(&[None; 8]);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_range() {
+        let net = BenesNetwork::new(4).unwrap();
+        assert!(matches!(
+            net.route(&[Some(1), Some(1), None, None]),
+            Err(BenesError::DuplicateTarget { output: 1 })
+        ));
+        assert!(matches!(
+            net.route(&[Some(4), None, None, None]),
+            Err(BenesError::TargetOutOfRange { output: 4 })
+        ));
+    }
+
+    #[test]
+    fn looping_steps_scale_with_connections_times_levels() {
+        // Looping touches every connection once per recursion level: for a
+        // full permutation that is ~n·log n serial steps — the Θ(n log n)
+        // centralized routing time the paper's design avoids.
+        let n = 64;
+        let net = BenesNetwork::new(n).unwrap();
+        let perm: Vec<Option<usize>> = (0..n).map(|i| Some((i * 7) % n)).collect();
+        let (_, stats) = net.route(&perm).unwrap();
+        let m = 6u64;
+        assert!(stats.steps >= (n as u64) * (m - 1));
+        assert!(stats.steps <= (n as u64) * m);
+    }
+
+    #[test]
+    fn cost_formulas() {
+        let net = BenesNetwork::new(16).unwrap();
+        assert_eq!(net.switches(), 8 * 7);
+        assert_eq!(net.depth(), 7);
+    }
+}

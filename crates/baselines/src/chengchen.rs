@@ -1,0 +1,241 @@
+//! The Cheng–Chen self-routing **permutation** network (reference \[14\] of
+//! the paper) — the design the BRSMN generalizes from permutations to
+//! multicast.
+//!
+//! Structure: `log n` levels of quasisorting reverse banyan networks. Level
+//! `i` sorts messages by the `i`-th most significant bit of their
+//! destination address (0s to the upper half of each block, 1s to the
+//! lower), recursively halving the blocks until each line holds the message
+//! for its own output. Partial permutations are handled by the same
+//! ε-dividing trick as the BRSMN's quasisorting networks.
+//!
+//! Cost: one RBN per BSN position instead of two (no scatter network is
+//! needed — permutations have no `α` tags), i.e. `n·m(m+1)/4` switches,
+//! exactly half the cost of the corresponding BRSMN levels plus the shared
+//! final stage. This is the apples-to-apples ablation for "what does
+//! multicast support cost?".
+
+use brsmn_core::{CoreError, MulticastAssignment, RoutingResult};
+use brsmn_rbn::plan_quasisort;
+use brsmn_switch::{Line, Tag};
+use brsmn_topology::{check_size, log2_exact};
+
+/// The Cheng–Chen RBN-based permutation network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChengChenNetwork {
+    n: usize,
+}
+
+impl ChengChenNetwork {
+    /// Creates a permutation network of size `n = 2^m`.
+    pub fn new(n: usize) -> Result<Self, CoreError> {
+        check_size(n).map_err(CoreError::Size)?;
+        Ok(ChengChenNetwork { n })
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Switch count: `Σ_{i=1}^{m} (n/2)·(m−i+1) = n·m(m+1)/4`.
+    pub fn switches(&self) -> u64 {
+        let m = log2_exact(self.n) as u64;
+        (self.n as u64) * m * (m + 1) / 4
+    }
+
+    /// Routes a (partial) permutation given as `perm[i] = Some(output)`.
+    pub fn route_permutation(
+        &self,
+        perm: &[Option<usize>],
+    ) -> Result<RoutingResult, CoreError> {
+        assert_eq!(perm.len(), self.n);
+        let mut lines: Vec<Line<(usize, usize)>> = perm
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| match t {
+                Some(target) => {
+                    assert!(target < self.n, "target out of range");
+                    Line {
+                        tag: Tag::Eps,
+                        payload: Some((i, target)),
+                    }
+                }
+                None => Line::empty(),
+            })
+            .collect();
+
+        // Level i sorts on destination bit i within blocks of n/2^{i−1}.
+        let m = log2_exact(self.n) as usize;
+        for level in 0..m {
+            let bs = self.n >> level;
+            for base in (0..self.n).step_by(bs) {
+                let mid = base + bs / 2;
+                // Tag from the current destination bit.
+                let mut block: Vec<Line<(usize, usize)>> = lines[base..base + bs]
+                    .iter_mut()
+                    .map(|l| std::mem::replace(l, Line::empty()))
+                    .collect();
+                for line in block.iter_mut() {
+                    line.tag = match &line.payload {
+                        Some((_, target)) => {
+                            let target = *target;
+                            debug_assert!(target >= base && target < base + bs);
+                            if target < mid {
+                                Tag::Zero
+                            } else {
+                                Tag::One
+                            }
+                        }
+                        None => Tag::Eps,
+                    };
+                }
+                let tags: Vec<Tag> = block.iter().map(|l| l.tag).collect();
+                let (_, sort) = plan_quasisort(&tags).map_err(CoreError::from)?;
+                let sorted = sort
+                    .settings
+                    .run(block, &mut brsmn_rbn::clone_split)
+                    .map_err(CoreError::from)?;
+                lines[base..base + bs].clone_from_slice(&sorted);
+            }
+        }
+
+        // Every message now sits in its own length-1 block — but blocks of
+        // size 1 were never sorted: the last level has bs = 2, after which
+        // messages are positioned exactly. Verify and collapse.
+        let mut sources = Vec::with_capacity(self.n);
+        for (o, line) in lines.iter().enumerate() {
+            match &line.payload {
+                Some((src, target)) => {
+                    let (src, target) = (*src, *target);
+                    if target != o {
+                        return Err(CoreError::Internal(format!(
+                            "permutation misrouted: {src}→{target} landed on {o}"
+                        )));
+                    }
+                    sources.push(Some(src));
+                }
+                None => sources.push(None),
+            }
+        }
+        Ok(RoutingResult::new(sources))
+    }
+
+    /// Routes a permutation [`MulticastAssignment`] (errors if any
+    /// destination set has more than one element).
+    pub fn route(&self, asg: &MulticastAssignment) -> Result<RoutingResult, CoreError> {
+        assert!(
+            asg.is_permutation(),
+            "Cheng–Chen network routes permutations only"
+        );
+        let perm: Vec<Option<usize>> = (0..self.n)
+            .map(|i| asg.dests(i).first().copied())
+            .collect();
+        self.route_permutation(&perm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brsmn_core::metrics;
+
+    #[test]
+    fn identity_and_reversal() {
+        let net = ChengChenNetwork::new(8).unwrap();
+        let id: Vec<Option<usize>> = (0..8).map(Some).collect();
+        let r = net.route_permutation(&id).unwrap();
+        assert!((0..8).all(|o| r.output_source(o) == Some(o)));
+
+        let rev: Vec<Option<usize>> = (0..8).map(|i| Some(7 - i)).collect();
+        let r = net.route_permutation(&rev).unwrap();
+        assert!((0..8).all(|o| r.output_source(o) == Some(7 - o)));
+    }
+
+    #[test]
+    fn exhaustive_n4() {
+        let net = ChengChenNetwork::new(4).unwrap();
+        let mut items = [0usize, 1, 2, 3];
+        fn permute(items: &mut [usize; 4], k: usize, f: &mut impl FnMut(&[usize; 4])) {
+            if k == 4 {
+                f(items);
+                return;
+            }
+            for i in k..4 {
+                items.swap(k, i);
+                permute(items, k + 1, f);
+                items.swap(k, i);
+            }
+        }
+        permute(&mut items, 0, &mut |p| {
+            let perm: Vec<Option<usize>> = p.iter().map(|&o| Some(o)).collect();
+            let r = net.route_permutation(&perm).unwrap();
+            for (i, &o) in p.iter().enumerate() {
+                assert_eq!(r.output_source(o), Some(i), "{p:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn random_and_partial() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for n in [16usize, 128, 512] {
+            let net = ChengChenNetwork::new(n).unwrap();
+            let mut outs: Vec<usize> = (0..n).collect();
+            outs.shuffle(&mut rng);
+            let full: Vec<Option<usize>> = outs.iter().map(|&o| Some(o)).collect();
+            let r = net.route_permutation(&full).unwrap();
+            for (i, &o) in outs.iter().enumerate() {
+                assert_eq!(r.output_source(o), Some(i));
+            }
+            // Partial: drop every third connection.
+            let partial: Vec<Option<usize>> = full
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| if i % 3 == 0 { None } else { t })
+                .collect();
+            let r = net.route_permutation(&partial).unwrap();
+            for (i, t) in partial.iter().enumerate() {
+                if let Some(o) = t {
+                    assert_eq!(r.output_source(*o), Some(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brsmn_on_permutations() {
+        use brsmn_core::Brsmn;
+        let n = 64;
+        let net = ChengChenNetwork::new(n).unwrap();
+        let brsmn = Brsmn::new(n).unwrap();
+        for seed in 0..5u64 {
+            let perm: Vec<Option<usize>> = (0..n)
+                .map(|i| Some((i * 13 + seed as usize * 7) % n))
+                .collect::<Vec<_>>();
+            // (i*13 mod 64) is a bijection since gcd(13,64)=1; the +7s shift.
+            let asg = MulticastAssignment::from_permutation(&perm).unwrap();
+            assert_eq!(net.route(&asg).unwrap(), brsmn.route(&asg).unwrap());
+        }
+    }
+
+    #[test]
+    fn costs_half_of_brsmn_asymptotically() {
+        // Cheng–Chen: n·m(m+1)/4; BRSMN: n(m(m+1)/2 − 1) + n/2 → ratio → 2.
+        for m in [6u32, 10, 14] {
+            let n = 1usize << m;
+            let cc = ChengChenNetwork::new(n).unwrap().switches() as f64;
+            let brsmn = metrics::brsmn_switches(n) as f64;
+            let ratio = brsmn / cc;
+            assert!((ratio - 2.0).abs() < 0.2, "m={m}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn switch_count_formula() {
+        // n=8, m=3: 8·3·4/4 = 24.
+        assert_eq!(ChengChenNetwork::new(8).unwrap().switches(), 24);
+    }
+}

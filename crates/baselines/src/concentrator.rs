@@ -1,0 +1,256 @@
+//! An order-preserving reverse-banyan concentrator.
+//!
+//! Routes the `k` active messages (at arbitrary input positions) to output
+//! lines `0 … k−1` *in input order*. Targets are the message ranks, computed
+//! by a prefix sum over activity bits (a running-adder circuit in hardware).
+//! Because the target sequence is monotone over the active inputs, greedy
+//! stage-by-stage routing through the reverse banyan never conflicts — the
+//! classical nonblocking-concentrator property, asserted at run time here
+//! and exercised exhaustively in the tests.
+
+use brsmn_topology::{check_size, log2_exact, SizeError};
+use std::fmt;
+
+/// Concentration failure (cannot occur for rank targets; kept as an error
+/// because the router accepts arbitrary monotone target vectors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcentratorConflict {
+    /// Stage at which two messages demanded the same switch output.
+    pub stage: usize,
+    /// Position pair (upper line) of the conflicting switch.
+    pub upper_line: usize,
+}
+
+impl fmt::Display for ConcentratorConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "concentrator conflict at stage {} switch ({}, +2^j)",
+            self.stage, self.upper_line
+        )
+    }
+}
+
+impl std::error::Error for ConcentratorConflict {}
+
+/// Concentrates `inputs`: every `Some` message moves to line `rank` (the
+/// number of active messages above it), preserving order. Returns the output
+/// lines.
+pub fn concentrate<T>(inputs: Vec<Option<T>>) -> Result<Vec<Option<T>>, ConcentratorConflict> {
+    let targets: Vec<Option<usize>> = {
+        let mut rank = 0usize;
+        inputs
+            .iter()
+            .map(|x| {
+                x.as_ref().map(|_| {
+                    let r = rank;
+                    rank += 1;
+                    r
+                })
+            })
+            .collect()
+    };
+    route_monotone(inputs, &targets)
+}
+
+/// Greedy reverse-banyan routing of messages to the given targets (each
+/// active line `i` must reach `targets[i]`). Intended for monotone target
+/// vectors (ranks, compaction offsets); returns a conflict otherwise.
+pub fn route_monotone<T>(
+    inputs: Vec<Option<T>>,
+    targets: &[Option<usize>],
+) -> Result<Vec<Option<T>>, ConcentratorConflict> {
+    let n = inputs.len();
+    check_size_ok(n);
+    let m = log2_exact(n);
+    let mut lines: Vec<Option<(T, usize)>> = inputs
+        .into_iter()
+        .zip(targets)
+        .map(|(x, &t)| x.map(|v| (v, t.expect("active line needs a target"))))
+        .collect();
+
+    for j in 0..m {
+        let bit = 1usize << j;
+        for u in 0..n {
+            if u & bit != 0 {
+                continue; // u is the upper line of its pair
+            }
+            let l = u | bit;
+            let want_u = lines[u].as_ref().map(|(_, t)| t & bit != 0);
+            let want_l = lines[l].as_ref().map(|(_, t)| t & bit != 0);
+            match (want_u, want_l) {
+                (Some(true), Some(true)) | (Some(false), Some(false)) => {
+                    return Err(ConcentratorConflict {
+                        stage: j as usize,
+                        upper_line: u,
+                    });
+                }
+                (Some(true), _) | (_, Some(false)) => lines.swap(u, l),
+                _ => {}
+            }
+        }
+    }
+    Ok(lines
+        .into_iter()
+        .enumerate()
+        .map(|(pos, x)| {
+            x.map(|(v, t)| {
+                debug_assert_eq!(pos, t, "message did not reach its target");
+                v
+            })
+        })
+        .collect())
+}
+
+/// Greedy reverse-direction (MSB-first) banyan routing: stage order from
+/// bit `m−1` down to bit `0`. This is the delivery network of a
+/// Batcher–banyan switch: nonblocking whenever the active messages are
+/// *concentrated* on the top lines with *strictly increasing* targets (the
+/// classical sorted-input theorem), which the bitonic sorter guarantees.
+pub fn route_monotone_msb<T>(
+    inputs: Vec<Option<T>>,
+    targets: &[Option<usize>],
+) -> Result<Vec<Option<T>>, ConcentratorConflict> {
+    let n = inputs.len();
+    check_size_ok(n);
+    let m = log2_exact(n);
+    let mut lines: Vec<Option<(T, usize)>> = inputs
+        .into_iter()
+        .zip(targets)
+        .map(|(x, &t)| x.map(|v| (v, t.expect("active line needs a target"))))
+        .collect();
+
+    for j in (0..m).rev() {
+        let bit = 1usize << j;
+        for u in 0..n {
+            if u & bit != 0 {
+                continue;
+            }
+            let l = u | bit;
+            let want_u = lines[u].as_ref().map(|(_, t)| t & bit != 0);
+            let want_l = lines[l].as_ref().map(|(_, t)| t & bit != 0);
+            match (want_u, want_l) {
+                (Some(true), Some(true)) | (Some(false), Some(false)) => {
+                    return Err(ConcentratorConflict {
+                        stage: j as usize,
+                        upper_line: u,
+                    });
+                }
+                (Some(true), _) | (_, Some(false)) => lines.swap(u, l),
+                _ => {}
+            }
+        }
+    }
+    Ok(lines
+        .into_iter()
+        .enumerate()
+        .map(|(pos, x)| {
+            x.map(|(v, t)| {
+                debug_assert_eq!(pos, t, "message did not reach its target");
+                v
+            })
+        })
+        .collect())
+}
+
+fn check_size_ok(n: usize) {
+    if let Err(SizeError { n }) = check_size(n) {
+        panic!("concentrator size must be a power of two, got {n}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concentrates_in_order() {
+        let inputs = vec![None, Some('a'), None, Some('b'), Some('c'), None, None, Some('d')];
+        let out = concentrate(inputs).unwrap();
+        assert_eq!(
+            out,
+            vec![
+                Some('a'),
+                Some('b'),
+                Some('c'),
+                Some('d'),
+                None,
+                None,
+                None,
+                None
+            ]
+        );
+    }
+
+    #[test]
+    fn exhaustive_all_activity_patterns_n16() {
+        // Every subset of active inputs concentrates without conflict and in
+        // order — 2^16 patterns.
+        let n = 16usize;
+        for mask in 0..(1u32 << n) {
+            let inputs: Vec<Option<usize>> =
+                (0..n).map(|i| (mask >> i & 1 == 1).then_some(i)).collect();
+            let k = mask.count_ones() as usize;
+            let out = concentrate(inputs).unwrap_or_else(|e| panic!("mask={mask:#x}: {e}"));
+            let compacted: Vec<usize> = out.iter().take(k).map(|x| x.unwrap()).collect();
+            let expect: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+            assert_eq!(compacted, expect, "mask={mask:#x}");
+            assert!(out[k..].iter().all(|x| x.is_none()));
+        }
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let out = concentrate::<u8>(vec![None; 8]).unwrap();
+        assert!(out.iter().all(|x| x.is_none()));
+        let out = concentrate((0..8).map(Some).collect()).unwrap();
+        assert_eq!(out, (0..8).map(Some).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn monotone_offset_targets_route() {
+        // Route to a compact region starting at 3 (monotone but offset).
+        let inputs = vec![Some('x'), None, Some('y'), None, Some('z'), None, None, None];
+        let targets = vec![Some(3), None, Some(4), None, Some(5), None, None, None];
+        let out = route_monotone(inputs, &targets).unwrap();
+        assert_eq!(out[3], Some('x'));
+        assert_eq!(out[4], Some('y'));
+        assert_eq!(out[5], Some('z'));
+    }
+
+    #[test]
+    fn msb_router_delivers_all_sorted_patterns_n16() {
+        // The Batcher–banyan delivery theorem, exhaustively: every activity
+        // count k and every strictly-increasing target set drawn from a
+        // deterministic sweep routes without conflict.
+        let n = 16usize;
+        for mask in 0..(1u32 << n) {
+            // Inputs concentrated on top (as after a bitonic sort): take the
+            // k = popcount(mask) top lines; derive increasing targets from
+            // the mask's set bit positions.
+            let targets_vec: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+            let k = targets_vec.len();
+            let inputs: Vec<Option<usize>> = (0..n).map(|i| (i < k).then_some(i)).collect();
+            let targets: Vec<Option<usize>> = (0..n)
+                .map(|i| (i < k).then(|| targets_vec[i]))
+                .collect();
+            let out = route_monotone_msb(inputs, &targets)
+                .unwrap_or_else(|e| panic!("mask={mask:#x}: {e}"));
+            for (rank, &t) in targets_vec.iter().enumerate() {
+                assert_eq!(out[t], Some(rank), "mask={mask:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_monotone_targets_conflict() {
+        // Reversing two messages through a 2-wide network must conflict at
+        // some stage... at n=2 reversal is fine (crossing); build a real
+        // conflict: two messages in the same stage-0 pair both needing bit0=0.
+        let inputs = vec![Some('x'), Some('y'), None, None];
+        let targets = vec![Some(0), Some(2), None, None];
+        // x wants bit0=0, y wants bit0=0 → same switch output at stage 0.
+        let err = route_monotone(inputs, &targets).unwrap_err();
+        assert_eq!(err.stage, 0);
+    }
+}

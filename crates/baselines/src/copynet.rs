@@ -1,0 +1,292 @@
+//! A Lee-style **copy network**: produces the requested number of copies of
+//! each packet on contiguous output lines.
+//!
+//! Pipeline (following T. T. Lee, "Nonblocking Copy Networks for Multicast
+//! Packet Switching", 1988 — reference \[6\] of the paper):
+//!
+//! 1. a *running adder* computes prefix sums of the copy counts;
+//! 2. a *dummy address encoder* gives the packet at rank `k` the copy-index
+//!    interval `[S_k, S_k + c_k)`;
+//! 3. a *broadcast banyan* performs **Boolean interval splitting**: at the
+//!    stage deciding address bit `b`, a packet whose interval lies in one
+//!    `b`-half routes there; a packet whose interval spans the boundary
+//!    splits into two sub-interval copies.
+//!
+//! Nonblocking requires the active packets to be *concentrated* (lines
+//! `0 … k−1`) with monotone intervals — which the running-adder addressing
+//! guarantees; use [`crate::concentrator::concentrate`] in front for sparse
+//! inputs.
+
+use brsmn_topology::{check_size, log2_exact};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A copy request: an opaque token plus how many copies to emit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CopyRequest<T> {
+    /// The packet.
+    pub token: T,
+    /// Number of copies (`≥ 1`).
+    pub copies: usize,
+}
+
+/// Copy-network failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CopyError {
+    /// Total copies exceed the network width.
+    Overflow {
+        /// Total copies requested.
+        total: usize,
+        /// Network width.
+        n: usize,
+    },
+    /// Two packets contended for a switch output — cannot happen for
+    /// concentrated monotone intervals.
+    Blocked {
+        /// The stage at which blocking occurred.
+        stage: usize,
+    },
+}
+
+impl fmt::Display for CopyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CopyError::Overflow { total, n } => {
+                write!(f, "requested {total} copies from an {n}-wide copy network")
+            }
+            CopyError::Blocked { stage } => write!(f, "copy network blocked at stage {stage}"),
+        }
+    }
+}
+
+impl std::error::Error for CopyError {}
+
+/// An `n × n` copy network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyNetwork {
+    n: usize,
+}
+
+/// A packet in flight: token plus its inclusive copy-address interval.
+#[derive(Debug, Clone)]
+struct InFlight<T> {
+    token: T,
+    lo: usize,
+    hi: usize,
+}
+
+impl CopyNetwork {
+    /// Creates a copy network of width `n = 2^m`.
+    pub fn new(n: usize) -> Self {
+        check_size(n).expect("copy network size must be a power of two");
+        CopyNetwork { n }
+    }
+
+    /// Network width.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Switch count: one broadcast banyan, `(n/2)·log n`.
+    pub fn switches(&self) -> u64 {
+        (self.n as u64 / 2) * log2_exact(self.n) as u64
+    }
+
+    /// Runs the copy network on *concentrated* requests (`requests[k]` sits
+    /// on line `k`). Output line `c` carries the copy with copy-index `c`;
+    /// copies of request `k` occupy lines `[S_k, S_k + c_k)` where `S` is
+    /// the prefix sum of copy counts.
+    pub fn copy<T: Clone>(
+        &self,
+        requests: &[CopyRequest<T>],
+    ) -> Result<Vec<Option<(T, usize)>>, CopyError> {
+        let total: usize = requests.iter().map(|r| r.copies).sum();
+        if total > self.n {
+            return Err(CopyError::Overflow { total, n: self.n });
+        }
+        assert!(requests.iter().all(|r| r.copies >= 1));
+
+        // Running adder + dummy address encoder.
+        let mut lines: Vec<Option<InFlight<T>>> = vec![None; self.n];
+        let mut s = 0usize;
+        for (k, r) in requests.iter().enumerate() {
+            lines[k] = Some(InFlight {
+                token: r.token.clone(),
+                lo: s,
+                hi: s + r.copies - 1,
+            });
+            s += r.copies;
+        }
+
+        // Broadcast banyan, MSB-first: stage s decides address bit
+        // b = m−1−s; lines pair with their bit-b complement.
+        let m = log2_exact(self.n);
+        for stage in 0..m {
+            let b = m - 1 - stage;
+            let bit = 1usize << b;
+            for u in 0..self.n {
+                if u & bit != 0 {
+                    continue;
+                }
+                let l = u | bit;
+                let pu = lines[u].take();
+                let pl = lines[l].take();
+                let (mut out_u, mut out_l) = (None, None);
+                for p in [pu, pl].into_iter().flatten() {
+                    // Boolean interval splitting on bit b.
+                    let lo_b = p.lo & bit != 0;
+                    let hi_b = p.hi & bit != 0;
+                    if lo_b == hi_b {
+                        let slot = if lo_b { &mut out_l } else { &mut out_u };
+                        if slot.is_some() {
+                            return Err(CopyError::Blocked {
+                                stage: stage as usize,
+                            });
+                        }
+                        *slot = Some(p);
+                    } else {
+                        // Split at the bit-b boundary inside the interval.
+                        let pivot = (p.hi >> b) << b;
+                        if out_u.is_some() || out_l.is_some() {
+                            return Err(CopyError::Blocked {
+                                stage: stage as usize,
+                            });
+                        }
+                        out_u = Some(InFlight {
+                            token: p.token.clone(),
+                            lo: p.lo,
+                            hi: pivot - 1,
+                        });
+                        out_l = Some(InFlight {
+                            token: p.token,
+                            lo: pivot,
+                            hi: p.hi,
+                        });
+                    }
+                }
+                lines[u] = out_u;
+                lines[l] = out_l;
+            }
+        }
+
+        // Every surviving packet has a singleton interval = its line address.
+        Ok(lines
+            .into_iter()
+            .enumerate()
+            .map(|(pos, p)| {
+                p.map(|p| {
+                    debug_assert_eq!(p.lo, p.hi);
+                    debug_assert_eq!(p.lo, pos, "copy landed on the wrong line");
+                    (p.token, p.lo)
+                })
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req<T>(token: T, copies: usize) -> CopyRequest<T> {
+        CopyRequest { token, copies }
+    }
+
+    #[test]
+    fn copies_land_contiguously() {
+        let net = CopyNetwork::new(8);
+        let out = net
+            .copy(&[req('a', 3), req('b', 1), req('c', 2)])
+            .unwrap();
+        let tokens: Vec<Option<char>> = out.iter().map(|x| x.as_ref().map(|(t, _)| *t)).collect();
+        assert_eq!(
+            tokens,
+            vec![
+                Some('a'),
+                Some('a'),
+                Some('a'),
+                Some('b'),
+                Some('c'),
+                Some('c'),
+                None,
+                None
+            ]
+        );
+        // Copy indices are the line addresses.
+        for (pos, slot) in out.iter().enumerate() {
+            if let Some((_, idx)) = slot {
+                assert_eq!(*idx, pos);
+            }
+        }
+    }
+
+    #[test]
+    fn single_full_broadcast() {
+        let net = CopyNetwork::new(16);
+        let out = net.copy(&[req(7u32, 16)]).unwrap();
+        assert!(out.iter().all(|x| matches!(x, Some((7, _)))));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let net = CopyNetwork::new(4);
+        assert!(matches!(
+            net.copy(&[req('a', 3), req('b', 2)]),
+            Err(CopyError::Overflow { total: 5, n: 4 })
+        ));
+    }
+
+    #[test]
+    fn exhaustive_compositions_n16() {
+        // Every composition of 16 into ordered parts (copy-count vectors)
+        // would be 2^15; sample all compositions of 8 instead — exhaustive.
+        let net = CopyNetwork::new(8);
+        fn compositions(total: usize, acc: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+            if total == 0 {
+                f(acc);
+                return;
+            }
+            for part in 1..=total {
+                acc.push(part);
+                compositions(total - part, acc, f);
+                acc.pop();
+            }
+        }
+        let mut count = 0usize;
+        compositions(8, &mut Vec::new(), &mut |parts| {
+            count += 1;
+            let reqs: Vec<CopyRequest<usize>> = parts
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| req(k, c))
+                .collect();
+            let out = net.copy(&reqs).unwrap_or_else(|e| panic!("{parts:?}: {e}"));
+            // Verify the layout: request k occupies [S_k, S_k + c_k).
+            let mut s = 0usize;
+            for (k, &c) in parts.iter().enumerate() {
+                for (line, slot) in out.iter().enumerate().skip(s).take(c) {
+                    assert_eq!(
+                        slot.as_ref().map(|(t, _)| *t),
+                        Some(k),
+                        "{parts:?} line {line}"
+                    );
+                }
+                s += c;
+            }
+        });
+        assert_eq!(count, 128); // 2^(8−1) compositions.
+    }
+
+    #[test]
+    fn partial_loads_leave_tail_idle() {
+        let net = CopyNetwork::new(16);
+        let out = net.copy(&[req('x', 5)]).unwrap();
+        assert!(out[..5].iter().all(|s| s.is_some()));
+        assert!(out[5..].iter().all(|s| s.is_none()));
+    }
+
+    #[test]
+    fn switch_count() {
+        assert_eq!(CopyNetwork::new(16).switches(), 32);
+    }
+}

@@ -1,0 +1,73 @@
+//! An `n × n` crossbar with broadcast-capable crosspoints: the trivially
+//! nonblocking (and trivially expensive, `Θ(n²)`) multicast reference.
+
+use brsmn_core::{CoreError, MulticastAssignment, RoutingResult};
+
+/// The crossbar switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crossbar {
+    n: usize,
+}
+
+impl Crossbar {
+    /// Creates an `n × n` crossbar (any `n ≥ 1`).
+    pub fn new(n: usize) -> Self {
+        Crossbar { n }
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Crosspoint count: `n²`.
+    pub fn crosspoints(&self) -> u64 {
+        (self.n as u64) * (self.n as u64)
+    }
+
+    /// Gate cost: one broadcast-capable crosspoint ≈ 2 gates (pass gate +
+    /// select latch).
+    pub fn gates(&self) -> u64 {
+        2 * self.crosspoints()
+    }
+
+    /// Routes an assignment: every output connects straight to its source's
+    /// row. Always succeeds for a valid assignment.
+    pub fn route(&self, asg: &MulticastAssignment) -> Result<RoutingResult, CoreError> {
+        assert_eq!(asg.n(), self.n);
+        let sources = (0..self.n).map(|o| asg.source_of_output(o)).collect();
+        Ok(RoutingResult::new(sources))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbar_realizes_anything() {
+        let asg = MulticastAssignment::from_sets(
+            8,
+            vec![
+                vec![0, 1],
+                vec![],
+                vec![3, 4, 7],
+                vec![2],
+                vec![],
+                vec![],
+                vec![],
+                vec![5, 6],
+            ],
+        )
+        .unwrap();
+        let xbar = Crossbar::new(8);
+        let r = xbar.route(&asg).unwrap();
+        assert!(r.realizes(&asg));
+    }
+
+    #[test]
+    fn quadratic_cost() {
+        assert_eq!(Crossbar::new(64).crosspoints(), 4096);
+        assert_eq!(Crossbar::new(64).gates(), 8192);
+    }
+}

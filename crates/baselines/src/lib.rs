@@ -1,0 +1,56 @@
+//! Baseline multicast fabrics and analytic comparators for the evaluation
+//! (Table 2 of the paper).
+//!
+//! * [`crossbar`] — an `n × n` crossbar with broadcast crosspoints: the
+//!   trivially nonblocking reference (`Θ(n²)` cost).
+//! * [`benes`] — a Beneš permutation network routed by the classical
+//!   (centralized) looping algorithm.
+//! * [`chengchen`] — the Cheng–Chen RBN-based self-routing *permutation*
+//!   network (reference \[14\]): the predecessor design the paper extends to
+//!   multicast, and the ablation for the cost of multicast support.
+//! * [`concentrator`] — a reverse-banyan rank concentrator (order-preserving
+//!   compaction), the standard front end of copy networks.
+//! * [`copynet`] — a Lee-style copy network: running-adder prefix sums,
+//!   dummy-address interval encoding, and a broadcast banyan with Boolean
+//!   interval splitting.
+//! * [`multicast`] — the composite classical baseline: concentrator → copy
+//!   network → Beneš distributor, a functional multicast switch built the
+//!   pre-1998 way (copy-then-route).
+//! * [`models`] — calibrated analytic cost/depth/routing-time models for the
+//!   published comparators (Nassimi–Sahni \[4\], Lee–Oruç \[9\]) and for the
+//!   paper's network, reproducing the Table 2 rows.
+
+//! ```
+//! use brsmn_baselines::CopyBenesMulticast;
+//! use brsmn_core::MulticastAssignment;
+//!
+//! // The classical copy-then-route switch realizes the paper's example too —
+//! // it just pays Θ(n log n) *serial* routing time to do it.
+//! let asg = MulticastAssignment::from_sets(8, vec![
+//!     vec![0, 1], vec![], vec![3, 4, 7], vec![2], vec![], vec![], vec![], vec![5, 6],
+//! ]).unwrap();
+//! let (result, stats) = CopyBenesMulticast::new(8).unwrap().route(&asg).unwrap();
+//! assert!(result.realizes(&asg));
+//! assert!(stats.looping_steps > 0); // centralized work the BRSMN avoids
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod benes;
+pub mod chengchen;
+pub mod concentrator;
+pub mod copynet;
+pub mod crossbar;
+pub mod models;
+pub mod multicast;
+
+pub use batcher::BatcherBanyan;
+pub use benes::BenesNetwork;
+pub use chengchen::ChengChenNetwork;
+pub use concentrator::concentrate;
+pub use copynet::CopyNetwork;
+pub use crossbar::Crossbar;
+pub use models::{ComplexityModel, NetworkKind};
+pub use multicast::CopyBenesMulticast;

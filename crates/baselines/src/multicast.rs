@@ -1,0 +1,234 @@
+//! The composite classical multicast baseline: **concentrate → copy →
+//! distribute** — how nonblocking multicast switches were assembled before
+//! self-routing designs (cf. references \[5\], \[6\] of the paper).
+//!
+//! * concentrator: active packets compact to lines `0 … k−1` (order
+//!   preserved);
+//! * copy network: packet `k` fans out to `|I_k|` contiguous copies;
+//! * distributor: a Beneš network permutes copy `c` to its actual output,
+//!   routed by the centralized looping algorithm.
+//!
+//! Functionally equivalent to the BRSMN, but the distributor's looping
+//! routing is `Θ(n log n)` *serial* time — the contrast the paper's
+//! self-routing design exists to remove.
+
+use crate::benes::{BenesError, BenesNetwork, LoopingStats};
+use crate::concentrator::{concentrate, ConcentratorConflict};
+use crate::copynet::{CopyError, CopyNetwork, CopyRequest};
+use brsmn_core::{MulticastAssignment, RoutingResult};
+use brsmn_topology::log2_exact;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Failures of the composite baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CopyBenesError {
+    /// Concentrator conflict (cannot occur for rank targets).
+    Concentrator(ConcentratorConflict),
+    /// Copy-network failure.
+    Copy(CopyError),
+    /// Distributor failure.
+    Benes(BenesError),
+}
+
+impl fmt::Display for CopyBenesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CopyBenesError::Concentrator(e) => e.fmt(f),
+            CopyBenesError::Copy(e) => e.fmt(f),
+            CopyBenesError::Benes(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CopyBenesError {}
+
+/// Execution statistics of one composite routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CopyBenesStats {
+    /// Serial looping steps spent routing the distributor.
+    pub looping_steps: u64,
+    /// Total copies produced.
+    pub copies: usize,
+}
+
+/// The concentrator → copy network → Beneš distributor multicast switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyBenesMulticast {
+    n: usize,
+}
+
+impl CopyBenesMulticast {
+    /// Creates the composite switch of width `n = 2^m`.
+    pub fn new(n: usize) -> Result<Self, BenesError> {
+        BenesNetwork::new(n)?; // validates the size
+        Ok(CopyBenesMulticast { n })
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total switch count: concentrator RBN + copy banyan + Beneš.
+    pub fn switches(&self) -> u64 {
+        let m = log2_exact(self.n) as u64;
+        let half = self.n as u64 / 2;
+        half * m + half * m + half * (2 * m - 1)
+    }
+
+    /// Stage depth.
+    pub fn depth(&self) -> u64 {
+        let m = log2_exact(self.n) as u64;
+        m + m + (2 * m - 1)
+    }
+
+    /// Routes a multicast assignment through the three stages.
+    pub fn route(
+        &self,
+        asg: &MulticastAssignment,
+    ) -> Result<(RoutingResult, CopyBenesStats), CopyBenesError> {
+        assert_eq!(asg.n(), self.n);
+
+        // Stage 1: concentrate active sources (order preserved).
+        let inputs: Vec<Option<usize>> = (0..self.n)
+            .map(|i| (!asg.dests(i).is_empty()).then_some(i))
+            .collect();
+        let concentrated = concentrate(inputs).map_err(CopyBenesError::Concentrator)?;
+
+        // Stage 2: copy network fans each source out to |I_i| copies.
+        let requests: Vec<CopyRequest<usize>> = concentrated
+            .iter()
+            .flatten()
+            .map(|&src| CopyRequest {
+                token: src,
+                copies: asg.dests(src).len(),
+            })
+            .collect();
+        let copies = CopyNetwork::new(self.n)
+            .copy(&requests)
+            .map_err(CopyBenesError::Copy)?;
+
+        // Stage 3: trunk-number translation + Beneš distributor. Copy
+        // index c is the c-th connection in (source-rank, dest-rank) order;
+        // its final output is the corresponding destination.
+        let mut final_output: Vec<Option<usize>> = vec![None; self.n];
+        {
+            let mut c = 0usize;
+            for src in concentrated.iter().flatten() {
+                for &d in asg.dests(*src) {
+                    final_output[c] = Some(d);
+                    c += 1;
+                }
+            }
+        }
+        let benes = BenesNetwork::new(self.n).map_err(CopyBenesError::Benes)?;
+        let (settings, loop_stats): (_, LoopingStats) = benes
+            .route(&final_output)
+            .map_err(CopyBenesError::Benes)?;
+
+        // Evaluate the distributor on the copy tokens.
+        let tokens: Vec<Option<usize>> = copies
+            .iter()
+            .map(|slot| slot.as_ref().map(|(src, _)| *src))
+            .collect();
+        let distributed = settings.eval(&tokens);
+
+        // Collapse: idle copies (from idle Beneš inputs) land on unclaimed
+        // outputs; report only claimed outputs.
+        let sources: Vec<Option<usize>> = distributed
+            .iter()
+            .enumerate()
+            .map(|(o, got)| {
+                if asg.source_of_output(o).is_some() {
+                    *got
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let total_copies = requests.iter().map(|r| r.copies).sum();
+        Ok((
+            RoutingResult::new(sources),
+            CopyBenesStats {
+                looping_steps: loop_stats.steps,
+                copies: total_copies,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_assignment() -> MulticastAssignment {
+        MulticastAssignment::from_sets(
+            8,
+            vec![
+                vec![0, 1],
+                vec![],
+                vec![3, 4, 7],
+                vec![2],
+                vec![],
+                vec![],
+                vec![],
+                vec![5, 6],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn composite_realizes_paper_example() {
+        let net = CopyBenesMulticast::new(8).unwrap();
+        let (r, stats) = net.route(&paper_assignment()).unwrap();
+        assert!(r.realizes(&paper_assignment()));
+        assert_eq!(stats.copies, 8);
+        assert!(stats.looping_steps > 0);
+    }
+
+    #[test]
+    fn agrees_with_brsmn_on_random_traffic() {
+        use brsmn_core::Brsmn;
+        for seed in 0..20u64 {
+            let n = 64;
+            // Hash-based random assignment.
+            let mut sets = vec![Vec::new(); n];
+            for o in 0..n {
+                let h = (o as u64 ^ seed).wrapping_mul(0x9E3779B97F4A7C15) >> 9;
+                if !h.is_multiple_of(4) {
+                    sets[(h as usize) % n].push(o);
+                }
+            }
+            let asg = MulticastAssignment::from_sets(n, sets).unwrap();
+            let (classical, _) = CopyBenesMulticast::new(n).unwrap().route(&asg).unwrap();
+            let modern = Brsmn::new(n).unwrap().route(&asg).unwrap();
+            assert_eq!(classical, modern, "seed={seed}");
+            assert!(classical.realizes(&asg));
+        }
+    }
+
+    #[test]
+    fn broadcast_and_empty() {
+        let net = CopyBenesMulticast::new(16).unwrap();
+        let mut sets = vec![Vec::new(); 16];
+        sets[2] = (0..16).collect();
+        let asg = MulticastAssignment::from_sets(16, sets).unwrap();
+        let (r, stats) = net.route(&asg).unwrap();
+        assert!(r.realizes(&asg));
+        assert_eq!(stats.copies, 16);
+
+        let empty = MulticastAssignment::empty(16).unwrap();
+        let (r, _) = net.route(&empty).unwrap();
+        assert!(r.realizes(&empty));
+    }
+
+    #[test]
+    fn cost_formulas() {
+        let net = CopyBenesMulticast::new(16).unwrap();
+        // 8·4 + 8·4 + 8·7 = 120 switches, depth 4+4+7 = 15.
+        assert_eq!(net.switches(), 120);
+        assert_eq!(net.depth(), 15);
+    }
+}

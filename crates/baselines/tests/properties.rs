@@ -1,0 +1,120 @@
+//! Property-based tests for the baseline fabrics, at sizes beyond the
+//! exhaustive unit tests.
+
+use brsmn_baselines::{
+    concentrate, BenesNetwork, ChengChenNetwork, CopyBenesMulticast, CopyNetwork, Crossbar,
+};
+use brsmn_baselines::copynet::CopyRequest;
+use brsmn_core::{Brsmn, MulticastAssignment};
+use proptest::prelude::*;
+
+fn arb_partial_perm(max_pow: u32) -> impl Strategy<Value = Vec<Option<usize>>> {
+    (2u32..=max_pow).prop_flat_map(|m| {
+        let n = 1usize << m;
+        (proptest::collection::vec(any::<u32>(), n), Just(n)).prop_map(|(seed, n)| {
+            // Build a permutation by arg-sorting, then drop some entries.
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by_key(|&i| (seed[i], i));
+            idx.iter()
+                .enumerate()
+                .map(|(i, &o)| (seed[i] % 4 != 0).then_some(o))
+                .collect()
+        })
+    })
+}
+
+fn arb_assignment(max_pow: u32) -> impl Strategy<Value = MulticastAssignment> {
+    (2u32..=max_pow)
+        .prop_flat_map(|m| {
+            let n = 1usize << m;
+            proptest::collection::vec(proptest::option::weighted(0.75, 0..n), n)
+        })
+        .prop_map(|owners| {
+            let n = owners.len();
+            let mut sets = vec![Vec::new(); n];
+            for (o, owner) in owners.into_iter().enumerate() {
+                if let Some(src) = owner {
+                    sets[src].push(o);
+                }
+            }
+            MulticastAssignment::from_sets(n, sets).expect("disjoint")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The looping algorithm realizes every random partial permutation.
+    #[test]
+    fn benes_routes_partial_permutations(perm in arb_partial_perm(9)) {
+        let n = perm.len();
+        let net = BenesNetwork::new(n).unwrap();
+        let (settings, stats) = net.route(&perm).unwrap();
+        let inputs: Vec<Option<usize>> = (0..n).map(Some).collect();
+        let out = settings.eval(&inputs);
+        for (o, got) in out.iter().enumerate() {
+            if let Some(src) = perm.iter().position(|&p| p == Some(o)) {
+                prop_assert_eq!(*got, Some(src), "output {}", o);
+            }
+        }
+        // Looping touches each connection once per recursion level.
+        let conns = perm.iter().flatten().count() as u64;
+        prop_assert!(stats.steps <= conns * n.trailing_zeros() as u64 + n as u64);
+    }
+
+    /// The concentrator compacts any activity pattern in order.
+    #[test]
+    fn concentrator_orders_any_pattern(mask in proptest::collection::vec(any::<bool>(), 256)) {
+        let n = 256usize;
+        let inputs: Vec<Option<usize>> = (0..n).map(|i| mask[i].then_some(i)).collect();
+        let k = mask.iter().filter(|&&b| b).count();
+        let out = concentrate(inputs).unwrap();
+        let compacted: Vec<usize> = out.iter().take(k).map(|x| x.unwrap()).collect();
+        let expect: Vec<usize> = (0..n).filter(|&i| mask[i]).collect();
+        prop_assert_eq!(compacted, expect);
+        prop_assert!(out[k..].iter().all(|x| x.is_none()));
+    }
+
+    /// The copy network lays out any copy-count composition contiguously.
+    #[test]
+    fn copynet_layout(counts in proptest::collection::vec(1usize..17, 1..12)) {
+        let total: usize = counts.iter().sum();
+        let n = (total.max(2)).next_power_of_two();
+        let net = CopyNetwork::new(n);
+        let reqs: Vec<CopyRequest<usize>> = counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| CopyRequest { token: k, copies: c })
+            .collect();
+        let out = net.copy(&reqs).unwrap();
+        let mut s = 0usize;
+        for (k, &c) in counts.iter().enumerate() {
+            for slot in &out[s..s + c] {
+                prop_assert_eq!(slot.as_ref().map(|(t, _)| *t), Some(k));
+            }
+            s += c;
+        }
+        prop_assert!(out[s..].iter().all(|x| x.is_none()));
+    }
+
+    /// The classical composite equals the crossbar reference on random
+    /// multicast assignments.
+    #[test]
+    fn copy_benes_equals_crossbar(asg in arb_assignment(8)) {
+        let n = asg.n();
+        let reference = Crossbar::new(n).route(&asg).unwrap();
+        let (got, _) = CopyBenesMulticast::new(n).unwrap().route(&asg).unwrap();
+        prop_assert_eq!(got, reference);
+    }
+
+    /// The Cheng–Chen network equals the BRSMN on random partial
+    /// permutations.
+    #[test]
+    fn chengchen_equals_brsmn(perm in arb_partial_perm(8)) {
+        let n = perm.len();
+        let asg = MulticastAssignment::from_permutation(&perm).unwrap();
+        let a = ChengChenNetwork::new(n).unwrap().route(&asg).unwrap();
+        let b = Brsmn::new(n).unwrap().route(&asg).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

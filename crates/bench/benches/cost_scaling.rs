@@ -1,0 +1,33 @@
+//! Criterion bench for the cost-scaling claim: end-to-end simulated routing
+//! work of the BRSMN vs the feedback implementation across a size sweep.
+//! The feedback network does the same *logical* work on (log n + 1)/2 times
+//! fewer switches; per-assignment wall-clock should track the Θ(n log² n)
+//! total switch-visit count for both.
+
+use brsmn_bench::dense_workload;
+use brsmn_core::{Brsmn, FeedbackBrsmn};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_scaling");
+    for m in [4u32, 6, 8, 10, 11] {
+        let n = 1usize << m;
+        let asg = dense_workload(n, 5);
+        group.throughput(Throughput::Elements(n as u64));
+
+        let net = Brsmn::new(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("unfolded", n), &asg, |b, asg| {
+            b.iter(|| black_box(net.route(black_box(asg)).unwrap()))
+        });
+
+        let fb = FeedbackBrsmn::new(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("feedback", n), &asg, |b, asg| {
+            b.iter(|| black_box(fb.route(black_box(asg)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

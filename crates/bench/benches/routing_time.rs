@@ -1,0 +1,75 @@
+//! Criterion bench for the *routing set-up* cost alone (no data movement):
+//! the distributed planning algorithms of the self-routing design versus the
+//! centralized looping algorithm of the Beneš distributor. This is the
+//! "Routing time" column of Table 2 in wall-clock form: self-routing
+//! planning is near-linear work spread over stages, looping is a serial
+//! chain walk.
+
+use brsmn_baselines::BenesNetwork;
+use brsmn_rbn::{plan_bitsort, plan_quasisort, plan_scatter};
+use brsmn_switch::Tag;
+use brsmn_workloads::random_permutation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn tags_for(n: usize, seed: u64) -> Vec<Tag> {
+    (0..n)
+        .map(|i| {
+            match (i as u64 ^ seed).wrapping_mul(0x9E3779B97F4A7C15) >> 61 {
+                0 => Tag::Alpha,
+                1..=3 => Tag::Eps,
+                4 | 5 => Tag::Zero,
+                _ => Tag::One,
+            }
+        })
+        .collect()
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_time");
+    for m in [6u32, 8, 10] {
+        let n = 1usize << m;
+
+        let tags = tags_for(n, 3);
+        group.bench_with_input(BenchmarkId::new("plan_scatter", n), &tags, |b, tags| {
+            b.iter(|| black_box(plan_scatter(black_box(tags), 0)))
+        });
+
+        let chi: Vec<Tag> = tags
+            .iter()
+            .map(|&t| if t == Tag::Alpha { Tag::Zero } else { t })
+            .collect();
+        // Keep the quasisort precondition: trim overfull halves to ε.
+        let mut qs = chi.clone();
+        for want in [Tag::Zero, Tag::One] {
+            let mut count = 0;
+            for t in qs.iter_mut() {
+                if *t == want {
+                    count += 1;
+                    if count > n / 2 {
+                        *t = Tag::Eps;
+                    }
+                }
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("plan_quasisort", n), &qs, |b, qs| {
+            b.iter(|| black_box(plan_quasisort(black_box(qs)).unwrap()))
+        });
+
+        let gamma: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        group.bench_with_input(BenchmarkId::new("plan_bitsort", n), &gamma, |b, g| {
+            b.iter(|| black_box(plan_bitsort(black_box(g), n / 2)))
+        });
+
+        let benes = BenesNetwork::new(n).unwrap();
+        let asg = random_permutation(n, 9);
+        let perm: Vec<Option<usize>> = (0..n).map(|i| asg.dests(i).first().copied()).collect();
+        group.bench_with_input(BenchmarkId::new("benes_looping", n), &perm, |b, perm| {
+            b.iter(|| black_box(benes.route(black_box(perm)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench behind Table 2: wall-clock end-to-end routing of one
+//! dense multicast assignment through each network, across sizes. The
+//! paper's unit is gate delays (see the `table2` binary for that); this
+//! bench confirms the same ordering holds for simulated wall-clock.
+
+use brsmn_baselines::{CopyBenesMulticast, Crossbar};
+use brsmn_bench::dense_workload;
+use brsmn_core::{Brsmn, FeedbackBrsmn};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_route");
+    for m in [5u32, 7, 9] {
+        let n = 1usize << m;
+        let asg = dense_workload(n, 42);
+
+        let net = Brsmn::new(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("brsmn", n), &asg, |b, asg| {
+            b.iter(|| black_box(net.route(black_box(asg)).unwrap()))
+        });
+
+        let net = Brsmn::new(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("brsmn_self_routing", n), &asg, |b, asg| {
+            b.iter(|| black_box(net.route_self_routing(black_box(asg)).unwrap()))
+        });
+
+        let fb = FeedbackBrsmn::new(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("feedback", n), &asg, |b, asg| {
+            b.iter(|| black_box(fb.route(black_box(asg)).unwrap()))
+        });
+
+        let classical = CopyBenesMulticast::new(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("copy_benes", n), &asg, |b, asg| {
+            b.iter(|| black_box(classical.route(black_box(asg)).unwrap()))
+        });
+
+        let xbar = Crossbar::new(n);
+        group.bench_with_input(BenchmarkId::new("crossbar", n), &asg, |b, asg| {
+            b.iter(|| black_box(xbar.route(black_box(asg)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

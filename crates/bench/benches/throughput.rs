@@ -1,0 +1,35 @@
+//! Criterion bench over the motivating workload patterns of Section 1:
+//! broadcast (barrier), conference groups, replica updates, matrix-row
+//! broadcast, and permutation traffic, all at a fixed size — showing the
+//! BRSMN's routing work is insensitive to fanout shape (nonblocking for
+//! *arbitrary* multicast assignments, not just friendly ones).
+
+use brsmn_core::Brsmn;
+use brsmn_workloads::{
+    barrier_broadcast, even_conferences, matrix_row_broadcast, random_permutation, replica_update,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_patterns(c: &mut Criterion) {
+    let n = 256usize;
+    let net = Brsmn::new(n).unwrap();
+    let mut group = c.benchmark_group("patterns_n256");
+
+    let cases = vec![
+        ("broadcast", barrier_broadcast(n, 0)),
+        ("conferences_x16", even_conferences(n, 16)),
+        ("replica_x8", replica_update(n, 8)),
+        ("matrix_rows", matrix_row_broadcast(16)),
+        ("permutation", random_permutation(n, 1)),
+    ];
+    for (name, asg) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(net.route(black_box(&asg)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Emits the exact hardware-cost curves behind the Section 7.4 complexity
+//! analysis: switch counts of the unfolded BRSMN, the feedback version, the
+//! classical copy-then-route composite, and the crossbar, over a sweep of
+//! sizes — the data series for the cost figure in EXPERIMENTS.md.
+//!
+//! Run: `cargo run --release -p brsmn-bench --bin cost_curves`
+
+use brsmn_bench::{cost_sweep, markdown_table};
+use brsmn_core::metrics;
+
+fn main() {
+    println!("## Hardware cost vs network size (exact switch counts)\n");
+    let pts = cost_sweep(2, 16);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.n.to_string(),
+                p.brsmn_switches.to_string(),
+                p.feedback_switches.to_string(),
+                p.classical_switches.to_string(),
+                p.batcher_elements.to_string(),
+                p.crossbar_points.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["n", "BRSMN", "feedback", "copy+Beneš", "Batcher–banyan", "crossbar"],
+            &rows
+        )
+    );
+
+    println!("### Normalized: switches / (n·log n)\n");
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            let m = (p.n as f64).log2();
+            let norm = p.n as f64 * m;
+            vec![
+                p.n.to_string(),
+                format!("{:.3}", p.brsmn_switches as f64 / norm),
+                format!("{:.3}", p.feedback_switches as f64 / norm),
+                format!("{:.3}", p.classical_switches as f64 / norm),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["n", "BRSMN/(n·lg n)", "feedback/(n·lg n)", "classical/(n·lg n)"], &rows)
+    );
+    println!(
+        "The BRSMN column grows ~(lg n)/2 (Θ(n log² n)); the feedback and \
+         classical columns are flat (Θ(n log n)); the crossbar is Θ(n²).\n"
+    );
+
+    println!("### Depth and routing time (gate delays)\n");
+    let rows: Vec<Vec<String>> = (2u32..=16)
+        .map(|m| {
+            let n = 1usize << m;
+            vec![
+                n.to_string(),
+                metrics::brsmn_depth(n).to_string(),
+                brsmn_sim::brsmn_routing_time(n).total.to_string(),
+                brsmn_sim::feedback_routing_time(n).total.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["n", "depth (stages)", "T_route BRSMN (gd)", "T_route feedback (gd)"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,63 @@
+//! Load–latency curve of an input-queued switch built on the BRSMN: offered
+//! load vs mean/max request wait and output utilization. Because the fabric
+//! is nonblocking, every effect here is queueing/head-of-line — the fabric
+//! itself never rejects a scheduled round.
+//!
+//! Run: `cargo run --release -p brsmn-bench --bin load_latency`
+
+use brsmn_bench::markdown_table;
+use brsmn_core::Brsmn;
+use brsmn_workloads::{simulate_queueing, QueueConfig};
+
+fn main() {
+    let n = 128usize;
+    let rounds = 600usize;
+    let net = Brsmn::new(n).unwrap();
+    println!("## Input-queued switch on a {n}×{n} BRSMN — {rounds} rounds per point\n");
+
+    for max_fanout in [1usize, 4, 16] {
+        println!("### max fanout {max_fanout}\n");
+        let rows: Vec<Vec<String>> = [0.05f64, 0.2, 0.4, 0.6, 0.8, 0.95]
+            .iter()
+            .map(|&p| {
+                let stats = simulate_queueing(
+                    QueueConfig {
+                        n,
+                        p_arrival: p,
+                        max_fanout,
+                    },
+                    42,
+                    rounds,
+                    |asg| net.route(asg).map(|r| r.realizes(asg)).unwrap_or(false),
+                );
+                vec![
+                    format!("{p:.2}"),
+                    stats.served.to_string(),
+                    stats.backlog.to_string(),
+                    format!("{:.2}", stats.mean_wait),
+                    stats.max_wait.to_string(),
+                    format!("{:.1}%", stats.output_utilization * 100.0),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "arrival rate",
+                    "served",
+                    "backlog",
+                    "mean wait",
+                    "max wait",
+                    "output util"
+                ],
+                &rows
+            )
+        );
+    }
+    println!(
+        "Higher fanout saturates outputs sooner (each admitted request claims\n\
+         several), shifting the knee of the latency curve left — classic\n\
+         multicast head-of-line behaviour, with zero fabric blocking."
+    );
+}

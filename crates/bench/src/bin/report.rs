@@ -1,0 +1,161 @@
+//! Emits a machine-readable JSON report of every measured quantity the
+//! repository produces — the reproducibility artifact behind EXPERIMENTS.md.
+//!
+//! Run: `cargo run --release -p brsmn-bench --bin report > report.json`
+
+use brsmn_baselines::{BenesNetwork, ChengChenNetwork, CopyBenesMulticast};
+use brsmn_bench::{cost_sweep, table2_at};
+use brsmn_core::{metrics, Brsmn, FeedbackBrsmn};
+use brsmn_sim::{
+    brsmn_routing_time, feedback_routing_time, rbn_sweep_latency, setup_amortization_point,
+    transfer_time, Fabric,
+};
+use brsmn_workloads::{random_multicast, random_permutation, RandomSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    table2: Vec<brsmn_bench::MeasuredRow>,
+    cost_sweep: Vec<brsmn_bench::CostPoint>,
+    routing_time: Vec<RoutingTimePoint>,
+    looping: Vec<LoopingPoint>,
+    transfer: Vec<TransferPoint>,
+    verification: Vec<VerificationPoint>,
+}
+
+#[derive(Serialize)]
+struct RoutingTimePoint {
+    n: usize,
+    sweep_latency_gd: u64,
+    brsmn_total_gd: u64,
+    feedback_total_gd: u64,
+    depth_stages: u64,
+}
+
+#[derive(Serialize)]
+struct LoopingPoint {
+    n: usize,
+    steps: u64,
+    ratio_vs_self_routing: f64,
+}
+
+#[derive(Serialize)]
+struct TransferPoint {
+    n: usize,
+    payload_bits: u64,
+    brsmn_gd: u64,
+    classical_gd: u64,
+    amortization_bits: Option<u64>,
+}
+
+#[derive(Serialize)]
+struct VerificationPoint {
+    n: usize,
+    seed: u64,
+    connections: usize,
+    brsmn_ok: bool,
+    self_routing_ok: bool,
+    feedback_ok: bool,
+    classical_ok: bool,
+    chengchen_permutation_ok: bool,
+}
+
+fn main() {
+    let table2 = [64usize, 256, 1024, 4096, 16384]
+        .iter()
+        .flat_map(|&n| table2_at(n))
+        .collect();
+
+    let routing_time = (2u32..=16)
+        .map(|m| {
+            let n = 1usize << m;
+            RoutingTimePoint {
+                n,
+                sweep_latency_gd: rbn_sweep_latency(n),
+                brsmn_total_gd: brsmn_routing_time(n).total,
+                feedback_total_gd: feedback_routing_time(n).total,
+                depth_stages: metrics::brsmn_depth(n),
+            }
+        })
+        .collect();
+
+    let looping = [64usize, 256, 1024, 4096]
+        .iter()
+        .map(|&n| {
+            let benes = BenesNetwork::new(n).unwrap();
+            let asg = random_permutation(n, 7);
+            let perm: Vec<Option<usize>> =
+                (0..n).map(|i| asg.dests(i).first().copied()).collect();
+            let steps = benes.route(&perm).unwrap().1.steps;
+            LoopingPoint {
+                n,
+                steps,
+                ratio_vs_self_routing: (steps * brsmn_sim::timing::LOOPING_STEP_DELAY) as f64
+                    / brsmn_routing_time(n).total as f64,
+            }
+        })
+        .collect();
+
+    let transfer = [256usize, 4096]
+        .iter()
+        .flat_map(|&n| {
+            let benes = BenesNetwork::new(n).unwrap();
+            let asg = random_permutation(n, 7);
+            let perm: Vec<Option<usize>> =
+                (0..n).map(|i| asg.dests(i).first().copied()).collect();
+            let steps = benes.route(&perm).unwrap().1.steps;
+            [64u64, 4096, 1 << 18].into_iter().map(move |bits| TransferPoint {
+                n,
+                payload_bits: bits,
+                brsmn_gd: transfer_time(Fabric::Brsmn, n, bits).total(),
+                classical_gd: transfer_time(Fabric::Classical { loop_steps: steps }, n, bits)
+                    .total(),
+                amortization_bits: setup_amortization_point(n, steps, 1.05, 1 << 40),
+            })
+        })
+        .collect();
+
+    let verification = [(64usize, 1u64), (256, 2), (1024, 3)]
+        .iter()
+        .map(|&(n, seed)| {
+            let asg = random_multicast(RandomSpec::dense(n), seed);
+            let net = Brsmn::new(n).unwrap();
+            let perm = random_permutation(n, seed);
+            VerificationPoint {
+                n,
+                seed,
+                connections: asg.total_connections(),
+                brsmn_ok: net.route(&asg).map(|r| r.realizes(&asg)).unwrap_or(false),
+                self_routing_ok: net
+                    .route_self_routing(&asg)
+                    .map(|r| r.realizes(&asg))
+                    .unwrap_or(false),
+                feedback_ok: FeedbackBrsmn::new(n)
+                    .unwrap()
+                    .route(&asg)
+                    .map(|(r, _)| r.realizes(&asg))
+                    .unwrap_or(false),
+                classical_ok: CopyBenesMulticast::new(n)
+                    .unwrap()
+                    .route(&asg)
+                    .map(|(r, _)| r.realizes(&asg))
+                    .unwrap_or(false),
+                chengchen_permutation_ok: ChengChenNetwork::new(n)
+                    .unwrap()
+                    .route(&perm)
+                    .map(|r| r.realizes(&perm))
+                    .unwrap_or(false),
+            }
+        })
+        .collect();
+
+    let report = Report {
+        table2,
+        cost_sweep: cost_sweep(2, 16),
+        routing_time,
+        looping,
+        transfer,
+        verification,
+    };
+    println!("{}", serde_json::to_string_pretty(&report).unwrap());
+}

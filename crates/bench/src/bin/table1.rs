@@ -1,0 +1,34 @@
+//! Regenerates **Table 1** of the paper: the 3-bit encoding scheme for tag
+//! values, straight from the implementation in `brsmn-switch`.
+//!
+//! Run: `cargo run -p brsmn-bench --bin table1`
+
+use brsmn_bench::markdown_table;
+use brsmn_switch::encoding::{encode_qtag, encode_tag};
+use brsmn_switch::{QTag, Tag};
+
+fn main() {
+    println!("## Table 1 — An encoding scheme for tag values\n");
+    let fmt = |c: brsmn_switch::encoding::TagCode| {
+        format!(
+            "{}{}{}",
+            c.b0 as u8,
+            c.b1 as u8,
+            c.b2 as u8
+        )
+    };
+    let rows = vec![
+        vec!["0".into(), fmt(encode_tag(Tag::Zero))],
+        vec!["1".into(), fmt(encode_tag(Tag::One))],
+        vec!["α".into(), fmt(encode_tag(Tag::Alpha))],
+        vec!["ε".into(), "11X".into()],
+        vec!["ε₀".into(), fmt(encode_qtag(QTag::Eps0))],
+        vec!["ε₁".into(), fmt(encode_qtag(QTag::Eps1))],
+    ];
+    println!("{}", markdown_table(&["Tag", "b0 b1 b2"], &rows));
+
+    println!("Counting predicates (Section 7.2):");
+    println!("- α counter: b0 ∧ ¬b1  — true only for code 100");
+    println!("- ε counter: b0 ∧ b1   — true only for codes 11X");
+    println!("- 1s counter (quasisort inputs): b2");
+}

@@ -1,0 +1,104 @@
+//! Message-transfer crossover analysis: routing set-up vs payload streaming.
+//!
+//! The self-routing design's advantage is its `O(log² n)` set-up. This
+//! harness quantifies when that matters: per message size, total transfer
+//! time on the BRSMN vs the classical copy+Beneš switch (with its measured
+//! centralized looping set-up), and the payload size at which the classical
+//! fabric finally amortizes its set-up penalty.
+//!
+//! Run: `cargo run --release -p brsmn-bench --bin transfer_analysis`
+
+use brsmn_baselines::BenesNetwork;
+use brsmn_bench::markdown_table;
+use brsmn_sim::{setup_amortization_point, simulate_pipeline, transfer_time, Fabric};
+use brsmn_workloads::random_permutation;
+
+fn measured_loop_steps(n: usize) -> u64 {
+    let benes = BenesNetwork::new(n).unwrap();
+    let asg = random_permutation(n, 7);
+    let perm: Vec<Option<usize>> = (0..n).map(|i| asg.dests(i).first().copied()).collect();
+    benes.route(&perm).unwrap().1.steps
+}
+
+fn main() {
+    println!("## Transfer time vs message size (gate delays)\n");
+    for n in [256usize, 4096] {
+        let loop_steps = measured_loop_steps(n);
+        println!("n = {n} (measured looping: {loop_steps} serial steps):");
+        let rows: Vec<Vec<String>> = [64u64, 512, 4096, 1 << 15, 1 << 18, 1 << 21]
+            .iter()
+            .map(|&bits| {
+                let ours = transfer_time(Fabric::Brsmn, n, bits).total();
+                let fb = transfer_time(Fabric::Feedback, n, bits).total();
+                let classical =
+                    transfer_time(Fabric::Classical { loop_steps }, n, bits).total();
+                vec![
+                    format!("{bits}"),
+                    ours.to_string(),
+                    fb.to_string(),
+                    classical.to_string(),
+                    format!("{:.2}×", classical as f64 / ours as f64),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "payload (bits)",
+                    "BRSMN",
+                    "feedback",
+                    "classical",
+                    "classical/BRSMN"
+                ],
+                &rows
+            )
+        );
+    }
+
+    println!("### Set-up amortization point\n");
+    println!("Payload size at which the classical switch's total comes within 5% of ours:\n");
+    let rows: Vec<Vec<String>> = [64usize, 256, 1024, 4096]
+        .iter()
+        .map(|&n| {
+            let steps = measured_loop_steps(n);
+            let point = setup_amortization_point(n, steps, 1.05, 1 << 40)
+                .map(|b| format!("{} Kib", b >> 10))
+                .unwrap_or_else(|| "none".into());
+            vec![n.to_string(), point]
+        })
+        .collect();
+    println!("{}", markdown_table(&["n", "amortization payload"], &rows));
+    println!(
+        "Below these sizes — i.e. for control traffic, barrier releases, cache\n\
+         lines, RPCs — the self-routing set-up advantage is the whole game,\n\
+         which is the paper's motivation for Table 2's routing-time column."
+    );
+
+    println!("\n### Pipelined assignment throughput (unfolded network)\n");
+    println!(
+        "The unfolded BRSMN's levels are distinct hardware: level 1 can set up\n\
+         assignment k+1 while deeper levels still route assignment k. Sustained\n\
+         initiation interval = the first level's time (Θ(log n)), not the full\n\
+         Θ(log² n) latency:\n"
+    );
+    let rows: Vec<Vec<String>> = [64usize, 1024, 16384]
+        .iter()
+        .map(|&n| {
+            let s = simulate_pipeline(n, 1000);
+            vec![
+                n.to_string(),
+                s.latency.to_string(),
+                s.interval.to_string(),
+                format!("{:.1}×", s.latency as f64 / s.interval as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["n", "latency (gd)", "interval (gd)", "pipelining speedup"],
+            &rows
+        )
+    );
+}

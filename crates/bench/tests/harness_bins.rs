@@ -1,0 +1,104 @@
+//! Regression tests driving the compiled experiment binaries: every harness
+//! must run clean and print its headline content.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin).args(args).output().unwrap();
+    assert!(out.status.success(), "{bin} failed: {:?}", out);
+    String::from_utf8(out.stdout).unwrap()
+}
+
+#[test]
+fn table1_prints_encoding() {
+    let text = run(env!("CARGO_BIN_EXE_table1"), &[]);
+    assert!(text.contains("| α | 100 |"));
+    assert!(text.contains("| ε₁ | 111 |"));
+}
+
+#[test]
+fn table2_prints_all_rows_and_verifies() {
+    let text = run(env!("CARGO_BIN_EXE_table2"), &[]);
+    for row in [
+        "Nassimi and Sahni's",
+        "Lee and Oruc's",
+        "New design",
+        "Feedback version",
+    ] {
+        assert!(text.contains(row), "missing row {row}");
+    }
+    assert!(text.contains("true / true / true"));
+}
+
+#[test]
+fn cost_curves_prints_sweep() {
+    let text = run(env!("CARGO_BIN_EXE_cost_curves"), &[]);
+    assert!(text.contains("| 65536 |"));
+    assert!(text.contains("Batcher–banyan"));
+}
+
+#[test]
+fn ablations_print_all_four_studies() {
+    let text = run(env!("CARGO_BIN_EXE_ablations"), &[]);
+    for heading in [
+        "Ablation 1",
+        "Ablation 2",
+        "Ablation 3",
+        "Ablation 4",
+    ] {
+        assert!(text.contains(heading), "missing {heading}");
+    }
+}
+
+#[test]
+fn transfer_analysis_prints_crossover() {
+    let text = run(env!("CARGO_BIN_EXE_transfer_analysis"), &[]);
+    assert!(text.contains("amortization payload"));
+    assert!(text.contains("Pipelined assignment throughput"));
+}
+
+#[test]
+fn report_emits_valid_json() {
+    let text = run(env!("CARGO_BIN_EXE_report"), &[]);
+    let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    for key in [
+        "table2",
+        "cost_sweep",
+        "routing_time",
+        "looping",
+        "transfer",
+        "verification",
+    ] {
+        assert!(parsed.get(key).is_some(), "missing section {key}");
+    }
+    // Every verification boolean is true.
+    for v in parsed["verification"].as_array().unwrap() {
+        for flag in [
+            "brsmn_ok",
+            "self_routing_ok",
+            "feedback_ok",
+            "classical_ok",
+            "chengchen_permutation_ok",
+        ] {
+            assert_eq!(v[flag], serde_json::Value::Bool(true), "{flag} in {v}");
+        }
+    }
+}
+
+#[test]
+fn fuzz_diff_small_run_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fuzz_diff"))
+        .args(["50", "123"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("all agree"));
+}
+
+#[test]
+fn load_latency_prints_curves() {
+    let text = run(env!("CARGO_BIN_EXE_load_latency"), &[]);
+    assert!(text.contains("max fanout 16"));
+    assert!(text.contains("output util"));
+}

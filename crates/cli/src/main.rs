@@ -1,0 +1,239 @@
+//! `brsmn-cli` — command-line front end for the self-routing multicast
+//! network workspace.
+//!
+//! ```text
+//! brsmn-cli gen    --n 64 --workload dense --seed 7          # emit JSON assignment
+//! brsmn-cli route  --n 64 --workload dense --engine feedback # generate + route
+//! brsmn-cli route  --file asg.json --engine self-routing --trace
+//! brsmn-cli info   --n 1024                                  # cost sheet
+//! brsmn-cli seq    --n 8 --dests 3,4,7                       # routing-tag sequence
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use brsmn_baselines::{ChengChenNetwork, CopyBenesMulticast, Crossbar};
+use brsmn_core::{
+    metrics, render_trace, Brsmn, FeedbackBrsmn, MulticastAssignment, RoutingResult, TagTree,
+};
+use brsmn_sim::{brsmn_routing_time, feedback_routing_time};
+use brsmn_workloads::{
+    barrier_broadcast, even_conferences, random_multicast, random_permutation, replica_update,
+    RandomSpec,
+};
+
+mod args;
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: brsmn-cli <command> [options]\n\
+     commands:\n\
+       gen    --n N --workload W [--seed S]            print a JSON assignment\n\
+       route  (--file F | --n N --workload W [--seed S])\n\
+              [--engine E] [--trace]                    route an assignment\n\
+       info   --n N                                     cost/depth/time sheet\n\
+       seq    --n N --dests A,B,C                       routing-tag sequence\n\
+     workloads: dense | sparse | broadcast | permutation | conferences | replicas\n\
+     engines:   semantic | self-routing | feedback | classical | crossbar | chengchen"
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let cmd = argv.first().ok_or("missing command")?.as_str();
+    let args = Args::parse(&argv[1..])?;
+    match cmd {
+        "gen" => cmd_gen(&args),
+        "route" => cmd_route(&args),
+        "info" => cmd_info(&args),
+        "seq" => cmd_seq(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_workload(args: &Args) -> Result<MulticastAssignment, String> {
+    if let Some(path) = args.get("file") {
+        let mut buf = String::new();
+        if path == "-" {
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| e.to_string())?;
+        } else {
+            buf = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        }
+        return serde_json::from_str(&buf).map_err(|e| format!("parse {path}: {e}"));
+    }
+    let n: usize = args.get_parse("n")?.ok_or("--n is required")?;
+    if !n.is_power_of_two() || n < 2 {
+        return Err(format!("n must be a power of two >= 2, got {n}"));
+    }
+    let seed: u64 = args.get_parse("seed")?.unwrap_or(1);
+    let workload = args.get("workload").unwrap_or("dense");
+    Ok(match workload {
+        "dense" => random_multicast(RandomSpec::dense(n), seed),
+        "sparse" => random_multicast(RandomSpec::sparse(n), seed),
+        "broadcast" => barrier_broadcast(n, seed as usize % n),
+        "permutation" => random_permutation(n, seed),
+        "conferences" => even_conferences(n, (n / 8).max(1)),
+        "replicas" => replica_update(n, (n / 16).max(1)),
+        other => return Err(format!("unknown workload `{other}`")),
+    })
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let asg = load_workload(args)?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&asg).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn cmd_route(args: &Args) -> Result<(), String> {
+    let asg = load_workload(args)?;
+    let n = asg.n();
+    let engine = args.get("engine").unwrap_or("semantic");
+    let want_trace = args.flag("trace");
+
+    let result: RoutingResult = match engine {
+        "semantic" => {
+            let net = Brsmn::new(n).map_err(|e| e.to_string())?;
+            if want_trace {
+                let (r, trace) = net.route_traced(&asg).map_err(|e| e.to_string())?;
+                println!("{}", render_trace(&trace));
+                r
+            } else {
+                net.route(&asg).map_err(|e| e.to_string())?
+            }
+        }
+        "self-routing" => Brsmn::new(n)
+            .and_then(|net| net.route_self_routing(&asg))
+            .map_err(|e| e.to_string())?,
+        "feedback" => {
+            let (r, stats) = FeedbackBrsmn::new(n)
+                .and_then(|net| net.route(&asg))
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "feedback: {} passes over {} physical switches",
+                stats.passes, stats.physical_switches
+            );
+            r
+        }
+        "classical" => {
+            let (r, stats) = CopyBenesMulticast::new(n)
+                .map_err(|e| e.to_string())?
+                .route(&asg)
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "classical copy+Beneš: {} copies, {} serial looping steps",
+                stats.copies, stats.looping_steps
+            );
+            r
+        }
+        "crossbar" => Crossbar::new(n).route(&asg).map_err(|e| e.to_string())?,
+        "chengchen" => {
+            if !asg.is_permutation() {
+                return Err("chengchen engine routes permutations only".into());
+            }
+            ChengChenNetwork::new(n)
+                .and_then(|net| net.route(&asg))
+                .map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unknown engine `{other}`")),
+    };
+
+    for o in 0..n {
+        if let Some(src) = result.output_source(o) {
+            println!("output {o} <- input {src}");
+        }
+    }
+    let ok = result.realizes(&asg);
+    eprintln!(
+        "{}: {} connections, engine `{engine}`",
+        if ok { "realized" } else { "MISROUTED" },
+        asg.total_connections()
+    );
+    if ok {
+        Ok(())
+    } else {
+        Err("assignment not realized".into())
+    }
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let n: usize = args.get_parse("n")?.ok_or("--n is required")?;
+    if !n.is_power_of_two() || n < 2 {
+        return Err(format!("n must be a power of two >= 2, got {n}"));
+    }
+    println!("n = {n} (m = {} levels)", n.trailing_zeros());
+    println!();
+    println!("unfolded BRSMN:");
+    println!("  switches      : {}", metrics::brsmn_switches(n));
+    println!("  gates         : {}", metrics::brsmn_gates(n));
+    println!("  depth (stages): {}", metrics::brsmn_depth(n));
+    println!(
+        "  routing time  : {} gate delays",
+        brsmn_routing_time(n).total
+    );
+    println!();
+    println!("feedback implementation:");
+    println!("  switches      : {}", metrics::feedback_switches(n));
+    println!("  gates         : {}", metrics::feedback_gates(n));
+    println!("  passes        : {}", metrics::feedback_passes(n));
+    println!(
+        "  routing time  : {} gate delays",
+        feedback_routing_time(n).total
+    );
+    println!();
+    println!("comparators:");
+    println!(
+        "  Cheng–Chen permutation network : {} switches",
+        ChengChenNetwork::new(n).map_err(|e| e.to_string())?.switches()
+    );
+    println!(
+        "  classical copy+Beneš multicast : {} switches",
+        CopyBenesMulticast::new(n)
+            .map_err(|e| e.to_string())?
+            .switches()
+    );
+    println!("  crossbar                       : {} crosspoints", n * n);
+    Ok(())
+}
+
+fn cmd_seq(args: &Args) -> Result<(), String> {
+    let n: usize = args.get_parse("n")?.ok_or("--n is required")?;
+    let dests_raw = args.get("dests").ok_or("--dests is required")?;
+    let mut dests: Vec<usize> = dests_raw
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().parse().map_err(|e| format!("dest `{s}`: {e}")))
+        .collect::<Result<_, _>>()?;
+    dests.sort_unstable();
+    dests.dedup();
+    let tree = TagTree::from_dests(n, &dests).map_err(|e| e.to_string())?;
+    println!("multicast {{{dests_raw}}} on an {n}×{n} network");
+    for i in 1..=tree.depth() {
+        let tags: Vec<String> = (0..(1usize << (i - 1)))
+            .map(|k| tree.tag(i, k).to_string())
+            .collect();
+        println!("  level {i}: {}", tags.join(" "));
+    }
+    let seq = tree.to_seq();
+    println!("SEQ = {seq}  ({} tags, {} header bits)", seq.len(), seq.len() * 3);
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! End-to-end tests driving the compiled `brsmn-cli` binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_brsmn-cli"))
+}
+
+#[test]
+fn info_prints_cost_sheet() {
+    let out = bin().args(["info", "--n", "64"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("switches      : 1312"));
+    assert!(text.contains("feedback implementation"));
+}
+
+#[test]
+fn seq_matches_paper_example() {
+    let out = bin()
+        .args(["seq", "--n", "8", "--dests", "3,4,7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("SEQ = α1αε011"), "{text}");
+}
+
+#[test]
+fn gen_then_route_via_stdin() {
+    let gen = bin()
+        .args(["gen", "--n", "32", "--workload", "dense", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+
+    let mut route = bin()
+        .args(["route", "--file", "-", "--engine", "self-routing"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    route
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(&gen.stdout)
+        .unwrap();
+    let out = route.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("realized"), "{err}");
+}
+
+#[test]
+fn every_engine_routes_the_same_workload() {
+    for engine in ["semantic", "self-routing", "feedback", "classical", "crossbar"] {
+        let out = bin()
+            .args([
+                "route", "--n", "32", "--workload", "dense", "--seed", "9", "--engine", engine,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "engine {engine}");
+    }
+    // Permutation-only engine on a permutation workload.
+    let out = bin()
+        .args([
+            "route",
+            "--n",
+            "32",
+            "--workload",
+            "permutation",
+            "--engine",
+            "chengchen",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
+fn trace_renders_levels() {
+    let out = bin()
+        .args([
+            "route", "--n", "8", "--workload", "broadcast", "--engine", "semantic", "--trace",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("L1 in"), "{text}");
+    assert!(text.contains("final"));
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let out = bin().args(["route", "--n", "7"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error:"), "{err}");
+
+    let out = bin().args(["nonsense"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = bin()
+        .args(["route", "--n", "16", "--engine", "warp-drive"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,415 @@
+//! The binary radix sorting multicast network (BRSMN) — the paper's primary
+//! contribution (Sections 2 and 7).
+//!
+//! An `n × n` BRSMN is an `n × n` BSN followed by two `n/2 × n/2` BRSMNs
+//! (Fig. 1); unrolled, level `i` holds `2^{i−1}` BSNs of size `n/2^{i−1}`,
+//! and the final level is `n/2` plain 2×2 switches that realize the last bit
+//! of every destination address directly (Fig. 2).
+//!
+//! Two engines are provided over the same fabric code: the **semantic**
+//! engine (destination sets as payloads — the correctness reference) and the
+//! **self-routing** engine (messages carry only their `SEQ` tag streams; the
+//! network reads nothing else — faithful to the paper's hardware). Tests
+//! assert the two always agree.
+
+use crate::assignment::{MulticastAssignment, RoutingResult};
+use crate::bsn::{Bsn, BsnTrace};
+use crate::error::CoreError;
+use crate::payload::{RoutePayload, SelfRoutedMsg, SemanticMsg};
+use brsmn_switch::{Line, SwitchSetting, Tag};
+use brsmn_topology::{check_size, log2_exact};
+use serde::{Deserialize, Serialize};
+
+/// Per-level trace of a routed assignment (drives the Fig. 2 / Fig. 4b
+/// reproductions).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelTrace {
+    /// BSN level, 1-based (level `i` checks the `i`-th most significant
+    /// address bit).
+    pub level: usize,
+    /// Size of each BSN at this level.
+    pub block_size: usize,
+    /// One BSN trace per block, left to right.
+    pub blocks: Vec<BsnTrace>,
+}
+
+/// Full trace of one routed assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteTrace {
+    /// Network size.
+    pub n: usize,
+    /// BSN levels `1 … log n − 1`.
+    pub levels: Vec<LevelTrace>,
+    /// Tags entering the final 2×2 switch stage.
+    pub final_tags: Vec<Tag>,
+    /// Settings chosen for the final 2×2 switches.
+    pub final_settings: Vec<SwitchSetting>,
+}
+
+impl RouteTrace {
+    fn new(n: usize) -> Self {
+        let m = log2_exact(n) as usize;
+        RouteTrace {
+            n,
+            levels: (1..m)
+                .map(|i| LevelTrace {
+                    level: i,
+                    block_size: n >> (i - 1),
+                    blocks: Vec::with_capacity(1 << (i - 1)),
+                })
+                .collect(),
+            final_tags: vec![Tag::Eps; n],
+            final_settings: vec![SwitchSetting::Parallel; n / 2],
+        }
+    }
+}
+
+/// The `n × n` binary radix sorting multicast network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Brsmn {
+    n: usize,
+    m: usize,
+}
+
+impl Brsmn {
+    /// Creates a BRSMN of size `n = 2^m`.
+    pub fn new(n: usize) -> Result<Self, CoreError> {
+        check_size(n)?;
+        Ok(Brsmn {
+            n,
+            m: log2_exact(n) as usize,
+        })
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Address width / number of levels.
+    pub fn levels(&self) -> usize {
+        self.m
+    }
+
+    /// Routes `asg` with the semantic engine (the correctness reference).
+    pub fn route(&self, asg: &MulticastAssignment) -> Result<RoutingResult, CoreError> {
+        self.route_semantic_inner(asg, None).map(|(r, _)| r)
+    }
+
+    /// Routes `asg` with the semantic engine, returning a full per-level
+    /// trace.
+    pub fn route_traced(
+        &self,
+        asg: &MulticastAssignment,
+    ) -> Result<(RoutingResult, RouteTrace), CoreError> {
+        let mut trace = RouteTrace::new(self.n);
+        let (r, _) = self.route_semantic_inner(asg, Some(&mut trace))?;
+        Ok((r, trace))
+    }
+
+    /// Routes `asg` with the **self-routing** engine: every message is
+    /// reduced to its `SEQ` tag stream before entering the network, and all
+    /// switch settings derive from stream heads alone.
+    pub fn route_self_routing(
+        &self,
+        asg: &MulticastAssignment,
+    ) -> Result<RoutingResult, CoreError> {
+        assert_eq!(asg.n(), self.n, "assignment size mismatch");
+        let lines: Vec<Line<SelfRoutedMsg>> = (0..self.n)
+            .map(|i| {
+                let dests = asg.dests(i);
+                if dests.is_empty() {
+                    Line::empty()
+                } else {
+                    Line {
+                        tag: Tag::Eps, // set on BSN entry
+                        payload: Some(SelfRoutedMsg::prepare(self.n, i, dests)),
+                    }
+                }
+            })
+            .collect();
+        let out = self.route_lines(lines, None)?;
+        self.extract(out)
+    }
+
+    fn route_semantic_inner(
+        &self,
+        asg: &MulticastAssignment,
+        trace: Option<&mut RouteTrace>,
+    ) -> Result<(RoutingResult, ()), CoreError> {
+        assert_eq!(asg.n(), self.n, "assignment size mismatch");
+        let lines: Vec<Line<SemanticMsg>> = (0..self.n)
+            .map(|i| {
+                let dests = asg.dests(i);
+                if dests.is_empty() {
+                    Line::empty()
+                } else {
+                    Line {
+                        tag: Tag::Eps,
+                        payload: Some(SemanticMsg::new(i, dests.to_vec())),
+                    }
+                }
+            })
+            .collect();
+        let out = self.route_lines(lines, trace)?;
+        Ok((self.extract(out)?, ()))
+    }
+
+    /// Routes pre-built lines (exposed for the workload and timing crates).
+    pub fn route_lines<P: RoutePayload>(
+        &self,
+        lines: Vec<Line<P>>,
+        mut trace: Option<&mut RouteTrace>,
+    ) -> Result<Vec<Line<P>>, CoreError> {
+        route_block(lines, 0, 1, &mut trace)
+    }
+
+    /// Collapses output lines into a [`RoutingResult`], verifying delivery.
+    fn extract<P: RoutePayload>(&self, out: Vec<Line<P>>) -> Result<RoutingResult, CoreError> {
+        extract_result(out)
+    }
+}
+
+/// Collapses output lines into a [`RoutingResult`], verifying that every
+/// delivered message belongs at its output.
+pub(crate) fn extract_result<P: RoutePayload>(
+    out: Vec<Line<P>>,
+) -> Result<RoutingResult, CoreError> {
+    let mut sources = Vec::with_capacity(out.len());
+    for (o, line) in out.into_iter().enumerate() {
+        match line.payload {
+            Some(p) => {
+                if !p.delivered_ok(o) {
+                    return Err(CoreError::Internal(format!(
+                        "message from input {} misdelivered to output {o}",
+                        p.source()
+                    )));
+                }
+                sources.push(Some(p.source()));
+            }
+            None => sources.push(None),
+        }
+    }
+    Ok(RoutingResult::new(sources))
+}
+
+/// Recursive BRSMN routing over the block of outputs `[lo, lo + lines.len())`.
+fn route_block<P: RoutePayload>(
+    lines: Vec<Line<P>>,
+    lo: usize,
+    level: usize,
+    trace: &mut Option<&mut RouteTrace>,
+) -> Result<Vec<Line<P>>, CoreError> {
+    let size = lines.len();
+    if size == 2 {
+        return final_switch(lines, lo, trace);
+    }
+
+    let bsn = Bsn::new(size)?;
+    let (mut out, bsn_trace) = bsn.route(lines, lo)?;
+    if let Some(t) = trace {
+        t.levels[level - 1].blocks.push(bsn_trace);
+    }
+
+    // Hand each message to its half (consumes one SEQ tag in the
+    // self-routing engine).
+    for line in out.iter_mut() {
+        if line.tag != Tag::Eps {
+            let branch = line.tag;
+            let payload = line.payload.take().expect("tagged line has a payload");
+            line.payload = Some(payload.descend(branch, lo, size));
+        }
+    }
+
+    let lower = out.split_off(size / 2);
+    let mut up = route_block(out, lo, level + 1, trace)?;
+    let down = route_block(lower, lo + size / 2, level + 1, trace)?;
+    up.extend(down);
+    Ok(up)
+}
+
+/// The last level: one 2×2 switch realizing outputs `{lo, lo+1}` (the 2×2
+/// BRSMN base case of Section 2).
+pub(crate) fn final_switch<P: RoutePayload>(
+    mut lines: Vec<Line<P>>,
+    lo: usize,
+    trace: &mut Option<&mut RouteTrace>,
+) -> Result<Vec<Line<P>>, CoreError> {
+    use SwitchSetting::*;
+    debug_assert_eq!(lines.len(), 2);
+    for line in lines.iter_mut() {
+        line.tag = match &line.payload {
+            Some(p) => p.entry_tag(lo, 2),
+            None => Tag::Eps,
+        };
+    }
+    let (tu, tl) = (lines[0].tag, lines[1].tag);
+    let setting = match (tu, tl) {
+        (Tag::Alpha, Tag::Eps) => UpperBroadcast,
+        (Tag::Eps, Tag::Alpha) => LowerBroadcast,
+        (Tag::Alpha, _) | (_, Tag::Alpha) => {
+            return Err(CoreError::OutputConflict { output: lo });
+        }
+        (Tag::Zero, Tag::Zero) => return Err(CoreError::OutputConflict { output: lo }),
+        (Tag::One, Tag::One) => return Err(CoreError::OutputConflict { output: lo + 1 }),
+        (Tag::Zero, _) | (Tag::Eps, Tag::One) | (Tag::Eps, Tag::Eps) => Parallel,
+        (Tag::One, _) | (Tag::Eps, Tag::Zero) => Crossing,
+    };
+    if let Some(t) = trace {
+        t.final_tags[lo] = tu;
+        t.final_tags[lo + 1] = tl;
+        t.final_settings[lo / 2] = setting;
+    }
+
+    let mut it = lines.into_iter();
+    let (upper, lower) = (it.next().unwrap(), it.next().unwrap());
+    let out = match setting {
+        Parallel => (upper, lower),
+        Crossing => (lower, upper),
+        UpperBroadcast | LowerBroadcast => {
+            let alpha = if setting == UpperBroadcast {
+                upper
+            } else {
+                lower
+            };
+            let p = alpha.payload.expect("α line has a payload");
+            let (p0, p1) = p.split(lo, 2);
+            (Line::with(Tag::Zero, p0), Line::with(Tag::One, p1))
+        }
+    };
+    Ok(vec![out.0, out.1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_assignment() -> MulticastAssignment {
+        MulticastAssignment::from_sets(
+            8,
+            vec![
+                vec![0, 1],
+                vec![],
+                vec![3, 4, 7],
+                vec![2],
+                vec![],
+                vec![],
+                vec![],
+                vec![5, 6],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig2_example_routes_exactly() {
+        let net = Brsmn::new(8).unwrap();
+        let asg = paper_assignment();
+        let result = net.route(&asg).unwrap();
+        assert!(result.realizes(&asg));
+        assert_eq!(result.output_source(0), Some(0));
+        assert_eq!(result.output_source(1), Some(0));
+        assert_eq!(result.output_source(2), Some(3));
+        assert_eq!(result.output_source(3), Some(2));
+        assert_eq!(result.output_source(4), Some(2));
+        assert_eq!(result.output_source(5), Some(7));
+        assert_eq!(result.output_source(6), Some(7));
+        assert_eq!(result.output_source(7), Some(2));
+    }
+
+    #[test]
+    fn self_routing_engine_agrees_on_paper_example() {
+        let net = Brsmn::new(8).unwrap();
+        let asg = paper_assignment();
+        let sem = net.route(&asg).unwrap();
+        let slf = net.route_self_routing(&asg).unwrap();
+        assert_eq!(sem, slf);
+        assert!(slf.realizes(&asg));
+    }
+
+    #[test]
+    fn n2_base_case() {
+        let net = Brsmn::new(2).unwrap();
+        for (sets, expect) in [
+            (vec![vec![0usize, 1], vec![]], vec![Some(0), Some(0)]),
+            (vec![vec![1], vec![0]], vec![Some(1), Some(0)]),
+            (vec![vec![], vec![]], vec![None, None]),
+            (vec![vec![], vec![0, 1]], vec![Some(1), Some(1)]),
+        ] {
+            let asg = MulticastAssignment::from_sets(2, sets).unwrap();
+            let r = net.route(&asg).unwrap();
+            assert!(r.realizes(&asg));
+            assert_eq!(
+                (0..2).map(|o| r.output_source(o)).collect::<Vec<_>>(),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn single_input_broadcast() {
+        let net = Brsmn::new(16).unwrap();
+        let mut sets = vec![Vec::new(); 16];
+        sets[5] = (0..16).collect();
+        let asg = MulticastAssignment::from_sets(16, sets).unwrap();
+        for r in [net.route(&asg).unwrap(), net.route_self_routing(&asg).unwrap()] {
+            assert!(r.realizes(&asg));
+            assert!((0..16).all(|o| r.output_source(o) == Some(5)));
+        }
+    }
+
+    #[test]
+    fn identity_permutation() {
+        let net = Brsmn::new(8).unwrap();
+        let asg =
+            MulticastAssignment::from_permutation(&(0..8).map(Some).collect::<Vec<_>>()).unwrap();
+        let r = net.route(&asg).unwrap();
+        assert!(r.realizes(&asg));
+    }
+
+    #[test]
+    fn reversal_permutation_both_engines() {
+        let net = Brsmn::new(16).unwrap();
+        let perm: Vec<Option<usize>> = (0..16).map(|i| Some(15 - i)).collect();
+        let asg = MulticastAssignment::from_permutation(&perm).unwrap();
+        assert_eq!(
+            net.route(&asg).unwrap(),
+            net.route_self_routing(&asg).unwrap()
+        );
+    }
+
+    #[test]
+    fn trace_shape() {
+        let net = Brsmn::new(8).unwrap();
+        let (_, trace) = net.route_traced(&paper_assignment()).unwrap();
+        assert_eq!(trace.levels.len(), 2);
+        assert_eq!(trace.levels[0].block_size, 8);
+        assert_eq!(trace.levels[0].blocks.len(), 1);
+        assert_eq!(trace.levels[1].block_size, 4);
+        assert_eq!(trace.levels[1].blocks.len(), 2);
+        assert_eq!(trace.final_tags.len(), 8);
+        // The final stage sees one tag per message: the example's 8 covered
+        // outputs arrive as 7 messages (outputs 0 and 1 share one α).
+        assert_eq!(
+            trace.final_tags.iter().filter(|&&t| t != Tag::Eps).count(),
+            7
+        );
+        assert_eq!(
+            trace
+                .final_tags
+                .iter()
+                .filter(|&&t| t == Tag::Alpha)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn empty_assignment_is_silent() {
+        let net = Brsmn::new(32).unwrap();
+        let asg = MulticastAssignment::empty(32).unwrap();
+        let r = net.route(&asg).unwrap();
+        assert!(r.realizes(&asg));
+        assert_eq!(r.active_outputs(), 0);
+    }
+}

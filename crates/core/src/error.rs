@@ -1,0 +1,104 @@
+//! Error type shared by the network engines.
+
+use brsmn_rbn::{PlanError, RbnError};
+use brsmn_switch::SwitchError;
+use brsmn_topology::SizeError;
+use std::fmt;
+
+/// Any failure of a core-network operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Invalid network size.
+    Size(SizeError),
+    /// A BSN load requested more than `n/2` outputs in one half (Eq. 2) —
+    /// cannot arise from a valid [`crate::MulticastAssignment`], only from
+    /// hand-built line loads.
+    HalfCapacityExceeded {
+        /// BSN size.
+        n: usize,
+        /// `0`-tagged inputs.
+        n0: usize,
+        /// `1`-tagged inputs.
+        n1: usize,
+        /// `α`-tagged inputs.
+        na: usize,
+    },
+    /// Two messages contended for the same final output — impossible for
+    /// disjoint destination sets; indicates corrupted input lines.
+    OutputConflict {
+        /// The contested output.
+        output: usize,
+    },
+    /// An RBN-level failure (planner precondition or illegal switch op).
+    Rbn(RbnError),
+    /// An invariant the paper guarantees was violated — a bug, never expected.
+    Internal(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Size(e) => e.fmt(f),
+            CoreError::HalfCapacityExceeded { n, n0, n1, na } => write!(
+                f,
+                "BSN of size {n} overloaded: n0={n0}, n1={n1}, nα={na} (each half holds {} outputs)",
+                n / 2
+            ),
+            CoreError::OutputConflict { output } => {
+                write!(f, "two messages arrived at output {output}")
+            }
+            CoreError::Rbn(e) => e.fmt(f),
+            CoreError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<SizeError> for CoreError {
+    fn from(e: SizeError) -> Self {
+        CoreError::Size(e)
+    }
+}
+
+impl From<RbnError> for CoreError {
+    fn from(e: RbnError) -> Self {
+        CoreError::Rbn(e)
+    }
+}
+
+impl From<PlanError> for CoreError {
+    fn from(e: PlanError) -> Self {
+        CoreError::Rbn(RbnError::Plan(e))
+    }
+}
+
+impl From<SwitchError> for CoreError {
+    fn from(e: SwitchError) -> Self {
+        CoreError::Rbn(RbnError::Switch(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::HalfCapacityExceeded {
+            n: 8,
+            n0: 5,
+            n1: 0,
+            na: 0,
+        };
+        assert!(e.to_string().contains("n0=5"));
+        let e = CoreError::OutputConflict { output: 3 };
+        assert!(e.to_string().contains("output 3"));
+    }
+
+    #[test]
+    fn conversions_wrap() {
+        let e: CoreError = SizeError { n: 7 }.into();
+        assert!(matches!(e, CoreError::Size(_)));
+    }
+}

@@ -1,0 +1,65 @@
+//! The binary radix sorting multicast network (BRSMN) — the core library of
+//! this reproduction of Yang & Wang, *"A New Self-Routing Multicast
+//! Network"* (IPPS/SPDP 1998; IEEE TPDS 10(11), 1999).
+//!
+//! A **multicast network** realizes every multicast assignment between its
+//! `n` inputs and `n` outputs over edge-disjoint trees, without blocking.
+//! This crate implements the paper's design end to end:
+//!
+//! * [`assignment`] — multicast assignments `{I_0, …, I_{n−1}}` and routing
+//!   results;
+//! * [`tags`] — the tagged binary tree of a multicast and the `SEQ` wire
+//!   format the self-routing hardware consumes (Section 7.1);
+//! * [`payload`] — the two message models: semantic (reference) and
+//!   self-routed (faithful);
+//! * [`bsn`] — the binary splitting network: scatter + quasisorting RBNs
+//!   (Section 3);
+//! * [`brsmn`] — the recursive network of Fig. 1 with both engines and full
+//!   tracing;
+//! * [`feedback`] — the single-RBN feedback implementation (Section 7.3)
+//!   cutting hardware to `Θ(n log n)`;
+//! * [`metrics`] — exact switch/gate/depth accounting (Section 7.4).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use brsmn_core::{Brsmn, MulticastAssignment};
+//!
+//! // The running example of Section 2.
+//! let asg = MulticastAssignment::from_sets(8, vec![
+//!     vec![0, 1], vec![], vec![3, 4, 7], vec![2], vec![], vec![], vec![], vec![5, 6],
+//! ]).unwrap();
+//!
+//! let net = Brsmn::new(8).unwrap();
+//! let result = net.route(&asg).unwrap();
+//! assert!(result.realizes(&asg));
+//!
+//! // The self-routing engine (switches see only tag streams) agrees:
+//! assert_eq!(result, net.route_self_routing(&asg).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod assignment;
+pub mod brsmn;
+pub mod bsn;
+pub mod error;
+pub mod feedback;
+pub mod metrics;
+pub mod payload;
+pub mod render;
+pub mod stream;
+pub mod tags;
+
+pub use algebra::{idle_outputs, relabel_inputs, relabel_outputs, restrict, union};
+pub use assignment::{AssignmentError, MulticastAssignment, RoutingResult};
+pub use brsmn::{Brsmn, LevelTrace, RouteTrace};
+pub use bsn::{Bsn, BsnTrace};
+pub use error::CoreError;
+pub use feedback::{FeedbackBrsmn, FeedbackStats};
+pub use payload::{RoutePayload, SelfRoutedMsg, SemanticMsg};
+pub use render::{render_rbn, render_trace};
+pub use stream::{stream_split, ForwardMode, StreamSplitter};
+pub use tags::{seq_for_dests, TagSeq, TagTree};

@@ -1,0 +1,206 @@
+//! Exact cost / depth / routing-time accounting for the networks of the
+//! paper (Section 7.4) — closed forms derived from the recursive
+//! construction, used by the Table 2 harness and checked against the
+//! executable networks in tests.
+//!
+//! With `m = log2 n`:
+//!
+//! * RBN: `(n/2)·m` switches, `m` stages.
+//! * BSN: two RBNs → `n·m` switches, `2m` stages.
+//! * BRSMN: levels `i = 1 … m−1` hold `2^{i−1}` BSNs of size `n/2^{i−1}`
+//!   (contributing `n·(m−i+1)` switches each level), plus `n/2` final
+//!   switches: `C(n) = n·(m(m+1)/2 − 1) + n/2` switches — `Θ(n log² n)`.
+//! * Depth: `D(n) = Σ 2(m−i+1) + 1 = m² + m − 1` stages — `Θ(log² n)`.
+//! * Feedback version: one physical RBN → `(n/2)·m` switches — `Θ(n log n)`.
+
+use brsmn_switch::cost::{gates_self_routing, GATES_PER_SWITCH, SWITCH_TRAVERSAL_DELAY};
+use brsmn_topology::log2_exact;
+use serde::{Deserialize, Serialize};
+
+/// Switch count of an `n × n` reverse banyan network.
+pub fn rbn_switches(n: usize) -> u64 {
+    (n as u64 / 2) * log2_exact(n) as u64
+}
+
+/// Switch count of an `n × n` binary splitting network (scatter +
+/// quasisorting RBNs).
+pub fn bsn_switches(n: usize) -> u64 {
+    2 * rbn_switches(n)
+}
+
+/// Switch count of the unfolded `n × n` BRSMN:
+/// `n·(m(m+1)/2 − 1) + n/2`.
+pub fn brsmn_switches(n: usize) -> u64 {
+    let m = log2_exact(n) as u64;
+    let n = n as u64;
+    n * (m * (m + 1) / 2 - 1) + n / 2
+}
+
+/// Switch count of the feedback implementation: a single physical RBN.
+pub fn feedback_switches(n: usize) -> u64 {
+    rbn_switches(n)
+}
+
+/// Stage depth of the unfolded BRSMN: `m² + m − 1`.
+pub fn brsmn_depth(n: usize) -> u64 {
+    let m = log2_exact(n) as u64;
+    m * m + m - 1
+}
+
+/// Stage depth of one BSN (`2m`).
+pub fn bsn_depth(n: usize) -> u64 {
+    2 * log2_exact(n) as u64
+}
+
+/// Number of passes the feedback implementation makes through its single
+/// RBN: two per BSN level (scatter + quasisort) plus the final switch pass —
+/// `2(m − 1) + 1`.
+pub fn feedback_passes(n: usize) -> u64 {
+    let m = log2_exact(n) as u64;
+    2 * (m - 1) + 1
+}
+
+/// Total stage traversals experienced by a message in the feedback network:
+/// each pass crosses all `m` stages of the physical RBN.
+pub fn feedback_depth_traversed(n: usize) -> u64 {
+    feedback_passes(n) * log2_exact(n) as u64
+}
+
+/// Gate cost of the unfolded BRSMN (`Θ(n log² n)` gates).
+pub fn brsmn_gates(n: usize) -> u64 {
+    gates_self_routing(brsmn_switches(n))
+}
+
+/// Gate cost of the feedback implementation (`Θ(n log n)` gates).
+pub fn feedback_gates(n: usize) -> u64 {
+    gates_self_routing(feedback_switches(n))
+}
+
+/// Data-path latency of the unfolded BRSMN in gate delays (ignores routing
+/// set-up; see `brsmn-sim` for the full routing-time model).
+pub fn brsmn_traversal_delay(n: usize) -> u64 {
+    brsmn_depth(n) * SWITCH_TRAVERSAL_DELAY
+}
+
+/// A complete cost sheet for one network instance, as printed by the Table 2
+/// harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostSheet {
+    /// Network size.
+    pub n: usize,
+    /// 2×2 switch count.
+    pub switches: u64,
+    /// Logic-gate count (switches × per-switch constant).
+    pub gates: u64,
+    /// Stage depth (number of switch stages a message crosses).
+    pub depth: u64,
+}
+
+impl CostSheet {
+    /// Cost sheet of the unfolded BRSMN.
+    pub fn brsmn(n: usize) -> Self {
+        CostSheet {
+            n,
+            switches: brsmn_switches(n),
+            gates: brsmn_gates(n),
+            depth: brsmn_depth(n),
+        }
+    }
+
+    /// Cost sheet of the feedback implementation. `depth` counts total stage
+    /// traversals across all passes (time-like), while `switches`/`gates`
+    /// count the single physical RBN (hardware).
+    pub fn feedback(n: usize) -> Self {
+        CostSheet {
+            n,
+            switches: feedback_switches(n),
+            gates: feedback_gates(n),
+            depth: feedback_depth_traversed(n),
+        }
+    }
+}
+
+/// Per-switch gate constant re-exported for harness printing.
+pub const GATES_PER_SELF_ROUTING_SWITCH: u64 = GATES_PER_SWITCH;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Independently recompute the BRSMN switch count from the recursion
+    /// `C(n) = BSN(n) + 2·C(n/2)`, base `C(2) = 1`.
+    fn brsmn_switches_recursive(n: usize) -> u64 {
+        if n == 2 {
+            1
+        } else {
+            bsn_switches(n) + 2 * brsmn_switches_recursive(n / 2)
+        }
+    }
+
+    /// Depth recursion `D(n) = 2 log n + D(n/2)`, base `D(2) = 1`.
+    fn brsmn_depth_recursive(n: usize) -> u64 {
+        if n == 2 {
+            1
+        } else {
+            bsn_depth(n) + brsmn_depth_recursive(n / 2)
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_recursion() {
+        for m in 1..=16 {
+            let n = 1usize << m;
+            assert_eq!(brsmn_switches(n), brsmn_switches_recursive(n), "n={n}");
+            assert_eq!(brsmn_depth(n), brsmn_depth_recursive(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn known_small_values() {
+        assert_eq!(rbn_switches(8), 12);
+        assert_eq!(bsn_switches(8), 24);
+        // n=8, m=3: 8·(6−1) + 4 = 44.
+        assert_eq!(brsmn_switches(8), 44);
+        // D(8) = 9 + 3 − 1 = 11 stages.
+        assert_eq!(brsmn_depth(8), 11);
+        assert_eq!(brsmn_switches(2), 1);
+        assert_eq!(brsmn_depth(2), 1);
+    }
+
+    #[test]
+    fn feedback_is_asymptotically_cheaper() {
+        // Θ(n log n) vs Θ(n log² n): the exact ratio is m + 1 − 1/m.
+        for m in [4u32, 6, 8, 10, 12] {
+            let n = 1usize << m;
+            let ratio = brsmn_switches(n) as f64 / feedback_switches(n) as f64;
+            let expect = m as f64 + 1.0 - 1.0 / m as f64;
+            assert!(
+                (ratio - expect).abs() < 1e-9,
+                "n={n}: ratio {ratio:.4} vs expected {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn feedback_pass_count() {
+        assert_eq!(feedback_passes(2), 1);
+        assert_eq!(feedback_passes(8), 5);
+        assert_eq!(feedback_passes(1024), 19);
+    }
+
+    #[test]
+    fn gates_scale_with_switches() {
+        for n in [4usize, 16, 64] {
+            assert_eq!(brsmn_gates(n), brsmn_switches(n) * GATES_PER_SWITCH);
+        }
+    }
+
+    #[test]
+    fn cost_sheets() {
+        let s = CostSheet::brsmn(8);
+        assert_eq!((s.switches, s.depth), (44, 11));
+        let f = CostSheet::feedback(8);
+        assert_eq!(f.switches, 12);
+        assert_eq!(f.depth, 15); // 5 passes × 3 stages.
+    }
+}

@@ -1,0 +1,155 @@
+//! ASCII rendering of networks and traces — a textual stand-in for the
+//! paper's figures, used by the examples and handy when debugging switch
+//! settings.
+
+use crate::brsmn::RouteTrace;
+use brsmn_rbn::RbnSettings;
+use brsmn_switch::{SwitchSetting, Tag};
+use brsmn_topology::ReverseBanyanTopology;
+
+/// One display character per switch setting: `─` parallel, `╳` crossing,
+/// `▲` upper broadcast, `▼` lower broadcast.
+pub fn setting_char(s: SwitchSetting) -> char {
+    match s {
+        SwitchSetting::Parallel => '─',
+        SwitchSetting::Crossing => '╳',
+        SwitchSetting::UpperBroadcast => '▲',
+        SwitchSetting::LowerBroadcast => '▼',
+    }
+}
+
+/// Renders an RBN's switch settings as a grid: one row per line, one column
+/// per stage; each cell shows the setting of the switch that line enters at
+/// that stage, with `·` filler on the lower port (so each switch prints its
+/// glyph once, on its upper line).
+pub fn render_rbn(settings: &RbnSettings) -> String {
+    let n = settings.n();
+    let topo = ReverseBanyanTopology::new(n).expect("valid settings size");
+    let m = settings.num_stages();
+    let mut out = String::new();
+    out.push_str(&format!("{n} × {n} reverse banyan network ({m} stages)\n"));
+    out.push_str("line │");
+    for j in 0..m {
+        out.push_str(&format!(" s{j}"));
+    }
+    out.push('\n');
+    out.push_str(&format!("─────┼{}\n", "───".repeat(m)));
+    for line in 0..n {
+        out.push_str(&format!("{line:4} │"));
+        for j in 0..m {
+            let (sw, lower) = topo.switch_at(j as u32, line);
+            if lower {
+                out.push_str("  ·");
+            } else {
+                out.push(' ');
+                out.push(' ');
+                out.push(setting_char(settings.stage(j)[sw.index]));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a full BRSMN route trace: tag columns at each interface of each
+/// level (the textual equivalent of Fig. 2).
+pub fn render_trace(trace: &RouteTrace) -> String {
+    let n = trace.n;
+    let mut columns: Vec<(String, Vec<Tag>)> = Vec::new();
+    for level in &trace.levels {
+        let stitch = |f: &dyn Fn(&crate::bsn::BsnTrace) -> &Vec<Tag>| {
+            let mut col = vec![Tag::Eps; n];
+            for (b, bt) in level.blocks.iter().enumerate() {
+                let base = b * level.block_size;
+                col[base..base + level.block_size].copy_from_slice(f(bt));
+            }
+            col
+        };
+        columns.push((format!("L{} in", level.level), stitch(&|bt| &bt.input_tags)));
+        columns.push((
+            format!("L{} scat", level.level),
+            stitch(&|bt| &bt.after_scatter),
+        ));
+        columns.push((
+            format!("L{} sort", level.level),
+            stitch(&|bt| &bt.output_tags),
+        ));
+    }
+    columns.push(("final".to_string(), trace.final_tags.clone()));
+
+    let mut out = String::new();
+    out.push_str("line │");
+    for (h, _) in &columns {
+        out.push_str(&format!(" {h:>7}"));
+    }
+    out.push('\n');
+    out.push_str(&format!("─────┼{}\n", "────────".repeat(columns.len())));
+    for line in 0..n {
+        out.push_str(&format!("{line:4} │"));
+        for (_, col) in &columns {
+            out.push_str(&format!(" {:>7}", col[line].to_string()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Brsmn, MulticastAssignment};
+    use brsmn_rbn::plan_bitsort;
+
+    #[test]
+    fn setting_glyphs_distinct() {
+        let glyphs: Vec<char> = [
+            SwitchSetting::Parallel,
+            SwitchSetting::Crossing,
+            SwitchSetting::UpperBroadcast,
+            SwitchSetting::LowerBroadcast,
+        ]
+        .iter()
+        .map(|&s| setting_char(s))
+        .collect();
+        let mut dedup = glyphs.clone();
+        dedup.dedup();
+        assert_eq!(glyphs.len(), dedup.len());
+    }
+
+    #[test]
+    fn rbn_grid_has_row_per_line() {
+        let plan = plan_bitsort(&[true, false, true, false, false, true, true, false], 4);
+        let s = render_rbn(&plan.settings);
+        // Header + separator + 8 line rows.
+        assert_eq!(s.lines().count(), 2 + 1 + 8);
+        // Each stage column exists.
+        assert!(s.contains("s0") && s.contains("s2"));
+        // Crossing glyphs appear (a nontrivial sort must cross somewhere).
+        assert!(s.contains('╳'));
+    }
+
+    #[test]
+    fn trace_render_contains_all_levels() {
+        let asg = MulticastAssignment::from_sets(
+            8,
+            vec![
+                vec![0, 1],
+                vec![],
+                vec![3, 4, 7],
+                vec![2],
+                vec![],
+                vec![],
+                vec![],
+                vec![5, 6],
+            ],
+        )
+        .unwrap();
+        let (_, trace) = Brsmn::new(8).unwrap().route_traced(&asg).unwrap();
+        let s = render_trace(&trace);
+        assert!(s.contains("L1 in"));
+        assert!(s.contains("L2 sort"));
+        assert!(s.contains("final"));
+        assert!(s.contains('α'));
+        assert_eq!(s.lines().count(), 2 + 8);
+    }
+}

@@ -1,0 +1,239 @@
+//! Incremental (streaming) routing-tag forwarding — the constant-buffer
+//! claim of Section 7.1 / Fig. 10.
+//!
+//! The paper passes the remainder of a `SEQ` *alternately* to the upper and
+//! lower subnetworks precisely so that a switch can forward the header as it
+//! arrives, holding only "a constant number of buffers" per input. This
+//! module implements that switch-local streaming splitter and measures its
+//! buffer occupancy, verifying operationally that O(1) buffering suffices —
+//! and that the streamed outputs equal the batch [`crate::tags::TagSeq`]
+//! `descend` results.
+
+use brsmn_switch::Tag;
+use serde::{Deserialize, Serialize};
+
+/// Where the splitter forwards the remainder tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ForwardMode {
+    /// Head was `0`: keep even-indexed remainder tags, for the upper branch.
+    UpperOnly,
+    /// Head was `1`: keep odd-indexed remainder tags, for the lower branch.
+    LowerOnly,
+    /// Head was `α`: even-indexed up, odd-indexed down (both branches).
+    Both,
+}
+
+/// A switch-local streaming splitter: consumes one header tag per clock and
+/// emits the subnetwork streams incrementally.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamSplitter {
+    mode: Option<ForwardMode>,
+    /// Parity of the next remainder tag (0 → upper slot, 1 → lower slot).
+    parity: u8,
+    /// Tags currently buffered awaiting output (at most one per branch —
+    /// the O(1) claim, asserted).
+    upper_buf: Option<Tag>,
+    lower_buf: Option<Tag>,
+    max_buffered: usize,
+}
+
+/// Output of one streaming step: at most one tag per branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StreamOut {
+    /// Tag forwarded to the upper subnetwork this step, if any.
+    pub upper: Option<Tag>,
+    /// Tag forwarded to the lower subnetwork this step, if any.
+    pub lower: Option<Tag>,
+}
+
+impl Default for StreamSplitter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamSplitter {
+    /// Creates an idle splitter (waiting for the head tag).
+    pub fn new() -> Self {
+        StreamSplitter {
+            mode: None,
+            parity: 0,
+            upper_buf: None,
+            lower_buf: None,
+            max_buffered: 0,
+        }
+    }
+
+    /// Feeds the next header tag. The first tag fed is the head `a_0` and
+    /// sets the forwarding mode; subsequent tags are remainder tags and are
+    /// forwarded (or dropped, for the branch not taken) immediately.
+    pub fn push(&mut self, tag: Tag) -> StreamOut {
+        match self.mode {
+            None => {
+                self.mode = Some(match tag {
+                    Tag::Zero => ForwardMode::UpperOnly,
+                    Tag::One => ForwardMode::LowerOnly,
+                    Tag::Alpha => ForwardMode::Both,
+                    Tag::Eps => {
+                        // Idle input: nothing will follow.
+                        ForwardMode::UpperOnly
+                    }
+                });
+                StreamOut::default()
+            }
+            Some(mode) => {
+                let to_upper = self.parity == 0;
+                self.parity ^= 1;
+                let mut out = StreamOut::default();
+                match (mode, to_upper) {
+                    (ForwardMode::UpperOnly, true) | (ForwardMode::Both, true) => {
+                        debug_assert!(self.upper_buf.is_none(), "O(1) buffer exceeded");
+                        self.upper_buf = Some(tag);
+                    }
+                    (ForwardMode::LowerOnly, false) | (ForwardMode::Both, false) => {
+                        debug_assert!(self.lower_buf.is_none(), "O(1) buffer exceeded");
+                        self.lower_buf = Some(tag);
+                    }
+                    _ => { /* tag belongs to the branch not taken: dropped */ }
+                }
+                self.max_buffered = self
+                    .max_buffered
+                    .max(self.upper_buf.is_some() as usize + self.lower_buf.is_some() as usize);
+                // Buffers drain on the same clock (one link per branch).
+                out.upper = self.upper_buf.take();
+                out.lower = self.lower_buf.take();
+                out
+            }
+        }
+    }
+
+    /// The forwarding mode chosen by the head tag (once fed).
+    pub fn mode(&self) -> Option<ForwardMode> {
+        self.mode
+    }
+
+    /// Peak number of tags buffered at once — the Section 7.1 claim is that
+    /// this is O(1); here it never exceeds 2 (one per branch).
+    pub fn max_buffered(&self) -> usize {
+        self.max_buffered
+    }
+}
+
+/// Streams an entire `SEQ` through a splitter, returning the two forwarded
+/// streams and the peak buffer occupancy.
+pub fn stream_split(tags: &[Tag]) -> (Vec<Tag>, Vec<Tag>, usize) {
+    let mut sp = StreamSplitter::new();
+    let mut up = Vec::new();
+    let mut down = Vec::new();
+    for &t in tags {
+        let out = sp.push(t);
+        if let Some(t) = out.upper {
+            up.push(t);
+        }
+        if let Some(t) = out.lower {
+            down.push(t);
+        }
+    }
+    (up, down, sp.max_buffered())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags::seq_for_dests;
+
+    #[test]
+    fn streaming_matches_batch_descend_for_alpha() {
+        let seq = seq_for_dests(16, &[1, 4, 6, 9, 12, 13]).unwrap();
+        assert_eq!(seq.head(), Tag::Alpha);
+        let (up, down, peak) = stream_split(seq.tags());
+        let (bup, bdown) = seq.split();
+        assert_eq!(up, bup.tags());
+        assert_eq!(down, bdown.tags());
+        assert!(peak <= 2, "O(1) buffering violated: {peak}");
+    }
+
+    #[test]
+    fn streaming_matches_batch_descend_for_unicast_branches() {
+        for dests in [vec![2usize, 3], vec![12, 14]] {
+            let seq = seq_for_dests(16, &dests).unwrap();
+            let head = seq.head();
+            let (up, down, peak) = stream_split(seq.tags());
+            assert!(peak <= 2);
+            match head {
+                Tag::Zero => {
+                    assert_eq!(up, seq.descend(Tag::Zero).tags());
+                    assert!(down.is_empty());
+                }
+                Tag::One => {
+                    assert_eq!(down, seq.descend(Tag::One).tags());
+                    assert!(up.is_empty());
+                }
+                other => panic!("unexpected head {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_is_constant_even_for_worst_case_headers() {
+        // Full broadcast at n = 1024: the longest possible SEQ (1023 tags).
+        let dests: Vec<usize> = (0..1024).collect();
+        let seq = seq_for_dests(1024, &dests).unwrap();
+        let (_, _, peak) = stream_split(seq.tags());
+        assert!(peak <= 2, "{peak}");
+    }
+
+    #[test]
+    fn recursive_streaming_delivers_leaf_tags() {
+        // Stream a SEQ through a full tree of splitters; the leaves must
+        // receive the level-log n tags that drive the final 2×2 switches.
+        let n = 16usize;
+        let dests = vec![0usize, 5, 6, 7, 10];
+        let seq = seq_for_dests(n, &dests).unwrap();
+
+        fn descend_stream(tags: &[Tag], base: usize, size: usize, out: &mut Vec<(usize, Tag)>) {
+            if size == 2 {
+                assert_eq!(tags.len(), 1);
+                out.push((base, tags[0]));
+                return;
+            }
+            let head = tags[0];
+            let (up, down, peak) = stream_split(tags);
+            assert!(peak <= 2);
+            match head {
+                Tag::Zero => descend_stream(&up, base, size / 2, out),
+                Tag::One => descend_stream(&down, base + size / 2, size / 2, out),
+                Tag::Alpha => {
+                    descend_stream(&up, base, size / 2, out);
+                    descend_stream(&down, base + size / 2, size / 2, out);
+                }
+                Tag::Eps => {}
+            }
+        }
+
+        let mut leaves = Vec::new();
+        descend_stream(seq.tags(), 0, n, &mut leaves);
+        // Decode the leaf tags into outputs and compare with dests.
+        let mut outputs = Vec::new();
+        for (pair_base, tag) in leaves {
+            match tag {
+                Tag::Zero => outputs.push(pair_base),
+                Tag::One => outputs.push(pair_base + 1),
+                Tag::Alpha => {
+                    outputs.push(pair_base);
+                    outputs.push(pair_base + 1);
+                }
+                Tag::Eps => {}
+            }
+        }
+        outputs.sort_unstable();
+        assert_eq!(outputs, dests);
+    }
+
+    #[test]
+    fn eps_head_forwards_nothing() {
+        let mut sp = StreamSplitter::new();
+        let out = sp.push(Tag::Eps);
+        assert_eq!(out, StreamOut::default());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the routing-tag machinery (Section 7.1): tag
+//! trees, `SEQ` serialization, splitting, and decoding.
+
+use brsmn_core::{seq_for_dests, TagTree};
+use brsmn_switch::Tag;
+use proptest::prelude::*;
+
+fn arb_dests(max_pow: u32) -> impl Strategy<Value = (usize, Vec<usize>)> {
+    (1u32..=max_pow).prop_flat_map(|m| {
+        let n = 1usize << m;
+        proptest::collection::vec(any::<bool>(), n).prop_map(move |mask| {
+            let dests: Vec<usize> = (0..n).filter(|&i| mask[i]).collect();
+            (n, dests)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every tag tree built from a destination set is well-formed (the
+    /// uniqueness rules of Section 7.1).
+    #[test]
+    fn trees_are_well_formed((n, dests) in arb_dests(8)) {
+        let tree = TagTree::from_dests(n, &dests).unwrap();
+        prop_assert!(tree.is_well_formed());
+        prop_assert_eq!(tree.depth(), n.trailing_zeros() as usize);
+    }
+
+    /// SEQ round-trips: encode then decode recovers the destination set.
+    #[test]
+    fn seq_round_trips((n, dests) in arb_dests(8)) {
+        let seq = seq_for_dests(n, &dests).unwrap();
+        prop_assert_eq!(seq.len(), n - 1);
+        let mut decoded = seq.decode(0);
+        decoded.sort_unstable();
+        prop_assert_eq!(decoded, dests);
+    }
+
+    /// Splitting a SEQ yields exactly the left/right subtree sequences:
+    /// descend(0) encodes the lower-half destinations, descend(1) the
+    /// upper-half destinations rebased.
+    #[test]
+    fn seq_split_matches_subtrees((n, dests) in arb_dests(8)) {
+        prop_assume!(n >= 4);
+        let seq = seq_for_dests(n, &dests).unwrap();
+        let (up, down) = seq.split();
+        let left: Vec<usize> = dests.iter().copied().filter(|&d| d < n / 2).collect();
+        let right: Vec<usize> = dests.iter().filter(|&&d| d >= n / 2).map(|&d| d - n / 2).collect();
+        prop_assert_eq!(up, seq_for_dests(n / 2, &left).unwrap());
+        prop_assert_eq!(down, seq_for_dests(n / 2, &right).unwrap());
+    }
+
+    /// The head tag agrees with the destination-set semantics.
+    #[test]
+    fn head_tag_semantics((n, dests) in arb_dests(8)) {
+        let seq = seq_for_dests(n, &dests).unwrap();
+        let has_low = dests.iter().any(|&d| d < n / 2);
+        let has_high = dests.iter().any(|&d| d >= n / 2);
+        let expect = match (has_low, has_high) {
+            (false, false) => Tag::Eps,
+            (true, false) => Tag::Zero,
+            (false, true) => Tag::One,
+            (true, true) => Tag::Alpha,
+        };
+        prop_assert_eq!(seq.head(), expect);
+    }
+
+    /// The number of ε tags in a SEQ counts the pruned subtrees: for a
+    /// unicast there are exactly (n−1) − log n of the n−1 nodes... more
+    /// robustly: the number of non-ε tags equals the number of tree nodes
+    /// whose range intersects the destination set.
+    #[test]
+    fn non_eps_tags_count_covered_nodes((n, dests) in arb_dests(7)) {
+        let seq = seq_for_dests(n, &dests).unwrap();
+        let non_eps = seq.tags().iter().filter(|&&t| t != Tag::Eps).count();
+        // Count tree nodes covering at least one destination.
+        let m = n.trailing_zeros() as usize;
+        let mut covered = 0usize;
+        for i in 1..=m {
+            let span = n >> (i - 1);
+            for k in 0..(1usize << (i - 1)) {
+                let lo = k * span;
+                if dests.iter().any(|&d| d >= lo && d < lo + span) {
+                    covered += 1;
+                }
+            }
+        }
+        prop_assert_eq!(non_eps, covered);
+    }
+}
+
+/// Unicast SEQ degenerates to the address path: exactly `log n` non-ε tags,
+/// spelling the binary address.
+#[test]
+fn unicast_seq_spells_address() {
+    for n in [4usize, 8, 16, 32] {
+        let m = n.trailing_zeros() as usize;
+        for target in 0..n {
+            let tree = TagTree::from_dests(n, &[target]).unwrap();
+            // The non-ε node at each level carries bit i of the address.
+            for i in 1..=m {
+                let expect_bit = (target >> (m - i)) & 1;
+                let k = target >> (m - i + 1); // index of the covering node
+                let tag = tree.tag(i, k);
+                let expect = if expect_bit == 0 { Tag::Zero } else { Tag::One };
+                assert_eq!(tag, expect, "n={n} target={target} level={i}");
+            }
+            let seq = tree.to_seq();
+            let non_eps = seq.tags().iter().filter(|&&t| t != Tag::Eps).count();
+            assert_eq!(non_eps, m);
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Event-driven **message-passing** execution of the distributed algorithms
+//! (Section 6, Fig. 8) — an implementation independent of the array-based
+//! planners in [`crate::plan`], used to cross-validate them and to measure
+//! parallel round counts.
+//!
+//! The binary tree embedded in an RBN (Fig. 8a) is materialized as explicit
+//! nodes exchanging messages: leaves emit their forward values; an internal
+//! node fires its forward message when both children's values have arrived;
+//! the root turns around with the backward value; an internal node fires its
+//! two backward messages (and sets its merging-stage switches) when its
+//! backward input arrives. Delivery is simulated in synchronous *rounds* —
+//! one tree level per round — so the measured round count is exactly the
+//! `2·log n` the pipelined-latency model of `brsmn-sim` assumes.
+//!
+//! The node-local computations are verbatim Tables 3, 4 and 6; nothing is
+//! shared with `plan.rs` except the compact-setting expansion of Table 5.
+
+use crate::fabric::RbnSettings;
+use crate::plan::{DomType, ScatterNode};
+use crate::setting::{binary_compact_setting, trinary_compact_setting};
+use brsmn_switch::{QTag, SwitchSetting, Tag};
+use brsmn_topology::log2_exact;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Statistics of one message-passing execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Synchronous rounds of the forward wave (leaves → root).
+    pub forward_rounds: u64,
+    /// Synchronous rounds of the backward wave (root → leaves).
+    pub backward_rounds: u64,
+    /// Total point-to-point messages exchanged.
+    pub messages: u64,
+}
+
+/// Node-local behaviour of one distributed algorithm: how forward values
+/// combine, and what a node emits downward / programs into its stage.
+trait NodeAlgebra {
+    /// Forward value flowing leaves → root.
+    type Fwd: Clone;
+    /// Backward value flowing root → leaves.
+    type Bwd: Clone;
+
+    /// Combines the children's forward values (Table 3/4/6 forward phase).
+    fn combine(&self, upper: &Self::Fwd, lower: &Self::Fwd) -> Self::Fwd;
+
+    /// Backward phase at a node of size `n_prime`: from the children's
+    /// forward values and the node's backward input, produce the children's
+    /// backward values and (optionally) this node's merging-stage settings.
+    fn descend(
+        &self,
+        n_prime: usize,
+        upper: &Self::Fwd,
+        lower: &Self::Fwd,
+        back: &Self::Bwd,
+    ) -> (Self::Bwd, Self::Bwd, Option<Vec<SwitchSetting>>);
+}
+
+/// Generic synchronous-round executor over the Fig. 8a tree.
+fn run_sweeps<A: NodeAlgebra>(
+    algebra: &A,
+    leaves: Vec<A::Fwd>,
+    root_back: impl FnOnce(&A::Fwd) -> A::Bwd,
+) -> (Vec<A::Bwd>, Option<RbnSettings>, SweepStats) {
+    let n = leaves.len();
+    let m = log2_exact(n) as usize;
+    let mut stats = SweepStats {
+        forward_rounds: 0,
+        backward_rounds: 0,
+        messages: 0,
+    };
+
+    // Forward wave, one tree level per round.
+    let mut fwd: Vec<Vec<A::Fwd>> = Vec::with_capacity(m + 1);
+    fwd.push(leaves);
+    for j in 1..=m {
+        let prev = &fwd[j - 1];
+        let level: Vec<A::Fwd> = (0..n >> j)
+            .map(|b| algebra.combine(&prev[2 * b], &prev[2 * b + 1]))
+            .collect();
+        stats.messages += 2 * (n >> j) as u64;
+        stats.forward_rounds += 1;
+        fwd.push(level);
+    }
+
+    // Turnaround at the root.
+    let root = root_back(&fwd[m][0]);
+
+    // Backward wave: a work queue of (level, block, value) pairs delivered
+    // level by level.
+    let mut settings = if m > 0 {
+        Some(RbnSettings::identity(n))
+    } else {
+        None
+    };
+    let mut queue: VecDeque<(usize, usize, A::Bwd)> = VecDeque::new();
+    queue.push_back((m, 0, root));
+    let mut leaf_back: Vec<Option<A::Bwd>> = vec![None; n];
+    let mut current_level = m;
+    while let Some((j, b, back)) = queue.pop_front() {
+        if j < current_level {
+            current_level = j;
+        }
+        if j == 0 {
+            leaf_back[b] = Some(back);
+            continue;
+        }
+        let upper = &fwd[j - 1][2 * b];
+        let lower = &fwd[j - 1][2 * b + 1];
+        let (bu, bl, block_settings) = algebra.descend(1 << j, upper, lower, &back);
+        if let (Some(s), Some(block)) = (settings.as_mut(), block_settings) {
+            s.set_block(j - 1, b, &block);
+        }
+        stats.messages += 2;
+        queue.push_back((j - 1, 2 * b, bu));
+        queue.push_back((j - 1, 2 * b + 1, bl));
+    }
+    stats.backward_rounds = m as u64;
+
+    (
+        leaf_back.into_iter().map(|x| x.expect("delivered")).collect(),
+        settings,
+        stats,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: bit sorting.
+// ---------------------------------------------------------------------------
+
+struct BitsortAlgebra;
+
+impl NodeAlgebra for BitsortAlgebra {
+    type Fwd = usize; // l: number of γs below
+    type Bwd = usize; // s: starting position
+
+    fn combine(&self, upper: &usize, lower: &usize) -> usize {
+        upper + lower
+    }
+
+    fn descend(
+        &self,
+        n_prime: usize,
+        upper: &usize,
+        _lower: &usize,
+        back: &usize,
+    ) -> (usize, usize, Option<Vec<SwitchSetting>>) {
+        let half = n_prime / 2;
+        let (s, l0) = (*back, *upper);
+        let s0 = s % half;
+        let s1 = (s + l0) % half;
+        let b = ((s + l0) / half) % 2;
+        let (b_val, b_comp) = if b == 1 {
+            (SwitchSetting::Crossing, SwitchSetting::Parallel)
+        } else {
+            (SwitchSetting::Parallel, SwitchSetting::Crossing)
+        };
+        let block = binary_compact_setting(n_prime, 0, s1, b_comp, b_val);
+        (s0, s1, Some(block))
+    }
+}
+
+/// Message-passing execution of the Table 3 bit-sorting algorithm. Returns
+/// the switch settings and sweep statistics.
+pub fn distributed_bitsort(gamma: &[bool], s_target: usize) -> (RbnSettings, SweepStats) {
+    let leaves: Vec<usize> = gamma.iter().map(|&g| g as usize).collect();
+    let (_, settings, stats) = run_sweeps(&BitsortAlgebra, leaves, |_| s_target);
+    (settings.expect("n >= 2"), stats)
+}
+
+// ---------------------------------------------------------------------------
+// Table 4: scattering.
+// ---------------------------------------------------------------------------
+
+struct ScatterAlgebra;
+
+impl NodeAlgebra for ScatterAlgebra {
+    type Fwd = ScatterNode;
+    type Bwd = usize;
+
+    fn combine(&self, c0: &ScatterNode, c1: &ScatterNode) -> ScatterNode {
+        if c0.ty == c1.ty {
+            ScatterNode {
+                l: c0.l + c1.l,
+                ty: c0.ty,
+            }
+        } else if c0.l >= c1.l {
+            ScatterNode {
+                l: c0.l - c1.l,
+                ty: c0.ty,
+            }
+        } else {
+            ScatterNode {
+                l: c1.l - c0.l,
+                ty: c1.ty,
+            }
+        }
+    }
+
+    fn descend(
+        &self,
+        n_prime: usize,
+        c0: &ScatterNode,
+        c1: &ScatterNode,
+        back: &usize,
+    ) -> (usize, usize, Option<Vec<SwitchSetting>>) {
+        let half = n_prime / 2;
+        let s = *back;
+        let l = self.combine(c0, c1).l;
+        if c0.ty == c1.ty {
+            let s0 = s % half;
+            let s1 = (s + c0.l) % half;
+            let b = ((s + c0.l) / half) % 2;
+            let (b_val, b_comp) = if b == 1 {
+                (SwitchSetting::Crossing, SwitchSetting::Parallel)
+            } else {
+                (SwitchSetting::Parallel, SwitchSetting::Crossing)
+            };
+            let block = binary_compact_setting(n_prime, 0, s1, b_comp, b_val);
+            (s0, s1, Some(block))
+        } else {
+            let bcast = if c0.ty == DomType::Alpha {
+                SwitchSetting::UpperBroadcast
+            } else {
+                SwitchSetting::LowerBroadcast
+            };
+            let (s0, s1, s_tmp, l_tmp, ucast) = if c0.l >= c1.l {
+                let s0 = s % half;
+                let s1 = (s + l) % half;
+                (s0, s1, s1, c1.l, SwitchSetting::Parallel)
+            } else {
+                let s0 = (s + l) % half;
+                let s1 = s % half;
+                (s0, s1, s0, c0.l, SwitchSetting::Crossing)
+            };
+            let ucomp = ucast.complement();
+            let block = if s + l < half {
+                binary_compact_setting(n_prime, s_tmp, l_tmp, ucast, bcast)
+            } else if s < half {
+                trinary_compact_setting(n_prime, s_tmp, l_tmp, ucomp, bcast, ucast)
+            } else if s + l < n_prime {
+                binary_compact_setting(n_prime, s_tmp, l_tmp, ucomp, bcast)
+            } else {
+                trinary_compact_setting(n_prime, s_tmp, l_tmp, ucast, bcast, ucomp)
+            };
+            (s0, s1, Some(block))
+        }
+    }
+}
+
+/// Message-passing execution of the Table 4 scatter algorithm.
+pub fn distributed_scatter(tags: &[Tag], s_target: usize) -> (RbnSettings, SweepStats) {
+    let leaves: Vec<ScatterNode> = tags
+        .iter()
+        .map(|&t| match t {
+            Tag::Alpha => ScatterNode {
+                l: 1,
+                ty: DomType::Alpha,
+            },
+            Tag::Eps => ScatterNode {
+                l: 1,
+                ty: DomType::Eps,
+            },
+            _ => ScatterNode {
+                l: 0,
+                ty: DomType::Eps,
+            },
+        })
+        .collect();
+    let (_, settings, stats) = run_sweeps(&ScatterAlgebra, leaves, |_| s_target);
+    (settings.expect("n >= 2"), stats)
+}
+
+// ---------------------------------------------------------------------------
+// Table 6: ε-dividing.
+// ---------------------------------------------------------------------------
+
+struct EpsDivideAlgebra;
+
+impl NodeAlgebra for EpsDivideAlgebra {
+    type Fwd = usize; // n_ε below this node
+    type Bwd = (usize, usize); // (n_ε0, n_ε1) quotas
+
+    fn combine(&self, upper: &usize, lower: &usize) -> usize {
+        upper + lower
+    }
+
+    fn descend(
+        &self,
+        _n_prime: usize,
+        upper: &usize,
+        lower: &usize,
+        back: &(usize, usize),
+    ) -> ((usize, usize), (usize, usize), Option<Vec<SwitchSetting>>) {
+        let (e0, _e1) = *back;
+        let u_e0 = e0.min(*upper);
+        let u_e1 = upper - u_e0;
+        let l_e0 = e0 - u_e0;
+        let l_e1 = lower - l_e0;
+        ((u_e0, u_e1), (l_e0, l_e1), None)
+    }
+}
+
+/// Message-passing execution of the Table 6 ε-dividing algorithm. Returns
+/// the per-input quasisort tags and sweep statistics. Preconditions as in
+/// [`crate::plan::eps_divide`] (checked by `debug_assert` here; use the
+/// planner for validated errors).
+pub fn distributed_eps_divide(tags: &[Tag]) -> (Vec<QTag>, SweepStats) {
+    let n = tags.len();
+    debug_assert!(tags.iter().all(|&t| t != Tag::Alpha));
+    let n1 = tags.iter().filter(|&&t| t == Tag::One).count();
+    debug_assert!(n1 <= n / 2);
+    let leaves: Vec<usize> = tags.iter().map(|&t| (t == Tag::Eps) as usize).collect();
+    let (leaf_quotas, _, stats) = run_sweeps(&EpsDivideAlgebra, leaves, |&total_eps| {
+        let e1 = n / 2 - n1;
+        (total_eps - e1, e1)
+    });
+    let qtags = tags
+        .iter()
+        .zip(&leaf_quotas)
+        .map(|(&t, &(e0, _e1))| match t {
+            Tag::Zero => QTag::Zero,
+            Tag::One => QTag::One,
+            Tag::Eps => {
+                if e0 == 1 {
+                    QTag::Eps0
+                } else {
+                    QTag::Eps1
+                }
+            }
+            Tag::Alpha => unreachable!(),
+        })
+        .collect();
+    (qtags, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{eps_divide, plan_bitsort, plan_scatter};
+
+    #[test]
+    fn bitsort_matches_planner_exhaustively_n8() {
+        for pattern in 0..256u32 {
+            let gamma: Vec<bool> = (0..8).map(|i| pattern >> i & 1 == 1).collect();
+            for s in 0..8 {
+                let (settings, stats) = distributed_bitsort(&gamma, s);
+                assert_eq!(settings, plan_bitsort(&gamma, s).settings, "p={pattern} s={s}");
+                assert_eq!(stats.forward_rounds, 3);
+                assert_eq!(stats.backward_rounds, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_matches_planner_exhaustively_n4() {
+        let all = [Tag::Zero, Tag::One, Tag::Alpha, Tag::Eps];
+        for a in all {
+            for b in all {
+                for c in all {
+                    for d in all {
+                        let tags = [a, b, c, d];
+                        for s in 0..4 {
+                            let (settings, _) = distributed_scatter(&tags, s);
+                            assert_eq!(
+                                settings,
+                                plan_scatter(&tags, s).settings,
+                                "{tags:?} s={s}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_matches_planner_random_large() {
+        let n = 512usize;
+        for seed in 0..8usize {
+            let tags: Vec<Tag> = (0..n)
+                .map(|i| match (i ^ seed).wrapping_mul(2654435761) >> 29 & 3 {
+                    0 => Tag::Alpha,
+                    1 => Tag::Eps,
+                    2 => Tag::Zero,
+                    _ => Tag::One,
+                })
+                .collect();
+            let (settings, stats) = distributed_scatter(&tags, seed * 37 % n);
+            assert_eq!(settings, plan_scatter(&tags, seed * 37 % n).settings);
+            assert_eq!(stats.forward_rounds, 9);
+            assert_eq!(stats.backward_rounds, 9);
+        }
+    }
+
+    #[test]
+    fn eps_divide_matches_planner() {
+        use Tag::*;
+        for tags in [
+            vec![Eps, One, Eps, Zero, Eps, Eps, One, Eps],
+            vec![Zero, Zero, One, One, Eps, Eps, Eps, Eps],
+            vec![Eps; 8],
+            vec![Zero, Eps, Zero, Eps, Zero, Eps, Zero, Eps],
+        ] {
+            let (qtags, _) = distributed_eps_divide(&tags);
+            assert_eq!(qtags, eps_divide(&tags).unwrap().qtags, "{tags:?}");
+        }
+    }
+
+    #[test]
+    fn message_count_is_linear() {
+        // 2(n−1) forward + 2(n−1) backward messages: the circuitry is O(n)
+        // wires regardless of log-depth timing.
+        let gamma = vec![true; 256];
+        let (_, stats) = distributed_bitsort(&gamma, 0);
+        assert_eq!(stats.messages, 2 * 255 + 2 * 255);
+    }
+
+    #[test]
+    fn rounds_match_timing_model_structure() {
+        // The sweep structure assumed by brsmn-sim: one up-wave and one
+        // down-wave of log n rounds each.
+        for m in 1..=10u32 {
+            let n = 1usize << m;
+            let gamma = vec![false; n];
+            let (_, stats) = distributed_bitsort(&gamma, 0);
+            assert_eq!(stats.forward_rounds, m as u64);
+            assert_eq!(stats.backward_rounds, m as u64);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! High-level, one-call interfaces to the three roles an RBN plays in the
+//! multicast network: bit sorter (Theorem 1), scatter network (Theorems 2–3)
+//! and quasisorting network (Section 5.2).
+
+use crate::fabric::{clone_split, RbnSettings};
+use crate::plan::{plan_bitsort, plan_quasisort, plan_scatter, PlanError, ScatterNode};
+use brsmn_switch::{Line, SwitchError, Tag};
+use brsmn_topology::{check_size, SizeError};
+use std::fmt;
+
+/// Any failure of an RBN operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RbnError {
+    /// Invalid network size.
+    Size(SizeError),
+    /// Input tags violated a planner precondition.
+    Plan(PlanError),
+    /// A switch received an illegal operation — indicates a violated lemma
+    /// (never happens for inputs satisfying the documented preconditions).
+    Switch(SwitchError),
+}
+
+impl fmt::Display for RbnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RbnError::Size(e) => e.fmt(f),
+            RbnError::Plan(e) => e.fmt(f),
+            RbnError::Switch(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RbnError {}
+
+impl From<SizeError> for RbnError {
+    fn from(e: SizeError) -> Self {
+        RbnError::Size(e)
+    }
+}
+impl From<PlanError> for RbnError {
+    fn from(e: PlanError) -> Self {
+        RbnError::Plan(e)
+    }
+}
+impl From<SwitchError> for RbnError {
+    fn from(e: SwitchError) -> Self {
+        RbnError::Switch(e)
+    }
+}
+
+/// An `n × n` reverse banyan network operated as a **bit sorter**: inputs
+/// tagged `0`/`1` leave as the compact run `C^n_{s, n_1; 0, 1}`.
+#[derive(Debug, Clone, Copy)]
+pub struct BitSortingRbn {
+    n: usize,
+}
+
+impl BitSortingRbn {
+    /// Creates a sorter of size `n = 2^m`.
+    pub fn new(n: usize) -> Result<Self, RbnError> {
+        check_size(n)?;
+        Ok(Self { n })
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sorts `lines` (every tag must be `0` or `1`) so that the `1`s occupy
+    /// the circular run starting at `s` — `s = n/2` gives the ascending sort.
+    pub fn sort<P: Clone>(
+        &self,
+        lines: Vec<Line<P>>,
+        s: usize,
+    ) -> Result<Vec<Line<P>>, RbnError> {
+        assert_eq!(lines.len(), self.n);
+        assert!(
+            lines.iter().all(|l| l.tag.is_chi()),
+            "bit sorting requires all tags in {{0, 1}}"
+        );
+        let gamma: Vec<bool> = lines.iter().map(|l| l.tag == Tag::One).collect();
+        let plan = plan_bitsort(&gamma, s);
+        Ok(plan.settings.run(lines, &mut clone_split)?)
+    }
+
+    /// The switch settings the distributed algorithm would compute, without
+    /// running the data path.
+    pub fn settings(&self, gamma: &[bool], s: usize) -> RbnSettings {
+        assert_eq!(gamma.len(), self.n);
+        plan_bitsort(gamma, s).settings
+    }
+}
+
+/// An `n × n` RBN operated as a **scatter network**: pairs of `α` and `ε`
+/// inputs are eliminated into `0`/`1` message copies; the surplus of the
+/// dominating type is compacted at a chosen position (Theorem 3).
+#[derive(Debug, Clone, Copy)]
+pub struct ScatterRbn {
+    n: usize,
+}
+
+impl ScatterRbn {
+    /// Creates a scatter network of size `n = 2^m`.
+    pub fn new(n: usize) -> Result<Self, RbnError> {
+        check_size(n)?;
+        Ok(Self { n })
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Scatters `lines`, eliminating `min(nα, nε)` α/ε pairs. `α` payloads
+    /// are divided by `split` into their `0`- and `1`-tagged copies. The
+    /// surplus run of the dominating type starts at output position `s`.
+    ///
+    /// Returns the output lines and the root summary (dominating type and
+    /// surplus length).
+    pub fn scatter<P, S: FnMut(P) -> (P, P)>(
+        &self,
+        lines: Vec<Line<P>>,
+        s: usize,
+        split: &mut S,
+    ) -> Result<(Vec<Line<P>>, ScatterNode), RbnError> {
+        assert_eq!(lines.len(), self.n);
+        let tags: Vec<Tag> = lines.iter().map(|l| l.tag).collect();
+        let plan = plan_scatter(&tags, s);
+        let root = plan.root();
+        let out = plan.settings.run(lines, split)?;
+        Ok((out, root))
+    }
+}
+
+/// An `n × n` RBN operated as a **quasisorting network**: inputs tagged
+/// `{0, 1, ε}` (each message tag at most `n/2` times) leave with all `0`s in
+/// the upper half of the outputs and all `1`s in the lower half (Section 5.2).
+#[derive(Debug, Clone, Copy)]
+pub struct QuasisortRbn {
+    n: usize,
+}
+
+impl QuasisortRbn {
+    /// Creates a quasisorter of size `n = 2^m`.
+    pub fn new(n: usize) -> Result<Self, RbnError> {
+        check_size(n)?;
+        Ok(Self { n })
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Quasisorts `lines`: runs the ε-dividing algorithm, then the bit sort
+    /// on real-plus-dummy sort bits with `s = n/2`.
+    pub fn quasisort<P: Clone>(&self, lines: Vec<Line<P>>) -> Result<Vec<Line<P>>, RbnError> {
+        assert_eq!(lines.len(), self.n);
+        let tags: Vec<Tag> = lines.iter().map(|l| l.tag).collect();
+        let (_, sort) = plan_quasisort(&tags)?;
+        Ok(sort.settings.run(lines, &mut clone_split)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_validated() {
+        assert!(BitSortingRbn::new(6).is_err());
+        assert!(ScatterRbn::new(0).is_err());
+        assert!(QuasisortRbn::new(3).is_err());
+        assert!(BitSortingRbn::new(16).is_ok());
+    }
+
+    #[test]
+    fn bitsort_api_sorts_ascending() {
+        let net = BitSortingRbn::new(8).unwrap();
+        let lines: Vec<Line<usize>> = [1u8, 1, 0, 1, 0, 0, 1, 0]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| Line::with(if b == 1 { Tag::One } else { Tag::Zero }, i))
+            .collect();
+        let out = net.sort(lines, 4).unwrap();
+        let tags: Vec<Tag> = out.iter().map(|l| l.tag).collect();
+        assert_eq!(
+            tags,
+            vec![
+                Tag::Zero,
+                Tag::Zero,
+                Tag::Zero,
+                Tag::Zero,
+                Tag::One,
+                Tag::One,
+                Tag::One,
+                Tag::One
+            ]
+        );
+    }
+
+    #[test]
+    fn scatter_api_reports_root() {
+        let net = ScatterRbn::new(4).unwrap();
+        let lines: Vec<Line<u8>> = vec![
+            Line::with(Tag::Alpha, 9),
+            Line::empty(),
+            Line::with(Tag::Zero, 7),
+            Line::empty(),
+        ];
+        let (out, root) = net
+            .scatter(lines, 0, &mut |p: u8| (p, p + 1))
+            .unwrap();
+        assert_eq!(root.l, 1);
+        assert_eq!(out.iter().filter(|l| l.tag == Tag::Eps).count(), 1);
+        assert!(out.iter().all(|l| l.tag != Tag::Alpha));
+        // The split closure was used: copies 9 and 10 both present.
+        let mut payloads: Vec<u8> = out.iter().filter_map(|l| l.payload).collect();
+        payloads.sort_unstable();
+        assert_eq!(payloads, vec![7, 9, 10]);
+    }
+
+    #[test]
+    fn quasisort_api_separates_halves() {
+        let net = QuasisortRbn::new(4).unwrap();
+        let lines: Vec<Line<u8>> = vec![
+            Line::with(Tag::One, 1),
+            Line::with(Tag::Zero, 0),
+            Line::empty(),
+            Line::with(Tag::One, 2),
+        ];
+        let out = net.quasisort(lines).unwrap();
+        // All 0s in the upper half, all 1s in the lower half; ε positions free.
+        assert!(out[..2].iter().all(|l| l.tag != Tag::One));
+        assert!(out[2..].iter().all(|l| l.tag == Tag::One));
+        assert_eq!(out[..2].iter().filter(|l| l.tag == Tag::Zero).count(), 1);
+    }
+}

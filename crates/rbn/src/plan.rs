@@ -1,0 +1,600 @@
+//! The distributed self-routing algorithms of Section 6 (Tables 3–6).
+//!
+//! Each algorithm runs over the complete binary tree embedded in an RBN
+//! (Fig. 8): a node of *height* `j` represents a sub-RBN of size `2^j`
+//! (leaves are single input lines at height 0; the root is the whole
+//! network). Values flow leaf→root in the **forward phase** and root→leaf in
+//! the **backward phase**; every node then sets the switches of its own
+//! merging stage in parallel (the **switch-setting phase**).
+//!
+//! The planners here compute exactly what the paper's per-switch circuits
+//! compute, but as ordinary recursion over per-level arrays — which also
+//! makes the forward/backward traffic available to the timing model in
+//! `brsmn-sim`.
+//!
+//! Two typos of the published tables are corrected (see DESIGN.md §4):
+//! `b ← ((s+l₀) div (n′/2)) mod n′/2` is `mod 2` (it must match Lemma 1),
+//! and the ε-divide backward rule `n″ε₁ ← n″ε − n′ε₁` is `n″ε − n″ε₀`
+//! (required by invariants (7)–(9)).
+
+use crate::fabric::RbnSettings;
+use crate::setting::{binary_compact_setting, trinary_compact_setting};
+use brsmn_switch::{QTag, SwitchSetting, Tag};
+use brsmn_topology::log2_exact;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The dominating tag type among `α` and `ε` in a sub-RBN (Theorem 3: the
+/// compact run at the outputs consists of `|nα − nε|` symbols of the
+/// dominating type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomType {
+    /// `α` dominates (`nα ≥ nε`).
+    Alpha,
+    /// `ε` dominates (`nε ≥ nα`).
+    Eps,
+}
+
+/// Per-node forward values of the scatter algorithm: run length `l` and
+/// dominating type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScatterNode {
+    /// `|nα − nε|` for this sub-RBN.
+    pub l: usize,
+    /// Which of the two dominates.
+    pub ty: DomType,
+}
+
+/// Error from the planners when the input tags violate a precondition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// Quasisorting input contained an `α` (scatter must run first).
+    AlphaInQuasisort {
+        /// Input position of the offending tag.
+        position: usize,
+    },
+    /// More than `n/2` inputs bound for one half (violates Eq. 2).
+    HalfOverflow {
+        /// Number of `0`-tagged inputs.
+        n0: usize,
+        /// Number of `1`-tagged inputs.
+        n1: usize,
+        /// The bound `n/2`.
+        half: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::AlphaInQuasisort { position } => {
+                write!(f, "α tag at input {position} of a quasisorting network")
+            }
+            PlanError::HalfOverflow { n0, n1, half } => write!(
+                f,
+                "half overflow: n0={n0}, n1={n1} exceed capacity {half} per half"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Result of planning a bit-sorting RBN (Table 3): the switch settings plus
+/// the forward (`l`) and backward (`s`) values at every tree node, exposed
+/// for the gate-delay timing model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitsortPlan {
+    /// `l[j][b]`: number of γ symbols in the height-`j` sub-RBN at block `b`.
+    pub l: Vec<Vec<usize>>,
+    /// `s[j][b]`: starting position handed to that sub-RBN.
+    pub s: Vec<Vec<usize>>,
+    /// The resulting switch settings (only parallel/crossing).
+    pub settings: RbnSettings,
+}
+
+/// Plans a bit-sorting RBN (Table 3 / Lemma 1): the inputs marked `true` in
+/// `gamma` end up in the circular compact run `C^n_{s_target, l}` at the
+/// outputs; the `false` inputs fill the complementary run.
+///
+/// With `gamma[i] = (tag_i == 1)` and `s_target = n/2` this is the ascending
+/// bit sort `0^{n0} 1^{n1}` of Section 4.
+pub fn plan_bitsort(gamma: &[bool], s_target: usize) -> BitsortPlan {
+    let n = gamma.len();
+    let m = log2_exact(n) as usize;
+    assert!(s_target < n);
+
+    // Forward phase: l[j][b] = l[j-1][2b] + l[j-1][2b+1].
+    let mut l: Vec<Vec<usize>> = Vec::with_capacity(m + 1);
+    l.push(gamma.iter().map(|&g| g as usize).collect());
+    for j in 1..=m {
+        let prev = &l[j - 1];
+        l.push(
+            (0..n >> j)
+                .map(|b| prev[2 * b] + prev[2 * b + 1])
+                .collect(),
+        );
+    }
+
+    // Backward phase + switch setting.
+    let mut s: Vec<Vec<usize>> = (0..=m).map(|j| vec![0usize; n >> j]).collect();
+    s[m][0] = s_target;
+    let mut settings = RbnSettings::identity(n);
+    for j in (1..=m).rev() {
+        let n_prime = 1usize << j;
+        let half = n_prime / 2;
+        for b in 0..(n >> j) {
+            let s_node = s[j][b];
+            let l0 = l[j - 1][2 * b];
+            let s0 = s_node % half;
+            let s1 = (s_node + l0) % half;
+            // Paper typo fixed: `mod 2`, not `mod n'/2` (Lemma 1).
+            let bset = ((s_node + l0) / half) % 2;
+            let (b_val, b_comp) = if bset == 1 {
+                (SwitchSetting::Crossing, SwitchSetting::Parallel)
+            } else {
+                (SwitchSetting::Parallel, SwitchSetting::Crossing)
+            };
+            // W^{n'/2}_{0, s1; b̄, b}.
+            let block = binary_compact_setting(n_prime, 0, s1, b_comp, b_val);
+            settings.set_block(j - 1, b, &block);
+            s[j - 1][2 * b] = s0;
+            s[j - 1][2 * b + 1] = s1;
+        }
+    }
+    BitsortPlan { l, s, settings }
+}
+
+/// Result of planning a scatter RBN (Table 4): switch settings plus the
+/// forward `(l, type)` and backward `s` values at every tree node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScatterPlan {
+    /// Forward values per height level.
+    pub nodes: Vec<Vec<ScatterNode>>,
+    /// Backward starting positions per height level.
+    pub s: Vec<Vec<usize>>,
+    /// The resulting switch settings.
+    pub settings: RbnSettings,
+}
+
+impl ScatterPlan {
+    /// The root's dominating type and run length — the output of the whole
+    /// scatter network is `C^n_{s_target, l; χ, type}` (Theorem 3).
+    pub fn root(&self) -> ScatterNode {
+        self.nodes[self.nodes.len() - 1][0]
+    }
+}
+
+/// Plans a scatter RBN (Table 4 / Theorem 3 / Lemmas 1–5) for arbitrary
+/// input tags. At the outputs, the `|nα − nε|` symbols of the dominating
+/// type form the compact run `C^n_{s_target, l}`; every other position holds
+/// a `χ` (a `0` or `1` message). When `nα ≤ nε` — always true at the top of
+/// a BSN by Eq. (3) — all `α`s are eliminated (Theorem 2).
+pub fn plan_scatter(tags: &[Tag], s_target: usize) -> ScatterPlan {
+    let n = tags.len();
+    let m = log2_exact(n) as usize;
+    assert!(s_target < n);
+
+    // Forward phase (Table 4). χ leaves carry (l = 0, type = ε); the type of
+    // an l = 0 node is never material (its compact run is empty).
+    let mut nodes: Vec<Vec<ScatterNode>> = Vec::with_capacity(m + 1);
+    nodes.push(
+        tags.iter()
+            .map(|&t| match t {
+                Tag::Alpha => ScatterNode {
+                    l: 1,
+                    ty: DomType::Alpha,
+                },
+                Tag::Eps => ScatterNode {
+                    l: 1,
+                    ty: DomType::Eps,
+                },
+                _ => ScatterNode {
+                    l: 0,
+                    ty: DomType::Eps,
+                },
+            })
+            .collect(),
+    );
+    for j in 1..=m {
+        let prev = &nodes[j - 1];
+        nodes.push(
+            (0..n >> j)
+                .map(|b| {
+                    let c0 = prev[2 * b];
+                    let c1 = prev[2 * b + 1];
+                    if c0.ty == c1.ty {
+                        ScatterNode {
+                            l: c0.l + c1.l,
+                            ty: c0.ty,
+                        }
+                    } else if c0.l >= c1.l {
+                        ScatterNode {
+                            l: c0.l - c1.l,
+                            ty: c0.ty,
+                        }
+                    } else {
+                        ScatterNode {
+                            l: c1.l - c0.l,
+                            ty: c1.ty,
+                        }
+                    }
+                })
+                .collect(),
+        );
+    }
+
+    // Backward phase + switch setting (Table 4).
+    let mut s: Vec<Vec<usize>> = (0..=m).map(|j| vec![0usize; n >> j]).collect();
+    s[m][0] = s_target;
+    let mut settings = RbnSettings::identity(n);
+    for j in (1..=m).rev() {
+        let n_prime = 1usize << j;
+        let half = n_prime / 2;
+        for b in 0..(n >> j) {
+            let s_node = s[j][b];
+            let l_node = nodes[j][b].l;
+            let c0 = nodes[j - 1][2 * b];
+            let c1 = nodes[j - 1][2 * b + 1];
+            let block;
+            let (s0, s1);
+            if c0.ty == c1.ty {
+                // ε/α-addition: Lemma 1, same as the bit-sorting setting.
+                s0 = s_node % half;
+                s1 = (s_node + c0.l) % half;
+                let bset = ((s_node + c0.l) / half) % 2;
+                let (b_val, b_comp) = if bset == 1 {
+                    (SwitchSetting::Crossing, SwitchSetting::Parallel)
+                } else {
+                    (SwitchSetting::Parallel, SwitchSetting::Crossing)
+                };
+                block = binary_compact_setting(n_prime, 0, s1, b_comp, b_val);
+            } else {
+                // ε/α-elimination: Lemmas 2–5.
+                let bcast = if c0.ty == DomType::Alpha {
+                    // α in the upper child: the broadcast port is the upper.
+                    SwitchSetting::UpperBroadcast
+                } else {
+                    SwitchSetting::LowerBroadcast
+                };
+                let (s_tmp, l_tmp, ucast);
+                if c0.l >= c1.l {
+                    s0 = s_node % half;
+                    s1 = (s_node + l_node) % half;
+                    s_tmp = s1;
+                    l_tmp = c1.l;
+                    ucast = SwitchSetting::Parallel;
+                } else {
+                    s0 = (s_node + l_node) % half;
+                    s1 = s_node % half;
+                    s_tmp = s0;
+                    l_tmp = c0.l;
+                    ucast = SwitchSetting::Crossing;
+                }
+                let ucomp = ucast.complement();
+                block = if s_node + l_node < half {
+                    binary_compact_setting(n_prime, s_tmp, l_tmp, ucast, bcast)
+                } else if s_node < half {
+                    trinary_compact_setting(n_prime, s_tmp, l_tmp, ucomp, bcast, ucast)
+                } else if s_node + l_node < n_prime {
+                    binary_compact_setting(n_prime, s_tmp, l_tmp, ucomp, bcast)
+                } else {
+                    trinary_compact_setting(n_prime, s_tmp, l_tmp, ucast, bcast, ucomp)
+                };
+            }
+            settings.set_block(j - 1, b, &block);
+            s[j - 1][2 * b] = s0;
+            s[j - 1][2 * b + 1] = s1;
+        }
+    }
+    ScatterPlan { nodes, s, settings }
+}
+
+/// Per-node values of the ε-dividing algorithm (Table 6), exposed for the
+/// timing model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpsDividePlan {
+    /// `n_ε[j][b]`: number of ε inputs under each node.
+    pub n_eps: Vec<Vec<usize>>,
+    /// `(n_ε0, n_ε1)[j][b]`: the backward dummy quotas.
+    pub quotas: Vec<Vec<(usize, usize)>>,
+    /// The resulting per-input quasisort tags.
+    pub qtags: Vec<QTag>,
+}
+
+/// The distributed ε-dividing algorithm (Section 6.2, Table 6): assigns each
+/// `ε` input of a quasisorting network a dummy value `ε₀` or `ε₁` so that
+/// exactly `n/2` inputs sort upward and `n/2` sort downward.
+///
+/// Inputs must be `{0, 1, ε}` with at most `n/2` of each message tag
+/// (guaranteed after a scatter network by Theorem 2).
+pub fn eps_divide(tags: &[Tag]) -> Result<EpsDividePlan, PlanError> {
+    let n = tags.len();
+    let m = log2_exact(n) as usize;
+    if let Some(position) = tags.iter().position(|&t| t == Tag::Alpha) {
+        return Err(PlanError::AlphaInQuasisort { position });
+    }
+    let n0 = tags.iter().filter(|&&t| t == Tag::Zero).count();
+    let n1 = tags.iter().filter(|&&t| t == Tag::One).count();
+    if n0 > n / 2 || n1 > n / 2 {
+        return Err(PlanError::HalfOverflow {
+            n0,
+            n1,
+            half: n / 2,
+        });
+    }
+
+    // Forward phase: count εs per node.
+    let mut n_eps: Vec<Vec<usize>> = Vec::with_capacity(m + 1);
+    n_eps.push(
+        tags.iter()
+            .map(|&t| (t == Tag::Eps) as usize)
+            .collect(),
+    );
+    for j in 1..=m {
+        let prev = &n_eps[j - 1];
+        n_eps.push(
+            (0..n >> j)
+                .map(|b| prev[2 * b] + prev[2 * b + 1])
+                .collect(),
+        );
+    }
+
+    // Backward phase: split the root quota (n_ε1 = n/2 − n1) down the tree.
+    let mut quotas: Vec<Vec<(usize, usize)>> = (0..=m).map(|j| vec![(0, 0); n >> j]).collect();
+    let root_e1 = n / 2 - n1;
+    let root_e0 = n_eps[m][0] - root_e1;
+    quotas[m][0] = (root_e0, root_e1);
+    for j in (1..=m).rev() {
+        for b in 0..(n >> j) {
+            let (e0, _e1) = quotas[j][b];
+            let upper_eps = n_eps[j - 1][2 * b];
+            let lower_eps = n_eps[j - 1][2 * b + 1];
+            let u_e0 = e0.min(upper_eps);
+            let u_e1 = upper_eps - u_e0;
+            let l_e0 = e0 - u_e0;
+            // Paper typo fixed: n″ε₁ = n″ε − n″ε₀ (invariants 7–9), not
+            // n″ε − n′ε₁.
+            let l_e1 = lower_eps - l_e0;
+            quotas[j - 1][2 * b] = (u_e0, u_e1);
+            quotas[j - 1][2 * b + 1] = (l_e0, l_e1);
+        }
+    }
+
+    // Leaf step: resolve each ε to ε₀ or ε₁.
+    let qtags = tags
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| match t {
+            Tag::Zero => QTag::Zero,
+            Tag::One => QTag::One,
+            Tag::Eps => {
+                let (e0, e1) = quotas[0][i];
+                debug_assert_eq!(e0 + e1, 1);
+                if e0 == 1 {
+                    QTag::Eps0
+                } else {
+                    QTag::Eps1
+                }
+            }
+            Tag::Alpha => unreachable!("rejected above"),
+        })
+        .collect();
+
+    Ok(EpsDividePlan {
+        n_eps,
+        quotas,
+        qtags,
+    })
+}
+
+/// Plans a quasisorting RBN (Section 5.2): ε-divide, then bit-sort on the
+/// combined real/dummy sort bits with target `s = n/2`, so that all `0`s land
+/// in the upper half of the outputs and all `1`s in the lower half.
+pub fn plan_quasisort(tags: &[Tag]) -> Result<(EpsDividePlan, BitsortPlan), PlanError> {
+    let n = tags.len();
+    let divide = eps_divide(tags)?;
+    let gamma: Vec<bool> = divide.qtags.iter().map(|q| q.sort_bit()).collect();
+    let sort = plan_bitsort(&gamma, n / 2);
+    Ok((divide, sort))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::is_compact_at;
+    use brsmn_switch::Line;
+
+    fn run_tags(settings: &RbnSettings, tags: &[Tag]) -> Vec<Tag> {
+        let lines: Vec<Line<usize>> = tags
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                if t == Tag::Eps {
+                    Line::empty()
+                } else {
+                    Line::with(t, i)
+                }
+            })
+            .collect();
+        settings
+            .run(lines, &mut crate::fabric::clone_split)
+            .expect("legal settings")
+            .into_iter()
+            .map(|l| l.tag)
+            .collect()
+    }
+
+    #[test]
+    fn bitsort_worked_example_n4() {
+        // Inputs 1,0,1,0 with target s = 2 must sort to 0,0,1,1.
+        let plan = plan_bitsort(&[true, false, true, false], 2);
+        let out = run_tags(
+            &plan.settings,
+            &[Tag::One, Tag::Zero, Tag::One, Tag::Zero],
+        );
+        assert_eq!(out, vec![Tag::Zero, Tag::Zero, Tag::One, Tag::One]);
+    }
+
+    #[test]
+    fn bitsort_exhaustive_n8() {
+        // Theorem 1: every input pattern, every starting position.
+        let n = 8;
+        for pattern in 0..(1u32 << n) {
+            let gamma: Vec<bool> = (0..n).map(|i| pattern >> i & 1 == 1).collect();
+            for s in 0..n {
+                let plan = plan_bitsort(&gamma, s);
+                let tags: Vec<Tag> = gamma
+                    .iter()
+                    .map(|&g| if g { Tag::One } else { Tag::Zero })
+                    .collect();
+                let out = run_tags(&plan.settings, &tags);
+                let out_gamma: Vec<bool> = out.iter().map(|&t| t == Tag::One).collect();
+                let l = gamma.iter().filter(|&&g| g).count();
+                assert!(
+                    is_compact_at(&out_gamma, s % n, l),
+                    "pattern={pattern:08b} s={s} out={out_gamma:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bitsort_preserves_messages() {
+        // The sort is a permutation: every input payload appears exactly once.
+        let gamma = [true, true, false, true, false, false, true, false];
+        let plan = plan_bitsort(&gamma, 4);
+        let lines: Vec<Line<usize>> = gamma
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| Line::with(if g { Tag::One } else { Tag::Zero }, i))
+            .collect();
+        let out = plan
+            .settings
+            .run(lines, &mut crate::fabric::clone_split)
+            .unwrap();
+        let mut payloads: Vec<usize> = out.iter().map(|l| l.payload.unwrap()).collect();
+        payloads.sort_unstable();
+        assert_eq!(payloads, (0..8).collect::<Vec<_>>());
+        // And each payload still carries its original tag.
+        for line in &out {
+            let i = line.payload.unwrap();
+            let expect = if gamma[i] { Tag::One } else { Tag::Zero };
+            assert_eq!(line.tag, expect);
+        }
+    }
+
+    #[test]
+    fn scatter_eliminates_alphas_paper_example() {
+        // Fig. 4b input column: 1, α, ε, 0, ε, α, ε, ε.
+        use Tag::*;
+        let tags = [One, Alpha, Eps, Zero, Eps, Alpha, Eps, Eps];
+        let plan = plan_scatter(&tags, 0);
+        assert_eq!(plan.root().ty, DomType::Eps);
+        assert_eq!(plan.root().l, 2); // nε − nα = 4 − 2.
+        let out = run_tags(&plan.settings, &tags);
+        assert!(out.iter().all(|&t| t != Alpha));
+        let eps_positions: Vec<bool> = out.iter().map(|&t| t == Eps).collect();
+        assert!(is_compact_at(&eps_positions, 0, 2), "{out:?}");
+        // Theorem 2 output counts.
+        assert_eq!(out.iter().filter(|&&t| t == Zero).count(), 3);
+        assert_eq!(out.iter().filter(|&&t| t == One).count(), 3);
+    }
+
+    #[test]
+    fn scatter_alpha_dominant_inputs() {
+        // Theorem 3 case 2: more αs than εs leaves αs compact at s.
+        use Tag::*;
+        let tags = [Alpha, Alpha, Alpha, Eps, Zero, One, Alpha, Zero];
+        for s in 0..8 {
+            let plan = plan_scatter(&tags, s);
+            assert_eq!(plan.root().ty, DomType::Alpha);
+            assert_eq!(plan.root().l, 3);
+            let out = run_tags(&plan.settings, &tags);
+            let alphas: Vec<bool> = out.iter().map(|&t| t == Alpha).collect();
+            assert!(is_compact_at(&alphas, s, 3), "s={s} {out:?}");
+            assert!(out.iter().all(|&t| t != Eps));
+        }
+    }
+
+    #[test]
+    fn eps_divide_balances_halves() {
+        use Tag::*;
+        let tags = [One, Zero, Eps, Eps, One, Eps, Eps, Zero];
+        let plan = eps_divide(&tags).unwrap();
+        let ones = plan.qtags.iter().filter(|q| q.sort_bit()).count();
+        assert_eq!(ones, 4);
+        // Real tags survive unchanged.
+        assert_eq!(plan.qtags[0], QTag::One);
+        assert_eq!(plan.qtags[1], QTag::Zero);
+        assert_eq!(plan.qtags[7], QTag::Zero);
+    }
+
+    #[test]
+    fn eps_divide_invariants_hold_at_every_node() {
+        use Tag::*;
+        let tags = [Eps, One, Eps, Zero, Eps, Eps, One, Eps];
+        let plan = eps_divide(&tags).unwrap();
+        let m = 3;
+        for j in 0..=m {
+            for b in 0..(8 >> j) {
+                let (e0, e1) = plan.quotas[j][b];
+                // Eq. (7): n_ε = n_ε0 + n_ε1.
+                assert_eq!(e0 + e1, plan.n_eps[j][b], "j={j} b={b}");
+            }
+        }
+        for j in 1..=m {
+            for b in 0..(8 >> j) {
+                let (e0, e1) = plan.quotas[j][b];
+                let (u0, u1) = plan.quotas[j - 1][2 * b];
+                let (l0, l1) = plan.quotas[j - 1][2 * b + 1];
+                // Eqs. (8)–(9).
+                assert_eq!(e0, u0 + l0);
+                assert_eq!(e1, u1 + l1);
+            }
+        }
+    }
+
+    #[test]
+    fn eps_divide_rejects_alpha() {
+        let err = eps_divide(&[Tag::Alpha, Tag::Eps]).unwrap_err();
+        assert_eq!(err, PlanError::AlphaInQuasisort { position: 0 });
+    }
+
+    #[test]
+    fn eps_divide_rejects_overflow() {
+        use Tag::*;
+        let err = eps_divide(&[One, One, One, Eps]).unwrap_err();
+        assert!(matches!(err, PlanError::HalfOverflow { n1: 3, .. }));
+    }
+
+    #[test]
+    fn quasisort_routes_halves() {
+        use Tag::*;
+        let tags = [One, Eps, Zero, One, Eps, Zero, Eps, Eps];
+        let (_, sort) = plan_quasisort(&tags).unwrap();
+        let out = run_tags(&sort.settings, &tags);
+        for (i, &t) in out.iter().enumerate() {
+            if i < 4 {
+                assert_ne!(t, One, "position {i} of {out:?}");
+            } else {
+                assert_ne!(t, Zero, "position {i} of {out:?}");
+            }
+        }
+        assert_eq!(out.iter().filter(|&&t| t == Zero).count(), 2);
+        assert_eq!(out.iter().filter(|&&t| t == One).count(), 2);
+    }
+
+    #[test]
+    fn quasisort_full_permutation_degenerates_to_bitsort() {
+        use Tag::*;
+        let tags = [One, Zero, One, Zero, Zero, One, Zero, One];
+        let (divide, sort) = plan_quasisort(&tags).unwrap();
+        assert!(divide.qtags.iter().all(|q| q.carries_message()));
+        let out = run_tags(&sort.settings, &tags);
+        assert_eq!(
+            out,
+            vec![Zero, Zero, Zero, Zero, One, One, One, One]
+        );
+    }
+}

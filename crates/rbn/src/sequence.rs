@@ -1,0 +1,184 @@
+//! Circular compact sequences `C^n_{s,l;β,γ}` (Eq. 5 of the paper).
+//!
+//! An `n`-bit sequence over two symbols is *circular compact* when all `l`
+//! γ-symbols sit in one contiguous run modulo `n`, starting at position `s`,
+//! and the remaining `n − l` β-symbols form the complementary run. The paper's
+//! central results (Theorems 1–3) are statements about which compact sequences
+//! an RBN can produce and how two half-length compact sequences merge into a
+//! full-length one.
+
+use serde::{Deserialize, Serialize};
+
+/// A descriptor `(s, l)` of a circular compact arrangement over `n` positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Compact {
+    /// Starting position of the γ run (`0 ≤ s < n`).
+    pub s: usize,
+    /// Length of the γ run (`0 ≤ l ≤ n`).
+    pub l: usize,
+}
+
+/// Materializes `C^n_{s,l;β,γ}` as a boolean vector (`true` = γ).
+///
+/// Positions `s, s+1, …, s+l−1 (mod n)` hold γ; the rest hold β.
+pub fn compact_sequence(n: usize, s: usize, l: usize) -> Vec<bool> {
+    assert!(s < n && l <= n, "need s < n and l <= n (n={n}, s={s}, l={l})");
+    let mut v = vec![false; n];
+    for k in 0..l {
+        v[(s + k) % n] = true;
+    }
+    v
+}
+
+/// `true` if position `pos` carries γ in `C^n_{s,l}`.
+#[inline]
+pub fn in_gamma_run(n: usize, s: usize, l: usize, pos: usize) -> bool {
+    debug_assert!(pos < n);
+    // Distance from s to pos going forward (mod n) is within the run.
+    (pos + n - s) % n < l
+}
+
+/// Tests whether a boolean sequence (`true` = γ) is circular compact, and if
+/// so returns its canonical descriptor.
+///
+/// For the degenerate runs `l = 0` and `l = n` every `s` is valid; the
+/// canonical descriptor uses `s = 0`. Otherwise `s` is the unique β→γ
+/// boundary.
+pub fn recognize_compact(seq: &[bool]) -> Option<Compact> {
+    let n = seq.len();
+    assert!(n > 0);
+    let l = seq.iter().filter(|&&g| g).count();
+    if l == 0 || l == n {
+        return Some(Compact { s: 0, l });
+    }
+    // Count β→γ boundaries; a compact sequence has exactly one.
+    let mut starts = Vec::new();
+    for i in 0..n {
+        let prev = seq[(i + n - 1) % n];
+        if seq[i] && !prev {
+            starts.push(i);
+        }
+    }
+    if starts.len() == 1 {
+        Some(Compact { s: starts[0], l })
+    } else {
+        None
+    }
+}
+
+/// Checks whether `seq` equals `C^n_{s,l}` exactly (for a specific `s`, not
+/// just any compact arrangement).
+pub fn is_compact_at(seq: &[bool], s: usize, l: usize) -> bool {
+    let n = seq.len();
+    if l == 0 {
+        return seq.iter().all(|&g| !g);
+    }
+    if l == n {
+        return seq.iter().all(|&g| g);
+    }
+    (0..n).all(|pos| seq[pos] == in_gamma_run(n, s, l, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eq5_both_branches() {
+        // s + l <= n branch: β^s γ^l β^{n-s-l}.
+        assert_eq!(
+            compact_sequence(8, 2, 3),
+            vec![false, false, true, true, true, false, false, false]
+        );
+        // s + l > n branch: γ^{l-n+s} β^{n-l} γ^{n-s}.
+        assert_eq!(
+            compact_sequence(8, 6, 4),
+            vec![true, true, false, false, false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn sorting_target_is_special_compact_sequence() {
+        // C^n_{n/2, n/2; 0, 1} = 0^{n/2} 1^{n/2} (Section 4).
+        let seq = compact_sequence(8, 4, 4);
+        assert_eq!(
+            seq,
+            vec![false, false, false, false, true, true, true, true]
+        );
+    }
+
+    #[test]
+    fn degenerate_runs() {
+        assert_eq!(compact_sequence(4, 3, 0), vec![false; 4]);
+        assert_eq!(compact_sequence(4, 3, 4), vec![true; 4]);
+    }
+
+    #[test]
+    fn recognize_round_trips() {
+        for n in [2usize, 4, 8, 16] {
+            for s in 0..n {
+                for l in 1..n {
+                    let seq = compact_sequence(n, s, l);
+                    let c = recognize_compact(&seq).unwrap();
+                    assert_eq!((c.s, c.l), (s, l), "n={n} s={s} l={l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recognize_rejects_fragmented() {
+        assert!(recognize_compact(&[true, false, true, false]).is_none());
+        assert!(recognize_compact(&[true, false, true, true, false, false]).is_none());
+    }
+
+    #[test]
+    fn recognize_degenerate_uses_s0() {
+        assert_eq!(
+            recognize_compact(&[false; 5]),
+            Some(Compact { s: 0, l: 0 })
+        );
+        assert_eq!(recognize_compact(&[true; 5]), Some(Compact { s: 0, l: 5 }));
+    }
+
+    #[test]
+    fn in_gamma_run_wraps() {
+        // n=8, s=6, l=4 → run at 6,7,0,1.
+        for pos in [6usize, 7, 0, 1] {
+            assert!(in_gamma_run(8, 6, 4, pos));
+        }
+        for pos in [2usize, 3, 4, 5] {
+            assert!(!in_gamma_run(8, 6, 4, pos));
+        }
+    }
+
+    #[test]
+    fn is_compact_at_distinguishes_start() {
+        let seq = compact_sequence(8, 2, 3);
+        assert!(is_compact_at(&seq, 2, 3));
+        assert!(!is_compact_at(&seq, 3, 3));
+        assert!(!is_compact_at(&seq, 2, 4));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_generated_sequences_are_recognized(n_pow in 1u32..8, s in 0usize..256, l in 0usize..257) {
+            let n = 1usize << n_pow;
+            let s = s % n;
+            let l = l % (n + 1);
+            let seq = compact_sequence(n, s, l);
+            let c = recognize_compact(&seq).expect("generated sequence must be compact");
+            prop_assert_eq!(c.l, l);
+            prop_assert!(is_compact_at(&seq, s, l));
+        }
+
+        #[test]
+        fn prop_gamma_count_matches_l(n_pow in 1u32..8, s in 0usize..256, l in 0usize..257) {
+            let n = 1usize << n_pow;
+            let (s, l) = (s % n, l % (n + 1));
+            let seq = compact_sequence(n, s, l);
+            prop_assert_eq!(seq.iter().filter(|&&g| g).count(), l);
+        }
+    }
+}

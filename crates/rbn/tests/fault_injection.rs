@@ -1,0 +1,225 @@
+//! Fault injection: corrupting switch settings must be *detectable* — either
+//! the fabric's legality checks fire (illegal broadcast pairing) or the
+//! output violates the compact-sequence postconditions the planners
+//! guarantee. No corruption may silently pass verification.
+
+use brsmn_rbn::{clone_split, is_compact_at, plan_bitsort, plan_scatter, DomType};
+use brsmn_switch::{Line, SwitchSetting, Tag};
+
+fn lines_of(tags: &[Tag]) -> Vec<Line<usize>> {
+    tags.iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            if t == Tag::Eps {
+                Line::empty()
+            } else {
+                Line::with(t, i)
+            }
+        })
+        .collect()
+}
+
+/// Every single-switch flip of a bit-sort plan is either *detected* (the
+/// output is no longer compact at (s, l)) or provably *harmless* (the
+/// flipped switch carried two equal tags, so the output still meets the
+/// full sorting specification — bit sorting does not fix positions within a
+/// run).
+#[test]
+fn bitsort_single_switch_corruptions_detected_or_harmless() {
+    let gamma = [true, false, true, true, false, false, true, false];
+    let tags: Vec<Tag> = gamma
+        .iter()
+        .map(|&g| if g { Tag::One } else { Tag::Zero })
+        .collect();
+    let s = 4usize;
+    let l = gamma.iter().filter(|&&g| g).count();
+    let plan = plan_bitsort(&gamma, s);
+    let n = tags.len();
+
+    let mut relevant_flips = 0usize;
+    for stage in 0..plan.settings.num_stages() {
+        // Tags entering this stage: run the prefix (later stages parallel
+        // leave lines in place).
+        let mut prefix = plan.settings.clone();
+        for later in stage..plan.settings.num_stages() {
+            for sw in prefix.stage_mut(later) {
+                *sw = brsmn_switch::SwitchSetting::Parallel;
+            }
+        }
+        let entering = prefix.run(lines_of(&tags), &mut clone_split).unwrap();
+
+        for idx in 0..n / 2 {
+            let original = plan.settings.stage(stage)[idx];
+            let mut corrupted = plan.settings.clone();
+            corrupted.stage_mut(stage)[idx] = original.complement();
+            let out = corrupted
+                .run(lines_of(&tags), &mut clone_split)
+                .expect("unicast settings never raise switch errors");
+            let out_gamma: Vec<bool> = out.iter().map(|li| li.tag == Tag::One).collect();
+            let still_compact = is_compact_at(&out_gamma, s, l);
+
+            // The two lines this switch pairs (stage j pairs bit-j
+            // complements; switch idx covers upper line u with bit j = 0).
+            let bit = 1usize << stage;
+            let u = ((idx >> stage) << (stage + 1)) | (idx & (bit - 1));
+            let tags_differ = entering[u].tag != entering[u | bit].tag;
+            if tags_differ {
+                relevant_flips += 1;
+                assert!(
+                    !still_compact,
+                    "flip at stage {stage} switch {idx} with distinct tags went unnoticed"
+                );
+            } else {
+                assert!(
+                    still_compact,
+                    "equal-tag flip at stage {stage} switch {idx} must be harmless"
+                );
+            }
+        }
+    }
+    assert!(relevant_flips > 0, "test exercised no distinct-tag switches");
+}
+
+/// Replacing a legitimate broadcast with a unicast setting leaves an `α`
+/// (or surplus `ε`) in the output — caught by the α-elimination check.
+#[test]
+fn scatter_dropped_broadcast_detected() {
+    use Tag::*;
+    let tags = [One, Alpha, Eps, Zero, Eps, Alpha, Eps, Eps];
+    let plan = plan_scatter(&tags, 0);
+    assert_eq!(plan.root().ty, DomType::Eps);
+
+    // Locate a broadcast switch and neutralize it.
+    let mut found = false;
+    for stage in 0..plan.settings.num_stages() {
+        for idx in 0..4 {
+            let s = plan.settings.stage(stage)[idx];
+            if matches!(
+                s,
+                SwitchSetting::UpperBroadcast | SwitchSetting::LowerBroadcast
+            ) {
+                found = true;
+                let mut corrupted = plan.settings.clone();
+                corrupted.stage_mut(stage)[idx] = SwitchSetting::Parallel;
+                match corrupted.run(lines_of(&tags), &mut clone_split) {
+                    // A later broadcast may now see the wrong pair: caught.
+                    Err(_) => {}
+                    // Or the surviving α reaches the output: caught.
+                    Ok(out) => {
+                        assert!(
+                            out.iter().any(|l| l.tag == Alpha),
+                            "dropped broadcast at stage {stage} switch {idx} went unnoticed"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(found, "test needs at least one broadcast switch");
+}
+
+/// Inserting a broadcast where none belongs trips the fabric's legality
+/// check (broadcasts demand an α/ε pairing).
+#[test]
+fn spurious_broadcast_rejected() {
+    use Tag::*;
+    let tags = [Zero, One, Zero, One];
+    let plan = plan_bitsort(&[false, true, false, true], 2);
+    for stage in 0..2 {
+        for idx in 0..2 {
+            for bcast in [SwitchSetting::UpperBroadcast, SwitchSetting::LowerBroadcast] {
+                let mut corrupted = plan.settings.clone();
+                corrupted.stage_mut(stage)[idx] = bcast;
+                let err = corrupted
+                    .run(lines_of(&tags), &mut clone_split)
+                    .expect_err("broadcast on χ/χ must be illegal");
+                assert_eq!(err.setting, bcast);
+            }
+        }
+    }
+}
+
+/// Exhaustive single-flip corruption of a scatter plan at n = 8: every
+/// corruption is either observable (error, surviving recessive tag, broken
+/// compact run, message loss/duplication, tag inconsistency) or the output
+/// still satisfies the complete scatter specification — i.e. the flip was
+/// semantically harmless.
+#[test]
+fn scatter_exhaustive_single_flips_observable_or_harmless() {
+    use Tag::*;
+    let tags = [Alpha, Eps, Zero, Eps, One, Alpha, Eps, Eps];
+    let s_target = 3usize;
+    let plan = plan_scatter(&tags, s_target);
+    let root = plan.root();
+
+    // Full specification check (Theorems 2–3 for this instance).
+    let meets_spec = |out: &[Line<usize>]| -> bool {
+        let eps_run: Vec<bool> = out.iter().map(|l| l.tag == Eps).collect();
+        if !is_compact_at(&eps_run, s_target, root.l) {
+            return false;
+        }
+        if out.iter().any(|l| l.tag == Alpha) {
+            return false;
+        }
+        // χ inputs arrive once with their own tag; each α yields one 0 copy
+        // and one 1 copy.
+        let mut chi = vec![0usize; tags.len()];
+        let mut alpha_copies = vec![(0usize, 0usize); tags.len()];
+        for l in out {
+            if let Some(i) = l.payload {
+                match tags[i] {
+                    Alpha => {
+                        if l.tag == Zero {
+                            alpha_copies[i].0 += 1;
+                        } else if l.tag == One {
+                            alpha_copies[i].1 += 1;
+                        } else {
+                            return false;
+                        }
+                    }
+                    t if t.is_chi() => {
+                        if l.tag != t {
+                            return false;
+                        }
+                        chi[i] += 1;
+                    }
+                    _ => return false,
+                }
+            }
+        }
+        tags.iter().enumerate().all(|(i, &t)| match t {
+            Alpha => alpha_copies[i] == (1, 1),
+            Zero | One => chi[i] == 1,
+            Eps => true,
+        })
+    };
+
+    let mut detected_count = 0usize;
+    let mut harmless_count = 0usize;
+    for stage in 0..plan.settings.num_stages() {
+        for idx in 0..4 {
+            let original = plan.settings.stage(stage)[idx];
+            for code in 0..4u8 {
+                let replacement = SwitchSetting::from_code(code).unwrap();
+                if replacement == original {
+                    continue;
+                }
+                let mut corrupted = plan.settings.clone();
+                corrupted.stage_mut(stage)[idx] = replacement;
+                match corrupted.run(lines_of(&tags), &mut clone_split) {
+                    Err(_) => detected_count += 1,
+                    Ok(out) => {
+                        if meets_spec(&out) {
+                            harmless_count += 1;
+                        } else {
+                            detected_count += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // The point: nothing falls through the spec check, and corruption is
+    // overwhelmingly detected.
+    assert!(detected_count > harmless_count, "{detected_count} vs {harmless_count}");
+}

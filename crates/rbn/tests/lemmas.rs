@@ -1,0 +1,195 @@
+//! Direct verification of Lemmas 1–5 **in isolation**: one merging stage,
+//! two half-length circular compact sequences in, one full-length compact
+//! sequence out — exactly as stated in the paper's appendices, for every
+//! legal parameter combination at small sizes.
+
+use brsmn_rbn::{
+    binary_compact_setting, compact_sequence, is_compact_at, trinary_compact_setting,
+};
+use brsmn_switch::{SwitchSetting, Tag};
+
+/// Applies one `n × n` merging stage (switch `i` pairs lines `i`, `i+n/2`)
+/// to tag lines under the given settings; returns output tags. Broadcast
+/// neutralizes α/ε pairs into χ (rendered as `Zero`).
+fn merge_stage(upper: &[Tag], lower: &[Tag], settings: &[SwitchSetting]) -> Vec<Tag> {
+    let half = upper.len();
+    assert_eq!(lower.len(), half);
+    assert_eq!(settings.len(), half);
+    let mut out = vec![Tag::Eps; 2 * half];
+    for i in 0..half {
+        let (u, l) = (upper[i], lower[i]);
+        match settings[i] {
+            SwitchSetting::Parallel => {
+                out[i] = u;
+                out[i + half] = l;
+            }
+            SwitchSetting::Crossing => {
+                out[i] = l;
+                out[i + half] = u;
+            }
+            SwitchSetting::UpperBroadcast => {
+                assert_eq!(u, Tag::Alpha, "upper broadcast requires α on top");
+                assert_eq!(l, Tag::Eps, "upper broadcast requires ε below");
+                out[i] = Tag::Zero;
+                out[i + half] = Tag::Zero; // both outputs are χ now
+            }
+            SwitchSetting::LowerBroadcast => {
+                assert_eq!(u, Tag::Eps, "lower broadcast requires ε on top");
+                assert_eq!(l, Tag::Alpha, "lower broadcast requires α below");
+                out[i] = Tag::Zero;
+                out[i + half] = Tag::Zero;
+            }
+        }
+    }
+    out
+}
+
+fn seq_tags(n: usize, s: usize, l: usize, gamma: Tag) -> Vec<Tag> {
+    compact_sequence(n, s, l)
+        .into_iter()
+        .map(|g| if g { gamma } else { Tag::Zero })
+        .collect()
+}
+
+/// Lemma 1: `C^{n/2}_{s0,l0}` and `C^{n/2}_{s1,l1}` merge to `C^n_{s,l}`
+/// with `s0 = s mod n/2`, `s1 = (s+l0) mod n/2`,
+/// `W^{n/2}_{0, s1; b̄, b}`, `b = ((s+l0) div n/2) mod 2`.
+#[test]
+fn lemma1_exhaustive() {
+    for half in [1usize, 2, 4, 8] {
+        let n = 2 * half;
+        for s in 0..n {
+            for l0 in 0..=half {
+                for l1 in 0..=half {
+                    let l = l0 + l1;
+                    if l > n {
+                        continue;
+                    }
+                    let s0 = s % half;
+                    let s1 = (s + l0) % half;
+                    let b = (s + l0) / half % 2;
+                    let (bv, bc) = if b == 1 {
+                        (SwitchSetting::Crossing, SwitchSetting::Parallel)
+                    } else {
+                        (SwitchSetting::Parallel, SwitchSetting::Crossing)
+                    };
+                    let settings = binary_compact_setting(n, 0, s1, bc, bv);
+                    let upper = seq_tags(half, s0, l0, Tag::One);
+                    let lower = seq_tags(half, s1, l1, Tag::One);
+                    let out = merge_stage(&upper, &lower, &settings);
+                    let gamma: Vec<bool> = out.iter().map(|&t| t == Tag::One).collect();
+                    assert!(
+                        is_compact_at(&gamma, s, l),
+                        "n={n} s={s} l0={l0} l1={l1}: {gamma:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Shared checker for Lemmas 2–5: merge `C^{n/2}_{s0,l0;χ,t0}` with
+/// `C^{n/2}_{s1,l1;χ,t1}` (t0 ≠ t1) and verify `C^n_{s,l;χ,dominant}`.
+fn check_elimination(
+    half: usize,
+    s: usize,
+    l0: usize,
+    l1: usize,
+    upper_is_alpha: bool,
+) {
+    let n = 2 * half;
+    let (lmax, lmin) = (l0.max(l1), l0.min(l1));
+    let l = lmax - lmin;
+    // Positions per the planner's backward rules.
+    let (s0, s1, s_tmp, l_tmp, ucast) = if l0 >= l1 {
+        (s % half, (s + l) % half, (s + l) % half, l1, SwitchSetting::Parallel)
+    } else {
+        ((s + l) % half, s % half, (s + l) % half, l0, SwitchSetting::Crossing)
+    };
+    let bcast = if upper_is_alpha {
+        SwitchSetting::UpperBroadcast
+    } else {
+        SwitchSetting::LowerBroadcast
+    };
+    let ucomp = ucast.complement();
+    let settings = if s + l < half {
+        binary_compact_setting(n, s_tmp, l_tmp, ucast, bcast)
+    } else if s < half {
+        trinary_compact_setting(n, s_tmp, l_tmp, ucomp, bcast, ucast)
+    } else if s + l < n {
+        binary_compact_setting(n, s_tmp, l_tmp, ucomp, bcast)
+    } else {
+        trinary_compact_setting(n, s_tmp, l_tmp, ucast, bcast, ucomp)
+    };
+
+    let (upper_tag, lower_tag) = if upper_is_alpha {
+        (Tag::Alpha, Tag::Eps)
+    } else {
+        (Tag::Eps, Tag::Alpha)
+    };
+    let upper = seq_tags(half, s0, l0, upper_tag);
+    let lower = seq_tags(half, s1, l1, lower_tag);
+    let out = merge_stage(&upper, &lower, &settings);
+
+    // Dominant type run compact at s; recessive type gone.
+    let dominant = if (l0 >= l1) == upper_is_alpha {
+        Tag::Alpha
+    } else {
+        Tag::Eps
+    };
+    let recessive = if dominant == Tag::Alpha {
+        Tag::Eps
+    } else {
+        Tag::Alpha
+    };
+    let run: Vec<bool> = out.iter().map(|&t| t == dominant).collect();
+    assert!(
+        is_compact_at(&run, s, l),
+        "half={half} s={s} l0={l0} l1={l1} upper_alpha={upper_is_alpha}: {out:?}"
+    );
+    assert!(out.iter().all(|&t| t != recessive));
+}
+
+/// Lemma 2 (α above, l0 ≥ l1) and Lemma 3 (α above, l1 ≥ l0), all legal
+/// parameters at n = 4, 8, 16.
+#[test]
+fn lemmas_2_and_3_exhaustive() {
+    for half in [2usize, 4, 8] {
+        let n = 2 * half;
+        for l0 in 0..=half {
+            for l1 in 0..=half {
+                let l = l0.abs_diff(l1);
+                for s in 0..n {
+                    // The lemma preconditions bound the merged run: for
+                    // elimination the dominant run must fit where the cases
+                    // place it; all (s, l) with l ≤ half are covered by the
+                    // four cases.
+                    if l > half {
+                        continue;
+                    }
+                    check_elimination(half, s, l0, l1, true);
+                }
+            }
+        }
+    }
+}
+
+/// Lemmas 4 and 5: the ε-above variants (swap α for ε, upper for lower
+/// broadcast).
+#[test]
+fn lemmas_4_and_5_exhaustive() {
+    for half in [2usize, 4, 8] {
+        let n = 2 * half;
+        for l0 in 0..=half {
+            for l1 in 0..=half {
+                let l = l0.abs_diff(l1);
+                for s in 0..n {
+                    if l > half {
+                        continue;
+                    }
+                    check_elimination(half, s, l0, l1, false);
+                }
+            }
+        }
+    }
+}

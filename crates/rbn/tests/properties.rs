@@ -1,0 +1,324 @@
+//! Property-based verification of the paper's Theorems 1–3 on reverse banyan
+//! networks, at sizes up to 512 with random inputs.
+
+use brsmn_rbn::{
+    clone_split, eps_divide, is_compact_at, plan_bitsort, plan_quasisort, plan_scatter, DomType,
+};
+use brsmn_switch::{Line, Tag};
+use proptest::prelude::*;
+
+/// Builds lines carrying their input index as payload.
+fn lines_of(tags: &[Tag]) -> Vec<Line<usize>> {
+    tags.iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            if t == Tag::Eps {
+                Line::empty()
+            } else {
+                Line::with(t, i)
+            }
+        })
+        .collect()
+}
+
+fn arb_tags(max_pow: u32) -> impl Strategy<Value = Vec<Tag>> {
+    (1u32..=max_pow).prop_flat_map(|m| {
+        proptest::collection::vec(
+            prop_oneof![
+                Just(Tag::Zero),
+                Just(Tag::One),
+                Just(Tag::Alpha),
+                Just(Tag::Eps)
+            ],
+            1usize << m,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1: for any 0/1 inputs and any starting position, the RBN
+    /// produces the circular compact sequence — and the routing is a
+    /// permutation that keeps each message's tag.
+    #[test]
+    fn theorem1_bitsort(m in 1u32..=9, pattern in proptest::collection::vec(any::<bool>(), 512), s in any::<usize>()) {
+        let n = 1usize << m;
+        let gamma = &pattern[..n];
+        let s = s % n;
+        let plan = plan_bitsort(gamma, s);
+        let tags: Vec<Tag> = gamma.iter().map(|&g| if g { Tag::One } else { Tag::Zero }).collect();
+        let out = plan.settings.run(lines_of(&tags), &mut clone_split).unwrap();
+
+        // Compactness at exactly (s, l).
+        let out_gamma: Vec<bool> = out.iter().map(|l| l.tag == Tag::One).collect();
+        let l = gamma.iter().filter(|&&g| g).count();
+        prop_assert!(is_compact_at(&out_gamma, s, l));
+
+        // Permutation: every input index appears exactly once, with its tag.
+        let mut seen = vec![false; n];
+        for line in &out {
+            let i = line.payload.unwrap();
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+            prop_assert_eq!(line.tag == Tag::One, gamma[i]);
+        }
+    }
+
+    /// Theorem 3: for ANY tag values, the surplus of the dominating type is
+    /// compacted at any requested position, the recessive type is fully
+    /// eliminated, and message conservation holds:
+    /// each α becomes a 0 copy and a 1 copy, each χ passes through unchanged.
+    #[test]
+    fn theorem3_scatter(tags in arb_tags(9), s in any::<usize>()) {
+        let n = tags.len();
+        let s = s % n;
+        let plan = plan_scatter(&tags, s);
+        let root = plan.root();
+        let na = tags.iter().filter(|&&t| t == Tag::Alpha).count();
+        let ne = tags.iter().filter(|&&t| t == Tag::Eps).count();
+        prop_assert_eq!(root.l, na.abs_diff(ne));
+        if na != ne {
+            prop_assert_eq!(root.ty == DomType::Alpha, na > ne);
+        }
+
+        let out = plan.settings.run(lines_of(&tags), &mut clone_split).unwrap();
+
+        // Dominating-type run compact at s; recessive type eliminated.
+        let (dom, rec) = if root.ty == DomType::Alpha { (Tag::Alpha, Tag::Eps) } else { (Tag::Eps, Tag::Alpha) };
+        let dom_positions: Vec<bool> = out.iter().map(|l| l.tag == dom).collect();
+        prop_assert!(is_compact_at(&dom_positions, s, root.l));
+        prop_assert!(out.iter().all(|l| l.tag != rec));
+
+        // Conservation: χ inputs arrive once with the same tag; each
+        // eliminated α yields a 0 copy and a 1 copy.
+        let eliminated = na.min(ne);
+        let mut zero_from_alpha = 0usize;
+        let mut one_from_alpha = 0usize;
+        let mut chi_seen = vec![0usize; n];
+        for line in &out {
+            match line.tag {
+                Tag::Zero | Tag::One => {
+                    let i = line.payload.unwrap();
+                    match tags[i] {
+                        Tag::Alpha => {
+                            if line.tag == Tag::Zero { zero_from_alpha += 1 } else { one_from_alpha += 1 }
+                        }
+                        t => {
+                            prop_assert_eq!(line.tag, t, "χ message changed tag");
+                            chi_seen[i] += 1;
+                        }
+                    }
+                }
+                Tag::Alpha => {
+                    let i = line.payload.unwrap();
+                    prop_assert_eq!(tags[i], Tag::Alpha, "surviving α must be an input α");
+                }
+                Tag::Eps => {}
+            }
+        }
+        prop_assert_eq!(zero_from_alpha, eliminated);
+        prop_assert_eq!(one_from_alpha, eliminated);
+        for (i, &t) in tags.iter().enumerate() {
+            if t.is_chi() {
+                prop_assert_eq!(chi_seen[i], 1, "χ input {} lost or duplicated", i);
+            }
+        }
+    }
+
+    /// Theorem 2 output counts: when nα ≤ nε (the BSN situation), the scatter
+    /// output satisfies n̂0 = n0 + nα, n̂1 = n1 + nα, n̂ε = nε − nα, n̂α = 0.
+    #[test]
+    fn theorem2_output_counts(tags in arb_tags(8)) {
+        let na = tags.iter().filter(|&&t| t == Tag::Alpha).count();
+        let ne = tags.iter().filter(|&&t| t == Tag::Eps).count();
+        prop_assume!(na <= ne);
+        let n0 = tags.iter().filter(|&&t| t == Tag::Zero).count();
+        let n1 = tags.iter().filter(|&&t| t == Tag::One).count();
+
+        let plan = plan_scatter(&tags, 0);
+        let out = plan.settings.run(lines_of(&tags), &mut clone_split).unwrap();
+        let count = |t: Tag| out.iter().filter(|l| l.tag == t).count();
+        prop_assert_eq!(count(Tag::Zero), n0 + na);
+        prop_assert_eq!(count(Tag::One), n1 + na);
+        prop_assert_eq!(count(Tag::Eps), ne - na);
+        prop_assert_eq!(count(Tag::Alpha), 0);
+    }
+
+    /// Quasisorting (Section 5.2): with tags {0,1,ε} and each message tag at
+    /// most n/2 times, all 0s route to the upper half, all 1s to the lower
+    /// half, and the routing is a permutation.
+    #[test]
+    fn quasisort_separates_halves(m in 1u32..=9, raw in proptest::collection::vec(0u8..3, 512)) {
+        let n = 1usize << m;
+        let mut tags: Vec<Tag> = raw[..n].iter().map(|&r| match r {
+            0 => Tag::Zero,
+            1 => Tag::One,
+            _ => Tag::Eps,
+        }).collect();
+        // Enforce the per-half capacity by downgrading surplus to ε.
+        for want in [Tag::Zero, Tag::One] {
+            let mut count = 0usize;
+            for t in tags.iter_mut() {
+                if *t == want {
+                    count += 1;
+                    if count > n / 2 {
+                        *t = Tag::Eps;
+                    }
+                }
+            }
+        }
+
+        let (divide, sort) = plan_quasisort(&tags).unwrap();
+        prop_assert_eq!(divide.qtags.iter().filter(|q| q.sort_bit()).count(), n / 2);
+
+        let out = sort.settings.run(lines_of(&tags), &mut clone_split).unwrap();
+        for (pos, line) in out.iter().enumerate() {
+            if pos < n / 2 {
+                prop_assert_ne!(line.tag, Tag::One);
+            } else {
+                prop_assert_ne!(line.tag, Tag::Zero);
+            }
+            if let Some(i) = line.payload {
+                prop_assert_eq!(line.tag, tags[i]);
+            }
+        }
+        let mut payloads: Vec<usize> = out.iter().filter_map(|l| l.payload).collect();
+        payloads.sort_unstable();
+        let expect: Vec<usize> = (0..n).filter(|&i| tags[i] != Tag::Eps).collect();
+        prop_assert_eq!(payloads, expect);
+    }
+
+    /// The ε-divide invariants (Eqs. 6–9) hold at every node for random
+    /// quasisort inputs.
+    #[test]
+    fn eps_divide_invariants(m in 1u32..=8, raw in proptest::collection::vec(0u8..4, 256)) {
+        let n = 1usize << m;
+        let mut tags: Vec<Tag> = raw[..n].iter().map(|&r| match r {
+            0 => Tag::Zero,
+            1 => Tag::One,
+            _ => Tag::Eps,
+        }).collect();
+        for want in [Tag::Zero, Tag::One] {
+            let mut count = 0usize;
+            for t in tags.iter_mut() {
+                if *t == want {
+                    count += 1;
+                    if count > n / 2 { *t = Tag::Eps; }
+                }
+            }
+        }
+        let plan = eps_divide(&tags).unwrap();
+        for j in 0..=(m as usize) {
+            for b in 0..(n >> j) {
+                let (e0, e1) = plan.quotas[j][b];
+                prop_assert_eq!(e0 + e1, plan.n_eps[j][b]);
+            }
+        }
+        for j in 1..=(m as usize) {
+            for b in 0..(n >> j) {
+                let (e0, e1) = plan.quotas[j][b];
+                let (u0, u1) = plan.quotas[j - 1][2 * b];
+                let (l0, l1) = plan.quotas[j - 1][2 * b + 1];
+                prop_assert_eq!(e0, u0 + l0);
+                prop_assert_eq!(e1, u1 + l1);
+            }
+        }
+    }
+}
+
+/// Exhaustive Theorem 3 check at n = 4: all 4^4 tag combinations × all 4
+/// starting positions.
+#[test]
+fn theorem3_exhaustive_n4() {
+    let all = [Tag::Zero, Tag::One, Tag::Alpha, Tag::Eps];
+    for a in all {
+        for b in all {
+            for c in all {
+                for d in all {
+                    let tags = [a, b, c, d];
+                    for s in 0..4 {
+                        let plan = plan_scatter(&tags, s);
+                        let root = plan.root();
+                        let out = plan
+                            .settings
+                            .run(lines_of(&tags), &mut clone_split)
+                            .unwrap_or_else(|e| panic!("{tags:?} s={s}: {e}"));
+                        let dom = if root.ty == DomType::Alpha {
+                            Tag::Alpha
+                        } else {
+                            Tag::Eps
+                        };
+                        let dom_pos: Vec<bool> = out.iter().map(|l| l.tag == dom).collect();
+                        assert!(
+                            is_compact_at(&dom_pos, s, root.l),
+                            "{tags:?} s={s} out tags {:?}",
+                            out.iter().map(|l| l.tag).collect::<Vec<_>>()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Exhaustive Theorem 1 at n = 4 for every pattern and target.
+#[test]
+fn theorem1_exhaustive_n4() {
+    for pattern in 0..16u32 {
+        let gamma: Vec<bool> = (0..4).map(|i| pattern >> i & 1 == 1).collect();
+        for s in 0..4 {
+            let plan = plan_bitsort(&gamma, s);
+            let tags: Vec<Tag> = gamma
+                .iter()
+                .map(|&g| if g { Tag::One } else { Tag::Zero })
+                .collect();
+            let out = plan
+                .settings
+                .run(lines_of(&tags), &mut clone_split)
+                .unwrap();
+            let out_gamma: Vec<bool> = out.iter().map(|l| l.tag == Tag::One).collect();
+            let l = gamma.iter().filter(|&&g| g).count();
+            assert!(is_compact_at(&out_gamma, s, l), "pattern={pattern} s={s}");
+        }
+    }
+}
+
+/// A large deterministic smoke test: n = 1024 scatter + quasisort pipeline.
+#[test]
+fn large_scatter_then_quasisort_pipeline() {
+    let n = 1024usize;
+    // Deterministic pseudo-random tags satisfying the BSN constraints:
+    // alternate α/ε blocks and sprinkle 0/1.
+    let tags: Vec<Tag> = (0..n)
+        .map(|i| match (i * 2654435761usize) >> 28 & 7 {
+            0 => Tag::Alpha,
+            1..=3 => Tag::Eps,
+            4 | 5 => Tag::Zero,
+            _ => Tag::One,
+        })
+        .collect();
+    let counts = brsmn_switch::tag::TagCounts::of(&tags);
+    assert!(counts.satisfies_bsn_input_constraints(), "{counts:?}");
+
+    let scatter = plan_scatter(&tags, 0);
+    let mid = scatter
+        .settings
+        .run(lines_of(&tags), &mut clone_split)
+        .unwrap();
+    let mid_tags: Vec<Tag> = mid.iter().map(|l| l.tag).collect();
+    assert!(mid_tags.iter().all(|&t| t != Tag::Alpha));
+
+    let (_, sort) = plan_quasisort(&mid_tags).unwrap();
+    let out = sort.settings.run(mid, &mut clone_split).unwrap();
+    for (pos, line) in out.iter().enumerate() {
+        if pos < n / 2 {
+            assert_ne!(line.tag, Tag::One, "position {pos}");
+        } else {
+            assert_ne!(line.tag, Tag::Zero, "position {pos}");
+        }
+    }
+    // Message count: every 0/1 input + two copies per α.
+    let msgs = out.iter().filter(|l| l.tag != Tag::Eps).count();
+    assert_eq!(msgs, counts.n0 + counts.n1 + 2 * counts.na);
+}

@@ -1,0 +1,134 @@
+//! The pipelined one-bit (bit-serial) adder of Fig. 12 and its composition
+//! into adder trees.
+//!
+//! Operands stream LSB-first, one bit per gate-delay tick; a one-bit full
+//! adder with a carry flip-flop emits sum bit `i` a fixed
+//! [`ADDER_STAGE_DELAY`] after both operand bits `i` are present (the carry
+//! for bit `i` was latched while bit `i−1` was summed, so it is never the
+//! bottleneck on the monotone streams modeled here). A tree of such adders
+//! is fully pipelined: total latency is `(bits − 1) + depth · delay`, linear
+//! in depth instead of `depth × bits`.
+//!
+//! This module simulates *bit arrival times* explicitly rather than assuming
+//! the closed form, so the timing claims in EXPERIMENTS.md are measured.
+
+use brsmn_switch::cost::ADDER_STAGE_DELAY;
+
+/// Arrival times of the bits of a leaf operand: bit `i` is on the wire at
+/// tick `i` (LSB first).
+pub fn leaf_arrivals(bits: usize) -> Vec<u64> {
+    (0..bits as u64).collect()
+}
+
+/// Arrival times of the sum bits of one pipelined serial adder, given the
+/// arrival times of its operand bits.
+///
+/// Sum bit `i` appears [`ADDER_STAGE_DELAY`] after `max(a_i, b_i)`, and
+/// never earlier than one tick after sum bit `i−1` (the carry dependency).
+pub fn add_arrivals(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let w = a.len().max(b.len());
+    let mut out = Vec::with_capacity(w + 1);
+    let mut prev: u64 = 0;
+    for i in 0..=w {
+        // Missing high bits of a shorter operand are zeros that continue
+        // streaming one per tick after its last real bit.
+        let ai = stream_bit(a, i);
+        let bi = stream_bit(b, i);
+        // Combinational delay after the operand bits; the latched carry only
+        // enforces one output bit per clock tick.
+        let mut t = ai.max(bi) + ADDER_STAGE_DELAY;
+        if i > 0 {
+            t = t.max(prev + 1);
+        }
+        out.push(t);
+        prev = t;
+    }
+    out
+}
+
+fn stream_bit(x: &[u64], i: usize) -> u64 {
+    if i < x.len() {
+        x[i]
+    } else {
+        // The stream keeps clocking zeros after its payload.
+        x.last().map_or(i as u64, |&last| last + (i - x.len()) as u64 + 1)
+    }
+}
+
+/// Latency (in gate delays) until the **last** sum bit of a balanced adder
+/// tree over `leaves` operands of `bits` bits each has settled.
+///
+/// This is the forward-phase cost of the distributed algorithms: the tree of
+/// Fig. 8a folded over the pipelined adders of Fig. 12.
+pub fn adder_tree_latency(leaves: usize, bits: usize) -> u64 {
+    assert!(leaves.is_power_of_two() && leaves >= 1);
+    let mut level: Vec<Vec<u64>> = (0..leaves).map(|_| leaf_arrivals(bits)).collect();
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|pair| add_arrivals(&pair[0], &pair[1]))
+            .collect();
+    }
+    *level[0].last().expect("non-empty result")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_bits_stream_one_per_tick() {
+        assert_eq!(leaf_arrivals(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_adder_is_pipelined() {
+        let a = leaf_arrivals(4);
+        let out = add_arrivals(&a, &a);
+        // Bit i settles at i + delay; one extra carry-out bit at the end.
+        for (i, &t) in out.iter().enumerate().take(4) {
+            assert_eq!(t, i as u64 + ADDER_STAGE_DELAY);
+        }
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn tree_latency_is_linear_in_depth_plus_bits() {
+        // Fully pipelined: each level adds one carry-out bit and one stage
+        // delay, so latency = (bits − 1) + depth·(delay + 1) — linear in
+        // depth, NOT depth·bits.
+        for depth in 1..10u32 {
+            let leaves = 1usize << depth;
+            let bits = 8usize;
+            let measured = adder_tree_latency(leaves, bits);
+            let expected = bits as u64 - 1 + depth as u64 * (ADDER_STAGE_DELAY + 1);
+            assert_eq!(measured, expected, "depth={depth}");
+        }
+    }
+
+    #[test]
+    fn unpipelined_would_be_quadratically_worse() {
+        // Sanity on the claim of Section 7.2: a non-pipelined tree would pay
+        // bits·delay per level; the simulated pipelined latency is far less.
+        let depth = 10u32;
+        let bits = 11usize; // log(1024) + 1
+        let pipelined = adder_tree_latency(1 << depth, bits);
+        let unpipelined = depth as u64 * (bits as u64 * ADDER_STAGE_DELAY);
+        assert!(pipelined * 3 < unpipelined);
+    }
+
+    #[test]
+    fn mismatched_widths_zero_extend() {
+        let a = leaf_arrivals(2);
+        let b = leaf_arrivals(6);
+        let out = add_arrivals(&a, &b);
+        assert_eq!(out.len(), 7);
+        // The longer operand dominates arrival times.
+        assert_eq!(out[5], 5 + ADDER_STAGE_DELAY);
+    }
+
+    #[test]
+    fn degenerate_single_leaf() {
+        assert_eq!(adder_tree_latency(1, 5), 4);
+    }
+}

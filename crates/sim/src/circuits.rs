@@ -1,0 +1,312 @@
+//! Concrete circuits from Section 7.2, built on the [`crate::gates`]
+//! netlist: the bit-serial adder of Fig. 12, the tag-counting predicates of
+//! Table 1, and the per-switch compact-setting comparator of Table 5.
+//!
+//! Their measured gate counts and combinational depths back the calibration
+//! constants in `brsmn_switch::cost` (asserted in the tests): a constant
+//! number of gates per switch, two gate levels per bit-serial stage.
+
+use crate::gates::{GateKind, Netlist, NodeId};
+
+/// Builds the pipelined one-bit serial adder of Fig. 12: inputs `a`, `b`
+/// (one bit per clock, LSB first), output `sum`; the carry lives in a
+/// flip-flop.
+///
+/// sum = a ⊕ b ⊕ c;  c' = (a ∧ b) ∨ (c ∧ (a ⊕ b)).
+pub fn serial_adder() -> Netlist {
+    let mut nl = Netlist::new();
+    let a = nl.input();
+    let b = nl.input();
+    let carry = nl.dff_deferred();
+    let axb = nl.gate(GateKind::Xor, vec![a, b]);
+    let sum = nl.gate(GateKind::Xor, vec![axb, carry]);
+    let ab = nl.gate(GateKind::And, vec![a, b]);
+    let c_axb = nl.gate(GateKind::And, vec![carry, axb]);
+    let carry_next = nl.gate(GateKind::Or, vec![ab, c_axb]);
+    nl.connect_dff(carry, carry_next);
+    nl.mark_output("sum", sum);
+    nl.mark_output("carry", carry_next);
+    nl
+}
+
+/// Streams two unsigned integers through a serial-adder simulator and
+/// returns their sum (verifying the circuit operationally).
+pub fn serial_add(x: u64, y: u64, bits: u32) -> u64 {
+    let nl = serial_adder();
+    let mut sim = nl.simulator();
+    let mut out = 0u64;
+    for i in 0..bits + 1 {
+        let a = i < 64 && (x >> i) & 1 == 1;
+        let b = i < 64 && (y >> i) & 1 == 1;
+        let o = sim.tick(&[a, b]);
+        if o["sum"] {
+            out |= 1 << i;
+        }
+    }
+    out
+}
+
+/// Builds the tag-predicate circuit of Section 7.2: from the 3-bit code
+/// `b0 b1 b2` of Table 1, outputs `is_alpha = b0 ∧ ¬b1`, `is_eps = b0 ∧ b1`,
+/// and `is_one = b2`.
+pub fn tag_counter() -> Netlist {
+    let mut nl = Netlist::new();
+    let b0 = nl.input();
+    let b1 = nl.input();
+    let b2 = nl.input();
+    let not_b1 = nl.gate(GateKind::Not, vec![b1]);
+    let is_alpha = nl.gate(GateKind::And, vec![b0, not_b1]);
+    let is_eps = nl.gate(GateKind::And, vec![b0, b1]);
+    nl.mark_output("is_alpha", is_alpha);
+    nl.mark_output("is_eps", is_eps);
+    nl.mark_output("is_one", b2);
+    nl
+}
+
+/// Builds an unsigned `width`-bit comparator asserting `x < y` (parallel,
+/// combinational) — the building block of the compact-setting circuit, which
+/// each switch uses to decide whether its own address lies inside the
+/// `[s, s+l)` run of `W^{n/2}_{s,l;…}` (Table 5).
+pub fn less_than(width: usize) -> Netlist {
+    let mut nl = Netlist::new();
+    let xs: Vec<NodeId> = (0..width).map(|_| nl.input()).collect();
+    let ys: Vec<NodeId> = (0..width).map(|_| nl.input()).collect();
+    // LSB-first ripple: lt_{≤i} = (¬x_i ∧ y_i) ∨ (x_i = y_i ∧ lt_{<i}).
+    let mut lt: Option<NodeId> = None;
+    for i in 0..width {
+        let nx = nl.gate(GateKind::Not, vec![xs[i]]);
+        let here = nl.gate(GateKind::And, vec![nx, ys[i]]);
+        lt = Some(match lt {
+            None => here,
+            Some(prev) => {
+                let eq = nl.gate(GateKind::Xor, vec![xs[i], ys[i]]);
+                let neq = nl.gate(GateKind::Not, vec![eq]);
+                let keep = nl.gate(GateKind::And, vec![neq, prev]);
+                nl.gate(GateKind::Or, vec![here, keep])
+            }
+        });
+    }
+    nl.mark_output("lt", lt.expect("width >= 1"));
+    nl
+}
+
+/// Evaluates the `less_than` circuit on concrete values.
+pub fn eval_less_than(width: usize, x: u64, y: u64) -> bool {
+    let nl = less_than(width);
+    let mut sim = nl.simulator();
+    let mut inputs = Vec::with_capacity(2 * width);
+    for i in 0..width {
+        inputs.push((x >> i) & 1 == 1);
+    }
+    for i in 0..width {
+        inputs.push((y >> i) & 1 == 1);
+    }
+    sim.tick(&inputs)["lt"]
+}
+
+/// Per-switch routing-circuit inventory (the paper's "constant cost added to
+/// each switch"): one serial adder for the forward phase, one adder-like
+/// unit for the backward mod/add, the tag predicates, and the in-run
+/// comparator logic amortized over the stage.
+pub fn per_switch_routing_gates() -> usize {
+    let adder = serial_adder();
+    let tags = tag_counter();
+    // Two serial adders (forward count + backward position), one tag
+    // predicate block, plus two 2-gate run-boundary cells of the stage
+    // comparator that each switch contributes.
+    2 * adder.gate_count() + tags.gate_count() + 4
+}
+
+
+/// Builds the **forward-phase counting tree** of the distributed algorithms
+/// (Fig. 8a over Fig. 12 adders) as one clocked netlist: `leaves` one-bit
+/// activity inputs, reduced by a binary tree of bit-serial adders to the
+/// total count, emitted LSB-first on the `sum` output.
+///
+/// With `pipelined = true`, a flip-flop is inserted on every adder output
+/// (sum and carry path already latched), so the *combinational depth* of the
+/// whole tree stays constant — the property that makes a forward sweep cost
+/// `O(log n)` gate delays instead of `O(log² n)`. With `pipelined = false`
+/// the adders chain combinationally and the depth grows with the tree.
+pub fn count_tree(leaves: usize, pipelined: bool) -> Netlist {
+    assert!(leaves.is_power_of_two() && leaves >= 2);
+    let mut nl = Netlist::new();
+    let mut level: Vec<NodeId> = (0..leaves).map(|_| nl.input()).collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for pair in level.chunks(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let carry = nl.dff_deferred();
+            let axb = nl.gate(GateKind::Xor, vec![a, b]);
+            let sum = nl.gate(GateKind::Xor, vec![axb, carry]);
+            let ab = nl.gate(GateKind::And, vec![a, b]);
+            let c_axb = nl.gate(GateKind::And, vec![carry, axb]);
+            let carry_next = nl.gate(GateKind::Or, vec![ab, c_axb]);
+            nl.connect_dff(carry, carry_next);
+            let out = if pipelined { nl.dff(sum) } else { sum };
+            next.push(out);
+        }
+        level = next;
+    }
+    nl.mark_output("sum", level[0]);
+    nl
+}
+
+/// Drives a [`count_tree`] netlist: presents each leaf's activity bit at
+/// tick 0 (zeros afterwards) and decodes the serial `sum` output back into
+/// the count. `pipelined` must match the netlist's construction (it sets
+/// the output latency).
+pub fn run_count_tree(nl: &Netlist, gamma: &[bool], pipelined: bool) -> u64 {
+    let leaves = gamma.len();
+    let depth = leaves.trailing_zeros() as u64;
+    let latency = if pipelined { depth } else { 0 };
+    let bits = depth + 1;
+    let mut sim = nl.simulator();
+    let mut total = 0u64;
+    for tick in 0..latency + bits {
+        let inputs: Vec<bool> = gamma.iter().map(|&g| g && tick == 0).collect();
+        let out = sim.tick(&inputs);
+        if tick >= latency && out["sum"] {
+            total |= 1 << (tick - latency);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brsmn_switch::cost::{ADDER_STAGE_DELAY, GATES_ROUTING_PER_SWITCH};
+    use brsmn_switch::encoding::encode_tag;
+    use brsmn_switch::Tag;
+
+
+    #[test]
+    fn count_tree_counts_exhaustively_n8() {
+        for pipelined in [false, true] {
+            let nl = count_tree(8, pipelined);
+            for pattern in 0..256u32 {
+                let gamma: Vec<bool> = (0..8).map(|i| pattern >> i & 1 == 1).collect();
+                let expect = pattern.count_ones() as u64;
+                assert_eq!(
+                    run_count_tree(&nl, &gamma, pipelined),
+                    expect,
+                    "pattern={pattern:#010b} pipelined={pipelined}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_tree_large_random() {
+        let n = 256usize;
+        let nl = count_tree(n, true);
+        for seed in 0..4usize {
+            let gamma: Vec<bool> = (0..n)
+                .map(|i| (i ^ seed).wrapping_mul(2654435761) >> 30 & 1 == 1)
+                .collect();
+            let expect = gamma.iter().filter(|&&g| g).count() as u64;
+            assert_eq!(run_count_tree(&nl, &gamma, true), expect);
+        }
+    }
+
+    #[test]
+    fn pipelining_bounds_combinational_depth() {
+        // Unpipelined: depth grows with the tree (the carry/sum chains
+        // stack). Pipelined: constant, whatever the tree size — the Fig. 12
+        // claim at gate level.
+        let d8 = count_tree(8, true).depth();
+        let d256 = count_tree(256, true).depth();
+        assert_eq!(d8, d256, "pipelined depth must not grow");
+
+        let u8_ = count_tree(8, false).depth();
+        let u256 = count_tree(256, false).depth();
+        assert!(u256 > u8_, "unpipelined depth must grow: {u8_} vs {u256}");
+        assert!(d256 < u256);
+    }
+
+    #[test]
+    fn count_tree_gate_cost_is_linear() {
+        // n−1 adders of 5 gates each.
+        let nl = count_tree(64, true);
+        assert_eq!(nl.gate_count(), 63 * 5);
+        assert_eq!(nl.dff_count(), 63 /* carries */ + 63 /* pipeline regs */);
+    }
+
+    #[test]
+    fn serial_adder_adds() {
+        for (x, y) in [(0u64, 0u64), (1, 1), (5, 3), (255, 1), (123, 456), (1 << 20, 1 << 20)] {
+            assert_eq!(serial_add(x, y, 40), x + y, "{x}+{y}");
+        }
+    }
+
+    #[test]
+    fn serial_adder_exhaustive_small() {
+        for x in 0..32u64 {
+            for y in 0..32u64 {
+                assert_eq!(serial_add(x, y, 8), x + y);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_adder_matches_fig12_budget() {
+        let nl = serial_adder();
+        // 5 gates + 1 carry flip-flop, 2 combinational levels to the sum.
+        assert_eq!(nl.gate_count(), 5);
+        assert_eq!(nl.dff_count(), 1);
+        assert_eq!(nl.depth(), ADDER_STAGE_DELAY + 1); // carry path is 3 levels
+        assert!(nl.is_complete());
+    }
+
+    #[test]
+    fn tag_counter_matches_section72() {
+        let nl = tag_counter();
+        let mut sim = nl.simulator();
+        for t in Tag::ALL {
+            let c = encode_tag(t);
+            let out = sim.tick(&[c.b0, c.b1, c.b2]);
+            assert_eq!(out["is_alpha"], t == Tag::Alpha, "{t}");
+            assert_eq!(out["is_eps"], t == Tag::Eps, "{t}");
+            assert_eq!(out["is_one"], t == Tag::One, "{t}");
+        }
+    }
+
+    #[test]
+    fn comparator_exhaustive_4bit() {
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                assert_eq!(eval_less_than(4, x, y), x < y, "{x} < {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_wide_values() {
+        assert!(eval_less_than(16, 12345, 54321));
+        assert!(!eval_less_than(16, 54321, 12345));
+        assert!(!eval_less_than(16, 777, 777));
+    }
+
+    #[test]
+    fn per_switch_budget_within_calibration() {
+        // The measured circuit inventory must fit the documented constant.
+        let measured = per_switch_routing_gates() as u64;
+        assert!(
+            measured <= GATES_ROUTING_PER_SWITCH,
+            "measured {measured} > calibrated {GATES_ROUTING_PER_SWITCH}"
+        );
+        // …and the calibration is not wildly padded either.
+        assert!(measured * 2 >= GATES_ROUTING_PER_SWITCH);
+    }
+
+    #[test]
+    fn comparator_cost_is_linear_in_width() {
+        let g4 = less_than(4).gate_count();
+        let g8 = less_than(8).gate_count();
+        let g16 = less_than(16).gate_count();
+        // Constant gates per additional comparator bit.
+        assert_eq!((g8 - g4) / 4, (g16 - g8) / 8);
+        assert_eq!((g8 - g4) % 4, 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! The ε-dividing algorithm (Table 6, §7.2) in gates: serial forward
+//! counting, then a combinational backward quota tree.
+//!
+//! * **Forward**: two Fig. 12 adder trees count the `ε` inputs and the `1`
+//!   inputs per node (using exactly the Table 1 predicates `b0∧b1` and
+//!   `b2`); every node deserializes its ε count into a small register.
+//! * **Turnaround**: the root's dummy-0 quota is
+//!   `n_ε0 = n_ε + n_1 − n/2` (parallel adder/subtractor on the latched
+//!   counts).
+//! * **Backward**: only the `ε0` quota needs to flow down —
+//!   `u_ε0 = min(ε0, n_ε(upper))`, `l_ε0 = ε0 − u_ε0` — a comparator, a
+//!   mux, and a subtractor per node, all combinational once the forward
+//!   registers have settled.
+//! * **Leaves**: input `i`'s dummy bit is just bit 0 of its quota.
+//!
+//! Verified exhaustively against `brsmn_rbn::eps_divide` at n = 8 (every
+//! `{0,1,ε}` tag vector satisfying the quasisort precondition).
+
+use crate::gates::{GateKind, Netlist, NodeId};
+use crate::hwlib::{add_parallel, deserialize, lt_parallel, mux_bits, serial_adder_node, sub_parallel};
+use brsmn_topology::log2_exact;
+
+/// The ε-divide circuit plus interface metadata.
+#[derive(Debug, Clone)]
+pub struct EpsDivider {
+    /// The netlist. Inputs: `start` pulse, then per leaf `is_eps`, `is_one`
+    /// (static levels). Output `eps0_{i}` = leaf `i` is a dummy 0.
+    pub netlist: Netlist,
+    /// Network size.
+    pub n: usize,
+    /// Ticks to clock before outputs are valid.
+    pub ticks: usize,
+}
+
+/// Elaborates the Table 6 circuit for `n` inputs.
+pub fn eps_divider(n: usize) -> EpsDivider {
+    let m = log2_exact(n) as usize;
+    let width = m + 2;
+    let mut nl = Netlist::new();
+
+    let start = nl.input();
+    let leaf_eps: Vec<(NodeId, NodeId)> = (0..n)
+        .map(|_| {
+            let e = nl.input();
+            let o = nl.input();
+            (e, o)
+        })
+        .collect();
+
+    let not_start = nl.gate(GateKind::Not, vec![start]);
+    let zero = nl.gate(GateKind::And, vec![start, not_start]);
+    let ticks_needed = width + 1;
+    let mut tick = Vec::with_capacity(ticks_needed);
+    tick.push(start);
+    for t in 1..ticks_needed {
+        let prev = tick[t - 1];
+        tick.push(nl.dff(prev));
+    }
+
+    // Forward: serial count trees for ε and 1 flags; every ε-tree node
+    // deserializes its count.
+    // ε streams: leaf value = is_eps at tick 0.
+    let mut eps_level: Vec<NodeId> = leaf_eps
+        .iter()
+        .map(|&(e, _)| nl.gate(GateKind::And, vec![e, tick[0]]))
+        .collect();
+    // Registered ε counts per node, per height level: regs[j-1][b].
+    let mut eps_regs: Vec<Vec<Vec<NodeId>>> = Vec::with_capacity(m);
+    for _ in 1..=m {
+        let mut next = Vec::with_capacity(eps_level.len() / 2);
+        let mut regs_level = Vec::with_capacity(eps_level.len() / 2);
+        for pair in eps_level.chunks(2) {
+            let sum = serial_adder_node(&mut nl, pair[0], pair[1]);
+            regs_level.push(deserialize(&mut nl, sum, &tick[..width]));
+            next.push(sum);
+        }
+        eps_regs.push(regs_level);
+        eps_level = next;
+    }
+
+    // 1-count tree: only the root total is needed.
+    let mut one_level: Vec<NodeId> = leaf_eps
+        .iter()
+        .map(|&(_, o)| nl.gate(GateKind::And, vec![o, tick[0]]))
+        .collect();
+    while one_level.len() > 1 {
+        one_level = one_level
+            .chunks(2)
+            .map(|pair| serial_adder_node(&mut nl, pair[0], pair[1]))
+            .collect();
+    }
+    let n1_regs = deserialize(&mut nl, one_level[0], &tick[..width]);
+
+    // Per-leaf ε registers for the backward min() at the lowest level: the
+    // "count" of a leaf is its is_eps bit (width-extended with zeros).
+    let leaf_count: Vec<Vec<NodeId>> = leaf_eps
+        .iter()
+        .map(|&(e, _)| {
+            let mut bits = vec![e];
+            bits.extend(std::iter::repeat_n(zero, width - 1));
+            bits
+        })
+        .collect();
+
+    // Turnaround: e0(root) = nε + n1 − n/2.
+    let root_eps = eps_regs[m - 1][0].clone();
+    let total = add_parallel(&mut nl, &root_eps, &n1_regs);
+    // Constant n/2 as bit nodes.
+    let one = nl.gate(GateKind::Or, vec![start, not_start]);
+    let half_const: Vec<NodeId> = (0..width)
+        .map(|k| if (n / 2) >> k & 1 == 1 { one } else { zero })
+        .collect();
+    let root_e0 = sub_parallel(&mut nl, &total, &half_const);
+
+    // Backward: e0 quotas flow down; at each node
+    // u = min(e0, nε_upper), l = e0 − u.
+    let mut quotas: Vec<Vec<NodeId>> = vec![root_e0];
+    for j in (1..=m).rev() {
+        let mut next = Vec::with_capacity(2 * quotas.len());
+        for (b, e0) in quotas.iter().enumerate() {
+            let upper_count = if j == 1 {
+                leaf_count[2 * b].clone()
+            } else {
+                eps_regs[j - 2][2 * b].clone()
+            };
+            let lt = lt_parallel(&mut nl, &upper_count, e0, zero);
+            let u_e0 = mux_bits(&mut nl, lt, &upper_count, e0);
+            let l_e0 = sub_parallel(&mut nl, e0, &u_e0);
+            next.push(u_e0);
+            next.push(l_e0);
+        }
+        quotas = next;
+    }
+
+    // Leaves: dummy-0 bit = quota bit 0 (quota ∈ {0, 1} at a leaf).
+    for (i, quota) in quotas.iter().enumerate() {
+        nl.mark_output(&format!("eps0_{i}"), quota[0]);
+    }
+
+    EpsDivider {
+        netlist: nl,
+        n,
+        ticks: ticks_needed,
+    }
+}
+
+/// Clocks an [`eps_divider`] and returns, per input, whether it was assigned
+/// a dummy 0 (`ε₀`). Non-ε inputs report `false`.
+pub fn run_eps_divider(div: &EpsDivider, is_eps: &[bool], is_one: &[bool]) -> Vec<bool> {
+    let n = div.n;
+    assert_eq!(is_eps.len(), n);
+    assert_eq!(is_one.len(), n);
+    let mut sim = div.netlist.simulator();
+    let mut last = None;
+    for t in 0..div.ticks {
+        let mut inputs = Vec::with_capacity(1 + 2 * n);
+        inputs.push(t == 0);
+        for i in 0..n {
+            inputs.push(is_eps[i]);
+            inputs.push(is_one[i]);
+        }
+        last = Some(sim.tick(&inputs));
+    }
+    let out = last.expect("ticks >= 1");
+    (0..n)
+        .map(|i| is_eps[i] && out[&format!("eps0_{i}")])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brsmn_rbn::eps_divide;
+    use brsmn_switch::{QTag, Tag};
+
+    fn check(tags: &[Tag]) {
+        let n = tags.len();
+        let div = eps_divider(n);
+        let is_eps: Vec<bool> = tags.iter().map(|&t| t == Tag::Eps).collect();
+        let is_one: Vec<bool> = tags.iter().map(|&t| t == Tag::One).collect();
+        let hw = run_eps_divider(&div, &is_eps, &is_one);
+        let sw = eps_divide(tags).expect("valid quasisort input");
+        for (i, qt) in sw.qtags.iter().enumerate() {
+            assert_eq!(hw[i], *qt == QTag::Eps0, "input {i} of {tags:?}");
+        }
+    }
+
+    #[test]
+    fn matches_planner_exhaustively_n4() {
+        let vals = [Tag::Zero, Tag::One, Tag::Eps];
+        for a in vals {
+            for b in vals {
+                for c in vals {
+                    for d in vals {
+                        let tags = [a, b, c, d];
+                        let n0 = tags.iter().filter(|&&t| t == Tag::Zero).count();
+                        let n1 = tags.iter().filter(|&&t| t == Tag::One).count();
+                        if n0 <= 2 && n1 <= 2 {
+                            check(&tags);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_planner_exhaustively_n8() {
+        // All 3^8 = 6561 tag vectors over {0,1,ε}, filtered to the
+        // quasisort precondition.
+        let vals = [Tag::Zero, Tag::One, Tag::Eps];
+        let div = eps_divider(8);
+        let mut cases = 0usize;
+        for code in 0..6561usize {
+            let mut c = code;
+            let tags: Vec<Tag> = (0..8)
+                .map(|_| {
+                    let t = vals[c % 3];
+                    c /= 3;
+                    t
+                })
+                .collect();
+            let n0 = tags.iter().filter(|&&t| t == Tag::Zero).count();
+            let n1 = tags.iter().filter(|&&t| t == Tag::One).count();
+            if n0 > 4 || n1 > 4 {
+                continue;
+            }
+            cases += 1;
+            let is_eps: Vec<bool> = tags.iter().map(|&t| t == Tag::Eps).collect();
+            let is_one: Vec<bool> = tags.iter().map(|&t| t == Tag::One).collect();
+            let hw = run_eps_divider(&div, &is_eps, &is_one);
+            let sw = eps_divide(&tags).unwrap();
+            for (i, qt) in sw.qtags.iter().enumerate() {
+                assert_eq!(hw[i], *qt == QTag::Eps0, "input {i} of {tags:?}");
+            }
+        }
+        assert!(cases > 4000, "covered {cases} legal vectors");
+    }
+
+    #[test]
+    fn all_eps_splits_half_half() {
+        let div = eps_divider(8);
+        let hw = run_eps_divider(&div, &[true; 8], &[false; 8]);
+        assert_eq!(hw.iter().filter(|&&b| b).count(), 4);
+    }
+
+    #[test]
+    fn circuit_cost_scales_linearly() {
+        // O(width) gates per node → O(n log n) total; per input it grows
+        // only with log n.
+        let g8 = eps_divider(8).netlist.gate_count() as f64 / 8.0;
+        let g64 = eps_divider(64).netlist.gate_count() as f64 / 64.0;
+        assert!(g64 / g8 < 3.0, "{g8} vs {g64}");
+    }
+}

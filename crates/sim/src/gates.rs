@@ -1,0 +1,324 @@
+//! A small synchronous gate-level netlist substrate.
+//!
+//! Section 7.2 of the paper asserts its distributed algorithms "can be
+//! implemented using proper logic circuits" with only a *constant* number of
+//! gates per switch. This module makes that concrete: a netlist of boolean
+//! gates and D flip-flops that can be (a) simulated cycle by cycle and
+//! (b) measured — gate count and combinational depth (= gate delays per
+//! clock) — so the calibration constants in `brsmn_switch::cost` are backed
+//! by actual circuits (see [`crate::circuits`]).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A node in the netlist (gate output, input pin, or flip-flop output).
+pub type NodeId = usize;
+
+/// Kinds of netlist elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GateKind {
+    /// External input pin.
+    Input,
+    /// Logical AND of all fan-ins.
+    And,
+    /// Logical OR of all fan-ins.
+    Or,
+    /// Logical NOT (single fan-in).
+    Not,
+    /// Logical XOR of all fan-ins (parity).
+    Xor,
+    /// D flip-flop: output is the fan-in value latched at the previous tick.
+    Dff,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Gate {
+    kind: GateKind,
+    fanin: Vec<NodeId>,
+}
+
+/// A synchronous netlist: combinational gates between clocked flip-flops.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    inputs: Vec<NodeId>,
+    outputs: HashMap<String, NodeId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Adds an external input pin.
+    pub fn input(&mut self) -> NodeId {
+        let id = self.push(GateKind::Input, vec![]);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a combinational gate over the given fan-in nodes.
+    pub fn gate(&mut self, kind: GateKind, fanin: Vec<NodeId>) -> NodeId {
+        assert!(kind != GateKind::Input && kind != GateKind::Dff);
+        if kind == GateKind::Not {
+            assert_eq!(fanin.len(), 1, "NOT takes one input");
+        } else {
+            assert!(fanin.len() >= 2, "{kind:?} needs at least two inputs");
+        }
+        self.push(kind, fanin)
+    }
+
+    /// Adds a D flip-flop latching `d`.
+    pub fn dff(&mut self, d: NodeId) -> NodeId {
+        self.push(GateKind::Dff, vec![d])
+    }
+
+    /// Adds a D flip-flop whose data input will be wired later with
+    /// [`Netlist::connect_dff`] — required for feedback loops (e.g. the
+    /// carry of a serial adder).
+    pub fn dff_deferred(&mut self) -> NodeId {
+        self.gates.push(Gate {
+            kind: GateKind::Dff,
+            fanin: vec![],
+        });
+        self.gates.len() - 1
+    }
+
+    /// Wires the data input of a deferred flip-flop. The driving node may be
+    /// downstream of the flip-flop's own output (feedback), which is legal
+    /// because the value is only sampled at the clock edge.
+    pub fn connect_dff(&mut self, dff: NodeId, d: NodeId) {
+        assert_eq!(self.gates[dff].kind, GateKind::Dff);
+        assert!(
+            self.gates[dff].fanin.is_empty(),
+            "flip-flop already connected"
+        );
+        assert!(d < self.gates.len());
+        self.gates[dff].fanin = vec![d];
+    }
+
+    /// Names a node as an observable output.
+    pub fn mark_output(&mut self, name: &str, node: NodeId) {
+        self.outputs.insert(name.to_string(), node);
+    }
+
+    fn push(&mut self, kind: GateKind, fanin: Vec<NodeId>) -> NodeId {
+        for &f in &fanin {
+            assert!(f < self.gates.len(), "fan-in {f} not yet defined");
+        }
+        self.gates.push(Gate { kind, fanin });
+        self.gates.len() - 1
+    }
+
+    /// Checks that every flip-flop has been wired.
+    pub fn is_complete(&self) -> bool {
+        self.gates
+            .iter()
+            .all(|g| g.kind != GateKind::Dff || g.fanin.len() == 1)
+    }
+
+    /// Number of logic gates (excluding input pins and flip-flops).
+    pub fn gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| !matches!(g.kind, GateKind::Input | GateKind::Dff))
+            .count()
+    }
+
+    /// Number of flip-flops.
+    pub fn dff_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| g.kind == GateKind::Dff)
+            .count()
+    }
+
+    /// Number of external input pins.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Combinational depth: the longest gate chain between clocked elements
+    /// (inputs / flip-flops) and any node — the gate delays one clock period
+    /// must accommodate.
+    ///
+    /// Because nodes are created in topological order (fan-ins precede the
+    /// gate), one forward pass suffices.
+    pub fn depth(&self) -> u64 {
+        let mut d = vec![0u64; self.gates.len()];
+        let mut max = 0;
+        for (i, g) in self.gates.iter().enumerate() {
+            d[i] = match g.kind {
+                GateKind::Input | GateKind::Dff => 0,
+                _ => 1 + g.fanin.iter().map(|&f| d[f]).max().unwrap_or(0),
+            };
+            max = max.max(d[i]);
+        }
+        max
+    }
+
+    /// The named outputs.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.outputs.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Creates a cycle-by-cycle simulator for this netlist.
+    pub fn simulator(&self) -> Simulator<'_> {
+        Simulator {
+            netlist: self,
+            dff_state: vec![false; self.gates.len()],
+            values: vec![false; self.gates.len()],
+        }
+    }
+}
+
+/// Cycle-accurate simulator: each [`Simulator::tick`] applies input values,
+/// settles combinational logic, samples outputs, then clocks the flip-flops.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    dff_state: Vec<bool>,
+    values: Vec<bool>,
+}
+
+impl Simulator<'_> {
+    /// Runs one clock cycle with the given values on the input pins (in
+    /// creation order) and returns the named output values.
+    pub fn tick(&mut self, inputs: &[bool]) -> HashMap<String, bool> {
+        assert_eq!(inputs.len(), self.netlist.inputs.len(), "input arity");
+        // Settle combinational logic in topological (= creation) order.
+        let mut next_input = 0usize;
+        for (i, g) in self.netlist.gates.iter().enumerate() {
+            self.values[i] = match g.kind {
+                GateKind::Input => {
+                    let v = inputs[next_input];
+                    next_input += 1;
+                    v
+                }
+                GateKind::Dff => self.dff_state[i],
+                GateKind::And => g.fanin.iter().all(|&f| self.values[f]),
+                GateKind::Or => g.fanin.iter().any(|&f| self.values[f]),
+                GateKind::Not => !self.values[g.fanin[0]],
+                GateKind::Xor => g
+                    .fanin
+                    .iter()
+                    .fold(false, |acc, &f| acc ^ self.values[f]),
+            };
+        }
+        let out = self
+            .netlist
+            .outputs
+            .iter()
+            .map(|(name, &node)| (name.clone(), self.values[node]))
+            .collect();
+        // Clock edge: latch flip-flop inputs.
+        for (i, g) in self.netlist.gates.iter().enumerate() {
+            if g.kind == GateKind::Dff {
+                self.dff_state[i] = self.values[g.fanin[0]];
+            }
+        }
+        out
+    }
+
+    /// Resets all flip-flops to 0.
+    pub fn reset(&mut self) {
+        self.dff_state.fill(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinational_gates_evaluate() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let and = nl.gate(GateKind::And, vec![a, b]);
+        let or = nl.gate(GateKind::Or, vec![a, b]);
+        let xor = nl.gate(GateKind::Xor, vec![a, b]);
+        let not = nl.gate(GateKind::Not, vec![a]);
+        nl.mark_output("and", and);
+        nl.mark_output("or", or);
+        nl.mark_output("xor", xor);
+        nl.mark_output("not", not);
+
+        let mut sim = nl.simulator();
+        for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = sim.tick(&[x, y]);
+            assert_eq!(out["and"], x && y);
+            assert_eq!(out["or"], x || y);
+            assert_eq!(out["xor"], x ^ y);
+            assert_eq!(out["not"], !x);
+        }
+    }
+
+    #[test]
+    fn dff_delays_by_one_tick() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let q = nl.dff(a);
+        nl.mark_output("q", q);
+        let mut sim = nl.simulator();
+        assert!(!sim.tick(&[true])["q"]); // latched value not yet visible
+        assert!(sim.tick(&[false])["q"]); // previous input appears
+        assert!(!sim.tick(&[false])["q"]);
+    }
+
+    #[test]
+    fn depth_counts_longest_chain() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let x1 = nl.gate(GateKind::Xor, vec![a, b]); // depth 1
+        let x2 = nl.gate(GateKind::Xor, vec![x1, b]); // depth 2
+        let d = nl.dff(x2); // resets depth
+        let x3 = nl.gate(GateKind::And, vec![d, a]); // depth 1
+        nl.mark_output("x", x3);
+        assert_eq!(nl.depth(), 2);
+        assert_eq!(nl.gate_count(), 3);
+        assert_eq!(nl.dff_count(), 1);
+    }
+
+    #[test]
+    fn feedback_parity_accumulator() {
+        // Running parity: q' = q XOR in — a genuine feedback loop through a
+        // deferred flip-flop.
+        let mut nl = Netlist::new();
+        let inp = nl.input();
+        let q = nl.dff_deferred();
+        let parity = nl.gate(GateKind::Xor, vec![q, inp]);
+        nl.connect_dff(q, parity);
+        nl.mark_output("parity", parity);
+        assert!(nl.is_complete());
+
+        let mut sim = nl.simulator();
+        let stream = [true, true, false, true, false, false, true];
+        let mut expect = false;
+        for bit in stream {
+            expect ^= bit;
+            assert_eq!(sim.tick(&[bit])["parity"], expect);
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let q = nl.dff(a);
+        nl.mark_output("q", q);
+        let mut sim = nl.simulator();
+        sim.tick(&[true]);
+        sim.reset();
+        assert!(!sim.tick(&[false])["q"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn forward_references_rejected() {
+        let mut nl = Netlist::new();
+        let _ = nl.gate(GateKind::And, vec![5, 6]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Shared hardware builders for the §7.2 circuits: serial adders, capture
+//! registers, parallel arithmetic (ripple add/sub, comparators, conditional
+//! negate) and constant wiring. Everything operates on LSB-first bit
+//! vectors of [`crate::gates::NodeId`]s.
+
+use crate::gates::{GateKind, Netlist, NodeId};
+
+/// Instantiates a Fig. 12 bit-serial adder on streams `a`, `b`; returns the
+/// sum stream.
+pub fn serial_adder_node(nl: &mut Netlist, a: NodeId, b: NodeId) -> NodeId {
+    let carry = nl.dff_deferred();
+    let axb = nl.gate(GateKind::Xor, vec![a, b]);
+    let sum = nl.gate(GateKind::Xor, vec![axb, carry]);
+    let ab = nl.gate(GateKind::And, vec![a, b]);
+    let c_axb = nl.gate(GateKind::And, vec![carry, axb]);
+    let cn = nl.gate(GateKind::Or, vec![ab, c_axb]);
+    nl.connect_dff(carry, cn);
+    sum
+}
+
+/// A capture register: latches `stream` when `enable` is high; the captured
+/// value is visible on the returned node immediately and held afterwards.
+pub fn capture(nl: &mut Netlist, stream: NodeId, enable: NodeId) -> NodeId {
+    let q = nl.dff_deferred();
+    let not_en = nl.gate(GateKind::Not, vec![enable]);
+    let take = nl.gate(GateKind::And, vec![enable, stream]);
+    let hold = nl.gate(GateKind::And, vec![not_en, q]);
+    let d = nl.gate(GateKind::Or, vec![take, hold]);
+    nl.connect_dff(q, d);
+    d
+}
+
+/// Deserializes a stream into registers using per-tick enables.
+pub fn deserialize(nl: &mut Netlist, stream: NodeId, ticks: &[NodeId]) -> Vec<NodeId> {
+    ticks.iter().map(|&en| capture(nl, stream, en)).collect()
+}
+
+/// Ripple-carry parallel adder `a + b` (same width, wrap-around).
+pub fn add_parallel(nl: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(a.len(), b.len());
+    let mut carry: Option<NodeId> = None;
+    let mut out = Vec::with_capacity(a.len());
+    for (&ai, &bi) in a.iter().zip(b) {
+        let axb = nl.gate(GateKind::Xor, vec![ai, bi]);
+        let (sum, new_carry) = match carry {
+            None => {
+                let c = nl.gate(GateKind::And, vec![ai, bi]);
+                (axb, c)
+            }
+            Some(c) => {
+                let sum = nl.gate(GateKind::Xor, vec![axb, c]);
+                let t1 = nl.gate(GateKind::And, vec![ai, bi]);
+                let t2 = nl.gate(GateKind::And, vec![axb, c]);
+                let nc = nl.gate(GateKind::Or, vec![t1, t2]);
+                (sum, nc)
+            }
+        };
+        out.push(sum);
+        carry = Some(new_carry);
+    }
+    out
+}
+
+/// Ripple-borrow parallel subtractor `a − b` (unsigned wrap-around; for
+/// `a ≥ b` the result is exact).
+pub fn sub_parallel(nl: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(a.len(), b.len());
+    let mut borrow: Option<NodeId> = None;
+    let mut out = Vec::with_capacity(a.len());
+    for (&ai, &bi) in a.iter().zip(b) {
+        let axb = nl.gate(GateKind::Xor, vec![ai, bi]);
+        let (diff, new_borrow) = match borrow {
+            None => {
+                let na = nl.gate(GateKind::Not, vec![ai]);
+                let brw = nl.gate(GateKind::And, vec![na, bi]);
+                (axb, brw)
+            }
+            Some(brw) => {
+                let diff = nl.gate(GateKind::Xor, vec![axb, brw]);
+                let na = nl.gate(GateKind::Not, vec![ai]);
+                let t1 = nl.gate(GateKind::And, vec![na, bi]);
+                let nx = nl.gate(GateKind::Not, vec![axb]);
+                let t2 = nl.gate(GateKind::And, vec![nx, brw]);
+                let b2 = nl.gate(GateKind::Or, vec![t1, t2]);
+                (diff, b2)
+            }
+        };
+        out.push(diff);
+        borrow = Some(new_borrow);
+    }
+    out
+}
+
+/// Parallel comparator `a < b` (unsigned, LSB-first vectors).
+pub fn lt_parallel(nl: &mut Netlist, a: &[NodeId], b: &[NodeId], zero: NodeId) -> NodeId {
+    assert_eq!(a.len(), b.len());
+    let mut lt = zero;
+    for (&ai, &bi) in a.iter().zip(b) {
+        let na = nl.gate(GateKind::Not, vec![ai]);
+        let here = nl.gate(GateKind::And, vec![na, bi]);
+        let eq = nl.gate(GateKind::Xor, vec![ai, bi]);
+        let neq = nl.gate(GateKind::Not, vec![eq]);
+        let keep = nl.gate(GateKind::And, vec![neq, lt]);
+        lt = nl.gate(GateKind::Or, vec![here, keep]);
+    }
+    lt
+}
+
+/// Comparator `c < b` for a hard-wired constant `c`.
+pub fn const_lt_value(nl: &mut Netlist, c: usize, b: &[NodeId], zero: NodeId) -> NodeId {
+    let mut lt = zero;
+    for (k, &bk) in b.iter().enumerate() {
+        lt = if (c >> k) & 1 == 0 {
+            nl.gate(GateKind::Or, vec![bk, lt])
+        } else {
+            nl.gate(GateKind::And, vec![bk, lt])
+        };
+    }
+    lt
+}
+
+/// Per-bit mux: `sel ? a : b`.
+pub fn mux_bits(nl: &mut Netlist, sel: NodeId, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(a.len(), b.len());
+    let nsel = nl.gate(GateKind::Not, vec![sel]);
+    a.iter()
+        .zip(b)
+        .map(|(&ai, &bi)| {
+            let t = nl.gate(GateKind::And, vec![sel, ai]);
+            let f = nl.gate(GateKind::And, vec![nsel, bi]);
+            nl.gate(GateKind::Or, vec![t, f])
+        })
+        .collect()
+}
+
+/// Single-bit mux.
+pub fn mux_bit(nl: &mut Netlist, sel: NodeId, a: NodeId, b: NodeId) -> NodeId {
+    let nsel = nl.gate(GateKind::Not, vec![sel]);
+    let t = nl.gate(GateKind::And, vec![sel, a]);
+    let f = nl.gate(GateKind::And, vec![nsel, b]);
+    nl.gate(GateKind::Or, vec![t, f])
+}
+
+/// OR over a vector (`false` for empty).
+pub fn or_all(nl: &mut Netlist, bits: &[NodeId], zero: NodeId) -> NodeId {
+    match bits.len() {
+        0 => zero,
+        1 => bits[0],
+        _ => nl.gate(GateKind::Or, bits.to_vec()),
+    }
+}
+
+/// Two's-complement conditional negate: `neg ? −a : a` (width preserved).
+pub fn cond_negate(nl: &mut Netlist, neg: NodeId, a: &[NodeId], zero: NodeId) -> Vec<NodeId> {
+    // invert bits where neg, then add neg as carry-in (ripple).
+    let mut carry = neg;
+    let mut out = Vec::with_capacity(a.len());
+    for &ai in a {
+        let flipped = nl.gate(GateKind::Xor, vec![ai, neg]);
+        let sum = nl.gate(GateKind::Xor, vec![flipped, carry]);
+        let nc = nl.gate(GateKind::And, vec![flipped, carry]);
+        out.push(sum);
+        carry = nc;
+    }
+    let _ = zero;
+    out
+}
+
+/// Wires a constant as bit nodes using the provided `zero`/`one` sources.
+pub fn const_bits(c: usize, width: usize, zero: NodeId, one: NodeId) -> Vec<NodeId> {
+    (0..width)
+        .map(|k| if (c >> k) & 1 == 1 { one } else { zero })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Helper: evaluate a combinational circuit over parallel inputs.
+    fn eval2(width: usize, x: u64, y: u64, f: impl Fn(&mut Netlist, &[NodeId], &[NodeId], NodeId, NodeId) -> Vec<NodeId>) -> u64 {
+        let mut nl = Netlist::new();
+        let xs: Vec<NodeId> = (0..width).map(|_| nl.input()).collect();
+        let ys: Vec<NodeId> = (0..width).map(|_| nl.input()).collect();
+        let marker = nl.input(); // always true: derives constants
+        let nm = nl.gate(GateKind::Not, vec![marker]);
+        let zero = nl.gate(GateKind::And, vec![marker, nm]);
+        let one = nl.gate(GateKind::Or, vec![marker, nm]);
+        let out = f(&mut nl, &xs, &ys, zero, one);
+        for (k, &o) in out.iter().enumerate() {
+            nl.mark_output(&format!("o{k}"), o);
+        }
+        let mut sim = nl.simulator();
+        let mut inputs = Vec::new();
+        for k in 0..width {
+            inputs.push((x >> k) & 1 == 1);
+        }
+        for k in 0..width {
+            inputs.push((y >> k) & 1 == 1);
+        }
+        inputs.push(true);
+        let res = sim.tick(&inputs);
+        (0..out.len()).fold(0u64, |acc, k| acc | (res[&format!("o{k}")] as u64) << k)
+    }
+
+    #[test]
+    fn parallel_add_sub_exhaustive_4bit() {
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let sum = eval2(4, x, y, |nl, a, b, _, _| add_parallel(nl, a, b));
+                assert_eq!(sum, (x + y) & 15, "{x}+{y}");
+                let diff = eval2(4, x, y, |nl, a, b, _, _| sub_parallel(nl, a, b));
+                assert_eq!(diff, x.wrapping_sub(y) & 15, "{x}-{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_lt_exhaustive_4bit() {
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let lt = eval2(4, x, y, |nl, a, b, zero, _| {
+                    vec![lt_parallel(nl, a, b, zero)]
+                });
+                assert_eq!(lt == 1, x < y, "{x}<{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn const_lt_exhaustive() {
+        for c in 0..16usize {
+            for y in 0..16u64 {
+                let lt = eval2(4, 0, y, |nl, _, b, zero, _| {
+                    vec![const_lt_value(nl, c, b, zero)]
+                });
+                assert_eq!(lt == 1, (c as u64) < y, "{c}<{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let a = eval2(3, x, y, |nl, a, b, zero, _| {
+                    let nz = nl.gate(GateKind::Not, vec![zero]);
+                    mux_bits(nl, nz, a, b)
+                });
+                assert_eq!(a, x);
+                let b = eval2(3, x, y, |nl, a, b, zero, _| mux_bits(nl, zero, a, b));
+                assert_eq!(b, y);
+            }
+        }
+    }
+
+    #[test]
+    fn cond_negate_two_complement() {
+        for x in 0..16u64 {
+            // neg = 1: expect two's complement negation at width 4.
+            let negated = eval2(4, x, 0, |nl, a, _, zero, one| cond_negate(nl, one, a, zero));
+            assert_eq!(negated, x.wrapping_neg() & 15, "neg {x}");
+            let same = eval2(4, x, 0, |nl, a, _, zero, _| cond_negate(nl, zero, a, zero));
+            assert_eq!(same, x);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Gate-delay timing simulation for the self-routing multicast network
+//! (Sections 7.2 and 7.4 of the paper).
+//!
+//! The unit of time is one **gate delay**. The distributed routing
+//! algorithms run on bit-serial hardware: counts and positions stream
+//! LSB-first through pipelined one-bit adders (Fig. 12), so a forward or
+//! backward sweep over the `log n`-deep tree of an RBN costs
+//! `O(log n)` — not `O(log² n)` — gate delays, which is what makes the whole
+//! BRSMN route in `O(log² n)` time.
+//!
+//! * [`gates`] — a synchronous gate-level netlist substrate (simulation,
+//!   gate counts, combinational depth);
+//! * [`circuits`] — the concrete Section 7.2 circuits: the Fig. 12 serial
+//!   adder, the Table 1 tag predicates, the Table 5 run comparator;
+//! * [`adder`] — the pipelined bit-serial adder-tree latency simulation;
+//! * [`timing`] — per-network routing-time measurement built on it, for the
+//!   Table 2 harness.
+
+//! ```
+//! use brsmn_sim::{brsmn_routing_time, serial_add};
+//!
+//! // The Fig. 12 serial adder, as an actual gate netlist:
+//! assert_eq!(serial_add(123, 456, 16), 579);
+//!
+//! // Measured routing time of a 1024-port BRSMN, in gate delays:
+//! let t = brsmn_routing_time(1024);
+//! assert_eq!(t.per_level.len(), 9); // levels 1..=9 of BSNs
+//! assert!(t.total < 2000);          // Θ(log² n), not Θ(log³ n)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod circuits;
+pub mod eps_hw;
+pub mod gates;
+pub mod hwlib;
+pub mod pipeline;
+pub mod router;
+pub mod scatter_hw;
+pub mod scatter_router;
+pub mod timing;
+pub mod transfer;
+
+pub use adder::{add_arrivals, adder_tree_latency, leaf_arrivals};
+pub use circuits::{count_tree, run_count_tree, serial_add, serial_adder, tag_counter};
+pub use gates::{GateKind, Netlist};
+pub use pipeline::{makespan_closed_form, simulate_pipeline, PipelineStats};
+pub use router::{bitsort_router, run_bitsort_router, BitsortRouter};
+pub use eps_hw::{eps_divider, run_eps_divider, EpsDivider};
+pub use scatter_hw::{run_scatter_forward, scatter_forward_tree};
+pub use scatter_router::{run_scatter_router, scatter_router, ScatterRouter};
+pub use timing::{
+    brsmn_routing_time, bsn_routing_time, feedback_routing_time, looping_routing_time,
+    rbn_sweep_latency, RoutingTimeBreakdown,
+};
+pub use transfer::{
+    schedule_makespan, setup_amortization_point, transfer_time, Fabric, TransferTime,
+};

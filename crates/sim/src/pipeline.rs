@@ -1,0 +1,146 @@
+//! Pipelined multi-assignment throughput of the unfolded BRSMN.
+//!
+//! The paper reports the routing *latency* of one assignment
+//! (`O(log² n)`). The unfolded architecture buys something more that the
+//! feedback version gives up: the `log n` BSN levels are **physically
+//! distinct**, so while level 2 routes assignment `k`, level 1 can already
+//! set up assignment `k+1`. Back-to-back assignments then flow at an
+//! initiation interval equal to the *slowest level* — the first,
+//! `T_bsn(n) = O(log n)` gate delays — not the full `O(log² n)` latency.
+//!
+//! This module computes the analytic latency/interval/makespan and verifies
+//! them with a discrete-event simulation of the level pipeline.
+
+use crate::timing::bsn_routing_time;
+use brsmn_switch::cost::SWITCH_TRAVERSAL_DELAY;
+use brsmn_topology::log2_exact;
+use serde::{Deserialize, Serialize};
+
+/// Pipelined-schedule figures for a batch of assignments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Gate delays from injection to delivery for one assignment
+    /// (the paper's routing time).
+    pub latency: u64,
+    /// Sustained initiation interval between back-to-back assignments
+    /// (the slowest level's occupancy).
+    pub interval: u64,
+    /// Total gate delays to drain `k` assignments.
+    pub makespan: u64,
+    /// Assignments scheduled.
+    pub assignments: u64,
+}
+
+/// Per-level service times of an `n × n` BRSMN: the BSN levels plus the
+/// final 2×2 stage.
+pub fn level_times(n: usize) -> Vec<u64> {
+    let m = log2_exact(n) as usize;
+    let mut t: Vec<u64> = (1..m).map(|i| bsn_routing_time(n >> (i - 1))).collect();
+    t.push(SWITCH_TRAVERSAL_DELAY);
+    t
+}
+
+/// Discrete-event simulation of `k` assignments flowing through the level
+/// pipeline: assignment `a` enters level `i` when both the level is free
+/// and its own level `i−1` has finished.
+pub fn simulate_pipeline(n: usize, k: u64) -> PipelineStats {
+    let times = level_times(n);
+    let levels = times.len();
+    let mut level_free = vec![0u64; levels];
+    let mut first_finish = 0u64;
+    let mut last_finish = 0u64;
+    for a in 0..k {
+        let mut t = 0u64; // this assignment's progress time
+        for (i, &service) in times.iter().enumerate() {
+            let start = t.max(level_free[i]);
+            let finish = start + service;
+            level_free[i] = finish;
+            t = finish;
+        }
+        if a == 0 {
+            first_finish = t;
+        }
+        last_finish = t;
+    }
+    let latency = first_finish;
+    let interval = times.iter().copied().max().unwrap_or(0);
+    PipelineStats {
+        latency,
+        interval,
+        makespan: last_finish,
+        assignments: k,
+    }
+}
+
+/// The closed-form makespan the pipeline achieves:
+/// `latency + (k−1)·interval` (valid because level times are monotonically
+/// non-increasing along the pipeline, so the first level is the bottleneck
+/// and no bubble forms downstream).
+pub fn makespan_closed_form(n: usize, k: u64) -> u64 {
+    let times = level_times(n);
+    let latency: u64 = times.iter().sum();
+    let interval = times.iter().copied().max().unwrap_or(0);
+    if k == 0 {
+        0
+    } else {
+        latency + (k - 1) * interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::brsmn_routing_time;
+
+    #[test]
+    fn latency_matches_routing_time() {
+        for n in [8usize, 64, 1024] {
+            let stats = simulate_pipeline(n, 1);
+            assert_eq!(stats.latency, brsmn_routing_time(n).total);
+            assert_eq!(stats.makespan, stats.latency);
+        }
+    }
+
+    #[test]
+    fn simulation_matches_closed_form() {
+        for n in [8usize, 64, 512] {
+            for k in [1u64, 2, 5, 20, 100] {
+                let sim = simulate_pipeline(n, k);
+                assert_eq!(sim.makespan, makespan_closed_form(n, k), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn interval_is_first_level_time() {
+        // Level times shrink with depth, so the first (full-width) BSN is
+        // the bottleneck.
+        for n in [16usize, 256, 4096] {
+            let times = level_times(n);
+            assert!(times.windows(2).all(|w| w[0] >= w[1]));
+            assert_eq!(
+                simulate_pipeline(n, 3).interval,
+                times[0],
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelining_beats_serial_by_about_log_n() {
+        // k assignments pipelined vs serial: speedup → latency/interval ≈
+        // Θ(log n) for large k.
+        let n = 1024usize;
+        let k = 1000u64;
+        let pipelined = simulate_pipeline(n, k).makespan as f64;
+        let serial = (brsmn_routing_time(n).total * k) as f64;
+        let speedup = serial / pipelined;
+        assert!(speedup > 3.0, "speedup {speedup:.1}");
+        assert!(speedup < 20.0, "speedup {speedup:.1}");
+    }
+
+    #[test]
+    fn zero_assignments() {
+        assert_eq!(makespan_closed_form(64, 0), 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! The complete **self-routing circuit** of a bit-sorting RBN, elaborated as
+//! one clocked gate netlist — Section 7.2 made fully concrete.
+//!
+//! Everything of Tables 3 and 5 is hardware here:
+//!
+//! * the **forward phase** is a tree of Fig. 12 serial adders computing the
+//!   per-node γ counts from the leaf activity bits;
+//! * the **backward phase** streams the starting positions down the tree:
+//!   `s mod n′/2` is a mask gate (powers of two!), `s + l₀` is another
+//!   serial adder, and `b = bit_{j−1}(s + l₀)` is a one-bit capture
+//!   register;
+//! * the **switch-setting phase** deserializes each node's `s₁` into a small
+//!   register and lets every switch compare its own (hard-wired) address
+//!   against it — emitting one `crossing` bit per switch.
+//!
+//! [`run_bitsort_router`] clocks the netlist and returns the settings, which
+//! the tests check **bit-for-bit** against the software planner
+//! `brsmn_rbn::plan_bitsort` for every input pattern at n = 8.
+//!
+//! The construction is deliberately unpipelined (combinational chains across
+//! tree levels) — simplest correct hardware; the pipelined latency story is
+//! measured by [`crate::adder`] and [`crate::circuits::count_tree`].
+
+use crate::gates::{GateKind, Netlist, NodeId};
+use brsmn_topology::log2_exact;
+
+/// One serial adder instance inside a larger netlist; returns the sum node.
+fn add_serial(nl: &mut Netlist, a: NodeId, b: NodeId) -> NodeId {
+    let carry = nl.dff_deferred();
+    let axb = nl.gate(GateKind::Xor, vec![a, b]);
+    let sum = nl.gate(GateKind::Xor, vec![axb, carry]);
+    let ab = nl.gate(GateKind::And, vec![a, b]);
+    let c_axb = nl.gate(GateKind::And, vec![carry, axb]);
+    let carry_next = nl.gate(GateKind::Or, vec![ab, c_axb]);
+    nl.connect_dff(carry, carry_next);
+    sum
+}
+
+/// A capture register: latches `stream` when `enable` is high, holds
+/// otherwise. Returns the register output.
+fn capture(nl: &mut Netlist, stream: NodeId, enable: NodeId) -> NodeId {
+    let q = nl.dff_deferred();
+    let not_en = nl.gate(GateKind::Not, vec![enable]);
+    let take = nl.gate(GateKind::And, vec![enable, stream]);
+    let hold = nl.gate(GateKind::And, vec![not_en, q]);
+    let d = nl.gate(GateKind::Or, vec![take, hold]);
+    nl.connect_dff(q, d);
+    // The captured value is visible on the mux output in the same tick.
+    d
+}
+
+/// Comparator `i < value` for a hard-wired constant `i` against a small
+/// register vector (LSB first). Returns a node that is true iff `i < value`.
+fn const_less_than(nl: &mut Netlist, i: usize, value_bits: &[NodeId], zero: NodeId) -> NodeId {
+    let mut lt = zero;
+    for (k, &vk) in value_bits.iter().enumerate() {
+        lt = if (i >> k) & 1 == 0 {
+            // here = v_k; eq = ¬v_k: lt = v_k ∨ (¬v_k ∧ lt) = v_k ∨ lt.
+            nl.gate(GateKind::Or, vec![vk, lt])
+        } else {
+            // here = 0; eq = v_k: lt = v_k ∧ lt.
+            nl.gate(GateKind::And, vec![vk, lt])
+        };
+    }
+    lt
+}
+
+/// The elaborated router netlist plus its interface metadata.
+#[derive(Debug, Clone)]
+pub struct BitsortRouter {
+    /// The netlist. Inputs, in order: `start` pulse, `s_target` serial
+    /// stream, then the `n` leaf activity bits (streamed: value at tick 0).
+    pub netlist: Netlist,
+    /// Network size.
+    pub n: usize,
+    /// Ticks to clock before the setting outputs are valid.
+    pub ticks: usize,
+}
+
+/// Elaborates the complete self-routing circuit for an `n × n` bit-sorting
+/// RBN. Output `r_{j}_{k}` is the crossing bit of stage `j` switch `k`.
+pub fn bitsort_router(n: usize) -> BitsortRouter {
+    let m = log2_exact(n) as usize;
+    let mut nl = Netlist::new();
+
+    // Interface.
+    let start = nl.input();
+    let s_in = nl.input();
+    let gammas: Vec<NodeId> = (0..n).map(|_| nl.input()).collect();
+
+    // Constants and the tick ring: tick[t] is high exactly at tick t.
+    let not_start = nl.gate(GateKind::Not, vec![start]);
+    let zero = nl.gate(GateKind::And, vec![start, not_start]);
+    let ticks_needed = m + 2;
+    let mut tick = Vec::with_capacity(ticks_needed);
+    tick.push(start);
+    for t in 1..ticks_needed {
+        let prev = tick[t - 1];
+        tick.push(nl.dff(prev));
+    }
+
+    // Forward phase: l streams per node, fwd[j][b] (j = node height).
+    let mut fwd: Vec<Vec<NodeId>> = Vec::with_capacity(m + 1);
+    fwd.push(gammas);
+    for j in 1..=m {
+        let prev = fwd[j - 1].clone();
+        let level: Vec<NodeId> = (0..n >> j)
+            .map(|b| add_serial(&mut nl, prev[2 * b], prev[2 * b + 1]))
+            .collect();
+        fwd.push(level);
+    }
+
+    // Backward phase: s streams per node, top-down, plus per-node setting
+    // logic.
+    let mut back: Vec<Vec<NodeId>> = (0..=m).map(|_| Vec::new()).collect();
+    back[m] = vec![s_in];
+    for j in (1..=m).rev() {
+        let half_bits = j - 1; // s0, s1 live in [0, 2^{j-1})
+        // keep-mask: high for ticks < j−1.
+        let mask = if half_bits == 0 {
+            zero
+        } else if half_bits == 1 {
+            tick[0]
+        } else {
+            nl.gate(GateKind::Or, tick[..half_bits].to_vec())
+        };
+        let mut next_level = vec![0usize; n >> (j - 1)];
+        for b in 0..(n >> j) {
+            let s = back[j][b];
+            let l0 = fwd[j - 1][2 * b];
+            let sum = add_serial(&mut nl, s, l0); // s + l0, serial
+            let s0 = nl.gate(GateKind::And, vec![s, mask]);
+            let s1 = nl.gate(GateKind::And, vec![sum, mask]);
+            // b = bit_{j−1}(s + l0), captured at tick j−1.
+            let b_bit = capture(&mut nl, sum, tick[j - 1]);
+            let not_b = nl.gate(GateKind::Not, vec![b_bit]);
+            // Deserialize s1 into half_bits registers.
+            let s1_regs: Vec<NodeId> = (0..half_bits)
+                .map(|t| capture(&mut nl, s1, tick[t]))
+                .collect();
+            // Switch settings of this node's merging stage (stage j−1,
+            // block b): W_{0, s1; b̄, b} → crossing iff (i < s1 ? b : b̄)
+            // says crossing; b encodes 1 = crossing directly.
+            for i in 0..(1usize << (j - 1)) {
+                let in_run = const_less_than(&mut nl, i, &s1_regs, zero);
+                let not_in = nl.gate(GateKind::Not, vec![in_run]);
+                let a1 = nl.gate(GateKind::And, vec![in_run, b_bit]);
+                let a2 = nl.gate(GateKind::And, vec![not_in, not_b]);
+                let r = nl.gate(GateKind::Or, vec![a1, a2]);
+                let global = b * (1 << (j - 1)) + i;
+                nl.mark_output(&format!("r_{}_{}", j - 1, global), r);
+            }
+            next_level[2 * b] = s0;
+            next_level[2 * b + 1] = s1;
+        }
+        back[j - 1] = next_level;
+    }
+
+    BitsortRouter {
+        netlist: nl,
+        n,
+        ticks: ticks_needed,
+    }
+}
+
+/// Clocks a [`bitsort_router`] netlist with the given inputs and returns the
+/// per-stage crossing bits: `result[j][k]` = stage `j` switch `k` crossing.
+pub fn run_bitsort_router(router: &BitsortRouter, gamma: &[bool], s_target: usize) -> Vec<Vec<bool>> {
+    let n = router.n;
+    assert_eq!(gamma.len(), n);
+    assert!(s_target < n);
+    let m = log2_exact(n) as usize;
+    let mut sim = router.netlist.simulator();
+    let mut last = None;
+    for t in 0..router.ticks {
+        let mut inputs = Vec::with_capacity(2 + n);
+        inputs.push(t == 0); // start pulse
+        inputs.push((s_target >> t) & 1 == 1); // s_target, LSB first
+        for &g in gamma {
+            inputs.push(g && t == 0); // leaf value streams
+        }
+        last = Some(sim.tick(&inputs));
+    }
+    let out = last.expect("ticks >= 1");
+    (0..m)
+        .map(|j| (0..n / 2).map(|k| out[&format!("r_{j}_{k}")]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brsmn_rbn::plan_bitsort;
+    use brsmn_switch::SwitchSetting;
+
+    fn planner_crossings(gamma: &[bool], s: usize) -> Vec<Vec<bool>> {
+        let plan = plan_bitsort(gamma, s);
+        (0..plan.settings.num_stages())
+            .map(|j| {
+                plan.settings
+                    .stage(j)
+                    .iter()
+                    .map(|&x| x == SwitchSetting::Crossing)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hardware_equals_planner_exhaustively_n8() {
+        let router = bitsort_router(8);
+        for pattern in 0..256u32 {
+            let gamma: Vec<bool> = (0..8).map(|i| pattern >> i & 1 == 1).collect();
+            for s in 0..8 {
+                let hw = run_bitsort_router(&router, &gamma, s);
+                let sw = planner_crossings(&gamma, s);
+                assert_eq!(hw, sw, "pattern={pattern:#010b} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn hardware_equals_planner_sampled_n16() {
+        let router = bitsort_router(16);
+        for seed in 0..40u64 {
+            let gamma: Vec<bool> = (0..16)
+                .map(|i| (i as u64 ^ seed).wrapping_mul(0x9E3779B97F4A7C15) >> 61 & 1 == 1)
+                .collect();
+            let s = (seed as usize * 5) % 16;
+            assert_eq!(
+                run_bitsort_router(&router, &gamma, s),
+                planner_crossings(&gamma, s),
+                "seed={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn hardware_equals_planner_sampled_n32() {
+        let router = bitsort_router(32);
+        for seed in 0..10u64 {
+            let gamma: Vec<bool> = (0..32)
+                .map(|i| (i as u64 ^ seed.rotate_left(7)).wrapping_mul(0x2545F4914F6CDD1D) >> 60 & 1 == 1)
+                .collect();
+            let s = (seed as usize * 11) % 32;
+            assert_eq!(
+                run_bitsort_router(&router, &gamma, s),
+                planner_crossings(&gamma, s),
+                "seed={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn circuit_cost_scales_linearly_per_switch() {
+        // The whole routing circuit costs O(1) gates per switch
+        // asymptotically — gates/switch must stay bounded as n grows.
+        let per_switch = |n: usize| {
+            let router = bitsort_router(n);
+            let switches = (n / 2) * (n.trailing_zeros() as usize);
+            router.netlist.gate_count() as f64 / switches as f64
+        };
+        let g8 = per_switch(8);
+        let g64 = per_switch(64);
+        let g256 = per_switch(256);
+        assert!(g256 < g64 * 1.5, "{g64} vs {g256}");
+        assert!(g256 < 20.0, "per-switch gates should be small: {g256}");
+        assert!(g8 > 0.0);
+    }
+
+    #[test]
+    fn trivial_sorts() {
+        let router = bitsort_router(4);
+        // All-zero input with s=0: any compact arrangement works; the
+        // planner's exact settings must still be reproduced.
+        for (gamma, s) in [
+            ([false; 4], 0usize),
+            ([true; 4], 2),
+            ([true, false, false, false], 3),
+        ] {
+            assert_eq!(
+                run_bitsort_router(&router, &gamma, s),
+                planner_crossings(&gamma, s)
+            );
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The scatter algorithm's **forward phase** in gates (Table 4, §7.2).
+//!
+//! The paper's forward rule — add runs of the same dominating type, subtract
+//! runs of different types, and let the larger magnitude's type win — is
+//! exactly **two's-complement addition** once a sub-RBN's state is encoded
+//! as the signed count `v = nα − nε`:
+//!
+//! * leaf `α` contributes `+1`, leaf `ε` contributes `−1`, leaf `χ` is `0`;
+//! * any node's `v` is just the sum of its children's `v`s;
+//! * the dominating type is `sign(v)` and the run length `l = |v|`.
+//!
+//! So the entire Table 4 forward phase is the same serial-adder tree as the
+//! bit-sorting one — no comparators, no case analysis — which is why the
+//! paper's "constant number of one-bit adders per switch" suffices even for
+//! the scatter network. Streams here are `width`-bit two's-complement, fed
+//! LSB first; leaves emit `+1` as `1,0,0,…` and `−1` as `1,1,1,…`
+//! (sign extension is free on a serial wire: keep repeating the last bit).
+
+use crate::gates::{GateKind, Netlist, NodeId};
+use brsmn_rbn::DomType;
+use brsmn_switch::Tag;
+use brsmn_topology::log2_exact;
+
+/// Builds the signed forward tree: `2n` inputs (per leaf: an `is_alpha` bit
+/// and an `is_eps` bit, presented every tick — the leaf's serial encoding is
+/// derived internally), one serial output `v` carrying the root's signed
+/// count, plus per-node outputs `v_{j}_{b}` for verification.
+pub fn scatter_forward_tree(n: usize) -> Netlist {
+    let m = log2_exact(n) as usize;
+    let mut nl = Netlist::new();
+    // Tick-0 marker input (drives the +1 encoding: 1 at tick 0 then 0s).
+    let tick0 = nl.input();
+    // Per leaf: is_alpha, is_eps (static levels, held by the driver).
+    let mut leaves: Vec<NodeId> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let is_alpha = nl.input();
+        let is_eps = nl.input();
+        // +1 stream: is_alpha ∧ tick0 (bit 0 only).
+        let plus = nl.gate(GateKind::And, vec![is_alpha, tick0]);
+        // −1 stream: all ones while is_eps (two's complement of 1).
+        // v_leaf = plus OR minus: the tags are mutually exclusive so the
+        // two encodings never overlap.
+        let v = nl.gate(GateKind::Or, vec![plus, is_eps]);
+        leaves.push(v);
+    }
+
+    let mut level = leaves;
+    let mut j = 0usize;
+    while level.len() > 1 {
+        j += 1;
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for (b, pair) in level.chunks(2).enumerate() {
+            let (a, c) = (pair[0], pair[1]);
+            let carry = nl.dff_deferred();
+            let axb = nl.gate(GateKind::Xor, vec![a, c]);
+            let sum = nl.gate(GateKind::Xor, vec![axb, carry]);
+            let ab = nl.gate(GateKind::And, vec![a, c]);
+            let c_axb = nl.gate(GateKind::And, vec![carry, axb]);
+            let carry_next = nl.gate(GateKind::Or, vec![ab, c_axb]);
+            nl.connect_dff(carry, carry_next);
+            nl.mark_output(&format!("v_{j}_{b}"), sum);
+            next.push(sum);
+        }
+        level = next;
+    }
+    nl.mark_output("v", level[0]);
+    let _ = m;
+    nl
+}
+
+/// Drives a [`scatter_forward_tree`] netlist on a tag vector and decodes
+/// every tree node's signed count into `(dominating type, run length)`
+/// pairs, level by level (index `[j-1][b]` = node of height `j`).
+pub fn run_scatter_forward(nl: &Netlist, tags: &[Tag]) -> Vec<Vec<(DomType, usize)>> {
+    let n = tags.len();
+    let m = log2_exact(n) as usize;
+    let width = m + 2; // signed counts in [−n, n]
+    let mut sim = nl.simulator();
+    // raw[j-1][b] accumulates the serial bits of node (j, b).
+    let mut raw: Vec<Vec<u64>> = (1..=m).map(|j| vec![0u64; n >> j]).collect();
+    for t in 0..width {
+        let mut inputs = Vec::with_capacity(1 + 2 * n);
+        inputs.push(t == 0);
+        for &tag in tags {
+            inputs.push(tag == Tag::Alpha);
+            inputs.push(tag == Tag::Eps);
+        }
+        let out = sim.tick(&inputs);
+        for j in 1..=m {
+            for b in 0..(n >> j) {
+                if out[&format!("v_{j}_{b}")] {
+                    raw[j - 1][b] |= 1 << t;
+                }
+            }
+        }
+    }
+    // Decode two's complement at the stream width.
+    raw.into_iter()
+        .map(|level| {
+            level
+                .into_iter()
+                .map(|bits| {
+                    let signed = if bits >> (width - 1) & 1 == 1 {
+                        bits as i64 - (1i64 << width)
+                    } else {
+                        bits as i64
+                    };
+                    if signed >= 0 {
+                        (DomType::Alpha, signed as usize)
+                    } else {
+                        (DomType::Eps, (-signed) as usize)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brsmn_rbn::plan_scatter;
+
+    fn check(tags: &[Tag]) {
+        let n = tags.len();
+        let nl = scatter_forward_tree(n);
+        let hw = run_scatter_forward(&nl, tags);
+        let plan = plan_scatter(tags, 0);
+        for (j, level) in hw.iter().enumerate() {
+            for (b, &(ty, l)) in level.iter().enumerate() {
+                let sw = plan.nodes[j + 1][b];
+                assert_eq!(l, sw.l, "node ({}, {b}) of {tags:?}", j + 1);
+                if l > 0 {
+                    assert_eq!(ty, sw.ty, "node ({}, {b}) of {tags:?}", j + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_planner_exhaustively_n4() {
+        let all = [Tag::Zero, Tag::One, Tag::Alpha, Tag::Eps];
+        for a in all {
+            for b in all {
+                for c in all {
+                    for d in all {
+                        check(&[a, b, c, d]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_planner_sampled_n32() {
+        for seed in 0..20u64 {
+            let tags: Vec<Tag> = (0..32)
+                .map(|i| {
+                    match (i as u64 ^ seed).wrapping_mul(0x9E3779B97F4A7C15) >> 62 {
+                        0 => Tag::Alpha,
+                        1 => Tag::Eps,
+                        2 => Tag::Zero,
+                        _ => Tag::One,
+                    }
+                })
+                .collect();
+            check(&tags);
+        }
+    }
+
+    #[test]
+    fn all_eps_is_minus_n() {
+        let n = 8;
+        let nl = scatter_forward_tree(n);
+        let hw = run_scatter_forward(&nl, &[Tag::Eps; 8]);
+        assert_eq!(hw[2][0], (DomType::Eps, n));
+    }
+
+    #[test]
+    fn all_alpha_is_plus_n() {
+        let nl = scatter_forward_tree(8);
+        let hw = run_scatter_forward(&nl, &[Tag::Alpha; 8]);
+        assert_eq!(hw[2][0], (DomType::Alpha, 8));
+    }
+
+    #[test]
+    fn balanced_cancels_to_zero() {
+        let nl = scatter_forward_tree(8);
+        let tags = [
+            Tag::Alpha,
+            Tag::Eps,
+            Tag::Alpha,
+            Tag::Eps,
+            Tag::Zero,
+            Tag::One,
+            Tag::Alpha,
+            Tag::Eps,
+        ];
+        let hw = run_scatter_forward(&nl, &tags);
+        assert_eq!(hw[2][0].1, 0);
+    }
+
+    #[test]
+    fn hardware_cost_is_one_adder_per_node() {
+        let nl = scatter_forward_tree(64);
+        // 63 adders × 5 gates + 64 leaf encoders × 2 gates.
+        assert_eq!(nl.gate_count(), 63 * 5 + 64 * 2);
+        assert_eq!(nl.dff_count(), 63);
+    }
+}

@@ -1,0 +1,465 @@
+//! The **complete scatter-network routing circuit** (Table 4 + Table 5 +
+//! Lemmas 1–5) in gates — the hardest of the paper's three distributed
+//! algorithms, elaborated as one clocked netlist and verified bit-for-bit
+//! against the software planner.
+//!
+//! Organization (two epochs, as the forward/backward structure dictates):
+//!
+//! 1. **Serial forward epoch**: the signed adder tree of
+//!    [`crate::scatter_hw`] (α = +1, ε = −1, two's complement) streams every
+//!    node's count `v` LSB-first; each node deserializes its `v` into a
+//!    small register bank.
+//! 2. **Combinational resolve**: once the registers settle, a bottom-up pass
+//!    derives every node's run length `l = |v|` and stored dominating type
+//!    (Table 4's tie-breaking: a zero node reports `ε`), and a top-down pass
+//!    evaluates the backward phase — `s mod n′/2` is bit masking, `s + l` a
+//!    ripple adder, the four Lemma cases are tests on the high bits of the
+//!    sums, and each switch compares its hard-wired address against the run
+//!    boundaries (binary *and* trinary compact settings, with circular
+//!    wrap-around for the binary case).
+//!
+//! Outputs: two bits per switch encoding the full four-valued setting
+//! (`00` parallel, `01` crossing, `10` upper broadcast, `11` lower
+//! broadcast).
+
+use crate::gates::{GateKind, Netlist, NodeId};
+use crate::hwlib::{
+    add_parallel, cond_negate, const_lt_value, deserialize, lt_parallel, mux_bit, or_all,
+    serial_adder_node,
+};
+use brsmn_topology::log2_exact;
+
+/// The elaborated scatter router.
+#[derive(Debug, Clone)]
+pub struct ScatterRouter {
+    /// Inputs: `start` pulse; per leaf `is_alpha`, `is_eps` (static); then
+    /// `m` parallel bits of the target position `s` (static, LSB first).
+    /// Outputs `rhi_{stage}_{k}` / `rlo_{stage}_{k}` encode each switch's
+    /// setting.
+    pub netlist: Netlist,
+    /// Network size.
+    pub n: usize,
+    /// Ticks to clock before outputs are valid.
+    pub ticks: usize,
+}
+
+struct NodeInfo {
+    /// Run length |v| (width bits).
+    l: Vec<NodeId>,
+    /// Stored dominating type bit: 1 = α.
+    is_alpha: NodeId,
+}
+
+/// Elaborates the scatter routing circuit for an `n × n` RBN.
+pub fn scatter_router(n: usize) -> ScatterRouter {
+    let m = log2_exact(n) as usize;
+    let width = m + 2;
+    let mut nl = Netlist::new();
+
+    // ---- Interface -------------------------------------------------------
+    let start = nl.input();
+    let leaf_flags: Vec<(NodeId, NodeId)> = (0..n)
+        .map(|_| {
+            let a = nl.input();
+            let e = nl.input();
+            (a, e)
+        })
+        .collect();
+    let s_in: Vec<NodeId> = (0..m).map(|_| nl.input()).collect();
+
+    let not_start = nl.gate(GateKind::Not, vec![start]);
+    let zero = nl.gate(GateKind::And, vec![start, not_start]);
+    let ticks_needed = width + 1;
+    let mut tick = Vec::with_capacity(ticks_needed);
+    tick.push(start);
+    for t in 1..ticks_needed {
+        let prev = tick[t - 1];
+        tick.push(nl.dff(prev));
+    }
+
+    // Width-extend the target position with zeros.
+    let mut s_root = s_in.clone();
+    s_root.extend(std::iter::repeat_n(zero, width - m));
+
+    // ---- Epoch 1: serial signed forward tree with deserialization --------
+    // Leaf streams: +1 = is_alpha at tick 0; −1 = all-ones while is_eps.
+    let leaf_streams: Vec<NodeId> = leaf_flags
+        .iter()
+        .map(|&(a, e)| {
+            let plus = nl.gate(GateKind::And, vec![a, tick[0]]);
+            nl.gate(GateKind::Or, vec![plus, e])
+        })
+        .collect();
+
+    // Leaf "registers": the signed value of a leaf is static (+1/−1/0).
+    let leaf_nodes: Vec<NodeInfo> = leaf_flags
+        .iter()
+        .map(|&(a, e)| {
+            let active = nl.gate(GateKind::Or, vec![a, e]);
+            // l = |v| = active; type α iff is_alpha.
+            let mut l = vec![active];
+            l.extend(std::iter::repeat_n(zero, width - 1));
+            NodeInfo { l, is_alpha: a }
+        })
+        .collect();
+
+    // Internal nodes: stream adder + deserialize; l and type resolved
+    // bottom-up combinationally.
+    let mut levels: Vec<Vec<NodeInfo>> = vec![leaf_nodes];
+    let mut streams = leaf_streams;
+    for j in 1..=m {
+        let mut next_streams = Vec::with_capacity(n >> j);
+        let mut nodes = Vec::with_capacity(n >> j);
+        for b in 0..(n >> j) {
+            let sum = serial_adder_node(&mut nl, streams[2 * b], streams[2 * b + 1]);
+            next_streams.push(sum);
+            let v = deserialize(&mut nl, sum, &tick[..width]);
+            let sign = v[width - 1];
+            let l = cond_negate(&mut nl, sign, &v, zero); // run length = |v|
+            // Stored type per Table 4: same types add (keep type0); else the
+            // larger magnitude wins; χ/zero reports ε.
+            let c0 = &levels[j - 1][2 * b];
+            let c1 = &levels[j - 1][2 * b + 1];
+            let same = {
+                let x = nl.gate(GateKind::Xor, vec![c0.is_alpha, c1.is_alpha]);
+                nl.gate(GateKind::Not, vec![x])
+            };
+            let l0_lt_l1 = lt_parallel(&mut nl, &c0.l, &c1.l, zero);
+            let ge = nl.gate(GateKind::Not, vec![l0_lt_l1]);
+            // Stored type exactly as Table 4 combines it: same types keep
+            // type0; otherwise the larger magnitude wins (ties keep type0).
+            // Zero-length nodes KEEP their stored type — the planner's
+            // branch selection at the parent depends on it.
+            let diff_type = mux_bit(&mut nl, ge, c0.is_alpha, c1.is_alpha);
+            let is_alpha = mux_bit(&mut nl, same, c0.is_alpha, diff_type);
+            nodes.push(NodeInfo { l, is_alpha });
+        }
+        levels.push(nodes);
+        streams = next_streams;
+    }
+
+    // ---- Epoch 2: combinational backward phase ----------------------------
+    // For each node (height j, block b): from its backward position s and
+    // its children's (l, type), derive the children's positions and this
+    // node's merging-stage settings.
+    let mut back: Vec<Vec<NodeId>> = vec![s_root];
+    for j in (1..=m).rev() {
+        let half = 1usize << (j - 1);
+        let mask_bits = j - 1; // s mod half keeps bits < j−1
+        let mut next = Vec::with_capacity(2 * back.len());
+        for (b, s) in back.iter().enumerate() {
+            let c0 = &levels[j - 1][2 * b];
+            let c1 = &levels[j - 1][2 * b + 1];
+            let node = &levels[j][b];
+
+            let same = {
+                let x = nl.gate(GateKind::Xor, vec![c0.is_alpha, c1.is_alpha]);
+                nl.gate(GateKind::Not, vec![x])
+            };
+            let l0_lt_l1 = lt_parallel(&mut nl, &c0.l, &c1.l, zero);
+            let ge = nl.gate(GateKind::Not, vec![l0_lt_l1]);
+
+            // Shared arithmetic.
+            let mask = |x: &[NodeId]| -> Vec<NodeId> {
+                (0..width)
+                    .map(|k| if k < mask_bits { x[k] } else { zero })
+                    .collect()
+            };
+            let s_mod = mask(s);
+            let sl0 = add_parallel(&mut nl, s, &c0.l); // s + l0
+            let sl0_mod = mask(&sl0);
+            let sl = add_parallel(&mut nl, s, &node.l); // s + l
+            let sl_mod = mask(&sl);
+
+            // Same-types branch (Lemma 1): children (s_mod, sl0_mod);
+            // setting value b = bit j−1 of (s + l0); W_{0, s1; b̄, b}.
+            let b_same = sl0[j - 1];
+
+            // Different-types branch: s_tmp = sl_mod, l_tmp = min(l0, l1);
+            // s0/s1 depend on ge; case flags on the high bits of s, s+l.
+            let l_tmp: Vec<NodeId> = (0..width)
+                .map(|k| mux_bit(&mut nl, ge, c1.l[k], c0.l[k]))
+                .collect();
+            let ucast = l0_lt_l1; // 0 = parallel when l0 ≥ l1, else crossing
+            let bcast_lo = {
+                // lower broadcast iff the α side is the lower child.
+                nl.gate(GateKind::Not, vec![c0.is_alpha])
+            };
+            let s_hi = or_all(&mut nl, &s[mask_bits..], zero); // s ≥ half
+            let s_lo = nl.gate(GateKind::Not, vec![s_hi]);
+            let sl_hi = or_all(&mut nl, &sl[mask_bits..], zero); // s+l ≥ half
+            let sl_lo = nl.gate(GateKind::Not, vec![sl_hi]);
+            let sl_ge_n = or_all(&mut nl, &sl[j..], zero); // s+l ≥ n′
+            let sl_lt_n = nl.gate(GateKind::Not, vec![sl_ge_n]);
+            let case1 = nl.gate(GateKind::And, vec![s_lo, sl_lo]);
+            let case2 = nl.gate(GateKind::And, vec![s_lo, sl_hi]);
+            let case3 = nl.gate(GateKind::And, vec![s_hi, sl_lt_n]);
+            let case4 = nl.gate(GateKind::And, vec![s_hi, sl_ge_n]);
+
+            // Run boundary e = s_tmp + l_tmp (for both binary wrap test and
+            // trinary split).
+            let e = add_parallel(&mut nl, &sl_mod, &l_tmp);
+
+            // Children backward positions.
+            for k in 0..width {
+                // s0 = same ? s_mod : (ge ? s_mod : sl_mod)
+                let diff0 = mux_bit(&mut nl, ge, s_mod[k], sl_mod[k]);
+                let s0k = mux_bit(&mut nl, same, s_mod[k], diff0);
+                // s1 = same ? sl0_mod : (ge ? sl_mod : s_mod)
+                let diff1 = mux_bit(&mut nl, ge, sl_mod[k], s_mod[k]);
+                let s1k = mux_bit(&mut nl, same, sl0_mod[k], diff1);
+                if k == 0 {
+                    next.push(Vec::with_capacity(width));
+                    next.push(Vec::with_capacity(width));
+                }
+                let idx = next.len() - 2;
+                next[idx].push(s0k);
+                next[idx + 1].push(s1k);
+            }
+
+            // Per-switch settings.
+            for i in 0..half {
+                // Same branch: W_{0, s1=sl0_mod; b̄, b}: i < s1 → b.
+                let in_same = const_lt_value(&mut nl, i, &sl0_mod, zero);
+                let nb = nl.gate(GateKind::Not, vec![b_same]);
+                let same_lo = mux_bit(&mut nl, in_same, b_same, nb);
+
+                // Diff branch membership tests against [s_tmp, e) with
+                // circular wrap for the binary cases.
+                let ge_stmp = {
+                    let lt = const_lt_value(&mut nl, i, &sl_mod, zero);
+                    nl.gate(GateKind::Not, vec![lt])
+                };
+                let lt_e = const_lt_value(&mut nl, i, &e, zero);
+                let straight = nl.gate(GateKind::And, vec![ge_stmp, lt_e]);
+                let wrapped = const_lt_value(&mut nl, i + half, &e, zero);
+                let in_bcast_binary = nl.gate(GateKind::Or, vec![straight, wrapped]);
+
+                let not_ucast = nl.gate(GateKind::Not, vec![ucast]);
+                // Binary cases: case1 → (ucast, bcast), case3 → (ūcast, bcast).
+                let u1 = ucast;
+                let u3 = not_ucast;
+                // Trinary cases (no wrap): [0,s_tmp) → x1, [s_tmp,e) → bcast,
+                // [e, half) → x3. case2: (x1 = ūcast, x3 = ucast);
+                // case4: (x1 = ucast, x3 = ūcast).
+                let lt_stmp = const_lt_value(&mut nl, i, &sl_mod, zero);
+                let in_set2 = straight; // ge_stmp ∧ lt_e (trinary never wraps)
+                let nlt = nl.gate(GateKind::Not, vec![lt_stmp]);
+                let nin2 = nl.gate(GateKind::Not, vec![in_set2]);
+                let in_set3 = nl.gate(GateKind::And, vec![nlt, nin2]);
+
+                // Assemble the diff-branch code per case: hi = broadcast?,
+                // lo = direction bit.
+                // case1/3 (binary): hi = in_bcast; lo = in_bcast ? bcast_lo : u.
+                let lo_c1 = mux_bit(&mut nl, in_bcast_binary, bcast_lo, u1);
+                let lo_c3 = mux_bit(&mut nl, in_bcast_binary, bcast_lo, u3);
+                // case2: set1 → ūcast, set2 → bcast, set3 → ucast.
+                let lo_c2 = {
+                    let t = mux_bit(&mut nl, in_set3, u1, not_ucast); // set3 vs set1 default
+                    mux_bit(&mut nl, in_set2, bcast_lo, t)
+                };
+                // case4: set1 → ucast, set3 → ūcast.
+                let lo_c4 = {
+                    let t = mux_bit(&mut nl, in_set3, u3, ucast);
+                    mux_bit(&mut nl, in_set2, bcast_lo, t)
+                };
+                let hi_binary = in_bcast_binary;
+                let hi_trinary = in_set2;
+
+                // Select by case (one-hot).
+                let pick = |nl: &mut Netlist, v1: NodeId, v2: NodeId, v3: NodeId, v4: NodeId| {
+                    let a = nl.gate(GateKind::And, vec![case1, v1]);
+                    let b2 = nl.gate(GateKind::And, vec![case2, v2]);
+                    let c = nl.gate(GateKind::And, vec![case3, v3]);
+                    let d = nl.gate(GateKind::And, vec![case4, v4]);
+                    nl.gate(GateKind::Or, vec![a, b2, c, d])
+                };
+                let diff_hi = pick(&mut nl, hi_binary, hi_trinary, hi_binary, hi_trinary);
+                let diff_lo = pick(&mut nl, lo_c1, lo_c2, lo_c3, lo_c4);
+
+                // Final: same-branch unicast vs diff-branch.
+                let hi = {
+                    let nsame = nl.gate(GateKind::Not, vec![same]);
+                    nl.gate(GateKind::And, vec![nsame, diff_hi])
+                };
+                let lo = mux_bit(&mut nl, same, same_lo, diff_lo);
+
+                let global = b * half + i;
+                nl.mark_output(&format!("rhi_{}_{}", j - 1, global), hi);
+                nl.mark_output(&format!("rlo_{}_{}", j - 1, global), lo);
+            }
+        }
+        back = next;
+    }
+
+    ScatterRouter {
+        netlist: nl,
+        n,
+        ticks: ticks_needed,
+    }
+}
+
+/// Clocks a [`scatter_router`] and returns the per-stage setting codes
+/// (`result[j][k]` ∈ 0..4, the paper's `r` values).
+pub fn run_scatter_router(
+    router: &ScatterRouter,
+    tags: &[brsmn_switch::Tag],
+    s_target: usize,
+) -> Vec<Vec<u8>> {
+    use brsmn_switch::Tag;
+    let n = router.n;
+    assert_eq!(tags.len(), n);
+    assert!(s_target < n);
+    let m = log2_exact(n) as usize;
+    let mut sim = router.netlist.simulator();
+    let mut last = None;
+    for t in 0..router.ticks {
+        let mut inputs = Vec::with_capacity(1 + 2 * n + m);
+        inputs.push(t == 0);
+        for &tag in tags {
+            inputs.push(tag == Tag::Alpha);
+            inputs.push(tag == Tag::Eps);
+        }
+        for k in 0..m {
+            inputs.push((s_target >> k) & 1 == 1);
+        }
+        last = Some(sim.tick(&inputs));
+    }
+    let out = last.expect("ticks >= 1");
+    (0..m)
+        .map(|j| {
+            (0..n / 2)
+                .map(|k| {
+                    let hi = out[&format!("rhi_{j}_{k}")] as u8;
+                    let lo = out[&format!("rlo_{j}_{k}")] as u8;
+                    hi << 1 | lo
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brsmn_rbn::plan_scatter;
+    use brsmn_switch::Tag;
+
+    fn planner_codes(tags: &[Tag], s: usize) -> Vec<Vec<u8>> {
+        let plan = plan_scatter(tags, s);
+        (0..plan.settings.num_stages())
+            .map(|j| plan.settings.stage(j).iter().map(|x| x.code()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn hardware_equals_planner_exhaustively_n4() {
+        let all = [Tag::Zero, Tag::One, Tag::Alpha, Tag::Eps];
+        let router = scatter_router(4);
+        for a in all {
+            for b in all {
+                for c in all {
+                    for d in all {
+                        let tags = [a, b, c, d];
+                        for s in 0..4 {
+                            assert_eq!(
+                                run_scatter_router(&router, &tags, s),
+                                planner_codes(&tags, s),
+                                "{tags:?} s={s}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hardware_equals_planner_sampled_n8() {
+        let router = scatter_router(8);
+        for seed in 0..200u64 {
+            let tags: Vec<Tag> = (0..8)
+                .map(|i| {
+                    match (i as u64 ^ seed).wrapping_mul(0x9E3779B97F4A7C15) >> 62 {
+                        0 => Tag::Alpha,
+                        1 => Tag::Eps,
+                        2 => Tag::Zero,
+                        _ => Tag::One,
+                    }
+                })
+                .collect();
+            let s = (seed as usize * 3) % 8;
+            assert_eq!(
+                run_scatter_router(&router, &tags, s),
+                planner_codes(&tags, s),
+                "seed={seed} {tags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hardware_equals_planner_sampled_n16() {
+        let router = scatter_router(16);
+        for seed in 0..40u64 {
+            let tags: Vec<Tag> = (0..16)
+                .map(|i| {
+                    match (i as u64 ^ seed.rotate_left(11)).wrapping_mul(0x2545F4914F6CDD1D)
+                        >> 62
+                    {
+                        0 => Tag::Alpha,
+                        1 => Tag::Eps,
+                        2 => Tag::Zero,
+                        _ => Tag::One,
+                    }
+                })
+                .collect();
+            let s = (seed as usize * 7) % 16;
+            assert_eq!(
+                run_scatter_router(&router, &tags, s),
+                planner_codes(&tags, s),
+                "seed={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn settings_drive_a_correct_scatter() {
+        // End to end: hardware settings, loaded into the executable fabric,
+        // must actually scatter.
+        use brsmn_rbn::{clone_split, is_compact_at, RbnSettings};
+        use brsmn_switch::{Line, SwitchSetting};
+        let router = scatter_router(8);
+        let tags = [
+            Tag::One,
+            Tag::Alpha,
+            Tag::Eps,
+            Tag::Zero,
+            Tag::Eps,
+            Tag::Alpha,
+            Tag::Eps,
+            Tag::Eps,
+        ];
+        let hw = run_scatter_router(&router, &tags, 0);
+        let mut settings = RbnSettings::identity(8);
+        for (j, stage) in hw.iter().enumerate() {
+            for (k, &code) in stage.iter().enumerate() {
+                settings.stage_mut(j)[k] = SwitchSetting::from_code(code).unwrap();
+            }
+        }
+        let lines: Vec<Line<usize>> = tags
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                if t == Tag::Eps {
+                    Line::empty()
+                } else {
+                    Line::with(t, i)
+                }
+            })
+            .collect();
+        let out = settings.run(lines, &mut clone_split).unwrap();
+        assert!(out.iter().all(|l| l.tag != Tag::Alpha));
+        let eps_run: Vec<bool> = out.iter().map(|l| l.tag == Tag::Eps).collect();
+        assert!(is_compact_at(&eps_run, 0, 2));
+    }
+}

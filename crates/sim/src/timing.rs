@@ -1,0 +1,180 @@
+//! Routing-time measurement in gate delays (Section 7.4).
+//!
+//! A BSN of size `k` runs, sequentially:
+//!
+//! 1. the scatter algorithm's forward sweep (an adder tree of depth
+//!    `log k` over `log k + 1`-bit counts) and backward sweep (same shape,
+//!    mod/add units instead of adders);
+//! 2. the ε-dividing algorithm's forward + backward sweeps;
+//! 3. the quasisorting bit-sort's forward + backward sweeps;
+//! 4. the data-path traversal of its `2 log k` switch stages.
+//!
+//! Everything is pipelined bit-serially, so each sweep is `O(log k)` gate
+//! delays — measured here with the explicit arrival-time simulation of
+//! [`crate::adder`] rather than assumed. Levels of the BRSMN run these
+//! set-ups sequentially (level `i+1` needs level `i`'s outputs), giving the
+//! paper's `O(log² n)` total routing time.
+
+use crate::adder::adder_tree_latency;
+use brsmn_switch::cost::SWITCH_TRAVERSAL_DELAY;
+use brsmn_topology::log2_exact;
+use serde::{Deserialize, Serialize};
+
+/// Gate delays one looping step of the Beneš distributor costs (follow the
+/// chain pointer, read the pair, write a setting) — used when converting
+/// [`LoopingStats`](../brsmn_baselines/benes/struct.LoopingStats.html) steps
+/// to time.
+pub const LOOPING_STEP_DELAY: u64 = 5;
+
+/// Number of forward/backward sweep *pairs* a BSN performs: scatter,
+/// ε-divide, bit-sort.
+const SWEEP_PAIRS_PER_BSN: u64 = 3;
+
+/// Latency of one forward (or backward) sweep over the distributed-algorithm
+/// tree of an RBN of size `k`: a pipelined adder tree of depth `log k` on
+/// `log k + 1`-bit operands.
+pub fn rbn_sweep_latency(k: usize) -> u64 {
+    let m = log2_exact(k) as usize;
+    adder_tree_latency(k, m + 1)
+}
+
+/// Routing time of one `k × k` BSN in gate delays: all sweeps plus the data
+/// path through both of its RBNs.
+pub fn bsn_routing_time(k: usize) -> u64 {
+    let m = log2_exact(k) as u64;
+    SWEEP_PAIRS_PER_BSN * 2 * rbn_sweep_latency(k) + SWITCH_TRAVERSAL_DELAY * 2 * m
+}
+
+/// Per-level breakdown of a BRSMN routing-time measurement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingTimeBreakdown {
+    /// Network size.
+    pub n: usize,
+    /// Gate delays spent at each BSN level (levels `1 … log n − 1`).
+    pub per_level: Vec<u64>,
+    /// Gate delays of the final 2×2 stage.
+    pub final_stage: u64,
+    /// Total routing time in gate delays.
+    pub total: u64,
+}
+
+/// Measures the routing time of an unfolded `n × n` BRSMN: BSN levels run
+/// sequentially (each needs the previous level's outputs), blocks within a
+/// level run in parallel.
+pub fn brsmn_routing_time(n: usize) -> RoutingTimeBreakdown {
+    let m = log2_exact(n) as usize;
+    let per_level: Vec<u64> = (1..m).map(|i| bsn_routing_time(n >> (i - 1))).collect();
+    let final_stage = SWITCH_TRAVERSAL_DELAY;
+    let total = per_level.iter().sum::<u64>() + final_stage;
+    RoutingTimeBreakdown {
+        n,
+        per_level,
+        final_stage,
+        total,
+    }
+}
+
+/// Measures the routing time of the feedback implementation: the same
+/// sweeps (they run on the sub-RBNs of the single physical array), but every
+/// pass traverses all `log n` physical stages on the way around the loop.
+pub fn feedback_routing_time(n: usize) -> RoutingTimeBreakdown {
+    let m = log2_exact(n) as u64;
+    let mu = m as usize;
+    let per_level: Vec<u64> = (1..mu)
+        .map(|i| {
+            let k = n >> (i - 1);
+            // Sweeps as in the unfolded network, but two full-array
+            // traversals (scatter pass + quasisort pass) instead of 2·log k
+            // stages.
+            SWEEP_PAIRS_PER_BSN * 2 * rbn_sweep_latency(k) + SWITCH_TRAVERSAL_DELAY * 2 * m
+        })
+        .collect();
+    let final_stage = SWITCH_TRAVERSAL_DELAY * m;
+    let total = per_level.iter().sum::<u64>() + final_stage;
+    RoutingTimeBreakdown {
+        n,
+        per_level,
+        final_stage,
+        total,
+    }
+}
+
+/// Routing time of a centralized looping run (the Beneš distributor of the
+/// classical baseline): serial steps × per-step delay.
+pub fn looping_routing_time(steps: u64) -> u64 {
+    steps * LOOPING_STEP_DELAY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_latency_is_order_log() {
+        // Measured sweep latency grows linearly in log k.
+        let l4 = rbn_sweep_latency(16);
+        let l8 = rbn_sweep_latency(256);
+        let l16 = rbn_sweep_latency(1 << 16);
+        // Differences per doubling of log k are ~constant.
+        let d1 = l8 - l4;
+        let d2 = l16 - l8;
+        assert!(d2 < 2 * d1 + 8, "l4={l4} l8={l8} l16={l16}");
+        assert!(l16 < 220, "must stay O(log n): {l16}");
+    }
+
+    #[test]
+    fn brsmn_total_is_theta_log_squared() {
+        let t = |m: u32| brsmn_routing_time(1usize << m).total as f64;
+        // T(n)/m² roughly constant over a wide range.
+        let r6 = t(6) / 36.0;
+        let r14 = t(14) / 196.0;
+        assert!(r6 / r14 < 2.5 && r14 / r6 < 2.5, "r6={r6:.1} r14={r14:.1}");
+    }
+
+    #[test]
+    fn per_level_counts() {
+        let b = brsmn_routing_time(64);
+        assert_eq!(b.per_level.len(), 5); // levels 1..=5 for m = 6
+        // Level sizes shrink, so per-level time decreases monotonically.
+        assert!(b.per_level.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(
+            b.total,
+            b.per_level.iter().sum::<u64>() + b.final_stage
+        );
+    }
+
+    #[test]
+    fn feedback_time_close_to_unfolded() {
+        // Same asymptotics; feedback pays slightly more traversal (full
+        // array every pass) — within a small constant factor.
+        for m in [4u32, 8, 12] {
+            let n = 1usize << m;
+            let a = brsmn_routing_time(n).total as f64;
+            let b = feedback_routing_time(n).total as f64;
+            assert!(b >= a * 0.9, "n={n}");
+            assert!(b <= a * 2.0, "n={n}: unfolded {a}, feedback {b}");
+        }
+    }
+
+    #[test]
+    fn looping_dominates_at_scale() {
+        // The classical distributor's serial looping (≈ n·log n steps)
+        // dwarfs the self-routing set-up time, with a gap that widens in n:
+        // Θ(n log n) vs Θ(log² n).
+        let ratio = |m: u32| {
+            let n = 1usize << m;
+            looping_routing_time((n as u64) * m as u64) as f64
+                / brsmn_routing_time(n).total as f64
+        };
+        assert!(ratio(6) > 2.0, "{}", ratio(6));
+        assert!(ratio(10) > 20.0, "{}", ratio(10));
+        assert!(ratio(14) > 200.0, "{}", ratio(14));
+    }
+
+    #[test]
+    fn n2_degenerate() {
+        let b = brsmn_routing_time(2);
+        assert!(b.per_level.is_empty());
+        assert_eq!(b.total, SWITCH_TRAVERSAL_DELAY);
+    }
+}

@@ -1,0 +1,162 @@
+//! End-to-end message-transfer timing: routing set-up plus cut-through data
+//! streaming — and the makespan of multi-round schedules.
+//!
+//! The paper evaluates *routing time* (switch set-up). A deployed fabric
+//! also streams payload: once paths are set, a `B`-bit message cut-throughs
+//! the `D(n)` switch stages, taking `D(n)·d_sw + B` gate delays on bit-serial
+//! links (first bit pays the full pipeline, the rest follow one per tick).
+//! This module combines the two and exposes the crossover analysis: for
+//! short messages the set-up term — where the self-routing design wins —
+//! dominates; for bulk transfers the wire time amortizes it.
+
+use crate::timing::{brsmn_routing_time, feedback_routing_time, looping_routing_time};
+use brsmn_core::metrics;
+use brsmn_switch::cost::SWITCH_TRAVERSAL_DELAY;
+use serde::{Deserialize, Serialize};
+
+/// Which fabric a transfer runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fabric {
+    /// The unfolded BRSMN (self-routing set-up).
+    Brsmn,
+    /// The feedback implementation (self-routing set-up, multi-pass data).
+    Feedback,
+    /// The classical copy+Beneš switch (centralized looping set-up);
+    /// `loop_steps` must come from an actual looping run.
+    Classical {
+        /// Serial looping steps measured for the assignment.
+        loop_steps: u64,
+    },
+}
+
+/// Timing of one multicast transfer of `payload_bits` per message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferTime {
+    /// Gate delays to set every switch.
+    pub setup: u64,
+    /// Gate delays for the payload to drain through the fabric.
+    pub stream: u64,
+}
+
+impl TransferTime {
+    /// Total gate delays.
+    pub fn total(&self) -> u64 {
+        self.setup + self.stream
+    }
+}
+
+/// Computes the transfer time of one assignment on a fabric.
+///
+/// Streaming model: cut-through over `depth` stages at
+/// [`SWITCH_TRAVERSAL_DELAY`] per stage for the first bit, then one bit per
+/// gate delay. The feedback fabric streams the payload once per pass
+/// (messages recirculate), so its stream term multiplies by the pass count.
+pub fn transfer_time(fabric: Fabric, n: usize, payload_bits: u64) -> TransferTime {
+    match fabric {
+        Fabric::Brsmn => TransferTime {
+            setup: brsmn_routing_time(n).total,
+            stream: metrics::brsmn_depth(n) * SWITCH_TRAVERSAL_DELAY + payload_bits,
+        },
+        Fabric::Feedback => {
+            let passes = metrics::feedback_passes(n);
+            let per_pass =
+                metrics::rbn_switches(n) / (n as u64 / 2) * SWITCH_TRAVERSAL_DELAY + payload_bits;
+            TransferTime {
+                setup: feedback_routing_time(n).total,
+                stream: passes * per_pass,
+            }
+        }
+        Fabric::Classical { loop_steps } => TransferTime {
+            setup: looping_routing_time(loop_steps),
+            // Concentrator + copy banyan + Beneš stages.
+            stream: (4 * (n.trailing_zeros() as u64) - 1) * SWITCH_TRAVERSAL_DELAY + payload_bits,
+        },
+    }
+}
+
+/// The payload size (bits) at which the classical fabric's total transfer
+/// time falls within `tolerance` (e.g. 1.05 = 5%) of the self-routing
+/// BRSMN's — i.e. where set-up no longer matters. Returns `None` if no
+/// crossover at or below `max_bits`.
+pub fn setup_amortization_point(
+    n: usize,
+    loop_steps: u64,
+    tolerance: f64,
+    max_bits: u64,
+) -> Option<u64> {
+    let mut bits = 1u64;
+    while bits <= max_bits {
+        let ours = transfer_time(Fabric::Brsmn, n, bits).total() as f64;
+        let theirs = transfer_time(Fabric::Classical { loop_steps }, n, bits).total() as f64;
+        if theirs <= ours * tolerance {
+            return Some(bits);
+        }
+        bits *= 2;
+    }
+    None
+}
+
+/// Makespan of a multi-round schedule on one fabric: rounds are serialized
+/// (each needs the previous round's switches released).
+pub fn schedule_makespan(fabric: Fabric, n: usize, payload_bits: u64, rounds: usize) -> u64 {
+    transfer_time(fabric, n, payload_bits).total() * rounds as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_messages_are_setup_dominated() {
+        let t = transfer_time(Fabric::Brsmn, 1024, 64);
+        assert!(t.setup > t.stream, "{t:?}");
+    }
+
+    #[test]
+    fn bulk_messages_are_stream_dominated() {
+        let t = transfer_time(Fabric::Brsmn, 1024, 1 << 20);
+        assert!(t.stream > 10 * t.setup, "{t:?}");
+    }
+
+    #[test]
+    fn self_routing_wins_at_small_payloads() {
+        // Per-assignment looping steps ≈ n·log n for a dense load.
+        let n = 1024usize;
+        let loop_steps = (n as u64) * 10;
+        let ours = transfer_time(Fabric::Brsmn, n, 512).total();
+        let theirs = transfer_time(Fabric::Classical { loop_steps }, n, 512).total();
+        assert!(theirs > 5 * ours, "ours {ours}, theirs {theirs}");
+    }
+
+    #[test]
+    fn crossover_exists_and_grows_with_n() {
+        let cross = |n: usize| {
+            let m = n.trailing_zeros() as u64;
+            setup_amortization_point(n, (n as u64) * m, 1.05, 1 << 40).expect("crossover")
+        };
+        let c256 = cross(256);
+        let c4096 = cross(4096);
+        assert!(c4096 > c256, "{c256} vs {c4096}");
+        // At n=256 the classical switch needs tens of kilobits per message
+        // before its centralized set-up stops hurting.
+        assert!(c256 > 1 << 13, "{c256}");
+    }
+
+    #[test]
+    fn feedback_streams_once_per_pass() {
+        let n = 64usize;
+        let t = transfer_time(Fabric::Feedback, n, 1000);
+        let passes = metrics::feedback_passes(n);
+        assert!(t.stream >= passes * 1000);
+        // The unfolded network streams the payload once.
+        let u = transfer_time(Fabric::Brsmn, n, 1000);
+        assert!(t.stream > u.stream);
+    }
+
+    #[test]
+    fn makespan_scales_linearly_in_rounds() {
+        let one = schedule_makespan(Fabric::Brsmn, 128, 4096, 1);
+        let ten = schedule_makespan(Fabric::Brsmn, 128, 4096, 10);
+        assert_eq!(ten, 10 * one);
+    }
+}

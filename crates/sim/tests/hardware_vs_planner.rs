@@ -1,0 +1,77 @@
+//! Property-based differential testing: the gate-level routing circuits vs
+//! the software planners, on random inputs beyond the exhaustive unit tests.
+
+use brsmn_rbn::{eps_divide, plan_bitsort, plan_scatter};
+use brsmn_sim::{
+    bitsort_router, eps_divider, run_bitsort_router, run_eps_divider, run_scatter_router,
+    scatter_router,
+};
+use brsmn_switch::{QTag, SwitchSetting, Tag};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitsort_circuit_matches_planner(gamma in proptest::collection::vec(any::<bool>(), 16), s in 0usize..16) {
+        let router = bitsort_router(16);
+        let hw = run_bitsort_router(&router, &gamma, s);
+        let plan = plan_bitsort(&gamma, s);
+        for (j, stage) in hw.iter().enumerate() {
+            for (k, &cross) in stage.iter().enumerate() {
+                prop_assert_eq!(
+                    cross,
+                    plan.settings.stage(j)[k] == SwitchSetting::Crossing,
+                    "stage {} switch {}", j, k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_circuit_matches_planner(raw in proptest::collection::vec(0u8..4, 8), s in 0usize..8) {
+        let tags: Vec<Tag> = raw.iter().map(|&r| match r {
+            0 => Tag::Zero,
+            1 => Tag::One,
+            2 => Tag::Alpha,
+            _ => Tag::Eps,
+        }).collect();
+        let router = scatter_router(8);
+        let hw = run_scatter_router(&router, &tags, s);
+        let plan = plan_scatter(&tags, s);
+        for (j, stage) in hw.iter().enumerate() {
+            for (k, &code) in stage.iter().enumerate() {
+                prop_assert_eq!(code, plan.settings.stage(j)[k].code(), "stage {} switch {}", j, k);
+            }
+        }
+    }
+
+    #[test]
+    fn eps_divider_circuit_matches_planner(raw in proptest::collection::vec(0u8..3, 16)) {
+        let mut tags: Vec<Tag> = raw.iter().map(|&r| match r {
+            0 => Tag::Zero,
+            1 => Tag::One,
+            _ => Tag::Eps,
+        }).collect();
+        // Enforce the quasisort precondition.
+        for want in [Tag::Zero, Tag::One] {
+            let mut count = 0usize;
+            for t in tags.iter_mut() {
+                if *t == want {
+                    count += 1;
+                    if count > 8 {
+                        *t = Tag::Eps;
+                    }
+                }
+            }
+        }
+        let div = eps_divider(16);
+        let is_eps: Vec<bool> = tags.iter().map(|&t| t == Tag::Eps).collect();
+        let is_one: Vec<bool> = tags.iter().map(|&t| t == Tag::One).collect();
+        let hw = run_eps_divider(&div, &is_eps, &is_one);
+        let sw = eps_divide(&tags).unwrap();
+        for (i, qt) in sw.qtags.iter().enumerate() {
+            prop_assert_eq!(hw[i], *qt == QTag::Eps0, "input {}", i);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Gate-cost calibration constants for the complexity analysis (Section 7.4).
+//!
+//! The paper counts **logic gates**, with one gate delay as the unit of time.
+//! Its key claim is that the self-routing circuitry adds only a *constant*
+//! number of gates per switch ("a constant number of one bit adders or
+//! adder-like circuits"), so total cost is Θ(#switches). The constants below
+//! fix that Θ into concrete numbers so different networks can be compared on
+//! the same scale; they are calibration choices, documented here and in
+//! EXPERIMENTS.md, not measurements of a real chip.
+
+/// Gates for the 2×2 data path of a broadcast-capable switch: two 2:1 output
+/// multiplexers with a broadcast override (≈4 gates each) plus setting decode.
+pub const GATES_DATAPATH_PER_SWITCH: u64 = 10;
+
+/// Gates for the distributed routing circuit attached to each switch: two
+/// bit-serial full adders (≈5 gates each, Fig. 12), carry flip-flops, the
+/// compact-setting comparator of Table 5, and the type/ε-divide bookkeeping.
+pub const GATES_ROUTING_PER_SWITCH: u64 = 26;
+
+/// Total gates attributed to one self-routing switch.
+pub const GATES_PER_SWITCH: u64 = GATES_DATAPATH_PER_SWITCH + GATES_ROUTING_PER_SWITCH;
+
+/// Gates for a plain (non-broadcast, externally routed) 2×2 switch, used for
+/// baseline fabrics such as the Beneš network.
+pub const GATES_PER_PLAIN_SWITCH: u64 = 8;
+
+/// Gate delays for one full-adder stage of the pipelined bit-serial adder
+/// (sum and carry each settle within two gate levels; Fig. 12).
+pub const ADDER_STAGE_DELAY: u64 = 2;
+
+/// Gate delays to traverse the data path of one switch stage.
+pub const SWITCH_TRAVERSAL_DELAY: u64 = 2;
+
+/// Converts a switch count to a gate count for a self-routing switch fabric.
+pub fn gates_self_routing(switches: u64) -> u64 {
+    switches * GATES_PER_SWITCH
+}
+
+/// Converts a switch count to a gate count for a plain switch fabric.
+pub fn gates_plain(switches: u64) -> u64 {
+    switches * GATES_PER_PLAIN_SWITCH
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_switch_cost_is_constant_and_split_consistently() {
+        assert_eq!(
+            GATES_PER_SWITCH,
+            GATES_DATAPATH_PER_SWITCH + GATES_ROUTING_PER_SWITCH
+        );
+    }
+
+    #[test]
+    fn gate_counts_scale_linearly_in_switches() {
+        assert_eq!(gates_self_routing(0), 0);
+        assert_eq!(gates_self_routing(7), 7 * GATES_PER_SWITCH);
+        assert_eq!(gates_plain(12), 12 * GATES_PER_PLAIN_SWITCH);
+    }
+
+    #[test]
+    fn self_routing_switch_costs_more_than_plain() {
+        const { assert!(GATES_PER_SWITCH > GATES_PER_PLAIN_SWITCH) }
+    }
+}

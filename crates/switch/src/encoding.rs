@@ -1,0 +1,183 @@
+//! The 3-bit hardware encoding of tag values (Table 1 of the paper) and the
+//! counting predicates the forward-phase circuits derive from it.
+//!
+//! | tag | `b0 b1 b2` |
+//! |---|---|
+//! | `0` | `000` |
+//! | `1` | `001` |
+//! | `α` | `100` |
+//! | `ε` | `11X` |
+//! | `ε₀` | `110` |
+//! | `ε₁` | `111` |
+//!
+//! Section 7.2: `b0 ∧ ¬b1` counts `α`s, `b0 ∧ b1` counts `ε`s, and `b2` alone
+//! counts all 1s (real and dummy) once the inputs are restricted to
+//! `{0, 1, ε₀, ε₁}` in the quasisorting network.
+
+use crate::tag::{QTag, Tag};
+use serde::{Deserialize, Serialize};
+
+/// A concrete 3-bit code word `b0 b1 b2` (`b0` transmitted first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TagCode {
+    /// Bit `b0`.
+    pub b0: bool,
+    /// Bit `b1`.
+    pub b1: bool,
+    /// Bit `b2`.
+    pub b2: bool,
+}
+
+impl TagCode {
+    /// Builds a code word from the three bits.
+    pub fn new(b0: bool, b1: bool, b2: bool) -> Self {
+        TagCode { b0, b1, b2 }
+    }
+
+    /// The code as a 3-bit integer `b0·4 + b1·2 + b2`.
+    pub fn as_u8(self) -> u8 {
+        (self.b0 as u8) << 2 | (self.b1 as u8) << 1 | self.b2 as u8
+    }
+
+    /// Parses a 3-bit integer.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        if v < 8 {
+            Some(TagCode::new(v & 4 != 0, v & 2 != 0, v & 1 != 0))
+        } else {
+            None
+        }
+    }
+
+    /// Section 7.2 predicate: this code counts as one `α` (`b0 ∧ ¬b1`).
+    #[inline]
+    pub fn counts_as_alpha(self) -> bool {
+        self.b0 && !self.b1
+    }
+
+    /// Section 7.2 predicate: this code counts as one `ε` (`b0 ∧ b1`).
+    #[inline]
+    pub fn counts_as_eps(self) -> bool {
+        self.b0 && self.b1
+    }
+
+    /// Section 7.2 predicate: in a quasisorting network this code counts as a
+    /// (real or dummy) `1` — just bit `b2`.
+    #[inline]
+    pub fn counts_as_one(self) -> bool {
+        self.b2
+    }
+}
+
+/// Encodes a base tag. `ε` encodes as `ε₀` (`110`) by convention; the `X` bit
+/// is only fixed once the ε-dividing algorithm runs.
+pub fn encode_tag(tag: Tag) -> TagCode {
+    match tag {
+        Tag::Zero => TagCode::new(false, false, false),
+        Tag::One => TagCode::new(false, false, true),
+        Tag::Alpha => TagCode::new(true, false, false),
+        Tag::Eps => TagCode::new(true, true, false),
+    }
+}
+
+/// Encodes a quasisorting tag (dummy bits resolved).
+pub fn encode_qtag(tag: QTag) -> TagCode {
+    match tag {
+        QTag::Zero => TagCode::new(false, false, false),
+        QTag::One => TagCode::new(false, false, true),
+        QTag::Eps0 => TagCode::new(true, true, false),
+        QTag::Eps1 => TagCode::new(true, true, true),
+    }
+}
+
+/// Decodes a code word to a base tag. `01X` codes are unused by the scheme
+/// and decode to `None`.
+pub fn decode_tag(code: TagCode) -> Option<Tag> {
+    match (code.b0, code.b1, code.b2) {
+        (false, false, false) => Some(Tag::Zero),
+        (false, false, true) => Some(Tag::One),
+        (true, false, false) => Some(Tag::Alpha),
+        (true, true, _) => Some(Tag::Eps),
+        _ => None,
+    }
+}
+
+/// Decodes a code word to a quasisorting tag (requires the `ε` dummy bit to be
+/// meaningful; `α` and unused codes decode to `None`).
+pub fn decode_qtag(code: TagCode) -> Option<QTag> {
+    match (code.b0, code.b1, code.b2) {
+        (false, false, false) => Some(QTag::Zero),
+        (false, false, true) => Some(QTag::One),
+        (true, true, false) => Some(QTag::Eps0),
+        (true, true, true) => Some(QTag::Eps1),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_code_words() {
+        assert_eq!(encode_tag(Tag::Zero).as_u8(), 0b000);
+        assert_eq!(encode_tag(Tag::One).as_u8(), 0b001);
+        assert_eq!(encode_tag(Tag::Alpha).as_u8(), 0b100);
+        assert_eq!(encode_qtag(QTag::Eps0).as_u8(), 0b110);
+        assert_eq!(encode_qtag(QTag::Eps1).as_u8(), 0b111);
+    }
+
+    #[test]
+    fn eps_x_bit_both_decode_to_eps() {
+        assert_eq!(decode_tag(TagCode::from_u8(0b110).unwrap()), Some(Tag::Eps));
+        assert_eq!(decode_tag(TagCode::from_u8(0b111).unwrap()), Some(Tag::Eps));
+    }
+
+    #[test]
+    fn unused_codes_rejected() {
+        assert_eq!(decode_tag(TagCode::from_u8(0b010).unwrap()), None);
+        assert_eq!(decode_tag(TagCode::from_u8(0b011).unwrap()), None);
+        assert_eq!(decode_qtag(TagCode::from_u8(0b100).unwrap()), None);
+        assert_eq!(TagCode::from_u8(8), None);
+    }
+
+    #[test]
+    fn tag_round_trip() {
+        for t in Tag::ALL {
+            assert_eq!(decode_tag(encode_tag(t)), Some(t));
+        }
+        for q in [QTag::Zero, QTag::One, QTag::Eps0, QTag::Eps1] {
+            assert_eq!(decode_qtag(encode_qtag(q)), Some(q));
+        }
+    }
+
+    #[test]
+    fn alpha_counting_predicate() {
+        // b0 ∧ ¬b1 is true exactly for the α code.
+        for t in Tag::ALL {
+            assert_eq!(encode_tag(t).counts_as_alpha(), t == Tag::Alpha);
+        }
+    }
+
+    #[test]
+    fn eps_counting_predicate() {
+        for t in Tag::ALL {
+            assert_eq!(encode_tag(t).counts_as_eps(), t == Tag::Eps);
+        }
+        assert!(encode_qtag(QTag::Eps1).counts_as_eps());
+    }
+
+    #[test]
+    fn ones_counting_predicate_on_qtags() {
+        // In the quasisorting network, b2 counts real + dummy 1s.
+        for q in [QTag::Zero, QTag::One, QTag::Eps0, QTag::Eps1] {
+            assert_eq!(encode_qtag(q).counts_as_one(), q.sort_bit());
+        }
+    }
+
+    #[test]
+    fn code_u8_round_trip() {
+        for v in 0..8u8 {
+            assert_eq!(TagCode::from_u8(v).unwrap().as_u8(), v);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! 2×2 switch model for the self-routing multicast network.
+//!
+//! A binary splitting network routes by a **four-value tag** per link
+//! (Section 3 of the paper):
+//!
+//! * `0` — every destination of the message lies in the *upper* half of the
+//!   outputs (Case 1),
+//! * `1` — every destination lies in the *lower* half (Case 2),
+//! * `α` — destinations in both halves; the message must be split (Case 3),
+//! * `ε` — no message on the link (Case 4).
+//!
+//! A 2×2 switch supports four legal operations (Fig. 3): *parallel*,
+//! *crossing* (unicast, tags unchanged), and *upper-* / *lower-broadcast*,
+//! which pair an `α` with an `ε` and emit a `0` and a `1` — splitting one
+//! multicast connection into two.
+//!
+//! ```
+//! use brsmn_switch::{apply_switch, Line, SwitchSetting, Tag};
+//!
+//! // An α paired with an ε splits into a 0 copy and a 1 copy (Fig. 3c).
+//! let (up, down) = apply_switch(
+//!     SwitchSetting::UpperBroadcast,
+//!     Line::with(Tag::Alpha, "payload"),
+//!     Line::<&str>::empty(),
+//! ).unwrap();
+//! assert_eq!((up.tag, down.tag), (Tag::Zero, Tag::One));
+//! assert_eq!(up.payload, down.payload);
+//! ```
+//!
+//! Modules:
+//! * [`tag`] — the tag type and the quasisorting dummy tags `ε₀`/`ε₁`;
+//! * [`ops`] — switch settings and their (checked) application to lines;
+//! * [`encoding`] — the 3-bit hardware encoding of Table 1 and the counting
+//!   predicates used by the forward-phase circuits;
+//! * [`cost`] — gate-cost calibration constants for the complexity analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod encoding;
+pub mod ops;
+pub mod tag;
+
+pub use ops::{apply_switch, Line, SwitchError, SwitchSetting};
+pub use tag::{QTag, Tag};

@@ -1,0 +1,282 @@
+//! Switch settings and their checked application to a pair of lines.
+//!
+//! Settings follow Section 4 of the paper: `r = 0` parallel, `r = 1`
+//! crossing, `r = 2` upper broadcast, `r = 3` lower broadcast (Fig. 7).
+//! Broadcast settings implement the α-scattering of Fig. 3c/3d: the `α` input
+//! is duplicated, the `ε` input is consumed, and the two outputs carry tags
+//! `0` (upper output) and `1` (lower output).
+
+use crate::tag::Tag;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four legal settings of a 2×2 switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwitchSetting {
+    /// `r = 0`: upper→upper, lower→lower.
+    Parallel,
+    /// `r = 1`: upper→lower, lower→upper.
+    Crossing,
+    /// `r = 2`: the upper input (an `α`) is broadcast to both outputs.
+    UpperBroadcast,
+    /// `r = 3`: the lower input (an `α`) is broadcast to both outputs.
+    LowerBroadcast,
+}
+
+impl SwitchSetting {
+    /// Numeric encoding `r ∈ {0,1,2,3}` used by the compact-setting notation
+    /// `W^{n/2}_{…}` of Section 4.
+    #[inline]
+    pub fn code(self) -> u8 {
+        match self {
+            SwitchSetting::Parallel => 0,
+            SwitchSetting::Crossing => 1,
+            SwitchSetting::UpperBroadcast => 2,
+            SwitchSetting::LowerBroadcast => 3,
+        }
+    }
+
+    /// Inverse of [`Self::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => SwitchSetting::Parallel,
+            1 => SwitchSetting::Crossing,
+            2 => SwitchSetting::UpperBroadcast,
+            3 => SwitchSetting::LowerBroadcast,
+            _ => return None,
+        })
+    }
+
+    /// `true` for the one-to-one settings (parallel / crossing).
+    #[inline]
+    pub fn is_unicast(self) -> bool {
+        matches!(self, SwitchSetting::Parallel | SwitchSetting::Crossing)
+    }
+
+    /// The opposite unicast setting (`0 ↔ 1`); broadcasts are their own
+    /// complement partner (`2 ↔ 3`). Matches the `ucast̄` / `b̄` notation of
+    /// Tables 3–4.
+    pub fn complement(self) -> Self {
+        match self {
+            SwitchSetting::Parallel => SwitchSetting::Crossing,
+            SwitchSetting::Crossing => SwitchSetting::Parallel,
+            SwitchSetting::UpperBroadcast => SwitchSetting::LowerBroadcast,
+            SwitchSetting::LowerBroadcast => SwitchSetting::UpperBroadcast,
+        }
+    }
+}
+
+impl fmt::Display for SwitchSetting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// One line (link) of the network: a tag plus, when the tag is not `ε`, a
+/// payload of type `P` (the message body and any pending routing-tag stream).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Line<P> {
+    /// The routing tag currently on the line.
+    pub tag: Tag,
+    /// The message payload; `None` iff `tag == ε`.
+    pub payload: Option<P>,
+}
+
+impl<P> Line<P> {
+    /// An empty line (`ε`).
+    pub fn empty() -> Self {
+        Line {
+            tag: Tag::Eps,
+            payload: None,
+        }
+    }
+
+    /// A line carrying `payload` under `tag` (which must not be `ε`).
+    pub fn with(tag: Tag, payload: P) -> Self {
+        assert!(tag != Tag::Eps, "ε lines carry no payload");
+        Line {
+            tag,
+            payload: Some(payload),
+        }
+    }
+
+    /// Checks the tag/payload invariant.
+    pub fn is_consistent(&self) -> bool {
+        (self.tag == Tag::Eps) == self.payload.is_none()
+    }
+}
+
+/// Error returned when a switch setting is applied to an illegal input
+/// combination (Fig. 3 defines the legal operations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchError {
+    /// The setting that was applied.
+    pub setting: SwitchSetting,
+    /// Tags found on the (upper, lower) inputs.
+    pub found: (Tag, Tag),
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "illegal switch operation: setting {} on tags ({}, {})",
+            self.setting, self.found.0, self.found.1
+        )
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+/// Applies `setting` to the pair of input lines, returning the output lines
+/// `(upper, lower)`.
+///
+/// Unicast settings pass lines through unchanged (Fig. 3a/3b). Broadcast
+/// settings require an `α` on the broadcast port and an `ε` on the other
+/// (Fig. 3c/3d); the payload is duplicated and the copies are tagged `0`
+/// (upper output) and `1` (lower output).
+pub fn apply_switch<P: Clone>(
+    setting: SwitchSetting,
+    upper: Line<P>,
+    lower: Line<P>,
+) -> Result<(Line<P>, Line<P>), SwitchError> {
+    debug_assert!(upper.is_consistent() && lower.is_consistent());
+    match setting {
+        SwitchSetting::Parallel => Ok((upper, lower)),
+        SwitchSetting::Crossing => Ok((lower, upper)),
+        SwitchSetting::UpperBroadcast => {
+            if upper.tag != Tag::Alpha || lower.tag != Tag::Eps {
+                return Err(SwitchError {
+                    setting,
+                    found: (upper.tag, lower.tag),
+                });
+            }
+            let p = upper.payload.expect("α line carries a payload");
+            Ok((Line::with(Tag::Zero, p.clone()), Line::with(Tag::One, p)))
+        }
+        SwitchSetting::LowerBroadcast => {
+            if upper.tag != Tag::Eps || lower.tag != Tag::Alpha {
+                return Err(SwitchError {
+                    setting,
+                    found: (upper.tag, lower.tag),
+                });
+            }
+            let p = lower.payload.expect("α line carries a payload");
+            Ok((Line::with(Tag::Zero, p.clone()), Line::with(Tag::One, p)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(tag: Tag, v: u32) -> Line<u32> {
+        Line::with(tag, v)
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for code in 0..4u8 {
+            let s = SwitchSetting::from_code(code).unwrap();
+            assert_eq!(s.code(), code);
+        }
+        assert_eq!(SwitchSetting::from_code(4), None);
+    }
+
+    #[test]
+    fn complement_pairs() {
+        assert_eq!(
+            SwitchSetting::Parallel.complement(),
+            SwitchSetting::Crossing
+        );
+        assert_eq!(
+            SwitchSetting::Crossing.complement(),
+            SwitchSetting::Parallel
+        );
+        assert_eq!(
+            SwitchSetting::UpperBroadcast.complement(),
+            SwitchSetting::LowerBroadcast
+        );
+    }
+
+    #[test]
+    fn parallel_passes_through() {
+        let (u, d) =
+            apply_switch(SwitchSetting::Parallel, l(Tag::Zero, 7), l(Tag::One, 9)).unwrap();
+        assert_eq!((u.tag, u.payload), (Tag::Zero, Some(7)));
+        assert_eq!((d.tag, d.payload), (Tag::One, Some(9)));
+    }
+
+    #[test]
+    fn crossing_swaps() {
+        let (u, d) =
+            apply_switch(SwitchSetting::Crossing, l(Tag::Alpha, 7), Line::empty()).unwrap();
+        assert_eq!(u.tag, Tag::Eps);
+        assert_eq!((d.tag, d.payload), (Tag::Alpha, Some(7)));
+    }
+
+    #[test]
+    fn upper_broadcast_splits_alpha() {
+        let (u, d) =
+            apply_switch(SwitchSetting::UpperBroadcast, l(Tag::Alpha, 42), Line::empty()).unwrap();
+        assert_eq!((u.tag, u.payload), (Tag::Zero, Some(42)));
+        assert_eq!((d.tag, d.payload), (Tag::One, Some(42)));
+    }
+
+    #[test]
+    fn lower_broadcast_splits_alpha() {
+        let (u, d) =
+            apply_switch(SwitchSetting::LowerBroadcast, Line::empty(), l(Tag::Alpha, 42)).unwrap();
+        assert_eq!((u.tag, u.payload), (Tag::Zero, Some(42)));
+        assert_eq!((d.tag, d.payload), (Tag::One, Some(42)));
+    }
+
+    #[test]
+    fn broadcast_rejects_wrong_tags() {
+        // α on the wrong port.
+        let e = apply_switch(SwitchSetting::UpperBroadcast, Line::empty(), l(Tag::Alpha, 1))
+            .unwrap_err();
+        assert_eq!(e.found, (Tag::Eps, Tag::Alpha));
+        // Two messages cannot be broadcast-merged.
+        assert!(
+            apply_switch(SwitchSetting::UpperBroadcast, l(Tag::Alpha, 1), l(Tag::Zero, 2)).is_err()
+        );
+        // χ values never broadcast.
+        assert!(
+            apply_switch(SwitchSetting::LowerBroadcast, Line::empty(), l(Tag::One, 2)).is_err()
+        );
+    }
+
+    #[test]
+    fn unicast_never_fails_and_preserves_tags() {
+        for s in [SwitchSetting::Parallel, SwitchSetting::Crossing] {
+            for tu in Tag::ALL {
+                for td in Tag::ALL {
+                    let up = if tu == Tag::Eps {
+                        Line::empty()
+                    } else {
+                        l(tu, 1)
+                    };
+                    let dn = if td == Tag::Eps {
+                        Line::empty()
+                    } else {
+                        l(td, 2)
+                    };
+                    let (ou, od) = apply_switch(s, up, dn).unwrap();
+                    let mut tags_out = [ou.tag, od.tag];
+                    let mut tags_in = [tu, td];
+                    tags_out.sort_by_key(|t| format!("{t:?}"));
+                    tags_in.sort_by_key(|t| format!("{t:?}"));
+                    assert_eq!(tags_out, tags_in);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn eps_line_with_payload_is_rejected() {
+        let _: Line<u32> = Line::with(Tag::Eps, 5);
+    }
+}

@@ -1,0 +1,229 @@
+//! The four-value routing tag and the quasisorting dummy tags.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four-value routing tag carried by every link of a binary splitting
+/// network (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tag {
+    /// All destinations in the upper half (most significant address bit 0).
+    Zero,
+    /// All destinations in the lower half (most significant address bit 1).
+    One,
+    /// Destinations in both halves — the connection must be split (`α`).
+    Alpha,
+    /// No message on the link (`ε`).
+    Eps,
+}
+
+impl Tag {
+    /// `true` for the single-valued tags `0` and `1` — the combined `χ` value
+    /// of Section 5.1 ("a link has a value χ if it has a single value 0 or 1").
+    #[inline]
+    pub fn is_chi(self) -> bool {
+        matches!(self, Tag::Zero | Tag::One)
+    }
+
+    /// `true` if the link carries a message (anything but `ε`).
+    #[inline]
+    pub fn carries_message(self) -> bool {
+        self != Tag::Eps
+    }
+
+    /// All four tag values, in the paper's order `0, 1, α, ε`.
+    pub const ALL: [Tag; 4] = [Tag::Zero, Tag::One, Tag::Alpha, Tag::Eps];
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tag::Zero => "0",
+            Tag::One => "1",
+            Tag::Alpha => "α",
+            Tag::Eps => "ε",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tag values on the inputs of a quasisorting network **after** the
+/// ε-dividing algorithm (Section 6.2): real `0`s and `1`s plus *dummy* `ε₀`s
+/// and `ε₁`s, chosen so that exactly `n/2` links sort upward and `n/2` sort
+/// downward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QTag {
+    /// A real `0` (message bound for the upper half).
+    Zero,
+    /// A real `1` (message bound for the lower half).
+    One,
+    /// A dummy `0`: an empty link sorted into the upper half (`ε₀`).
+    Eps0,
+    /// A dummy `1`: an empty link sorted into the lower half (`ε₁`).
+    Eps1,
+}
+
+impl QTag {
+    /// The sort key: `false` sorts to the upper half, `true` to the lower —
+    /// "the number of all 1s (including real and dummy 1s)" in the paper.
+    #[inline]
+    pub fn sort_bit(self) -> bool {
+        matches!(self, QTag::One | QTag::Eps1)
+    }
+
+    /// `true` if the link carries a real message.
+    #[inline]
+    pub fn carries_message(self) -> bool {
+        matches!(self, QTag::Zero | QTag::One)
+    }
+
+    /// Converts back to the base tag (`ε₀`/`ε₁` → `ε`).
+    #[inline]
+    pub fn base(self) -> Tag {
+        match self {
+            QTag::Zero => Tag::Zero,
+            QTag::One => Tag::One,
+            QTag::Eps0 | QTag::Eps1 => Tag::Eps,
+        }
+    }
+}
+
+impl fmt::Display for QTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QTag::Zero => "0",
+            QTag::One => "1",
+            QTag::Eps0 => "ε₀",
+            QTag::Eps1 => "ε₁",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Counts of each tag value over a set of links, with the constraint checks of
+/// Eqs. (1)–(3) of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TagCounts {
+    /// Number of `0` tags.
+    pub n0: usize,
+    /// Number of `1` tags.
+    pub n1: usize,
+    /// Number of `α` tags.
+    pub na: usize,
+    /// Number of `ε` tags.
+    pub ne: usize,
+}
+
+impl TagCounts {
+    /// Tallies a slice of tags.
+    pub fn of(tags: &[Tag]) -> Self {
+        let mut c = TagCounts::default();
+        for &t in tags {
+            match t {
+                Tag::Zero => c.n0 += 1,
+                Tag::One => c.n1 += 1,
+                Tag::Alpha => c.na += 1,
+                Tag::Eps => c.ne += 1,
+            }
+        }
+        c
+    }
+
+    /// Total number of links tallied (Eq. 1).
+    pub fn total(&self) -> usize {
+        self.n0 + self.n1 + self.na + self.ne
+    }
+
+    /// Checks the BSN input constraints of Eq. (2):
+    /// `n0 + nα ≤ n/2` and `n1 + nα ≤ n/2`.
+    pub fn satisfies_bsn_input_constraints(&self) -> bool {
+        let half = self.total() / 2;
+        self.n0 + self.na <= half && self.n1 + self.na <= half
+    }
+
+    /// The derived inequality of Eq. (3): `nα ≤ nε` (holds whenever
+    /// [`Self::satisfies_bsn_input_constraints`] does).
+    pub fn alpha_at_most_eps(&self) -> bool {
+        self.na <= self.ne
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn chi_is_zero_or_one() {
+        assert!(Tag::Zero.is_chi());
+        assert!(Tag::One.is_chi());
+        assert!(!Tag::Alpha.is_chi());
+        assert!(!Tag::Eps.is_chi());
+    }
+
+    #[test]
+    fn only_eps_is_empty() {
+        for t in Tag::ALL {
+            assert_eq!(t.carries_message(), t != Tag::Eps);
+        }
+    }
+
+    #[test]
+    fn display_uses_paper_symbols() {
+        assert_eq!(Tag::Alpha.to_string(), "α");
+        assert_eq!(Tag::Eps.to_string(), "ε");
+        assert_eq!(QTag::Eps0.to_string(), "ε₀");
+        assert_eq!(QTag::Eps1.to_string(), "ε₁");
+    }
+
+    #[test]
+    fn qtag_sort_bits() {
+        assert!(!QTag::Zero.sort_bit());
+        assert!(!QTag::Eps0.sort_bit());
+        assert!(QTag::One.sort_bit());
+        assert!(QTag::Eps1.sort_bit());
+    }
+
+    #[test]
+    fn qtag_base_collapses_dummies() {
+        assert_eq!(QTag::Eps0.base(), Tag::Eps);
+        assert_eq!(QTag::Eps1.base(), Tag::Eps);
+        assert_eq!(QTag::Zero.base(), Tag::Zero);
+        assert_eq!(QTag::One.base(), Tag::One);
+    }
+
+    #[test]
+    fn tag_counts_example_from_paper() {
+        // Fig. 4b input column: 1, α, ε, 0, ε, α, ε, ε.
+        use Tag::*;
+        let tags = [One, Alpha, Eps, Zero, Eps, Alpha, Eps, Eps];
+        let c = TagCounts::of(&tags);
+        assert_eq!((c.n0, c.n1, c.na, c.ne), (1, 1, 2, 4));
+        assert_eq!(c.total(), 8);
+        assert!(c.satisfies_bsn_input_constraints());
+        assert!(c.alpha_at_most_eps());
+    }
+
+    #[test]
+    fn constraint_violation_detected() {
+        use Tag::*;
+        // Three connections want the upper half of a 4-output network: illegal.
+        let tags = [Zero, Zero, Zero, Eps];
+        assert!(!TagCounts::of(&tags).satisfies_bsn_input_constraints());
+    }
+
+    proptest! {
+        /// Eq. (3) is implied by Eqs. (1)–(2): whenever the BSN input
+        /// constraints hold, nα ≤ nε.
+        #[test]
+        fn prop_eq3_follows_from_eq2(tags in proptest::collection::vec(
+            prop_oneof![Just(Tag::Zero), Just(Tag::One), Just(Tag::Alpha), Just(Tag::Eps)],
+            2..128,
+        )) {
+            let c = TagCounts::of(&tags);
+            if tags.len() % 2 == 0 && c.satisfies_bsn_input_constraints() {
+                prop_assert!(c.alpha_at_most_eps());
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The reverse banyan network as an explicit stage graph.
+//!
+//! In the in-place line model used throughout this workspace (see [`crate::stage`]),
+//! stage `j` of an `n × n` RBN pairs lines whose positions differ exactly in
+//! bit `j`. A message sitting on line `x` before stage `j` leaves the stage on
+//! either `x` or `x ^ 2^j`; later stages never touch bits `< j` again. Hence
+//! the network has the *banyan property*: exactly one switch-by-switch path
+//! from every input to every output, with the stage-`j` decision fixing bit
+//! `j` of the destination.
+
+use crate::stage::{rbn_stage_blocks, MergeStage, SwitchCoord};
+use crate::{check_size, log2_exact, SizeError};
+use serde::{Deserialize, Serialize};
+
+/// One hop of a path through the network: the switch traversed, the input
+/// port used, and the output port taken (`false` = upper, `true` = lower).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathHop {
+    /// Switch traversed.
+    pub switch: SwitchCoord,
+    /// Port the message entered on (`false` = upper).
+    pub in_lower: bool,
+    /// Port the message left on (`false` = upper).
+    pub out_lower: bool,
+}
+
+/// An `n × n` reverse banyan network topology (structure only, no state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReverseBanyanTopology {
+    n: usize,
+    m: u32,
+}
+
+impl ReverseBanyanTopology {
+    /// Creates the topology for size `n = 2^m`.
+    pub fn new(n: usize) -> Result<Self, SizeError> {
+        check_size(n)?;
+        Ok(Self {
+            n,
+            m: log2_exact(n),
+        })
+    }
+
+    /// Network size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Address width `m = log2 n` (= number of stages).
+    #[inline]
+    pub fn stages(&self) -> u32 {
+        self.m
+    }
+
+    /// The merging blocks making up stage `j`.
+    pub fn stage_blocks(&self, j: u32) -> Vec<MergeStage> {
+        rbn_stage_blocks(self.n, j)
+    }
+
+    /// The global switch index (within stage `j`) that line `pos` meets, plus
+    /// which port. Lines pair with their `bit j` complement.
+    pub fn switch_at(&self, j: u32, pos: usize) -> (SwitchCoord, bool) {
+        debug_assert!(pos < self.n && j < self.m);
+        let bit = 1usize << j;
+        let lower = pos & bit != 0;
+        // Switch index within the stage: drop bit j from the position.
+        let idx = ((pos >> (j + 1)) << j) | (pos & (bit - 1));
+        (
+            SwitchCoord {
+                stage: j as usize,
+                index: idx,
+            },
+            lower,
+        )
+    }
+
+    /// The unique path from `input` to `output`, as a sequence of hops.
+    ///
+    /// At stage `j` the message must leave on the line whose bit `j` matches
+    /// bit `j` of `output`; this determines the whole path.
+    pub fn unique_path(&self, input: usize, output: usize) -> Vec<PathHop> {
+        assert!(input < self.n && output < self.n);
+        let mut pos = input;
+        let mut hops = Vec::with_capacity(self.m as usize);
+        for j in 0..self.m {
+            let bit = 1usize << j;
+            let (switch, in_lower) = self.switch_at(j, pos);
+            let out_lower = output & bit != 0;
+            hops.push(PathHop {
+                switch,
+                in_lower,
+                out_lower,
+            });
+            pos = (pos & !bit) | (output & bit);
+        }
+        debug_assert_eq!(pos, output);
+        hops
+    }
+
+    /// Counts the distinct switch-level paths from `input` to `output` by
+    /// dynamic programming over stages (used to validate the banyan property).
+    pub fn path_count(&self, input: usize, output: usize) -> u64 {
+        let mut reach = vec![0u64; self.n];
+        reach[input] = 1;
+        for j in 0..self.m {
+            let bit = 1usize << j;
+            let mut next = vec![0u64; self.n];
+            for pos in 0..self.n {
+                if reach[pos] > 0 {
+                    next[pos] += reach[pos];
+                    next[pos ^ bit] += reach[pos];
+                }
+            }
+            reach = next;
+        }
+        reach[output]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn banyan_property_exactly_one_path() {
+        for n in [2usize, 4, 8, 16, 32] {
+            let t = ReverseBanyanTopology::new(n).unwrap();
+            for i in 0..n {
+                for o in 0..n {
+                    assert_eq!(t.path_count(i, o), 1, "n={n} {i}->{o}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unique_path_has_one_hop_per_stage() {
+        let t = ReverseBanyanTopology::new(16).unwrap();
+        let path = t.unique_path(5, 12);
+        assert_eq!(path.len(), 4);
+    }
+
+    #[test]
+    fn unique_path_endpoint_positions_follow_bits() {
+        let t = ReverseBanyanTopology::new(8).unwrap();
+        // From 0 to 7 the message must take the lower output at every stage.
+        for hop in t.unique_path(0, 7) {
+            assert!(hop.out_lower);
+        }
+        // From 7 to 0 it takes the upper output at every stage.
+        for hop in t.unique_path(7, 0) {
+            assert!(!hop.out_lower);
+        }
+    }
+
+    #[test]
+    fn switch_at_pairs_complementary_lines() {
+        let t = ReverseBanyanTopology::new(16).unwrap();
+        for j in 0..4u32 {
+            for pos in 0..16usize {
+                let (sw, lower) = t.switch_at(j, pos);
+                let (sw2, lower2) = t.switch_at(j, pos ^ (1 << j));
+                assert_eq!(sw, sw2);
+                assert_ne!(lower, lower2);
+            }
+        }
+    }
+
+    #[test]
+    fn switch_at_agrees_with_stage_blocks() {
+        let t = ReverseBanyanTopology::new(32).unwrap();
+        for j in 0..5u32 {
+            let blocks = t.stage_blocks(j);
+            let mut global = 0usize;
+            for b in &blocks {
+                for i in 0..b.switches() {
+                    let (u, l) = b.pair(i);
+                    let (su, pu) = t.switch_at(j, u);
+                    let (sl, pl) = t.switch_at(j, l);
+                    assert_eq!(su.index, global);
+                    assert_eq!(sl.index, global);
+                    assert!(!pu && pl);
+                    global += 1;
+                }
+            }
+            assert_eq!(global, 16);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_unique_path_is_consistent(m in 1u32..8, seed in any::<u64>()) {
+            let n = 1usize << m;
+            let input = (seed as usize) % n;
+            let output = ((seed >> 16) as usize) % n;
+            let t = ReverseBanyanTopology::new(n).unwrap();
+            let path = t.unique_path(input, output);
+            prop_assert_eq!(path.len(), m as usize);
+            // Replay the path and check it ends at `output`.
+            let mut pos = input;
+            for (j, hop) in path.iter().enumerate() {
+                let bit = 1usize << j;
+                let (sw, in_lower) = t.switch_at(j as u32, pos);
+                prop_assert_eq!(sw, hop.switch);
+                prop_assert_eq!(in_lower, hop.in_lower);
+                pos = if hop.out_lower { pos | bit } else { pos & !bit };
+            }
+            prop_assert_eq!(pos, output);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Interconnection-topology substrate for the self-routing multicast network.
+//!
+//! This crate provides the address arithmetic and stage geometry that every
+//! network in the workspace is built on:
+//!
+//! * [`perm`] — the shuffle / exchange family of bit-permutation interconnection
+//!   functions (Hwang \[15\] in the paper), plus general bit-manipulation helpers.
+//! * [`stage`] — the geometry of a *merging stage*: which pairs of lines enter a
+//!   common 2×2 switch at each stage of a reverse banyan network (Figs. 5–7 of
+//!   the paper).
+//! * [`banyan`] — the full reverse-banyan topology as an explicit stage graph,
+//!   with structural validation (perfect matchings per stage, the unique-path
+//!   banyan property).
+//!
+//! Sizes are always powers of two; `m = log2(n)` is the address width, and
+//! output addresses are written `a_0 a_1 … a_{m-1}` with `a_0` the most
+//! significant bit, following Section 2 of the paper.
+//!
+//! ```
+//! use brsmn_topology::{shuffle, ReverseBanyanTopology};
+//!
+//! // The merging network's defining pairing (Fig. 6): |σ(a) − σ(ā)| = n/2.
+//! assert_eq!(shuffle(2 * 3, 16), 3);
+//! assert_eq!(shuffle(2 * 3 + 1, 16), 3 + 8);
+//!
+//! // A reverse banyan network has exactly one path between any input and
+//! // output (the banyan property).
+//! let topo = ReverseBanyanTopology::new(16).unwrap();
+//! assert_eq!(topo.path_count(5, 12), 1);
+//! assert_eq!(topo.unique_path(5, 12).len(), 4); // one hop per stage
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod banyan;
+pub mod networks;
+pub mod perm;
+pub mod stage;
+
+pub use banyan::ReverseBanyanTopology;
+pub use networks::WiredNetwork;
+pub use perm::{exchange, shuffle, unshuffle};
+pub use stage::{MergeStage, SwitchCoord};
+
+/// Error raised when a network size is not a power of two (or is below the
+/// minimum size of 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeError {
+    /// The offending size.
+    pub n: usize,
+}
+
+impl std::fmt::Display for SizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "network size must be a power of two and at least 2, got {}",
+            self.n
+        )
+    }
+}
+
+impl std::error::Error for SizeError {}
+
+/// Checks that `n` is a valid network size (`n = 2^m`, `m >= 1`).
+pub fn check_size(n: usize) -> Result<(), SizeError> {
+    if n >= 2 && n.is_power_of_two() {
+        Ok(())
+    } else {
+        Err(SizeError { n })
+    }
+}
+
+/// `log2` of a power of two. Panics if `n` is not a power of two.
+pub fn log2_exact(n: usize) -> u32 {
+    assert!(n.is_power_of_two(), "log2_exact: {n} is not a power of two");
+    n.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_size_accepts_powers_of_two() {
+        for m in 1..16 {
+            assert!(check_size(1 << m).is_ok());
+        }
+    }
+
+    #[test]
+    fn check_size_rejects_non_powers() {
+        for n in [0usize, 1, 3, 5, 6, 7, 9, 12, 100] {
+            assert!(check_size(n).is_err(), "size {n} should be rejected");
+        }
+    }
+
+    #[test]
+    fn size_error_displays_value() {
+        let e = check_size(12).unwrap_err();
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn log2_exact_matches_shift() {
+        for m in 0..20 {
+            assert_eq!(log2_exact(1usize << m), m);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn log2_exact_panics_on_non_power() {
+        let _ = log2_exact(12);
+    }
+}

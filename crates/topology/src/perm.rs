@@ -1,0 +1,247 @@
+//! Shuffle / exchange interconnection functions and bit-permutation helpers.
+//!
+//! The paper (Section 4, Fig. 6) uses a *perfect shuffle* `σ` between the
+//! switch ports of a merging network and its external links, with the defining
+//! property `|σ(a) − σ(ā)| = n/2` where `ā = exchange(a)`. With addresses
+//! written `a_0 a_1 … a_{m-1}` (MSB first), that `σ` is the cyclic *right*
+//! rotation of the numeric value: the least-significant bit moves to the
+//! most-significant position. Its inverse (the numeric left rotation) is
+//! [`unshuffle`] here. Both directions are provided because the literature is
+//! split on naming; what matters for the merging network is the pairing
+//! `σ(2i) = i`, `σ(2i+1) = i + n/2`.
+
+use crate::log2_exact;
+
+/// The exchange function: flips the least significant address bit.
+///
+/// `exchange(a)` is the other port of the 2×2 switch that port `a` belongs to.
+#[inline]
+pub fn exchange(a: usize) -> usize {
+    a ^ 1
+}
+
+/// The perfect-shuffle map used by the paper's merging network: cyclic right
+/// rotation of the `m`-bit address `a` (LSB moves to the MSB position).
+///
+/// Satisfies `shuffle(2i, n) = i` and `shuffle(2i + 1, n) = i + n/2`, hence
+/// `|shuffle(a) − shuffle(exchange(a))| = n/2` as required by Fig. 6.
+#[inline]
+pub fn shuffle(a: usize, n: usize) -> usize {
+    debug_assert!(n.is_power_of_two() && a < n);
+    let m = log2_exact(n);
+    (a >> 1) | ((a & 1) << (m - 1))
+}
+
+/// Inverse of [`shuffle`]: cyclic left rotation of the `m`-bit address (MSB
+/// moves to the LSB position).
+#[inline]
+pub fn unshuffle(a: usize, n: usize) -> usize {
+    debug_assert!(n.is_power_of_two() && a < n);
+    let m = log2_exact(n);
+    ((a << 1) & (n - 1)) | (a >> (m - 1))
+}
+
+/// Reverses the `m` low bits of `a`.
+#[inline]
+pub fn bit_reverse(a: usize, n: usize) -> usize {
+    debug_assert!(n.is_power_of_two() && a < n);
+    let m = log2_exact(n);
+    let mut out = 0usize;
+    for k in 0..m {
+        out |= ((a >> k) & 1) << (m - 1 - k);
+    }
+    out
+}
+
+/// The `i`-th most significant bit of the `m`-bit address `a`
+/// (`i = 1` is the MSB, matching the paper's "ith most significant bit").
+#[inline]
+pub fn msb(a: usize, m: u32, i: u32) -> u8 {
+    debug_assert!(i >= 1 && i <= m);
+    ((a >> (m - i)) & 1) as u8
+}
+
+/// Returns `a` as an MSB-first bit string of width `m`, e.g. `bits(5, 4) == "0101"`.
+pub fn bits(a: usize, m: u32) -> String {
+    (1..=m).map(|i| char::from(b'0' + msb(a, m, i))).collect()
+}
+
+/// Applies a permutation given as a table: `out[perm[i]] = in[i]`.
+///
+/// Used to realize an explicit link permutation between stages when drawing or
+/// validating a network. Panics if `perm` is not a permutation of `0..len`.
+pub fn apply_permutation<T: Clone>(input: &[T], perm: &[usize]) -> Vec<T> {
+    assert_eq!(input.len(), perm.len());
+    let mut out: Vec<Option<T>> = vec![None; input.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        assert!(out[p].is_none(), "not a permutation: duplicate target {p}");
+        out[p] = Some(input[i].clone());
+    }
+    out.into_iter().map(|x| x.unwrap()).collect()
+}
+
+/// Checks that `perm` is a permutation of `0..perm.len()`.
+pub fn is_permutation(perm: &[usize]) -> bool {
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        if p >= perm.len() || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+/// Composes two permutation tables: `compose(f, g)[i] = g[f[i]]`
+/// (apply `f` first, then `g`).
+pub fn compose(f: &[usize], g: &[usize]) -> Vec<usize> {
+    assert_eq!(f.len(), g.len());
+    f.iter().map(|&i| g[i]).collect()
+}
+
+/// Inverts a permutation table.
+pub fn invert(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+/// The identity permutation on `0..n`.
+pub fn identity(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exchange_flips_low_bit() {
+        assert_eq!(exchange(0), 1);
+        assert_eq!(exchange(1), 0);
+        assert_eq!(exchange(6), 7);
+        assert_eq!(exchange(7), 6);
+    }
+
+    #[test]
+    fn shuffle_pairs_ports_to_half_separated_links() {
+        // The defining property from Fig. 6 of the paper.
+        for m in 1..=8 {
+            let n = 1usize << m;
+            for i in 0..n / 2 {
+                assert_eq!(shuffle(2 * i, n), i);
+                assert_eq!(shuffle(2 * i + 1, n), i + n / 2);
+            }
+            for a in 0..n {
+                let d = shuffle(a, n).abs_diff(shuffle(exchange(a), n));
+                assert_eq!(d, n / 2, "n={n} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn unshuffle_inverts_shuffle() {
+        for m in 1..=8 {
+            let n = 1usize << m;
+            for a in 0..n {
+                assert_eq!(unshuffle(shuffle(a, n), n), a);
+                assert_eq!(shuffle(unshuffle(a, n), n), a);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_n2_is_identity_like() {
+        // For n = 2 both rotations are the identity on {0, 1}.
+        assert_eq!(shuffle(0, 2), 0);
+        assert_eq!(shuffle(1, 2), 1);
+        assert_eq!(unshuffle(0, 2), 0);
+        assert_eq!(unshuffle(1, 2), 1);
+    }
+
+    #[test]
+    fn bit_reverse_is_involution() {
+        for m in 1..=8 {
+            let n = 1usize << m;
+            for a in 0..n {
+                assert_eq!(bit_reverse(bit_reverse(a, n), n), a);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reverse_examples() {
+        assert_eq!(bit_reverse(0b001, 8), 0b100);
+        assert_eq!(bit_reverse(0b110, 8), 0b011);
+        assert_eq!(bit_reverse(0b1011, 16), 0b1101);
+    }
+
+    #[test]
+    fn msb_indexing_matches_paper_convention() {
+        // Address 011 (n = 8): a_0 = 0, a_1 = 1, a_2 = 1.
+        assert_eq!(msb(0b011, 3, 1), 0);
+        assert_eq!(msb(0b011, 3, 2), 1);
+        assert_eq!(msb(0b011, 3, 3), 1);
+    }
+
+    #[test]
+    fn bits_renders_msb_first() {
+        assert_eq!(bits(0b011, 3), "011");
+        assert_eq!(bits(5, 4), "0101");
+    }
+
+    #[test]
+    fn apply_permutation_routes_values() {
+        let input = vec!['a', 'b', 'c', 'd'];
+        // out[perm[i]] = in[i]
+        let perm = vec![2, 0, 3, 1];
+        assert_eq!(apply_permutation(&input, &perm), vec!['b', 'd', 'a', 'c']);
+    }
+
+    #[test]
+    fn compose_and_invert_are_consistent() {
+        let f = vec![1usize, 2, 0, 3];
+        let g = invert(&f);
+        assert_eq!(compose(&f, &g), identity(4));
+        assert_eq!(compose(&g, &f), identity(4));
+    }
+
+    #[test]
+    fn is_permutation_detects_duplicates() {
+        assert!(is_permutation(&[0, 1, 2]));
+        assert!(!is_permutation(&[0, 0, 2]));
+        assert!(!is_permutation(&[0, 1, 3]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_shuffle_is_bijection(m in 1u32..10) {
+            let n = 1usize << m;
+            let table: Vec<usize> = (0..n).map(|a| shuffle(a, n)).collect();
+            prop_assert!(is_permutation(&table));
+        }
+
+        #[test]
+        fn prop_unshuffle_doubles_mod_n(m in 1u32..10, a in 0usize..1024) {
+            let n = 1usize << m;
+            let a = a % n;
+            // Numeric left rotation acts as a = 2a mod (n-1) style doubling:
+            // low m-1 bits shift up, MSB wraps to bit 0.
+            let expected = ((a << 1) & (n - 1)) | (a >> (m - 1));
+            prop_assert_eq!(unshuffle(a, n), expected);
+        }
+
+        #[test]
+        fn prop_compose_with_inverse_is_identity(seed in proptest::collection::vec(0usize..1000, 2..64)) {
+            // Build a permutation by arg-sorting the random seed.
+            let mut idx: Vec<usize> = (0..seed.len()).collect();
+            idx.sort_by_key(|&i| (seed[i], i));
+            prop_assert!(is_permutation(&idx));
+            let inv = invert(&idx);
+            prop_assert_eq!(compose(&idx, &inv), identity(seed.len()));
+        }
+    }
+}

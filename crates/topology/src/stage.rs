@@ -1,0 +1,212 @@
+//! Merging-stage geometry of a reverse banyan network.
+//!
+//! An `n × n` RBN (Fig. 5) is two `n/2 × n/2` RBNs followed by an `n × n`
+//! *merging network*: one stage of `n/2` 2×2 switches whose external links are
+//! wired by the perfect shuffle, so that merging-network switch `i` connects
+//! external lines `{i, i + n/2}` on both its input and output side (Fig. 6 and
+//! the property `|shuffle(a) − shuffle(ā)| = n/2`).
+//!
+//! Unrolling the recursion, stage `j` (0-indexed from the input side,
+//! `j = 0 … m−1`) of the full RBN consists of merging networks of size
+//! `2^{j+1}`: the lines are partitioned into blocks of `2^{j+1}` consecutive
+//! lines, and within each block, switch `i` pairs lines `base + i` and
+//! `base + i + 2^j`.
+
+use crate::{check_size, log2_exact, SizeError};
+use serde::{Deserialize, Serialize};
+
+/// Identifies one 2×2 switch inside a staged network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SwitchCoord {
+    /// Stage index, 0-based from the input side.
+    pub stage: usize,
+    /// Switch index within the stage, 0-based from the top.
+    pub index: usize,
+}
+
+/// The geometry of one merging stage acting on a block of `block` consecutive
+/// lines starting at `base`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergeStage {
+    /// First line of the block this merging network spans.
+    pub base: usize,
+    /// Block size (the merging network is `block × block`); a power of two ≥ 2.
+    pub block: usize,
+}
+
+impl MergeStage {
+    /// Creates the merging stage of a `block × block` RBN at line offset `base`.
+    pub fn new(base: usize, block: usize) -> Result<Self, SizeError> {
+        check_size(block)?;
+        Ok(Self { base, block })
+    }
+
+    /// Number of 2×2 switches in this merging stage (`block / 2`).
+    #[inline]
+    pub fn switches(&self) -> usize {
+        self.block / 2
+    }
+
+    /// The two line positions entering (and leaving) switch `i` of this stage:
+    /// `(base + i, base + i + block/2)`.
+    ///
+    /// The upper element is the one coming from the *upper* half-size RBN, the
+    /// lower from the *lower* one — exactly the alignment Lemma 1's proof
+    /// relies on (element `i` of the upper compact sequence meets element `i`
+    /// of the lower one).
+    #[inline]
+    pub fn pair(&self, i: usize) -> (usize, usize) {
+        debug_assert!(i < self.switches());
+        (self.base + i, self.base + i + self.block / 2)
+    }
+
+    /// The switch index (within this stage) that line `pos` connects to, and
+    /// whether it is the upper (`false`) or lower (`true`) port.
+    #[inline]
+    pub fn switch_of(&self, pos: usize) -> (usize, bool) {
+        let off = pos - self.base;
+        debug_assert!(off < self.block);
+        let half = self.block / 2;
+        if off < half {
+            (off, false)
+        } else {
+            (off - half, true)
+        }
+    }
+}
+
+/// Enumerates the merging stages of stage `j` of an `n × n` RBN: one
+/// [`MergeStage`] per block of `2^{j+1}` lines.
+pub fn rbn_stage_blocks(n: usize, j: u32) -> Vec<MergeStage> {
+    let m = log2_exact(n);
+    assert!(j < m, "stage {j} out of range for n={n}");
+    let block = 1usize << (j + 1);
+    (0..n / block)
+        .map(|b| MergeStage {
+            base: b * block,
+            block,
+        })
+        .collect()
+}
+
+/// Total number of 2×2 switches in an `n × n` RBN: `(n/2)·log2 n`.
+pub fn rbn_switch_count(n: usize) -> usize {
+    (n / 2) * log2_exact(n) as usize
+}
+
+/// Depth (number of stages) of an `n × n` RBN: `log2 n`.
+pub fn rbn_depth(n: usize) -> usize {
+    log2_exact(n) as usize
+}
+
+/// For every stage `j` of an `n × n` RBN, the pair of lines meeting at each
+/// switch, as a flat list of [`SwitchCoord`] → `(upper_line, lower_line)`.
+pub fn rbn_all_pairs(n: usize) -> Vec<(SwitchCoord, (usize, usize))> {
+    let m = log2_exact(n);
+    let mut out = Vec::with_capacity(rbn_switch_count(n));
+    for j in 0..m {
+        let mut idx = 0usize;
+        for blockstage in rbn_stage_blocks(n, j) {
+            for i in 0..blockstage.switches() {
+                out.push((
+                    SwitchCoord {
+                        stage: j as usize,
+                        index: idx,
+                    },
+                    blockstage.pair(i),
+                ));
+                idx += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_stage_pairs_half_apart() {
+        let s = MergeStage::new(0, 8).unwrap();
+        assert_eq!(s.switches(), 4);
+        assert_eq!(s.pair(0), (0, 4));
+        assert_eq!(s.pair(3), (3, 7));
+    }
+
+    #[test]
+    fn merge_stage_with_base_offset() {
+        let s = MergeStage::new(8, 4).unwrap();
+        assert_eq!(s.pair(0), (8, 10));
+        assert_eq!(s.pair(1), (9, 11));
+    }
+
+    #[test]
+    fn merge_stage_rejects_bad_block() {
+        assert!(MergeStage::new(0, 3).is_err());
+        assert!(MergeStage::new(0, 1).is_err());
+        assert!(MergeStage::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn switch_of_inverts_pair() {
+        let s = MergeStage::new(4, 8).unwrap();
+        for i in 0..s.switches() {
+            let (u, l) = s.pair(i);
+            assert_eq!(s.switch_of(u), (i, false));
+            assert_eq!(s.switch_of(l), (i, true));
+        }
+    }
+
+    #[test]
+    fn stage_zero_pairs_adjacent_lines() {
+        let blocks = rbn_stage_blocks(8, 0);
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[0].pair(0), (0, 1));
+        assert_eq!(blocks[1].pair(0), (2, 3));
+        assert_eq!(blocks[3].pair(0), (6, 7));
+    }
+
+    #[test]
+    fn last_stage_is_single_block() {
+        let blocks = rbn_stage_blocks(8, 2);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].pair(0), (0, 4));
+        assert_eq!(blocks[0].pair(3), (3, 7));
+    }
+
+    #[test]
+    fn switch_count_formula() {
+        assert_eq!(rbn_switch_count(2), 1);
+        assert_eq!(rbn_switch_count(4), 4);
+        assert_eq!(rbn_switch_count(8), 12);
+        assert_eq!(rbn_switch_count(16), 32);
+        assert_eq!(rbn_switch_count(1024), 512 * 10);
+    }
+
+    #[test]
+    fn depth_is_log_n() {
+        assert_eq!(rbn_depth(2), 1);
+        assert_eq!(rbn_depth(1024), 10);
+    }
+
+    #[test]
+    fn all_pairs_cover_every_line_once_per_stage() {
+        for n in [2usize, 4, 8, 16, 32, 64] {
+            let m = log2_exact(n) as usize;
+            let pairs = rbn_all_pairs(n);
+            assert_eq!(pairs.len(), rbn_switch_count(n));
+            for j in 0..m {
+                let mut seen = vec![false; n];
+                for (c, (u, l)) in pairs.iter().filter(|(c, _)| c.stage == j) {
+                    assert!(c.index < n / 2);
+                    for &line in [u, l].iter() {
+                        assert!(!seen[*line], "n={n} stage={j} line {line} reused");
+                        seen[*line] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "n={n} stage={j} missing lines");
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Multicast-assignment generators: the traffic patterns that motivate the
+//! paper (Section 1) plus parameterized random workloads for benchmarks.
+//!
+//! Every generator returns a valid [`brsmn_core::MulticastAssignment`]
+//! (pairwise-disjoint destination sets), so anything produced here is
+//! realizable by the BRSMN — that is the paper's nonblocking theorem, and
+//! the test suites exercise it with exactly these workloads.
+
+//! ```
+//! use brsmn_workloads::{random_multicast, RandomSpec, schedule_rounds, Request};
+//!
+//! // Seeded random traffic is reproducible:
+//! let a = random_multicast(RandomSpec::dense(64), 7);
+//! assert_eq!(a, random_multicast(RandomSpec::dense(64), 7));
+//!
+//! // Overlapping requests pack into conflict-free rounds:
+//! let sched = schedule_rounds(8, &[
+//!     Request::new(0, vec![3, 4]),
+//!     Request::new(1, vec![4, 5]), // contends for output 4
+//! ]);
+//! assert_eq!(sched.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod patterns;
+pub mod queueing;
+pub mod random;
+pub mod schedule;
+pub mod sessions;
+
+pub use patterns::{
+    barrier_broadcast, conference_groups, even_conferences, matrix_row_broadcast, replica_update,
+    ring_shift,
+};
+pub use random::{random_multicast, random_partial_permutation, random_permutation, RandomSpec};
+pub use queueing::{simulate_queueing, QueueConfig, QueueStats};
+pub use schedule::{rounds_lower_bound, schedule_rounds, Request, Schedule};
+pub use sessions::{simulate, SessionConfig, SessionSim, SessionStats};

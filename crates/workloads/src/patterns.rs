@@ -1,0 +1,142 @@
+//! The structured collective-communication patterns the paper's introduction
+//! motivates: replicated-database updates, matrix multiplication, barrier
+//! synchronization, and video/teleconference calls.
+
+use brsmn_core::MulticastAssignment;
+
+/// Barrier-synchronization release: one `root` input broadcasts to all `n`
+//  outputs (the wake-up phase of a barrier).
+pub fn barrier_broadcast(n: usize, root: usize) -> MulticastAssignment {
+    assert!(root < n);
+    let mut sets = vec![Vec::new(); n];
+    sets[root] = (0..n).collect();
+    MulticastAssignment::from_sets(n, sets).expect("valid broadcast")
+}
+
+/// Row broadcast in block matrix multiplication: with `n = r²` processors in
+/// an `r × r` grid, the diagonal holder of each row multicasts its A-block
+/// to the whole row.
+pub fn matrix_row_broadcast(r: usize) -> MulticastAssignment {
+    let n = r * r;
+    let mut sets = vec![Vec::new(); n];
+    for row in 0..r {
+        let holder = row * r + (row % r); // the diagonal processor of the row
+        sets[holder] = (row * r..(row + 1) * r).collect();
+    }
+    MulticastAssignment::from_sets(n, sets).expect("rows are disjoint")
+}
+
+/// Video-conference traffic: outputs are partitioned into `groups.len()`
+/// conferences; the current speaker of each conference (an input index)
+/// multicasts to every participant of that conference.
+///
+/// `groups[g] = (speaker, participants)`; participant lists must be
+/// disjoint across groups.
+pub fn conference_groups(
+    n: usize,
+    groups: &[(usize, Vec<usize>)],
+) -> Result<MulticastAssignment, brsmn_core::AssignmentError> {
+    let mut sets = vec![Vec::new(); n];
+    for (speaker, participants) in groups {
+        sets[*speaker].extend(participants.iter().copied());
+    }
+    MulticastAssignment::from_sets(n, sets)
+}
+
+/// Evenly partitioned conferences: `k` groups of `n/k` consecutive outputs,
+/// speaker `g·(n/k)` for each.
+pub fn even_conferences(n: usize, k: usize) -> MulticastAssignment {
+    assert!(k > 0 && n.is_multiple_of(k));
+    let span = n / k;
+    let groups: Vec<(usize, Vec<usize>)> = (0..k)
+        .map(|g| (g * span, (g * span..(g + 1) * span).collect()))
+        .collect();
+    conference_groups(n, &groups).expect("partition is disjoint")
+}
+
+/// Replicated-database update: `primaries` nodes each push an update to
+/// their replica group; outputs are striped round-robin over the primaries.
+pub fn replica_update(n: usize, primaries: usize) -> MulticastAssignment {
+    assert!(primaries >= 1 && primaries <= n);
+    let mut sets = vec![Vec::new(); n];
+    for output in 0..n {
+        sets[output % primaries].push(output);
+    }
+    MulticastAssignment::from_sets(n, sets).expect("striping is disjoint")
+}
+
+/// A unicast ring shift by `k` (classic permutation workload): input `i`
+/// sends to output `(i + k) mod n`.
+pub fn ring_shift(n: usize, k: usize) -> MulticastAssignment {
+    let perm: Vec<Option<usize>> = (0..n).map(|i| Some((i + k) % n)).collect();
+    MulticastAssignment::from_permutation(&perm).expect("rotation is a permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brsmn_core::Brsmn;
+
+    #[test]
+    fn barrier_covers_everything() {
+        let asg = barrier_broadcast(16, 3);
+        assert_eq!(asg.total_connections(), 16);
+        assert_eq!(asg.active_inputs(), 1);
+        assert_eq!(asg.max_fanout(), 16);
+    }
+
+    #[test]
+    fn matrix_rows_partition_outputs() {
+        let asg = matrix_row_broadcast(4); // n = 16
+        assert_eq!(asg.n(), 16);
+        assert_eq!(asg.total_connections(), 16);
+        assert_eq!(asg.active_inputs(), 4);
+        for o in 0..16 {
+            assert!(asg.source_of_output(o).is_some());
+        }
+    }
+
+    #[test]
+    fn even_conferences_partition() {
+        let asg = even_conferences(16, 4);
+        assert_eq!(asg.active_inputs(), 4);
+        assert_eq!(asg.max_fanout(), 4);
+        assert_eq!(asg.total_connections(), 16);
+    }
+
+    #[test]
+    fn conference_overlap_rejected() {
+        let err = conference_groups(8, &[(0, vec![0, 1, 2]), (4, vec![2, 3])]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn replica_striping() {
+        let asg = replica_update(8, 3);
+        assert_eq!(asg.dests(0), &[0, 3, 6]);
+        assert_eq!(asg.dests(1), &[1, 4, 7]);
+        assert_eq!(asg.dests(2), &[2, 5]);
+    }
+
+    #[test]
+    fn ring_shift_is_permutation() {
+        let asg = ring_shift(8, 3);
+        assert!(asg.is_permutation());
+        assert_eq!(asg.dests(6), &[1]);
+    }
+
+    #[test]
+    fn all_patterns_route_through_brsmn() {
+        for asg in [
+            barrier_broadcast(32, 7),
+            matrix_row_broadcast(4),
+            even_conferences(32, 8),
+            replica_update(32, 5),
+            ring_shift(32, 11),
+        ] {
+            let net = Brsmn::new(asg.n()).unwrap();
+            let r = net.route(&asg).unwrap();
+            assert!(r.realizes(&asg), "{asg}");
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Input-queued switch simulation: random multicast request arrivals, FIFO
+//! queues per input, one BRSMN pass per round — the throughput/latency
+//! evaluation a deployed fabric faces.
+//!
+//! Every round, each input may receive a new multicast request (geometric
+//! arrivals at rate `p_arrival`, random fanout). The round scheduler
+//! admits a conflict-free set of *queue heads* (rotating priority to avoid
+//! starvation), which forms one valid assignment; the network — being
+//! nonblocking — routes whatever the scheduler admits, so all contention
+//! effects measured here are head-of-line/queueing effects, never fabric
+//! blocking.
+
+use brsmn_core::MulticastAssignment;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Arrival-process parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// Network size.
+    pub n: usize,
+    /// Probability a new request arrives at each input each round.
+    pub p_arrival: f64,
+    /// Maximum fanout of a request (destinations drawn uniformly).
+    pub max_fanout: usize,
+}
+
+/// Aggregate results of one queueing simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Rounds simulated.
+    pub rounds: usize,
+    /// Requests that arrived.
+    pub arrived: usize,
+    /// Requests fully served.
+    pub served: usize,
+    /// Requests still queued at the end.
+    pub backlog: usize,
+    /// Mean rounds a served request waited (arrival → service).
+    pub mean_wait: f64,
+    /// Worst wait observed.
+    pub max_wait: usize,
+    /// Mean fraction of outputs busy per round.
+    pub output_utilization: f64,
+}
+
+struct Pending {
+    dests: Vec<usize>,
+    arrived_round: usize,
+}
+
+/// Runs the input-queued simulation for `rounds` rounds, calling `router`
+/// on every admitted assignment (must return `true` = realized; the BRSMN
+/// always does).
+pub fn simulate_queueing<F: FnMut(&MulticastAssignment) -> bool>(
+    config: QueueConfig,
+    seed: u64,
+    rounds: usize,
+    mut router: F,
+) -> QueueStats {
+    let n = config.n;
+    assert!(n.is_power_of_two() && n >= 2);
+    assert!(config.max_fanout >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queues: Vec<VecDeque<Pending>> = (0..n).map(|_| VecDeque::new()).collect();
+
+    let mut stats = QueueStats {
+        rounds,
+        arrived: 0,
+        served: 0,
+        backlog: 0,
+        mean_wait: 0.0,
+        max_wait: 0,
+        output_utilization: 0.0,
+    };
+    let mut total_wait = 0usize;
+    let mut busy_outputs = 0usize;
+
+    for round in 0..rounds {
+        // Arrivals.
+        for queue in queues.iter_mut() {
+            if rng.gen_bool(config.p_arrival.clamp(0.0, 1.0)) {
+                let fan = rng.gen_range(1..=config.max_fanout);
+                let mut dests: Vec<usize> = (0..fan).map(|_| rng.gen_range(0..n)).collect();
+                dests.sort_unstable();
+                dests.dedup();
+                queue.push_back(Pending {
+                    dests,
+                    arrived_round: round,
+                });
+                stats.arrived += 1;
+            }
+        }
+
+        // Admission: rotating-priority scan over queue heads.
+        let mut output_free = vec![true; n];
+        let mut sets = vec![Vec::new(); n];
+        let mut admitted: Vec<usize> = Vec::new();
+        for k in 0..n {
+            let input = (round + k) % n;
+            if let Some(head) = queues[input].front() {
+                if head.dests.iter().all(|&d| output_free[d]) {
+                    for &d in &head.dests {
+                        output_free[d] = false;
+                    }
+                    sets[input] = head.dests.clone();
+                    admitted.push(input);
+                }
+            }
+        }
+
+        // Route the admitted round.
+        let asg = MulticastAssignment::from_sets(n, sets).expect("admission keeps outputs disjoint");
+        busy_outputs += asg.total_connections();
+        assert!(router(&asg), "round {round} failed to route");
+
+        // Dequeue served heads.
+        for input in admitted {
+            let head = queues[input].pop_front().expect("admitted head exists");
+            let wait = round - head.arrived_round;
+            total_wait += wait;
+            stats.max_wait = stats.max_wait.max(wait);
+            stats.served += 1;
+        }
+    }
+
+    stats.backlog = queues.iter().map(|q| q.len()).sum();
+    stats.mean_wait = if stats.served > 0 {
+        total_wait as f64 / stats.served as f64
+    } else {
+        0.0
+    };
+    stats.output_utilization = busy_outputs as f64 / (rounds * n) as f64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brsmn_core::Brsmn;
+
+    fn run(n: usize, p: f64, fan: usize, rounds: usize, seed: u64) -> QueueStats {
+        let net = Brsmn::new(n).unwrap();
+        simulate_queueing(
+            QueueConfig {
+                n,
+                p_arrival: p,
+                max_fanout: fan,
+            },
+            seed,
+            rounds,
+            |asg| net.route(asg).map(|r| r.realizes(asg)).unwrap_or(false),
+        )
+    }
+
+    #[test]
+    fn conservation_of_requests() {
+        let s = run(32, 0.4, 4, 300, 1);
+        assert_eq!(s.arrived, s.served + s.backlog);
+        assert!(s.served > 0);
+    }
+
+    #[test]
+    fn light_load_has_negligible_wait() {
+        let s = run(64, 0.02, 2, 400, 2);
+        assert!(s.mean_wait < 0.5, "{s:?}");
+        assert!(s.backlog <= 2, "{s:?}");
+    }
+
+    #[test]
+    fn heavy_load_builds_queues() {
+        let light = run(32, 0.05, 4, 300, 3);
+        let heavy = run(32, 0.9, 8, 300, 3);
+        assert!(heavy.mean_wait > light.mean_wait * 3.0, "{light:?} vs {heavy:?}");
+        assert!(heavy.output_utilization > light.output_utilization);
+    }
+
+    #[test]
+    fn utilization_bounded_by_one() {
+        let s = run(16, 1.0, 16, 200, 4);
+        assert!(s.output_utilization <= 1.0);
+        assert!(s.output_utilization > 0.3, "{s:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(16, 0.5, 4, 100, 9);
+        let b = run(16, 0.5, 4, 100, 9);
+        assert_eq!(a, b);
+        let c = run(16, 0.5, 4, 100, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_arrivals_idle() {
+        let s = run(16, 0.0, 4, 50, 5);
+        assert_eq!(s.arrived, 0);
+        assert_eq!(s.served, 0);
+        assert_eq!(s.output_utilization, 0.0);
+    }
+}

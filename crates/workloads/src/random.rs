@@ -1,0 +1,186 @@
+//! Seeded random workloads for benchmarks and property tests.
+
+use brsmn_core::MulticastAssignment;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a random multicast workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomSpec {
+    /// Network size (power of two).
+    pub n: usize,
+    /// Probability that an output is covered by some input (traffic load).
+    pub load: f64,
+    /// Concentration: expected number of *distinct sources*, as a fraction of
+    /// `n`. Small values produce high-fanout multicasts; `1.0` approaches a
+    /// partial permutation.
+    pub source_fraction: f64,
+}
+
+impl RandomSpec {
+    /// A balanced default: 90% load spread over about a quarter of the
+    /// inputs (average fanout ≈ 3.6).
+    pub fn dense(n: usize) -> Self {
+        RandomSpec {
+            n,
+            load: 0.9,
+            source_fraction: 0.25,
+        }
+    }
+
+    /// Sparse unicast-like traffic.
+    pub fn sparse(n: usize) -> Self {
+        RandomSpec {
+            n,
+            load: 0.3,
+            source_fraction: 1.0,
+        }
+    }
+}
+
+/// Draws a random multicast assignment: each output independently picks
+/// whether it is covered (probability `load`) and, if so, by which of the
+/// eligible source inputs.
+pub fn random_multicast(spec: RandomSpec, seed: u64) -> MulticastAssignment {
+    let RandomSpec {
+        n,
+        load,
+        source_fraction,
+    } = spec;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = ((n as f64 * source_fraction).round() as usize).clamp(1, n);
+    // Choose the eligible source pool.
+    let mut inputs: Vec<usize> = (0..n).collect();
+    inputs.shuffle(&mut rng);
+    let pool = &inputs[..k];
+
+    let mut sets = vec![Vec::new(); n];
+    for output in 0..n {
+        if rng.gen_bool(load.clamp(0.0, 1.0)) {
+            let src = pool[rng.gen_range(0..k)];
+            sets[src].push(output);
+        }
+    }
+    MulticastAssignment::from_sets(n, sets).expect("disjoint by construction")
+}
+
+/// Draws a uniformly random full permutation assignment.
+pub fn random_permutation(n: usize, seed: u64) -> MulticastAssignment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut outputs: Vec<usize> = (0..n).collect();
+    outputs.shuffle(&mut rng);
+    MulticastAssignment::from_permutation(&outputs.into_iter().map(Some).collect::<Vec<_>>())
+        .expect("valid permutation")
+}
+
+/// Draws a random partial permutation where each input is active with
+/// probability `load`.
+pub fn random_partial_permutation(n: usize, load: f64, seed: u64) -> MulticastAssignment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut outputs: Vec<usize> = (0..n).collect();
+    outputs.shuffle(&mut rng);
+    let perm: Vec<Option<usize>> = outputs
+        .into_iter()
+        .map(|o| rng.gen_bool(load.clamp(0.0, 1.0)).then_some(o))
+        .collect();
+    MulticastAssignment::from_permutation(&perm).expect("valid partial permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_multicast_is_valid_and_deterministic() {
+        let spec = RandomSpec::dense(64);
+        let a = random_multicast(spec, 7);
+        let b = random_multicast(spec, 7);
+        assert_eq!(a, b);
+        let c = random_multicast(spec, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn load_controls_coverage() {
+        let lo = random_multicast(
+            RandomSpec {
+                n: 256,
+                load: 0.1,
+                source_fraction: 0.5,
+            },
+            1,
+        );
+        let hi = random_multicast(
+            RandomSpec {
+                n: 256,
+                load: 0.95,
+                source_fraction: 0.5,
+            },
+            1,
+        );
+        assert!(lo.total_connections() < hi.total_connections());
+        assert!(hi.total_connections() > 200);
+    }
+
+    #[test]
+    fn source_fraction_controls_fanout() {
+        let concentrated = random_multicast(
+            RandomSpec {
+                n: 256,
+                load: 0.9,
+                source_fraction: 0.02,
+            },
+            3,
+        );
+        let spread = random_multicast(
+            RandomSpec {
+                n: 256,
+                load: 0.9,
+                source_fraction: 1.0,
+            },
+            3,
+        );
+        assert!(concentrated.max_fanout() > spread.max_fanout());
+        assert!(concentrated.active_inputs() <= 6);
+    }
+
+    #[test]
+    fn permutations_are_full_and_valid() {
+        let p = random_permutation(128, 42);
+        assert!(p.is_permutation());
+        assert_eq!(p.total_connections(), 128);
+        assert_eq!(p.active_inputs(), 128);
+    }
+
+    #[test]
+    fn partial_permutation_load() {
+        let p = random_partial_permutation(256, 0.5, 9);
+        assert!(p.is_permutation());
+        let active = p.active_inputs();
+        assert!(active > 80 && active < 176, "active={active}");
+    }
+
+    #[test]
+    fn extreme_loads() {
+        let empty = random_multicast(
+            RandomSpec {
+                n: 16,
+                load: 0.0,
+                source_fraction: 0.5,
+            },
+            1,
+        );
+        assert_eq!(empty.total_connections(), 0);
+        let full = random_multicast(
+            RandomSpec {
+                n: 16,
+                load: 1.0,
+                source_fraction: 0.5,
+            },
+            1,
+        );
+        assert_eq!(full.total_connections(), 16);
+    }
+}

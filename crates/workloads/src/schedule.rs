@@ -1,0 +1,225 @@
+//! Batch scheduling of *conflicting* multicast requests.
+//!
+//! A multicast assignment requires disjoint destination sets — every output
+//! listens to at most one input at a time. Real traffic (Section 1's
+//! video-on-demand, replicated databases) produces overlapping requests;
+//! the switching layer serves them in **rounds**, each round a valid
+//! assignment realized by one pass through the (nonblocking) network.
+//!
+//! [`schedule_rounds`] greedily packs requests into the fewest rounds it
+//! can: first-fit over rounds, checking both output-disjointness and the
+//! one-message-per-input constraint. First-fit is within the classic
+//! approximation bounds of interval/graph coloring and — more importantly
+//! here — every produced round is valid by construction, so the BRSMN's
+//! nonblocking theorem guarantees the whole batch is served.
+
+use brsmn_core::MulticastAssignment;
+use serde::{Deserialize, Serialize};
+
+/// One multicast request: a source input and the outputs it must reach.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Source input.
+    pub source: usize,
+    /// Requested outputs (need not be disjoint from other requests).
+    pub dests: Vec<usize>,
+}
+
+impl Request {
+    /// Creates a request (destinations are sorted and deduplicated).
+    pub fn new(source: usize, mut dests: Vec<usize>) -> Self {
+        dests.sort_unstable();
+        dests.dedup();
+        Request { source, dests }
+    }
+}
+
+/// The outcome of scheduling: the per-round assignments plus bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// One valid multicast assignment per round.
+    pub rounds: Vec<MulticastAssignment>,
+    /// `placement[r]` = indices (into the request slice) served in round `r`.
+    pub placement: Vec<Vec<usize>>,
+}
+
+impl Schedule {
+    /// Number of rounds.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// `true` when no rounds were needed (no requests).
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+}
+
+/// Packs `requests` into rounds (first-fit). Panics if a request is out of
+/// range for an `n × n` network or has no destinations.
+pub fn schedule_rounds(n: usize, requests: &[Request]) -> Schedule {
+    #[derive(Clone)]
+    struct Round {
+        output_used: Vec<bool>,
+        input_used: Vec<bool>,
+        members: Vec<usize>,
+    }
+    let mut rounds: Vec<Round> = Vec::new();
+
+    for (idx, req) in requests.iter().enumerate() {
+        assert!(req.source < n, "source {} out of range", req.source);
+        assert!(!req.dests.is_empty(), "request {idx} has no destinations");
+        assert!(
+            req.dests.iter().all(|&d| d < n),
+            "request {idx} has an out-of-range destination"
+        );
+        let slot = rounds.iter_mut().find(|r| {
+            !r.input_used[req.source] && req.dests.iter().all(|&d| !r.output_used[d])
+        });
+        let round = match slot {
+            Some(r) => r,
+            None => {
+                rounds.push(Round {
+                    output_used: vec![false; n],
+                    input_used: vec![false; n],
+                    members: Vec::new(),
+                });
+                rounds.last_mut().expect("just pushed")
+            }
+        };
+        round.input_used[req.source] = true;
+        for &d in &req.dests {
+            round.output_used[d] = true;
+        }
+        round.members.push(idx);
+    }
+
+    let mut assignments = Vec::with_capacity(rounds.len());
+    let mut placement = Vec::with_capacity(rounds.len());
+    for r in rounds {
+        let mut sets = vec![Vec::new(); n];
+        for &idx in &r.members {
+            sets[requests[idx].source] = requests[idx].dests.clone();
+        }
+        assignments.push(
+            MulticastAssignment::from_sets(n, sets).expect("rounds are disjoint by construction"),
+        );
+        placement.push(r.members);
+    }
+    Schedule {
+        rounds: assignments,
+        placement,
+    }
+}
+
+/// A lower bound on the rounds any scheduler needs: the maximum number of
+/// requests contending for a single output (or issued by a single input).
+pub fn rounds_lower_bound(n: usize, requests: &[Request]) -> usize {
+    let mut out_load = vec![0usize; n];
+    let mut in_load = vec![0usize; n];
+    for r in requests {
+        in_load[r.source] += 1;
+        for &d in &r.dests {
+            out_load[d] += 1;
+        }
+    }
+    out_load
+        .into_iter()
+        .chain(in_load)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brsmn_core::Brsmn;
+
+    #[test]
+    fn non_conflicting_requests_fit_one_round() {
+        let reqs = vec![
+            Request::new(0, vec![0, 1]),
+            Request::new(3, vec![4, 5, 6]),
+            Request::new(7, vec![2]),
+        ];
+        let sched = schedule_rounds(8, &reqs);
+        assert_eq!(sched.len(), 1);
+        assert_eq!(sched.placement[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn contending_outputs_split_rounds() {
+        // Three requests all want output 5.
+        let reqs = vec![
+            Request::new(0, vec![5]),
+            Request::new(1, vec![5, 6]),
+            Request::new(2, vec![5, 7]),
+        ];
+        let sched = schedule_rounds(8, &reqs);
+        assert_eq!(sched.len(), 3);
+        assert_eq!(rounds_lower_bound(8, &reqs), 3);
+    }
+
+    #[test]
+    fn same_input_cannot_send_twice_per_round() {
+        let reqs = vec![Request::new(2, vec![0]), Request::new(2, vec![1])];
+        let sched = schedule_rounds(8, &reqs);
+        assert_eq!(sched.len(), 2);
+    }
+
+    #[test]
+    fn every_request_served_exactly_once() {
+        // Deterministic pseudo-random batch with heavy overlap.
+        let n = 64usize;
+        let reqs: Vec<Request> = (0..120)
+            .map(|i| {
+                let h = |x: usize| x.wrapping_mul(0x9E3779B97F4A7C15u64 as usize) >> 8;
+                let src = h(i) % n;
+                let fan = 1 + h(i * 3 + 1) % 6;
+                let dests = (0..fan).map(|k| h(i * 7 + k) % n).collect();
+                Request::new(src, dests)
+            })
+            .collect();
+        let sched = schedule_rounds(n, &reqs);
+        let mut served = vec![0usize; reqs.len()];
+        for members in &sched.placement {
+            for &idx in members {
+                served[idx] += 1;
+            }
+        }
+        assert!(served.iter().all(|&c| c == 1));
+        // Each request's sets appear verbatim in its round.
+        for (r, members) in sched.placement.iter().enumerate() {
+            for &idx in members {
+                assert_eq!(sched.rounds[r].dests(reqs[idx].source), &reqs[idx].dests[..]);
+            }
+        }
+        // First-fit respects the trivial bounds.
+        assert!(sched.len() >= rounds_lower_bound(n, &reqs));
+        assert!(sched.len() <= reqs.len());
+    }
+
+    #[test]
+    fn every_round_routes_through_the_brsmn() {
+        let n = 32usize;
+        let reqs: Vec<Request> = (0..50)
+            .map(|i| {
+                let h = |x: usize| x.wrapping_mul(2654435761) >> 5;
+                Request::new(h(i) % n, vec![h(i + 99) % n, h(i + 7) % n])
+            })
+            .collect();
+        let sched = schedule_rounds(n, &reqs);
+        let net = Brsmn::new(n).unwrap();
+        for asg in &sched.rounds {
+            let r = net.route(asg).unwrap();
+            assert!(r.realizes(asg));
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let sched = schedule_rounds(16, &[]);
+        assert!(sched.is_empty());
+        assert_eq!(rounds_lower_bound(16, &[]), 0);
+    }
+}

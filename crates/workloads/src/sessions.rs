@@ -1,0 +1,281 @@
+//! Conference-session churn: a multi-round traffic model for the
+//! teleconference scenario of Section 1.
+//!
+//! A [`SessionSim`] maintains a set of live conferences over the `n`
+//! endpoints; each round, random events fire (conference starts, ends,
+//! endpoints join/leave, the speaker changes), and the resulting state is
+//! emitted as one multicast assignment. Because conference memberships are
+//! kept disjoint, every emitted round is a *valid* assignment — which the
+//! BRSMN then realizes without blocking, whatever the churn did.
+
+use brsmn_core::MulticastAssignment;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the churn model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Network size.
+    pub n: usize,
+    /// Probability a new conference starts each round (if capacity allows).
+    pub p_start: f64,
+    /// Probability a live conference ends each round.
+    pub p_end: f64,
+    /// Probability each idle endpoint joins some conference each round.
+    pub p_join: f64,
+    /// Probability each member leaves its conference each round.
+    pub p_leave: f64,
+    /// Probability a conference's speaker changes each round.
+    pub p_speaker_change: f64,
+}
+
+impl SessionConfig {
+    /// A lively default: frequent joins/leaves, occasional conference churn.
+    pub fn default_for(n: usize) -> Self {
+        SessionConfig {
+            n,
+            p_start: 0.3,
+            p_end: 0.05,
+            p_join: 0.2,
+            p_leave: 0.05,
+            p_speaker_change: 0.1,
+        }
+    }
+}
+
+/// One live conference: a speaker (an input) and its member outputs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Conference {
+    speaker: usize,
+    members: Vec<usize>,
+}
+
+/// Aggregate statistics over a simulated session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Rounds simulated.
+    pub rounds: usize,
+    /// Total (input, output) connections routed.
+    pub total_connections: usize,
+    /// Largest single-conference fanout observed.
+    pub max_fanout: usize,
+    /// Most conferences live at once.
+    pub max_live_conferences: usize,
+    /// Rounds in which at least one event changed the configuration.
+    pub churn_rounds: usize,
+}
+
+/// The churn simulator.
+#[derive(Debug, Clone)]
+pub struct SessionSim {
+    config: SessionConfig,
+    rng: StdRng,
+    conferences: Vec<Conference>,
+    /// `owner[o] = Some(conference index)` when output `o` is a member.
+    owner: Vec<Option<usize>>,
+}
+
+impl SessionSim {
+    /// Creates a simulator with the given config and seed.
+    pub fn new(config: SessionConfig, seed: u64) -> Self {
+        assert!(config.n.is_power_of_two() && config.n >= 2);
+        SessionSim {
+            owner: vec![None; config.n],
+            conferences: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            config,
+        }
+    }
+
+    /// Advances one round of churn and returns the round's assignment.
+    pub fn step(&mut self) -> (MulticastAssignment, bool) {
+        let n = self.config.n;
+        let mut changed = false;
+
+        // Conferences may end.
+        let mut k = 0;
+        while k < self.conferences.len() {
+            if self.rng.gen_bool(self.config.p_end) {
+                for &m in &self.conferences[k].members {
+                    self.owner[m] = None;
+                }
+                self.conferences.swap_remove(k);
+                changed = true;
+                // Re-index owners after swap_remove.
+                for (ci, conf) in self.conferences.iter().enumerate() {
+                    for &m in &conf.members {
+                        self.owner[m] = Some(ci);
+                    }
+                }
+            } else {
+                k += 1;
+            }
+        }
+
+        // A conference may start, seeded with one free endpoint as member
+        // and a random speaker input.
+        if self.rng.gen_bool(self.config.p_start) {
+            if let Some(first_free) = self.first_free_output() {
+                let speaker = self.rng.gen_range(0..n);
+                self.owner[first_free] = Some(self.conferences.len());
+                self.conferences.push(Conference {
+                    speaker,
+                    members: vec![first_free],
+                });
+                changed = true;
+            }
+        }
+
+        // Idle endpoints may join a random conference.
+        if !self.conferences.is_empty() {
+            for o in 0..n {
+                if self.owner[o].is_none() && self.rng.gen_bool(self.config.p_join) {
+                    let ci = self.rng.gen_range(0..self.conferences.len());
+                    self.owner[o] = Some(ci);
+                    self.conferences[ci].members.push(o);
+                    changed = true;
+                }
+            }
+        }
+
+        // Members may leave (conferences keep at least one member).
+        for ci in 0..self.conferences.len() {
+            let mut j = 0;
+            while j < self.conferences[ci].members.len() {
+                if self.conferences[ci].members.len() > 1
+                    && self.rng.gen_bool(self.config.p_leave)
+                {
+                    let gone = self.conferences[ci].members.swap_remove(j);
+                    self.owner[gone] = None;
+                    changed = true;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+
+        // Speakers may change.
+        for conf in self.conferences.iter_mut() {
+            if self.rng.gen_bool(self.config.p_speaker_change) {
+                conf.speaker = self.rng.gen_range(0..n);
+                changed = true;
+            }
+        }
+
+        (self.assignment(), changed)
+    }
+
+    /// The current configuration as a multicast assignment. Two conferences
+    /// may share a speaker input; their member sets merge under that input.
+    pub fn assignment(&self) -> MulticastAssignment {
+        let n = self.config.n;
+        let mut sets = vec![Vec::new(); n];
+        for conf in &self.conferences {
+            sets[conf.speaker].extend(conf.members.iter().copied());
+        }
+        MulticastAssignment::from_sets(n, sets).expect("memberships kept disjoint")
+    }
+
+    /// Number of live conferences.
+    pub fn live(&self) -> usize {
+        self.conferences.len()
+    }
+
+    fn first_free_output(&mut self) -> Option<usize> {
+        let n = self.config.n;
+        let start = self.rng.gen_range(0..n);
+        (0..n)
+            .map(|k| (start + k) % n)
+            .find(|&o| self.owner[o].is_none())
+    }
+}
+
+/// Runs `rounds` of churn, routing every round through `router` (which
+/// returns whether the round was realized), and accumulates statistics.
+/// Panics if any round fails to route — with the BRSMN that cannot happen.
+pub fn simulate<F: FnMut(&MulticastAssignment) -> bool>(
+    config: SessionConfig,
+    seed: u64,
+    rounds: usize,
+    mut router: F,
+) -> SessionStats {
+    let mut sim = SessionSim::new(config, seed);
+    let mut stats = SessionStats::default();
+    for round in 0..rounds {
+        let (asg, changed) = sim.step();
+        assert!(router(&asg), "round {round} failed to route");
+        stats.rounds += 1;
+        stats.total_connections += asg.total_connections();
+        stats.max_fanout = stats.max_fanout.max(asg.max_fanout());
+        stats.max_live_conferences = stats.max_live_conferences.max(sim.live());
+        if changed {
+            stats.churn_rounds += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brsmn_core::{Brsmn, FeedbackBrsmn};
+
+    #[test]
+    fn every_round_is_a_valid_assignment() {
+        let mut sim = SessionSim::new(SessionConfig::default_for(64), 42);
+        for _ in 0..200 {
+            let (asg, _) = sim.step();
+            // from_sets validated it; spot-check disjointness via ownership.
+            assert!(asg.total_connections() <= 64);
+        }
+    }
+
+    #[test]
+    fn churn_session_routes_through_brsmn() {
+        let n = 64;
+        let net = Brsmn::new(n).unwrap();
+        let stats = simulate(SessionConfig::default_for(n), 7, 300, |asg| {
+            net.route(asg).map(|r| r.realizes(asg)).unwrap_or(false)
+        });
+        assert_eq!(stats.rounds, 300);
+        assert!(stats.churn_rounds > 100, "{stats:?}");
+        assert!(stats.max_live_conferences >= 2);
+        assert!(stats.total_connections > 0);
+    }
+
+    #[test]
+    fn churn_session_routes_through_feedback_network() {
+        let n = 32;
+        let net = FeedbackBrsmn::new(n).unwrap();
+        let stats = simulate(SessionConfig::default_for(n), 11, 150, |asg| {
+            net.route(asg).map(|(r, _)| r.realizes(asg)).unwrap_or(false)
+        });
+        assert_eq!(stats.rounds, 150);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut sim = SessionSim::new(SessionConfig::default_for(16), seed);
+            (0..50).map(|_| sim.step().0).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn quiet_config_produces_no_churn() {
+        let config = SessionConfig {
+            n: 16,
+            p_start: 0.0,
+            p_end: 0.0,
+            p_join: 0.0,
+            p_leave: 0.0,
+            p_speaker_change: 0.0,
+        };
+        let stats = simulate(config, 1, 20, |asg| asg.total_connections() == 0);
+        assert_eq!(stats.churn_rounds, 0);
+        assert_eq!(stats.total_connections, 0);
+    }
+}

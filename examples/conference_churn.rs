@@ -1,0 +1,34 @@
+//! Long-running conference churn on one fabric: conferences start, end,
+//! gain and lose members, and change speakers over hundreds of rounds —
+//! every intermediate configuration is rerouted from scratch by the
+//! self-routing network, which never blocks.
+//!
+//! Run: `cargo run --example conference_churn`
+
+use brsmn::core::Brsmn;
+use brsmn::workloads::{simulate, SessionConfig};
+
+fn main() {
+    let n = 128usize;
+    let rounds = 500usize;
+    let net = Brsmn::new(n).unwrap();
+
+    println!("simulating {rounds} rounds of conference churn on a {n}-endpoint fabric…\n");
+    let stats = simulate(SessionConfig::default_for(n), 2026, rounds, |asg| {
+        // Route with the faithful self-routing engine every round.
+        net.route_self_routing(asg)
+            .map(|r| r.realizes(asg))
+            .unwrap_or(false)
+    });
+
+    println!("rounds simulated        : {}", stats.rounds);
+    println!("rounds with churn       : {}", stats.churn_rounds);
+    println!("total connections routed: {}", stats.total_connections);
+    println!(
+        "avg connections / round : {:.1}",
+        stats.total_connections as f64 / stats.rounds as f64
+    );
+    println!("peak conference fanout  : {}", stats.max_fanout);
+    println!("peak live conferences   : {}", stats.max_live_conferences);
+    println!("\nevery configuration realized by the self-routing engine ✓");
+}

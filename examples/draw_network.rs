@@ -1,0 +1,46 @@
+//! Draws reverse banyan networks and a full BRSMN trace as ASCII diagrams:
+//! the textual counterpart of Figs. 2, 4 and 5 of the paper.
+//!
+//! Run: `cargo run --example draw_network`
+
+use brsmn::core::{render_rbn, render_trace, Brsmn, MulticastAssignment};
+use brsmn::rbn::{plan_bitsort, plan_scatter};
+use brsmn::switch::Tag;
+
+fn main() {
+    // 1. A bit-sorting RBN: sort 10110010 ascending (s = n/2).
+    println!("=== bit-sorting RBN (Theorem 1): inputs 1,0,1,1,0,0,1,0 → 0⁴1⁴ ===\n");
+    let gamma = [true, false, true, true, false, false, true, false];
+    let plan = plan_bitsort(&gamma, 4);
+    println!("{}", render_rbn(&plan.settings));
+    println!("legend: ─ parallel  ╳ crossing  ▲ upper-broadcast  ▼ lower-broadcast");
+    println!("        (each switch prints once, on its upper line; · = lower line)\n");
+
+    // 2. A scatter RBN eliminating αs (Fig. 4b's first half).
+    println!("=== scatter RBN (Theorem 2): inputs 1,α,ε,0,ε,α,ε,ε ===\n");
+    use Tag::*;
+    let tags = [One, Alpha, Eps, Zero, Eps, Alpha, Eps, Eps];
+    let plan = plan_scatter(&tags, 0);
+    println!("{}", render_rbn(&plan.settings));
+
+    // 3. The whole paper example through the 8×8 BRSMN.
+    println!("=== 8×8 BRSMN trace (Fig. 2) ===\n");
+    let asg = MulticastAssignment::from_sets(
+        8,
+        vec![
+            vec![0, 1],
+            vec![],
+            vec![3, 4, 7],
+            vec![2],
+            vec![],
+            vec![],
+            vec![],
+            vec![5, 6],
+        ],
+    )
+    .unwrap();
+    let (result, trace) = Brsmn::new(8).unwrap().route_traced(&asg).unwrap();
+    println!("{}", render_trace(&trace));
+    assert!(result.realizes(&asg));
+    println!("assignment realized ✓");
+}

@@ -1,0 +1,59 @@
+//! Drives the complete gate-level self-routing circuit (Section 7.2): the
+//! Table 3 + Table 5 bit-sorting router elaborated as a clocked netlist of
+//! serial adders, capture registers and comparators — and shows it computes
+//! the same switch settings as the software planner, which then sort the
+//! lines correctly.
+//!
+//! Run: `cargo run --example gate_level`
+
+use brsmn::rbn::{clone_split, plan_bitsort};
+use brsmn::sim::{bitsort_router, run_bitsort_router};
+use brsmn::switch::{Line, SwitchSetting, Tag};
+
+fn main() {
+    let n = 8usize;
+    let gamma = [true, false, true, true, false, false, true, false];
+    let s_target = 4usize; // ascending sort
+
+    println!("building the self-routing circuit for an {n}×{n} bit-sorting RBN…");
+    let router = bitsort_router(n);
+    println!(
+        "  netlist: {} gates, {} flip-flops, {} inputs, combinational depth {}",
+        router.netlist.gate_count(),
+        router.netlist.dff_count(),
+        router.netlist.input_count(),
+        router.netlist.depth()
+    );
+    println!(
+        "  per switch: {:.1} gates (the paper's 'constant cost per switch')",
+        router.netlist.gate_count() as f64 / 12.0
+    );
+
+    println!("\nclocking {} ticks with inputs 1,0,1,1,0,0,1,0 and s = {s_target}…", router.ticks);
+    let hw = run_bitsort_router(&router, &gamma, s_target);
+    for (j, stage) in hw.iter().enumerate() {
+        let bits: String = stage.iter().map(|&c| if c { '╳' } else { '─' }).collect();
+        println!("  stage {j}: {bits}");
+    }
+
+    // The software planner computes the identical settings…
+    let plan = plan_bitsort(&gamma, s_target);
+    for (j, stage) in hw.iter().enumerate() {
+        for (k, &cross) in stage.iter().enumerate() {
+            let sw = plan.settings.stage(j)[k] == SwitchSetting::Crossing;
+            assert_eq!(cross, sw, "stage {j} switch {k}");
+        }
+    }
+    println!("\nhardware settings == software planner settings ✓");
+
+    // …and they actually sort.
+    let lines: Vec<Line<usize>> = gamma
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| Line::with(if g { Tag::One } else { Tag::Zero }, i))
+        .collect();
+    let out = plan.settings.run(lines, &mut clone_split).unwrap();
+    let tags: String = out.iter().map(|l| l.tag.to_string()).collect();
+    println!("sorted output tags: {tags}");
+    assert_eq!(tags, "00001111");
+}

@@ -1,0 +1,48 @@
+//! # brsmn — A New Self-Routing Multicast Network
+//!
+//! Umbrella crate re-exporting the whole workspace: a full reproduction of
+//! Yang & Wang, *"A New Self-Routing Multicast Network"* (IPPS/SPDP 1998;
+//! IEEE TPDS 10(11), 1999).
+//!
+//! The headline artifact is the **binary radix sorting multicast network
+//! (BRSMN)**: an `n × n` switching fabric that realizes *every* multicast
+//! assignment over edge-disjoint trees, self-routed by distributed circuits,
+//! with `O(n log² n)` gate cost, `O(log² n)` depth and `O(log² n)` routing
+//! time — and an `O(n log n)`-cost feedback variant reusing a single reverse
+//! banyan network.
+//!
+//! ## Crate map
+//!
+//! | re-export | crate | contents |
+//! |---|---|---|
+//! | [`topology`] | `brsmn-topology` | shuffle/exchange functions, merging-stage geometry, banyan property |
+//! | [`switch`] | `brsmn-switch` | four-value routing tags, 2×2 switch operations, Table 1 encoding |
+//! | [`rbn`] | `brsmn-rbn` | circular compact sequences, Lemmas 1–5, bit-sorting / scatter / quasisorting RBNs, distributed algorithms |
+//! | [`core`] | `brsmn-core` | tag trees and `SEQ` wire format, BSN, recursive BRSMN, feedback implementation, exact cost metrics |
+//! | [`baselines`] | `brsmn-baselines` | crossbar, Beneš + looping, copy network, Nassimi–Sahni / Lee–Oruç analytic models |
+//! | [`sim`] | `brsmn-sim` | gate-delay timing: pipelined bit-serial adders, routing-time measurement |
+//! | [`workloads`] | `brsmn-workloads` | multicast assignment generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use brsmn::core::{Brsmn, MulticastAssignment};
+//!
+//! // The 8×8 example assignment from Section 2 of the paper.
+//! let asg = MulticastAssignment::from_sets(8, vec![
+//!     vec![0, 1], vec![], vec![3, 4, 7], vec![2], vec![], vec![], vec![], vec![5, 6],
+//! ]).unwrap();
+//!
+//! let net = Brsmn::new(8).unwrap();
+//! let result = net.route(&asg).unwrap();
+//! assert_eq!(result.output_source(3), Some(2)); // output 3 hears input 2
+//! assert!(result.realizes(&asg));
+//! ```
+
+pub use brsmn_baselines as baselines;
+pub use brsmn_core as core;
+pub use brsmn_rbn as rbn;
+pub use brsmn_sim as sim;
+pub use brsmn_switch as switch;
+pub use brsmn_topology as topology;
+pub use brsmn_workloads as workloads;

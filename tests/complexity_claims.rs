@@ -1,0 +1,110 @@
+//! Integration tests for the paper's Section 7.4 complexity claims,
+//! cross-checking the analytic metrics crate against the executable
+//! networks and the gate-delay simulator.
+
+use brsmn::baselines::{ComplexityModel, CopyBenesMulticast, NetworkKind};
+use brsmn::core::{metrics, FeedbackBrsmn, MulticastAssignment};
+use brsmn::sim::{brsmn_routing_time, feedback_routing_time, rbn_sweep_latency};
+use brsmn::topology::stage::{rbn_depth, rbn_switch_count};
+
+#[test]
+fn rbn_cost_is_half_n_log_n() {
+    for m in 1..=14u32 {
+        let n = 1usize << m;
+        assert_eq!(rbn_switch_count(n), n / 2 * m as usize);
+        assert_eq!(rbn_depth(n), m as usize);
+    }
+}
+
+#[test]
+fn brsmn_cost_theta_n_log2n() {
+    // C(n) / (n·log² n) converges to 1/2.
+    for m in [8u32, 12, 16, 20] {
+        let n = 1usize << m;
+        let ratio = metrics::brsmn_switches(n) as f64 / (n as f64 * (m * m) as f64);
+        assert!((ratio - 0.5).abs() < 0.6 / m as f64, "m={m}: {ratio}");
+    }
+}
+
+#[test]
+fn depth_theta_log2n() {
+    for m in [4u32, 8, 16] {
+        let n = 1usize << m;
+        assert_eq!(metrics::brsmn_depth(n), (m * m + m - 1) as u64);
+    }
+}
+
+#[test]
+fn routing_time_theta_log2n_measured() {
+    // The measured gate-delay routing time divided by log² n stays within a
+    // narrow constant band from n = 2^4 to n = 2^18.
+    let mut ratios = Vec::new();
+    for m in [4u32, 8, 12, 16, 18] {
+        let n = 1usize << m;
+        let t = brsmn_routing_time(n).total as f64;
+        ratios.push(t / (m * m) as f64);
+    }
+    let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().cloned().fold(0.0, f64::max);
+    assert!(max / min < 3.0, "ratios {ratios:?}");
+}
+
+#[test]
+fn sweep_latency_theta_log_n_measured() {
+    // One distributed forward sweep is Θ(log n), the key enabler of the
+    // log² n total (vs the log³ n of Lee–Oruç).
+    for m in [4u32, 8, 12, 16] {
+        let n = 1usize << m;
+        let t = rbn_sweep_latency(n) as f64;
+        let per_level = t / m as f64;
+        assert!(per_level > 1.0 && per_level < 8.0, "m={m}: {per_level}");
+    }
+}
+
+#[test]
+fn feedback_execution_matches_analytic_depth() {
+    // The running feedback engine's measured traversals equal the metrics
+    // formula, for several sizes.
+    for n in [4usize, 16, 128, 1024] {
+        let asg = MulticastAssignment::empty(n).unwrap();
+        let (_, stats) = FeedbackBrsmn::new(n).unwrap().route(&asg).unwrap();
+        assert_eq!(stats.stage_traversals, metrics::feedback_depth_traversed(n));
+        assert_eq!(stats.passes, metrics::feedback_passes(n));
+    }
+}
+
+#[test]
+fn feedback_routing_time_same_order_as_unfolded() {
+    for m in [4u32, 10, 16] {
+        let n = 1usize << m;
+        let a = brsmn_routing_time(n).total as f64;
+        let b = feedback_routing_time(n).total as f64;
+        assert!(b / a < 2.0 && a / b < 2.0, "n={n}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn table2_models_and_networks_consistent() {
+    // The NewDesign model's cost equals the exact metrics value.
+    for n in [16usize, 256, 4096] {
+        let model = ComplexityModel::eval(NetworkKind::NewDesign, n);
+        assert_eq!(model.cost_gates, metrics::brsmn_gates(n) as f64);
+        let fb = ComplexityModel::eval(NetworkKind::Feedback, n);
+        assert_eq!(fb.cost_gates, metrics::feedback_gates(n) as f64);
+    }
+}
+
+#[test]
+fn classical_composite_is_cheaper_hardware_but_slower_routing() {
+    // The copy+Beneš composite is Θ(n log n) hardware (like the feedback
+    // network) — its loss is routing time, not gates.
+    for m in [6u32, 10] {
+        let n = 1usize << m;
+        let classical = CopyBenesMulticast::new(n).unwrap().switches() as f64;
+        let unfolded = metrics::brsmn_switches(n) as f64;
+        assert!(classical < unfolded, "n={n}");
+        // Ratio classical/(n log n) flat.
+        let norm = classical / (n as f64 * m as f64);
+        assert!(norm > 1.0 && norm < 3.0, "n={n}: {norm}");
+    }
+}

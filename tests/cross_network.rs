@@ -1,0 +1,90 @@
+//! Cross-crate integration: every network implementation in the workspace —
+//! BRSMN (both engines), the feedback implementation, the classical
+//! copy-then-route composite, and the crossbar — must realize the same
+//! connection pattern for the same workload.
+
+use brsmn::baselines::{CopyBenesMulticast, Crossbar};
+use brsmn::core::{Brsmn, FeedbackBrsmn, MulticastAssignment};
+use brsmn::workloads::{
+    barrier_broadcast, even_conferences, matrix_row_broadcast, random_multicast,
+    random_partial_permutation, random_permutation, replica_update, ring_shift, RandomSpec,
+};
+
+fn check_all(asg: &MulticastAssignment) {
+    let n = asg.n();
+    let reference = Crossbar::new(n).route(asg).unwrap();
+    assert!(reference.realizes(asg));
+
+    let brsmn = Brsmn::new(n).unwrap();
+    assert_eq!(brsmn.route(asg).unwrap(), reference, "semantic vs crossbar");
+    assert_eq!(
+        brsmn.route_self_routing(asg).unwrap(),
+        reference,
+        "self-routing vs crossbar"
+    );
+
+    let (fb, _) = FeedbackBrsmn::new(n).unwrap().route(asg).unwrap();
+    assert_eq!(fb, reference, "feedback vs crossbar");
+
+    let (classical, _) = CopyBenesMulticast::new(n).unwrap().route(asg).unwrap();
+    assert_eq!(classical, reference, "copy+Beneš vs crossbar");
+}
+
+#[test]
+fn all_networks_agree_on_structured_patterns() {
+    for asg in [
+        barrier_broadcast(64, 17),
+        even_conferences(64, 8),
+        matrix_row_broadcast(8),
+        replica_update(64, 5),
+        ring_shift(64, 21),
+    ] {
+        check_all(&asg);
+    }
+}
+
+#[test]
+fn all_networks_agree_on_random_multicasts() {
+    for seed in 0..10 {
+        for n in [8usize, 32, 128] {
+            check_all(&random_multicast(RandomSpec::dense(n), seed));
+            check_all(&random_multicast(
+                RandomSpec {
+                    n,
+                    load: 0.5,
+                    source_fraction: 0.1,
+                },
+                seed,
+            ));
+        }
+    }
+}
+
+#[test]
+fn all_networks_agree_on_permutations() {
+    for seed in 0..5 {
+        check_all(&random_permutation(64, seed));
+        check_all(&random_partial_permutation(64, 0.6, seed));
+    }
+}
+
+#[test]
+fn all_networks_agree_on_edge_cases() {
+    // Empty traffic.
+    check_all(&MulticastAssignment::empty(32).unwrap());
+    // Smallest network.
+    check_all(&MulticastAssignment::from_sets(2, vec![vec![0, 1], vec![]]).unwrap());
+    check_all(&MulticastAssignment::from_sets(2, vec![vec![1], vec![0]]).unwrap());
+    // One giant multicast plus scattered unicasts.
+    let mut sets = vec![Vec::new(); 64];
+    sets[7] = (0..48).collect();
+    sets[50] = vec![55];
+    sets[51] = vec![63];
+    check_all(&MulticastAssignment::from_sets(64, sets).unwrap());
+}
+
+#[test]
+fn large_scale_agreement() {
+    let asg = random_multicast(RandomSpec::dense(2048), 424242);
+    check_all(&asg);
+}

@@ -1,0 +1,154 @@
+//! Extensibility check: the routing engines are generic over
+//! [`brsmn::core::RoutePayload`], so user code can carry real message data
+//! (here: byte buffers with checksums) through the fabric — every copy of a
+//! multicast delivers intact data to exactly its own destinations.
+
+use brsmn::core::{Brsmn, MulticastAssignment, RoutePayload};
+use brsmn::switch::{Line, Tag};
+
+/// A user payload: the destination set (for routing) plus actual data bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DataMsg {
+    source: usize,
+    dests: Vec<usize>,
+    data: Vec<u8>,
+}
+
+impl DataMsg {
+    fn checksum(&self) -> u32 {
+        self.data
+            .iter()
+            .fold(0u32, |acc, &b| acc.wrapping_mul(31).wrapping_add(b as u32))
+    }
+}
+
+impl RoutePayload for DataMsg {
+    fn source(&self) -> usize {
+        self.source
+    }
+
+    fn entry_tag(&self, lo: usize, size: usize) -> Tag {
+        let mid = lo + size / 2;
+        let has_low = self.dests.iter().any(|&d| d >= lo && d < mid);
+        let has_high = self.dests.iter().any(|&d| d >= mid && d < lo + size);
+        match (has_low, has_high) {
+            (true, false) => Tag::Zero,
+            (false, true) => Tag::One,
+            (true, true) => Tag::Alpha,
+            (false, false) => unreachable!("active message has destinations"),
+        }
+    }
+
+    fn split(&self, lo: usize, size: usize) -> (Self, Self) {
+        let mid = lo + size / 2;
+        let (low, high): (Vec<usize>, Vec<usize>) = self.dests.iter().partition(|&&d| d < mid);
+        (
+            DataMsg {
+                source: self.source,
+                dests: low,
+                data: self.data.clone(),
+            },
+            DataMsg {
+                source: self.source,
+                dests: high,
+                data: self.data.clone(),
+            },
+        )
+    }
+
+    fn descend(self, _branch: Tag, _lo: usize, _size: usize) -> Self {
+        self
+    }
+
+    fn delivered_ok(&self, o: usize) -> bool {
+        self.dests == [o]
+    }
+}
+
+#[test]
+fn data_bytes_survive_multicast_fanout() {
+    let n = 64usize;
+    let net = Brsmn::new(n).unwrap();
+
+    // Three senders with distinct payloads.
+    let mut sets = vec![Vec::new(); n];
+    sets[3] = (0..20).collect();
+    sets[40] = vec![25, 31, 62];
+    sets[63] = (32..48).collect();
+    let asg = MulticastAssignment::from_sets(n, sets.clone()).unwrap();
+
+    let payload_for = |src: usize| -> Vec<u8> {
+        (0..256).map(|i| ((src * 37 + i) % 251) as u8).collect()
+    };
+
+    let lines: Vec<Line<DataMsg>> = (0..n)
+        .map(|i| {
+            if sets[i].is_empty() {
+                Line::empty()
+            } else {
+                Line {
+                    tag: Tag::Eps,
+                    payload: Some(DataMsg {
+                        source: i,
+                        dests: sets[i].clone(),
+                        data: payload_for(i),
+                    }),
+                }
+            }
+        })
+        .collect();
+
+    let out = net.route_lines(lines, None).unwrap();
+    let mut delivered = 0usize;
+    for (o, line) in out.iter().enumerate() {
+        if let Some(msg) = &line.payload {
+            let expect_src = asg.source_of_output(o).expect("covered output");
+            assert_eq!(msg.source, expect_src, "output {o}");
+            assert_eq!(msg.data, payload_for(expect_src), "data corrupted at {o}");
+            assert_eq!(
+                msg.checksum(),
+                DataMsg {
+                    source: expect_src,
+                    dests: vec![o],
+                    data: payload_for(expect_src)
+                }
+                .checksum()
+            );
+            delivered += 1;
+        } else {
+            assert!(asg.source_of_output(o).is_none(), "output {o} lost data");
+        }
+    }
+    assert_eq!(delivered, asg.total_connections());
+}
+
+#[test]
+fn feedback_engine_carries_custom_payloads_too() {
+    use brsmn::core::FeedbackBrsmn;
+    let n = 16usize;
+    let net = FeedbackBrsmn::new(n).unwrap();
+    let mut sets = vec![Vec::new(); n];
+    sets[5] = (0..n).collect(); // broadcast
+    let lines: Vec<Line<DataMsg>> = (0..n)
+        .map(|i| {
+            if i == 5 {
+                Line {
+                    tag: Tag::Eps,
+                    payload: Some(DataMsg {
+                        source: 5,
+                        dests: (0..n).collect(),
+                        data: b"hello, every output".to_vec(),
+                    }),
+                }
+            } else {
+                Line::empty()
+            }
+        })
+        .collect();
+    let (out, _) = net.route_lines(lines).unwrap();
+    for (o, line) in out.iter().enumerate() {
+        let msg = line.payload.as_ref().unwrap_or_else(|| panic!("output {o}"));
+        assert_eq!(msg.data, b"hello, every output");
+        assert_eq!(msg.dests, vec![o]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Cross-crate validation: the in-place line model that `brsmn-rbn` executes
+//! is the *same network* as a conventionally wired reverse banyan — running
+//! identical switch settings through both produces identical permutations.
+
+use brsmn::rbn::{clone_split, plan_bitsort, RbnSettings};
+use brsmn::switch::{Line, SwitchSetting, Tag};
+use brsmn::topology::WiredNetwork;
+
+/// Converts unicast-only `RbnSettings` into per-column crossing flags for
+/// the wired model (column/switch indexing is shared by construction).
+fn to_crossings(settings: &RbnSettings) -> Vec<Vec<bool>> {
+    (0..settings.num_stages())
+        .map(|j| {
+            settings
+                .stage(j)
+                .iter()
+                .map(|&s| {
+                    assert!(s.is_unicast(), "wired comparison covers unicast settings");
+                    s == SwitchSetting::Crossing
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs `settings` through the executable fabric and returns the
+/// input→output permutation.
+fn fabric_mapping(settings: &RbnSettings) -> Vec<usize> {
+    let n = settings.n();
+    let lines: Vec<Line<usize>> = (0..n).map(|i| Line::with(Tag::Zero, i)).collect();
+    let out = settings.run(lines, &mut clone_split).unwrap();
+    let mut mapping = vec![0usize; n];
+    for (pos, line) in out.iter().enumerate() {
+        mapping[line.payload.unwrap()] = pos;
+    }
+    mapping
+}
+
+#[test]
+fn bitsort_settings_agree_on_both_models() {
+    for n in [4usize, 8, 16, 32] {
+        let wired = WiredNetwork::inplace_rbn(n).unwrap();
+        for seed in 0..12u64 {
+            let gamma: Vec<bool> = (0..n)
+                .map(|i| (i as u64 ^ seed).wrapping_mul(0x9E3779B97F4A7C15) >> 62 & 1 == 1)
+                .collect();
+            let s = (seed as usize * 7) % n;
+            let plan = plan_bitsort(&gamma, s);
+            let via_fabric = fabric_mapping(&plan.settings);
+            let via_wired = wired.mapping(&to_crossings(&plan.settings));
+            assert_eq!(via_fabric, via_wired, "n={n} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn random_unicast_settings_agree_exhaustively_n4() {
+    // Every possible unicast setting combination of a 4×4 RBN (2 stages × 2
+    // switches → 2^4 configurations).
+    let n = 4usize;
+    let wired = WiredNetwork::inplace_rbn(n).unwrap();
+    for config in 0..16u32 {
+        let mut settings = RbnSettings::identity(n);
+        for j in 0..2usize {
+            for k in 0..2usize {
+                if config >> (j * 2 + k) & 1 == 1 {
+                    settings.stage_mut(j)[k] = SwitchSetting::Crossing;
+                }
+            }
+        }
+        assert_eq!(
+            fabric_mapping(&settings),
+            wired.mapping(&to_crossings(&settings)),
+            "config={config:04b}"
+        );
+    }
+}
+
+#[test]
+fn random_unicast_settings_agree_sampled_n32() {
+    let n = 32usize;
+    let wired = WiredNetwork::inplace_rbn(n).unwrap();
+    for seed in 0..20u64 {
+        let mut settings = RbnSettings::identity(n);
+        for j in 0..5usize {
+            for k in 0..n / 2 {
+                let h = (seed ^ (j as u64) << 11 ^ (k as u64) << 23)
+                    .wrapping_mul(0x9E3779B97F4A7C15);
+                if h >> 63 == 1 {
+                    settings.stage_mut(j)[k] = SwitchSetting::Crossing;
+                }
+            }
+        }
+        assert_eq!(
+            fabric_mapping(&settings),
+            wired.mapping(&to_crossings(&settings)),
+            "seed={seed}"
+        );
+    }
+}
