@@ -1,0 +1,284 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`Throughput`],
+//! and the [`criterion_group!`] / [`criterion_main!`] entry points — with a
+//! simple warmup-then-measure timing loop instead of criterion's statistical
+//! machinery. Each benchmark prints a single `name ... time: X/iter` line.
+//!
+//! Respects `--bench` in argv (ignored) and runs everything; filtering and
+//! HTML reports are not implemented.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement harness handed to each registered bench function.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warmup: Duration::from_millis(60),
+            measure: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration. The stub accepts and ignores all flags so
+    /// `cargo bench -- --bench` style invocations keep working.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.warmup, self.measure, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the per-iteration element/byte count used to report rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's fixed time window ignores it.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.criterion.warmup,
+            self.criterion.measure,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one benchmark that borrows a prepared input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op in the stub; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// A `function/parameter` label for parameterized benchmarks.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("plan_scatter", 256)` renders as `plan_scatter/256`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// A label with only a parameter component.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Work per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing handle passed to the benchmark closure.
+pub struct Bencher {
+    mode: BenchMode,
+    total: Duration,
+    iters: u64,
+}
+
+enum BenchMode {
+    Warmup { until: Instant },
+    Measure { until: Instant },
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly until the current phase's time window
+    /// closes, accumulating elapsed time and iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let until = match self.mode {
+            BenchMode::Warmup { until } => until,
+            BenchMode::Measure { until } => until,
+        };
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.iters += 1;
+            if Instant::now() >= until {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    warmup: Duration,
+    measure: Duration,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        mode: BenchMode::Warmup {
+            until: Instant::now() + warmup,
+        },
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+
+    let mut b = Bencher {
+        mode: BenchMode::Measure {
+            until: Instant::now() + measure,
+        },
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+
+    if b.iters == 0 {
+        println!("{label:<48} (no iterations recorded)");
+        return;
+    }
+    let ns_per_iter = b.total.as_nanos() as f64 / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(", {:.1} Melem/s", n as f64 / ns_per_iter * 1e3),
+        Throughput::Bytes(n) => format!(", {:.1} MiB/s", n as f64 / ns_per_iter * 1e3 / 1.048_576),
+    });
+    println!(
+        "{label:<48} time: {}/iter ({} iters){}",
+        format_ns(ns_per_iter),
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Registers benchmark functions under a group name, mirroring criterion's
+/// `criterion_group!(benches, f1, f2)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts_iters() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(8));
+        let input = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", 3), &input, |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats_as_slash_pair() {
+        assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
+    }
+}

@@ -1,0 +1,468 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The sandbox this workspace builds in has no access to crates.io, so the
+//! real `serde`/`serde_derive` pair is replaced by the value-tree
+//! implementation in `compat/serde`. This crate provides the matching
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros: a hand-rolled
+//! token walk (no `syn`/`quote`) that supports the item shapes used in this
+//! workspace — structs with named fields, tuple structs, unit structs, and
+//! enums with unit / tuple / struct variants, with plain (unbounded) type
+//! parameters.
+//!
+//! Data model (mirrors serde's externally-tagged default):
+//! * named struct  → JSON object keyed by field name;
+//! * newtype struct → the inner value;
+//! * tuple struct  → array;
+//! * unit variant  → the variant name as a string;
+//! * tuple/struct variant → one-entry object `{ "Variant": payload }`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Body {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+/// Derives the compat `serde::Serialize` trait (`fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the compat `serde::Deserialize` trait (`fn from_value(&Value) -> Result<Self, _>`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+
+    let generics = parse_generics(&toks, &mut i);
+
+    match kind.as_str() {
+        "enum" => {
+            // Skip a possible where-clause: scan to the brace group.
+            while i < toks.len() {
+                if let TokenTree::Group(g) = &toks[i] {
+                    if g.delimiter() == Delimiter::Brace {
+                        return Item { name, generics, body: Body::Enum(parse_variants(g.stream())) };
+                    }
+                }
+                i += 1;
+            }
+            panic!("enum `{name}` has no body");
+        }
+        "struct" => {
+            while i < toks.len() {
+                match &toks[i] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        return Item { name, generics, body: Body::Named(parse_named_fields(g.stream())) };
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        return Item { name, generics, body: Body::Tuple(count_tuple_fields(g.stream())) };
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ';' => {
+                        return Item { name, generics, body: Body::Unit };
+                    }
+                    _ => i += 1,
+                }
+            }
+            Item { name, generics, body: Body::Unit }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // `#` + bracket group
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parses `<A, B: Bound, 'a>` at `toks[*i]`, returning the type-parameter
+/// names. Leaves `*i` just past the closing `>`.
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    match toks.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return params,
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    let mut in_lifetime = false;
+    while *i < toks.len() && depth > 0 {
+        match &toks[*i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => {
+                    at_param_start = true;
+                    in_lifetime = false;
+                }
+                '\'' if depth == 1 => in_lifetime = true,
+                ':' if depth == 1 => at_param_start = false,
+                _ => {}
+            },
+            TokenTree::Ident(id) if depth == 1 && at_param_start => {
+                if in_lifetime {
+                    in_lifetime = false; // the lifetime's name, not a type param
+                } else {
+                    params.push(id.to_string());
+                }
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Field names of `{ pub a: T, b: U }`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        fields.push(name);
+        i += 1;
+        // Skip `: Type` up to the next top-level comma. Groups are atomic
+        // token trees, so only `<`/`>` pairs need depth tracking.
+        let mut angle = 0isize;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Arity of a tuple-struct / tuple-variant body `(A, B<C, D>)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0isize;
+    let mut saw_any = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => count += 1,
+                _ => saw_any = true,
+            },
+            _ => saw_any = true,
+        }
+    }
+    // Tolerate a trailing comma: `(A, B,)`.
+    if let Some(TokenTree::Punct(p)) = toks.last() {
+        if p.as_char() == ',' && saw_any {
+            count -= 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let mut shape = Shape::Unit;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    shape = Shape::Tuple(count_tuple_fields(g.stream()));
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    shape = Shape::Named(parse_named_fields(g.stream()));
+                    i += 1;
+                }
+                _ => {}
+            }
+        }
+        // Skip an explicit discriminant `= expr` through the next comma.
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        (
+            format!("<{}>", bounded.join(", ")),
+            format!("<{}>", item.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (ig, tg) = impl_header(item, "Serialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(k) => {
+            let entries: Vec<String> = (0..*k)
+                .map(|j| format!("::serde::Serialize::to_value(&self.{j})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\"))"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        Shape::Tuple(k) => {
+                            let pats: Vec<String> = (0..*k).map(|j| format!("__f{j}")).collect();
+                            let vals: Vec<String> = (0..*k)
+                                .map(|j| format!("::serde::Serialize::to_value(__f{j})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Array(vec![{}]))])",
+                                pats.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let pats = fields.join(", ");
+                            let vals: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {pats} }} => ::serde::Value::Object(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(vec![{}]))])",
+                                vals.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl{ig} ::serde::Serialize for {name}{tg} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (ig, tg) = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__obj, \"{f}\", \"{name}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __obj = ::serde::__private::as_object(__v, \"{name}\")?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Body::Tuple(k) => {
+            let inits: Vec<String> = (0..*k)
+                .map(|j| format!("::serde::Deserialize::from_value(&__arr[{j}])?"))
+                .collect();
+            format!(
+                "let __arr = ::serde::__private::as_array_of(__v, {k}, \"{name}\")?; \
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Body::Unit => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {
+                            format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn})")
+                        }
+                        Shape::Tuple(1) => format!(
+                            "\"{vn}\" => {{ let __p = ::serde::__private::payload(__payload, \"{name}::{vn}\")?; \
+                             ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__p)?)) }}"
+                        ),
+                        Shape::Tuple(k) => {
+                            let inits: Vec<String> = (0..*k)
+                                .map(|j| format!("::serde::Deserialize::from_value(&__arr[{j}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let __p = ::serde::__private::payload(__payload, \"{name}::{vn}\")?; \
+                                 let __arr = ::serde::__private::as_array_of(__p, {k}, \"{name}::{vn}\")?; \
+                                 ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                inits.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__obj, \"{f}\", \"{name}::{vn}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let __p = ::serde::__private::payload(__payload, \"{name}::{vn}\")?; \
+                                 let __obj = ::serde::__private::as_object(__p, \"{name}::{vn}\")?; \
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }}) }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (__tag, __payload) = ::serde::__private::variant(__v, \"{name}\")?; \
+                 match __tag {{ {}, __other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` of {name}\"))) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl{ig} ::serde::Deserialize for {name}{tg} {{ \
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}

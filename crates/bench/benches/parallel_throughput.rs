@@ -1,0 +1,53 @@
+//! Criterion bench for the batched parallel routing engine: the same dense
+//! batch routed by 1, 2 and 4 workers, at batch sizes from 16 to 128
+//! frames. The acceptance bar for this workspace is ≥ 1.5× speedup at 4
+//! workers on batches of ≥ 64 frames (see EXPERIMENTS.md); the worker
+//! counts bracket that point so the scaling shape is visible in one run.
+
+use brsmn_bench::dense_batch;
+use brsmn_core::{Engine, EngineConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let n = 64usize;
+    let mut group = c.benchmark_group("parallel_throughput_n64");
+    for frames in [16usize, 64, 128] {
+        let batch = dense_batch(n, frames, 7);
+        group.throughput(Throughput::Elements(frames as u64));
+        for workers in [1usize, 2, 4] {
+            let engine = Engine::with_config(n, EngineConfig::batch(workers)).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{frames}frames"), workers),
+                &batch,
+                |b, batch| b.iter(|| black_box(engine.route_batch(black_box(batch)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_intra_frame(c: &mut Criterion) {
+    // Concurrent-halves recursion on single large frames: latency, not
+    // throughput — the win only appears once blocks are big enough to
+    // amortize a thread spawn.
+    let mut group = c.benchmark_group("parallel_halves");
+    for n in [256usize, 1024] {
+        let batch = dense_batch(n, 1, 11);
+        for (label, cfg) in [
+            ("seq", EngineConfig::sequential()),
+            ("fork2", EngineConfig::single_frame(2)),
+        ] {
+            let engine = Engine::with_config(n, cfg).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &batch[0],
+                |b, asg| b.iter(|| black_box(engine.route_one(black_box(asg)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worker_scaling, bench_intra_frame);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! `parallel_report` — measures the batched parallel routing engine and
+//! emits the full [`brsmn_bench::ParallelReport`] as JSON on stdout.
+//!
+//! ```text
+//! cargo run --release -p brsmn-bench --bin parallel_report            # defaults
+//! cargo run --release -p brsmn-bench --bin parallel_report 256 128 7  # n frames seed
+//! ```
+//!
+//! The JSON includes, per worker count, the wall time, frames/s, measured
+//! speedup over one worker, and the engine's per-stage instrumentation
+//! (per-level wall time, switch settings, sweep passes). See EXPERIMENTS.md
+//! for how to read it.
+
+use brsmn_bench::parallel_sweep;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args.first().map_or(64, |s| s.parse().expect("n"));
+    let frames: usize = args.get(1).map_or(64, |s| s.parse().expect("frames"));
+    let seed: u64 = args.get(2).map_or(7, |s| s.parse().expect("seed"));
+    assert!(n.is_power_of_two() && n >= 2, "n must be a power of two");
+
+    let report = parallel_sweep(n, frames, seed, &[1, 2, 4]);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+    let best = report
+        .points
+        .iter()
+        .map(|p| p.speedup_vs_one)
+        .fold(0.0f64, f64::max);
+    eprintln!(
+        "n={n} frames={frames}: best measured speedup {best:.2}x, modeled 4-fabric speedup {:.2}x",
+        report.modeled_speedup_4_fabrics
+    );
+}

@@ -6,7 +6,9 @@
 #![warn(missing_docs)]
 
 use brsmn_baselines::{BatcherBanyan, BenesNetwork, ComplexityModel, CopyBenesMulticast, NetworkKind};
-use brsmn_core::{metrics, Brsmn, FeedbackBrsmn, MulticastAssignment};
+use brsmn_core::{
+    metrics, Brsmn, Engine, EngineConfig, EngineStats, FeedbackBrsmn, MulticastAssignment,
+};
 use brsmn_sim::{brsmn_routing_time, feedback_routing_time, looping_routing_time};
 use brsmn_workloads::{random_multicast, random_permutation, RandomSpec};
 use serde::{Deserialize, Serialize};
@@ -127,6 +129,94 @@ pub fn cost_sweep(min_pow: u32, max_pow: u32) -> Vec<CostPoint> {
         .collect()
 }
 
+/// A batch of dense multicast frames with distinct seeds — the standard
+/// input of the parallel-throughput experiments.
+pub fn dense_batch(n: usize, frames: usize, seed: u64) -> Vec<MulticastAssignment> {
+    (0..frames)
+        .map(|f| dense_workload(n, seed.wrapping_add(f as u64)))
+        .collect()
+}
+
+/// One measured point of the parallel-throughput sweep: the batched engine
+/// at a given worker count, with its full per-stage instrumentation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParallelPoint {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall time for the batch, nanoseconds.
+    pub wall_nanos: u64,
+    /// Frames per second of wall time.
+    pub frames_per_sec: f64,
+    /// Measured speedup over the 1-worker run of the same sweep.
+    pub speedup_vs_one: f64,
+    /// Full engine instrumentation (per-level time, switch settings, sweeps).
+    pub stats: EngineStats,
+}
+
+/// Full report of one parallel-throughput sweep, serializable to JSON for
+/// `EXPERIMENTS.md` and the CI artifacts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParallelReport {
+    /// Network size.
+    pub n: usize,
+    /// Frames per batch.
+    pub frames: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Modeled speedup of 4 replicated hardware fabrics on the same batch
+    /// (`brsmn-sim`), for comparison against the software numbers.
+    pub modeled_speedup_4_fabrics: f64,
+    /// One measurement per worker count, ascending.
+    pub points: Vec<ParallelPoint>,
+}
+
+/// Routes the same dense batch at each worker count and reports wall time,
+/// throughput and speedup. The batch is routed once per worker count; all
+/// runs produce bit-identical results (asserted), so the comparison is pure
+/// scheduling.
+pub fn parallel_sweep(n: usize, frames: usize, seed: u64, worker_counts: &[usize]) -> ParallelReport {
+    let batch = dense_batch(n, frames, seed);
+    let mut reference: Option<Vec<_>> = None;
+    let mut points = Vec::with_capacity(worker_counts.len());
+    let mut one_worker_wall = None;
+    for &workers in worker_counts {
+        let engine = Engine::with_config(n, EngineConfig::batch(workers)).expect("valid size");
+        let out = engine.route_batch(&batch);
+        let routed: Vec<_> = out
+            .results
+            .into_iter()
+            .map(|r| r.expect("dense workload routes"))
+            .collect();
+        match &reference {
+            None => reference = Some(routed),
+            Some(want) => assert_eq!(want, &routed, "worker count changed the results"),
+        }
+        let stats = out.stats;
+        if stats.workers == 1 {
+            one_worker_wall = Some(stats.wall_nanos);
+        }
+        let speedup_vs_one = match one_worker_wall {
+            Some(base) if stats.wall_nanos > 0 => base as f64 / stats.wall_nanos as f64,
+            _ => 1.0,
+        };
+        points.push(ParallelPoint {
+            workers: stats.workers,
+            wall_nanos: stats.wall_nanos,
+            frames_per_sec: stats.frames_per_sec(),
+            speedup_vs_one,
+            stats,
+        });
+    }
+    ParallelReport {
+        n,
+        frames,
+        seed,
+        modeled_speedup_4_fabrics: brsmn_sim::simulate_replicated_pipeline(n, frames as u64, 4)
+            .speedup(),
+        points,
+    }
+}
+
 /// Renders rows of `(label, values…)` as a GitHub-flavored markdown table.
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
@@ -179,6 +269,25 @@ mod tests {
         // Crossbar overtakes everything quickly.
         let last = pts.last().unwrap();
         assert!(last.crossbar_points > last.brsmn_switches);
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic_and_complete() {
+        let report = parallel_sweep(16, 12, 3, &[1, 2]);
+        assert_eq!(report.points.len(), 2);
+        assert_eq!(report.points[0].workers, 1);
+        assert_eq!(report.points[1].workers, 2);
+        for p in &report.points {
+            assert_eq!(p.stats.frames_ok, 12);
+            assert_eq!(p.stats.frames_failed, 0);
+            assert!(p.wall_nanos > 0);
+        }
+        assert!(report.modeled_speedup_4_fabrics > 1.0);
+        // Report serializes to JSON.
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("modeled_speedup_4_fabrics"));
+        let back: ParallelReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.points.len(), 2);
     }
 
     #[test]

@@ -14,7 +14,8 @@ use std::process::ExitCode;
 
 use brsmn_baselines::{ChengChenNetwork, CopyBenesMulticast, Crossbar};
 use brsmn_core::{
-    metrics, render_trace, Brsmn, FeedbackBrsmn, MulticastAssignment, RoutingResult, TagTree,
+    metrics, render_trace, Brsmn, Engine, EngineConfig, FeedbackBrsmn, MulticastAssignment,
+    RoutingResult, TagTree,
 };
 use brsmn_sim::{brsmn_routing_time, feedback_routing_time};
 use brsmn_workloads::{
@@ -44,10 +45,13 @@ fn usage() -> &'static str {
        gen    --n N --workload W [--seed S]            print a JSON assignment\n\
        route  (--file F | --n N --workload W [--seed S])\n\
               [--engine E] [--trace]                    route an assignment\n\
+       route  --parallel [--batch B] [--workers K] [--fork-depth D] [--stats]\n\
+              batched multi-threaded routing; --stats prints EngineStats JSON\n\
        info   --n N                                     cost/depth/time sheet\n\
        seq    --n N --dests A,B,C                       routing-tag sequence\n\
      workloads: dense | sparse | broadcast | permutation | conferences | replicas\n\
-     engines:   semantic | self-routing | feedback | classical | crossbar | chengchen"
+     engines:   semantic | self-routing | feedback | classical | crossbar | chengchen\n\
+                (--parallel supports semantic and self-routing)"
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -83,7 +87,10 @@ fn load_workload(args: &Args) -> Result<MulticastAssignment, String> {
         return Err(format!("n must be a power of two >= 2, got {n}"));
     }
     let seed: u64 = args.get_parse("seed")?.unwrap_or(1);
-    let workload = args.get("workload").unwrap_or("dense");
+    build_workload(n, args.get("workload").unwrap_or("dense"), seed)
+}
+
+fn build_workload(n: usize, workload: &str, seed: u64) -> Result<MulticastAssignment, String> {
     Ok(match workload {
         "dense" => random_multicast(RandomSpec::dense(n), seed),
         "sparse" => random_multicast(RandomSpec::sparse(n), seed),
@@ -105,6 +112,9 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_route(args: &Args) -> Result<(), String> {
+    if args.flag("parallel") {
+        return cmd_route_parallel(args);
+    }
     let asg = load_workload(args)?;
     let n = asg.n();
     let engine = args.get("engine").unwrap_or("semantic");
@@ -172,6 +182,91 @@ fn cmd_route(args: &Args) -> Result<(), String> {
         Ok(())
     } else {
         Err("assignment not realized".into())
+    }
+}
+
+/// `route --parallel`: batched multi-threaded routing through the
+/// [`Engine`], with optional per-stage instrumentation as JSON.
+fn cmd_route_parallel(args: &Args) -> Result<(), String> {
+    let batch_size: usize = args.get_parse("batch")?.unwrap_or(16);
+    if batch_size == 0 {
+        return Err("--batch must be >= 1".into());
+    }
+    let workers: usize = args.get_parse("workers")?.unwrap_or(0);
+    let fork_depth: usize = args.get_parse("fork-depth")?.unwrap_or(0);
+
+    // One frame per seed `seed .. seed + batch`; a `--file` frame is
+    // replicated `--batch` times (repeated-frame throughput).
+    let batch: Vec<MulticastAssignment> = if args.get("file").is_some() {
+        vec![load_workload(args)?; batch_size]
+    } else {
+        let n: usize = args.get_parse("n")?.ok_or("--n is required")?;
+        if !n.is_power_of_two() || n < 2 {
+            return Err(format!("n must be a power of two >= 2, got {n}"));
+        }
+        let seed: u64 = args.get_parse("seed")?.unwrap_or(1);
+        let workload = args.get("workload").unwrap_or("dense");
+        (0..batch_size)
+            .map(|f| build_workload(n, workload, seed.wrapping_add(f as u64)))
+            .collect::<Result<_, _>>()?
+    };
+    let n = batch[0].n();
+
+    let cfg = EngineConfig {
+        workers,
+        parallel_halves: fork_depth > 0,
+        fork_depth,
+    };
+    let engine = Engine::with_config(n, cfg).map_err(|e| e.to_string())?;
+    let engine_name = args.get("engine").unwrap_or("semantic");
+    let out = match engine_name {
+        "semantic" => engine.route_batch(&batch),
+        "self-routing" => engine.route_batch_self_routing(&batch),
+        other => {
+            return Err(format!(
+                "--parallel supports engines semantic|self-routing, got `{other}`"
+            ))
+        }
+    };
+
+    let mut failures = 0usize;
+    for (f, (asg, result)) in batch.iter().zip(&out.results).enumerate() {
+        match result {
+            Ok(r) if r.realizes(asg) => {}
+            Ok(_) => {
+                failures += 1;
+                eprintln!("frame {f}: MISROUTED");
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("frame {f}: error: {e}");
+            }
+        }
+    }
+    let stats = &out.stats;
+    eprintln!(
+        "routed {} frames of n={} on {} worker(s){}: {:.1} frames/s, speedup {:.2}x",
+        stats.batch,
+        stats.n,
+        stats.workers,
+        if stats.parallel_halves {
+            " + parallel halves"
+        } else {
+            ""
+        },
+        stats.frames_per_sec(),
+        stats.speedup(),
+    );
+    if args.flag("stats") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(stats).map_err(|e| e.to_string())?
+        );
+    }
+    if failures == 0 {
+        Ok(())
+    } else {
+        Err(format!("{failures} frame(s) failed"))
     }
 }
 

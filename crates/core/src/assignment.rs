@@ -72,6 +72,25 @@ impl From<SizeError> for AssignmentError {
 }
 
 /// A validated multicast assignment `{I_0, …, I_{n−1}}`.
+///
+/// Destination sets are pairwise disjoint and sorted; construction rejects
+/// anything else, so every `MulticastAssignment` in the workspace is
+/// routable by the nonblocking theorem.
+///
+/// ```
+/// use brsmn_core::MulticastAssignment;
+///
+/// // The paper's running example (Fig. 2): input 2 multicasts to {3,4,7}.
+/// let asg = MulticastAssignment::from_sets(8, vec![
+///     vec![0, 1], vec![], vec![3, 4, 7], vec![2],
+///     vec![],     vec![], vec![],        vec![5, 6],
+/// ]).unwrap();
+/// assert_eq!(asg.n(), 8);
+/// assert_eq!(asg.dests(2), &[3, 4, 7]);
+/// assert_eq!(asg.total_connections(), 8);
+/// assert_eq!(asg.source_of_output(4), Some(2));
+/// assert!(!asg.is_permutation()); // input 2 has fanout 3
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MulticastAssignment {
     n: usize,

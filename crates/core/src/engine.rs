@@ -1,0 +1,572 @@
+//! Batched, multi-threaded routing engine with per-stage instrumentation.
+//!
+//! The sequential router in [`crate::brsmn`] answers "is the construction
+//! correct?". This module answers "how fast can a software realization go?"
+//! by exploiting the two sources of parallelism the BRSMN has by design:
+//!
+//! 1. **Frame-level** — distinct multicast assignments ("frames") share no
+//!    state, so a batch is spread across a scoped-thread worker pool
+//!    ([`brsmn_rbn::par::par_map`]). Output order is deterministic: results
+//!    are reassembled by frame index.
+//! 2. **Intra-network** — after the level-`i` BSN splits a block, the upper
+//!    and lower `n/2 × n/2` sub-BRSMNs are independent (Fig. 1) and recurse
+//!    concurrently ([`brsmn_rbn::par::join`]), up to a configurable fork
+//!    depth.
+//!
+//! Both paths are **bit-identical** to the sequential engine: parallel
+//! halves compute disjoint output ranges that are concatenated in order, and
+//! the worker pool never reorders frames. Property tests in
+//! `tests/engine_equivalence.rs` pin this down.
+//!
+//! Every route is instrumented by a [`StageTimer`]: per-level wall time,
+//! blocks routed, switch settings computed, and planner sweep passes, rolled
+//! up into an [`EngineStats`] that serializes to JSON for the benchmark
+//! harness (`brsmn-bench`) and the `brsmn-cli route --parallel --stats`
+//! path.
+//!
+//! # Example
+//!
+//! ```
+//! use brsmn_core::{Engine, EngineConfig, MulticastAssignment};
+//!
+//! let batch: Vec<MulticastAssignment> = (0..8)
+//!     .map(|s| {
+//!         let mut sets = vec![Vec::new(); 8];
+//!         sets[s % 8] = (0..8).collect(); // one broadcast per frame
+//!         MulticastAssignment::from_sets(8, sets).unwrap()
+//!     })
+//!     .collect();
+//!
+//! let engine = Engine::with_config(8, EngineConfig::batch(2)).unwrap();
+//! let out = engine.route_batch(&batch);
+//! assert_eq!(out.results.len(), 8);
+//! assert!(out.results.iter().all(|r| r.is_ok()));
+//! assert_eq!(out.stats.frames_ok, 8);
+//! ```
+
+use std::time::{Duration, Instant};
+
+use crate::assignment::{MulticastAssignment, RoutingResult};
+use crate::brsmn::{final_switch, Brsmn};
+use crate::bsn::Bsn;
+use crate::error::CoreError;
+use crate::payload::{RoutePayload, SelfRoutedMsg, SemanticMsg};
+use brsmn_rbn::par;
+use brsmn_switch::{Line, Tag};
+use brsmn_topology::log2_exact;
+use serde::{Deserialize, Serialize};
+
+/// Blocks smaller than this are never forked: the spawn/join cost of a
+/// scoped thread dwarfs the work in a tiny sub-BRSMN.
+const MIN_FORK_BLOCK: usize = 32;
+
+/// Planner tree sweeps per BSN: scatter (forward + backward), ε-divide
+/// (forward + backward), bit sort (forward + backward).
+const SWEEPS_PER_BSN: u64 = 6;
+
+/// How the [`Engine`] parallelizes and which message model it routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Worker threads for frame-level parallelism; `0` = one per hardware
+    /// thread.
+    pub workers: usize,
+    /// Route the two sub-BRSMN halves of each split concurrently.
+    pub parallel_halves: bool,
+    /// Levels of the recursion allowed to fork when `parallel_halves` is on
+    /// (depth `d` forks at most `2^d − 1` extra threads per frame).
+    pub fork_depth: usize,
+}
+
+impl Default for EngineConfig {
+    /// Frame-level parallelism on every hardware thread, no intra-frame
+    /// forking — the right default for batches.
+    fn default() -> Self {
+        EngineConfig::batch(0)
+    }
+}
+
+impl EngineConfig {
+    /// Frame-level parallelism only, across `workers` threads (`0` = auto).
+    /// Best when the batch is large relative to the worker count.
+    pub fn batch(workers: usize) -> Self {
+        EngineConfig {
+            workers,
+            parallel_halves: false,
+            fork_depth: 0,
+        }
+    }
+
+    /// Sequential reference configuration: one worker, no forking. The
+    /// engine then matches [`Brsmn::route`] exactly while still collecting
+    /// [`EngineStats`].
+    pub fn sequential() -> Self {
+        EngineConfig {
+            workers: 1,
+            parallel_halves: false,
+            fork_depth: 0,
+        }
+    }
+
+    /// Intra-network parallelism for latency-sensitive single frames: the
+    /// two halves of the first `fork_depth` levels recurse concurrently.
+    pub fn single_frame(fork_depth: usize) -> Self {
+        EngineConfig {
+            workers: 1,
+            parallel_halves: true,
+            fork_depth,
+        }
+    }
+}
+
+/// Wall time and work counters for one BSN level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// BSN blocks routed at this level (summed over the batch).
+    pub blocks: u64,
+    /// Wall time spent in those blocks, nanoseconds. When halves run in
+    /// parallel this sums the per-thread times, so levels below a fork
+    /// can exceed elapsed wall time.
+    pub nanos: u64,
+}
+
+/// Accumulates per-stage instrumentation during a route.
+///
+/// One timer lives on each worker (and each forked half); [`StageTimer::merge`]
+/// folds them into the batch total. Exposed so external drivers (benches,
+/// the CLI) can instrument custom routing loops.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTimer {
+    /// Per-level counters, index `i` = BSN level `i + 1`.
+    pub levels: Vec<LevelStats>,
+    /// 2×2 switches set in the final stage.
+    pub final_switches: u64,
+    /// Wall time in the final stage, nanoseconds.
+    pub final_nanos: u64,
+    /// Total 2×2 switch settings computed (both RBNs of every BSN, plus the
+    /// final stage).
+    pub switch_settings: u64,
+    /// Planner tree sweeps executed (forward/backward waves of the scatter,
+    /// ε-divide and bit-sort planners).
+    pub sweep_passes: u64,
+}
+
+impl StageTimer {
+    /// A fresh, empty timer.
+    pub fn new() -> Self {
+        StageTimer::default()
+    }
+
+    /// Records one BSN of `size` lines routed at 1-based `level`.
+    pub fn record_bsn(&mut self, level: usize, size: usize, elapsed: Duration) {
+        if self.levels.len() < level {
+            self.levels.resize(level, LevelStats::default());
+        }
+        let slot = &mut self.levels[level - 1];
+        slot.blocks += 1;
+        slot.nanos += elapsed.as_nanos() as u64;
+        // Scatter RBN + quasisorting RBN: 2 · (size/2) · log2(size) settings.
+        self.switch_settings += (size as u64) * u64::from(log2_exact(size));
+        self.sweep_passes += SWEEPS_PER_BSN;
+    }
+
+    /// Records one final-stage 2×2 switch.
+    pub fn record_final(&mut self, elapsed: Duration) {
+        self.final_switches += 1;
+        self.final_nanos += elapsed.as_nanos() as u64;
+        self.switch_settings += 1;
+    }
+
+    /// Folds another timer (a worker's or a forked half's) into this one.
+    pub fn merge(&mut self, other: &StageTimer) {
+        if self.levels.len() < other.levels.len() {
+            self.levels.resize(other.levels.len(), LevelStats::default());
+        }
+        for (slot, o) in self.levels.iter_mut().zip(&other.levels) {
+            slot.blocks += o.blocks;
+            slot.nanos += o.nanos;
+        }
+        self.final_switches += other.final_switches;
+        self.final_nanos += other.final_nanos;
+        self.switch_settings += other.switch_settings;
+        self.sweep_passes += other.sweep_passes;
+    }
+}
+
+/// Aggregate instrumentation for one batch route, serializable to JSON.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Network size.
+    pub n: usize,
+    /// Frames in the batch.
+    pub batch: usize,
+    /// Worker threads actually used for frame-level parallelism.
+    pub workers: usize,
+    /// Whether sub-BRSMN halves recursed concurrently.
+    pub parallel_halves: bool,
+    /// Frames routed successfully.
+    pub frames_ok: usize,
+    /// Frames that returned an error.
+    pub frames_failed: usize,
+    /// Per-stage counters summed over all frames and workers.
+    pub stages: StageTimer,
+    /// End-to-end wall time for the whole batch, nanoseconds.
+    pub wall_nanos: u64,
+    /// Sum of per-frame route times, nanoseconds. `busy_nanos / wall_nanos`
+    /// approximates the achieved parallel speedup.
+    pub busy_nanos: u64,
+}
+
+impl EngineStats {
+    /// Frames routed per second of wall time.
+    pub fn frames_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.batch as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+
+    /// `busy / wall` — effective parallelism achieved by the batch.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            1.0
+        } else {
+            self.busy_nanos as f64 / self.wall_nanos as f64
+        }
+    }
+}
+
+/// Result of routing a batch: per-frame outcomes (in input order) plus the
+/// aggregated instrumentation.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// One result per input frame, order preserved.
+    pub results: Vec<Result<RoutingResult, CoreError>>,
+    /// Aggregated per-stage instrumentation.
+    pub stats: EngineStats,
+}
+
+/// The batched, multi-threaded BRSMN routing engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine {
+    net: Brsmn,
+    cfg: EngineConfig,
+}
+
+impl Engine {
+    /// An engine over an `n × n` BRSMN with the default (batch) config.
+    pub fn new(n: usize) -> Result<Self, CoreError> {
+        Engine::with_config(n, EngineConfig::default())
+    }
+
+    /// An engine with an explicit [`EngineConfig`].
+    pub fn with_config(n: usize, cfg: EngineConfig) -> Result<Self, CoreError> {
+        Ok(Engine {
+            net: Brsmn::new(n)?,
+            cfg,
+        })
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.net.n()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Routes a batch of frames with the **semantic** message model.
+    ///
+    /// Results come back in input order and are bit-identical to calling
+    /// [`Brsmn::route`] on each frame sequentially.
+    pub fn route_batch(&self, batch: &[MulticastAssignment]) -> BatchOutput {
+        self.route_batch_with(batch, |_n, src, dests| {
+            SemanticMsg::new(src, dests.to_vec())
+        })
+    }
+
+    /// Routes a batch with the **self-routing** message model (messages
+    /// reduced to `SEQ` tag streams before entering the network).
+    pub fn route_batch_self_routing(&self, batch: &[MulticastAssignment]) -> BatchOutput {
+        self.route_batch_with(batch, |n, src, dests| {
+            SelfRoutedMsg::prepare(n, src, dests)
+        })
+    }
+
+    /// Routes one frame, returning its result and instrumentation. Uses
+    /// intra-network parallelism if the config enables it.
+    pub fn route_one(
+        &self,
+        asg: &MulticastAssignment,
+    ) -> (Result<RoutingResult, CoreError>, EngineStats) {
+        let out = self.route_batch(std::slice::from_ref(asg));
+        let mut results = out.results;
+        (results.remove(0), out.stats)
+    }
+
+    /// Shared batch driver over any payload preparation function.
+    fn route_batch_with<P, F>(&self, batch: &[MulticastAssignment], prepare: F) -> BatchOutput
+    where
+        P: RoutePayload + Send,
+        F: Fn(usize, usize, &[usize]) -> P + Sync,
+    {
+        let n = self.net.n();
+        let workers = par::effective_workers(self.cfg.workers).min(batch.len().max(1));
+        let fork_depth = if self.cfg.parallel_halves {
+            self.cfg.fork_depth
+        } else {
+            0
+        };
+
+        let wall_start = Instant::now();
+        let frames = par::par_map(batch, workers, |_idx, asg| {
+            let frame_start = Instant::now();
+            let mut timer = StageTimer::new();
+            let result = self.route_frame(asg, fork_depth, &mut timer, &prepare);
+            (result, timer, frame_start.elapsed().as_nanos() as u64)
+        });
+        let wall_nanos = wall_start.elapsed().as_nanos() as u64;
+
+        let mut stages = StageTimer::new();
+        let mut busy_nanos = 0u64;
+        let mut results = Vec::with_capacity(frames.len());
+        let (mut frames_ok, mut frames_failed) = (0usize, 0usize);
+        for (result, timer, frame_nanos) in frames {
+            stages.merge(&timer);
+            busy_nanos += frame_nanos;
+            match &result {
+                Ok(_) => frames_ok += 1,
+                Err(_) => frames_failed += 1,
+            }
+            results.push(result);
+        }
+
+        BatchOutput {
+            results,
+            stats: EngineStats {
+                n,
+                batch: batch.len(),
+                workers,
+                parallel_halves: fork_depth > 0,
+                frames_ok,
+                frames_failed,
+                stages,
+                wall_nanos,
+                busy_nanos,
+            },
+        }
+    }
+
+    /// Routes one frame end to end with instrumentation.
+    fn route_frame<P, F>(
+        &self,
+        asg: &MulticastAssignment,
+        fork_depth: usize,
+        timer: &mut StageTimer,
+        prepare: &F,
+    ) -> Result<RoutingResult, CoreError>
+    where
+        P: RoutePayload + Send,
+        F: Fn(usize, usize, &[usize]) -> P + Sync,
+    {
+        let n = self.net.n();
+        assert_eq!(asg.n(), n, "assignment size mismatch");
+        let lines: Vec<Line<P>> = (0..n)
+            .map(|i| {
+                let dests = asg.dests(i);
+                if dests.is_empty() {
+                    Line::empty()
+                } else {
+                    Line {
+                        tag: Tag::Eps,
+                        payload: Some(prepare(n, i, dests)),
+                    }
+                }
+            })
+            .collect();
+        let out = route_block_timed(lines, 0, 1, fork_depth, timer)?;
+        crate::brsmn::extract_result(out)
+    }
+}
+
+/// Instrumented (and optionally halves-parallel) version of the recursive
+/// router in [`crate::brsmn`]. Produces exactly the same output lines: the
+/// two halves compute disjoint output ranges `[lo, lo+size/2)` and
+/// `[lo+size/2, lo+size)` and are concatenated in order.
+fn route_block_timed<P: RoutePayload + Send>(
+    lines: Vec<Line<P>>,
+    lo: usize,
+    level: usize,
+    fork_depth: usize,
+    timer: &mut StageTimer,
+) -> Result<Vec<Line<P>>, CoreError> {
+    let size = lines.len();
+    if size == 2 {
+        let t0 = Instant::now();
+        let out = final_switch(lines, lo, &mut None)?;
+        timer.record_final(t0.elapsed());
+        return Ok(out);
+    }
+
+    let t0 = Instant::now();
+    let bsn = Bsn::new(size)?;
+    let (mut out, _trace) = bsn.route(lines, lo)?;
+    for line in out.iter_mut() {
+        if line.tag != Tag::Eps {
+            let branch = line.tag;
+            let payload = line.payload.take().expect("tagged line has a payload");
+            line.payload = Some(payload.descend(branch, lo, size));
+        }
+    }
+    timer.record_bsn(level, size, t0.elapsed());
+
+    let lower = out.split_off(size / 2);
+    if fork_depth > 0 && size >= MIN_FORK_BLOCK {
+        let (up, (down, lower_timer)) = par::join(
+            || route_block_timed(out, lo, level + 1, fork_depth - 1, timer),
+            || {
+                let mut lt = StageTimer::new();
+                let r = route_block_timed(lower, lo + size / 2, level + 1, fork_depth - 1, &mut lt);
+                (r, lt)
+            },
+        );
+        timer.merge(&lower_timer);
+        let mut up = up?;
+        up.extend(down?);
+        Ok(up)
+    } else {
+        let mut up = route_block_timed(out, lo, level + 1, 0, timer)?;
+        let down = route_block_timed(lower, lo + size / 2, level + 1, 0, timer)?;
+        up.extend(down);
+        Ok(up)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_assignment() -> MulticastAssignment {
+        MulticastAssignment::from_sets(
+            8,
+            vec![
+                vec![0, 1],
+                vec![],
+                vec![3, 4, 7],
+                vec![2],
+                vec![],
+                vec![],
+                vec![],
+                vec![5, 6],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn engine_matches_sequential_router_on_paper_example() {
+        let net = Brsmn::new(8).unwrap();
+        let expect = net.route(&paper_assignment()).unwrap();
+        for cfg in [
+            EngineConfig::sequential(),
+            EngineConfig::batch(4),
+            EngineConfig::single_frame(3),
+        ] {
+            let engine = Engine::with_config(8, cfg).unwrap();
+            let (result, stats) = engine.route_one(&paper_assignment());
+            assert_eq!(result.unwrap(), expect);
+            assert_eq!(stats.frames_ok, 1);
+            assert_eq!(stats.frames_failed, 0);
+        }
+    }
+
+    #[test]
+    fn batch_results_keep_input_order() {
+        let n = 16;
+        let batch: Vec<MulticastAssignment> = (0..40)
+            .map(|f| {
+                let mut sets = vec![Vec::new(); n];
+                sets[f % n] = vec![(f * 7) % n, (f * 7 + 1) % n]
+                    .into_iter()
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                MulticastAssignment::from_sets(n, sets).unwrap()
+            })
+            .collect();
+        let net = Brsmn::new(n).unwrap();
+        let engine = Engine::with_config(n, EngineConfig::batch(4)).unwrap();
+        let out = engine.route_batch(&batch);
+        assert_eq!(out.results.len(), batch.len());
+        for (asg, result) in batch.iter().zip(&out.results) {
+            assert_eq!(result.as_ref().unwrap(), &net.route(asg).unwrap());
+        }
+        assert_eq!(out.stats.frames_ok, batch.len());
+    }
+
+    #[test]
+    fn self_routing_batch_agrees_with_semantic() {
+        let engine = Engine::with_config(8, EngineConfig::batch(2)).unwrap();
+        let batch = vec![paper_assignment(); 8];
+        let sem = engine.route_batch(&batch);
+        let slf = engine.route_batch_self_routing(&batch);
+        for (a, b) in sem.results.iter().zip(&slf.results) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn stats_count_stages_exactly() {
+        // One 8×8 frame: one 8-BSN, two 4-BSNs, four final switches.
+        let engine = Engine::with_config(8, EngineConfig::sequential()).unwrap();
+        let (result, stats) = engine.route_one(&paper_assignment());
+        result.unwrap();
+        assert_eq!(stats.stages.levels.len(), 2);
+        assert_eq!(stats.stages.levels[0].blocks, 1);
+        assert_eq!(stats.stages.levels[1].blocks, 2);
+        assert_eq!(stats.stages.final_switches, 4);
+        // Settings: 8·3 (level 1) + 2·(4·2) (level 2) + 4 (final) = 44.
+        assert_eq!(stats.stages.switch_settings, 44);
+        assert_eq!(stats.stages.sweep_passes, 3 * SWEEPS_PER_BSN);
+        assert_eq!(stats.batch, 1);
+        assert_eq!(stats.workers, 1);
+    }
+
+    #[test]
+    fn stats_serialize_to_json_and_back() {
+        let engine = Engine::with_config(8, EngineConfig::sequential()).unwrap();
+        let (_, stats) = engine.route_one(&paper_assignment());
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: EngineStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+        assert!(json.contains("switch_settings"));
+    }
+
+    #[test]
+    fn frame_errors_are_reported_in_place() {
+        // Frame 1 of 3 is fine; an engine over n=8 rejects an n=4 frame via
+        // the assert, so instead build a frame that fails in routing: a
+        // hand-built conflict is impossible from MulticastAssignment, so
+        // check the all-ok path plus per-frame counters only.
+        let engine = Engine::with_config(8, EngineConfig::batch(2)).unwrap();
+        let out = engine.route_batch(&vec![paper_assignment(); 3]);
+        assert_eq!(out.stats.frames_ok, 3);
+        assert_eq!(out.stats.frames_failed, 0);
+    }
+
+    #[test]
+    fn parallel_halves_match_sequential_at_n64() {
+        let n = 64;
+        let mut sets = vec![Vec::new(); n];
+        sets[0] = (0..n).collect(); // full broadcast exercises every split
+        sets[1] = vec![]; // idle
+        let asg = MulticastAssignment::from_sets(n, sets).unwrap();
+        let seq = Engine::with_config(n, EngineConfig::sequential()).unwrap();
+        let par = Engine::with_config(n, EngineConfig::single_frame(4)).unwrap();
+        let (a, _) = seq.route_one(&asg);
+        let (b, _) = par.route_one(&asg);
+        assert_eq!(a.unwrap(), b.unwrap());
+    }
+}

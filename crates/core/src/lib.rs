@@ -39,12 +39,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod algebra;
 pub mod assignment;
 pub mod brsmn;
 pub mod bsn;
+pub mod engine;
 pub mod error;
 pub mod feedback;
 pub mod metrics;
@@ -57,6 +58,7 @@ pub use algebra::{idle_outputs, relabel_inputs, relabel_outputs, restrict, union
 pub use assignment::{AssignmentError, MulticastAssignment, RoutingResult};
 pub use brsmn::{Brsmn, LevelTrace, RouteTrace};
 pub use bsn::{Bsn, BsnTrace};
+pub use engine::{BatchOutput, Engine, EngineConfig, EngineStats, LevelStats, StageTimer};
 pub use error::CoreError;
 pub use feedback::{FeedbackBrsmn, FeedbackStats};
 pub use payload::{RoutePayload, SelfRoutedMsg, SemanticMsg};

@@ -12,6 +12,28 @@
 //! BSN and (b) forward the even-indexed remainder to the upper subnetwork and
 //! the odd-indexed remainder to the lower one — using only a constant number
 //! of buffers per input (Fig. 10).
+//!
+//! # Example: the `SEQ` format end to end
+//!
+//! ```
+//! use brsmn_core::tags::{seq_for_dests, TagTree};
+//!
+//! // Fig. 9: the multicast {3, 4, 7} on an 8×8 network.
+//! let seq = seq_for_dests(8, &[3, 4, 7]).unwrap();
+//! assert_eq!(seq.to_string(), "α1αε011");   // n − 1 = 7 tags
+//! assert_eq!(seq.len(), 7);
+//! assert_eq!(seq.head().to_string(), "α");  // both halves → split
+//!
+//! // A splitting switch hands the even-indexed remainder to the upper
+//! // subnetwork and the odd-indexed remainder to the lower one (Fig. 10).
+//! let (upper, lower) = seq.split();
+//! assert_eq!(upper.to_string(), "1ε1");
+//! assert_eq!(lower.to_string(), "α01");
+//!
+//! // The stream decodes back to the destination set it encodes.
+//! assert_eq!(seq.decode(0), vec![3, 4, 7]);
+//! assert_eq!(TagTree::from_dests(8, &[3, 4, 7]).unwrap().to_seq(), seq);
+//! ```
 
 use brsmn_switch::Tag;
 use brsmn_topology::{check_size, log2_exact, SizeError};

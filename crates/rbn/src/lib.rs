@@ -36,11 +36,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod distributed;
 pub mod fabric;
 pub mod network;
+pub mod par;
 pub mod plan;
 pub mod sequence;
 pub mod setting;

@@ -46,7 +46,10 @@ pub mod transfer;
 pub use adder::{add_arrivals, adder_tree_latency, leaf_arrivals};
 pub use circuits::{count_tree, run_count_tree, serial_add, serial_adder, tag_counter};
 pub use gates::{GateKind, Netlist};
-pub use pipeline::{makespan_closed_form, simulate_pipeline, PipelineStats};
+pub use pipeline::{
+    makespan_closed_form, simulate_pipeline, simulate_replicated_pipeline, ParallelPipelineStats,
+    PipelineStats,
+};
 pub use router::{bitsort_router, run_bitsort_router, BitsortRouter};
 pub use eps_hw::{eps_divider, run_eps_divider, EpsDivider};
 pub use scatter_hw::{run_scatter_forward, scatter_forward_tree};

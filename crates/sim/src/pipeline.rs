@@ -72,6 +72,48 @@ pub fn simulate_pipeline(n: usize, k: u64) -> PipelineStats {
     }
 }
 
+/// Pipelined-schedule figures for a batch spread over several replicated
+/// fabrics (the hardware analogue of the software engine's worker pool in
+/// `brsmn-core::engine`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelPipelineStats {
+    /// Independent BRSMN copies frames were spread over.
+    pub fabrics: u64,
+    /// Assignments scheduled across all fabrics.
+    pub assignments: u64,
+    /// Gate delays until the most-loaded fabric drains.
+    pub makespan: u64,
+    /// Makespan of the same batch on a single fabric.
+    pub single_fabric_makespan: u64,
+}
+
+impl ParallelPipelineStats {
+    /// Modeled speedup over a single pipelined fabric. Saturates below the
+    /// fabric count because each fabric still pays the fill latency.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan == 0 {
+            1.0
+        } else {
+            self.single_fabric_makespan as f64 / self.makespan as f64
+        }
+    }
+}
+
+/// Models `k` assignments spread round-robin over `fabrics` independent
+/// pipelined BRSMNs — the hardware counterpart of frame-level parallelism
+/// in the batched software engine. The makespan is set by the most-loaded
+/// fabric, i.e. one carrying `⌈k / fabrics⌉` assignments.
+pub fn simulate_replicated_pipeline(n: usize, k: u64, fabrics: u64) -> ParallelPipelineStats {
+    let fabrics = fabrics.max(1);
+    let heaviest = k.div_ceil(fabrics);
+    ParallelPipelineStats {
+        fabrics,
+        assignments: k,
+        makespan: simulate_pipeline(n, heaviest).makespan,
+        single_fabric_makespan: simulate_pipeline(n, k).makespan,
+    }
+}
+
 /// The closed-form makespan the pipeline achieves:
 /// `latency + (k−1)·interval` (valid because level times are monotonically
 /// non-increasing along the pipeline, so the first level is the bottleneck
@@ -142,5 +184,31 @@ mod tests {
     #[test]
     fn zero_assignments() {
         assert_eq!(makespan_closed_form(64, 0), 0);
+    }
+
+    #[test]
+    fn replicated_single_fabric_is_identity() {
+        let s = simulate_replicated_pipeline(64, 40, 1);
+        assert_eq!(s.makespan, simulate_pipeline(64, 40).makespan);
+        assert!((s.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replicated_fabrics_split_the_load() {
+        let s = simulate_replicated_pipeline(64, 64, 4);
+        // Most-loaded fabric carries 16 frames.
+        assert_eq!(s.makespan, simulate_pipeline(64, 16).makespan);
+        let speedup = s.speedup();
+        assert!(speedup > 2.0, "speedup {speedup:.2}");
+        assert!(speedup <= 4.0, "speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn replicated_speedup_grows_with_batch() {
+        // Fill latency amortizes: bigger batches approach the fabric count.
+        let small = simulate_replicated_pipeline(256, 16, 4).speedup();
+        let large = simulate_replicated_pipeline(256, 4096, 4).speedup();
+        assert!(large > small);
+        assert!(large > 3.5, "large-batch speedup {large:.2}");
     }
 }
