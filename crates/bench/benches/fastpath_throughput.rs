@@ -1,0 +1,46 @@
+//! Criterion bench for the zero-allocation routing fast path: the same
+//! dense 64-frame batch routed by the scratch-arena path
+//! (`Brsmn::route_into`, buffers reused across frames) and by the PR-1
+//! allocating reference router, at n ∈ {64, 256, 1024}.
+//!
+//! The recorded trajectory lives in `BENCH_route.json` (regenerate with
+//! `cargo run --release -p brsmn-bench --bin bench_report`); the
+//! acceptance bar is fast ≥ 2× reference frames/s at n = 256 sequential.
+
+use brsmn_bench::dense_batch;
+use brsmn_core::{Brsmn, RouteScratch};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const FRAMES: usize = 64;
+
+fn bench_fast_vs_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fastpath_throughput");
+    for n in [64usize, 256, 1024] {
+        let batch = dense_batch(n, FRAMES, 7);
+        let net = Brsmn::new(n).unwrap();
+        group.throughput(Throughput::Elements(FRAMES as u64));
+
+        let mut scratch = RouteScratch::new(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("fast", n), &batch, |b, batch| {
+            b.iter(|| {
+                for asg in batch {
+                    net.route_into(black_box(asg), &mut scratch).unwrap();
+                    black_box(scratch.output_sources().flatten().count());
+                }
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("reference", n), &batch, |b, batch| {
+            b.iter(|| {
+                for asg in batch {
+                    black_box(net.route_reference(black_box(asg)).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast_vs_reference);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! `bench_report` — records the fast-path bench trajectory as
+//! `BENCH_route.json`: frames/s and ns/frame for the scratch-arena fast
+//! path and the PR-1 allocating reference path at n ∈ {64, 256, 1024},
+//! sequential and on 4 workers, over dense 64-frame batches.
+//!
+//! ```text
+//! cargo run --release -p brsmn-bench --bin bench_report             # writes ./BENCH_route.json
+//! cargo run --release -p brsmn-bench --bin bench_report out.json 5  # path + repeats
+//! ```
+//!
+//! The headline number — the acceptance bar of the fast-path PR — is
+//! `speedup_fast_vs_reference_seq_n256`: fast ≥ 2× reference frames/s at
+//! n = 256, batch 64, sequential.
+
+use brsmn_bench::{measure_route_path, RoutePoint};
+use serde::{Deserialize, Serialize};
+
+const FRAMES: usize = 64;
+const SEED: u64 = 7;
+
+/// The recorded trajectory (`BENCH_route.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RouteBenchReport {
+    /// Frames per batch.
+    batch: usize,
+    /// Workload seed.
+    seed: u64,
+    /// Best-of-N repeats per point.
+    repeats: usize,
+    /// One measurement per (n, workers, path).
+    points: Vec<RoutePoint>,
+    /// Fast over reference frames/s at n = 256, sequential — the PR's
+    /// acceptance headline.
+    speedup_fast_vs_reference_seq_n256: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("BENCH_route.json");
+    let repeats: usize = args.get(1).map_or(5, |s| s.parse().expect("repeats"));
+
+    let mut points = Vec::new();
+    let mut seq_fast_n256 = 0.0f64;
+    let mut seq_ref_n256 = 0.0f64;
+    for n in [64usize, 256, 1024] {
+        for workers in [1usize, 4] {
+            for use_scratch in [true, false] {
+                let p = measure_route_path(n, FRAMES, SEED, workers, use_scratch, repeats);
+                eprintln!(
+                    "n={:5} workers={} path={:9}: {:>12.0} frames/s, {:>10.0} ns/frame",
+                    p.n, p.workers, p.path, p.frames_per_sec, p.ns_per_frame
+                );
+                if n == 256 && workers == 1 {
+                    if use_scratch {
+                        seq_fast_n256 = p.frames_per_sec;
+                    } else {
+                        seq_ref_n256 = p.frames_per_sec;
+                    }
+                }
+                points.push(p);
+            }
+        }
+    }
+
+    let speedup = if seq_ref_n256 > 0.0 {
+        seq_fast_n256 / seq_ref_n256
+    } else {
+        0.0
+    };
+    let report = RouteBenchReport {
+        batch: FRAMES,
+        seed: SEED,
+        repeats,
+        points,
+        speedup_fast_vs_reference_seq_n256: speedup,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(out_path, format!("{json}\n")).expect("write report");
+    eprintln!("wrote {out_path}: fast/reference at n=256 sequential = {speedup:.2}x");
+}

@@ -217,6 +217,69 @@ pub fn parallel_sweep(n: usize, frames: usize, seed: u64, worker_counts: &[usize
     }
 }
 
+/// One measured configuration of the fast-path bench trajectory
+/// (`bench_report` / `BENCH_route.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutePoint {
+    /// Network size.
+    pub n: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// `"fast"` (scratch-arena path) or `"reference"` (PR-1 allocating
+    /// path).
+    pub path: String,
+    /// Frames per second of wall time (best of the repeats).
+    pub frames_per_sec: f64,
+    /// Nanoseconds per frame (best of the repeats).
+    pub ns_per_frame: f64,
+    /// Largest per-worker scratch footprint observed, bytes (0 on the
+    /// reference path).
+    pub scratch_bytes: u64,
+}
+
+/// Routes `repeats` batches of `frames` dense frames through an engine and
+/// returns the best-run measurement. `use_scratch = false` selects the PR-1
+/// allocating reference router; results are asserted identical either way.
+pub fn measure_route_path(
+    n: usize,
+    frames: usize,
+    seed: u64,
+    workers: usize,
+    use_scratch: bool,
+    repeats: usize,
+) -> RoutePoint {
+    let batch = dense_batch(n, frames, seed);
+    let cfg = if use_scratch {
+        EngineConfig::batch(workers)
+    } else {
+        EngineConfig::batch(workers).without_scratch()
+    };
+    let engine = Engine::with_config(n, cfg).expect("valid size");
+    let mut best: Option<EngineStats> = None;
+    for _ in 0..repeats.max(1) {
+        let out = engine.route_batch(&batch);
+        assert!(
+            out.results.iter().all(|r| r.is_ok()),
+            "dense workload routes"
+        );
+        if best
+            .as_ref()
+            .is_none_or(|b| out.stats.wall_nanos < b.wall_nanos)
+        {
+            best = Some(out.stats);
+        }
+    }
+    let stats = best.expect("at least one repeat");
+    RoutePoint {
+        n,
+        workers: stats.workers,
+        path: if use_scratch { "fast" } else { "reference" }.into(),
+        frames_per_sec: stats.frames_per_sec(),
+        ns_per_frame: stats.wall_nanos as f64 / frames as f64,
+        scratch_bytes: stats.scratch_bytes,
+    }
+}
+
 /// Renders rows of `(label, values…)` as a GitHub-flavored markdown table.
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();

@@ -1,0 +1,90 @@
+//! Pins the zero-allocation invariant of the routing fast path: after one
+//! warm-up frame at a given size, `Brsmn::route_into` performs **zero** heap
+//! allocations per frame, measured by a counting global allocator.
+//!
+//! Gated behind the `alloc-count` feature because a global allocator is
+//! process-wide state no other test should inherit:
+//!
+//! ```text
+//! cargo test -q -p brsmn-bench --features alloc-count --test alloc_count
+//! ```
+#![cfg(feature = "alloc-count")]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use brsmn_bench::dense_batch;
+use brsmn_core::{Brsmn, RouteScratch};
+
+/// Wraps the system allocator, counting every allocation and reallocation.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn fast_path_steady_state_allocates_nothing() {
+    let n = 256;
+    let net = Brsmn::new(n).unwrap();
+    let batch = dense_batch(n, 8, 3);
+    let mut scratch = RouteScratch::new(n).unwrap();
+
+    // Warm up: the arena takes its one-time allocations for this size, and
+    // every frame shape in the batch is exercised once.
+    for asg in &batch {
+        net.route_into(asg, &mut scratch).unwrap();
+    }
+
+    // Steady state: many frames, zero heap traffic — reading the delivery
+    // out of the arena included.
+    let mut delivered = 0usize;
+    let before = allocs();
+    for _ in 0..10 {
+        for asg in &batch {
+            net.route_into(asg, &mut scratch).unwrap();
+            delivered += scratch.output_sources().flatten().count();
+        }
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "fast path allocated in steady state at n={n}"
+    );
+    assert!(delivered > 0, "workload delivered nothing");
+}
+
+#[test]
+fn reference_path_allocates_per_frame() {
+    // Sanity check that the counter works at all: the PR-1 reference router
+    // allocates heavily on every frame.
+    let n = 64;
+    let net = Brsmn::new(n).unwrap();
+    let asg = &dense_batch(n, 1, 5)[0];
+    net.route_reference(asg).unwrap();
+    let before = allocs();
+    net.route_reference(asg).unwrap();
+    assert!(allocs() > before, "counting allocator saw no allocations");
+}

@@ -45,7 +45,7 @@ fn usage() -> &'static str {
        gen    --n N --workload W [--seed S]            print a JSON assignment\n\
        route  (--file F | --n N --workload W [--seed S])\n\
               [--engine E] [--trace]                    route an assignment\n\
-       route  --parallel [--batch B] [--workers K] [--fork-depth D] [--stats]\n\
+       route  --parallel [--batch B] [--workers K] [--fork-depth D] [--no-scratch] [--stats]\n\
               batched multi-threaded routing; --stats prints EngineStats JSON\n\
        info   --n N                                     cost/depth/time sheet\n\
        seq    --n N --dests A,B,C                       routing-tag sequence\n\
@@ -216,6 +216,9 @@ fn cmd_route_parallel(args: &Args) -> Result<(), String> {
         workers,
         parallel_halves: fork_depth > 0,
         fork_depth,
+        // --no-scratch: escape hatch back to the PR-1 allocating reference
+        // router (results are bit-identical; only speed differs).
+        use_scratch: !args.flag("no-scratch"),
     };
     let engine = Engine::with_config(n, cfg).map_err(|e| e.to_string())?;
     let engine_name = args.get("engine").unwrap_or("semantic");

@@ -15,10 +15,13 @@
 use crate::assignment::{MulticastAssignment, RoutingResult};
 use crate::bsn::{Bsn, BsnTrace};
 use crate::error::CoreError;
+use crate::fastpath::{self, with_thread_scratch, RouteScratch};
 use crate::payload::{RoutePayload, SelfRoutedMsg, SemanticMsg};
+use brsmn_rbn::RbnWiring;
 use brsmn_switch::{Line, SwitchSetting, Tag};
 use brsmn_topology::{check_size, log2_exact};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Per-level trace of a routed assignment (drives the Fig. 2 / Fig. 4b
 /// reproductions).
@@ -47,7 +50,7 @@ pub struct RouteTrace {
 }
 
 impl RouteTrace {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         let m = log2_exact(n) as usize;
         RouteTrace {
             n,
@@ -65,10 +68,15 @@ impl RouteTrace {
 }
 
 /// The `n × n` binary radix sorting multicast network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Construction precomputes the shuffle/exchange wiring of every level once
+/// (shared via [`Arc`], so cloning a network for worker threads is cheap);
+/// routing then never re-derives stage geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Brsmn {
     n: usize,
     m: usize,
+    wiring: Arc<RbnWiring>,
 }
 
 impl Brsmn {
@@ -78,6 +86,7 @@ impl Brsmn {
         Ok(Brsmn {
             n,
             m: log2_exact(n) as usize,
+            wiring: Arc::new(RbnWiring::new(n)),
         })
     }
 
@@ -91,14 +100,71 @@ impl Brsmn {
         self.m
     }
 
-    /// Routes `asg` with the semantic engine (the correctness reference).
+    /// The precomputed per-level shuffle/exchange wiring (a BSN at level `i`
+    /// uses stages `[0, log2 size)` of this table over its block's switch
+    /// index range).
+    pub fn wiring(&self) -> &RbnWiring {
+        &self.wiring
+    }
+
+    /// Routes `asg` with the semantic engine on the zero-allocation fast
+    /// path, using this thread's scratch arena. Bit-identical to
+    /// [`Brsmn::route_reference`] (the property tests in
+    /// `tests/fastpath_equivalence.rs` pin this).
     pub fn route(&self, asg: &MulticastAssignment) -> Result<RoutingResult, CoreError> {
+        with_thread_scratch(self.n, |s| self.route_buffered(asg, s))
+    }
+
+    /// Routes `asg` on the fast path, returning a full per-level trace.
+    pub fn route_traced(
+        &self,
+        asg: &MulticastAssignment,
+    ) -> Result<(RoutingResult, RouteTrace), CoreError> {
+        let mut trace = RouteTrace::new(self.n);
+        let r = with_thread_scratch(self.n, |s| {
+            fastpath::route_assignment_fast_buffered(
+                self.n,
+                &self.wiring,
+                asg,
+                s,
+                Some(&mut trace),
+                None,
+            )
+        })?;
+        Ok((r, trace))
+    }
+
+    /// Routes `asg` into a caller-provided arena with zero steady-state heap
+    /// allocation (after the arena's one-time warm-up at this size). Read
+    /// the delivery via [`RouteScratch::output_sources`].
+    pub fn route_into(
+        &self,
+        asg: &MulticastAssignment,
+        scratch: &mut RouteScratch,
+    ) -> Result<(), CoreError> {
+        fastpath::route_assignment_fast(self.n, &self.wiring, asg, scratch, None, None)
+    }
+
+    /// [`Brsmn::route_into`] plus collecting the delivery into a fresh
+    /// [`RoutingResult`] (exactly one allocation per call).
+    pub fn route_buffered(
+        &self,
+        asg: &MulticastAssignment,
+        scratch: &mut RouteScratch,
+    ) -> Result<RoutingResult, CoreError> {
+        fastpath::route_assignment_fast_buffered(self.n, &self.wiring, asg, scratch, None, None)
+    }
+
+    /// Routes `asg` with the PR-1 allocating reference engine (recursive,
+    /// payload-splitting, array planners). Kept verbatim as the oracle for
+    /// the fast path and as the engine's `--no-scratch` escape hatch.
+    pub fn route_reference(&self, asg: &MulticastAssignment) -> Result<RoutingResult, CoreError> {
         self.route_semantic_inner(asg, None).map(|(r, _)| r)
     }
 
-    /// Routes `asg` with the semantic engine, returning a full per-level
+    /// Routes `asg` with the reference engine, returning a full per-level
     /// trace.
-    pub fn route_traced(
+    pub fn route_reference_traced(
         &self,
         asg: &MulticastAssignment,
     ) -> Result<(RoutingResult, RouteTrace), CoreError> {
@@ -135,7 +201,7 @@ impl Brsmn {
     fn route_semantic_inner(
         &self,
         asg: &MulticastAssignment,
-        trace: Option<&mut RouteTrace>,
+        mut trace: Option<&mut RouteTrace>,
     ) -> Result<(RoutingResult, ()), CoreError> {
         assert_eq!(asg.n(), self.n, "assignment size mismatch");
         let lines: Vec<Line<SemanticMsg>> = (0..self.n)
@@ -151,17 +217,75 @@ impl Brsmn {
                 }
             })
             .collect();
-        let out = self.route_lines(lines, trace)?;
+        let out = route_block(lines, 0, 1, &mut trace)?;
         Ok((self.extract(out)?, ()))
     }
 
     /// Routes pre-built lines (exposed for the workload and timing crates).
+    /// Thin wrapper over [`Brsmn::route_lines_into`] using this thread's
+    /// scratch arena.
     pub fn route_lines<P: RoutePayload>(
         &self,
-        lines: Vec<Line<P>>,
+        mut lines: Vec<Line<P>>,
         mut trace: Option<&mut RouteTrace>,
     ) -> Result<Vec<Line<P>>, CoreError> {
-        route_block(lines, 0, 1, &mut trace)
+        with_thread_scratch(self.n, |s| {
+            self.route_lines_into(&mut lines, s, trace.as_deref_mut())
+        })?;
+        Ok(lines)
+    }
+
+    /// Routes pre-built lines in place, planning every BSN with the arena's
+    /// packed scratch and the precomputed wiring. The only allocations are
+    /// the payloads' own [`RoutePayload::split`]/[`RoutePayload::descend`]
+    /// work (none for tag-only payloads) and, when tracing, the trace
+    /// snapshots.
+    pub fn route_lines_into<P: RoutePayload>(
+        &self,
+        lines: &mut [Line<P>],
+        scratch: &mut RouteScratch,
+        mut trace: Option<&mut RouteTrace>,
+    ) -> Result<(), CoreError> {
+        assert_eq!(lines.len(), self.n, "line count mismatch");
+        scratch.ensure(self.n);
+        let (sweep, settings) = scratch.planner_parts();
+
+        // Levels 1 … m−1: BSNs of halving size, blocks left to right (the
+        // order the reference's depth-first recursion fills trace levels).
+        let mut size = self.n;
+        let mut level = 1usize;
+        while size > 2 {
+            let bsn = Bsn::new(size)?;
+            for b in 0..self.n / size {
+                let base = b * size;
+                let mut bt = trace.as_ref().map(|_| BsnTrace {
+                    input_tags: Vec::new(),
+                    after_scatter: Vec::new(),
+                    output_tags: Vec::new(),
+                });
+                bsn.route_into(lines, base, base, sweep, settings, &self.wiring, bt.as_mut())?;
+                if let (Some(t), Some(bt)) = (trace.as_deref_mut(), bt) {
+                    t.levels[level - 1].blocks.push(bt);
+                }
+                // Hand each message to its half (consumes one SEQ tag in the
+                // self-routing engine).
+                for line in lines[base..base + size].iter_mut() {
+                    if line.tag != Tag::Eps {
+                        let branch = line.tag;
+                        let payload = line.payload.take().expect("tagged line has a payload");
+                        line.payload = Some(payload.descend(branch, base, size));
+                    }
+                }
+            }
+            size /= 2;
+            level += 1;
+        }
+
+        // Final level: n/2 plain 2×2 switches.
+        for lo in (0..self.n).step_by(2) {
+            final_switch_into(lines, lo, &mut trace)?;
+        }
+        Ok(())
     }
 
     /// Collapses output lines into a [`RoutingResult`], verifying delivery.
@@ -206,7 +330,7 @@ fn route_block<P: RoutePayload>(
     }
 
     let bsn = Bsn::new(size)?;
-    let (mut out, bsn_trace) = bsn.route(lines, lo)?;
+    let (mut out, bsn_trace) = bsn.route_reference(lines, lo)?;
     if let Some(t) = trace {
         t.levels[level - 1].blocks.push(bsn_trace);
     }
@@ -278,6 +402,51 @@ pub(crate) fn final_switch<P: RoutePayload>(
         }
     };
     Ok(vec![out.0, out.1])
+}
+
+/// In-place variant of [`final_switch`] over `lines[lo]` / `lines[lo + 1]`:
+/// identical setting table, errors and trace writes, no buffer churn.
+fn final_switch_into<P: RoutePayload>(
+    lines: &mut [Line<P>],
+    lo: usize,
+    trace: &mut Option<&mut RouteTrace>,
+) -> Result<(), CoreError> {
+    use SwitchSetting::*;
+    for line in lines[lo..lo + 2].iter_mut() {
+        line.tag = match &line.payload {
+            Some(p) => p.entry_tag(lo, 2),
+            None => Tag::Eps,
+        };
+    }
+    let (tu, tl) = (lines[lo].tag, lines[lo + 1].tag);
+    let setting = match (tu, tl) {
+        (Tag::Alpha, Tag::Eps) => UpperBroadcast,
+        (Tag::Eps, Tag::Alpha) => LowerBroadcast,
+        (Tag::Alpha, _) | (_, Tag::Alpha) => {
+            return Err(CoreError::OutputConflict { output: lo });
+        }
+        (Tag::Zero, Tag::Zero) => return Err(CoreError::OutputConflict { output: lo }),
+        (Tag::One, Tag::One) => return Err(CoreError::OutputConflict { output: lo + 1 }),
+        (Tag::Zero, _) | (Tag::Eps, Tag::One) | (Tag::Eps, Tag::Eps) => Parallel,
+        (Tag::One, _) | (Tag::Eps, Tag::Zero) => Crossing,
+    };
+    if let Some(t) = trace {
+        t.final_tags[lo] = tu;
+        t.final_tags[lo + 1] = tl;
+        t.final_settings[lo / 2] = setting;
+    }
+    match setting {
+        Parallel => {}
+        Crossing => lines.swap(lo, lo + 1),
+        UpperBroadcast | LowerBroadcast => {
+            let alpha = if setting == UpperBroadcast { lo } else { lo + 1 };
+            let p = lines[alpha].payload.take().expect("α line has a payload");
+            let (p0, p1) = p.split(lo, 2);
+            lines[lo] = Line::with(Tag::Zero, p0);
+            lines[lo + 1] = Line::with(Tag::One, p1);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

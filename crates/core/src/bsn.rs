@@ -10,7 +10,8 @@
 
 use crate::error::CoreError;
 use crate::payload::RoutePayload;
-use brsmn_rbn::{plan_quasisort, plan_scatter};
+use brsmn_rbn::bitplan::SweepScratch;
+use brsmn_rbn::{plan_quasisort, plan_scatter, RbnSettings, RbnWiring};
 use brsmn_switch::tag::TagCounts;
 use brsmn_switch::{Line, Tag};
 use brsmn_topology::check_size;
@@ -58,7 +59,122 @@ impl Bsn {
     /// in `{1, ε}`; `α` payloads have been split via
     /// [`RoutePayload::split`]; **no** [`RoutePayload::descend`] has happened
     /// yet (the BRSMN engine descends when handing lines to the next level).
+    ///
+    /// Thin wrapper over [`Bsn::route_into`] that allocates fresh planner
+    /// scratch per call; the engines thread a reused
+    /// [`RouteScratch`](crate::fastpath::RouteScratch) instead.
     pub fn route<P: RoutePayload>(
+        &self,
+        mut lines: Vec<Line<P>>,
+        lo: usize,
+    ) -> Result<(Vec<Line<P>>, BsnTrace), CoreError> {
+        let mut sweep = SweepScratch::new();
+        let mut settings = RbnSettings::identity(self.n);
+        let wiring = RbnWiring::new(self.n);
+        let mut trace = BsnTrace {
+            input_tags: Vec::new(),
+            after_scatter: Vec::new(),
+            output_tags: Vec::new(),
+        };
+        self.route_into(
+            &mut lines,
+            0,
+            lo,
+            &mut sweep,
+            &mut settings,
+            &wiring,
+            Some(&mut trace),
+        )?;
+        Ok((lines, trace))
+    }
+
+    /// Routes the block of lines `[base, base + n)` in place, planning both
+    /// sweeps with the caller's packed scratch and writing settings into the
+    /// caller's table at block offset `base` — no heap allocation beyond
+    /// whatever [`RoutePayload::split`] itself performs.
+    ///
+    /// `base` addresses the block inside `lines`/`settings`/`wiring`; `lo` is
+    /// the absolute output address of the block's first output (they coincide
+    /// inside a BRSMN). When `trace` is provided, its vectors are refilled
+    /// with the three tag snapshots.
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_into<P: RoutePayload>(
+        &self,
+        lines: &mut [Line<P>],
+        base: usize,
+        lo: usize,
+        sweep: &mut SweepScratch,
+        settings: &mut RbnSettings,
+        wiring: &RbnWiring,
+        mut trace: Option<&mut BsnTrace>,
+    ) -> Result<(), CoreError> {
+        let n = self.n;
+        for line in lines[base..base + n].iter_mut() {
+            line.tag = match &line.payload {
+                Some(p) => p.entry_tag(lo, n),
+                None => Tag::Eps,
+            };
+        }
+        sweep.set_tags(n, |i| lines[base + i].tag);
+
+        // Eq. (2): a realizable load never requests more than n/2 outputs
+        // per half.
+        let counts = sweep.counts();
+        if !counts.satisfies_bsn_input_constraints() {
+            return Err(CoreError::HalfCapacityExceeded {
+                n,
+                n0: counts.n0,
+                n1: counts.n1,
+                na: counts.na,
+            });
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t.input_tags.clear();
+            t.input_tags.extend(lines[base..base + n].iter().map(|l| l.tag));
+        }
+
+        // Scatter network: eliminate αs (Theorem 2; nα ≤ nε by Eq. 3).
+        let mut split = |p: P| p.split(lo, n);
+        sweep.plan_scatter(0, base, settings);
+        settings.run_block_wired(lines, base, n, wiring, &mut split)?;
+        if let Some(t) = trace.as_deref_mut() {
+            t.after_scatter.clear();
+            t.after_scatter
+                .extend(lines[base..base + n].iter().map(|l| l.tag));
+        }
+
+        // Quasisorting network: ε-divide then bit-sort (only unicast
+        // settings, so the splitter is never invoked).
+        sweep.set_tags(n, |i| lines[base + i].tag);
+        sweep.plan_quasisort(base, settings)?;
+        settings.run_block_wired(lines, base, n, wiring, &mut split)?;
+
+        // Eq. (4) postconditions, cheap enough to keep on in release builds.
+        for (pos, line) in lines[base..base + n].iter().enumerate() {
+            let t = line.tag;
+            let ok = if pos < n / 2 {
+                t != Tag::One && t != Tag::Alpha
+            } else {
+                t != Tag::Zero && t != Tag::Alpha
+            };
+            if !ok {
+                return Err(CoreError::Internal(format!(
+                    "BSN postcondition violated: tag {t} at output {pos} of {n}"
+                )));
+            }
+        }
+        if let Some(t) = trace {
+            t.output_tags.clear();
+            t.output_tags
+                .extend(lines[base..base + n].iter().map(|l| l.tag));
+        }
+        Ok(())
+    }
+
+    /// The PR-1 array-planner implementation, kept verbatim as the oracle the
+    /// equivalence tests (and the engine's `--no-scratch` escape hatch)
+    /// compare against.
+    pub fn route_reference<P: RoutePayload>(
         &self,
         mut lines: Vec<Line<P>>,
         lo: usize,

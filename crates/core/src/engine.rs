@@ -75,6 +75,11 @@ pub struct EngineConfig {
     /// Levels of the recursion allowed to fork when `parallel_halves` is on
     /// (depth `d` forks at most `2^d − 1` extra threads per frame).
     pub fork_depth: usize,
+    /// Route semantic batches on the zero-allocation fast path, each worker
+    /// reusing a thread-local [`crate::fastpath::RouteScratch`]. Off
+    /// (`--no-scratch` in the CLI) falls back to the PR-1 allocating
+    /// reference router; results are bit-identical either way.
+    pub use_scratch: bool,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +98,7 @@ impl EngineConfig {
             workers,
             parallel_halves: false,
             fork_depth: 0,
+            use_scratch: true,
         }
     }
 
@@ -104,6 +110,7 @@ impl EngineConfig {
             workers: 1,
             parallel_halves: false,
             fork_depth: 0,
+            use_scratch: true,
         }
     }
 
@@ -114,7 +121,15 @@ impl EngineConfig {
             workers: 1,
             parallel_halves: true,
             fork_depth,
+            use_scratch: true,
         }
+    }
+
+    /// Disables the scratch-arena fast path (see
+    /// [`EngineConfig::use_scratch`]).
+    pub fn without_scratch(mut self) -> Self {
+        self.use_scratch = false;
+        self
     }
 }
 
@@ -214,6 +229,13 @@ pub struct EngineStats {
     /// Sum of per-frame route times, nanoseconds. `busy_nanos / wall_nanos`
     /// approximates the achieved parallel speedup.
     pub busy_nanos: u64,
+    /// Frames routed on the zero-allocation fast path (0 when
+    /// [`EngineConfig::use_scratch`] is off or the model forces the
+    /// reference router).
+    pub fastpath_frames: u64,
+    /// Largest per-worker scratch-arena footprint observed, bytes (0 on the
+    /// reference path).
+    pub scratch_bytes: u64,
 }
 
 impl EngineStats {
@@ -247,7 +269,7 @@ pub struct BatchOutput {
 }
 
 /// The batched, multi-threaded BRSMN routing engine.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Engine {
     net: Brsmn,
     cfg: EngineConfig,
@@ -280,11 +302,79 @@ impl Engine {
     /// Routes a batch of frames with the **semantic** message model.
     ///
     /// Results come back in input order and are bit-identical to calling
-    /// [`Brsmn::route`] on each frame sequentially.
+    /// [`Brsmn::route`] on each frame sequentially. With
+    /// [`EngineConfig::use_scratch`] on (the default) and no intra-frame
+    /// forking, frames run on the zero-allocation fast path, each worker
+    /// reusing its thread-local arena.
     pub fn route_batch(&self, batch: &[MulticastAssignment]) -> BatchOutput {
-        self.route_batch_with(batch, |_n, src, dests| {
-            SemanticMsg::new(src, dests.to_vec())
-        })
+        if self.cfg.use_scratch && !self.cfg.parallel_halves {
+            self.route_batch_fast(batch)
+        } else {
+            self.route_batch_with(batch, |_n, src, dests| {
+                SemanticMsg::new(src, dests.to_vec())
+            })
+        }
+    }
+
+    /// The fast-path batch driver: one thread-local [`RouteScratch`] per
+    /// worker, zero heap allocation per frame after warm-up (one `Vec` per
+    /// result aside).
+    fn route_batch_fast(&self, batch: &[MulticastAssignment]) -> BatchOutput {
+        use crate::fastpath::{route_assignment_fast_buffered, with_thread_scratch};
+        let n = self.net.n();
+        let workers = par::effective_workers(self.cfg.workers).min(batch.len().max(1));
+
+        let wall_start = Instant::now();
+        let frames = par::par_map(batch, workers, |_idx, asg| {
+            let frame_start = Instant::now();
+            let mut timer = StageTimer::new();
+            let (result, bytes) = with_thread_scratch(n, |scratch| {
+                let r = route_assignment_fast_buffered(
+                    n,
+                    self.net.wiring(),
+                    asg,
+                    scratch,
+                    None,
+                    Some(&mut timer),
+                );
+                (r, scratch.footprint_bytes() as u64)
+            });
+            (result, timer, frame_start.elapsed().as_nanos() as u64, bytes)
+        });
+        let wall_nanos = wall_start.elapsed().as_nanos() as u64;
+
+        let mut stages = StageTimer::new();
+        let mut busy_nanos = 0u64;
+        let mut scratch_bytes = 0u64;
+        let mut results = Vec::with_capacity(frames.len());
+        let (mut frames_ok, mut frames_failed) = (0usize, 0usize);
+        for (result, timer, frame_nanos, bytes) in frames {
+            stages.merge(&timer);
+            busy_nanos += frame_nanos;
+            scratch_bytes = scratch_bytes.max(bytes);
+            match &result {
+                Ok(_) => frames_ok += 1,
+                Err(_) => frames_failed += 1,
+            }
+            results.push(result);
+        }
+
+        BatchOutput {
+            results,
+            stats: EngineStats {
+                n,
+                batch: batch.len(),
+                workers,
+                parallel_halves: false,
+                frames_ok,
+                frames_failed,
+                stages,
+                wall_nanos,
+                busy_nanos,
+                fastpath_frames: batch.len() as u64,
+                scratch_bytes,
+            },
+        }
     }
 
     /// Routes a batch with the **self-routing** message model (messages
@@ -355,6 +445,8 @@ impl Engine {
                 stages,
                 wall_nanos,
                 busy_nanos,
+                fastpath_frames: 0,
+                scratch_bytes: 0,
             },
         }
     }
@@ -412,7 +504,7 @@ fn route_block_timed<P: RoutePayload + Send>(
 
     let t0 = Instant::now();
     let bsn = Bsn::new(size)?;
-    let (mut out, _trace) = bsn.route(lines, lo)?;
+    let (mut out, _trace) = bsn.route_reference(lines, lo)?;
     for line in out.iter_mut() {
         if line.tag != Tag::Eps {
             let branch = line.tag;
@@ -554,6 +646,36 @@ mod tests {
         let out = engine.route_batch(&vec![paper_assignment(); 3]);
         assert_eq!(out.stats.frames_ok, 3);
         assert_eq!(out.stats.frames_failed, 0);
+    }
+
+    #[test]
+    fn no_scratch_config_matches_fast_path() {
+        let n = 16;
+        let batch: Vec<MulticastAssignment> = (0..12)
+            .map(|f| {
+                let mut sets = vec![Vec::new(); n];
+                sets[f % n] = (0..n).step_by(f % 3 + 1).collect();
+                MulticastAssignment::from_sets(n, sets).unwrap()
+            })
+            .collect();
+        let fast = Engine::with_config(n, EngineConfig::sequential()).unwrap();
+        let slow =
+            Engine::with_config(n, EngineConfig::sequential().without_scratch()).unwrap();
+        let a = fast.route_batch(&batch);
+        let b = slow.route_batch(&batch);
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
+        }
+        // The two drivers record identical work counters.
+        assert_eq!(
+            a.stats.stages.switch_settings,
+            b.stats.stages.switch_settings
+        );
+        assert_eq!(a.stats.stages.sweep_passes, b.stats.stages.sweep_passes);
+        assert_eq!(a.stats.fastpath_frames, batch.len() as u64);
+        assert!(a.stats.scratch_bytes > 0);
+        assert_eq!(b.stats.fastpath_frames, 0);
+        assert_eq!(b.stats.scratch_bytes, 0);
     }
 
     #[test]

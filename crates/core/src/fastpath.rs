@@ -1,0 +1,505 @@
+//! The zero-allocation routing fast path.
+//!
+//! [`crate::brsmn`]'s reference router allocates on every frame: fresh
+//! `Vec<Line<P>>` buffers per level, `Vec<Vec<usize>>` sweep state per plan,
+//! and a settings table per RBN. This module routes the **semantic** model
+//! with none of that:
+//!
+//! * a message is a `FastLine` — just its current four-value tag and its
+//!   source input. Destination sets never travel: the set of a message at a
+//!   block `[lo, lo + size)` is implicitly `dests(src) ∩ [lo, lo + size)`,
+//!   answered by binary search on the assignment, and a broadcast "split"
+//!   is a plain `Copy` of the source id;
+//! * all sweep planning runs through [`brsmn_rbn::bitplan::SweepScratch`]
+//!   (packed words + popcount) writing into one persistent
+//!   [`RbnSettings`] table;
+//! * the per-level shuffle/exchange wiring comes precomputed from the
+//!   [`Brsmn`](crate::brsmn::Brsmn)'s [`RbnWiring`].
+//!
+//! Everything lives in a [`RouteScratch`] arena sized once from `n`; after
+//! the first frame at a given size, routing performs **zero** heap
+//! allocations (pinned by the `alloc-count` test in `brsmn-bench`). The
+//! result is bit-identical to the reference router — same routing result,
+//! same trace, same final settings — which the equivalence property tests
+//! in `brsmn-core/tests/fastpath_equivalence.rs` verify.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::assignment::{MulticastAssignment, RoutingResult};
+use crate::brsmn::RouteTrace;
+use crate::bsn::BsnTrace;
+use crate::engine::StageTimer;
+use crate::error::CoreError;
+use brsmn_rbn::bitplan::SweepScratch;
+use brsmn_rbn::{RbnSettings, RbnWiring};
+use brsmn_switch::tag::TagCounts;
+use brsmn_switch::{SwitchError, SwitchSetting, Tag};
+use brsmn_topology::{check_size, log2_exact};
+
+/// Sentinel source id of an empty line.
+const NO_SRC: u32 = u32::MAX;
+
+/// One line of the fast path: the current tag plus the source input of the
+/// message on it (`NO_SRC` when idle). `Copy`, so a broadcast split is two
+/// struct writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FastLine {
+    tag: Tag,
+    src: u32,
+}
+
+impl FastLine {
+    const EMPTY: FastLine = FastLine {
+        tag: Tag::Eps,
+        src: NO_SRC,
+    };
+}
+
+/// Reusable routing arena: the line buffer, the packed sweep scratch, and the
+/// persistent settings table, all sized from `n` on first use and never
+/// reallocated while the size stays fixed.
+///
+/// Pass one to [`Brsmn::route_into`](crate::brsmn::Brsmn::route_into) /
+/// [`Brsmn::route_buffered`](crate::brsmn::Brsmn::route_buffered), or let
+/// [`with_thread_scratch`] manage a thread-local instance (what
+/// [`Brsmn::route`](crate::brsmn::Brsmn::route) and the engine's workers do).
+#[derive(Debug, Clone)]
+pub struct RouteScratch {
+    n: usize,
+    lines: Vec<FastLine>,
+    sweep: SweepScratch,
+    settings: RbnSettings,
+}
+
+impl Default for RouteScratch {
+    fn default() -> Self {
+        RouteScratch::empty()
+    }
+}
+
+impl RouteScratch {
+    /// An arena pre-sized for an `n × n` network.
+    pub fn new(n: usize) -> Result<Self, CoreError> {
+        check_size(n)?;
+        let mut s = RouteScratch::empty();
+        s.ensure(n);
+        Ok(s)
+    }
+
+    /// An unsized arena; buffers grow on first use.
+    pub fn empty() -> Self {
+        RouteScratch {
+            n: 0,
+            lines: Vec::new(),
+            sweep: SweepScratch::new(),
+            // Placeholder with zero stages; replaced by `ensure`.
+            settings: RbnSettings::identity(1),
+        }
+    }
+
+    /// The network size this arena is currently sized for (`0` if unused).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// (Re)sizes the arena for an `n × n` network. A no-op at the current
+    /// size — the warm-up allocation happens exactly once per size.
+    pub fn ensure(&mut self, n: usize) {
+        if self.n != n {
+            self.n = n;
+            self.lines.clear();
+            self.lines.resize(n, FastLine::EMPTY);
+            self.settings = RbnSettings::identity(n);
+        }
+    }
+
+    /// Sources delivered to each output by the last successful
+    /// [`Brsmn::route_into`](crate::brsmn::Brsmn::route_into) call.
+    pub fn output_sources(&self) -> impl Iterator<Item = Option<usize>> + '_ {
+        self.lines.iter().map(|l| {
+            if l.src == NO_SRC {
+                None
+            } else {
+                Some(l.src as usize)
+            }
+        })
+    }
+
+    /// Approximate heap bytes currently reserved by the arena.
+    pub fn footprint_bytes(&self) -> usize {
+        let settings_bytes: usize = (0..self.settings.num_stages())
+            .map(|j| self.settings.stage(j).len() * std::mem::size_of::<SwitchSetting>())
+            .sum();
+        self.lines.capacity() * std::mem::size_of::<FastLine>()
+            + self.sweep.footprint_bytes()
+            + settings_bytes
+    }
+
+    /// Collects the delivered sources into a fresh [`RoutingResult`] (the
+    /// one allocation of [`Brsmn::route_buffered`](crate::brsmn::Brsmn::route_buffered)).
+    fn to_result(&self) -> RoutingResult {
+        RoutingResult::new(self.output_sources().collect())
+    }
+
+    /// The planner halves of the arena (packed sweep scratch + settings
+    /// table), borrowed together for the generic line-level router.
+    pub(crate) fn planner_parts(&mut self) -> (&mut SweepScratch, &mut RbnSettings) {
+        (&mut self.sweep, &mut self.settings)
+    }
+}
+
+thread_local! {
+    static TLS_SCRATCH: RefCell<RouteScratch> = RefCell::new(RouteScratch::empty());
+}
+
+/// Runs `f` with this thread's [`RouteScratch`], sized for `n`. The arena
+/// persists for the life of the thread, so repeated calls at a fixed size
+/// reuse all buffers — this is how each engine worker owns its scratch.
+pub fn with_thread_scratch<R>(n: usize, f: impl FnOnce(&mut RouteScratch) -> R) -> R {
+    TLS_SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        s.ensure(n);
+        f(&mut s)
+    })
+}
+
+/// Entry tag of the message `dests` (sorted, absolute) at the block
+/// `[lo, lo + size)`: which halves of the block it still has to reach.
+#[inline]
+fn entry_tag_fast(dests: &[usize], lo: usize, size: usize) -> Tag {
+    let mid = lo + size / 2;
+    let i_lo = dests.partition_point(|&d| d < lo);
+    let i_mid = dests.partition_point(|&d| d < mid);
+    let i_hi = dests.partition_point(|&d| d < lo + size);
+    match (i_mid > i_lo, i_hi > i_mid) {
+        (true, false) => Tag::Zero,
+        (false, true) => Tag::One,
+        (true, true) => Tag::Alpha,
+        (false, false) => unreachable!("dests are non-empty within the block"),
+    }
+}
+
+/// Executes stages `[0, log2 size)` of the settings table on the fast lines
+/// of `[base, base + size)`, walking the precomputed wiring. Splitting an α
+/// copies the source id; the broadcast legality checks match
+/// [`RbnSettings::run_block`] exactly.
+fn run_block_fast(
+    lines: &mut [FastLine],
+    base: usize,
+    size: usize,
+    settings: &RbnSettings,
+    wiring: &RbnWiring,
+) -> Result<(), SwitchError> {
+    let k = log2_exact(size) as usize;
+    for j in 0..k {
+        let stage = settings.stage(j);
+        let pairs = wiring.stage(j);
+        for idx in base / 2..(base + size) / 2 {
+            let (u, l) = pairs[idx];
+            let (u, l) = (u as usize, l as usize);
+            match stage[idx] {
+                SwitchSetting::Parallel => {}
+                SwitchSetting::Crossing => lines.swap(u, l),
+                setting @ SwitchSetting::UpperBroadcast => {
+                    if lines[u].tag != Tag::Alpha || lines[l].tag != Tag::Eps {
+                        return Err(SwitchError {
+                            setting,
+                            found: (lines[u].tag, lines[l].tag),
+                        });
+                    }
+                    let src = lines[u].src;
+                    lines[u] = FastLine {
+                        tag: Tag::Zero,
+                        src,
+                    };
+                    lines[l] = FastLine { tag: Tag::One, src };
+                }
+                setting @ SwitchSetting::LowerBroadcast => {
+                    if lines[u].tag != Tag::Eps || lines[l].tag != Tag::Alpha {
+                        return Err(SwitchError {
+                            setting,
+                            found: (lines[u].tag, lines[l].tag),
+                        });
+                    }
+                    let src = lines[l].src;
+                    lines[u] = FastLine {
+                        tag: Tag::Zero,
+                        src,
+                    };
+                    lines[l] = FastLine { tag: Tag::One, src };
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Routes one BSN block `[base, base + size)` in place: entry tags, capacity
+/// check, packed scatter plan + run, packed quasisort plan + run,
+/// postcondition check. Mirrors [`crate::bsn::Bsn::route`] step for step
+/// (including its error values) without allocating.
+#[allow(clippy::too_many_arguments)]
+fn route_bsn_fast(
+    asg: &MulticastAssignment,
+    lines: &mut [FastLine],
+    sweep: &mut SweepScratch,
+    settings: &mut RbnSettings,
+    wiring: &RbnWiring,
+    base: usize,
+    size: usize,
+    level: usize,
+    trace: Option<&mut RouteTrace>,
+) -> Result<(), CoreError> {
+    for line in lines[base..base + size].iter_mut() {
+        line.tag = if line.src == NO_SRC {
+            Tag::Eps
+        } else {
+            entry_tag_fast(asg.dests(line.src as usize), base, size)
+        };
+    }
+    sweep.set_tags(size, |i| lines[base + i].tag);
+
+    // Eq. (2): a realizable load never requests more than n/2 outputs per
+    // half.
+    let counts: TagCounts = sweep.counts();
+    if !counts.satisfies_bsn_input_constraints() {
+        return Err(CoreError::HalfCapacityExceeded {
+            n: size,
+            n0: counts.n0,
+            n1: counts.n1,
+            na: counts.na,
+        });
+    }
+
+    let input_tags: Vec<Tag> = if trace.is_some() {
+        lines[base..base + size].iter().map(|l| l.tag).collect()
+    } else {
+        Vec::new()
+    };
+
+    // Scatter network: eliminate αs (Theorem 2; nα ≤ nε by Eq. 3).
+    sweep.plan_scatter(0, base, settings);
+    run_block_fast(lines, base, size, settings, wiring)?;
+    let after_scatter: Vec<Tag> = if trace.is_some() {
+        lines[base..base + size].iter().map(|l| l.tag).collect()
+    } else {
+        Vec::new()
+    };
+
+    // Quasisorting network: ε-divide then bit-sort (unicast only).
+    sweep.set_tags(size, |i| lines[base + i].tag);
+    sweep.eps_divide()?;
+    sweep.plan_bitsort(size / 2, base, settings);
+    run_block_fast(lines, base, size, settings, wiring)?;
+
+    // Eq. (4) postconditions, kept on in release builds like the reference.
+    for (pos, line) in lines[base..base + size].iter().enumerate() {
+        let t = line.tag;
+        let ok = if pos < size / 2 {
+            t != Tag::One && t != Tag::Alpha
+        } else {
+            t != Tag::Zero && t != Tag::Alpha
+        };
+        if !ok {
+            return Err(CoreError::Internal(format!(
+                "BSN postcondition violated: tag {t} at output {pos} of {size}"
+            )));
+        }
+    }
+
+    if let Some(t) = trace {
+        t.levels[level - 1].blocks.push(BsnTrace {
+            input_tags,
+            after_scatter,
+            output_tags: lines[base..base + size].iter().map(|l| l.tag).collect(),
+        });
+    }
+    Ok(())
+}
+
+/// The final 2×2 switch over outputs `{lo, lo+1}`, in place. The setting
+/// table and error values match [`crate::brsmn`]'s `final_switch` exactly.
+fn final_switch_fast(
+    asg: &MulticastAssignment,
+    lines: &mut [FastLine],
+    lo: usize,
+    trace: &mut Option<&mut RouteTrace>,
+) -> Result<(), CoreError> {
+    use SwitchSetting::*;
+    for line in lines[lo..lo + 2].iter_mut() {
+        line.tag = if line.src == NO_SRC {
+            Tag::Eps
+        } else {
+            entry_tag_fast(asg.dests(line.src as usize), lo, 2)
+        };
+    }
+    let (tu, tl) = (lines[lo].tag, lines[lo + 1].tag);
+    let setting = match (tu, tl) {
+        (Tag::Alpha, Tag::Eps) => UpperBroadcast,
+        (Tag::Eps, Tag::Alpha) => LowerBroadcast,
+        (Tag::Alpha, _) | (_, Tag::Alpha) => {
+            return Err(CoreError::OutputConflict { output: lo });
+        }
+        (Tag::Zero, Tag::Zero) => return Err(CoreError::OutputConflict { output: lo }),
+        (Tag::One, Tag::One) => return Err(CoreError::OutputConflict { output: lo + 1 }),
+        (Tag::Zero, _) | (Tag::Eps, Tag::One) | (Tag::Eps, Tag::Eps) => Parallel,
+        (Tag::One, _) | (Tag::Eps, Tag::Zero) => Crossing,
+    };
+    if let Some(t) = trace {
+        t.final_tags[lo] = tu;
+        t.final_tags[lo + 1] = tl;
+        t.final_settings[lo / 2] = setting;
+    }
+    match setting {
+        Parallel => {}
+        Crossing => lines.swap(lo, lo + 1),
+        UpperBroadcast | LowerBroadcast => {
+            let src = if setting == UpperBroadcast {
+                lines[lo].src
+            } else {
+                lines[lo + 1].src
+            };
+            lines[lo] = FastLine {
+                tag: Tag::Zero,
+                src,
+            };
+            lines[lo + 1] = FastLine { tag: Tag::One, src };
+        }
+    }
+    Ok(())
+}
+
+/// Routes `asg` end to end on the fast path, leaving the delivered lines in
+/// `scratch` (read them via [`RouteScratch::output_sources`]). Optionally
+/// fills a [`RouteTrace`] and/or a [`StageTimer`] (the timer records exactly
+/// what the reference engine's instrumented recursion records).
+pub(crate) fn route_assignment_fast(
+    n: usize,
+    wiring: &RbnWiring,
+    asg: &MulticastAssignment,
+    scratch: &mut RouteScratch,
+    mut trace: Option<&mut RouteTrace>,
+    mut timer: Option<&mut StageTimer>,
+) -> Result<(), CoreError> {
+    assert_eq!(asg.n(), n, "assignment size mismatch");
+    scratch.ensure(n);
+    let RouteScratch {
+        lines,
+        sweep,
+        settings,
+        ..
+    } = scratch;
+
+    for (i, line) in lines.iter_mut().enumerate() {
+        *line = if asg.dests(i).is_empty() {
+            FastLine::EMPTY
+        } else {
+            FastLine {
+                tag: Tag::Eps,
+                src: i as u32,
+            }
+        };
+    }
+
+    // Levels 1 … m−1: BSNs of halving size, blocks left to right (the same
+    // order the reference's depth-first recursion pushes trace blocks).
+    let mut size = n;
+    let mut level = 1;
+    while size > 2 {
+        for b in 0..n / size {
+            let t0 = timer.as_ref().map(|_| Instant::now());
+            route_bsn_fast(
+                asg,
+                lines,
+                sweep,
+                settings,
+                wiring,
+                b * size,
+                size,
+                level,
+                trace.as_deref_mut(),
+            )?;
+            if let (Some(tm), Some(t0)) = (timer.as_deref_mut(), t0) {
+                tm.record_bsn(level, size, t0.elapsed());
+            }
+        }
+        size /= 2;
+        level += 1;
+    }
+
+    // Final level: n/2 plain 2×2 switches.
+    for lo in (0..n).step_by(2) {
+        let t0 = timer.as_ref().map(|_| Instant::now());
+        final_switch_fast(asg, lines, lo, &mut trace)?;
+        if let (Some(tm), Some(t0)) = (timer.as_deref_mut(), t0) {
+            tm.record_final(t0.elapsed());
+        }
+    }
+
+    // Delivery verification (the reference does this in `extract_result`).
+    for (o, line) in lines.iter().enumerate() {
+        if line.src != NO_SRC && asg.dests(line.src as usize).binary_search(&o).is_err() {
+            return Err(CoreError::Internal(format!(
+                "message from input {} misdelivered to output {o}",
+                line.src
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Routes and collects the result (one `Vec` allocation for the result).
+pub(crate) fn route_assignment_fast_buffered(
+    n: usize,
+    wiring: &RbnWiring,
+    asg: &MulticastAssignment,
+    scratch: &mut RouteScratch,
+    trace: Option<&mut RouteTrace>,
+    timer: Option<&mut StageTimer>,
+) -> Result<RoutingResult, CoreError> {
+    route_assignment_fast(n, wiring, asg, scratch, trace, timer)?;
+    Ok(scratch.to_result())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_tag_matches_semantic() {
+        use crate::payload::SemanticMsg;
+        use crate::RoutePayload;
+        let dests = vec![2usize, 5];
+        let msg = SemanticMsg::new(0, dests.clone());
+        assert_eq!(entry_tag_fast(&dests, 0, 8), msg.entry_tag(0, 8));
+        // After a split the semantic message holds only the in-block subset;
+        // the fast path intersects on the fly.
+        assert_eq!(entry_tag_fast(&dests, 0, 4), Tag::One);
+        assert_eq!(entry_tag_fast(&dests, 4, 4), Tag::Zero);
+        assert_eq!(entry_tag_fast(&dests, 2, 2), Tag::Zero);
+        assert_eq!(entry_tag_fast(&dests, 4, 2), Tag::One);
+    }
+
+    #[test]
+    fn scratch_resizes_once_per_size() {
+        let mut s = RouteScratch::new(8).unwrap();
+        assert_eq!(s.n(), 8);
+        let fp = s.footprint_bytes();
+        s.ensure(8);
+        assert_eq!(s.footprint_bytes(), fp);
+        s.ensure(16);
+        assert_eq!(s.n(), 16);
+    }
+
+    #[test]
+    fn output_sources_reads_lines() {
+        let mut s = RouteScratch::new(2).unwrap();
+        s.lines[0] = FastLine {
+            tag: Tag::Zero,
+            src: 1,
+        };
+        let v: Vec<Option<usize>> = s.output_sources().collect();
+        assert_eq!(v, vec![Some(1), None]);
+    }
+}

@@ -16,6 +16,8 @@
 //!   (Section 3);
 //! * [`brsmn`] — the recursive network of Fig. 1 with both engines and full
 //!   tracing;
+//! * [`fastpath`] — the zero-allocation routing fast path: reusable
+//!   [`RouteScratch`] arenas over the packed-word planners of `brsmn-rbn`;
 //! * [`feedback`] — the single-RBN feedback implementation (Section 7.3)
 //!   cutting hardware to `Θ(n log n)`;
 //! * [`metrics`] — exact switch/gate/depth accounting (Section 7.4).
@@ -47,6 +49,7 @@ pub mod brsmn;
 pub mod bsn;
 pub mod engine;
 pub mod error;
+pub mod fastpath;
 pub mod feedback;
 pub mod metrics;
 pub mod payload;
@@ -60,6 +63,7 @@ pub use brsmn::{Brsmn, LevelTrace, RouteTrace};
 pub use bsn::{Bsn, BsnTrace};
 pub use engine::{BatchOutput, Engine, EngineConfig, EngineStats, LevelStats, StageTimer};
 pub use error::CoreError;
+pub use fastpath::{with_thread_scratch, RouteScratch};
 pub use feedback::{FeedbackBrsmn, FeedbackStats};
 pub use payload::{RoutePayload, SelfRoutedMsg, SemanticMsg};
 pub use render::{render_rbn, render_trace};

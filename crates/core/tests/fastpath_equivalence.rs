@@ -1,0 +1,114 @@
+//! Acceptance property: the zero-allocation fast path is **bit-identical**
+//! to the PR-1 allocating reference router — same routing result, same
+//! per-level trace (input/after-scatter/output tags of every BSN, final
+//! tags, final settings) — across dense, sparse and α-heavy multicasts at
+//! n ∈ {8, 16, 64}, including when one scratch arena is reused frame after
+//! frame.
+
+use brsmn_core::{Brsmn, MulticastAssignment, RouteScratch};
+use proptest::collection::vec;
+use proptest::option;
+use proptest::prelude::*;
+
+/// Builds a valid multicast assignment from a per-output source choice
+/// (each output claimed by at most one input — always realizable).
+fn assignment_from_choices(n: usize, choices: &[Option<usize>]) -> MulticastAssignment {
+    let mut sets = vec![Vec::new(); n];
+    for (o, c) in choices.iter().enumerate() {
+        if let Some(src) = c {
+            sets[*src].push(o);
+        }
+    }
+    MulticastAssignment::from_sets(n, sets).expect("choices form a valid assignment")
+}
+
+/// One frame drawn from three load shapes: **dense** (most outputs covered,
+/// sources spread across all inputs), **sparse** (few outputs covered), and
+/// **α-heavy** (a handful of sources share all outputs, so destination sets
+/// straddle both halves at every level — maximal α splitting).
+fn shaped(n: usize) -> impl Strategy<Value = MulticastAssignment> {
+    (
+        0u8..3,
+        vec(option::weighted(0.9, 0..n), n),
+        1usize..=4,
+        vec(0usize..4, n),
+    )
+        .prop_map(move |(shape, choices, k, picks)| match shape {
+            0 => assignment_from_choices(n, &choices),
+            1 => {
+                let thinned: Vec<Option<usize>> = choices
+                    .iter()
+                    .enumerate()
+                    .map(|(o, c)| if o % 3 == 0 { *c } else { None })
+                    .collect();
+                assignment_from_choices(n, &thinned)
+            }
+            _ => {
+                // k distinct, spread-out sources claim every output.
+                let choices: Vec<Option<usize>> =
+                    picks.iter().map(|&i| Some((i % k) * n / 4)).collect();
+                assignment_from_choices(n, &choices)
+            }
+        })
+}
+
+/// One frame over n ∈ {8, 16, 64}.
+fn frames() -> impl Strategy<Value = (usize, MulticastAssignment)> {
+    prop_oneof![Just(8usize), Just(16), Just(64)].prop_flat_map(|n| (Just(n), shaped(n)))
+}
+
+/// A batch of frames over one shared size (for scratch-reuse checks).
+fn frame_batches() -> impl Strategy<Value = (usize, Vec<MulticastAssignment>)> {
+    prop_oneof![Just(8usize), Just(16), Just(64)]
+        .prop_flat_map(|n| (Just(n), vec(shaped(n), 8..=12)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fast_route_matches_reference((n, asg) in frames()) {
+        let net = Brsmn::new(n).unwrap();
+        let want = net.route_reference(&asg).unwrap();
+        prop_assert!(want.realizes(&asg));
+        prop_assert_eq!(&net.route(&asg).unwrap(), &want);
+        // The self-routing engine (tag streams through the generic in-place
+        // router) agrees too.
+        prop_assert_eq!(&net.route_self_routing(&asg).unwrap(), &want);
+    }
+
+    #[test]
+    fn fast_trace_matches_reference((n, asg) in frames()) {
+        let net = Brsmn::new(n).unwrap();
+        let (want_r, want_t) = net.route_reference_traced(&asg).unwrap();
+        let (got_r, got_t) = net.route_traced(&asg).unwrap();
+        prop_assert_eq!(&got_r, &want_r);
+        // Bit-identical switch program: every BSN's three tag snapshots,
+        // the final-stage tags and the final settings all coincide.
+        prop_assert_eq!(&got_t, &want_t);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn scratch_reuse_across_frames_is_stable((n, batch) in frame_batches()) {
+        let net = Brsmn::new(n).unwrap();
+        let mut scratch = RouteScratch::new(n).unwrap();
+        let mut footprint_after_first = None;
+        for asg in &batch {
+            let want = net.route_reference(asg).unwrap();
+            prop_assert_eq!(&net.route_buffered(asg, &mut scratch).unwrap(), &want);
+            // route_into leaves the same delivery readable from the arena.
+            net.route_into(asg, &mut scratch).unwrap();
+            let from_arena: Vec<Option<usize>> = scratch.output_sources().collect();
+            let explicit: Vec<Option<usize>> =
+                (0..n).map(|o| want.output_source(o)).collect();
+            prop_assert_eq!(from_arena, explicit);
+            // The arena never regrows once warm.
+            let fp = scratch.footprint_bytes();
+            prop_assert_eq!(*footprint_after_first.get_or_insert(fp), fp);
+        }
+    }
+}

@@ -1,0 +1,772 @@
+//! Word-packed, allocation-free implementations of the distributed sweeps
+//! (Tables 3, 4 and 6).
+//!
+//! The planners in [`crate::plan`] materialize the Fig. 8 tree as
+//! `Vec<Vec<usize>>` per route — correct and readable, but the sweeps are
+//! prefix-sum shaped, so every per-node forward value is a *range count*
+//! over the leaves. This module packs the leaf tags into `u64` words (two
+//! bit planes, two bits per tag) and answers every forward-phase query with
+//! popcounts over a word-granular rank index:
+//!
+//! * bit sort (Table 3): `l[j][b]` = number of γ leaves under node `(j, b)`
+//!   = `rank_γ((b+1)·2^j) − rank_γ(b·2^j)`;
+//! * scatter (Table 4): the `(l, type)` pair of a node is the sign and
+//!   magnitude of `nα − nε` over its leaf range (ties resolved along the
+//!   upper-child spine, matching the combine rule of Table 4 exactly);
+//! * ε-divide (Table 6): `n_ε[j][b]` is a range count over the ε plane.
+//!
+//! The backward phases keep only one tree level alive at a time in a pair of
+//! ping-pong buffers, and the switch-setting phase writes straight into a
+//! caller-provided [`RbnSettings`] table via the slice-filling variants of
+//! Table 5 ([`crate::setting::binary_compact_setting_into`]). After a
+//! one-time warm-up of the [`SweepScratch`], planning a block performs **no
+//! heap allocation** — the property the `brsmn-bench` `alloc-count` test
+//! pins down end to end.
+//!
+//! Equivalence with the reference planners is exhaustively tested here and
+//! property-tested end to end in `brsmn-core`.
+
+use crate::fabric::RbnSettings;
+use crate::plan::{DomType, PlanError};
+use crate::setting::{binary_compact_setting_into, trinary_compact_setting_into};
+use brsmn_switch::tag::TagCounts;
+use brsmn_switch::{SwitchSetting, Tag};
+use brsmn_topology::log2_exact;
+
+/// A bit vector packed into `u64` words with a word-granular rank index,
+/// rebuilt on every [`BitVec::fill_from`] in a single pass.
+///
+/// `rank(i)` — the number of set bits in `[0, i)` — is O(1): one table
+/// lookup plus one masked popcount. All forward-phase tree queries of the
+/// packed planners reduce to [`BitVec::count_range`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    /// `rank_index[w]` = set bits in words `[0, w)`; one extra entry so that
+    /// `rank(len)` works when `len` is a multiple of 64.
+    rank_index: Vec<usize>,
+    len: usize,
+}
+
+impl BitVec {
+    /// An empty bit vector (fill it with [`BitVec::fill_from`]).
+    pub fn new() -> Self {
+        BitVec::default()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no bits are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rebuilds the vector as `len` bits produced by `f`, packing 64 at a
+    /// time and building the rank index in the same pass. Reuses the word
+    /// buffers: no allocation once capacity has grown to `len` bits.
+    pub fn fill_from<F: FnMut(usize) -> bool>(&mut self, len: usize, mut f: F) {
+        self.words.clear();
+        self.rank_index.clear();
+        self.len = len;
+        self.rank_index.push(0);
+        let mut acc = 0u64;
+        let mut total = 0usize;
+        for i in 0..len {
+            if f(i) {
+                acc |= 1u64 << (i & 63);
+            }
+            if i & 63 == 63 {
+                self.words.push(acc);
+                total += acc.count_ones() as usize;
+                self.rank_index.push(total);
+                acc = 0;
+            }
+        }
+        if len & 63 != 0 {
+            self.words.push(acc);
+            total += acc.count_ones() as usize;
+            self.rank_index.push(total);
+        }
+    }
+
+    /// Rebuilds from whole pre-packed words: `word(w)` must return word `w`
+    /// with any bits at positions `≥ len` already zero. This is how
+    /// [`TagVec::extract_plane`] derives a plane word-parallel.
+    pub fn fill_from_words<F: FnMut(usize) -> u64>(&mut self, len: usize, mut word: F) {
+        self.words.clear();
+        self.rank_index.clear();
+        self.len = len;
+        self.rank_index.push(0);
+        let mut total = 0usize;
+        for w in 0..len.div_ceil(64) {
+            let x = word(w);
+            self.words.push(x);
+            total += x.count_ones() as usize;
+            self.rank_index.push(total);
+        }
+    }
+
+    /// Bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] >> (i & 63) & 1 == 1
+    }
+
+    /// Number of set bits in `[0, i)` (requires `i ≤ len`).
+    #[inline]
+    pub fn rank(&self, i: usize) -> usize {
+        debug_assert!(i <= self.len);
+        let w = i >> 6;
+        let r = i & 63;
+        let partial = if r == 0 {
+            0
+        } else {
+            (self.words[w] & ((1u64 << r) - 1)).count_ones() as usize
+        };
+        self.rank_index[w] + partial
+    }
+
+    /// Number of set bits in `[a, b)`.
+    #[inline]
+    pub fn count_range(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a <= b);
+        self.rank(b) - self.rank(a)
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        *self.rank_index.last().unwrap_or(&0)
+    }
+
+    /// Position of the first set bit, if any.
+    pub fn first_set(&self) -> Option<usize> {
+        for (w, &x) in self.words.iter().enumerate() {
+            if x != 0 {
+                return Some((w << 6) + x.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Heap bytes currently reserved (capacity, not length).
+    pub fn footprint_bytes(&self) -> usize {
+        self.words.capacity() * 8 + self.rank_index.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
+/// One of the four tag values as a bit plane of a [`TagVec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagPlane {
+    /// Positions holding `0`.
+    Zero,
+    /// Positions holding `1`.
+    One,
+    /// Positions holding `α`.
+    Alpha,
+    /// Positions holding `ε`.
+    Eps,
+}
+
+/// A tag vector packed two bits per tag into two `u64` planes.
+///
+/// Encoding (`lo`, `hi`): `0 = (0,0)`, `1 = (1,0)`, `α = (0,1)`,
+/// `ε = (1,1)`. Any single-tag plane is one boolean word expression over
+/// the two planes, so counting and extracting planes is word-parallel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TagVec {
+    lo: Vec<u64>,
+    hi: Vec<u64>,
+    len: usize,
+}
+
+impl TagVec {
+    /// An empty tag vector.
+    pub fn new() -> Self {
+        TagVec::default()
+    }
+
+    /// Number of tags.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no tags are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rebuilds the vector as `len` tags produced by `f`, packing both
+    /// planes 64 tags at a time. No allocation once capacity suffices.
+    pub fn fill_from<F: FnMut(usize) -> Tag>(&mut self, len: usize, mut f: F) {
+        self.lo.clear();
+        self.hi.clear();
+        self.len = len;
+        let (mut alo, mut ahi) = (0u64, 0u64);
+        for i in 0..len {
+            let (blo, bhi) = match f(i) {
+                Tag::Zero => (0, 0),
+                Tag::One => (1, 0),
+                Tag::Alpha => (0, 1),
+                Tag::Eps => (1, 1),
+            };
+            let sh = i & 63;
+            alo |= (blo as u64) << sh;
+            ahi |= (bhi as u64) << sh;
+            if sh == 63 {
+                self.lo.push(alo);
+                self.hi.push(ahi);
+                (alo, ahi) = (0, 0);
+            }
+        }
+        if len & 63 != 0 {
+            self.lo.push(alo);
+            self.hi.push(ahi);
+        }
+    }
+
+    /// Tag at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Tag {
+        debug_assert!(i < self.len);
+        let (w, sh) = (i >> 6, i & 63);
+        match (self.lo[w] >> sh & 1, self.hi[w] >> sh & 1) {
+            (0, 0) => Tag::Zero,
+            (1, 0) => Tag::One,
+            (0, 1) => Tag::Alpha,
+            _ => Tag::Eps,
+        }
+    }
+
+    /// Word `w` of the requested plane, with bits beyond `len` cleared.
+    #[inline]
+    fn plane_word(&self, plane: TagPlane, w: usize) -> u64 {
+        let (lo, hi) = (self.lo[w], self.hi[w]);
+        let raw = match plane {
+            TagPlane::Zero => !lo & !hi,
+            TagPlane::One => lo & !hi,
+            TagPlane::Alpha => !lo & hi,
+            TagPlane::Eps => lo & hi,
+        };
+        let tail = self.len - (w << 6);
+        if tail >= 64 {
+            raw
+        } else {
+            raw & ((1u64 << tail) - 1)
+        }
+    }
+
+    /// Tallies all four tags by popcount over the packed planes.
+    pub fn counts(&self) -> TagCounts {
+        let mut c = TagCounts::default();
+        for w in 0..self.lo.len() {
+            c.n0 += self.plane_word(TagPlane::Zero, w).count_ones() as usize;
+            c.n1 += self.plane_word(TagPlane::One, w).count_ones() as usize;
+            c.na += self.plane_word(TagPlane::Alpha, w).count_ones() as usize;
+            c.ne += self.plane_word(TagPlane::Eps, w).count_ones() as usize;
+        }
+        c
+    }
+
+    /// Position of the first tag in `plane`, if any.
+    pub fn first_in_plane(&self, plane: TagPlane) -> Option<usize> {
+        for w in 0..self.lo.len() {
+            let x = self.plane_word(plane, w);
+            if x != 0 {
+                return Some((w << 6) + x.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Extracts one plane into `out` (with its rank index), word-parallel.
+    pub fn extract_plane(&self, plane: TagPlane, out: &mut BitVec) {
+        out.fill_from_words(self.len, |w| self.plane_word(plane, w));
+    }
+
+    /// Heap bytes currently reserved.
+    pub fn footprint_bytes(&self) -> usize {
+        (self.lo.capacity() + self.hi.capacity()) * 8
+    }
+}
+
+/// Reusable state for the packed planners: the input tag planes, the derived
+/// rank-indexed planes, and the two ping-pong buffers that hold the one live
+/// tree level of each backward phase.
+///
+/// Size once (first use at a given block size grows the buffers), then plan
+/// any number of blocks with zero heap allocation. One `SweepScratch` plans
+/// all three sweeps of a BSN in sequence: [`SweepScratch::plan_scatter`],
+/// then [`SweepScratch::eps_divide`] + [`SweepScratch::plan_bitsort`] on the
+/// refreshed tags.
+#[derive(Debug, Clone, Default)]
+pub struct SweepScratch {
+    tags: TagVec,
+    alpha: BitVec,
+    eps: BitVec,
+    gamma: BitVec,
+    cur: Vec<usize>,
+    next: Vec<usize>,
+}
+
+impl SweepScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        SweepScratch::default()
+    }
+
+    /// Loads the block's tags (length `len`, a power of two) into the packed
+    /// planes. Call before [`SweepScratch::plan_scatter`] and again (with the
+    /// post-scatter tags) before [`SweepScratch::eps_divide`].
+    pub fn set_tags<F: FnMut(usize) -> Tag>(&mut self, len: usize, f: F) {
+        self.tags.fill_from(len, f);
+    }
+
+    /// The currently loaded tags.
+    pub fn tags(&self) -> &TagVec {
+        &self.tags
+    }
+
+    /// Tag tallies of the loaded block (popcount over the planes).
+    pub fn counts(&self) -> TagCounts {
+        self.tags.counts()
+    }
+
+    /// Loads sort bits directly (for standalone bit-sort planning without an
+    /// ε-divide pass).
+    pub fn set_gamma<F: FnMut(usize) -> bool>(&mut self, len: usize, f: F) {
+        self.gamma.fill_from(len, f);
+    }
+
+    /// The current γ (sort-bit) plane — filled by [`SweepScratch::eps_divide`]
+    /// or [`SweepScratch::set_gamma`].
+    pub fn gamma(&self) -> &BitVec {
+        &self.gamma
+    }
+
+    /// Heap bytes currently reserved by all buffers.
+    pub fn footprint_bytes(&self) -> usize {
+        self.tags.footprint_bytes()
+            + self.alpha.footprint_bytes()
+            + self.eps.footprint_bytes()
+            + self.gamma.footprint_bytes()
+            + (self.cur.capacity() + self.next.capacity()) * std::mem::size_of::<usize>()
+    }
+
+    fn ensure_levels(&mut self, len: usize) {
+        if self.cur.len() < len {
+            self.cur.resize(len, 0);
+            self.next.resize(len, 0);
+        }
+    }
+
+    /// Word-parallel Table 3: plans a bit sort of the loaded γ plane with
+    /// target start `s_target`, writing the merging-stage settings of the
+    /// sub-RBN occupying lines `[base, base + len)` into `settings` (stages
+    /// `[0, log2 len)`, the same mapping as
+    /// [`RbnSettings::program_subnetwork`]).
+    ///
+    /// Produces bit-for-bit the same settings as [`crate::plan::plan_bitsort`].
+    pub fn plan_bitsort(&mut self, s_target: usize, base: usize, settings: &mut RbnSettings) {
+        let sz = self.gamma.len();
+        let m = log2_exact(sz) as usize;
+        assert!(s_target < sz);
+        assert!(base.is_multiple_of(sz) && base + sz <= settings.n());
+        self.ensure_levels(sz);
+        self.cur[0] = s_target;
+        for j in (1..=m).rev() {
+            let half = 1usize << (j - 1);
+            for b in 0..(sz >> j) {
+                let s_node = self.cur[b];
+                let l0 = self.gamma.count_range(2 * b * half, (2 * b + 1) * half);
+                let s0 = s_node % half;
+                let s1 = (s_node + l0) % half;
+                let bset = ((s_node + l0) / half) % 2;
+                let (b_val, b_comp) = if bset == 1 {
+                    (SwitchSetting::Crossing, SwitchSetting::Parallel)
+                } else {
+                    (SwitchSetting::Parallel, SwitchSetting::Crossing)
+                };
+                binary_compact_setting_into(
+                    settings.block_mut(j - 1, (base >> j) + b),
+                    0,
+                    s1,
+                    b_comp,
+                    b_val,
+                );
+                self.next[2 * b] = s0;
+                self.next[2 * b + 1] = s1;
+            }
+            std::mem::swap(&mut self.cur, &mut self.next);
+        }
+    }
+
+    /// `nα − nε` over the leaves of node `(j, b)` — the signed form of the
+    /// Table 4 forward value.
+    #[inline]
+    fn scatter_value(&self, j: usize, b: usize) -> isize {
+        let lo = b << j;
+        let hi = (b + 1) << j;
+        self.alpha.count_range(lo, hi) as isize - self.eps.count_range(lo, hi) as isize
+    }
+
+    /// The `(l, type)` forward pair of node `(j, b)`. For `l = 0` the
+    /// reference combine rule always inherits the upper child's type, so the
+    /// tie is resolved by walking the upper-child spine down to the first
+    /// non-zero value (a χ leaf yields ε).
+    fn scatter_node(&self, j: usize, b: usize) -> (usize, DomType) {
+        let v = self.scatter_value(j, b);
+        if v > 0 {
+            return (v as usize, DomType::Alpha);
+        }
+        if v < 0 {
+            return (v.unsigned_abs(), DomType::Eps);
+        }
+        let (mut jj, mut bb) = (j, b);
+        while jj > 0 {
+            jj -= 1;
+            bb <<= 1;
+            let v = self.scatter_value(jj, bb);
+            if v > 0 {
+                return (0, DomType::Alpha);
+            }
+            if v < 0 {
+                return (0, DomType::Eps);
+            }
+        }
+        (0, DomType::Eps)
+    }
+
+    /// Word-parallel Table 4: plans a scatter of the loaded tags with target
+    /// start `s_target`, writing into `settings` exactly like
+    /// [`SweepScratch::plan_bitsort`]. Bit-for-bit equal to
+    /// [`crate::plan::plan_scatter`].
+    pub fn plan_scatter(&mut self, s_target: usize, base: usize, settings: &mut RbnSettings) {
+        let sz = self.tags.len();
+        let m = log2_exact(sz) as usize;
+        assert!(s_target < sz);
+        assert!(base.is_multiple_of(sz) && base + sz <= settings.n());
+        self.tags.extract_plane(TagPlane::Alpha, &mut self.alpha);
+        self.tags.extract_plane(TagPlane::Eps, &mut self.eps);
+        self.ensure_levels(sz);
+        self.cur[0] = s_target;
+        for j in (1..=m).rev() {
+            let half = 1usize << (j - 1);
+            let n_prime = 1usize << j;
+            for b in 0..(sz >> j) {
+                let s_node = self.cur[b];
+                let (l_node, _) = self.scatter_node(j, b);
+                let (l0, ty0) = self.scatter_node(j - 1, 2 * b);
+                let (l1, ty1) = self.scatter_node(j - 1, 2 * b + 1);
+                let slice = settings.block_mut(j - 1, (base >> j) + b);
+                let (s0, s1);
+                if ty0 == ty1 {
+                    // ε/α-addition: Lemma 1, same as the bit-sorting setting.
+                    s0 = s_node % half;
+                    s1 = (s_node + l0) % half;
+                    let bset = ((s_node + l0) / half) % 2;
+                    let (b_val, b_comp) = if bset == 1 {
+                        (SwitchSetting::Crossing, SwitchSetting::Parallel)
+                    } else {
+                        (SwitchSetting::Parallel, SwitchSetting::Crossing)
+                    };
+                    binary_compact_setting_into(slice, 0, s1, b_comp, b_val);
+                } else {
+                    // ε/α-elimination: Lemmas 2–5.
+                    let bcast = if ty0 == DomType::Alpha {
+                        SwitchSetting::UpperBroadcast
+                    } else {
+                        SwitchSetting::LowerBroadcast
+                    };
+                    let (s_tmp, l_tmp, ucast);
+                    if l0 >= l1 {
+                        s0 = s_node % half;
+                        s1 = (s_node + l_node) % half;
+                        s_tmp = s1;
+                        l_tmp = l1;
+                        ucast = SwitchSetting::Parallel;
+                    } else {
+                        s0 = (s_node + l_node) % half;
+                        s1 = s_node % half;
+                        s_tmp = s0;
+                        l_tmp = l0;
+                        ucast = SwitchSetting::Crossing;
+                    }
+                    let ucomp = ucast.complement();
+                    if s_node + l_node < half {
+                        binary_compact_setting_into(slice, s_tmp, l_tmp, ucast, bcast);
+                    } else if s_node < half {
+                        trinary_compact_setting_into(slice, s_tmp, l_tmp, ucomp, bcast, ucast);
+                    } else if s_node + l_node < n_prime {
+                        binary_compact_setting_into(slice, s_tmp, l_tmp, ucomp, bcast);
+                    } else {
+                        trinary_compact_setting_into(slice, s_tmp, l_tmp, ucast, bcast, ucomp);
+                    }
+                }
+                self.next[2 * b] = s0;
+                self.next[2 * b + 1] = s1;
+            }
+            std::mem::swap(&mut self.cur, &mut self.next);
+        }
+    }
+
+    /// Word-parallel Table 6: resolves every ε of the loaded tags to `ε₀` or
+    /// `ε₁` and stores the combined sort bits (`1` and `ε₁` sort downward) in
+    /// the γ plane, ready for [`SweepScratch::plan_bitsort`] with target
+    /// `len/2`. Produces the same dummy assignment as
+    /// [`crate::plan::eps_divide`].
+    pub fn eps_divide(&mut self) -> Result<(), PlanError> {
+        let sz = self.tags.len();
+        let m = log2_exact(sz) as usize;
+        if let Some(position) = self.tags.first_in_plane(TagPlane::Alpha) {
+            return Err(PlanError::AlphaInQuasisort { position });
+        }
+        let counts = self.counts();
+        if counts.n0 > sz / 2 || counts.n1 > sz / 2 {
+            return Err(PlanError::HalfOverflow {
+                n0: counts.n0,
+                n1: counts.n1,
+                half: sz / 2,
+            });
+        }
+        self.tags.extract_plane(TagPlane::Eps, &mut self.eps);
+        self.ensure_levels(sz);
+        // Backward phase: split the root quota n_ε0 = n_ε − (n/2 − n1) down
+        // the tree; only the ε₀ quota needs to travel.
+        let root_e1 = sz / 2 - counts.n1;
+        self.cur[0] = counts.ne - root_e1;
+        for j in (1..=m).rev() {
+            let half = 1usize << (j - 1);
+            for b in 0..(sz >> j) {
+                let e0 = self.cur[b];
+                let upper_eps = self.eps.count_range(2 * b * half, (2 * b + 1) * half);
+                let u_e0 = e0.min(upper_eps);
+                self.next[2 * b] = u_e0;
+                self.next[2 * b + 1] = e0 - u_e0;
+            }
+            std::mem::swap(&mut self.cur, &mut self.next);
+        }
+        // Leaf step: a leaf's quota is 1 for ε₀ (sorts up) and 0 for ε₁.
+        let (tags, quota) = (&self.tags, &self.cur);
+        self.gamma.fill_from(sz, |i| match tags.get(i) {
+            Tag::One => true,
+            Tag::Eps => quota[i] == 0,
+            _ => false,
+        });
+        Ok(())
+    }
+
+    /// Convenience: ε-divide then bit-sort with target `len/2` — the full
+    /// quasisort plan of Section 5.2, written into `settings`.
+    pub fn plan_quasisort(
+        &mut self,
+        base: usize,
+        settings: &mut RbnSettings,
+    ) -> Result<(), PlanError> {
+        self.eps_divide()?;
+        let half = self.tags.len() / 2;
+        self.plan_bitsort(half, base, settings);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{eps_divide, plan_bitsort, plan_scatter};
+
+    fn tag_of(code: usize) -> Tag {
+        match code & 3 {
+            0 => Tag::Zero,
+            1 => Tag::One,
+            2 => Tag::Alpha,
+            _ => Tag::Eps,
+        }
+    }
+
+    #[test]
+    fn bitvec_rank_matches_naive() {
+        let mut bv = BitVec::new();
+        for len in [1usize, 2, 63, 64, 65, 128, 130, 200] {
+            let bits: Vec<bool> = (0..len).map(|i| (i * 7 + len) % 3 == 0).collect();
+            bv.fill_from(len, |i| bits[i]);
+            assert_eq!(bv.len(), len);
+            let mut acc = 0;
+            for i in 0..=len {
+                assert_eq!(bv.rank(i), acc, "len={len} i={i}");
+                if i < len {
+                    assert_eq!(bv.get(i), bits[i]);
+                    acc += bits[i] as usize;
+                }
+            }
+            assert_eq!(bv.count_ones(), acc);
+            assert_eq!(bv.first_set(), bits.iter().position(|&b| b));
+        }
+    }
+
+    #[test]
+    fn tagvec_round_trips_and_counts() {
+        let mut tv = TagVec::new();
+        for len in [2usize, 8, 64, 65, 100] {
+            let tags: Vec<Tag> = (0..len).map(|i| tag_of(i * 5 + 3)).collect();
+            tv.fill_from(len, |i| tags[i]);
+            for (i, &t) in tags.iter().enumerate() {
+                assert_eq!(tv.get(i), t);
+            }
+            assert_eq!(tv.counts(), TagCounts::of(&tags));
+            let mut plane = BitVec::new();
+            for (p, want) in [
+                (TagPlane::Zero, Tag::Zero),
+                (TagPlane::One, Tag::One),
+                (TagPlane::Alpha, Tag::Alpha),
+                (TagPlane::Eps, Tag::Eps),
+            ] {
+                tv.extract_plane(p, &mut plane);
+                for (i, &t) in tags.iter().enumerate() {
+                    assert_eq!(plane.get(i), t == want, "len={len} i={i} {want:?}");
+                }
+                assert_eq!(tv.first_in_plane(p), tags.iter().position(|&t| t == want));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_bitsort_matches_reference_exhaustively_n8() {
+        let n = 8;
+        let mut scratch = SweepScratch::new();
+        for pattern in 0..(1u32 << n) {
+            let gamma: Vec<bool> = (0..n).map(|i| pattern >> i & 1 == 1).collect();
+            for s in 0..n {
+                let want = plan_bitsort(&gamma, s).settings;
+                let mut got = RbnSettings::identity(n);
+                scratch.set_gamma(n, |i| gamma[i]);
+                scratch.plan_bitsort(s, 0, &mut got);
+                assert_eq!(got, want, "pattern={pattern:08b} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_scatter_matches_reference_exhaustively_n4() {
+        let n = 4;
+        let mut scratch = SweepScratch::new();
+        for pattern in 0..(1usize << (2 * n)) {
+            let tags: Vec<Tag> = (0..n).map(|i| tag_of(pattern >> (2 * i))).collect();
+            for s in 0..n {
+                let want = plan_scatter(&tags, s).settings;
+                let mut got = RbnSettings::identity(n);
+                scratch.set_tags(n, |i| tags[i]);
+                scratch.plan_scatter(s, 0, &mut got);
+                assert_eq!(got, want, "tags={tags:?} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_scatter_matches_reference_randomized() {
+        let mut scratch = SweepScratch::new();
+        let mut state = 0x243F6A8885A308D3u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [8usize, 16, 64, 256] {
+            for _ in 0..40 {
+                let tags: Vec<Tag> = (0..n).map(|_| tag_of(rng() as usize)).collect();
+                let s = rng() as usize % n;
+                let want = plan_scatter(&tags, s).settings;
+                let mut got = RbnSettings::identity(n);
+                scratch.set_tags(n, |i| tags[i]);
+                scratch.plan_scatter(s, 0, &mut got);
+                assert_eq!(got, want, "n={n} s={s} tags={tags:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_eps_divide_matches_reference() {
+        let mut scratch = SweepScratch::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [2usize, 8, 64, 128] {
+            let mut checked = 0;
+            while checked < 30 {
+                // ε-heavy draw so the half constraints usually hold.
+                let tags: Vec<Tag> = (0..n)
+                    .map(|_| match rng() % 4 {
+                        0 => Tag::Zero,
+                        1 => Tag::One,
+                        _ => Tag::Eps,
+                    })
+                    .collect();
+                let want = match eps_divide(&tags) {
+                    Ok(plan) => plan,
+                    Err(_) => continue,
+                };
+                scratch.set_tags(n, |i| tags[i]);
+                scratch.eps_divide().unwrap();
+                for (i, q) in want.qtags.iter().enumerate() {
+                    assert_eq!(scratch.gamma().get(i), q.sort_bit(), "n={n} i={i}");
+                }
+                checked += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn packed_eps_divide_rejects_like_reference() {
+        let mut scratch = SweepScratch::new();
+        scratch.set_tags(2, |i| if i == 0 { Tag::Alpha } else { Tag::Eps });
+        assert_eq!(
+            scratch.eps_divide().unwrap_err(),
+            PlanError::AlphaInQuasisort { position: 0 }
+        );
+        use Tag::*;
+        let tags = [One, One, One, Eps];
+        scratch.set_tags(4, |i| tags[i]);
+        assert!(matches!(
+            scratch.eps_divide().unwrap_err(),
+            PlanError::HalfOverflow { n1: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn packed_planners_write_at_block_offsets() {
+        // Plan a 4-wide scatter at base 4 of an 8-wide table: only switch
+        // indices [2, 4) of stages 0–1 may change.
+        let n = 8;
+        let tags = [Tag::Alpha, Tag::Eps, Tag::Zero, Tag::One];
+        let mut scratch = SweepScratch::new();
+        let mut table = RbnSettings::identity(n);
+        scratch.set_tags(4, |i| tags[i]);
+        scratch.plan_scatter(0, 4, &mut table);
+        let want_local = plan_scatter(&tags, 0).settings;
+        for j in 0..2 {
+            assert_eq!(&table.stage(j)[2..4], want_local.stage(j));
+            assert_eq!(&table.stage(j)[..2], &[SwitchSetting::Parallel; 2]);
+        }
+        assert_eq!(table.stage(2), &[SwitchSetting::Parallel; 4]);
+    }
+
+    #[test]
+    fn quasisort_convenience_plans_both_phases() {
+        use Tag::*;
+        let tags = [One, Eps, Zero, One, Eps, Zero, Eps, Eps];
+        let mut scratch = SweepScratch::new();
+        let mut got = RbnSettings::identity(8);
+        scratch.set_tags(8, |i| tags[i]);
+        scratch.plan_quasisort(0, &mut got).unwrap();
+        let (_, sort) = crate::plan::plan_quasisort(&tags).unwrap();
+        assert_eq!(got, sort.settings);
+    }
+}

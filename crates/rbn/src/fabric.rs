@@ -70,6 +70,15 @@ impl RbnSettings {
         self.stages[j][b * w..(b + 1) * w].copy_from_slice(block_settings);
     }
 
+    /// Mutable view of the merging-stage slice that [`RbnSettings::set_block`]
+    /// writes: the `2^j` stage-`j` settings of the sub-RBN at block `b`.
+    /// Lets the zero-allocation planners fill settings in place.
+    #[inline]
+    pub fn block_mut(&mut self, j: usize, b: usize) -> &mut [SwitchSetting] {
+        let w = 1usize << j;
+        &mut self.stages[j][b * w..(b + 1) * w]
+    }
+
     /// Resets every switch to parallel (used between passes of the feedback
     /// implementation when the physical RBN is re-programmed).
     pub fn reset_parallel(&mut self) {
@@ -123,6 +132,37 @@ impl RbnSettings {
         Ok(lines)
     }
 
+    /// [`RbnSettings::run_block`] against a precomputed [`RbnWiring`]: walks
+    /// the stored `(upper, lower)` pair table instead of re-deriving the
+    /// stage geometry, so a block run performs no heap allocation.
+    ///
+    /// A sub-RBN of size `2^k` at `base` occupies the *contiguous* switch
+    /// index range `[base/2, (base + 2^k)/2)` of every stage `j < k` (drop
+    /// bit `j` of the upper line's position), so one linear scan per stage
+    /// covers exactly the block's switches in the same order as
+    /// [`RbnSettings::run_block`].
+    pub fn run_block_wired<P, S: FnMut(P) -> (P, P)>(
+        &self,
+        lines: &mut [Line<P>],
+        base: usize,
+        size: usize,
+        wiring: &RbnWiring,
+        split: &mut S,
+    ) -> Result<(), SwitchError> {
+        let k = log2_exact(size) as usize;
+        assert_eq!(wiring.n(), self.n);
+        assert!(base.is_multiple_of(size) && base + size <= self.n);
+        for j in 0..k {
+            let stage = &self.stages[j];
+            let pairs = wiring.stage(j);
+            for idx in base / 2..(base + size) / 2 {
+                let (u, l) = pairs[idx];
+                apply_in_place(lines, u as usize, l as usize, stage[idx], split)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Runs only stages `[0, k)` on the block of lines `[base, base + 2^k)`,
     /// mutating in place. This is the primitive the feedback implementation
     /// (Section 7.3) uses: later passes reuse only the first stages of the
@@ -144,6 +184,53 @@ impl RbnSettings {
             run_stage_blocks(lines, base, size, j, &self.stages[j], split)?;
         }
         Ok(())
+    }
+}
+
+/// The shuffle/exchange wiring of an `n × n` RBN, precomputed once: for every
+/// stage `j` and global switch index `i`, the `(upper, lower)` line pair
+/// meeting at that switch.
+///
+/// The pairs are pure address arithmetic (stage `j` pairs lines differing in
+/// bit `j`), so the table never changes for a given `n`; building it at
+/// network construction lets every subsequent route walk it allocation-free
+/// via [`RbnSettings::run_block_wired`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RbnWiring {
+    n: usize,
+    /// `stages[j][i]` = lines entering switch `i` of stage `j`.
+    stages: Vec<Vec<(u32, u32)>>,
+}
+
+impl RbnWiring {
+    /// Builds the wiring table for an `n × n` RBN (`n` a power of two ≥ 2).
+    pub fn new(n: usize) -> Self {
+        let m = log2_exact(n) as usize;
+        let mut stages = Vec::with_capacity(m);
+        for j in 0..m {
+            let mask = (1usize << j) - 1;
+            stages.push(
+                (0..n / 2)
+                    .map(|i| {
+                        let u = ((i & !mask) << 1) | (i & mask);
+                        (u as u32, (u | (1 << j)) as u32)
+                    })
+                    .collect(),
+            );
+        }
+        RbnWiring { n, stages }
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The `(upper, lower)` line pairs of stage `j`, indexed by global switch
+    /// index.
+    #[inline]
+    pub fn stage(&self, j: usize) -> &[(u32, u32)] {
+        &self.stages[j]
     }
 }
 
@@ -324,6 +411,70 @@ mod tests {
                 Tag::One
             ]
         );
+    }
+
+    #[test]
+    fn wiring_matches_stage_geometry() {
+        for n in [2usize, 4, 8, 32] {
+            let wiring = RbnWiring::new(n);
+            assert_eq!(wiring.n(), n);
+            for j in 0..brsmn_topology::log2_exact(n) {
+                let mut from_blocks = vec![(0u32, 0u32); n / 2];
+                for ms in brsmn_topology::stage::rbn_stage_blocks(n, j) {
+                    for i in 0..ms.switches() {
+                        let (u, l) = ms.pair(i);
+                        let bit = 1usize << j;
+                        let idx = ((u >> (j + 1)) << j as usize) | (u & (bit - 1));
+                        from_blocks[idx] = (u as u32, l as u32);
+                    }
+                }
+                assert_eq!(wiring.stage(j as usize), &from_blocks[..], "n={n} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_block_wired_matches_run_block() {
+        let n = 8;
+        let wiring = RbnWiring::new(n);
+        // A settings table exercising all stages: derived from a real plan.
+        let plan = crate::plan::plan_bitsort(&[true, false, true, true, false, true, false, false], 3);
+        for (base, size) in [(0usize, 8usize), (0, 4), (4, 4), (2, 2)] {
+            let tags = [
+                Tag::One,
+                Tag::Zero,
+                Tag::One,
+                Tag::One,
+                Tag::Zero,
+                Tag::One,
+                Tag::Zero,
+                Tag::Zero,
+            ];
+            let mk = || -> Vec<Line<usize>> {
+                tags.iter()
+                    .enumerate()
+                    .map(|(i, &t)| Line::with(t, i))
+                    .collect()
+            };
+            let mut a = mk();
+            let mut b = mk();
+            plan.settings
+                .run_block(&mut a, base, size, &mut clone_split)
+                .unwrap();
+            plan.settings
+                .run_block_wired(&mut b, base, size, &wiring, &mut clone_split)
+                .unwrap();
+            assert_eq!(a, b, "base={base} size={size}");
+        }
+    }
+
+    #[test]
+    fn block_mut_writes_like_set_block() {
+        let mut a = RbnSettings::identity(8);
+        let mut b = RbnSettings::identity(8);
+        a.set_block(1, 1, &[Crossing, UpperBroadcast]);
+        b.block_mut(1, 1).copy_from_slice(&[Crossing, UpperBroadcast]);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   payload-splitting broadcast semantics;
 //! * [`plan`] — the distributed forward/backward algorithms of Tables 3, 4
 //!   and 6 (bit sorting, scattering, ε-dividing) as array-based planners;
+//! * [`bitplan`] — the same three sweeps word-packed: tags in two `u64` bit
+//!   planes, forward values by popcount, settings written into
+//!   caller-provided buffers with zero steady-state allocation;
 //! * [`distributed`] — the same algorithms as an event-driven
 //!   message-passing execution over the Fig. 8 tree (cross-validates the
 //!   planners and measures parallel rounds);
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod bitplan;
 pub mod distributed;
 pub mod fabric;
 pub mod network;
@@ -46,14 +50,18 @@ pub mod plan;
 pub mod sequence;
 pub mod setting;
 
+pub use bitplan::{BitVec, SweepScratch, TagPlane, TagVec};
 pub use distributed::{
     distributed_bitsort, distributed_eps_divide, distributed_scatter, SweepStats,
 };
-pub use fabric::{clone_split, RbnSettings};
+pub use fabric::{clone_split, RbnSettings, RbnWiring};
 pub use network::{BitSortingRbn, QuasisortRbn, RbnError, ScatterRbn};
 pub use plan::{
     eps_divide, plan_bitsort, plan_quasisort, plan_scatter, BitsortPlan, DomType, EpsDividePlan,
     PlanError, ScatterNode, ScatterPlan,
 };
 pub use sequence::{compact_sequence, is_compact_at, recognize_compact, Compact};
-pub use setting::{binary_compact_setting, trinary_compact_setting};
+pub use setting::{
+    binary_compact_setting, binary_compact_setting_into, trinary_compact_setting,
+    trinary_compact_setting_into,
+};

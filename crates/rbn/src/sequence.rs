@@ -47,11 +47,40 @@ pub fn in_gamma_run(n: usize, s: usize, l: usize, pos: usize) -> bool {
 pub fn recognize_compact(seq: &[bool]) -> Option<Compact> {
     let n = seq.len();
     assert!(n > 0);
+    // Single run-length scan: count γs and β→γ boundaries in one pass,
+    // bailing out at the second boundary. A sequence with 0 < l < n is
+    // compact iff it has exactly one such boundary (circularly); the
+    // degenerate runs have none. No allocation, no per-step modulo.
+    let mut l = 0usize;
+    let mut first_start = None;
+    let mut prev = seq[n - 1];
+    for (i, &g) in seq.iter().enumerate() {
+        l += g as usize;
+        if g && !prev {
+            if first_start.is_some() {
+                return None;
+            }
+            first_start = Some(i);
+        }
+        prev = g;
+    }
+    match first_start {
+        Some(s) => Some(Compact { s, l }),
+        // No boundary: all-β or all-γ; canonical s = 0.
+        None => Some(Compact { s: 0, l }),
+    }
+}
+
+/// The original boundary-collecting recognizer, kept as a test oracle for
+/// the scan above.
+#[cfg(test)]
+pub(crate) fn recognize_compact_oracle(seq: &[bool]) -> Option<Compact> {
+    let n = seq.len();
+    assert!(n > 0);
     let l = seq.iter().filter(|&&g| g).count();
     if l == 0 || l == n {
         return Some(Compact { s: 0, l });
     }
-    // Count β→γ boundaries; a compact sequence has exactly one.
     let mut starts = Vec::new();
     for i in 0..n {
         let prev = seq[(i + n - 1) % n];
@@ -140,6 +169,20 @@ mod tests {
             Some(Compact { s: 0, l: 0 })
         );
         assert_eq!(recognize_compact(&[true; 5]), Some(Compact { s: 0, l: 5 }));
+    }
+
+    #[test]
+    fn scan_recognizer_matches_oracle_exhaustively() {
+        for n in 1usize..=14 {
+            for pattern in 0u32..(1u32 << n) {
+                let seq: Vec<bool> = (0..n).map(|i| pattern >> i & 1 == 1).collect();
+                assert_eq!(
+                    recognize_compact(&seq),
+                    recognize_compact_oracle(&seq),
+                    "n={n} pattern={pattern:b}"
+                );
+            }
+        }
     }
 
     #[test]

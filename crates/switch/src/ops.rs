@@ -37,6 +37,7 @@ impl SwitchSetting {
     }
 
     /// Inverse of [`Self::code`].
+    #[inline]
     pub fn from_code(code: u8) -> Option<Self> {
         Some(match code {
             0 => SwitchSetting::Parallel,
@@ -56,6 +57,7 @@ impl SwitchSetting {
     /// The opposite unicast setting (`0 ↔ 1`); broadcasts are their own
     /// complement partner (`2 ↔ 3`). Matches the `ucast̄` / `b̄` notation of
     /// Tables 3–4.
+    #[inline]
     pub fn complement(self) -> Self {
         match self {
             SwitchSetting::Parallel => SwitchSetting::Crossing,
@@ -74,7 +76,7 @@ impl fmt::Display for SwitchSetting {
 
 /// One line (link) of the network: a tag plus, when the tag is not `ε`, a
 /// payload of type `P` (the message body and any pending routing-tag stream).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Line<P> {
     /// The routing tag currently on the line.
     pub tag: Tag,
@@ -84,6 +86,7 @@ pub struct Line<P> {
 
 impl<P> Line<P> {
     /// An empty line (`ε`).
+    #[inline]
     pub fn empty() -> Self {
         Line {
             tag: Tag::Eps,
@@ -92,6 +95,7 @@ impl<P> Line<P> {
     }
 
     /// A line carrying `payload` under `tag` (which must not be `ε`).
+    #[inline]
     pub fn with(tag: Tag, payload: P) -> Self {
         assert!(tag != Tag::Eps, "ε lines carry no payload");
         Line {
@@ -101,6 +105,7 @@ impl<P> Line<P> {
     }
 
     /// Checks the tag/payload invariant.
+    #[inline]
     pub fn is_consistent(&self) -> bool {
         (self.tag == Tag::Eps) == self.payload.is_none()
     }
@@ -135,6 +140,7 @@ impl std::error::Error for SwitchError {}
 /// settings require an `α` on the broadcast port and an `ε` on the other
 /// (Fig. 3c/3d); the payload is duplicated and the copies are tagged `0`
 /// (upper output) and `1` (lower output).
+#[inline]
 pub fn apply_switch<P: Clone>(
     setting: SwitchSetting,
     upper: Line<P>,
