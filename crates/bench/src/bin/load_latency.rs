@@ -29,7 +29,8 @@ fn main() {
                     42,
                     rounds,
                     |asg| net.route(asg).map(|r| r.realizes(asg)).unwrap_or(false),
-                );
+                )
+                .expect("valid config and a nonblocking fabric");
                 vec![
                     format!("{p:.2}"),
                     stats.served.to_string(),

@@ -7,6 +7,7 @@
 //! brsmn-cli route  --file asg.json --engine self-routing --trace
 //! brsmn-cli info   --n 1024                                  # cost sheet
 //! brsmn-cli seq    --n 8 --dests 3,4,7                       # routing-tag sequence
+//! brsmn-cli faults --n 64 --faults 64 --seed 1               # fault campaign
 //! ```
 
 use std::io::Read;
@@ -17,7 +18,7 @@ use brsmn_core::{
     metrics, render_trace, Brsmn, Engine, EngineConfig, FeedbackBrsmn, MulticastAssignment,
     RoutingResult, TagTree,
 };
-use brsmn_sim::{brsmn_routing_time, feedback_routing_time};
+use brsmn_sim::{brsmn_routing_time, feedback_routing_time, run_single_fault_campaign};
 use brsmn_workloads::{
     barrier_broadcast, even_conferences, random_multicast, random_permutation, replica_update,
     RandomSpec,
@@ -49,6 +50,8 @@ fn usage() -> &'static str {
               batched multi-threaded routing; --stats prints EngineStats JSON\n\
        info   --n N                                     cost/depth/time sheet\n\
        seq    --n N --dests A,B,C                       routing-tag sequence\n\
+       faults --n N [--faults F] [--frames K] [--seed S] [--json] [--per-fault]\n\
+              seeded single-fault injection campaign (detection/recovery rates)\n\
      workloads: dense | sparse | broadcast | permutation | conferences | replicas\n\
      engines:   semantic | self-routing | feedback | classical | crossbar | chengchen\n\
                 (--parallel supports semantic and self-routing)"
@@ -62,6 +65,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "route" => cmd_route(&args),
         "info" => cmd_info(&args),
         "seq" => cmd_seq(&args),
+        "faults" => cmd_faults(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -310,6 +314,62 @@ fn cmd_info(args: &Args) -> Result<(), String> {
             .switches()
     );
     println!("  crossbar                       : {} crosspoints", n * n);
+    Ok(())
+}
+
+/// `faults`: a seeded single-fault injection campaign over a random
+/// workload, printing detection and recovery rates of the graceful
+/// degradation ladder (verify → reference retry → rotation re-plan).
+fn cmd_faults(args: &Args) -> Result<(), String> {
+    let n: usize = args.get_parse("n")?.ok_or("--n is required")?;
+    if !n.is_power_of_two() || n < 8 {
+        return Err(format!("n must be a power of two >= 8, got {n}"));
+    }
+    let num_faults: usize = args.get_parse("faults")?.unwrap_or(64);
+    let frames: usize = args.get_parse("frames")?.unwrap_or(4);
+    let seed: u64 = args.get_parse("seed")?.unwrap_or(1);
+
+    let report =
+        run_single_fault_campaign(n, num_faults, frames, seed).map_err(|e| e.to_string())?;
+
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("{report}");
+        if args.flag("per-fault") {
+            println!();
+            for rec in &report.records {
+                println!(
+                    "  {}: {} corrupted, {} detected, {} retried, {} degraded, {} failed",
+                    rec.fault,
+                    rec.frames_corrupted,
+                    rec.frames_detected,
+                    rec.recovered_retry,
+                    rec.recovered_degraded,
+                    rec.frames_failed,
+                );
+            }
+        }
+    }
+
+    if report.false_negatives > 0 {
+        return Err(format!(
+            "{} corrupted frame(s) evaded detection",
+            report.false_negatives
+        ));
+    }
+    if report.control_false_positives > 0 {
+        return Err(format!(
+            "{} false positive(s) on the fault-free control run",
+            report.control_false_positives
+        ));
+    }
+    if !report.accounts() {
+        return Err("recovered + failed frames do not account for corrupted frames".into());
+    }
     Ok(())
 }
 

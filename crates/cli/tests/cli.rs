@@ -96,6 +96,27 @@ fn trace_renders_levels() {
 }
 
 #[test]
+fn faults_campaign_detects_everything() {
+    let out = bin()
+        .args(["faults", "--n", "16", "--faults", "12", "--frames", "3", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("0 false negatives"), "{text}");
+    assert!(text.contains("0 false positives"), "{text}");
+
+    // --json emits the structured CampaignReport.
+    let out = bin()
+        .args(["faults", "--n", "16", "--faults", "4", "--seed", "7", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("\"false_negatives\": 0"), "{text}");
+}
+
+#[test]
 fn bad_input_fails_cleanly() {
     let out = bin().args(["route", "--n", "7"]).output().unwrap();
     assert!(!out.status.success());

@@ -51,6 +51,7 @@ use crate::brsmn::{final_switch, Brsmn};
 use crate::bsn::Bsn;
 use crate::error::CoreError;
 use crate::payload::{RoutePayload, SelfRoutedMsg, SemanticMsg};
+use crate::verify::{verify_routing, FaultReport};
 use brsmn_rbn::par;
 use brsmn_switch::{Line, Tag};
 use brsmn_topology::log2_exact;
@@ -220,8 +221,16 @@ pub struct EngineStats {
     pub parallel_halves: bool,
     /// Frames routed successfully.
     pub frames_ok: usize,
-    /// Frames that returned an error.
+    /// Frames that returned an error (or, on the resilient path, exhausted
+    /// the whole retry ladder without producing a verified result).
     pub frames_failed: usize,
+    /// Frames whose primary attempt failed verification but that recovered
+    /// on the reference-router retry
+    /// ([`Engine::route_batch_resilient`]; always 0 on the plain paths).
+    pub frames_retried: usize,
+    /// Frames that recovered only via the degraded re-plan stage of the
+    /// retry ladder (always 0 on the plain paths).
+    pub frames_degraded: usize,
     /// Per-stage counters summed over all frames and workers.
     pub stages: StageTimer,
     /// End-to-end wall time for the whole batch, nanoseconds.
@@ -266,6 +275,69 @@ pub struct BatchOutput {
     pub results: Vec<Result<RoutingResult, CoreError>>,
     /// Aggregated per-stage instrumentation.
     pub stats: EngineStats,
+}
+
+/// How a frame fared on the resilient path's verify → retry → degrade
+/// ladder ([`Engine::route_batch_resilient`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrameOutcome {
+    /// The primary attempt verified — the fabric behaved.
+    Ok,
+    /// The primary attempt failed verification; the reference-router retry
+    /// produced a verified result.
+    Retried,
+    /// Only the degraded re-plan (faulty block avoided) produced a verified
+    /// result.
+    Degraded,
+    /// Every stage of the ladder failed; the frame's result is an error.
+    Failed,
+}
+
+/// A router that the engine can drive through its verify → retry → degrade
+/// ladder ([`Engine::route_batch_resilient`]).
+///
+/// The three stages mirror the degradation policy of the fault-tolerance
+/// subsystem: a fast primary attempt, a retry on the reference (allocating)
+/// router — which clears transient upsets — and a final re-plan that avoids
+/// the faulty region using the compact-sequence freedom of Lemmas 1–5
+/// (rotating the scatter target `s`). Implementations that have no fault
+/// mask (e.g. a healthy [`Brsmn`]) return `None` from
+/// [`ResilientRouter::route_degraded`].
+pub trait ResilientRouter {
+    /// The primary (fast-path) attempt.
+    fn route_primary(&self, asg: &MulticastAssignment) -> Result<RoutingResult, CoreError>;
+
+    /// The retry attempt after the primary result failed verification.
+    fn route_retry(&self, asg: &MulticastAssignment) -> Result<RoutingResult, CoreError>;
+
+    /// The degraded re-plan guided by the verifier's localization; `None`
+    /// when the router has no way to steer around the reported region.
+    fn route_degraded(
+        &self,
+        asg: &MulticastAssignment,
+        report: &FaultReport,
+    ) -> Option<Result<RoutingResult, CoreError>>;
+}
+
+/// A healthy network is trivially resilient: the fast path is primary, the
+/// reference router is the retry, and there is no fault mask to degrade
+/// around. This is the zero-false-positive control of the fault campaign.
+impl ResilientRouter for Brsmn {
+    fn route_primary(&self, asg: &MulticastAssignment) -> Result<RoutingResult, CoreError> {
+        self.route(asg)
+    }
+
+    fn route_retry(&self, asg: &MulticastAssignment) -> Result<RoutingResult, CoreError> {
+        self.route_reference(asg)
+    }
+
+    fn route_degraded(
+        &self,
+        _asg: &MulticastAssignment,
+        _report: &FaultReport,
+    ) -> Option<Result<RoutingResult, CoreError>> {
+        None
+    }
 }
 
 /// The batched, multi-threaded BRSMN routing engine.
@@ -368,6 +440,8 @@ impl Engine {
                 parallel_halves: false,
                 frames_ok,
                 frames_failed,
+                frames_retried: 0,
+                frames_degraded: 0,
                 stages,
                 wall_nanos,
                 busy_nanos,
@@ -394,6 +468,84 @@ impl Engine {
         let out = self.route_batch(std::slice::from_ref(asg));
         let mut results = out.results;
         (results.remove(0), out.stats)
+    }
+
+    /// Routes a batch through `router` with post-route verification and the
+    /// graceful-degradation ladder, in parallel across the configured
+    /// workers.
+    ///
+    /// Each frame's attempt sequence is: **primary** → verify; on failure
+    /// **retry** (reference router) → verify; on failure **degraded**
+    /// re-plan (if the router offers one) → verify. A frame that exhausts
+    /// the ladder yields [`CoreError::Verification`] carrying the last
+    /// [`FaultReport`] (or the routing error of the last attempt). The
+    /// outcomes are returned per frame and rolled up into
+    /// [`EngineStats::frames_retried`] / [`EngineStats::frames_degraded`] /
+    /// [`EngineStats::frames_failed`]; `frames_ok` counts **verified**
+    /// frames regardless of which rung delivered them.
+    pub fn route_batch_resilient<R>(
+        &self,
+        batch: &[MulticastAssignment],
+        router: &R,
+    ) -> (BatchOutput, Vec<FrameOutcome>)
+    where
+        R: ResilientRouter + Sync,
+    {
+        let n = self.net.n();
+        let workers = par::effective_workers(self.cfg.workers).min(batch.len().max(1));
+
+        let wall_start = Instant::now();
+        let frames = par::par_map(batch, workers, |_idx, asg| {
+            let frame_start = Instant::now();
+            let (result, outcome) = route_resilient_frame(asg, router);
+            (result, outcome, frame_start.elapsed().as_nanos() as u64)
+        });
+        let wall_nanos = wall_start.elapsed().as_nanos() as u64;
+
+        let mut busy_nanos = 0u64;
+        let mut results = Vec::with_capacity(frames.len());
+        let mut outcomes = Vec::with_capacity(frames.len());
+        let (mut frames_ok, mut frames_failed) = (0usize, 0usize);
+        let (mut frames_retried, mut frames_degraded) = (0usize, 0usize);
+        for (result, outcome, frame_nanos) in frames {
+            busy_nanos += frame_nanos;
+            match outcome {
+                FrameOutcome::Ok => frames_ok += 1,
+                FrameOutcome::Retried => {
+                    frames_ok += 1;
+                    frames_retried += 1;
+                }
+                FrameOutcome::Degraded => {
+                    frames_ok += 1;
+                    frames_degraded += 1;
+                }
+                FrameOutcome::Failed => frames_failed += 1,
+            }
+            results.push(result);
+            outcomes.push(outcome);
+        }
+
+        (
+            BatchOutput {
+                results,
+                stats: EngineStats {
+                    n,
+                    batch: batch.len(),
+                    workers,
+                    parallel_halves: false,
+                    frames_ok,
+                    frames_failed,
+                    frames_retried,
+                    frames_degraded,
+                    stages: StageTimer::new(),
+                    wall_nanos,
+                    busy_nanos,
+                    fastpath_frames: 0,
+                    scratch_bytes: 0,
+                },
+            },
+            outcomes,
+        )
     }
 
     /// Shared batch driver over any payload preparation function.
@@ -442,6 +594,8 @@ impl Engine {
                 parallel_halves: fork_depth > 0,
                 frames_ok,
                 frames_failed,
+                frames_retried: 0,
+                frames_degraded: 0,
                 stages,
                 wall_nanos,
                 busy_nanos,
@@ -481,6 +635,51 @@ impl Engine {
         let out = route_block_timed(lines, 0, 1, fork_depth, timer)?;
         crate::brsmn::extract_result(out)
     }
+}
+
+/// Drives one frame through the verify → retry → degrade ladder.
+fn route_resilient_frame<R: ResilientRouter>(
+    asg: &MulticastAssignment,
+    router: &R,
+) -> (Result<RoutingResult, CoreError>, FrameOutcome) {
+    // Checks one attempt: Ok(result) if it verified, Err(the error to carry
+    // forward) otherwise.
+    let check = |attempt: Result<RoutingResult, CoreError>| match attempt {
+        Ok(r) => match verify_routing(asg, &r) {
+            Ok(()) => Ok(r),
+            Err(report) => Err(CoreError::Verification(report)),
+        },
+        Err(e) => Err(e),
+    };
+
+    let primary_failure = match check(router.route_primary(asg)) {
+        Ok(r) => return (Ok(r), FrameOutcome::Ok),
+        Err(e) => e,
+    };
+
+    let retry_failure = match check(router.route_retry(asg)) {
+        Ok(r) => return (Ok(r), FrameOutcome::Retried),
+        Err(e) => e,
+    };
+
+    // Degrading needs the verifier's localization. A routing error (e.g. a
+    // fault-induced planner failure) localizes nothing, so use whichever
+    // attempt produced a report, preferring the fresher retry.
+    let report = [&retry_failure, &primary_failure]
+        .into_iter()
+        .find_map(|e| match e {
+            CoreError::Verification(r) => Some(r.clone()),
+            _ => None,
+        });
+    if let Some(report) = report {
+        if let Some(degraded) = router.route_degraded(asg, &report) {
+            match check(degraded) {
+                Ok(r) => return (Ok(r), FrameOutcome::Degraded),
+                Err(e) => return (Err(e), FrameOutcome::Failed),
+            }
+        }
+    }
+    (Err(retry_failure), FrameOutcome::Failed)
 }
 
 /// Instrumented (and optionally halves-parallel) version of the recursive

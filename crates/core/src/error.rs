@@ -31,6 +31,10 @@ pub enum CoreError {
     },
     /// An RBN-level failure (planner precondition or illegal switch op).
     Rbn(RbnError),
+    /// The routed output failed post-route verification against its
+    /// assignment ([`crate::verify_routing`]) and every stage of the
+    /// graceful-degradation ladder — the signature of a faulty fabric.
+    Verification(crate::verify::FaultReport),
     /// An invariant the paper guarantees was violated — a bug, never expected.
     Internal(String),
 }
@@ -48,6 +52,9 @@ impl fmt::Display for CoreError {
                 write!(f, "two messages arrived at output {output}")
             }
             CoreError::Rbn(e) => e.fmt(f),
+            CoreError::Verification(report) => {
+                write!(f, "output verification failed: {report}")
+            }
             CoreError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }

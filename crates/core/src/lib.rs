@@ -20,7 +20,10 @@
 //!   [`RouteScratch`] arenas over the packed-word planners of `brsmn-rbn`;
 //! * [`feedback`] — the single-RBN feedback implementation (Section 7.3)
 //!   cutting hardware to `Θ(n log n)`;
-//! * [`metrics`] — exact switch/gate/depth accounting (Section 7.4).
+//! * [`metrics`] — exact switch/gate/depth accounting (Section 7.4);
+//! * [`verify`] — post-route output verification with fault localization,
+//!   feeding the engine's graceful-degradation ladder
+//!   ([`engine::ResilientRouter`]).
 //!
 //! # Quickstart
 //!
@@ -56,12 +59,16 @@ pub mod payload;
 pub mod render;
 pub mod stream;
 pub mod tags;
+pub mod verify;
 
 pub use algebra::{idle_outputs, relabel_inputs, relabel_outputs, restrict, union};
 pub use assignment::{AssignmentError, MulticastAssignment, RoutingResult};
 pub use brsmn::{Brsmn, LevelTrace, RouteTrace};
 pub use bsn::{Bsn, BsnTrace};
-pub use engine::{BatchOutput, Engine, EngineConfig, EngineStats, LevelStats, StageTimer};
+pub use engine::{
+    BatchOutput, Engine, EngineConfig, EngineStats, FrameOutcome, LevelStats, ResilientRouter,
+    StageTimer,
+};
 pub use error::CoreError;
 pub use fastpath::{with_thread_scratch, RouteScratch};
 pub use feedback::{FeedbackBrsmn, FeedbackStats};
@@ -69,3 +76,4 @@ pub use payload::{RoutePayload, SelfRoutedMsg, SemanticMsg};
 pub use render::{render_rbn, render_trace};
 pub use stream::{stream_split, ForwardMode, StreamSplitter};
 pub use tags::{seq_for_dests, TagSeq, TagTree};
+pub use verify::{verify_routing, Divergence, FaultReport};

@@ -1,0 +1,310 @@
+//! Output verification: checking a [`RoutingResult`] against the
+//! [`MulticastAssignment`] it was supposed to realize.
+//!
+//! A healthy BRSMN realizes every assignment by the nonblocking theorem, so
+//! on a perfect fabric this check never fires. Its purpose is **fault
+//! detection**: a stuck switch, dead link or corrupted tag stream misroutes
+//! silently, and the only end-to-end observable is the per-output source
+//! table. [`verify_routing`] compares that table against the assignment and,
+//! on mismatch, emits a [`FaultReport`] that localizes the first level/block
+//! of the recursion (Fig. 1) where the observed delivery is inconsistent
+//! with *any* correct route — the coarsest region that must contain a faulty
+//! element.
+//!
+//! Localization uses the tag invariant of Section 3: at level `i` the
+//! network is partitioned into blocks of `n/2^{i−1}` consecutive outputs,
+//! and a message may legally occupy a block only if its destination set
+//! intersects that block. If input `a`'s message surfaced at output `o`
+//! with `I_a ∩ block_i(o) = ∅`, the misrouting happened no later than the
+//! level-`(i−1)` BSN feeding that block.
+//!
+//! ```
+//! use brsmn_core::{verify_routing, MulticastAssignment, RoutingResult};
+//!
+//! let asg = MulticastAssignment::from_sets(4, vec![
+//!     vec![0], vec![], vec![2, 3], vec![],
+//! ]).unwrap();
+//!
+//! // Output 1 received input 2's message, which belongs in {2, 3}.
+//! let bad = RoutingResult::new(vec![Some(0), Some(2), Some(2), Some(2)]);
+//! let report = verify_routing(&asg, &bad).unwrap_err();
+//! assert_eq!(report.divergences[0].output, 1);
+//! // {2,3} never intersects the upper half {0,1}: level 1 misrouted.
+//! assert_eq!(report.first_divergent_level, 1);
+//! ```
+
+use crate::assignment::{MulticastAssignment, RoutingResult};
+use brsmn_topology::log2_exact;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One output whose delivery disagrees with the assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Divergence {
+    /// The output address.
+    pub output: usize,
+    /// The input that should have reached it (`None` = should be idle).
+    pub expected: Option<usize>,
+    /// The input whose message actually arrived (`None` = nothing arrived).
+    pub actual: Option<usize>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let show = |s: Option<usize>| match s {
+            Some(i) => format!("input {i}"),
+            None => "idle".to_string(),
+        };
+        write!(
+            f,
+            "output {}: expected {}, got {}",
+            self.output,
+            show(self.expected),
+            show(self.actual)
+        )
+    }
+}
+
+/// Structured verdict of a failed verification: every divergent output plus
+/// the earliest level/block of the Fig. 1 recursion consistent with the
+/// observed damage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Network size.
+    pub n: usize,
+    /// All divergent outputs, ascending by output address.
+    pub divergences: Vec<Divergence>,
+    /// The earliest 1-based level whose BSN (or, at level `log2(n)`, final
+    /// 2×2 stage) must have misrouted. Pure message losses carry no position
+    /// information and localize to level 1.
+    pub first_divergent_level: usize,
+    /// The block index at [`Self::first_divergent_level`] (there are
+    /// `2^{level−1}` blocks of `n/2^{level−1}` outputs each).
+    pub first_divergent_block: usize,
+}
+
+impl FaultReport {
+    /// Outputs delivered wrongly (misrouted or spurious, not merely lost).
+    pub fn misdeliveries(&self) -> usize {
+        self.divergences
+            .iter()
+            .filter(|d| d.actual.is_some())
+            .count()
+    }
+
+    /// Outputs that should have received a message but got nothing.
+    pub fn losses(&self) -> usize {
+        self.divergences
+            .iter()
+            .filter(|d| d.actual.is_none())
+            .count()
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} divergent output(s), first at level {} block {}",
+            self.divergences.len(),
+            self.first_divergent_level,
+            self.first_divergent_block
+        )
+    }
+}
+
+/// Checks that `result` realizes `asg` exactly: every destination in every
+/// `I_i` received input `i`'s message, and no other output received
+/// anything. Returns a localizing [`FaultReport`] on the first failure.
+///
+/// # Panics
+///
+/// Panics if `result.n() != asg.n()` — results are only comparable against
+/// the assignment they were routed from.
+pub fn verify_routing(
+    asg: &MulticastAssignment,
+    result: &RoutingResult,
+) -> Result<(), FaultReport> {
+    let n = asg.n();
+    assert_eq!(result.n(), n, "result/assignment size mismatch");
+
+    let divergences: Vec<Divergence> = (0..n)
+        .filter_map(|o| {
+            let expected = asg.source_of_output(o);
+            let actual = result.output_source(o);
+            (expected != actual).then_some(Divergence {
+                output: o,
+                expected,
+                actual,
+            })
+        })
+        .collect();
+
+    if divergences.is_empty() {
+        return Ok(());
+    }
+
+    let (first_divergent_level, first_divergent_block) = divergences
+        .iter()
+        .map(|d| localize(asg, n, d))
+        .min()
+        .expect("divergences is non-empty");
+
+    Err(FaultReport {
+        n,
+        divergences,
+        first_divergent_level,
+        first_divergent_block,
+    })
+}
+
+/// The deepest level whose block containing `d.output` still intersects the
+/// misdelivered message's destination set — i.e. the level *within which*
+/// the route went wrong. Losses (no arriving message) return level 1.
+fn localize(asg: &MulticastAssignment, n: usize, d: &Divergence) -> (usize, usize) {
+    let levels = log2_exact(n) as usize;
+    let Some(src) = d.actual else {
+        return (1, 0);
+    };
+    let dests = asg.dests(src);
+    let mut level = 1;
+    while level < levels {
+        // Would the message still be legally placed entering level+1?
+        let bs = n >> level; // block size at level + 1
+        let lo = (d.output / bs) * bs;
+        if dests.iter().any(|&x| x >= lo && x < lo + bs) {
+            level += 1;
+        } else {
+            break;
+        }
+    }
+    (level, d.output / (n >> (level - 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_example() -> MulticastAssignment {
+        MulticastAssignment::from_sets(
+            8,
+            vec![
+                vec![0, 1],
+                vec![],
+                vec![3, 4, 7],
+                vec![2],
+                vec![],
+                vec![],
+                vec![],
+                vec![5, 6],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn correct_result() -> RoutingResult {
+        RoutingResult::new(vec![
+            Some(0),
+            Some(0),
+            Some(3),
+            Some(2),
+            Some(2),
+            Some(7),
+            Some(7),
+            Some(2),
+        ])
+    }
+
+    #[test]
+    fn correct_result_verifies() {
+        assert!(verify_routing(&paper_example(), &correct_result()).is_ok());
+    }
+
+    #[test]
+    fn loss_localizes_to_level_one() {
+        let asg = paper_example();
+        let mut src: Vec<Option<usize>> = (0..8).map(|o| correct_result().output_source(o)).collect();
+        src[5] = None; // input 7's copy for output 5 vanished
+        let report = verify_routing(&asg, &RoutingResult::new(src)).unwrap_err();
+        assert_eq!(report.losses(), 1);
+        assert_eq!(report.misdeliveries(), 0);
+        assert_eq!(report.first_divergent_level, 1);
+        assert_eq!(report.first_divergent_block, 0);
+        assert_eq!(
+            report.divergences,
+            vec![Divergence {
+                output: 5,
+                expected: Some(7),
+                actual: None
+            }]
+        );
+    }
+
+    #[test]
+    fn cross_half_misdelivery_localizes_to_level_one() {
+        let asg = paper_example();
+        let mut src: Vec<Option<usize>> = (0..8).map(|o| correct_result().output_source(o)).collect();
+        // Input 0 belongs entirely in {0,1} (upper half); surfacing at
+        // output 6 means the level-1 BSN already sent it the wrong way.
+        src[6] = Some(0);
+        let report = verify_routing(&asg, &RoutingResult::new(src)).unwrap_err();
+        assert_eq!(report.first_divergent_level, 1);
+        assert_eq!(report.first_divergent_block, 0);
+    }
+
+    #[test]
+    fn final_stage_misdelivery_localizes_to_last_level() {
+        let asg = paper_example();
+        let mut src: Vec<Option<usize>> = (0..8).map(|o| correct_result().output_source(o)).collect();
+        // Outputs 2 and 3 swapped: inputs 3 and 2 both legally occupy the
+        // final 2×2 block {2,3}, so only the final stage can be blamed.
+        src[2] = Some(2);
+        src[3] = Some(3);
+        let report = verify_routing(&asg, &RoutingResult::new(src)).unwrap_err();
+        assert_eq!(report.divergences.len(), 2);
+        assert_eq!(report.first_divergent_level, 3); // log2(8) levels
+        assert_eq!(report.first_divergent_block, 1); // block {2,3}
+    }
+
+    #[test]
+    fn spurious_delivery_from_idle_input_is_divergent() {
+        let asg = paper_example();
+        let mut src: Vec<Option<usize>> = (0..8).map(|o| correct_result().output_source(o)).collect();
+        src[2] = Some(4); // input 4 is idle; any delivery is spurious
+        let report = verify_routing(&asg, &RoutingResult::new(src)).unwrap_err();
+        assert_eq!(report.misdeliveries(), 1);
+        assert_eq!(report.losses(), 0); // input 3's loss *is* the misdelivery
+        assert_eq!(report.first_divergent_level, 1);
+    }
+
+    #[test]
+    fn duplicate_delivery_is_divergent() {
+        let asg = paper_example();
+        let mut src: Vec<Option<usize>> = (0..8).map(|o| correct_result().output_source(o)).collect();
+        // Input 2 legitimately reaches {3,4,7}; a fourth copy at output 6
+        // displaces input 7's copy.
+        src[6] = Some(2);
+        let report = verify_routing(&asg, &RoutingResult::new(src)).unwrap_err();
+        // Output 6 sits in final block {6,7} which intersects I_2 = {3,4,7}
+        // at 7, so the duplicate is only provably wrong at the final stage.
+        assert_eq!(report.first_divergent_level, 3);
+        assert_eq!(report.first_divergent_block, 3);
+    }
+
+    #[test]
+    fn report_display_and_serde() {
+        let asg = paper_example();
+        let report = verify_routing(&asg, &RoutingResult::new(vec![None; 8])).unwrap_err();
+        assert!(report.to_string().contains("level 1"));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: FaultReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    #[should_panic]
+    fn size_mismatch_panics() {
+        let asg = paper_example();
+        let _ = verify_routing(&asg, &RoutingResult::new(vec![None; 4]));
+    }
+}

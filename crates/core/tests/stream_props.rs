@@ -1,0 +1,113 @@
+//! Property-based tests for the streaming `SEQ` splitter (Section 7.1 /
+//! Fig. 10): the O(1)-buffer claim and agreement with the batch `descend`,
+//! exercised over random destination sets and adversarial raw tag streams.
+
+use brsmn_core::{seq_for_dests, stream_split, ForwardMode, StreamSplitter};
+use brsmn_switch::Tag;
+use proptest::prelude::*;
+
+fn arb_tag() -> impl Strategy<Value = Tag> {
+    prop_oneof![
+        Just(Tag::Zero),
+        Just(Tag::One),
+        Just(Tag::Alpha),
+        Just(Tag::Eps),
+    ]
+}
+
+fn arb_dests(max_pow: u32) -> impl Strategy<Value = (usize, Vec<usize>)> {
+    (2u32..=max_pow).prop_flat_map(|m| {
+        let n = 1usize << m;
+        proptest::collection::vec(any::<bool>(), n).prop_map(move |mask| {
+            let dests: Vec<usize> = (0..n).filter(|&i| mask[i]).collect();
+            (n, dests)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The Section 7.1 constant-buffer claim holds for ANY tag stream fed
+    /// to the splitter — including ill-formed ones no planner would emit,
+    /// the worst case for buffer occupancy: never more than one tag per
+    /// branch (2 total) is buffered.
+    #[test]
+    fn buffer_stays_constant_on_random_streams(tags in proptest::collection::vec(arb_tag(), 0..200)) {
+        let mut sp = StreamSplitter::new();
+        for &t in &tags {
+            let _ = sp.push(t);
+        }
+        prop_assert!(sp.max_buffered() <= 2, "O(1) claim violated: {}", sp.max_buffered());
+    }
+
+    /// Streaming a valid SEQ equals the batch `descend` for whichever of
+    /// the three forwarding modes its α-head (or 0/1-head) selects.
+    #[test]
+    fn streamed_split_equals_batch_descend((n, dests) in arb_dests(8)) {
+        let seq = seq_for_dests(n, &dests).unwrap();
+        let (up, down, peak) = stream_split(seq.tags());
+        prop_assert!(peak <= 2);
+
+        match seq.head() {
+            Tag::Alpha => {
+                // α-head path: both branches live, remainder alternates.
+                let (bup, bdown) = seq.split();
+                prop_assert_eq!(&up[..], bup.tags());
+                prop_assert_eq!(&down[..], bdown.tags());
+            }
+            Tag::Zero => {
+                let batch = seq.descend(Tag::Zero);
+                prop_assert_eq!(&up[..], batch.tags());
+                prop_assert!(down.is_empty());
+            }
+            Tag::One => {
+                let batch = seq.descend(Tag::One);
+                prop_assert_eq!(&down[..], batch.tags());
+                prop_assert!(up.is_empty());
+            }
+            Tag::Eps => {
+                prop_assert!(dests.is_empty());
+                prop_assert!(up.iter().all(|&t| t == Tag::Eps));
+                prop_assert!(down.is_empty());
+            }
+        }
+    }
+
+    /// The chosen mode matches the head tag, for every head.
+    #[test]
+    fn mode_follows_head(head in arb_tag(), rest in proptest::collection::vec(arb_tag(), 0..16)) {
+        let mut sp = StreamSplitter::new();
+        prop_assert!(sp.mode().is_none());
+        let first = sp.push(head);
+        // The head itself is consumed, never forwarded.
+        prop_assert_eq!(first.upper, None);
+        prop_assert_eq!(first.lower, None);
+        let expect = match head {
+            Tag::Zero | Tag::Eps => ForwardMode::UpperOnly,
+            Tag::One => ForwardMode::LowerOnly,
+            Tag::Alpha => ForwardMode::Both,
+        };
+        prop_assert_eq!(sp.mode(), Some(expect));
+        for &t in &rest {
+            let _ = sp.push(t);
+        }
+        prop_assert_eq!(sp.mode(), Some(expect), "mode must latch");
+    }
+
+    /// Conservation on the α-head path: every remainder tag lands in
+    /// exactly one branch (even parity up, odd parity down), so the two
+    /// streamed outputs partition the remainder.
+    #[test]
+    fn alpha_head_partitions_the_remainder(rest in proptest::collection::vec(arb_tag(), 0..64)) {
+        let mut tags = vec![Tag::Alpha];
+        tags.extend_from_slice(&rest);
+        let (up, down, _) = stream_split(&tags);
+        prop_assert_eq!(up.len(), rest.len().div_ceil(2));
+        prop_assert_eq!(down.len(), rest.len() / 2);
+        let evens: Vec<Tag> = rest.iter().copied().step_by(2).collect();
+        let odds: Vec<Tag> = rest.iter().copied().skip(1).step_by(2).collect();
+        prop_assert_eq!(up, evens);
+        prop_assert_eq!(down, odds);
+    }
+}

@@ -22,8 +22,20 @@ use std::thread;
 /// Resolves a requested worker count: `0` means "one per hardware thread",
 /// any other value is used as given (minimum 1).
 pub fn effective_workers(requested: usize) -> usize {
+    resolve_workers(
+        requested,
+        thread::available_parallelism().ok().map(|p| p.get()),
+    )
+}
+
+/// Pure core of [`effective_workers`], taking the detected hardware
+/// parallelism explicitly so restricted environments can be simulated in
+/// tests. `requested == 0` falls back to `detected`; a failed (`None`) or
+/// degenerate (`Some(0)`) detection clamps to 1 worker — never an empty
+/// pool.
+pub fn resolve_workers(requested: usize, detected: Option<usize>) -> usize {
     if requested == 0 {
-        thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        detected.unwrap_or(1).max(1)
     } else {
         requested
     }
@@ -171,5 +183,28 @@ mod tests {
         assert!(effective_workers(0) >= 1);
         assert_eq!(effective_workers(3), 3);
         assert_eq!(effective_workers(1), 1);
+    }
+
+    #[test]
+    fn resolve_workers_clamps_restricted_environments() {
+        // Detection failed entirely (e.g. sandboxed cgroup with no CPU info).
+        assert_eq!(resolve_workers(0, None), 1);
+        // Detection "succeeded" but reported zero CPUs.
+        assert_eq!(resolve_workers(0, Some(0)), 1);
+        // Normal detection passes through.
+        assert_eq!(resolve_workers(0, Some(8)), 8);
+        // Explicit requests are never overridden by detection.
+        assert_eq!(resolve_workers(3, None), 3);
+        assert_eq!(resolve_workers(3, Some(16)), 3);
+    }
+
+    #[test]
+    fn par_map_with_zero_workers_in_restricted_mock() {
+        // Regression: a batch must still complete when auto-detection would
+        // resolve to the 1-worker floor.
+        let workers = resolve_workers(0, Some(0));
+        let items: Vec<usize> = (0..16).collect();
+        let out = par_map(&items, workers, |_, &x| x + 1);
+        assert_eq!(out, (1..17).collect::<Vec<_>>());
     }
 }

@@ -1,0 +1,1114 @@
+//! Fault injection and graceful degradation for the BRSMN fabric.
+//!
+//! The paper proves that a *healthy* BRSMN realizes every multicast
+//! assignment; this module asks what happens when the fabric is not healthy.
+//! It models the physical failure modes of the network hardware:
+//!
+//! * **stuck-at switches** — a 2×2 switch frozen in one of its four Fig. 2
+//!   states (`parallel`, `crossing`, `upper-`/`lower-broadcast`) regardless
+//!   of what the planner programmed;
+//! * **dead links** — a line that drops whatever frame it carries;
+//! * **tag bit-flips** — one bit of the 3-bit Table 1 code word (`b0 b1 b2`)
+//!   of a line's tag XOR-ed, possibly turning a message into a phantom, an
+//!   `α` into an `ε`, or an idle line into a spurious tag.
+//!
+//! Faults are addressed by [`FaultSite`] coordinates `(level, stage, index)`
+//! and collected into a [`FaultPlan`], either explicitly or seeded randomly.
+//! [`FaultyBrsmn`] executes routes on the damaged fabric: it plans each BSN
+//! exactly like the healthy reference router, then *executes* the plan
+//! permissively ([`brsmn_switch::apply_switch_forced`]) with the plan's
+//! settings overridden at stuck switches and lines corrupted at fault sites,
+//! so damage propagates to the outputs instead of erroring mid-route.
+//!
+//! Detection is end-to-end: [`brsmn_core::verify_routing`] compares the
+//! delivered source table against the assignment. Recovery uses the
+//! [`ResilientRouter`] ladder of `brsmn-core`: retry (clears transient
+//! upsets), then degraded re-planning that exploits the compact-sequence
+//! freedom of Lemmas 1–5 — the scatter planner accepts *any* rotation
+//! `s_target` of its compact run, so [`FaultyBrsmn::route_degraded`] sweeps
+//! rotations of the faulty block until the plan happens to agree with (or
+//! route around) the stuck element.
+//!
+//! [`run_single_fault_campaign`] ties it together: a seeded campaign of
+//! single faults over a random workload, reporting detection and recovery
+//! rates (the `brsmn-cli faults` command prints it).
+
+use brsmn_core::{
+    verify_routing, Brsmn, CoreError, Engine, EngineConfig, FaultReport, FrameOutcome,
+    MulticastAssignment, ResilientRouter, RoutingResult,
+};
+use brsmn_rbn::{plan_quasisort, plan_scatter, RbnSettings, RbnWiring};
+use brsmn_switch::encoding::{decode_tag, encode_tag, TagCode};
+use brsmn_switch::{apply_switch_forced, Line, SwitchSetting, Tag};
+use brsmn_topology::log2_exact;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::mem;
+
+/// What is broken at a [`FaultSite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Switch frozen in the `r = 0` parallel state (Fig. 2).
+    StuckThrough,
+    /// Switch frozen in the `r = 1` crossing state (Fig. 2).
+    StuckCross,
+    /// Switch frozen in the `r = 2` upper-broadcast state (Fig. 2).
+    StuckUpperBroadcast,
+    /// Switch frozen in the `r = 3` lower-broadcast state (Fig. 2).
+    StuckLowerBroadcast,
+    /// The line drops its frame entirely.
+    DeadLink,
+    /// Bit `b` (0 = `b2` … 2 = `b0` of Table 1) of the line's tag code word
+    /// is inverted. Codes that decode to `ε` or to an unused word (`01X`)
+    /// drop the frame — the receiver treats the line as idle.
+    TagFlip(u8),
+}
+
+impl FaultKind {
+    /// The forced setting of a stuck switch, `None` for line faults.
+    pub fn stuck_setting(self) -> Option<SwitchSetting> {
+        match self {
+            FaultKind::StuckThrough => Some(SwitchSetting::Parallel),
+            FaultKind::StuckCross => Some(SwitchSetting::Crossing),
+            FaultKind::StuckUpperBroadcast => Some(SwitchSetting::UpperBroadcast),
+            FaultKind::StuckLowerBroadcast => Some(SwitchSetting::LowerBroadcast),
+            FaultKind::DeadLink | FaultKind::TagFlip(_) => None,
+        }
+    }
+
+    /// `true` for faults that corrupt a line rather than a switch.
+    pub fn is_line_fault(self) -> bool {
+        matches!(self, FaultKind::DeadLink | FaultKind::TagFlip(_))
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::StuckThrough => write!(f, "stuck-through"),
+            FaultKind::StuckCross => write!(f, "stuck-cross"),
+            FaultKind::StuckUpperBroadcast => write!(f, "stuck-upper-broadcast"),
+            FaultKind::StuckLowerBroadcast => write!(f, "stuck-lower-broadcast"),
+            FaultKind::DeadLink => write!(f, "dead-link"),
+            FaultKind::TagFlip(b) => write!(f, "tag-flip(bit {b})"),
+        }
+    }
+}
+
+/// Physical coordinate of a fault.
+///
+/// * `level` — 1-based level of the Fig. 1 recursion: levels `1 … m−1`
+///   (`m = log2(n)`) hold BSNs of size `n/2^{level−1}`; level `m` is the
+///   final column of plain 2×2 switches.
+/// * `stage` — 0-based switch stage *within* the level: a size-`2^k` BSN
+///   runs `k` scatter stages (`0 … k−1`) then `k` quasisort stages
+///   (`k … 2k−1`); the final level has the single stage `0`.
+/// * `index` — for switch faults, the global switch index within the stage
+///   (`0 … n/2`); for line faults, the global line index (`0 … n`). Line
+///   faults corrupt the line *entering* the given stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSite {
+    /// 1-based level of the recursion.
+    pub level: usize,
+    /// 0-based stage within the level.
+    pub stage: usize,
+    /// Global switch index (switch faults) or line index (line faults).
+    pub index: usize,
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "level {} stage {} index {}",
+            self.level, self.stage, self.index
+        )
+    }
+}
+
+/// One injected fault: a site, a kind and a persistence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fault {
+    /// Where.
+    pub site: FaultSite,
+    /// What.
+    pub kind: FaultKind,
+    /// Transient faults (particle upsets) afflict only the first attempt on
+    /// a frame and vanish on retry; persistent faults (hard failures) afflict
+    /// every attempt.
+    pub transient: bool,
+}
+
+impl Fault {
+    /// Whether the fault afflicts attempt number `attempt` of a frame
+    /// (attempt 0 = primary, 1 = retry, 2+ = degraded re-plans).
+    pub fn active(&self, attempt: usize) -> bool {
+        !self.transient || attempt == 0
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at {} ({})",
+            self.kind,
+            self.site,
+            if self.transient {
+                "transient"
+            } else {
+                "persistent"
+            }
+        )
+    }
+}
+
+/// A set of faults to inflict on a fabric.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A healthy fabric.
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan containing exactly one fault.
+    pub fn single(fault: Fault) -> Self {
+        FaultPlan {
+            faults: vec![fault],
+        }
+    }
+
+    /// Adds a fault.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// The faults in the plan.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Draws one uniformly random fault for an `n × n` network from `seed`:
+    /// a random level, stage, kind, coordinate and persistence class.
+    pub fn random_single(n: usize, seed: u64) -> Fault {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = log2_exact(n) as usize;
+        let level = rng.gen_range(1..=m);
+        let kind = match rng.gen_range(0..6usize) {
+            0 => FaultKind::StuckThrough,
+            1 => FaultKind::StuckCross,
+            2 => FaultKind::StuckUpperBroadcast,
+            3 => FaultKind::StuckLowerBroadcast,
+            4 => FaultKind::DeadLink,
+            _ => FaultKind::TagFlip(rng.gen_range(0..3u8)),
+        };
+        let stage = if level < m {
+            let k = log2_exact(n >> (level - 1)) as usize;
+            rng.gen_range(0..2 * k)
+        } else {
+            0
+        };
+        let index = if kind.is_line_fault() {
+            rng.gen_range(0..n)
+        } else {
+            rng.gen_range(0..n / 2)
+        };
+        Fault {
+            site: FaultSite {
+                level,
+                stage,
+                index,
+            },
+            kind,
+            transient: rng.gen_bool(0.5),
+        }
+    }
+
+    /// A seeded plan of `count` independent random faults.
+    pub fn random(n: usize, seed: u64, count: usize) -> Self {
+        FaultPlan {
+            faults: (0..count)
+                .map(|i| Self::random_single(n, seed.wrapping_add(i as u64)))
+                .collect(),
+        }
+    }
+
+    /// The forced setting of the switch at `(level, stage, switch)` on this
+    /// attempt, if a stuck-at fault sits there.
+    fn stuck_setting_at(
+        &self,
+        level: usize,
+        stage: usize,
+        switch: usize,
+        attempt: usize,
+    ) -> Option<SwitchSetting> {
+        self.faults.iter().find_map(|f| {
+            (f.active(attempt)
+                && f.site == FaultSite {
+                    level,
+                    stage,
+                    index: switch,
+                })
+            .then(|| f.kind.stuck_setting())
+            .flatten()
+        })
+    }
+
+    /// Line faults afflicting lines entering `(level, stage)` on this
+    /// attempt.
+    fn active_line_faults(
+        &self,
+        level: usize,
+        stage: usize,
+        attempt: usize,
+    ) -> impl Iterator<Item = &Fault> {
+        self.faults.iter().filter(move |f| {
+            f.kind.is_line_fault()
+                && f.active(attempt)
+                && f.site.level == level
+                && f.site.stage == stage
+        })
+    }
+}
+
+/// The message model of the faulty executor: source plus the *absolute*
+/// destination set.
+///
+/// The healthy `SemanticMsg` asserts at every split that its destinations
+/// lie inside the current block — exactly the invariant a fault breaks — so
+/// the faulty fabric carries this tolerant payload instead. A message's tag
+/// at each level is recomputed from `dests ∩ block` (the distributed
+/// hardware reads its real inputs, so planning adapts to whatever actually
+/// arrived); a misrouted message with no destination in its block is
+/// arbitrarily tagged `0` and keeps flowing until the output verifier
+/// catches it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FaultyMsg {
+    source: usize,
+    dests: Vec<usize>,
+}
+
+/// The routing tag of `dests` relative to the block `[base, base + size)`.
+fn block_tag(dests: &[usize], base: usize, size: usize) -> Tag {
+    let half = base + size / 2;
+    let end = base + size;
+    let mut upper = false;
+    let mut lower = false;
+    for &d in dests {
+        if d >= base && d < half {
+            upper = true;
+        } else if d >= half && d < end {
+            lower = true;
+        }
+    }
+    match (upper, lower) {
+        (true, true) => Tag::Alpha,
+        (true, false) => Tag::Zero,
+        (false, true) => Tag::One,
+        // Misrouted here: no legal branch exists, the hardware still forwards
+        // it somewhere. Pick the upper branch deterministically.
+        (false, false) => Tag::Zero,
+    }
+}
+
+/// Applies one line fault in place. Lines here may be *inconsistent*
+/// (non-`ε` tag with no payload = a phantom tag, which perturbs downstream
+/// planning exactly like a corrupted wire would).
+fn apply_line_fault(line: &mut Line<FaultyMsg>, kind: FaultKind) {
+    match kind {
+        FaultKind::DeadLink => *line = Line::empty(),
+        FaultKind::TagFlip(bit) => {
+            let code = encode_tag(line.tag).as_u8() ^ (1 << (bit % 3));
+            match TagCode::from_u8(code).and_then(decode_tag) {
+                // ε (or an unused 01X word): the receiver sees no frame.
+                Some(Tag::Eps) | None => *line = Line::empty(),
+                Some(t) => line.tag = t,
+            }
+        }
+        _ => unreachable!("switch faults are not line faults"),
+    }
+}
+
+/// Scatter-rotation override for one block — the degraded re-plan's handle
+/// on the compact-sequence freedom of Lemmas 1–5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ScatterRotation {
+    level: usize,
+    block: usize,
+    s: usize,
+}
+
+/// A BRSMN executing routes over a fabric damaged by a [`FaultPlan`].
+///
+/// Planning is identical to the healthy reference router (each BSN plans a
+/// scatter and a quasisort from the tags that *actually* arrived); execution
+/// is stage-by-stage and permissive, with stuck switches overriding their
+/// planned setting and line faults corrupting stage inputs. A fault-free
+/// plan reproduces [`Brsmn::route`] bit for bit.
+#[derive(Debug, Clone)]
+pub struct FaultyBrsmn {
+    n: usize,
+    plan: FaultPlan,
+    /// `wirings[level − 1]` = local stage pairs of the size-`n/2^{level−1}`
+    /// BSN RBNs.
+    wirings: Vec<RbnWiring>,
+}
+
+impl FaultyBrsmn {
+    /// A faulty `n × n` fabric (`n` a power of two ≥ 4).
+    pub fn new(n: usize, plan: FaultPlan) -> Result<Self, CoreError> {
+        // Validate n through the healthy constructor.
+        let _ = Brsmn::new(n)?;
+        let m = log2_exact(n) as usize;
+        let wirings = (1..m).map(|lvl| RbnWiring::new(n >> (lvl - 1))).collect();
+        Ok(FaultyBrsmn { n, plan, wirings })
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The injected faults.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Routes `asg` through the damaged fabric. `attempt` selects which
+    /// faults are live (transients afflict only attempt 0); `rotation`
+    /// overrides the scatter target of one block (the degraded re-plan).
+    ///
+    /// `Err` means the fault was *detected at plan time* (the quasisort
+    /// planner rejected the tags the damaged scatter produced); `Ok` carries
+    /// whatever the fabric delivered, right or wrong — the caller verifies.
+    fn execute(
+        &self,
+        asg: &MulticastAssignment,
+        attempt: usize,
+        rotation: Option<ScatterRotation>,
+    ) -> Result<RoutingResult, CoreError> {
+        assert_eq!(asg.n(), self.n, "assignment size mismatch");
+        let n = self.n;
+        let m = log2_exact(n) as usize;
+
+        let mut lines: Vec<Line<FaultyMsg>> = (0..n)
+            .map(|i| {
+                let dests = asg.dests(i);
+                if dests.is_empty() {
+                    Line::empty()
+                } else {
+                    Line {
+                        tag: Tag::Eps,
+                        payload: Some(FaultyMsg {
+                            source: i,
+                            dests: dests.to_vec(),
+                        }),
+                    }
+                }
+            })
+            .collect();
+
+        // Levels 1 … m−1: BSNs of halving size.
+        let mut size = n;
+        let mut level = 1usize;
+        while size > 2 {
+            let k = log2_exact(size) as usize;
+            let wiring = &self.wirings[level - 1];
+            for b in 0..n / size {
+                let base = b * size;
+                for line in lines[base..base + size].iter_mut() {
+                    line.tag = match &line.payload {
+                        Some(msg) => block_tag(&msg.dests, base, size),
+                        None => Tag::Eps,
+                    };
+                }
+                let tags: Vec<Tag> = lines[base..base + size].iter().map(|l| l.tag).collect();
+                let s_target = match rotation {
+                    Some(r) if r.level == level && r.block == b => r.s % size,
+                    _ => 0,
+                };
+                let scatter = plan_scatter(&tags, s_target);
+                self.run_stages(&mut lines, base, size, level, 0, &scatter.settings, wiring, attempt);
+
+                let mid: Vec<Tag> = lines[base..base + size].iter().map(|l| l.tag).collect();
+                // A plan rejection here IS detection: the damaged scatter
+                // left tags no healthy quasisort accepts.
+                let (_, sort) = plan_quasisort(&mid)?;
+                self.run_stages(&mut lines, base, size, level, k, &sort.settings, wiring, attempt);
+            }
+            size /= 2;
+            level += 1;
+        }
+
+        // Final level m: n/2 plain 2×2 switches.
+        for f in self.plan.active_line_faults(m, 0, attempt) {
+            if f.site.index < n {
+                apply_line_fault(&mut lines[f.site.index], f.kind);
+            }
+        }
+        for sw in 0..n / 2 {
+            let lo = 2 * sw;
+            for line in lines[lo..lo + 2].iter_mut() {
+                if let Some(msg) = &line.payload {
+                    line.tag = block_tag(&msg.dests, lo, 2);
+                }
+                // Phantom tags keep whatever the flip left (no payload to
+                // re-derive a tag from).
+            }
+            let mut setting = final_setting(lines[lo].tag, lines[lo + 1].tag);
+            if let Some(s) = self.plan.stuck_setting_at(m, 0, sw, attempt) {
+                setting = s;
+            }
+            let up = mem::replace(&mut lines[lo], Line::empty());
+            let dn = mem::replace(&mut lines[lo + 1], Line::empty());
+            let (ou, ol) = apply_switch_forced(setting, up, dn);
+            lines[lo] = ou;
+            lines[lo + 1] = ol;
+        }
+
+        Ok(RoutingResult::new(
+            lines
+                .into_iter()
+                .map(|l| l.payload.map(|msg| msg.source))
+                .collect(),
+        ))
+    }
+
+    /// Executes the `settings` stages of one RBN over the block at `base`,
+    /// permissively, with faults applied. `stage_offset` maps local RBN
+    /// stages onto the level's fault coordinates (0 for the scatter RBN,
+    /// `log2(size)` for the quasisort RBN).
+    #[allow(clippy::too_many_arguments)]
+    fn run_stages(
+        &self,
+        lines: &mut [Line<FaultyMsg>],
+        base: usize,
+        size: usize,
+        level: usize,
+        stage_offset: usize,
+        settings: &RbnSettings,
+        wiring: &RbnWiring,
+        attempt: usize,
+    ) {
+        let b = base / size;
+        for j in 0..settings.num_stages() {
+            let stage = stage_offset + j;
+            for f in self.plan.active_line_faults(level, stage, attempt) {
+                let idx = f.site.index;
+                if idx >= base && idx < base + size {
+                    apply_line_fault(&mut lines[idx], f.kind);
+                }
+            }
+            let stage_settings = settings.stage(j);
+            let pairs = wiring.stage(j);
+            for sw in 0..size / 2 {
+                let mut setting = stage_settings[sw];
+                let global_sw = b * (size / 2) + sw;
+                if let Some(s) = self.plan.stuck_setting_at(level, stage, global_sw, attempt) {
+                    setting = s;
+                }
+                let (u, l) = pairs[sw];
+                let (u, l) = (base + u as usize, base + l as usize);
+                let up = mem::replace(&mut lines[u], Line::empty());
+                let dn = mem::replace(&mut lines[l], Line::empty());
+                let (ou, ol) = apply_switch_forced(setting, up, dn);
+                lines[u] = ou;
+                lines[l] = ol;
+            }
+        }
+    }
+}
+
+/// The healthy final-switch decision table of `brsmn-core`, totalized:
+/// combinations the healthy router rejects as output conflicts resolve to a
+/// deterministic unicast (the hardware delivers both frames *somewhere*).
+fn final_setting(tu: Tag, tl: Tag) -> SwitchSetting {
+    match (tu, tl) {
+        (Tag::Alpha, Tag::Eps) => SwitchSetting::UpperBroadcast,
+        (Tag::Eps, Tag::Alpha) => SwitchSetting::LowerBroadcast,
+        (Tag::Zero, _) | (Tag::Eps, Tag::One) | (Tag::Eps, Tag::Eps) => SwitchSetting::Parallel,
+        (Tag::One, _) | (Tag::Eps, Tag::Zero) => SwitchSetting::Crossing,
+        (Tag::Alpha, _) => SwitchSetting::Parallel,
+    }
+}
+
+impl ResilientRouter for FaultyBrsmn {
+    fn route_primary(&self, asg: &MulticastAssignment) -> Result<RoutingResult, CoreError> {
+        self.execute(asg, 0, None)
+    }
+
+    fn route_retry(&self, asg: &MulticastAssignment) -> Result<RoutingResult, CoreError> {
+        self.execute(asg, 1, None)
+    }
+
+    /// Sweeps scatter rotations (`s_target` of Lemmas 1–5) of the block the
+    /// verifier localized — then of each enclosing ancestor block — until
+    /// one re-plan routes around the persistent fault and verifies.
+    fn route_degraded(
+        &self,
+        asg: &MulticastAssignment,
+        report: &FaultReport,
+    ) -> Option<Result<RoutingResult, CoreError>> {
+        let m = log2_exact(self.n) as usize;
+        if m < 2 {
+            return None;
+        }
+        // The final level has no scatter; steer its parent BSN instead.
+        let deepest = report.first_divergent_level.clamp(1, m - 1);
+        let block0 = report.first_divergent_block >> (report.first_divergent_level - deepest);
+        for level in (1..=deepest).rev() {
+            let block = block0 >> (deepest - level);
+            let size = self.n >> (level - 1);
+            for s in 1..size {
+                let rot = ScatterRotation { level, block, s };
+                if let Ok(r) = self.execute(asg, 2, Some(rot)) {
+                    if verify_routing(asg, &r).is_ok() {
+                        return Some(Ok(r));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A seeded random multicast assignment: a shuffled subset of the outputs,
+/// partitioned into small fanout groups over a shuffled subset of inputs,
+/// with some groups left idle.
+pub fn random_assignment(n: usize, rng: &mut StdRng) -> MulticastAssignment {
+    let mut outputs: Vec<usize> = (0..n).collect();
+    outputs.shuffle(rng);
+    let mut inputs: Vec<usize> = (0..n).collect();
+    inputs.shuffle(rng);
+
+    let mut sets = vec![Vec::new(); n];
+    let mut pos = 0;
+    for &input in &inputs {
+        if pos >= n {
+            break;
+        }
+        let fanout = rng.gen_range(1..=4usize).min(n - pos);
+        if rng.gen_bool(0.25) {
+            // Leave these outputs idle.
+            pos += fanout;
+            continue;
+        }
+        sets[input] = outputs[pos..pos + fanout].to_vec();
+        pos += fanout;
+    }
+    MulticastAssignment::from_sets(n, sets).expect("disjoint by construction")
+}
+
+/// Outcome of one injected fault across the campaign's workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// The fault.
+    pub fault: Fault,
+    /// Frames whose primary route differed from the healthy delivery (or
+    /// errored at plan time).
+    pub frames_corrupted: usize,
+    /// Corrupted frames the verifier (or a plan-time error) flagged.
+    pub frames_detected: usize,
+    /// Frames recovered by the reference retry.
+    pub recovered_retry: usize,
+    /// Frames recovered by the degraded re-plan.
+    pub recovered_degraded: usize,
+    /// Frames that exhausted the ladder.
+    pub frames_failed: usize,
+}
+
+/// Aggregate result of a seeded single-fault campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Network size.
+    pub n: usize,
+    /// Faults injected (one run of the workload each).
+    pub faults_injected: usize,
+    /// Frames routed per fault.
+    pub frames_per_fault: usize,
+    /// Faults that corrupted at least one frame.
+    pub faults_corrupting: usize,
+    /// Faults whose every frame matched the healthy delivery.
+    pub faults_harmless: usize,
+    /// Corrupted frames whose verification nevertheless passed — the
+    /// campaign's hard invariant is that this stays 0.
+    pub false_negatives: usize,
+    /// Frames corrupted across all faults.
+    pub frames_corrupted: usize,
+    /// … of which recovered by the reference retry.
+    pub frames_recovered_retry: usize,
+    /// … of which recovered by the degraded re-plan.
+    pub frames_recovered_degraded: usize,
+    /// … of which failed outright.
+    pub frames_failed: usize,
+    /// Frames of the fault-free control run that did *not* verify on the
+    /// primary attempt — must be 0.
+    pub control_false_positives: usize,
+    /// Per-fault breakdown.
+    pub records: Vec<FaultRecord>,
+}
+
+impl CampaignReport {
+    /// Detection rate over corrupted frames (1.0 when nothing corrupted).
+    pub fn detection_rate(&self) -> f64 {
+        if self.frames_corrupted == 0 {
+            1.0
+        } else {
+            1.0 - self.false_negatives as f64 / self.frames_corrupted as f64
+        }
+    }
+
+    /// Share of corrupted frames recovered by retry or degradation.
+    pub fn recovery_rate(&self) -> f64 {
+        if self.frames_corrupted == 0 {
+            1.0
+        } else {
+            (self.frames_recovered_retry + self.frames_recovered_degraded) as f64
+                / self.frames_corrupted as f64
+        }
+    }
+
+    /// The accounting identity the acceptance criteria demand: every
+    /// corrupted frame is either recovered (retry or degraded) or failed.
+    pub fn accounts(&self) -> bool {
+        self.frames_corrupted
+            == self.frames_recovered_retry + self.frames_recovered_degraded + self.frames_failed
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "single-fault campaign: n={} faults={} frames/fault={}",
+            self.n, self.faults_injected, self.frames_per_fault
+        )?;
+        writeln!(
+            f,
+            "  faults: {} corrupting, {} harmless",
+            self.faults_corrupting, self.faults_harmless
+        )?;
+        writeln!(
+            f,
+            "  detection: {:.1}% ({} corrupted frames, {} false negatives)",
+            100.0 * self.detection_rate(),
+            self.frames_corrupted,
+            self.false_negatives
+        )?;
+        writeln!(
+            f,
+            "  recovery: {:.1}% ({} by retry, {} by degraded re-plan, {} failed)",
+            100.0 * self.recovery_rate(),
+            self.frames_recovered_retry,
+            self.frames_recovered_degraded,
+            self.frames_failed
+        )?;
+        write!(
+            f,
+            "  control: {} false positives on the fault-free run",
+            self.control_false_positives
+        )
+    }
+}
+
+/// Runs a seeded single-fault campaign: `num_faults` independently drawn
+/// faults, each inflicted on a fresh fabric and exercised by the same
+/// `frames`-frame random workload, plus a fault-free control run. Detection
+/// is judged against the healthy router's delivery; recovery runs the full
+/// engine ladder ([`Engine::route_batch_resilient`]).
+pub fn run_single_fault_campaign(
+    n: usize,
+    num_faults: usize,
+    frames: usize,
+    seed: u64,
+) -> Result<CampaignReport, CoreError> {
+    let healthy = Brsmn::new(n)?;
+    let engine = Engine::with_config(n, EngineConfig::default())?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let workload: Vec<MulticastAssignment> =
+        (0..frames).map(|_| random_assignment(n, &mut rng)).collect();
+    let expected: Vec<RoutingResult> = workload
+        .iter()
+        .map(|asg| healthy.route(asg))
+        .collect::<Result<_, _>>()?;
+
+    let mut report = CampaignReport {
+        n,
+        faults_injected: num_faults,
+        frames_per_fault: frames,
+        faults_corrupting: 0,
+        faults_harmless: 0,
+        false_negatives: 0,
+        frames_corrupted: 0,
+        frames_recovered_retry: 0,
+        frames_recovered_degraded: 0,
+        frames_failed: 0,
+        control_false_positives: 0,
+        records: Vec::with_capacity(num_faults),
+    };
+
+    for i in 0..num_faults {
+        let fault = FaultPlan::random_single(n, seed.wrapping_add(1 + i as u64));
+        let fabric = FaultyBrsmn::new(n, FaultPlan::single(fault))?;
+
+        let mut record = FaultRecord {
+            fault,
+            frames_corrupted: 0,
+            frames_detected: 0,
+            recovered_retry: 0,
+            recovered_degraded: 0,
+            frames_failed: 0,
+        };
+
+        // Detection pass: primary attempt only, judged against the healthy
+        // delivery (corruption) and the verifier (detection).
+        for (asg, exp) in workload.iter().zip(&expected) {
+            match fabric.route_primary(asg) {
+                Ok(r) => {
+                    if &r != exp {
+                        record.frames_corrupted += 1;
+                        if verify_routing(asg, &r).is_err() {
+                            record.frames_detected += 1;
+                        } else {
+                            report.false_negatives += 1;
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Plan-time rejection: corrupted and detected at once.
+                    record.frames_corrupted += 1;
+                    record.frames_detected += 1;
+                }
+            }
+        }
+
+        // Recovery pass: the full verify → retry → degrade ladder.
+        let (_, outcomes) = engine.route_batch_resilient(&workload, &fabric);
+        for outcome in outcomes {
+            match outcome {
+                FrameOutcome::Ok => {}
+                FrameOutcome::Retried => record.recovered_retry += 1,
+                FrameOutcome::Degraded => record.recovered_degraded += 1,
+                FrameOutcome::Failed => record.frames_failed += 1,
+            }
+        }
+
+        if record.frames_corrupted > 0 {
+            report.faults_corrupting += 1;
+        } else {
+            report.faults_harmless += 1;
+        }
+        report.frames_corrupted += record.frames_corrupted;
+        report.frames_recovered_retry += record.recovered_retry;
+        report.frames_recovered_degraded += record.recovered_degraded;
+        report.frames_failed += record.frames_failed;
+        report.records.push(record);
+    }
+
+    // Control: a fault-free fabric must sail through the ladder untouched.
+    let clean = FaultyBrsmn::new(n, FaultPlan::empty())?;
+    let (_, outcomes) = engine.route_batch_resilient(&workload, &clean);
+    report.control_false_positives = outcomes
+        .iter()
+        .filter(|o| **o != FrameOutcome::Ok)
+        .count();
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_assignment() -> MulticastAssignment {
+        MulticastAssignment::from_sets(
+            8,
+            vec![
+                vec![0, 1],
+                vec![],
+                vec![3, 4, 7],
+                vec![2],
+                vec![],
+                vec![],
+                vec![],
+                vec![5, 6],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fault_free_fabric_matches_healthy_router() {
+        for n in [8usize, 16, 32] {
+            let healthy = Brsmn::new(n).unwrap();
+            let fabric = FaultyBrsmn::new(n, FaultPlan::empty()).unwrap();
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..12 {
+                let asg = random_assignment(n, &mut rng);
+                let expect = healthy.route(&asg).unwrap();
+                assert_eq!(fabric.route_primary(&asg).unwrap(), expect);
+            }
+        }
+    }
+
+    /// The campaign's core guarantee, proven exhaustively at n = 8: EVERY
+    /// possible single fault either leaves the delivery identical to the
+    /// healthy one or is caught by the verifier (or a plan-time error).
+    /// Zero false negatives, by enumeration rather than sampling.
+    #[test]
+    fn every_single_fault_detected_or_harmless_n8() {
+        let n = 8;
+        let healthy = Brsmn::new(n).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let workload: Vec<MulticastAssignment> = std::iter::once(paper_assignment())
+            .chain((0..4).map(|_| random_assignment(n, &mut rng)))
+            .collect();
+        let expected: Vec<RoutingResult> =
+            workload.iter().map(|a| healthy.route(a).unwrap()).collect();
+
+        let m = log2_exact(n) as usize;
+        let mut sites = Vec::new();
+        for level in 1..=m {
+            let stages = if level < m {
+                2 * log2_exact(n >> (level - 1)) as usize
+            } else {
+                1
+            };
+            for stage in 0..stages {
+                sites.push((level, stage));
+            }
+        }
+
+        let switch_kinds = [
+            FaultKind::StuckThrough,
+            FaultKind::StuckCross,
+            FaultKind::StuckUpperBroadcast,
+            FaultKind::StuckLowerBroadcast,
+        ];
+        let line_kinds = [
+            FaultKind::DeadLink,
+            FaultKind::TagFlip(0),
+            FaultKind::TagFlip(1),
+            FaultKind::TagFlip(2),
+        ];
+
+        let mut checked = 0usize;
+        for &(level, stage) in &sites {
+            for kind in switch_kinds.into_iter().map(Some).chain([None]) {
+                let (kinds, indices): (&[FaultKind], usize) = match kind {
+                    Some(_) => (&switch_kinds, n / 2),
+                    None => (&line_kinds, n),
+                };
+                for &k in kinds {
+                    for index in 0..indices {
+                        let fault = Fault {
+                            site: FaultSite {
+                                level,
+                                stage,
+                                index,
+                            },
+                            kind: k,
+                            transient: false,
+                        };
+                        let fabric = FaultyBrsmn::new(n, FaultPlan::single(fault)).unwrap();
+                        for (asg, exp) in workload.iter().zip(&expected) {
+                            match fabric.route_primary(asg) {
+                                Ok(r) => {
+                                    if &r != exp {
+                                        assert!(
+                                            verify_routing(asg, &r).is_err(),
+                                            "FALSE NEGATIVE: {fault} corrupted \
+                                             {} but verified",
+                                            asg.set_notation()
+                                        );
+                                    }
+                                }
+                                Err(_) => {} // plan-time detection
+                            }
+                            checked += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 2000, "exhaustive sweep ran ({checked} routes)");
+    }
+
+    #[test]
+    fn stuck_cross_misroutes_and_is_detected() {
+        // Freeze level-1 switches at n=8 into crossing and route the paper
+        // example: some position must corrupt the route, and every corruption
+        // must be flagged — at plan time or by the output verifier.
+        let n = 8;
+        let asg = paper_assignment();
+        let expect = Brsmn::new(n).unwrap().route(&asg).unwrap();
+        let mut corrupted_any = false;
+        for stage in 0..6 {
+            for index in 0..n / 2 {
+                let fault = Fault {
+                    site: FaultSite {
+                        level: 1,
+                        stage,
+                        index,
+                    },
+                    kind: FaultKind::StuckCross,
+                    transient: false,
+                };
+                let fabric = FaultyBrsmn::new(n, FaultPlan::single(fault)).unwrap();
+                match fabric.route_primary(&asg) {
+                    Ok(r) if r != expect => {
+                        corrupted_any = true;
+                        assert!(verify_routing(&asg, &r).is_err(), "undetected: {fault}");
+                    }
+                    Ok(_) => {}
+                    Err(_) => corrupted_any = true, // plan-time detection
+                }
+            }
+        }
+        assert!(corrupted_any, "no stuck-cross position corrupted the route");
+    }
+
+    #[test]
+    fn dead_link_at_final_stage_loses_exactly_that_output() {
+        let n = 8;
+        let fault = Fault {
+            site: FaultSite {
+                level: 3, // final level of n=8
+                stage: 0,
+                index: 3, // line 3 entering its final switch
+            },
+            kind: FaultKind::DeadLink,
+            transient: false,
+        };
+        let fabric = FaultyBrsmn::new(n, FaultPlan::single(fault)).unwrap();
+        let asg = paper_assignment();
+        let r = fabric.route_primary(&asg).unwrap();
+        let report = verify_routing(&asg, &r).unwrap_err();
+        assert_eq!(report.losses(), 1);
+        assert_eq!(report.misdeliveries(), 0);
+    }
+
+    #[test]
+    fn transient_fault_recovers_on_retry_through_the_ladder() {
+        let n = 8;
+        let fault = Fault {
+            site: FaultSite {
+                level: 1,
+                stage: 0,
+                index: 1,
+            },
+            kind: FaultKind::StuckCross,
+            transient: true,
+        };
+        let fabric = FaultyBrsmn::new(n, FaultPlan::single(fault)).unwrap();
+        let engine = Engine::with_config(n, EngineConfig::sequential()).unwrap();
+        let batch = vec![paper_assignment(); 4];
+        let (out, outcomes) = engine.route_batch_resilient(&batch, &fabric);
+        // Every frame must end verified (retry clears the transient); any
+        // frame the fault corrupted must be accounted as retried.
+        assert_eq!(out.stats.frames_failed, 0);
+        assert_eq!(out.stats.frames_degraded, 0);
+        assert_eq!(out.stats.frames_ok, 4);
+        for (res, oc) in out.results.iter().zip(&outcomes) {
+            assert!(res.is_ok());
+            assert!(matches!(oc, FrameOutcome::Ok | FrameOutcome::Retried));
+        }
+    }
+
+    #[test]
+    fn persistent_fault_accounting_holds_on_the_ladder() {
+        let n = 16;
+        let engine = Engine::with_config(n, EngineConfig::sequential()).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let batch: Vec<MulticastAssignment> =
+            (0..6).map(|_| random_assignment(n, &mut rng)).collect();
+        for seed in 0..24u64 {
+            let fault = Fault {
+                transient: false,
+                ..FaultPlan::random_single(n, 1000 + seed)
+            };
+            let fabric = FaultyBrsmn::new(n, FaultPlan::single(fault)).unwrap();
+            let (out, _) = engine.route_batch_resilient(&batch, &fabric);
+            assert_eq!(
+                out.stats.frames_ok + out.stats.frames_failed,
+                batch.len(),
+                "fault {fault}: ok/failed don't partition the batch"
+            );
+            assert_eq!(
+                out.stats.frames_retried + out.stats.frames_degraded + out.stats.frames_failed,
+                batch
+                    .iter()
+                    .zip(&out.results)
+                    .filter(|(asg, r)| match r {
+                        Ok(res) => verify_routing(asg, res).is_err(),
+                        Err(_) => true,
+                    })
+                    .count()
+                    + out.stats.frames_retried
+                    + out.stats.frames_degraded,
+                "fault {fault}: failed frames must be exactly the unverified results"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_replan_routes_around_some_persistent_fault() {
+        // Sweep persistent stuck faults until one is recovered by the
+        // rotation re-plan — the Lemmas 1–5 freedom must pay off somewhere.
+        let n = 16;
+        let engine = Engine::with_config(n, EngineConfig::sequential()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let batch: Vec<MulticastAssignment> =
+            (0..4).map(|_| random_assignment(n, &mut rng)).collect();
+        let mut degraded_total = 0usize;
+        for seed in 0..60u64 {
+            let fault = Fault {
+                transient: false,
+                ..FaultPlan::random_single(n, 5000 + seed)
+            };
+            let fabric = FaultyBrsmn::new(n, FaultPlan::single(fault)).unwrap();
+            let (out, _) = engine.route_batch_resilient(&batch, &fabric);
+            degraded_total += out.stats.frames_degraded;
+        }
+        assert!(
+            degraded_total > 0,
+            "no persistent fault was ever recovered by the degraded re-plan"
+        );
+    }
+
+    #[test]
+    fn campaign_smoke_n16() {
+        let report = run_single_fault_campaign(16, 24, 6, 42).unwrap();
+        assert_eq!(report.false_negatives, 0);
+        assert_eq!(report.control_false_positives, 0);
+        assert!(report.accounts());
+        assert_eq!(
+            report.faults_corrupting + report.faults_harmless,
+            report.faults_injected
+        );
+        assert!(report.faults_corrupting > 0, "campaign exercised nothing");
+        // Per-fault detection must cover every corrupted frame.
+        for rec in &report.records {
+            assert_eq!(rec.frames_corrupted, rec.frames_detected);
+        }
+        let shown = report.to_string();
+        assert!(shown.contains("false negatives"));
+    }
+
+    #[test]
+    fn fault_plan_serde_round_trip() {
+        let plan = FaultPlan::random(16, 9, 5);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(back.faults().len(), 5);
+    }
+}

@@ -14,7 +14,9 @@
 //!   adder, the Table 1 tag predicates, the Table 5 run comparator;
 //! * [`adder`] — the pipelined bit-serial adder-tree latency simulation;
 //! * [`timing`] — per-network routing-time measurement built on it, for the
-//!   Table 2 harness.
+//!   Table 2 harness;
+//! * [`faults`] *(feature `faults`)* — fault injection (stuck-at switches,
+//!   dead links, tag bit-flips) and the graceful-degradation campaign.
 
 //! ```
 //! use brsmn_sim::{brsmn_routing_time, serial_add};
@@ -34,6 +36,8 @@
 pub mod adder;
 pub mod circuits;
 pub mod eps_hw;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod gates;
 pub mod hwlib;
 pub mod pipeline;
@@ -44,6 +48,11 @@ pub mod timing;
 pub mod transfer;
 
 pub use adder::{add_arrivals, adder_tree_latency, leaf_arrivals};
+#[cfg(feature = "faults")]
+pub use faults::{
+    random_assignment, run_single_fault_campaign, CampaignReport, Fault, FaultKind, FaultPlan,
+    FaultRecord, FaultSite, FaultyBrsmn,
+};
 pub use circuits::{count_tree, run_count_tree, serial_add, serial_adder, tag_counter};
 pub use gates::{GateKind, Netlist};
 pub use pipeline::{

@@ -1,0 +1,48 @@
+//! Acceptance test for the fault-injection subsystem: a deterministic
+//! seeded single-fault campaign at n = 64.
+//!
+//! The acceptance criteria of the fault work are checked directly:
+//! * every injected fault that corrupts an output is **detected** (zero
+//!   false negatives);
+//! * the fault-free control run raises **zero false positives**;
+//! * recovered and failed frames **account** exactly for the corrupted ones.
+
+#![cfg(feature = "faults")]
+
+use brsmn_sim::run_single_fault_campaign;
+
+#[test]
+fn seeded_single_fault_campaign_n64() {
+    let report = run_single_fault_campaign(64, 64, 4, 2024).unwrap();
+
+    assert_eq!(report.n, 64);
+    assert_eq!(report.faults_injected, 64);
+    assert_eq!(
+        report.faults_corrupting + report.faults_harmless,
+        report.faults_injected
+    );
+
+    // Zero false negatives: every corrupted frame was flagged.
+    assert_eq!(report.false_negatives, 0, "undetected corruption:\n{report}");
+    for rec in &report.records {
+        assert_eq!(
+            rec.frames_corrupted, rec.frames_detected,
+            "fault {} evaded detection",
+            rec.fault
+        );
+    }
+
+    // Zero false positives on the healthy control fabric.
+    assert_eq!(report.control_false_positives, 0, "{report}");
+
+    // Accounting: corrupted = retried + degraded + failed.
+    assert!(report.accounts(), "ladder accounting broken:\n{report}");
+
+    // The campaign must actually exercise the fabric.
+    assert!(report.faults_corrupting > 0, "{report}");
+    assert!(report.frames_corrupted > 0, "{report}");
+
+    // Determinism: the same seed reproduces the same report.
+    let again = run_single_fault_campaign(64, 64, 4, 2024).unwrap();
+    assert_eq!(again, report);
+}

@@ -42,5 +42,5 @@ pub mod encoding;
 pub mod ops;
 pub mod tag;
 
-pub use ops::{apply_switch, Line, SwitchError, SwitchSetting};
+pub use ops::{apply_switch, apply_switch_forced, Line, SwitchError, SwitchSetting};
 pub use tag::{QTag, Tag};

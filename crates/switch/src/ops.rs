@@ -173,6 +173,47 @@ pub fn apply_switch<P: Clone>(
     }
 }
 
+/// Applies `setting` to the pair of input lines **without** rejecting illegal
+/// combinations — the model of a *faulty* or stuck switch.
+///
+/// A healthy switch driven by a correct plan never sees an illegal
+/// combination, so [`apply_switch`] can afford to error out. A switch stuck
+/// in a broadcast state (or fed a corrupted tag) has no such luxury: the
+/// hardware does *something*, and a fault simulator must reproduce it so the
+/// damage propagates downstream where the output verifier can observe it.
+/// The behaviour on illegal broadcasts follows the Fig. 3 datapath:
+///
+/// * the broadcast port's line is duplicated to both outputs with tags `0`
+///   (upper) and `1` (lower) — whatever its input tag was;
+/// * the other port's line is dropped (its message is lost);
+/// * broadcasting an `ε` (no payload) yields two empty lines.
+///
+/// Unicast settings are total already and behave exactly as in
+/// [`apply_switch`].
+#[inline]
+pub fn apply_switch_forced<P: Clone>(
+    setting: SwitchSetting,
+    upper: Line<P>,
+    lower: Line<P>,
+) -> (Line<P>, Line<P>) {
+    match setting {
+        SwitchSetting::Parallel => (upper, lower),
+        SwitchSetting::Crossing => (lower, upper),
+        SwitchSetting::UpperBroadcast => force_broadcast(upper),
+        SwitchSetting::LowerBroadcast => force_broadcast(lower),
+    }
+}
+
+/// Duplicates `src` to both outputs with tags `0`/`1` (empty if `src` is
+/// `ε`), discarding the other input — the unconditional Fig. 3c/3d datapath.
+#[inline]
+fn force_broadcast<P: Clone>(src: Line<P>) -> (Line<P>, Line<P>) {
+    match src.payload {
+        Some(p) => (Line::with(Tag::Zero, p.clone()), Line::with(Tag::One, p)),
+        None => (Line::empty(), Line::empty()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,5 +325,37 @@ mod tests {
     #[should_panic]
     fn eps_line_with_payload_is_rejected() {
         let _: Line<u32> = Line::with(Tag::Eps, 5);
+    }
+
+    #[test]
+    fn forced_matches_checked_on_legal_inputs() {
+        // Wherever apply_switch succeeds, the forced variant agrees exactly.
+        let cases = [
+            (SwitchSetting::Parallel, l(Tag::Zero, 1), l(Tag::One, 2)),
+            (SwitchSetting::Crossing, l(Tag::Alpha, 1), Line::empty()),
+            (SwitchSetting::UpperBroadcast, l(Tag::Alpha, 7), Line::empty()),
+            (SwitchSetting::LowerBroadcast, Line::empty(), l(Tag::Alpha, 7)),
+        ];
+        for (s, up, dn) in cases {
+            let checked = apply_switch(s, up, dn).unwrap();
+            assert_eq!(apply_switch_forced(s, up, dn), checked);
+        }
+    }
+
+    #[test]
+    fn forced_broadcast_duplicates_any_message_and_drops_the_other() {
+        // A switch stuck in UpperBroadcast duplicates whatever is on its
+        // upper port and loses the lower message.
+        let (u, d) = apply_switch_forced(SwitchSetting::UpperBroadcast, l(Tag::Zero, 5), l(Tag::One, 6));
+        assert_eq!((u.tag, u.payload), (Tag::Zero, Some(5)));
+        assert_eq!((d.tag, d.payload), (Tag::One, Some(5)));
+    }
+
+    #[test]
+    fn forced_broadcast_of_empty_line_yields_empty_lines() {
+        let (u, d) =
+            apply_switch_forced::<u32>(SwitchSetting::LowerBroadcast, l(Tag::One, 3), Line::empty());
+        assert_eq!(u, Line::empty());
+        assert_eq!(d, Line::empty());
     }
 }

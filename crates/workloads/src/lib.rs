@@ -35,6 +35,6 @@ pub use patterns::{
     ring_shift,
 };
 pub use random::{random_multicast, random_partial_permutation, random_permutation, RandomSpec};
-pub use queueing::{simulate_queueing, QueueConfig, QueueStats};
+pub use queueing::{simulate_queueing, QueueConfig, QueueError, QueueStats};
 pub use schedule::{rounds_lower_bound, schedule_rounds, Request, Schedule};
 pub use sessions::{simulate, SessionConfig, SessionSim, SessionStats};

@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::fmt;
 
 /// Arrival-process parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -23,9 +24,63 @@ pub struct QueueConfig {
     pub n: usize,
     /// Probability a new request arrives at each input each round.
     pub p_arrival: f64,
-    /// Maximum fanout of a request (destinations drawn uniformly).
+    /// Maximum fanout of a request (destinations drawn uniformly). Must be
+    /// at least 1; values above `n` are clamped to `n` at validation.
     pub max_fanout: usize,
 }
+
+impl QueueConfig {
+    /// Validates and normalizes the configuration: `n` must be a power of
+    /// two ≥ 2 and `max_fanout` nonzero; `max_fanout > n` clamps to `n` (a
+    /// request cannot address more outputs than exist) and `p_arrival`
+    /// clamps into `[0, 1]`.
+    pub fn validate(mut self) -> Result<QueueConfig, QueueError> {
+        if !self.n.is_power_of_two() || self.n < 2 {
+            return Err(QueueError::InvalidSize { n: self.n });
+        }
+        if self.max_fanout == 0 {
+            return Err(QueueError::ZeroFanout);
+        }
+        self.max_fanout = self.max_fanout.min(self.n);
+        self.p_arrival = self.p_arrival.clamp(0.0, 1.0);
+        Ok(self)
+    }
+}
+
+/// A queueing simulation that could not run (or complete).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueError {
+    /// `n` is not a power of two ≥ 2.
+    InvalidSize {
+        /// The offending size.
+        n: usize,
+    },
+    /// `max_fanout` is 0 — every request needs at least one destination.
+    ZeroFanout,
+    /// The router callback reported a round it could not realize.
+    RoutingFailed {
+        /// The failed round.
+        round: usize,
+    },
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::InvalidSize { n } => {
+                write!(f, "queue config: n must be a power of two >= 2, got {n}")
+            }
+            QueueError::ZeroFanout => {
+                write!(f, "queue config: max_fanout must be >= 1")
+            }
+            QueueError::RoutingFailed { round } => {
+                write!(f, "router failed to realize the admitted round {round}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
 
 /// Aggregate results of one queueing simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -54,15 +109,18 @@ struct Pending {
 /// Runs the input-queued simulation for `rounds` rounds, calling `router`
 /// on every admitted assignment (must return `true` = realized; the BRSMN
 /// always does).
+///
+/// The configuration is [validated](QueueConfig::validate) up front, so a
+/// degenerate `max_fanout` (0, or larger than `n`) yields a typed
+/// [`QueueError`] or a clamped draw rather than a mid-simulation panic.
 pub fn simulate_queueing<F: FnMut(&MulticastAssignment) -> bool>(
     config: QueueConfig,
     seed: u64,
     rounds: usize,
     mut router: F,
-) -> QueueStats {
+) -> Result<QueueStats, QueueError> {
+    let config = config.validate()?;
     let n = config.n;
-    assert!(n.is_power_of_two() && n >= 2);
-    assert!(config.max_fanout >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut queues: Vec<VecDeque<Pending>> = (0..n).map(|_| VecDeque::new()).collect();
 
@@ -81,7 +139,7 @@ pub fn simulate_queueing<F: FnMut(&MulticastAssignment) -> bool>(
     for round in 0..rounds {
         // Arrivals.
         for queue in queues.iter_mut() {
-            if rng.gen_bool(config.p_arrival.clamp(0.0, 1.0)) {
+            if rng.gen_bool(config.p_arrival) {
                 let fan = rng.gen_range(1..=config.max_fanout);
                 let mut dests: Vec<usize> = (0..fan).map(|_| rng.gen_range(0..n)).collect();
                 dests.sort_unstable();
@@ -114,7 +172,9 @@ pub fn simulate_queueing<F: FnMut(&MulticastAssignment) -> bool>(
         // Route the admitted round.
         let asg = MulticastAssignment::from_sets(n, sets).expect("admission keeps outputs disjoint");
         busy_outputs += asg.total_connections();
-        assert!(router(&asg), "round {round} failed to route");
+        if !router(&asg) {
+            return Err(QueueError::RoutingFailed { round });
+        }
 
         // Dequeue served heads.
         for input in admitted {
@@ -133,7 +193,7 @@ pub fn simulate_queueing<F: FnMut(&MulticastAssignment) -> bool>(
         0.0
     };
     stats.output_utilization = busy_outputs as f64 / (rounds * n) as f64;
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -153,6 +213,7 @@ mod tests {
             rounds,
             |asg| net.route(asg).map(|r| r.realizes(asg)).unwrap_or(false),
         )
+        .unwrap()
     }
 
     #[test]
@@ -191,6 +252,85 @@ mod tests {
         assert_eq!(a, b);
         let c = run(16, 0.5, 4, 100, 10);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_fanout_is_a_typed_error_not_a_panic() {
+        let err = simulate_queueing(
+            QueueConfig {
+                n: 16,
+                p_arrival: 0.5,
+                max_fanout: 0,
+            },
+            1,
+            10,
+            |_| true,
+        )
+        .unwrap_err();
+        assert_eq!(err, QueueError::ZeroFanout);
+        assert!(err.to_string().contains("max_fanout"));
+    }
+
+    #[test]
+    fn oversized_fanout_clamps_to_n() {
+        // max_fanout = 10 * n used to draw out-of-range fanouts; now it
+        // clamps and the simulation runs to completion.
+        let net = Brsmn::new(16).unwrap();
+        let stats = simulate_queueing(
+            QueueConfig {
+                n: 16,
+                p_arrival: 0.8,
+                max_fanout: 160,
+            },
+            6,
+            100,
+            |asg| {
+                assert!(asg.max_fanout() <= 16);
+                net.route(asg).map(|r| r.realizes(asg)).unwrap_or(false)
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.arrived, stats.served + stats.backlog);
+        assert!(stats.served > 0);
+    }
+
+    #[test]
+    fn invalid_size_and_clamped_config_validate() {
+        assert_eq!(
+            QueueConfig {
+                n: 7,
+                p_arrival: 0.5,
+                max_fanout: 2
+            }
+            .validate()
+            .unwrap_err(),
+            QueueError::InvalidSize { n: 7 }
+        );
+        let cfg = QueueConfig {
+            n: 8,
+            p_arrival: 3.0,
+            max_fanout: 100,
+        }
+        .validate()
+        .unwrap();
+        assert_eq!(cfg.max_fanout, 8);
+        assert_eq!(cfg.p_arrival, 1.0);
+    }
+
+    #[test]
+    fn router_failure_surfaces_as_error() {
+        let err = simulate_queueing(
+            QueueConfig {
+                n: 16,
+                p_arrival: 1.0,
+                max_fanout: 2,
+            },
+            1,
+            10,
+            |_| false,
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueueError::RoutingFailed { .. }));
     }
 
     #[test]

@@ -173,7 +173,10 @@ mod tests {
         let n = 64usize;
         let reqs: Vec<Request> = (0..120)
             .map(|i| {
-                let h = |x: usize| x.wrapping_mul(0x9E3779B97F4A7C15u64 as usize) >> 8;
+                // Hash in u64 and only cast the final value: `as usize`
+                // on the constant would truncate it on 32-bit targets and
+                // change the batch this test locks in.
+                let h = |x: usize| (((x as u64).wrapping_mul(0x9E3779B97F4A7C15)) >> 8) as usize;
                 let src = h(i) % n;
                 let fan = 1 + h(i * 3 + 1) % 6;
                 let dests = (0..fan).map(|k| h(i * 7 + k) % n).collect();
