@@ -1,6 +1,7 @@
 //! An `n × n` crossbar with broadcast-capable crosspoints: the trivially
 //! nonblocking (and trivially expensive, `Θ(n²)`) multicast reference.
 
+use brsmn_core::backend::RouterBackend;
 use brsmn_core::{CoreError, MulticastAssignment, RoutingResult};
 
 /// The crossbar switch.
@@ -37,6 +38,22 @@ impl Crossbar {
         assert_eq!(asg.n(), self.n);
         let sources = (0..self.n).map(|o| asg.source_of_output(o)).collect();
         Ok(RoutingResult::new(sources))
+    }
+}
+
+/// The crossbar as a serving backend — the cost-no-object comparator for
+/// the conformance suite and `serve-sim`.
+impl RouterBackend for Crossbar {
+    fn name(&self) -> &'static str {
+        "crossbar"
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn route_assignment(&self, asg: &MulticastAssignment) -> Result<RoutingResult, CoreError> {
+        self.route(asg)
     }
 }
 

@@ -15,7 +15,8 @@
 use crate::benes::{BenesError, BenesNetwork, LoopingStats};
 use crate::concentrator::{concentrate, ConcentratorConflict};
 use crate::copynet::{CopyError, CopyNetwork, CopyRequest};
-use brsmn_core::{MulticastAssignment, RoutingResult};
+use brsmn_core::backend::RouterBackend;
+use brsmn_core::{CoreError, MulticastAssignment, RoutingResult};
 use brsmn_topology::log2_exact;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -155,6 +156,26 @@ impl CopyBenesMulticast {
                 copies: total_copies,
             },
         ))
+    }
+}
+
+/// The classical copy-then-route switch as a serving backend. Its typed
+/// [`CopyBenesError`]s (impossible for valid assignments) surface as
+/// [`CoreError::Internal`]; looping stats are dropped — use
+/// [`CopyBenesMulticast::route`] directly when you need them.
+impl RouterBackend for CopyBenesMulticast {
+    fn name(&self) -> &'static str {
+        "copy-benes"
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn route_assignment(&self, asg: &MulticastAssignment) -> Result<RoutingResult, CoreError> {
+        self.route(asg)
+            .map(|(result, _stats)| result)
+            .map_err(|e| CoreError::Internal(format!("copy–benes baseline: {e}")))
     }
 }
 

@@ -1,0 +1,104 @@
+//! `serve_report` — measures the sharded serving loop end to end (queue →
+//! admission → striped fabrics → drain) at 1, 2 and 4 shards over one
+//! seeded trace, and emits a JSON report on stdout. `BENCH_serve.json` at
+//! the repo root is a committed run of this binary.
+//!
+//! ```text
+//! cargo run --release -p brsmn-bench --bin serve_report              # defaults
+//! cargo run --release -p brsmn-bench --bin serve_report 64 48 42    # n rounds seed
+//! ```
+//!
+//! Like `parallel_report`, the measured shard speedup only means something
+//! on a machine with spare hardware threads, so the report always carries
+//! both the **measured** frames/s *and* the hardware-model speedup of 4
+//! replicated fabrics (`simulate_replicated_pipeline`) next to the
+//! machine's thread count — the reader decides which number their box can
+//! honestly reproduce.
+
+use brsmn_serve::{serve_trace, ServeConfig, Trace};
+use brsmn_sim::simulate_replicated_pipeline;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ShardPoint {
+    shards: usize,
+    frames_per_sec: f64,
+    wall_nanos: u64,
+    rounds: u64,
+    p99_ns: u64,
+    speedup_vs_one: f64,
+}
+
+#[derive(Serialize)]
+struct ServeBenchReport {
+    n: usize,
+    requests: usize,
+    seed: u64,
+    hardware_threads: usize,
+    measured: Vec<ShardPoint>,
+    speedup_4v1: f64,
+    modeled_speedup_4_fabrics: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args.first().map_or(64, |s| s.parse().expect("n"));
+    let rounds: usize = args.get(1).map_or(48, |s| s.parse().expect("rounds"));
+    let seed: u64 = args.get(2).map_or(42, |s| s.parse().expect("seed"));
+    assert!(n.is_power_of_two() && n >= 8, "n must be a power of two >= 8");
+
+    let base = ServeConfig::new(n);
+    let trace = Trace::generate(base.queue, seed, rounds).expect("trace generates");
+
+    // Best-of-3 per shard count, capacity sized so backpressure never
+    // rejects — every run serves the identical request set.
+    let mut measured = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let mut best: Option<(f64, u64, u64, u64)> = None;
+        for _ in 0..3 {
+            let mut cfg = ServeConfig::new(n);
+            cfg.shards = shards;
+            cfg.queue_capacity = trace.len().max(1);
+            let report = serve_trace(cfg, &trace).expect("trace serves");
+            assert_eq!(report.rejected, 0, "capacity must admit the whole trace");
+            assert_eq!(report.served_err, 0, "every request must route");
+            if best.is_none() || report.frames_per_sec > best.unwrap().0 {
+                best = Some((
+                    report.frames_per_sec,
+                    report.wall_nanos,
+                    report.rounds,
+                    report.latency.p99_ns,
+                ));
+            }
+        }
+        let (fps, wall, served_rounds, p99) = best.unwrap();
+        measured.push(ShardPoint {
+            shards,
+            frames_per_sec: fps,
+            wall_nanos: wall,
+            rounds: served_rounds,
+            p99_ns: p99,
+            speedup_vs_one: fps / measured.first().map_or(fps, |p: &ShardPoint| p.frames_per_sec),
+        });
+    }
+
+    let speedup_4v1 = measured[2].frames_per_sec / measured[0].frames_per_sec;
+    let report = ServeBenchReport {
+        n,
+        requests: trace.len(),
+        seed,
+        hardware_threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        measured,
+        speedup_4v1,
+        modeled_speedup_4_fabrics: simulate_replicated_pipeline(n, trace.len() as u64, 4).speedup(),
+    };
+
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+    eprintln!(
+        "n={n} requests={}: measured 4-shard speedup {:.2}x on {} thread(s), modeled {:.2}x",
+        report.requests, report.speedup_4v1, report.hardware_threads, report.modeled_speedup_4_fabrics
+    );
+}

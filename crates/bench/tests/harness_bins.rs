@@ -97,6 +97,17 @@ fn fuzz_diff_small_run_clean() {
 }
 
 #[test]
+fn serve_report_emits_consistent_json() {
+    // Small run to keep the harness fast: n=16, 8 arrival rounds.
+    let text = run(env!("CARGO_BIN_EXE_serve_report"), &["16", "8", "5"]);
+    let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(parsed["n"], serde_json::Value::UInt(16));
+    assert!(parsed["requests"].as_u64().unwrap() > 0);
+    assert_eq!(parsed["measured"].as_array().unwrap().len(), 3);
+    assert!(parsed["modeled_speedup_4_fabrics"].as_f64().unwrap() >= 1.5);
+}
+
+#[test]
 fn load_latency_prints_curves() {
     let text = run(env!("CARGO_BIN_EXE_load_latency"), &[]);
     assert!(text.contains("max fanout 16"));

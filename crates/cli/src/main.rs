@@ -8,6 +8,7 @@
 //! brsmn-cli info   --n 1024                                  # cost sheet
 //! brsmn-cli seq    --n 8 --dests 3,4,7                       # routing-tag sequence
 //! brsmn-cli faults --n 64 --faults 64 --seed 1               # fault campaign
+//! brsmn-cli serve-sim --n 64 --shards 4 --rounds 32          # serving-loop replay
 //! ```
 
 use std::io::Read;
@@ -18,6 +19,7 @@ use brsmn_core::{
     metrics, render_trace, Brsmn, Engine, EngineConfig, FeedbackBrsmn, MulticastAssignment,
     RoutingResult, TagTree,
 };
+use brsmn_serve::{serve_trace, BackendKind, ServeConfig, Trace};
 use brsmn_sim::{brsmn_routing_time, feedback_routing_time, run_single_fault_campaign};
 use brsmn_workloads::{
     barrier_broadcast, even_conferences, random_multicast, random_permutation, replica_update,
@@ -52,9 +54,16 @@ fn usage() -> &'static str {
        seq    --n N --dests A,B,C                       routing-tag sequence\n\
        faults --n N [--faults F] [--frames K] [--seed S] [--json] [--per-fault]\n\
               seeded single-fault injection campaign (detection/recovery rates)\n\
+       serve-sim (--n N [--rounds R] [--seed S] [--p-arrival P] [--max-fanout F]\n\
+              [--save-trace OUT] | --trace-file F)\n\
+              [--shards S] [--workers W] [--capacity C] [--batch-window B]\n\
+              [--backend B] [--record-outputs]\n\
+              replay a workload trace through the sharded serving loop;\n\
+              prints the JSON ServeReport on stdout, a summary on stderr\n\
      workloads: dense | sparse | broadcast | permutation | conferences | replicas\n\
      engines:   semantic | self-routing | feedback | classical | crossbar | chengchen\n\
-                (--parallel supports semantic and self-routing)"
+                (--parallel supports semantic and self-routing)\n\
+     backends (serve-sim): brsmn | reference | feedback | crossbar | copy-benes"
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -66,6 +75,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "info" => cmd_info(&args),
         "seq" => cmd_seq(&args),
         "faults" => cmd_faults(&args),
+        "serve-sim" => cmd_serve_sim(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -369,6 +379,86 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
     }
     if !report.accounts() {
         return Err("recovered + failed frames do not account for corrupted frames".into());
+    }
+    Ok(())
+}
+
+/// `serve-sim`: replay a workload trace (generated or loaded) through the
+/// sharded serving loop and emit the JSON [`brsmn_serve::ServeReport`].
+fn cmd_serve_sim(args: &Args) -> Result<(), String> {
+    // The trace: either replayed from a file or generated from the same
+    // seeded arrival process the queueing model uses.
+    let trace = if let Some(path) = args.get("trace-file") {
+        let buf = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Trace::from_json(&buf).map_err(|e| format!("parse {path}: {e}"))?
+    } else {
+        let n: usize = args.get_parse("n")?.ok_or("--n or --trace-file is required")?;
+        let seed: u64 = args.get_parse("seed")?.unwrap_or(1);
+        let rounds: usize = args.get_parse("rounds")?.unwrap_or(32);
+        let mut queue = brsmn_serve::ServeConfig::new(n).queue;
+        if let Some(p) = args.get_parse::<f64>("p-arrival")? {
+            queue.p_arrival = p;
+        }
+        if let Some(f) = args.get_parse::<usize>("max-fanout")? {
+            queue.max_fanout = f;
+        }
+        Trace::generate(queue, seed, rounds).map_err(|e| e.to_string())?
+    };
+
+    if let Some(path) = args.get("save-trace") {
+        std::fs::write(path, trace.to_json_pretty()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("trace: {} requests saved to {path}", trace.len());
+    }
+
+    let mut cfg = ServeConfig::new(trace.n);
+    cfg.queue.max_fanout = trace
+        .requests
+        .iter()
+        .map(|r| r.dests.len())
+        .max()
+        .unwrap_or(cfg.queue.max_fanout)
+        .max(1);
+    if let Some(s) = args.get_parse::<usize>("shards")? {
+        cfg.shards = s;
+    }
+    if let Some(w) = args.get_parse::<usize>("workers")? {
+        cfg.workers_per_shard = w;
+    }
+    if let Some(c) = args.get_parse::<usize>("capacity")? {
+        cfg.queue_capacity = c;
+    }
+    if let Some(b) = args.get_parse::<usize>("batch-window")? {
+        cfg.batch_window = b;
+    }
+    if let Some(backend) = args.get("backend") {
+        cfg.backend = backend.parse::<BackendKind>()?;
+    }
+    cfg.record_outputs = args.flag("record-outputs");
+
+    let report = serve_trace(cfg, &trace).map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "served {}/{} requests ({} drained, {} rejected) on {} shard(s), backend `{}`: \
+         {:.1} frames/s, p99 {} ns",
+        report.served_ok + report.served_err,
+        report.submitted,
+        report.drained,
+        report.rejected,
+        report.shards,
+        report.backend,
+        report.frames_per_sec,
+        report.latency.p99_ns,
+    );
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+    );
+
+    if !report.conserves() {
+        return Err("serving conservation law violated".into());
+    }
+    if report.served_err > 0 {
+        return Err(format!("{} request(s) failed to route", report.served_err));
     }
     Ok(())
 }

@@ -117,6 +117,79 @@ fn faults_campaign_detects_everything() {
 }
 
 #[test]
+fn serve_sim_reports_consistent_json() {
+    let out = bin()
+        .args([
+            "serve-sim", "--n", "16", "--shards", "2", "--rounds", "8", "--seed", "3",
+            "--capacity", "4096",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // stdout is the full machine-readable report; parse it back into the
+    // typed struct and re-check the conservation law from outside.
+    let report: brsmn_serve::ServeReport =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert!(report.conserves(), "{report:?}");
+    assert_eq!(report.n, 16);
+    assert_eq!(report.shards, 2);
+    assert_eq!(report.backend, "brsmn");
+    assert!(report.submitted > 0);
+    assert_eq!(report.rejected, 0, "capacity 4096 admits the whole trace");
+    assert_eq!(report.served_ok, report.submitted);
+    assert!(report.frames_per_sec > 0.0);
+    assert!(report.latency.p99_ns >= report.latency.p50_ns);
+    assert!(report.wall_nanos > 0);
+
+    // The human summary goes to stderr, not into the JSON stream.
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("frames/s"), "{err}");
+}
+
+#[test]
+fn serve_sim_replays_committed_demo_trace() {
+    // Integration tests run with the crate directory as cwd.
+    let trace = "../../traces/serve_demo.json";
+    let out = bin()
+        .args([
+            "serve-sim", "--trace-file", trace, "--shards", "4", "--capacity", "2048",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report: brsmn_serve::ServeReport =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert!(report.conserves(), "{report:?}");
+    assert_eq!(report.n, 64);
+    assert_eq!(report.shards, 4);
+    assert_eq!(report.submitted, 748, "demo trace length drifted");
+    assert_eq!(report.served_err, 0);
+}
+
+#[test]
+fn serve_sim_alternate_backends_and_bad_backend() {
+    let out = bin()
+        .args([
+            "serve-sim", "--n", "8", "--rounds", "4", "--backend", "reference", "--capacity",
+            "1024",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report: brsmn_serve::ServeReport =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(report.backend, "reference");
+    assert!(report.conserves());
+
+    let out = bin()
+        .args(["serve-sim", "--n", "8", "--backend", "warp-drive"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
 fn bad_input_fails_cleanly() {
     let out = bin().args(["route", "--n", "7"]).output().unwrap();
     assert!(!out.status.success());

@@ -265,6 +265,51 @@ impl EngineStats {
             self.busy_nanos as f64 / self.wall_nanos as f64
         }
     }
+
+    /// An empty stats record for an `n`-port fabric — the identity of
+    /// [`EngineStats::merge`], for accumulating shard or round totals.
+    pub fn empty(n: usize) -> Self {
+        EngineStats {
+            n,
+            batch: 0,
+            workers: 0,
+            parallel_halves: false,
+            frames_ok: 0,
+            frames_failed: 0,
+            frames_retried: 0,
+            frames_degraded: 0,
+            stages: StageTimer::new(),
+            wall_nanos: 0,
+            busy_nanos: 0,
+            fastpath_frames: 0,
+            scratch_bytes: 0,
+        }
+    }
+
+    /// Folds another stats record (a shard's, or a later round's) into this
+    /// one.
+    ///
+    /// Work counters (`batch`, frame outcomes, stage counters, `busy_nanos`,
+    /// `fastpath_frames`) and `workers` add; `scratch_bytes` takes the max
+    /// (arenas are per worker, not pooled); `wall_nanos` takes the max,
+    /// which is exact for shards running concurrently — drivers that know
+    /// the true end-to-end wall time (e.g. [`ShardedEngine::route_batch`],
+    /// the serving loop) overwrite it after merging.
+    pub fn merge(&mut self, other: &EngineStats) {
+        debug_assert_eq!(self.n, other.n, "merging stats across network sizes");
+        self.batch += other.batch;
+        self.workers += other.workers;
+        self.parallel_halves |= other.parallel_halves;
+        self.frames_ok += other.frames_ok;
+        self.frames_failed += other.frames_failed;
+        self.frames_retried += other.frames_retried;
+        self.frames_degraded += other.frames_degraded;
+        self.stages.merge(&other.stages);
+        self.wall_nanos = self.wall_nanos.max(other.wall_nanos);
+        self.busy_nanos += other.busy_nanos;
+        self.fastpath_frames += other.fastpath_frames;
+        self.scratch_bytes = self.scratch_bytes.max(other.scratch_bytes);
+    }
 }
 
 /// Result of routing a batch: per-frame outcomes (in input order) plus the
@@ -634,6 +679,122 @@ impl Engine {
             .collect();
         let out = route_block_timed(lines, 0, 1, fork_depth, timer)?;
         crate::brsmn::extract_result(out)
+    }
+}
+
+/// `S` independent fabrics routing stripes of one batch concurrently.
+///
+/// Frame `i` of a batch goes to shard `i mod S` (round-robin striping), the
+/// shards route their stripes in parallel (one scoped thread per shard, each
+/// shard's [`Engine`] applying its own worker config inside), and the
+/// per-frame results are reassembled in input order. Because the shards are
+/// fully independent fabrics and striping never reorders frames, the output
+/// is **bit-identical** to routing the same batch through a single
+/// [`Engine`] — `crates/core/tests/shard_props.rs` pins this down.
+///
+/// Per-shard [`EngineStats`] are folded with [`EngineStats::merge`];
+/// `wall_nanos` is the measured end-to-end time (so
+/// [`EngineStats::frames_per_sec`] reflects the sharded throughput), while
+/// `workers` sums the shards' worker counts.
+///
+/// # Example
+///
+/// ```
+/// use brsmn_core::{Engine, MulticastAssignment, ShardedEngine};
+///
+/// let batch: Vec<MulticastAssignment> = (0..6)
+///     .map(|s| {
+///         let mut sets = vec![Vec::new(); 8];
+///         sets[s % 8] = (0..8).collect();
+///         MulticastAssignment::from_sets(8, sets).unwrap()
+///     })
+///     .collect();
+/// let single = Engine::new(8).unwrap().route_batch(&batch);
+/// let sharded = ShardedEngine::new(8, 3).unwrap().route_batch(&batch);
+/// for (a, b) in single.results.iter().zip(&sharded.results) {
+///     assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedEngine {
+    shards: Vec<Engine>,
+}
+
+impl ShardedEngine {
+    /// `shards` independent fabrics of size `n`, each with the default
+    /// (batch) engine config.
+    pub fn new(n: usize, shards: usize) -> Result<Self, CoreError> {
+        ShardedEngine::with_config(n, shards, EngineConfig::default())
+    }
+
+    /// `shards` independent fabrics, each running `cfg` internally.
+    ///
+    /// For a serving deployment the usual shape is `cfg.workers = 1` and
+    /// parallelism purely from the shard count; `workers > 1` nests
+    /// frame-level pools inside each shard.
+    pub fn with_config(n: usize, shards: usize, cfg: EngineConfig) -> Result<Self, CoreError> {
+        if shards == 0 {
+            return Err(CoreError::Config(
+                "ShardedEngine needs at least one shard".to_string(),
+            ));
+        }
+        let shards = (0..shards)
+            .map(|_| Engine::with_config(n, cfg))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedEngine { shards })
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.shards[0].n()
+    }
+
+    /// Number of independent fabrics.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        self.shards[0].config()
+    }
+
+    /// Routes a batch striped round-robin across the shards; results come
+    /// back in input order, bit-identical to a single [`Engine`].
+    pub fn route_batch(&self, batch: &[MulticastAssignment]) -> BatchOutput {
+        let s = self.shards.len();
+        if s == 1 || batch.len() <= 1 {
+            return self.shards[0].route_batch(batch);
+        }
+
+        let stripes: Vec<Vec<MulticastAssignment>> = (0..s)
+            .map(|k| batch.iter().skip(k).step_by(s).cloned().collect())
+            .collect();
+
+        let wall_start = Instant::now();
+        let shard_outs = par::par_map(&stripes, s, |k, stripe| {
+            self.shards[k].route_batch(stripe)
+        });
+        let wall_nanos = wall_start.elapsed().as_nanos() as u64;
+
+        let mut results: Vec<Option<Result<RoutingResult, CoreError>>> =
+            (0..batch.len()).map(|_| None).collect();
+        let mut stats = EngineStats::empty(self.n());
+        for (k, out) in shard_outs.into_iter().enumerate() {
+            for (j, r) in out.results.into_iter().enumerate() {
+                results[k + j * s] = Some(r);
+            }
+            stats.merge(&out.stats);
+        }
+        stats.wall_nanos = wall_nanos;
+
+        BatchOutput {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("striping covers every frame exactly once"))
+                .collect(),
+            stats,
+        }
     }
 }
 

@@ -35,6 +35,9 @@ pub enum CoreError {
     /// assignment ([`crate::verify_routing`]) and every stage of the
     /// graceful-degradation ladder — the signature of a faulty fabric.
     Verification(crate::verify::FaultReport),
+    /// A driver was constructed with an unusable configuration (e.g. a
+    /// [`crate::ShardedEngine`] with zero shards).
+    Config(String),
     /// An invariant the paper guarantees was violated — a bug, never expected.
     Internal(String),
 }
@@ -55,6 +58,7 @@ impl fmt::Display for CoreError {
             CoreError::Verification(report) => {
                 write!(f, "output verification failed: {report}")
             }
+            CoreError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }

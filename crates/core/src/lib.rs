@@ -8,6 +8,9 @@
 //!
 //! * [`assignment`] — multicast assignments `{I_0, …, I_{n−1}}` and routing
 //!   results;
+//! * [`backend`] — the [`RouterBackend`] trait making every fabric (fast
+//!   path, reference, feedback, engines, baselines) interchangeable to the
+//!   serving loop and conformance suite;
 //! * [`tags`] — the tagged binary tree of a multicast and the `SEQ` wire
 //!   format the self-routing hardware consumes (Section 7.1);
 //! * [`payload`] — the two message models: semantic (reference) and
@@ -48,6 +51,7 @@
 
 pub mod algebra;
 pub mod assignment;
+pub mod backend;
 pub mod brsmn;
 pub mod bsn;
 pub mod engine;
@@ -63,11 +67,12 @@ pub mod verify;
 
 pub use algebra::{idle_outputs, relabel_inputs, relabel_outputs, restrict, union};
 pub use assignment::{AssignmentError, MulticastAssignment, RoutingResult};
+pub use backend::{ReferenceRouter, RouterBackend};
 pub use brsmn::{Brsmn, LevelTrace, RouteTrace};
 pub use bsn::{Bsn, BsnTrace};
 pub use engine::{
     BatchOutput, Engine, EngineConfig, EngineStats, FrameOutcome, LevelStats, ResilientRouter,
-    StageTimer,
+    ShardedEngine, StageTimer,
 };
 pub use error::CoreError;
 pub use fastpath::{with_thread_scratch, RouteScratch};

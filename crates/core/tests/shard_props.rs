@@ -1,0 +1,137 @@
+//! Acceptance property for the sharded engine: striping a batch across
+//! `S` independent fabrics is **bit-identical** to routing it through one
+//! [`Engine`] — same per-frame results in the same order — for arbitrary
+//! dense/sparse/α-heavy batches at n ∈ {8, 16, 64} and 2–4 shards, and the
+//! merged [`EngineStats`] preserve the work counters exactly.
+
+use brsmn_core::{CoreError, Engine, EngineConfig, MulticastAssignment, ShardedEngine};
+use proptest::collection::vec;
+use proptest::option;
+use proptest::prelude::*;
+
+/// Builds a valid multicast assignment from a per-output source choice
+/// (each output claimed by at most one input — always realizable).
+fn assignment_from_choices(n: usize, choices: &[Option<usize>]) -> MulticastAssignment {
+    let mut sets = vec![Vec::new(); n];
+    for (o, c) in choices.iter().enumerate() {
+        if let Some(src) = c {
+            sets[*src].push(o);
+        }
+    }
+    MulticastAssignment::from_sets(n, sets).expect("choices form a valid assignment")
+}
+
+/// One frame drawn from three load shapes (dense / sparse / α-heavy); same
+/// generator family as `fastpath_equivalence.rs`.
+fn shaped(n: usize) -> impl Strategy<Value = MulticastAssignment> {
+    (
+        0u8..3,
+        vec(option::weighted(0.9, 0..n), n),
+        1usize..=4,
+        vec(0usize..4, n),
+    )
+        .prop_map(move |(shape, choices, k, picks)| match shape {
+            0 => assignment_from_choices(n, &choices),
+            1 => {
+                let thinned: Vec<Option<usize>> = choices
+                    .iter()
+                    .enumerate()
+                    .map(|(o, c)| if o % 3 == 0 { *c } else { None })
+                    .collect();
+                assignment_from_choices(n, &thinned)
+            }
+            _ => {
+                let choices: Vec<Option<usize>> =
+                    picks.iter().map(|&i| Some((i % k) * n / 4)).collect();
+                assignment_from_choices(n, &choices)
+            }
+        })
+}
+
+/// A batch over one shared size, plus a shard count ≥ 2.
+fn sharded_batches() -> impl Strategy<Value = (usize, Vec<MulticastAssignment>, usize)> {
+    prop_oneof![Just(8usize), Just(16), Just(64)]
+        .prop_flat_map(|n| (Just(n), vec(shaped(n), 1..=13), 2usize..=4))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sharded_engine_is_bit_identical_to_single((n, batch, shards) in sharded_batches()) {
+        let single = Engine::with_config(n, EngineConfig::sequential()).unwrap();
+        let sharded =
+            ShardedEngine::with_config(n, shards, EngineConfig::sequential()).unwrap();
+        prop_assert_eq!(sharded.num_shards(), shards);
+
+        let a = single.route_batch(&batch);
+        let b = sharded.route_batch(&batch);
+
+        // Bit-identical per-frame outputs, in input order.
+        prop_assert_eq!(a.results.len(), b.results.len());
+        for (i, (x, y)) in a.results.iter().zip(&b.results).enumerate() {
+            prop_assert_eq!(
+                x.as_ref().unwrap(),
+                y.as_ref().unwrap(),
+                "frame {} diverged under sharding",
+                i
+            );
+        }
+
+        // Merged stats preserve the work exactly: same frames, same switch
+        // settings, same planner sweeps, same fast-path coverage.
+        prop_assert_eq!(a.stats.batch, b.stats.batch);
+        prop_assert_eq!(a.stats.frames_ok, b.stats.frames_ok);
+        prop_assert_eq!(a.stats.frames_failed, b.stats.frames_failed);
+        prop_assert_eq!(
+            a.stats.stages.switch_settings,
+            b.stats.stages.switch_settings
+        );
+        prop_assert_eq!(a.stats.stages.sweep_passes, b.stats.stages.sweep_passes);
+        prop_assert_eq!(a.stats.fastpath_frames, b.stats.fastpath_frames);
+        prop_assert_eq!(a.stats.stages.final_switches, b.stats.stages.final_switches);
+    }
+}
+
+#[test]
+fn zero_shards_is_a_typed_error() {
+    match ShardedEngine::new(8, 0) {
+        Err(CoreError::Config(msg)) => assert!(msg.contains("shard"), "{msg}"),
+        other => panic!("expected Config error, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_and_single_frame_batches_route() {
+    let sharded = ShardedEngine::new(8, 3).unwrap();
+    let out = sharded.route_batch(&[]);
+    assert!(out.results.is_empty());
+    assert_eq!(out.stats.batch, 0);
+
+    let mut sets = vec![Vec::new(); 8];
+    sets[2] = vec![0, 5, 7];
+    let asg = MulticastAssignment::from_sets(8, sets).unwrap();
+    let out = sharded.route_batch(std::slice::from_ref(&asg));
+    assert!(out.results[0].as_ref().unwrap().realizes(&asg));
+}
+
+#[test]
+fn batches_smaller_than_the_shard_count_route() {
+    // 2 frames over 4 shards: two stripes carry one frame, two run empty.
+    let n = 16;
+    let batch: Vec<MulticastAssignment> = (0..2)
+        .map(|f| {
+            let mut sets = vec![Vec::new(); n];
+            sets[f] = (0..n).collect();
+            MulticastAssignment::from_sets(n, sets).unwrap()
+        })
+        .collect();
+    let single = Engine::with_config(n, EngineConfig::sequential()).unwrap();
+    let sharded = ShardedEngine::with_config(n, 4, EngineConfig::sequential()).unwrap();
+    let a = single.route_batch(&batch);
+    let b = sharded.route_batch(&batch);
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
+    }
+    assert_eq!(b.stats.frames_ok, 2);
+}

@@ -1,0 +1,182 @@
+//! Power-of-two latency histograms: fixed memory, O(1) record, exact
+//! count/sum/max plus bucketed quantiles — the serving loop records one
+//! sample per completed request.
+
+use serde::{Deserialize, Serialize};
+
+/// Bucket `i` counts samples in `[2^i, 2^{i+1})` nanoseconds (bucket 0 is
+/// `[0, 2)`); 64 buckets cover every representable `u64` latency.
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed latency histogram.
+///
+/// Quantiles are resolved to the upper edge of the containing bucket, i.e.
+/// within a factor of 2 of the true order statistic — plenty for serving
+/// reports, at 64 words of memory regardless of sample count.
+///
+/// # Example
+///
+/// ```
+/// use brsmn_serve::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ns in [100, 200, 400, 800, 100_000] {
+///     h.record(ns);
+/// }
+/// assert_eq!(h.count, 5);
+/// assert_eq!(h.max_ns, 100_000);
+/// assert!(h.quantile(0.5) >= 200);
+/// assert!(h.quantile(1.0) >= 100_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Per-bucket sample counts (see module docs for the bucket bounds).
+    pub buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples, nanoseconds.
+    pub sum_ns: u64,
+    /// Exact maximum sample, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, ns: u64) {
+        let bucket = (u64::BITS - ns.leading_zeros()).saturating_sub(1) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (slot, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *slot += o;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// The upper bucket edge below which at least `q · count` samples fall
+    /// (`q` clamped to `[0, 1]`); 0 for an empty histogram. `quantile(1.0)`
+    /// returns the exact observed maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max_ns;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper edge of bucket i, capped at the observed max.
+                let edge = if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return edge.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Exact mean sample, nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.buckets[0], 2); // 0 and 1
+        assert_eq!(h.buckets[1], 2); // 2 and 3
+        assert_eq!(h.buckets[10], 1); // 1024
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum_ns, 1030);
+        assert_eq!(h.max_ns, 1024);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let mut h = LatencyHistogram::new();
+        for ns in 1..=1000u64 {
+            h.record(ns);
+        }
+        let p50 = h.quantile(0.5);
+        // True median 500: the bucket edge answer is within a factor of 2.
+        assert!((250..=1000).contains(&p50), "{p50}");
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!(h.quantile(0.0) >= 1);
+        assert!((h.mean_ns() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let samples_a = [5u64, 80, 3000, 1 << 20];
+        let samples_b = [1u64, 9, 77, 1 << 30];
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for s in samples_a {
+            a.record(s);
+            all.record(s);
+        }
+        for s in samples_b {
+            b.record(s);
+            all.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn serializes_round_trip() {
+        let mut h = LatencyHistogram::new();
+        h.record(123);
+        h.record(456_789);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LatencyHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+}

@@ -1,0 +1,983 @@
+//! The serving front end: a bounded mpsc request loop feeding a sharded,
+//! multi-backend routing fabric — the shape a deployed BRSMN switch
+//! controller takes.
+//!
+//! ```text
+//!  submit(source, dests)
+//!        │  admission control (QueueConfig: size / fanout / dest range)
+//!        ▼
+//!  ┌──────────────┐  try_send (backpressure: QueueFull when the bounded
+//!  │ sync_channel │  queue is at capacity)
+//!  └──────┬───────┘
+//!         ▼  batch_window requests per service round
+//!  ┌─────────────────────────────┐
+//!  │ serving thread              │   shard 0: Engine / RouterBackend
+//!  │   stripe frames round-robin ├──▶ shard 1: …        (par_map, one
+//!  │   merge EngineStats         │   shard S−1:          thread per shard)
+//!  └─────────────────────────────┘
+//!         │ per-request latency → LatencyHistogram
+//!         ▼
+//!  shutdown(): set drain flag, close queue, serve the backlog, join,
+//!  return the ServeReport (accepted + rejected + drained == submitted)
+//! ```
+//!
+//! Admission control is driven by the same [`QueueConfig`] the queueing
+//! simulation uses ([`brsmn_workloads::queueing`]): the config is
+//! [validated](QueueConfig::validate) into typed [`QueueError`]s at
+//! construction, and each submitted request is screened against it before
+//! touching the queue ([`RejectReason`]). The BRSMN backend routes shards
+//! through [`ShardedEngine`] (bit-identical to a single engine); every
+//! other [`RouterBackend`] gets one independent instance per shard.
+//!
+//! # Example
+//!
+//! ```
+//! use brsmn_serve::{ServeConfig, Server};
+//!
+//! let mut cfg = ServeConfig::new(8);
+//! cfg.shards = 2;
+//! let mut server = Server::start(cfg).unwrap();
+//! for s in 0..8 {
+//!     server.submit(s, &[s, (s + 1) % 8]).unwrap();
+//! }
+//! let report = server.shutdown();
+//! assert_eq!(report.submitted, 8);
+//! assert_eq!(report.accepted + report.drained, 8);
+//! assert_eq!(report.served_ok, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod histogram;
+pub mod trace;
+
+pub use histogram::LatencyHistogram;
+pub use trace::{Trace, TraceRequest};
+
+use brsmn_baselines::{CopyBenesMulticast, Crossbar};
+use brsmn_core::backend::{ReferenceRouter, RouterBackend};
+use brsmn_core::{
+    CoreError, EngineConfig, EngineStats, FeedbackBrsmn, MulticastAssignment, RoutingResult,
+    ShardedEngine,
+};
+use brsmn_rbn::par;
+use brsmn_workloads::queueing::{QueueConfig, QueueError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, SyncSender, TryRecvError, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Which routing fabric the server drives (see [`RouterBackend`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// BRSMN zero-allocation fast path via [`ShardedEngine`] (the default).
+    Brsmn,
+    /// The allocating reference planner, one [`ReferenceRouter`] per shard.
+    Reference,
+    /// The Section-7.3 feedback network, one [`FeedbackBrsmn`] per shard.
+    Feedback,
+    /// The `Θ(n²)` crossbar baseline, one [`Crossbar`] per shard.
+    Crossbar,
+    /// The classical copy-then-route baseline, one [`CopyBenesMulticast`]
+    /// per shard.
+    CopyBenes,
+}
+
+impl BackendKind {
+    /// Stable name used in reports and on the CLI (`--backend`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendKind::Brsmn => "brsmn",
+            BackendKind::Reference => "reference",
+            BackendKind::Feedback => "feedback",
+            BackendKind::Crossbar => "crossbar",
+            BackendKind::CopyBenes => "copy-benes",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "brsmn" => Ok(BackendKind::Brsmn),
+            "reference" => Ok(BackendKind::Reference),
+            "feedback" => Ok(BackendKind::Feedback),
+            "crossbar" => Ok(BackendKind::Crossbar),
+            "copy-benes" => Ok(BackendKind::CopyBenes),
+            other => Err(format!(
+                "unknown backend {other:?} (expected brsmn, reference, feedback, crossbar, copy-benes)"
+            )),
+        }
+    }
+}
+
+/// Serving-loop configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Admission-control parameters (network size, arrival rate for trace
+    /// generation, fanout cap), validated by [`QueueConfig::validate`].
+    pub queue: QueueConfig,
+    /// Independent fabrics the serving thread stripes each round across.
+    pub shards: usize,
+    /// Engine worker threads inside each shard (`ShardedEngine` backends;
+    /// `0` = one per hardware thread). Serving deployments usually keep
+    /// this at 1 and scale via `shards`.
+    pub workers_per_shard: usize,
+    /// Bounded request-queue capacity; a full queue rejects with
+    /// [`RejectReason::QueueFull`] (backpressure).
+    pub queue_capacity: usize,
+    /// Most requests served per routing round (the batch the fabric sees).
+    pub batch_window: usize,
+    /// Which fabric to drive.
+    pub backend: BackendKind,
+    /// Record each request's delivered [`RoutingResult`] in the report's
+    /// completion log (memory-heavy; meant for tests and small traces).
+    pub record_outputs: bool,
+}
+
+impl ServeConfig {
+    /// A single-shard BRSMN server over an `n`-port fabric with moderate
+    /// defaults (queue capacity 256, batch window 32, arrival rate 0.5,
+    /// fanout cap 4).
+    pub fn new(n: usize) -> Self {
+        ServeConfig {
+            queue: QueueConfig {
+                n,
+                p_arrival: 0.5,
+                max_fanout: 4,
+            },
+            shards: 1,
+            workers_per_shard: 1,
+            queue_capacity: 256,
+            batch_window: 32,
+            backend: BackendKind::Brsmn,
+            record_outputs: false,
+        }
+    }
+
+    /// Validates and normalizes: the embedded [`QueueConfig`] is validated
+    /// (typed [`QueueError`] on a bad size or fanout), and zero
+    /// shards/capacity/window are rejected.
+    pub fn validate(mut self) -> Result<ServeConfig, ServeError> {
+        self.queue = self.queue.validate().map_err(ServeError::Queue)?;
+        if self.shards == 0 {
+            return Err(ServeError::Config("shards must be >= 1".to_string()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::Config("queue_capacity must be >= 1".to_string()));
+        }
+        if self.batch_window == 0 {
+            return Err(ServeError::Config("batch_window must be >= 1".to_string()));
+        }
+        Ok(self)
+    }
+}
+
+/// A server that could not be built or run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The admission-control config failed [`QueueConfig::validate`].
+    Queue(QueueError),
+    /// A serving parameter (shards, capacity, batch window) is unusable.
+    Config(String),
+    /// The backend fabric could not be constructed.
+    Core(CoreError),
+    /// A replayed trace addresses a different network size than the config.
+    TraceMismatch {
+        /// Size the trace was recorded for.
+        trace_n: usize,
+        /// Size the server is configured for.
+        cfg_n: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Queue(e) => write!(f, "admission config: {e}"),
+            ServeError::Config(msg) => write!(f, "serve config: {msg}"),
+            ServeError::Core(e) => write!(f, "backend construction: {e}"),
+            ServeError::TraceMismatch { trace_n, cfg_n } => write!(
+                f,
+                "trace recorded for n={trace_n} but the server is configured for n={cfg_n}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+/// Why admission control (or backpressure) refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The bounded queue is at capacity — backpressure.
+    QueueFull,
+    /// The request named no destinations.
+    EmptyRequest,
+    /// More distinct destinations than the admission fanout cap.
+    FanoutExceeded {
+        /// Distinct destinations requested.
+        fanout: usize,
+        /// The configured cap ([`QueueConfig::max_fanout`]).
+        max_fanout: usize,
+    },
+    /// The source port does not exist on this fabric.
+    SourceOutOfRange {
+        /// The offending source.
+        source: usize,
+        /// Network size.
+        n: usize,
+    },
+    /// A destination port does not exist on this fabric.
+    DestOutOfRange {
+        /// The offending destination.
+        dest: usize,
+        /// Network size.
+        n: usize,
+    },
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull => write!(f, "queue full"),
+            RejectReason::EmptyRequest => write!(f, "empty destination set"),
+            RejectReason::FanoutExceeded { fanout, max_fanout } => {
+                write!(f, "fanout {fanout} exceeds admission cap {max_fanout}")
+            }
+            RejectReason::SourceOutOfRange { source, n } => {
+                write!(f, "source {source} out of range for n={n}")
+            }
+            RejectReason::DestOutOfRange { dest, n } => {
+                write!(f, "destination {dest} out of range for n={n}")
+            }
+            RejectReason::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+/// Per-reason rejection counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RejectBreakdown {
+    /// Backpressure rejections ([`RejectReason::QueueFull`]).
+    pub queue_full: u64,
+    /// Empty destination sets.
+    pub empty_request: u64,
+    /// Fanout above the admission cap.
+    pub fanout_exceeded: u64,
+    /// Source or destination ports off the fabric.
+    pub out_of_range: u64,
+    /// Requests submitted after shutdown began.
+    pub shutting_down: u64,
+}
+
+impl RejectBreakdown {
+    /// Total rejected requests.
+    pub fn total(&self) -> u64 {
+        self.queue_full
+            + self.empty_request
+            + self.fanout_exceeded
+            + self.out_of_range
+            + self.shutting_down
+    }
+
+    fn count(&mut self, reason: &RejectReason) {
+        match reason {
+            RejectReason::QueueFull => self.queue_full += 1,
+            RejectReason::EmptyRequest => self.empty_request += 1,
+            RejectReason::FanoutExceeded { .. } => self.fanout_exceeded += 1,
+            RejectReason::SourceOutOfRange { .. } | RejectReason::DestOutOfRange { .. } => {
+                self.out_of_range += 1
+            }
+            RejectReason::ShuttingDown => self.shutting_down += 1,
+        }
+    }
+}
+
+/// One served request in the report's completion log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The id [`Server::submit`] returned for this request.
+    pub id: u64,
+    /// Served during the graceful drain (after [`Server::shutdown`] was
+    /// called) rather than in steady state.
+    pub drained: bool,
+    /// The fabric realized the request.
+    pub ok: bool,
+    /// Submit → completion latency, nanoseconds.
+    pub latency_ns: u64,
+    /// The delivered source table, when [`ServeConfig::record_outputs`] is
+    /// set and the route succeeded.
+    pub result: Option<RoutingResult>,
+    /// The routing error, if the route failed.
+    pub error: Option<String>,
+}
+
+/// Headline latency figures distilled from the full histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Samples (served requests).
+    pub count: u64,
+    /// Exact mean, nanoseconds.
+    pub mean_ns: f64,
+    /// Median (log₂-bucket upper edge), nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Exact maximum, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Distills a histogram into the headline figures.
+    pub fn from_histogram(h: &LatencyHistogram) -> Self {
+        LatencySummary {
+            count: h.count,
+            mean_ns: h.mean_ns(),
+            p50_ns: h.quantile(0.5),
+            p90_ns: h.quantile(0.9),
+            p99_ns: h.quantile(0.99),
+            max_ns: h.max_ns,
+        }
+    }
+}
+
+/// Everything one serving run produced; serializes to the `serve-sim` JSON
+/// report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Network size.
+    pub n: usize,
+    /// Shards the fabric striped across.
+    pub shards: usize,
+    /// Engine workers inside each shard.
+    pub workers_per_shard: usize,
+    /// Backend label ([`BackendKind::label`]).
+    pub backend: String,
+    /// Bounded-queue capacity.
+    pub queue_capacity: usize,
+    /// Requests per service round.
+    pub batch_window: usize,
+    /// Requests offered to [`Server::submit`].
+    pub submitted: u64,
+    /// Requests served in steady state (before shutdown).
+    pub accepted: u64,
+    /// Requests served by the graceful drain (queued when shutdown began).
+    pub drained: u64,
+    /// Requests refused by admission control or backpressure.
+    pub rejected: u64,
+    /// Rejections by reason.
+    pub rejections: RejectBreakdown,
+    /// Served requests the fabric realized.
+    pub served_ok: u64,
+    /// Served requests whose route failed.
+    pub served_err: u64,
+    /// Service rounds (fabric batches) executed.
+    pub rounds: u64,
+    /// Serving-thread lifetime, nanoseconds.
+    pub wall_nanos: u64,
+    /// Served requests per second of serving-thread wall time.
+    pub frames_per_sec: f64,
+    /// Headline latency figures.
+    pub latency: LatencySummary,
+    /// Full log₂ latency histogram.
+    pub histogram: LatencyHistogram,
+    /// Merged fabric instrumentation (wall set to the serving-thread wall).
+    pub engine: EngineStats,
+    /// Per-request completion log (populated when
+    /// [`ServeConfig::record_outputs`] is set).
+    pub completions: Vec<Completion>,
+}
+
+impl ServeReport {
+    /// The serving conservation law: every submitted request is accounted
+    /// for exactly once, and every queued request was served.
+    pub fn conserves(&self) -> bool {
+        self.accepted + self.drained + self.rejected == self.submitted
+            && self.served_ok + self.served_err == self.accepted + self.drained
+            && self.rejections.total() == self.rejected
+            && self.histogram.count == self.accepted + self.drained
+    }
+}
+
+/// The routing fabric behind the queue: either a [`ShardedEngine`] (BRSMN
+/// fast path, with its own striping and instrumentation) or one
+/// [`RouterBackend`] instance per shard driven by the same round-robin
+/// striping.
+enum Fabric {
+    Sharded(ShardedEngine),
+    Backends {
+        n: usize,
+        shards: Vec<Box<dyn RouterBackend>>,
+    },
+}
+
+impl Fabric {
+    fn build(cfg: &ServeConfig) -> Result<Fabric, ServeError> {
+        let n = cfg.queue.n;
+        let make_shards = |f: &dyn Fn() -> Result<Box<dyn RouterBackend>, ServeError>| {
+            (0..cfg.shards)
+                .map(|_| f())
+                .collect::<Result<Vec<_>, _>>()
+                .map(|shards| Fabric::Backends { n, shards })
+        };
+        match cfg.backend {
+            BackendKind::Brsmn => Ok(Fabric::Sharded(ShardedEngine::with_config(
+                n,
+                cfg.shards,
+                EngineConfig::batch(cfg.workers_per_shard),
+            )?)),
+            BackendKind::Reference => {
+                make_shards(&|| Ok(Box::new(ReferenceRouter::new(n)?) as Box<dyn RouterBackend>))
+            }
+            BackendKind::Feedback => {
+                make_shards(&|| Ok(Box::new(FeedbackBrsmn::new(n)?) as Box<dyn RouterBackend>))
+            }
+            BackendKind::Crossbar => {
+                make_shards(&|| Ok(Box::new(Crossbar::new(n)) as Box<dyn RouterBackend>))
+            }
+            BackendKind::CopyBenes => make_shards(&|| {
+                let net = CopyBenesMulticast::new(n).map_err(|e| {
+                    ServeError::Core(CoreError::Config(format!("copy–benes baseline: {e}")))
+                })?;
+                Ok(Box::new(net) as Box<dyn RouterBackend>)
+            }),
+        }
+    }
+
+    /// Routes one service round, striping frames round-robin across shards.
+    fn route_round(
+        &self,
+        batch: &[MulticastAssignment],
+    ) -> (Vec<Result<RoutingResult, CoreError>>, EngineStats) {
+        match self {
+            Fabric::Sharded(engine) => {
+                let out = engine.route_batch(batch);
+                (out.results, out.stats)
+            }
+            Fabric::Backends { n, shards } => {
+                let s = shards.len().min(batch.len()).max(1);
+                let stripes: Vec<Vec<usize>> =
+                    (0..s).map(|k| (k..batch.len()).step_by(s).collect()).collect();
+                let wall_start = Instant::now();
+                let shard_outs = par::par_map(&stripes, s, |k, idxs| {
+                    let t0 = Instant::now();
+                    let results: Vec<Result<RoutingResult, CoreError>> = idxs
+                        .iter()
+                        .map(|&i| shards[k].route_assignment(&batch[i]))
+                        .collect();
+                    (results, t0.elapsed().as_nanos() as u64)
+                });
+                let wall_nanos = wall_start.elapsed().as_nanos() as u64;
+
+                let mut results: Vec<Option<Result<RoutingResult, CoreError>>> =
+                    (0..batch.len()).map(|_| None).collect();
+                let mut stats = EngineStats::empty(*n);
+                stats.batch = batch.len();
+                stats.workers = s;
+                stats.wall_nanos = wall_nanos;
+                for (stripe, (outs, busy)) in stripes.iter().zip(shard_outs) {
+                    stats.busy_nanos += busy;
+                    for (&i, r) in stripe.iter().zip(outs) {
+                        match &r {
+                            Ok(_) => stats.frames_ok += 1,
+                            Err(_) => stats.frames_failed += 1,
+                        }
+                        results[i] = Some(r);
+                    }
+                }
+                (
+                    results
+                        .into_iter()
+                        .map(|r| r.expect("striping covers every frame"))
+                        .collect(),
+                    stats,
+                )
+            }
+        }
+    }
+}
+
+/// One queued request.
+struct Job {
+    id: u64,
+    asg: MulticastAssignment,
+    submitted_at: Instant,
+}
+
+/// What the serving thread hands back at join time.
+struct LoopOutcome {
+    accepted: u64,
+    drained: u64,
+    served_ok: u64,
+    served_err: u64,
+    rounds: u64,
+    wall_nanos: u64,
+    histogram: LatencyHistogram,
+    engine: EngineStats,
+    completions: Vec<Completion>,
+}
+
+/// A running serving loop; see the [module docs](crate) for the flow.
+///
+/// Built by [`Server::start`], fed by [`Server::submit`], finished by
+/// [`Server::shutdown`] (graceful drain: the queue closes, every queued
+/// request is still served, then the report comes back).
+pub struct Server {
+    cfg: ServeConfig,
+    tx: Option<SyncSender<Job>>,
+    draining: Arc<AtomicBool>,
+    worker: Option<JoinHandle<LoopOutcome>>,
+    submitted: u64,
+    rejections: RejectBreakdown,
+}
+
+impl Server {
+    /// Validates `cfg`, builds the backend fabric, and spawns the serving
+    /// thread.
+    pub fn start(cfg: ServeConfig) -> Result<Server, ServeError> {
+        let cfg = cfg.validate()?;
+        let fabric = Fabric::build(&cfg)?;
+        let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_capacity);
+        let draining = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&draining);
+        let (batch_window, record_outputs) = (cfg.batch_window, cfg.record_outputs);
+        let worker = std::thread::spawn(move || {
+            serve_loop(fabric, rx, flag, batch_window, record_outputs)
+        });
+        Ok(Server {
+            cfg,
+            tx: Some(tx),
+            draining,
+            worker: Some(worker),
+            submitted: 0,
+            rejections: RejectBreakdown::default(),
+        })
+    }
+
+    /// The validated configuration this server runs.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Requests offered so far (accepted or not).
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Offers one multicast request: route `source` to the distinct ports
+    /// in `dests`.
+    ///
+    /// Admission control screens the request against the validated
+    /// [`QueueConfig`] (port ranges, nonempty, fanout cap); an admitted
+    /// request is `try_send`-ed into the bounded queue, so a full queue
+    /// rejects immediately with [`RejectReason::QueueFull`] instead of
+    /// blocking the caller. Returns the request id (its submission
+    /// sequence number) on acceptance.
+    pub fn submit(&mut self, source: usize, dests: &[usize]) -> Result<u64, RejectReason> {
+        let id = self.submitted;
+        self.submitted += 1;
+        match self.admit(id, source, dests) {
+            Ok(id) => Ok(id),
+            Err(reason) => {
+                self.rejections.count(&reason);
+                Err(reason)
+            }
+        }
+    }
+
+    fn admit(&mut self, id: u64, source: usize, dests: &[usize]) -> Result<u64, RejectReason> {
+        let n = self.cfg.queue.n;
+        if source >= n {
+            return Err(RejectReason::SourceOutOfRange { source, n });
+        }
+        if dests.is_empty() {
+            return Err(RejectReason::EmptyRequest);
+        }
+        if let Some(&dest) = dests.iter().find(|&&d| d >= n) {
+            return Err(RejectReason::DestOutOfRange { dest, n });
+        }
+        let mut dests = dests.to_vec();
+        dests.sort_unstable();
+        dests.dedup();
+        if dests.len() > self.cfg.queue.max_fanout {
+            return Err(RejectReason::FanoutExceeded {
+                fanout: dests.len(),
+                max_fanout: self.cfg.queue.max_fanout,
+            });
+        }
+
+        let mut sets = vec![Vec::new(); n];
+        sets[source] = dests;
+        let asg = MulticastAssignment::from_sets(n, sets)
+            .expect("admission checks make the assignment valid");
+        let job = Job {
+            id,
+            asg,
+            submitted_at: Instant::now(),
+        };
+        let tx = match &self.tx {
+            Some(tx) => tx,
+            None => return Err(RejectReason::ShuttingDown),
+        };
+        match tx.try_send(job) {
+            Ok(()) => Ok(id),
+            Err(TrySendError::Full(_)) => Err(RejectReason::QueueFull),
+            Err(TrySendError::Disconnected(_)) => Err(RejectReason::ShuttingDown),
+        }
+    }
+
+    /// Gracefully drains and stops the server: no new requests are
+    /// accepted, everything already queued is served (counted as
+    /// `drained`), the serving thread exits, and the full [`ServeReport`]
+    /// comes back.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.draining.store(true, Ordering::SeqCst);
+        drop(self.tx.take());
+        let outcome = self
+            .worker
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .expect("serving thread panicked");
+
+        let served = outcome.accepted + outcome.drained;
+        let frames_per_sec = if outcome.wall_nanos == 0 {
+            0.0
+        } else {
+            served as f64 * 1e9 / outcome.wall_nanos as f64
+        };
+        let mut engine = outcome.engine;
+        engine.wall_nanos = outcome.wall_nanos;
+        ServeReport {
+            n: self.cfg.queue.n,
+            shards: self.cfg.shards,
+            workers_per_shard: self.cfg.workers_per_shard,
+            backend: self.cfg.backend.label().to_string(),
+            queue_capacity: self.cfg.queue_capacity,
+            batch_window: self.cfg.batch_window,
+            submitted: self.submitted,
+            accepted: outcome.accepted,
+            drained: outcome.drained,
+            rejected: self.rejections.total(),
+            rejections: self.rejections,
+            served_ok: outcome.served_ok,
+            served_err: outcome.served_err,
+            rounds: outcome.rounds,
+            wall_nanos: outcome.wall_nanos,
+            frames_per_sec,
+            latency: LatencySummary::from_histogram(&outcome.histogram),
+            histogram: outcome.histogram,
+            engine,
+            completions: outcome.completions,
+        }
+    }
+}
+
+/// The serving thread: pull up to `batch_window` queued requests, route
+/// them as one striped round, record latencies, repeat until the queue
+/// closes and empties.
+fn serve_loop(
+    fabric: Fabric,
+    rx: mpsc::Receiver<Job>,
+    draining: Arc<AtomicBool>,
+    batch_window: usize,
+    record_outputs: bool,
+) -> LoopOutcome {
+    let n = match &fabric {
+        Fabric::Sharded(e) => e.n(),
+        Fabric::Backends { n, .. } => *n,
+    };
+    let mut out = LoopOutcome {
+        accepted: 0,
+        drained: 0,
+        served_ok: 0,
+        served_err: 0,
+        rounds: 0,
+        wall_nanos: 0,
+        histogram: LatencyHistogram::new(),
+        engine: EngineStats::empty(n),
+        completions: Vec::new(),
+    };
+
+    let start = Instant::now();
+    loop {
+        // Block for the round's first request; the channel closing (all
+        // senders dropped, queue empty) ends the loop.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        let mut jobs = vec![first];
+        while jobs.len() < batch_window {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+
+        // Anything routed after shutdown began is part of the graceful
+        // drain; the flag is set before the queue closes, so no drained
+        // request can be miscounted as steady-state.
+        let in_drain = draining.load(Ordering::SeqCst);
+
+        let metas: Vec<(u64, Instant)> = jobs.iter().map(|j| (j.id, j.submitted_at)).collect();
+        let batch: Vec<MulticastAssignment> = jobs.into_iter().map(|j| j.asg).collect();
+        let (results, stats) = fabric.route_round(&batch);
+        let done = Instant::now();
+
+        for ((id, submitted_at), result) in metas.into_iter().zip(results) {
+            let latency_ns = done.duration_since(submitted_at).as_nanos() as u64;
+            out.histogram.record(latency_ns);
+            if in_drain {
+                out.drained += 1;
+            } else {
+                out.accepted += 1;
+            }
+            let (ok, result, error) = match result {
+                Ok(r) => {
+                    out.served_ok += 1;
+                    (true, record_outputs.then_some(r), None)
+                }
+                Err(e) => {
+                    out.served_err += 1;
+                    (false, None, Some(e.to_string()))
+                }
+            };
+            out.completions.push(Completion {
+                id,
+                drained: in_drain,
+                ok,
+                latency_ns,
+                result,
+                error,
+            });
+        }
+        // Merging sums round wall times into a running total we overwrite
+        // below with the true thread lifetime; work counters accumulate.
+        out.engine.merge(&stats);
+        out.rounds += 1;
+    }
+    out.wall_nanos = start.elapsed().as_nanos() as u64;
+    out.engine.wall_nanos = out.wall_nanos;
+    out
+}
+
+/// Replays every request of `trace` through a fresh server built from
+/// `cfg` (as fast as submission allows — queue pressure, not tick pacing)
+/// and shuts down gracefully, returning the report.
+pub fn serve_trace(cfg: ServeConfig, trace: &Trace) -> Result<ServeReport, ServeError> {
+    let cfg = cfg.validate()?;
+    if trace.n != cfg.queue.n {
+        return Err(ServeError::TraceMismatch {
+            trace_n: trace.n,
+            cfg_n: cfg.queue.n,
+        });
+    }
+    let mut server = Server::start(cfg)?;
+    for req in &trace.requests {
+        let _ = server.submit(req.source, &req.dests);
+    }
+    Ok(server.shutdown())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(n: usize) -> ServeConfig {
+        let mut cfg = ServeConfig::new(n);
+        cfg.queue.max_fanout = n;
+        cfg.queue_capacity = 1024;
+        cfg
+    }
+
+    #[test]
+    fn serves_every_submitted_request() {
+        let mut server = Server::start(small_cfg(8)).unwrap();
+        for s in 0..8 {
+            server.submit(s, &[(s + 3) % 8]).unwrap();
+        }
+        let report = server.shutdown();
+        assert!(report.conserves(), "{report:?}");
+        assert_eq!(report.submitted, 8);
+        assert_eq!(report.accepted + report.drained, 8);
+        assert_eq!(report.served_ok, 8);
+        assert_eq!(report.served_err, 0);
+        assert_eq!(report.rejected, 0);
+        assert!(report.frames_per_sec > 0.0);
+    }
+
+    #[test]
+    fn admission_rejects_malformed_requests() {
+        let mut cfg = ServeConfig::new(8);
+        cfg.queue.max_fanout = 2;
+        let mut server = Server::start(cfg).unwrap();
+        assert_eq!(
+            server.submit(9, &[0]).unwrap_err(),
+            RejectReason::SourceOutOfRange { source: 9, n: 8 }
+        );
+        assert_eq!(server.submit(0, &[]).unwrap_err(), RejectReason::EmptyRequest);
+        assert_eq!(
+            server.submit(0, &[1, 8]).unwrap_err(),
+            RejectReason::DestOutOfRange { dest: 8, n: 8 }
+        );
+        assert_eq!(
+            server.submit(0, &[1, 2, 3]).unwrap_err(),
+            RejectReason::FanoutExceeded {
+                fanout: 3,
+                max_fanout: 2
+            }
+        );
+        // Duplicate destinations collapse before the fanout check.
+        server.submit(0, &[1, 1, 2, 2]).unwrap();
+        let report = server.shutdown();
+        assert!(report.conserves(), "{report:?}");
+        assert_eq!(report.submitted, 5);
+        assert_eq!(report.rejected, 4);
+        assert_eq!(report.rejections.out_of_range, 2);
+        assert_eq!(report.rejections.empty_request, 1);
+        assert_eq!(report.rejections.fanout_exceeded, 1);
+        assert_eq!(report.served_ok, 1);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_queue_is_full() {
+        // Heavy frames (n=256 broadcasts) on one shard with a 2-slot queue:
+        // submission is orders of magnitude faster than routing, so the
+        // burst must overflow.
+        let mut cfg = ServeConfig::new(256);
+        cfg.queue.max_fanout = 256;
+        cfg.queue_capacity = 2;
+        cfg.batch_window = 1;
+        let dests: Vec<usize> = (0..256).collect();
+        let mut server = Server::start(cfg).unwrap();
+        let mut full = 0u64;
+        for i in 0..2000 {
+            if server.submit(i % 256, &dests) == Err(RejectReason::QueueFull) {
+                full += 1;
+            }
+        }
+        let report = server.shutdown();
+        assert!(report.conserves(), "{report:?}");
+        assert_eq!(report.rejections.queue_full, full);
+        assert!(full > 1000, "expected heavy backpressure, got {full}");
+        assert_eq!(report.served_err, 0);
+    }
+
+    #[test]
+    fn every_backend_kind_serves_the_same_trace() {
+        let trace = Trace::generate(
+            QueueConfig {
+                n: 8,
+                p_arrival: 0.6,
+                max_fanout: 8,
+            },
+            5,
+            10,
+        )
+        .unwrap();
+        let mut reference: Option<Vec<(u64, RoutingResult)>> = None;
+        for backend in [
+            BackendKind::Brsmn,
+            BackendKind::Reference,
+            BackendKind::Feedback,
+            BackendKind::Crossbar,
+            BackendKind::CopyBenes,
+        ] {
+            let mut cfg = small_cfg(8);
+            cfg.backend = backend;
+            cfg.shards = 2;
+            cfg.record_outputs = true;
+            let report = serve_trace(cfg, &trace).unwrap();
+            assert!(report.conserves(), "{backend}: {report:?}");
+            assert_eq!(report.served_ok, trace.len() as u64, "{backend}");
+            assert_eq!(report.backend, backend.label());
+            let mut outputs: Vec<(u64, RoutingResult)> = report
+                .completions
+                .iter()
+                .map(|c| (c.id, c.result.clone().expect("recorded output")))
+                .collect();
+            outputs.sort_by_key(|(id, _)| *id);
+            match &reference {
+                None => reference = Some(outputs),
+                Some(expect) => assert_eq!(&outputs, expect, "{backend} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn config_validation_surfaces_typed_errors() {
+        let mut cfg = ServeConfig::new(7);
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            ServeError::Queue(QueueError::InvalidSize { n: 7 })
+        );
+        cfg = ServeConfig::new(8);
+        cfg.queue.max_fanout = 0;
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            ServeError::Queue(QueueError::ZeroFanout)
+        );
+        cfg = ServeConfig::new(8);
+        cfg.shards = 0;
+        assert!(matches!(cfg.validate(), Err(ServeError::Config(_))));
+        cfg = ServeConfig::new(8);
+        cfg.batch_window = 0;
+        assert!(matches!(cfg.validate(), Err(ServeError::Config(_))));
+        cfg = ServeConfig::new(8);
+        cfg.queue_capacity = 0;
+        assert!(matches!(cfg.validate(), Err(ServeError::Config(_))));
+    }
+
+    #[test]
+    fn backend_kind_round_trips_from_str() {
+        for kind in [
+            BackendKind::Brsmn,
+            BackendKind::Reference,
+            BackendKind::Feedback,
+            BackendKind::Crossbar,
+            BackendKind::CopyBenes,
+        ] {
+            assert_eq!(kind.label().parse::<BackendKind>().unwrap(), kind);
+        }
+        assert!("warp-drive".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn report_serializes_to_json_and_back() {
+        let mut cfg = small_cfg(8);
+        cfg.record_outputs = true;
+        let trace = Trace::generate(cfg.queue, 2, 6).unwrap();
+        let report = serve_trace(cfg, &trace).unwrap();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: ServeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        for field in ["frames_per_sec", "rejections", "p99_ns", "queue_full"] {
+            assert!(json.contains(field), "missing {field}");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the serving loop's invariants:
+//!
+//! * **Conservation** — `accepted + rejected + drained == submitted` for
+//!   arbitrary request patterns, including malformed ones the admission
+//!   layer must bounce;
+//! * **No request lost or duplicated** — completion ids are unique, every
+//!   admitted id completes exactly once, and no rejected id ever completes;
+//! * **Shard transparency** — striping the same trace across several shards
+//!   delivers per-id results identical to a single-shard server.
+
+use std::collections::HashSet;
+
+use brsmn_serve::{BackendKind, Completion, ServeConfig, Server};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// An arbitrary (possibly invalid) request against an `n`-port server:
+/// sources may run past `n`, destination lists may be empty, duplicated,
+/// out of range, or larger than the fanout cap.
+fn raw_requests(n: usize) -> impl Strategy<Value = Vec<(usize, Vec<usize>)>> {
+    vec((0..n + 3, vec(0..n + 3, 0..8)), 1..40)
+}
+
+/// Only well-formed requests: in-range source, 1..=4 distinct in-range
+/// destinations (the default `max_fanout`).
+fn valid_requests(n: usize) -> impl Strategy<Value = Vec<(usize, Vec<usize>)>> {
+    vec(
+        (0..n, vec(0..n, 1..=4)).prop_map(|(src, mut dests)| {
+            dests.sort_unstable();
+            dests.dedup();
+            (src, dests)
+        }),
+        1..40,
+    )
+}
+
+fn submit_all(server: &mut Server, reqs: &[(usize, Vec<usize>)]) -> (Vec<u64>, u64) {
+    let mut admitted = Vec::new();
+    let mut rejected = 0u64;
+    for (src, dests) in reqs {
+        match server.submit(*src, dests) {
+            Ok(id) => admitted.push(id),
+            Err(_) => rejected += 1,
+        }
+    }
+    (admitted, rejected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservation holds for arbitrary — including malformed — request
+    /// streams, and every admitted request completes exactly once.
+    #[test]
+    fn conservation_under_arbitrary_requests(reqs in raw_requests(16)) {
+        let mut cfg = ServeConfig::new(16);
+        cfg.record_outputs = true;
+        let mut server = Server::start(cfg).unwrap();
+        let (admitted, rejected) = submit_all(&mut server, &reqs);
+        let report = server.shutdown();
+
+        prop_assert!(report.conserves(), "conservation broken: {report:?}");
+        prop_assert_eq!(report.submitted, reqs.len() as u64);
+        prop_assert_eq!(report.rejected, rejected);
+        prop_assert_eq!(
+            report.accepted + report.drained,
+            admitted.len() as u64,
+            "admitted requests must all be served or drained"
+        );
+
+        // No request lost or duplicated: the completion log carries each
+        // admitted id exactly once and nothing else.
+        let completed: Vec<u64> = report.completions.iter().map(|c| c.id).collect();
+        let unique: HashSet<u64> = completed.iter().copied().collect();
+        prop_assert_eq!(unique.len(), completed.len(), "duplicated completion id");
+        let expected: HashSet<u64> = admitted.iter().copied().collect();
+        prop_assert_eq!(unique, expected, "completions != admitted ids");
+    }
+
+    /// A multi-shard server is observationally identical to a single-shard
+    /// one: same per-id delivered source tables on the same request stream
+    /// (capacity sized so backpressure never rejects nondeterministically).
+    #[test]
+    fn sharded_serving_matches_single_shard(
+        reqs in valid_requests(16),
+        shards in 2usize..=4,
+    ) {
+        let run = |shard_count: usize| {
+            let mut cfg = ServeConfig::new(16);
+            cfg.shards = shard_count;
+            cfg.queue_capacity = reqs.len().max(1);
+            cfg.record_outputs = true;
+            let mut server = Server::start(cfg).unwrap();
+            let (admitted, rejected) = submit_all(&mut server, &reqs);
+            assert_eq!(rejected, 0, "capacity >= len: nothing may be rejected");
+            assert_eq!(admitted.len(), reqs.len());
+            let mut report = server.shutdown();
+            report
+                .completions
+                .sort_unstable_by_key(|c: &Completion| c.id);
+            report
+        };
+
+        let single = run(1);
+        let striped = run(shards);
+
+        prop_assert!(single.conserves() && striped.conserves());
+        prop_assert_eq!(single.completions.len(), reqs.len());
+        prop_assert_eq!(striped.completions.len(), reqs.len());
+        for (a, b) in single.completions.iter().zip(&striped.completions) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.ok, b.ok);
+            prop_assert_eq!(
+                a.result.as_ref(),
+                b.result.as_ref(),
+                "shard striping changed the delivered source table for id {}",
+                a.id
+            );
+        }
+    }
+
+    /// Every non-BRSMN backend conserves and serves the same stream the
+    /// fast path does (spot property over the slower fabrics).
+    #[test]
+    fn alternate_backends_conserve(reqs in valid_requests(8)) {
+        for backend in [BackendKind::Reference, BackendKind::Feedback] {
+            let mut cfg = ServeConfig::new(8);
+            cfg.backend = backend;
+            cfg.queue_capacity = reqs.len().max(1);
+            let mut server = Server::start(cfg).unwrap();
+            let (admitted, _) = submit_all(&mut server, &reqs);
+            let report = server.shutdown();
+            prop_assert!(report.conserves(), "{backend}: {report:?}");
+            prop_assert_eq!(report.accepted + report.drained, admitted.len() as u64);
+            prop_assert_eq!(report.served_err, 0, "{backend} failed a valid route");
+        }
+    }
+}

@@ -240,6 +240,49 @@ impl FaultPlan {
         }
     }
 
+    /// A seeded plan of two **simultaneous** random faults at distinct
+    /// sites — the multi-fault campaign's unit of injection. Both faults
+    /// keep their drawn persistence class, so transient/persistent
+    /// combinations occur across a campaign's plans.
+    pub fn random_pair(n: usize, seed: u64) -> Self {
+        let first = Self::random_single(n, seed);
+        let mut bump = 0u64;
+        let second = loop {
+            let candidate =
+                Self::random_single(n, seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(bump));
+            if candidate.site != first.site {
+                break candidate;
+            }
+            bump += 1;
+        };
+        FaultPlan {
+            faults: vec![first, second],
+        }
+    }
+
+    /// A correlated whole-column failure: **every** switch of stage
+    /// `(level, stage)` stuck at `kind` (or, for line kinds, every line
+    /// entering the stage afflicted). Persistent — a shared driver or
+    /// power rail failing takes the column down for every attempt. Both
+    /// switch and line kinds are accepted and sized accordingly (`n/2`
+    /// switches vs `n` lines).
+    pub fn whole_column(n: usize, level: usize, stage: usize, kind: FaultKind) -> Self {
+        let count = if kind.is_line_fault() { n } else { n / 2 };
+        FaultPlan {
+            faults: (0..count)
+                .map(|index| Fault {
+                    site: FaultSite {
+                        level,
+                        stage,
+                        index,
+                    },
+                    kind,
+                    transient: false,
+                })
+                .collect(),
+        }
+    }
+
     /// The forced setting of the switch at `(level, stage, switch)` on this
     /// attempt, if a stuck-at fault sits there.
     fn stuck_setting_at(
@@ -718,17 +761,144 @@ impl fmt::Display for CampaignReport {
     }
 }
 
-/// Runs a seeded single-fault campaign: `num_faults` independently drawn
-/// faults, each inflicted on a fresh fabric and exercised by the same
-/// `frames`-frame random workload, plus a fault-free control run. Detection
-/// is judged against the healthy router's delivery; recovery runs the full
-/// engine ladder ([`Engine::route_batch_resilient`]).
-pub fn run_single_fault_campaign(
+/// Outcome of one injected [`FaultPlan`] (any number of simultaneous
+/// faults) across the campaign's workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanRecord {
+    /// The injected plan.
+    pub plan: FaultPlan,
+    /// Frames whose primary route differed from the healthy delivery (or
+    /// errored at plan time).
+    pub frames_corrupted: usize,
+    /// Corrupted frames the verifier (or a plan-time error) flagged.
+    pub frames_detected: usize,
+    /// Frames recovered by the reference retry.
+    pub recovered_retry: usize,
+    /// Frames recovered by the degraded re-plan.
+    pub recovered_degraded: usize,
+    /// Frames that exhausted the ladder.
+    pub frames_failed: usize,
+}
+
+/// Aggregate result of a fault-**plan** campaign — the multi-fault
+/// generalization of [`CampaignReport`], covering simultaneous and
+/// correlated failures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanCampaignReport {
+    /// Network size.
+    pub n: usize,
+    /// Plans injected (one run of the workload each).
+    pub plans_injected: usize,
+    /// Frames routed per plan.
+    pub frames_per_plan: usize,
+    /// Plans that corrupted at least one frame.
+    pub plans_corrupting: usize,
+    /// Plans whose every frame matched the healthy delivery.
+    pub plans_harmless: usize,
+    /// Corrupted frames whose verification nevertheless passed — the
+    /// campaign's hard invariant is that this stays 0 (see
+    /// `crates/core/src/verify.rs`: the delivered source table is uniquely
+    /// determined by the assignment, so *any* divergence from the healthy
+    /// delivery fails verification, however many faults caused it).
+    pub false_negatives: usize,
+    /// Frames corrupted across all plans.
+    pub frames_corrupted: usize,
+    /// … of which recovered by the reference retry.
+    pub frames_recovered_retry: usize,
+    /// … of which recovered by the degraded re-plan.
+    pub frames_recovered_degraded: usize,
+    /// … of which failed outright.
+    pub frames_failed: usize,
+    /// Frames of the fault-free control run that did *not* verify on the
+    /// primary attempt — must be 0.
+    pub control_false_positives: usize,
+    /// Per-plan breakdown.
+    pub records: Vec<PlanRecord>,
+}
+
+impl PlanCampaignReport {
+    /// Detection rate over corrupted frames (1.0 when nothing corrupted).
+    pub fn detection_rate(&self) -> f64 {
+        if self.frames_corrupted == 0 {
+            1.0
+        } else {
+            1.0 - self.false_negatives as f64 / self.frames_corrupted as f64
+        }
+    }
+
+    /// Share of corrupted frames recovered by retry or degradation.
+    pub fn recovery_rate(&self) -> f64 {
+        if self.frames_corrupted == 0 {
+            1.0
+        } else {
+            (self.frames_recovered_retry + self.frames_recovered_degraded) as f64
+                / self.frames_corrupted as f64
+        }
+    }
+
+    /// Every corrupted frame is either recovered (retry or degraded) or
+    /// failed.
+    pub fn accounts(&self) -> bool {
+        self.frames_corrupted
+            == self.frames_recovered_retry + self.frames_recovered_degraded + self.frames_failed
+    }
+}
+
+impl fmt::Display for PlanCampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max_faults = self
+            .records
+            .iter()
+            .map(|r| r.plan.faults().len())
+            .max()
+            .unwrap_or(0);
+        writeln!(
+            f,
+            "fault-plan campaign: n={} plans={} (up to {} simultaneous faults) frames/plan={}",
+            self.n, self.plans_injected, max_faults, self.frames_per_plan
+        )?;
+        writeln!(
+            f,
+            "  plans: {} corrupting, {} harmless",
+            self.plans_corrupting, self.plans_harmless
+        )?;
+        writeln!(
+            f,
+            "  detection: {:.1}% ({} corrupted frames, {} false negatives)",
+            100.0 * self.detection_rate(),
+            self.frames_corrupted,
+            self.false_negatives
+        )?;
+        writeln!(
+            f,
+            "  recovery: {:.1}% ({} by retry, {} by degraded re-plan, {} failed)",
+            100.0 * self.recovery_rate(),
+            self.frames_recovered_retry,
+            self.frames_recovered_degraded,
+            self.frames_failed
+        )?;
+        write!(
+            f,
+            "  control: {} false positives on the fault-free run",
+            self.control_false_positives
+        )
+    }
+}
+
+/// Runs a seeded fault-plan campaign: each plan in `plans` is inflicted on
+/// a fresh fabric and exercised by the same `frames`-frame random workload
+/// (drawn from `seed`), plus a fault-free control run. Detection is judged
+/// against the healthy router's delivery; recovery runs the full engine
+/// ladder ([`Engine::route_batch_resilient`]).
+///
+/// This is the campaign core; [`run_single_fault_campaign`] is the
+/// single-fault specialization that feeds it one-fault plans.
+pub fn run_fault_plan_campaign(
     n: usize,
-    num_faults: usize,
+    plans: Vec<FaultPlan>,
     frames: usize,
     seed: u64,
-) -> Result<CampaignReport, CoreError> {
+) -> Result<PlanCampaignReport, CoreError> {
     let healthy = Brsmn::new(n)?;
     let engine = Engine::with_config(n, EngineConfig::default())?;
 
@@ -740,27 +910,26 @@ pub fn run_single_fault_campaign(
         .map(|asg| healthy.route(asg))
         .collect::<Result<_, _>>()?;
 
-    let mut report = CampaignReport {
+    let mut report = PlanCampaignReport {
         n,
-        faults_injected: num_faults,
-        frames_per_fault: frames,
-        faults_corrupting: 0,
-        faults_harmless: 0,
+        plans_injected: plans.len(),
+        frames_per_plan: frames,
+        plans_corrupting: 0,
+        plans_harmless: 0,
         false_negatives: 0,
         frames_corrupted: 0,
         frames_recovered_retry: 0,
         frames_recovered_degraded: 0,
         frames_failed: 0,
         control_false_positives: 0,
-        records: Vec::with_capacity(num_faults),
+        records: Vec::with_capacity(plans.len()),
     };
 
-    for i in 0..num_faults {
-        let fault = FaultPlan::random_single(n, seed.wrapping_add(1 + i as u64));
-        let fabric = FaultyBrsmn::new(n, FaultPlan::single(fault))?;
+    for plan in plans {
+        let fabric = FaultyBrsmn::new(n, plan.clone())?;
 
-        let mut record = FaultRecord {
-            fault,
+        let mut record = PlanRecord {
+            plan,
             frames_corrupted: 0,
             frames_detected: 0,
             recovered_retry: 0,
@@ -802,9 +971,9 @@ pub fn run_single_fault_campaign(
         }
 
         if record.frames_corrupted > 0 {
-            report.faults_corrupting += 1;
+            report.plans_corrupting += 1;
         } else {
-            report.faults_harmless += 1;
+            report.plans_harmless += 1;
         }
         report.frames_corrupted += record.frames_corrupted;
         report.frames_recovered_retry += record.recovered_retry;
@@ -822,6 +991,52 @@ pub fn run_single_fault_campaign(
         .count();
 
     Ok(report)
+}
+
+/// Runs a seeded single-fault campaign: `num_faults` independently drawn
+/// faults, each inflicted on a fresh fabric and exercised by the same
+/// `frames`-frame random workload, plus a fault-free control run. A thin
+/// wrapper over [`run_fault_plan_campaign`] with one-fault plans; the
+/// workload, fault draws and all counters are identical to the pre-refactor
+/// implementation (`seed` feeds the workload, `seed + 1 + i` feeds fault
+/// `i`).
+pub fn run_single_fault_campaign(
+    n: usize,
+    num_faults: usize,
+    frames: usize,
+    seed: u64,
+) -> Result<CampaignReport, CoreError> {
+    let plans: Vec<FaultPlan> = (0..num_faults)
+        .map(|i| {
+            FaultPlan::single(FaultPlan::random_single(n, seed.wrapping_add(1 + i as u64)))
+        })
+        .collect();
+    let report = run_fault_plan_campaign(n, plans, frames, seed)?;
+    Ok(CampaignReport {
+        n: report.n,
+        faults_injected: report.plans_injected,
+        frames_per_fault: report.frames_per_plan,
+        faults_corrupting: report.plans_corrupting,
+        faults_harmless: report.plans_harmless,
+        false_negatives: report.false_negatives,
+        frames_corrupted: report.frames_corrupted,
+        frames_recovered_retry: report.frames_recovered_retry,
+        frames_recovered_degraded: report.frames_recovered_degraded,
+        frames_failed: report.frames_failed,
+        control_false_positives: report.control_false_positives,
+        records: report
+            .records
+            .into_iter()
+            .map(|r| FaultRecord {
+                fault: r.plan.faults()[0],
+                frames_corrupted: r.frames_corrupted,
+                frames_detected: r.frames_detected,
+                recovered_retry: r.recovered_retry,
+                recovered_degraded: r.recovered_degraded,
+                frames_failed: r.frames_failed,
+            })
+            .collect(),
+    })
 }
 
 #[cfg(test)]

@@ -50,8 +50,8 @@ pub mod transfer;
 pub use adder::{add_arrivals, adder_tree_latency, leaf_arrivals};
 #[cfg(feature = "faults")]
 pub use faults::{
-    random_assignment, run_single_fault_campaign, CampaignReport, Fault, FaultKind, FaultPlan,
-    FaultRecord, FaultSite, FaultyBrsmn,
+    random_assignment, run_fault_plan_campaign, run_single_fault_campaign, CampaignReport, Fault,
+    FaultKind, FaultPlan, FaultRecord, FaultSite, FaultyBrsmn, PlanCampaignReport, PlanRecord,
 };
 pub use circuits::{count_tree, run_count_tree, serial_add, serial_adder, tag_counter};
 pub use gates::{GateKind, Netlist};

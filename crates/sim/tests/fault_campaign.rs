@@ -1,15 +1,22 @@
-//! Acceptance test for the fault-injection subsystem: a deterministic
-//! seeded single-fault campaign at n = 64.
+//! Acceptance tests for the fault-injection subsystem: deterministic seeded
+//! campaigns at n = 64 — single faults, two simultaneous faults, and
+//! correlated whole-column failures.
 //!
 //! The acceptance criteria of the fault work are checked directly:
-//! * every injected fault that corrupts an output is **detected** (zero
-//!   false negatives);
+//! * every injected fault (plan) that corrupts an output is **detected**
+//!   (zero false negatives) — this holds structurally for *any* number of
+//!   simultaneous faults, because the delivered source table is uniquely
+//!   determined by the assignment, so any divergence from the healthy
+//!   delivery fails `verify_routing`;
 //! * the fault-free control run raises **zero false positives**;
-//! * recovered and failed frames **account** exactly for the corrupted ones.
+//! * recovered and failed frames **account** exactly for the corrupted ones;
+//! * recovery rates stay inside recorded bounds (single/dual faults recover
+//!   often; whole persistent columns mostly do not — the ladder's honesty
+//!   is the point, not a 100% rate).
 
 #![cfg(feature = "faults")]
 
-use brsmn_sim::run_single_fault_campaign;
+use brsmn_sim::{run_fault_plan_campaign, run_single_fault_campaign, FaultKind, FaultPlan};
 
 #[test]
 fn seeded_single_fault_campaign_n64() {
@@ -44,5 +51,114 @@ fn seeded_single_fault_campaign_n64() {
 
     // Determinism: the same seed reproduces the same report.
     let again = run_single_fault_campaign(64, 64, 4, 2024).unwrap();
+    assert_eq!(again, report);
+}
+
+#[test]
+fn two_simultaneous_fault_campaign_n64() {
+    let plans: Vec<FaultPlan> = (0..16)
+        .map(|i| FaultPlan::random_pair(64, 9000 + i))
+        .collect();
+    for plan in &plans {
+        assert_eq!(plan.faults().len(), 2);
+        assert_ne!(
+            plan.faults()[0].site,
+            plan.faults()[1].site,
+            "pair draws distinct sites"
+        );
+    }
+
+    let report = run_fault_plan_campaign(64, plans.clone(), 4, 2025).unwrap();
+
+    assert_eq!(report.plans_injected, 16);
+    assert_eq!(
+        report.plans_corrupting + report.plans_harmless,
+        report.plans_injected
+    );
+
+    // Zero false negatives, even with two faults interacting.
+    assert_eq!(report.false_negatives, 0, "undetected corruption:\n{report}");
+    for rec in &report.records {
+        assert_eq!(
+            rec.frames_corrupted, rec.frames_detected,
+            "plan evaded detection: {:?}",
+            rec.plan
+        );
+    }
+    assert_eq!(report.control_false_positives, 0, "{report}");
+    assert!(report.accounts(), "ladder accounting broken:\n{report}");
+
+    // Dual faults must actually bite.
+    assert!(report.plans_corrupting > 0, "{report}");
+    assert!(report.frames_corrupted > 0, "{report}");
+
+    // Recorded recovery-rate bounds. Measured for this seeded campaign:
+    // 53.1% (22 by retry, 4 by degraded re-plan, 23 failed of 49 corrupted).
+    // The band leaves margin for planner evolution while catching a
+    // collapse of the ladder (everything failing) or a silently trivialized
+    // campaign (everything recovering).
+    let recovery = report.recovery_rate();
+    assert!(
+        (0.30..=0.85).contains(&recovery),
+        "dual-fault recovery rate {recovery:.3} left the recorded band:\n{report}"
+    );
+    assert!(report.frames_recovered_retry > 0, "{report}");
+
+    // Determinism.
+    let again = run_fault_plan_campaign(64, plans, 4, 2025).unwrap();
+    assert_eq!(again, report);
+}
+
+#[test]
+fn correlated_whole_column_campaign_n64() {
+    // Whole switch columns (32 stuck switches) and a whole line column (64
+    // dead links) at representative coordinates: level-1 scatter and
+    // quasisort stages, deep levels, and the final 2×2 column.
+    let plans = vec![
+        FaultPlan::whole_column(64, 1, 0, FaultKind::StuckThrough),
+        FaultPlan::whole_column(64, 1, 11, FaultKind::StuckCross),
+        FaultPlan::whole_column(64, 2, 3, FaultKind::StuckUpperBroadcast),
+        FaultPlan::whole_column(64, 3, 1, FaultKind::StuckLowerBroadcast),
+        FaultPlan::whole_column(64, 6, 0, FaultKind::StuckCross),
+        FaultPlan::whole_column(64, 1, 6, FaultKind::DeadLink),
+    ];
+    for plan in &plans {
+        assert!(plan.faults().len() >= 32);
+        assert!(plan.faults().iter().all(|f| !f.transient));
+    }
+
+    let report = run_fault_plan_campaign(64, plans.clone(), 4, 2026).unwrap();
+
+    // The hard invariant survives correlated failure: zero false negatives.
+    assert_eq!(report.false_negatives, 0, "undetected corruption:\n{report}");
+    for rec in &report.records {
+        assert_eq!(rec.frames_corrupted, rec.frames_detected);
+    }
+    assert_eq!(report.control_false_positives, 0, "{report}");
+    assert!(report.accounts(), "{report}");
+
+    // A whole column leaves no room for luck: every plan corrupts every
+    // frame of the workload.
+    assert_eq!(report.plans_corrupting, report.plans_injected, "{report}");
+    assert_eq!(
+        report.frames_corrupted,
+        report.plans_injected * report.frames_per_plan,
+        "{report}"
+    );
+
+    // Recorded recovery-rate bound. Measured for this campaign: 0.0% — a
+    // persistent whole column defeats both the reference retry (same
+    // hardware) and the single-block rotation re-plan, and the ladder
+    // reports that honestly rather than claiming recovery. The bound only
+    // caps it: a smarter re-planner may legitimately start recovering some.
+    assert!(
+        report.recovery_rate() <= 0.25,
+        "whole-column recovery {:.3} left the recorded bound — if the \
+         re-planner improved, update the bound:\n{report}",
+        report.recovery_rate()
+    );
+
+    // Determinism.
+    let again = run_fault_plan_campaign(64, plans, 4, 2026).unwrap();
     assert_eq!(again, report);
 }

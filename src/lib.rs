@@ -21,7 +21,8 @@
 //! | [`core`] | `brsmn-core` | tag trees and `SEQ` wire format, BSN, recursive BRSMN, feedback implementation, exact cost metrics |
 //! | [`baselines`] | `brsmn-baselines` | crossbar, Beneš + looping, copy network, Nassimi–Sahni / Lee–Oruç analytic models |
 //! | [`sim`] | `brsmn-sim` | gate-delay timing: pipelined bit-serial adders, routing-time measurement |
-//! | [`workloads`] | `brsmn-workloads` | multicast assignment generators |
+//! | [`workloads`] | `brsmn-workloads` | multicast assignment generators, queueing/admission models |
+//! | [`serve`] | `brsmn-serve` | sharded serving loop: bounded queue, admission control, latency histograms, graceful drain |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@
 pub use brsmn_baselines as baselines;
 pub use brsmn_core as core;
 pub use brsmn_rbn as rbn;
+pub use brsmn_serve as serve;
 pub use brsmn_sim as sim;
 pub use brsmn_switch as switch;
 pub use brsmn_topology as topology;
