@@ -235,6 +235,16 @@ pub struct RoutePoint {
     /// Largest per-worker scratch footprint observed, bytes (0 on the
     /// reference path).
     pub scratch_bytes: u64,
+    /// Frames served by plan-cache replay during the best run (0 when the
+    /// cache is off).
+    pub plan_hits: u64,
+    /// Frames that planned fresh (capturing a plan when the cache is on)
+    /// during the best run.
+    pub plan_misses: u64,
+    /// Achieved parallelism of the best run (`busy_nanos / wall_nanos`).
+    /// On a 1-hardware-thread host this stays ≈ 1.0 at every requested
+    /// worker count — the honest explanation of flat multi-worker scaling.
+    pub busy_over_wall: f64,
 }
 
 /// Routes `repeats` batches of `frames` dense frames through an engine and
@@ -277,6 +287,91 @@ pub fn measure_route_path(
         frames_per_sec: stats.frames_per_sec(),
         ns_per_frame: stats.wall_nanos as f64 / frames as f64,
         scratch_bytes: stats.scratch_bytes,
+        plan_hits: stats.plan_hits,
+        plan_misses: stats.plan_misses,
+        busy_over_wall: stats.speedup(),
+    }
+}
+
+/// Measures the plan-capture cache on a batch of `frames` frames cycling
+/// `distinct` dense assignments.
+///
+/// * `warm = true` — the cache is pre-warmed with every distinct assignment
+///   (one unmeasured pass), so each measured run is **pure replay**: every
+///   frame hits, no planner sweep executes. The `"replay-warm"` point is the
+///   steady state of serving traffic with recurring frames.
+/// * `warm = false` — a fresh engine per repeat routes an all-distinct
+///   batch, so every frame misses, plans fresh, and pays the capture +
+///   insert overhead on top. The `"capture-cold"` point bounds the cost of
+///   the cache when it never helps.
+///
+/// Results are asserted bit-identical to a cache-less engine.
+pub fn measure_replay_path(
+    n: usize,
+    frames: usize,
+    seed: u64,
+    workers: usize,
+    distinct: usize,
+    warm: bool,
+    repeats: usize,
+) -> RoutePoint {
+    let distinct = distinct.max(1).min(frames);
+    let batch: Vec<MulticastAssignment> = if warm {
+        let pool = dense_batch(n, distinct, seed);
+        (0..frames).map(|f| pool[f % distinct].clone()).collect()
+    } else {
+        dense_batch(n, frames, seed)
+    };
+
+    // Bit-identity oracle: the same batch through a cache-less engine.
+    let want = Engine::with_config(n, EngineConfig::batch(workers))
+        .expect("valid size")
+        .route_batch(&batch);
+
+    let cfg = EngineConfig::batch(workers).with_plan_cache((2 * distinct).max(frames));
+    let mut best: Option<EngineStats> = None;
+    let mut engine = Engine::with_config(n, cfg).expect("valid size");
+    if warm {
+        // One unmeasured pass captures every distinct plan.
+        let out = engine.route_batch(&batch);
+        assert!(out.results.iter().all(|r| r.is_ok()), "warm-up routes");
+    }
+    for _ in 0..repeats.max(1) {
+        if !warm {
+            // Cold means cold: a fresh cache every repeat.
+            engine = Engine::with_config(n, cfg).expect("valid size");
+        }
+        let out = engine.route_batch(&batch);
+        for (a, b) in want.results.iter().zip(&out.results) {
+            assert_eq!(
+                a.as_ref().expect("dense workload routes"),
+                b.as_ref().expect("dense workload routes"),
+                "cache changed a routing result"
+            );
+        }
+        if warm {
+            assert_eq!(out.stats.plan_hits, frames as u64, "warm run must be all hits");
+        } else {
+            assert_eq!(out.stats.plan_misses, frames as u64, "cold run must be all misses");
+        }
+        if best
+            .as_ref()
+            .is_none_or(|b| out.stats.wall_nanos < b.wall_nanos)
+        {
+            best = Some(out.stats);
+        }
+    }
+    let stats = best.expect("at least one repeat");
+    RoutePoint {
+        n,
+        workers: stats.workers,
+        path: if warm { "replay-warm" } else { "capture-cold" }.into(),
+        frames_per_sec: stats.frames_per_sec(),
+        ns_per_frame: stats.wall_nanos as f64 / frames as f64,
+        scratch_bytes: stats.scratch_bytes,
+        plan_hits: stats.plan_hits,
+        plan_misses: stats.plan_misses,
+        busy_over_wall: stats.speedup(),
     }
 }
 

@@ -14,7 +14,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use brsmn_bench::dense_batch;
-use brsmn_core::{Brsmn, RouteScratch};
+use brsmn_core::{plan_fingerprint, Brsmn, PlanCache, RouteScratch};
+use std::sync::Arc;
 
 /// Wraps the system allocator, counting every allocation and reallocation.
 struct CountingAlloc;
@@ -72,6 +73,51 @@ fn fast_path_steady_state_allocates_nothing() {
         after - before,
         0,
         "fast path allocated in steady state at n={n}"
+    );
+    assert!(delivered > 0, "workload delivered nothing");
+}
+
+#[test]
+fn warm_plan_cache_hit_allocates_nothing() {
+    // A warm hit is the engine's steady state for repeated frames:
+    // fingerprint the assignment, look the plan up, replay it into the
+    // arena. All three must be heap-silent at n = 256.
+    let n = 256;
+    let net = Brsmn::new(n).unwrap();
+    let batch = dense_batch(n, 8, 3);
+    let mut scratch = RouteScratch::new(n).unwrap();
+
+    let cache = PlanCache::new(64);
+    for asg in &batch {
+        let (_, plan) = net.route_capture(asg, &mut scratch).unwrap();
+        cache.insert(plan_fingerprint(asg), asg, Arc::new(plan));
+    }
+    // The cache's residency is real, accounted memory — the plan-arena
+    // analogue of the engine's `scratch_bytes`.
+    assert!(cache.footprint_bytes() > 0, "warm cache reports no footprint");
+
+    // Warm up the replay path once per frame shape.
+    for asg in &batch {
+        let plan = cache.lookup(plan_fingerprint(asg), asg).unwrap();
+        net.route_replay_into(asg, &plan, &mut scratch).unwrap();
+    }
+
+    let mut delivered = 0usize;
+    let before = allocs();
+    for _ in 0..10 {
+        for asg in &batch {
+            let plan = cache
+                .lookup(plan_fingerprint(asg), asg)
+                .expect("warmed cache hits");
+            net.route_replay_into(asg, &plan, &mut scratch).unwrap();
+            delivered += scratch.output_sources().flatten().count();
+        }
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "warm plan-cache hit allocated in steady state at n={n}"
     );
     assert!(delivered > 0, "workload delivered nothing");
 }

@@ -1,0 +1,90 @@
+//! Acceptance gate for the plan-capture cache: warm replay — fingerprint,
+//! cache lookup, and executing the captured setting planes — must beat
+//! fresh fast-path planning by ≥ 1.5× per frame at n = 256 (best of 5 to
+//! ride out scheduler noise), while remaining **bit-identical** to the
+//! fresh route. Equivalence is asserted unconditionally; only the speed
+//! ratio rides the measurement.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use brsmn_bench::dense_batch;
+use brsmn_core::{plan_fingerprint, Brsmn, MulticastAssignment, PlanCache, RouteScratch};
+
+/// One warm pass: fingerprint + lookup + lean replay per frame — exactly
+/// the engine's hit path. Returns elapsed nanoseconds.
+fn replay_pass(
+    net: &Brsmn,
+    cache: &PlanCache,
+    batch: &[MulticastAssignment],
+    rounds: usize,
+    scratch: &mut RouteScratch,
+) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        for asg in batch {
+            let plan = cache
+                .lookup(plan_fingerprint(asg), asg)
+                .expect("warmed cache hits");
+            net.route_replay_into(asg, &plan, scratch).unwrap();
+        }
+    }
+    t0.elapsed().as_nanos() as f64
+}
+
+/// One fresh pass: full fast-path planning per frame.
+fn fresh_pass(
+    net: &Brsmn,
+    batch: &[MulticastAssignment],
+    rounds: usize,
+    scratch: &mut RouteScratch,
+) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        for asg in batch {
+            net.route_into(asg, scratch).unwrap();
+        }
+    }
+    t0.elapsed().as_nanos() as f64
+}
+
+#[test]
+fn warm_replay_beats_fresh_planning_at_n256() {
+    let n = 256;
+    let rounds = 4;
+    let net = Brsmn::new(n).unwrap();
+    let batch = dense_batch(n, 8, 11);
+    let mut scratch = RouteScratch::new(n).unwrap();
+
+    // Capture one plan per distinct frame and pin bit-identity: result and
+    // full trace of the replay match fresh routing exactly.
+    let cache = PlanCache::new(64);
+    for asg in &batch {
+        let (fresh_r, fresh_t) = net.route_traced(asg).unwrap();
+        let (captured_r, plan) = net.route_capture(asg, &mut scratch).unwrap();
+        assert_eq!(captured_r, fresh_r, "capture perturbed the route");
+        let plan = Arc::new(plan);
+        cache.insert(plan_fingerprint(asg), asg, Arc::clone(&plan));
+        let (replay_r, replay_t) = net.route_replay_traced(asg, &plan, &mut scratch).unwrap();
+        assert_eq!(replay_r, fresh_r, "replay diverged from fresh routing");
+        assert_eq!(replay_t, fresh_t, "replay trace diverged");
+    }
+
+    // Warm both paths once before timing, then interleave the measurements
+    // and keep the best ratio of 5 rounds.
+    let _ = replay_pass(&net, &cache, &batch, rounds, &mut scratch);
+    let _ = fresh_pass(&net, &batch, rounds, &mut scratch);
+    let mut best = 0.0f64;
+    for _ in 0..5 {
+        let fresh = fresh_pass(&net, &batch, rounds, &mut scratch);
+        let replay = replay_pass(&net, &cache, &batch, rounds, &mut scratch);
+        if replay > 0.0 {
+            best = best.max(fresh / replay);
+        }
+    }
+    assert!(
+        best >= 1.5,
+        "warm replay only {best:.2}x fresh planning at n={n} (gate: 1.5x)"
+    );
+    eprintln!("warm replay vs fresh planning at n={n}: best of 5 = {best:.2}x");
+}

@@ -48,8 +48,11 @@ fn usage() -> &'static str {
        gen    --n N --workload W [--seed S]            print a JSON assignment\n\
        route  (--file F | --n N --workload W [--seed S])\n\
               [--engine E] [--trace]                    route an assignment\n\
-       route  --parallel [--batch B] [--workers K] [--fork-depth D] [--no-scratch] [--stats]\n\
-              batched multi-threaded routing; --stats prints EngineStats JSON\n\
+       route  --parallel [--batch B] [--workers K] [--fork-depth D] [--no-scratch]\n\
+              [--cache [CAP]] [--stats]\n\
+              batched multi-threaded routing; --cache replays repeated frames\n\
+              from the plan-capture cache (default capacity 256); --stats\n\
+              prints EngineStats JSON; an output hash goes to stderr\n\
        info   --n N                                     cost/depth/time sheet\n\
        seq    --n N --dests A,B,C                       routing-tag sequence\n\
        faults --n N [--faults F] [--frames K] [--seed S] [--json] [--per-fault]\n\
@@ -57,7 +60,7 @@ fn usage() -> &'static str {
        serve-sim (--n N [--rounds R] [--seed S] [--p-arrival P] [--max-fanout F]\n\
               [--save-trace OUT] | --trace-file F)\n\
               [--shards S] [--workers W] [--capacity C] [--batch-window B]\n\
-              [--backend B] [--record-outputs]\n\
+              [--backend B] [--record-outputs] [--plan-cache CAP]\n\
               replay a workload trace through the sharded serving loop;\n\
               prints the JSON ServeReport on stdout, a summary on stderr\n\
      workloads: dense | sparse | broadcast | permutation | conferences | replicas\n\
@@ -226,6 +229,13 @@ fn cmd_route_parallel(args: &Args) -> Result<(), String> {
     };
     let n = batch[0].n();
 
+    // --cache alone turns the plan cache on at the default capacity;
+    // --cache CAP (or --cache=CAP) sizes it explicitly.
+    let plan_cache: usize = match args.get_parse::<usize>("cache")? {
+        Some(cap) => cap,
+        None if args.flag("cache") => 256,
+        None => 0,
+    };
     let cfg = EngineConfig {
         workers,
         parallel_halves: fork_depth > 0,
@@ -233,6 +243,7 @@ fn cmd_route_parallel(args: &Args) -> Result<(), String> {
         // --no-scratch: escape hatch back to the PR-1 allocating reference
         // router (results are bit-identical; only speed differs).
         use_scratch: !args.flag("no-scratch"),
+        plan_cache,
     };
     let engine = Engine::with_config(n, cfg).map_err(|e| e.to_string())?;
     let engine_name = args.get("engine").unwrap_or("semantic");
@@ -274,6 +285,29 @@ fn cmd_route_parallel(args: &Args) -> Result<(), String> {
         stats.frames_per_sec(),
         stats.speedup(),
     );
+    if plan_cache > 0 {
+        eprintln!(
+            "plan cache: {} hits, {} misses, {} evictions, {} resident bytes",
+            stats.plan_hits, stats.plan_misses, stats.plan_evictions, stats.plan_cache_bytes
+        );
+    }
+    // FNV-1a over every frame's delivered source table — two runs routed the
+    // same batch identically iff the hashes match (the CI cache-smoke step
+    // diffs this line between a cold and a warm run).
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fnv = |byte: u64| {
+        hash ^= byte;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    };
+    for result in out.results.iter().flatten() {
+        for o in 0..result.n() {
+            match result.output_source(o) {
+                Some(s) => fnv(s as u64 + 1),
+                None => fnv(0),
+            }
+        }
+    }
+    eprintln!("output-hash: {hash:016x}");
     if args.flag("stats") {
         println!(
             "{}",
@@ -434,6 +468,9 @@ fn cmd_serve_sim(args: &Args) -> Result<(), String> {
         cfg.backend = backend.parse::<BackendKind>()?;
     }
     cfg.record_outputs = args.flag("record-outputs");
+    if let Some(cap) = args.get_parse::<usize>("plan-cache")? {
+        cfg.plan_cache = cap;
+    }
 
     let report = serve_trace(cfg, &trace).map_err(|e| e.to_string())?;
 

@@ -17,6 +17,7 @@ use crate::bsn::{Bsn, BsnTrace};
 use crate::error::CoreError;
 use crate::fastpath::{self, with_thread_scratch, RouteScratch};
 use crate::payload::{RoutePayload, SelfRoutedMsg, SemanticMsg};
+use crate::plancache::CapturedPlan;
 use brsmn_rbn::RbnWiring;
 use brsmn_switch::{Line, SwitchSetting, Tag};
 use brsmn_topology::{check_size, log2_exact};
@@ -129,6 +130,7 @@ impl Brsmn {
                 s,
                 Some(&mut trace),
                 None,
+                None,
             )
         })?;
         Ok((r, trace))
@@ -142,7 +144,7 @@ impl Brsmn {
         asg: &MulticastAssignment,
         scratch: &mut RouteScratch,
     ) -> Result<(), CoreError> {
-        fastpath::route_assignment_fast(self.n, &self.wiring, asg, scratch, None, None)
+        fastpath::route_assignment_fast(self.n, &self.wiring, asg, scratch, None, None, None)
     }
 
     /// [`Brsmn::route_into`] plus collecting the delivery into a fresh
@@ -152,7 +154,98 @@ impl Brsmn {
         asg: &MulticastAssignment,
         scratch: &mut RouteScratch,
     ) -> Result<RoutingResult, CoreError> {
-        fastpath::route_assignment_fast_buffered(self.n, &self.wiring, asg, scratch, None, None)
+        fastpath::route_assignment_fast_buffered(
+            self.n,
+            &self.wiring,
+            asg,
+            scratch,
+            None,
+            None,
+            None,
+        )
+    }
+
+    /// Routes `asg` on the fast path while snapshotting every switch setting
+    /// the planner chooses into a fresh [`CapturedPlan`]. The plan replays
+    /// the same assignment later — through [`Brsmn::route_replay`] or an
+    /// engine's [`crate::PlanCache`] — without re-running any planning
+    /// sweep, bit-identically (sound because the self-routing construction
+    /// makes every setting a pure function of the assignment; see
+    /// [`crate::plancache`]).
+    pub fn route_capture(
+        &self,
+        asg: &MulticastAssignment,
+        scratch: &mut RouteScratch,
+    ) -> Result<(RoutingResult, CapturedPlan), CoreError> {
+        let mut plan = CapturedPlan::new(self.n)?;
+        let r = fastpath::route_assignment_fast_buffered(
+            self.n,
+            &self.wiring,
+            asg,
+            scratch,
+            None,
+            None,
+            Some(&mut plan),
+        )?;
+        Ok((r, plan))
+    }
+
+    /// Replays a captured plan for `asg`: executes the snapshotted setting
+    /// planes through the iterative level-order router with **zero**
+    /// planning and zero steady-state allocation beyond the result `Vec`.
+    /// The result is bit-identical to fresh routing of the same assignment;
+    /// replaying against a *different* assignment fails delivery
+    /// verification rather than misrouting silently.
+    pub fn route_replay(
+        &self,
+        asg: &MulticastAssignment,
+        plan: &CapturedPlan,
+        scratch: &mut RouteScratch,
+    ) -> Result<RoutingResult, CoreError> {
+        fastpath::route_assignment_replay_buffered(
+            self.n,
+            &self.wiring,
+            asg,
+            plan,
+            scratch,
+            None,
+            None,
+        )
+    }
+
+    /// [`Brsmn::route_replay`] without the result allocation: the delivery
+    /// stays in `scratch` (read it via [`RouteScratch::output_sources`]).
+    /// A warm replay performs **zero** heap allocations — the `alloc-count`
+    /// test in `brsmn-bench` pins this end to end through the cache.
+    pub fn route_replay_into(
+        &self,
+        asg: &MulticastAssignment,
+        plan: &CapturedPlan,
+        scratch: &mut RouteScratch,
+    ) -> Result<(), CoreError> {
+        fastpath::route_assignment_replay(self.n, &self.wiring, asg, plan, scratch, None, None)
+    }
+
+    /// [`Brsmn::route_replay`] with a full per-level trace. The trace (and
+    /// the settings table left in `scratch`) is bit-identical to
+    /// [`Brsmn::route_traced`] on the same assignment.
+    pub fn route_replay_traced(
+        &self,
+        asg: &MulticastAssignment,
+        plan: &CapturedPlan,
+        scratch: &mut RouteScratch,
+    ) -> Result<(RoutingResult, RouteTrace), CoreError> {
+        let mut trace = RouteTrace::new(self.n);
+        let r = fastpath::route_assignment_replay_buffered(
+            self.n,
+            &self.wiring,
+            asg,
+            plan,
+            scratch,
+            Some(&mut trace),
+            None,
+        )?;
+        Ok((r, trace))
     }
 
     /// Routes `asg` with the PR-1 allocating reference engine (recursive,

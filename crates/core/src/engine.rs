@@ -44,6 +44,7 @@
 //! assert_eq!(out.stats.frames_ok, 8);
 //! ```
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::assignment::{MulticastAssignment, RoutingResult};
@@ -51,6 +52,7 @@ use crate::brsmn::{final_switch, Brsmn};
 use crate::bsn::Bsn;
 use crate::error::CoreError;
 use crate::payload::{RoutePayload, SelfRoutedMsg, SemanticMsg};
+use crate::plancache::{plan_fingerprint, CapturedPlan, PlanCache};
 use crate::verify::{verify_routing, FaultReport};
 use brsmn_rbn::par;
 use brsmn_switch::{Line, Tag};
@@ -81,6 +83,13 @@ pub struct EngineConfig {
     /// (`--no-scratch` in the CLI) falls back to the PR-1 allocating
     /// reference router; results are bit-identical either way.
     pub use_scratch: bool,
+    /// Capacity (in captured plans) of the shared [`PlanCache`] consulted
+    /// before planning each fast-path frame; `0` disables the cache. A hit
+    /// replays the snapshotted switch-setting planes bit-identically at
+    /// execution-only cost; a miss plans as usual while capturing the plan
+    /// for next time. Only the fast path consults the cache — the reference
+    /// and self-routing models always plan fresh.
+    pub plan_cache: usize,
 }
 
 impl Default for EngineConfig {
@@ -100,6 +109,7 @@ impl EngineConfig {
             parallel_halves: false,
             fork_depth: 0,
             use_scratch: true,
+            plan_cache: 0,
         }
     }
 
@@ -112,6 +122,7 @@ impl EngineConfig {
             parallel_halves: false,
             fork_depth: 0,
             use_scratch: true,
+            plan_cache: 0,
         }
     }
 
@@ -123,6 +134,7 @@ impl EngineConfig {
             parallel_halves: true,
             fork_depth,
             use_scratch: true,
+            plan_cache: 0,
         }
     }
 
@@ -130,6 +142,13 @@ impl EngineConfig {
     /// [`EngineConfig::use_scratch`]).
     pub fn without_scratch(mut self) -> Self {
         self.use_scratch = false;
+        self
+    }
+
+    /// Enables the plan-capture cache with room for `capacity` captured
+    /// plans (see [`EngineConfig::plan_cache`]; `0` disables).
+    pub fn with_plan_cache(mut self, capacity: usize) -> Self {
+        self.plan_cache = capacity;
         self
     }
 }
@@ -183,6 +202,21 @@ impl StageTimer {
         // Scatter RBN + quasisorting RBN: 2 · (size/2) · log2(size) settings.
         self.switch_settings += (size as u64) * u64::from(log2_exact(size));
         self.sweep_passes += SWEEPS_PER_BSN;
+    }
+
+    /// Records one BSN of `size` lines **replayed** from a captured plan at
+    /// 1-based `level`. The replayed settings count toward
+    /// [`StageTimer::switch_settings`] (they were applied to the fabric) but
+    /// not toward [`StageTimer::sweep_passes`] — no planner sweep ran, which
+    /// is exactly the work the cache elides.
+    pub fn record_bsn_replay(&mut self, level: usize, size: usize, elapsed: Duration) {
+        if self.levels.len() < level {
+            self.levels.resize(level, LevelStats::default());
+        }
+        let slot = &mut self.levels[level - 1];
+        slot.blocks += 1;
+        slot.nanos += elapsed.as_nanos() as u64;
+        self.switch_settings += (size as u64) * u64::from(log2_exact(size));
     }
 
     /// Records one final-stage 2×2 switch.
@@ -245,6 +279,18 @@ pub struct EngineStats {
     /// Largest per-worker scratch-arena footprint observed, bytes (0 on the
     /// reference path).
     pub scratch_bytes: u64,
+    /// Frames served by replaying a captured plan from the [`PlanCache`]
+    /// (0 when [`EngineConfig::plan_cache`] is 0).
+    pub plan_hits: u64,
+    /// Fast-path frames that missed the plan cache and planned fresh while
+    /// capturing (equals `fastpath_frames` when the cache is cold or off).
+    pub plan_misses: u64,
+    /// Captured plans evicted from the cache during this batch (LRU
+    /// pressure; 0 until the cache overflows its capacity).
+    pub plan_evictions: u64,
+    /// Resident footprint of the plan cache at the end of the batch, bytes
+    /// (packed setting planes plus keys; 0 with the cache off).
+    pub plan_cache_bytes: u64,
 }
 
 impl EngineStats {
@@ -283,6 +329,10 @@ impl EngineStats {
             busy_nanos: 0,
             fastpath_frames: 0,
             scratch_bytes: 0,
+            plan_hits: 0,
+            plan_misses: 0,
+            plan_evictions: 0,
+            plan_cache_bytes: 0,
         }
     }
 
@@ -290,8 +340,10 @@ impl EngineStats {
     /// one.
     ///
     /// Work counters (`batch`, frame outcomes, stage counters, `busy_nanos`,
-    /// `fastpath_frames`) and `workers` add; `scratch_bytes` takes the max
-    /// (arenas are per worker, not pooled); `wall_nanos` takes the max,
+    /// `fastpath_frames`, plan-cache hit/miss/eviction tallies) and
+    /// `workers` add; `scratch_bytes` and `plan_cache_bytes` take the max
+    /// (arenas are per worker and shards share one cache, so adding would
+    /// double-count); `wall_nanos` takes the max,
     /// which is exact for shards running concurrently — drivers that know
     /// the true end-to-end wall time (e.g. [`ShardedEngine::route_batch`],
     /// the serving loop) overwrite it after merging.
@@ -309,6 +361,10 @@ impl EngineStats {
         self.busy_nanos += other.busy_nanos;
         self.fastpath_frames += other.fastpath_frames;
         self.scratch_bytes = self.scratch_bytes.max(other.scratch_bytes);
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+        self.plan_evictions += other.plan_evictions;
+        self.plan_cache_bytes = self.plan_cache_bytes.max(other.plan_cache_bytes);
     }
 }
 
@@ -390,6 +446,7 @@ impl ResilientRouter for Brsmn {
 pub struct Engine {
     net: Brsmn,
     cfg: EngineConfig,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl Engine {
@@ -398,11 +455,19 @@ impl Engine {
         Engine::with_config(n, EngineConfig::default())
     }
 
-    /// An engine with an explicit [`EngineConfig`].
+    /// An engine with an explicit [`EngineConfig`]. When
+    /// [`EngineConfig::plan_cache`] is nonzero the engine builds its own
+    /// cache; use [`Engine::share_plan_cache`] to pool one across engines.
     pub fn with_config(n: usize, cfg: EngineConfig) -> Result<Self, CoreError> {
+        let plan_cache = if cfg.plan_cache > 0 {
+            Some(Arc::new(PlanCache::new(cfg.plan_cache)))
+        } else {
+            None
+        };
         Ok(Engine {
             net: Brsmn::new(n)?,
             cfg,
+            plan_cache,
         })
     }
 
@@ -414,6 +479,19 @@ impl Engine {
     /// The active configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
+    }
+
+    /// The plan cache this engine consults, if any.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plan_cache.as_ref()
+    }
+
+    /// Replaces this engine's plan cache with a shared one (captured plans
+    /// are pure functions of the assignment, so sharing across engines —
+    /// e.g. the shards of a [`ShardedEngine`] — is always sound and lets one
+    /// shard's capture serve another's replay).
+    pub fn share_plan_cache(&mut self, cache: Arc<PlanCache>) {
+        self.plan_cache = Some(cache);
     }
 
     /// Routes a batch of frames with the **semantic** message model.
@@ -435,28 +513,82 @@ impl Engine {
 
     /// The fast-path batch driver: one thread-local [`RouteScratch`] per
     /// worker, zero heap allocation per frame after warm-up (one `Vec` per
-    /// result aside).
+    /// result aside). With a [`PlanCache`] configured, each frame first
+    /// looks its assignment fingerprint up: a hit replays the captured
+    /// setting planes (no planner sweeps at all), a miss plans fresh while
+    /// capturing the plan and inserts it for the next occurrence.
     fn route_batch_fast(&self, batch: &[MulticastAssignment]) -> BatchOutput {
-        use crate::fastpath::{route_assignment_fast_buffered, with_thread_scratch};
+        use crate::fastpath::{
+            route_assignment_fast_buffered, route_assignment_replay_buffered,
+            with_thread_scratch,
+        };
         let n = self.net.n();
         let workers = par::effective_workers(self.cfg.workers).min(batch.len().max(1));
+        let cache = self.plan_cache.as_deref();
 
         let wall_start = Instant::now();
         let frames = par::par_map(batch, workers, |_idx, asg| {
             let frame_start = Instant::now();
             let mut timer = StageTimer::new();
+            let (mut hit, mut miss, mut evict) = (0u64, 0u64, 0u64);
             let (result, bytes) = with_thread_scratch(n, |scratch| {
-                let r = route_assignment_fast_buffered(
-                    n,
-                    self.net.wiring(),
-                    asg,
-                    scratch,
-                    None,
-                    Some(&mut timer),
-                );
+                let r = match cache {
+                    None => route_assignment_fast_buffered(
+                        n,
+                        self.net.wiring(),
+                        asg,
+                        scratch,
+                        None,
+                        Some(&mut timer),
+                        None,
+                    ),
+                    Some(cache) => {
+                        let fp = plan_fingerprint(asg);
+                        if let Some(plan) = cache.lookup(fp, asg) {
+                            hit = 1;
+                            route_assignment_replay_buffered(
+                                n,
+                                self.net.wiring(),
+                                asg,
+                                &plan,
+                                scratch,
+                                None,
+                                Some(&mut timer),
+                            )
+                        } else {
+                            miss = 1;
+                            match CapturedPlan::new(n) {
+                                Err(e) => Err(e),
+                                Ok(mut plan) => {
+                                    let r = route_assignment_fast_buffered(
+                                        n,
+                                        self.net.wiring(),
+                                        asg,
+                                        scratch,
+                                        None,
+                                        Some(&mut timer),
+                                        Some(&mut plan),
+                                    );
+                                    if r.is_ok() && cache.insert(fp, asg, Arc::new(plan)) {
+                                        evict = 1;
+                                    }
+                                    r
+                                }
+                            }
+                        }
+                    }
+                };
                 (r, scratch.footprint_bytes() as u64)
             });
-            (result, timer, frame_start.elapsed().as_nanos() as u64, bytes)
+            (
+                result,
+                timer,
+                frame_start.elapsed().as_nanos() as u64,
+                bytes,
+                hit,
+                miss,
+                evict,
+            )
         });
         let wall_nanos = wall_start.elapsed().as_nanos() as u64;
 
@@ -465,10 +597,14 @@ impl Engine {
         let mut scratch_bytes = 0u64;
         let mut results = Vec::with_capacity(frames.len());
         let (mut frames_ok, mut frames_failed) = (0usize, 0usize);
-        for (result, timer, frame_nanos, bytes) in frames {
+        let (mut plan_hits, mut plan_misses, mut plan_evictions) = (0u64, 0u64, 0u64);
+        for (result, timer, frame_nanos, bytes, hit, miss, evict) in frames {
             stages.merge(&timer);
             busy_nanos += frame_nanos;
             scratch_bytes = scratch_bytes.max(bytes);
+            plan_hits += hit;
+            plan_misses += miss;
+            plan_evictions += evict;
             match &result {
                 Ok(_) => frames_ok += 1,
                 Err(_) => frames_failed += 1,
@@ -492,6 +628,10 @@ impl Engine {
                 busy_nanos,
                 fastpath_frames: batch.len() as u64,
                 scratch_bytes,
+                plan_hits,
+                plan_misses,
+                plan_evictions,
+                plan_cache_bytes: cache.map_or(0, |c| c.footprint_bytes() as u64),
             },
         }
     }
@@ -587,6 +727,10 @@ impl Engine {
                     busy_nanos,
                     fastpath_frames: 0,
                     scratch_bytes: 0,
+                    plan_hits: 0,
+                    plan_misses: 0,
+                    plan_evictions: 0,
+                    plan_cache_bytes: 0,
                 },
             },
             outcomes,
@@ -646,6 +790,10 @@ impl Engine {
                 busy_nanos,
                 fastpath_frames: 0,
                 scratch_bytes: 0,
+                plan_hits: 0,
+                plan_misses: 0,
+                plan_evictions: 0,
+                plan_cache_bytes: 0,
             },
         }
     }
@@ -738,9 +886,18 @@ impl ShardedEngine {
                 "ShardedEngine needs at least one shard".to_string(),
             ));
         }
-        let shards = (0..shards)
+        let mut shards = (0..shards)
             .map(|_| Engine::with_config(n, cfg))
             .collect::<Result<Vec<_>, _>>()?;
+        // One cache for the whole fleet: a plan captured by any shard serves
+        // replays on every shard (settings are a pure function of the
+        // assignment, not of the fabric instance that planned them).
+        if cfg.plan_cache > 0 {
+            let shared = Arc::new(PlanCache::new(cfg.plan_cache));
+            for shard in &mut shards {
+                shard.share_plan_cache(Arc::clone(&shared));
+            }
+        }
         Ok(ShardedEngine { shards })
     }
 
@@ -757,6 +914,11 @@ impl ShardedEngine {
     /// The per-shard engine configuration.
     pub fn config(&self) -> &EngineConfig {
         self.shards[0].config()
+    }
+
+    /// The plan cache shared by every shard, if configured.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.shards[0].plan_cache()
     }
 
     /// Routes a batch striped round-robin across the shards; results come
@@ -1036,6 +1198,99 @@ mod tests {
         assert!(a.stats.scratch_bytes > 0);
         assert_eq!(b.stats.fastpath_frames, 0);
         assert_eq!(b.stats.scratch_bytes, 0);
+    }
+
+    #[test]
+    fn plan_cache_hits_are_bit_identical_and_counted() {
+        let n = 16;
+        let distinct: Vec<MulticastAssignment> = (0..4)
+            .map(|f| {
+                let mut sets = vec![Vec::new(); n];
+                sets[f] = (0..n).step_by(f + 1).collect();
+                MulticastAssignment::from_sets(n, sets).unwrap()
+            })
+            .collect();
+        // 4 distinct frames, each repeated 5 times.
+        let batch: Vec<MulticastAssignment> = (0..20).map(|i| distinct[i % 4].clone()).collect();
+
+        let plain = Engine::with_config(n, EngineConfig::sequential()).unwrap();
+        let cached =
+            Engine::with_config(n, EngineConfig::sequential().with_plan_cache(64)).unwrap();
+        let a = plain.route_batch(&batch);
+        let b = cached.route_batch(&batch);
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
+        }
+        assert_eq!(b.stats.plan_misses, 4);
+        assert_eq!(b.stats.plan_hits, 16);
+        assert_eq!(b.stats.plan_evictions, 0);
+        assert!(b.stats.plan_cache_bytes > 0);
+        assert_eq!(a.stats.plan_hits, 0);
+        assert_eq!(a.stats.plan_misses, 0);
+        // Replay applies the same settings but runs no planner sweeps.
+        assert_eq!(
+            a.stats.stages.switch_settings,
+            b.stats.stages.switch_settings
+        );
+        assert!(b.stats.stages.sweep_passes < a.stats.stages.sweep_passes);
+        // A second pass over the same batch is all hits.
+        let c = cached.route_batch(&batch);
+        assert_eq!(c.stats.plan_hits, 20);
+        assert_eq!(c.stats.plan_misses, 0);
+    }
+
+    #[test]
+    fn plan_cache_capacity_pressure_evicts_and_stays_correct() {
+        let n = 16;
+        let distinct: Vec<MulticastAssignment> = (0..6)
+            .map(|f| {
+                let mut sets = vec![Vec::new(); n];
+                sets[f] = vec![(f * 3) % n, (f * 5 + 1) % n, (f * 7 + 2) % n]
+                    .into_iter()
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                MulticastAssignment::from_sets(n, sets).unwrap()
+            })
+            .collect();
+        // Capacity 2 < 6 distinct frames, cycled twice: every round-trip
+        // re-misses what was evicted, and results stay correct throughout.
+        let cached =
+            Engine::with_config(n, EngineConfig::sequential().with_plan_cache(2)).unwrap();
+        let plain = Engine::with_config(n, EngineConfig::sequential()).unwrap();
+        let batch: Vec<MulticastAssignment> = (0..12).map(|i| distinct[i % 6].clone()).collect();
+        let a = plain.route_batch(&batch);
+        let b = cached.route_batch(&batch);
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
+        }
+        assert!(b.stats.plan_evictions > 0);
+        assert_eq!(b.stats.plan_hits + b.stats.plan_misses, 12);
+        assert!(cached.plan_cache().unwrap().len() <= 2);
+    }
+
+    #[test]
+    fn sharded_engine_shares_one_plan_cache() {
+        let n = 16;
+        let mut sets = vec![Vec::new(); n];
+        sets[3] = (0..n).collect();
+        let asg = MulticastAssignment::from_sets(n, sets).unwrap();
+        let batch = vec![asg; 16];
+        let sharded = ShardedEngine::with_config(
+            n,
+            4,
+            EngineConfig::sequential().with_plan_cache(32),
+        )
+        .unwrap();
+        let out = sharded.route_batch(&batch);
+        assert_eq!(out.stats.frames_ok, 16);
+        // One distinct assignment: at most one capture per shard can race,
+        // but the shared cache holds exactly one resident plan and at least
+        // the second pass is all hits.
+        assert_eq!(sharded.plan_cache().unwrap().len(), 1);
+        let again = sharded.route_batch(&batch);
+        assert_eq!(again.stats.plan_hits, 16);
+        assert_eq!(again.stats.plan_misses, 0);
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::brsmn::RouteTrace;
 use crate::bsn::BsnTrace;
 use crate::engine::StageTimer;
 use crate::error::CoreError;
+use crate::plancache::{CapturedPlan, PHASE_QUASISORT, PHASE_SCATTER};
 use brsmn_rbn::bitplan::SweepScratch;
 use brsmn_rbn::{RbnSettings, RbnWiring};
 use brsmn_switch::tag::TagCounts;
@@ -40,19 +41,35 @@ use brsmn_topology::{check_size, log2_exact};
 /// Sentinel source id of an empty line.
 const NO_SRC: u32 = u32::MAX;
 
-/// One line of the fast path: the current tag plus the source input of the
-/// message on it (`NO_SRC` when idle). `Copy`, so a broadcast split is two
-/// struct writes.
+/// One line of the fast path: the current tag, the source input of the
+/// message on it (`NO_SRC` when idle), and the message's *destination range*
+/// — `dests(src)[d_lo..d_hi)` is exactly the destination subset the message
+/// still has to reach inside its current block, with `d_mid` splitting it at
+/// the block midpoint. `Copy`, so a broadcast split is two struct writes
+/// (both copies inherit the triple; each resolves to its half after the
+/// block).
+///
+/// The range triple is the level-transition fusion: level `L+1` derives a
+/// line's entry tag from the range level `L` left behind (one midpoint
+/// search over an already-narrowed slice — or a single compare once the
+/// range is down to one destination) instead of re-searching the full
+/// destination set three times.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct FastLine {
     tag: Tag,
     src: u32,
+    d_lo: u32,
+    d_mid: u32,
+    d_hi: u32,
 }
 
 impl FastLine {
     const EMPTY: FastLine = FastLine {
         tag: Tag::Eps,
         src: NO_SRC,
+        d_lo: 0,
+        d_mid: 0,
+        d_hi: 0,
     };
 }
 
@@ -147,6 +164,14 @@ impl RouteScratch {
     pub(crate) fn planner_parts(&mut self) -> (&mut SweepScratch, &mut RbnSettings) {
         (&mut self.sweep, &mut self.settings)
     }
+
+    /// The live switch-settings table, as left by the last routing call.
+    /// After a traced plan replay this is bit-identical to the table a fresh
+    /// plan of the same assignment would leave (the plan-cache property
+    /// tests pin this).
+    pub fn settings_table(&self) -> &RbnSettings {
+        &self.settings
+    }
 }
 
 thread_local! {
@@ -166,6 +191,9 @@ pub fn with_thread_scratch<R>(n: usize, f: impl FnOnce(&mut RouteScratch) -> R) 
 
 /// Entry tag of the message `dests` (sorted, absolute) at the block
 /// `[lo, lo + size)`: which halves of the block it still has to reach.
+/// Three binary searches over the full set — kept as the oracle for
+/// [`entry_tag_ranged`], which answers the same question from the line's
+/// retained range with at most one search.
 #[inline]
 fn entry_tag_fast(dests: &[usize], lo: usize, size: usize) -> Tag {
     let mid = lo + size / 2;
@@ -178,6 +206,34 @@ fn entry_tag_fast(dests: &[usize], lo: usize, size: usize) -> Tag {
         (true, true) => Tag::Alpha,
         (false, false) => unreachable!("dests are non-empty within the block"),
     }
+}
+
+/// Entry tag from a line's retained destination range: `dests[d_lo..d_hi)`
+/// is the (non-empty) destination subset inside the current block, and `mid`
+/// is the block's absolute midpoint. Returns the split point `d_mid` and the
+/// tag. A unicast range (one destination — the common case deep in the
+/// network) needs a single compare; a multicast range needs one
+/// `partition_point` over the narrowed slice instead of three over the full
+/// set.
+#[inline]
+fn entry_tag_ranged(dests: &[usize], mid: usize, d_lo: usize, d_hi: usize) -> (usize, Tag) {
+    debug_assert!(d_lo < d_hi, "live line with an empty destination range");
+    let d_mid = if d_hi - d_lo == 1 {
+        if dests[d_lo] < mid {
+            d_hi
+        } else {
+            d_lo
+        }
+    } else {
+        d_lo + dests[d_lo..d_hi].partition_point(|&d| d < mid)
+    };
+    let tag = match (d_mid > d_lo, d_hi > d_mid) {
+        (true, false) => Tag::Zero,
+        (false, true) => Tag::One,
+        (true, true) => Tag::Alpha,
+        (false, false) => unreachable!("dests are non-empty within the block"),
+    };
+    (d_mid, tag)
 }
 
 /// Executes stages `[0, log2 size)` of the settings table on the fast lines
@@ -208,12 +264,11 @@ fn run_block_fast(
                             found: (lines[u].tag, lines[l].tag),
                         });
                     }
-                    let src = lines[u].src;
-                    lines[u] = FastLine {
-                        tag: Tag::Zero,
-                        src,
-                    };
-                    lines[l] = FastLine { tag: Tag::One, src };
+                    // Both copies inherit the α's destination range; each
+                    // narrows to its own half after the block.
+                    let a = lines[u];
+                    lines[u] = FastLine { tag: Tag::Zero, ..a };
+                    lines[l] = FastLine { tag: Tag::One, ..a };
                 }
                 setting @ SwitchSetting::LowerBroadcast => {
                     if lines[u].tag != Tag::Eps || lines[l].tag != Tag::Alpha {
@@ -222,12 +277,9 @@ fn run_block_fast(
                             found: (lines[u].tag, lines[l].tag),
                         });
                     }
-                    let src = lines[l].src;
-                    lines[u] = FastLine {
-                        tag: Tag::Zero,
-                        src,
-                    };
-                    lines[l] = FastLine { tag: Tag::One, src };
+                    let a = lines[l];
+                    lines[u] = FastLine { tag: Tag::Zero, ..a };
+                    lines[l] = FastLine { tag: Tag::One, ..a };
                 }
             }
         }
@@ -235,10 +287,60 @@ fn run_block_fast(
     Ok(())
 }
 
+/// Computes entry tags (and midpoint splits) for the live lines of
+/// `[base, base + size)` from their retained destination ranges.
+fn enter_block(asg: &MulticastAssignment, lines: &mut [FastLine], base: usize, size: usize) {
+    let mid = base + size / 2;
+    for line in lines[base..base + size].iter_mut() {
+        if line.src == NO_SRC {
+            line.tag = Tag::Eps;
+        } else {
+            let dests = asg.dests(line.src as usize);
+            let (d_mid, tag) =
+                entry_tag_ranged(dests, mid, line.d_lo as usize, line.d_hi as usize);
+            debug_assert_eq!(tag, entry_tag_fast(dests, base, size));
+            line.d_mid = d_mid as u32;
+            line.tag = tag;
+        }
+    }
+}
+
+/// Eq. (4) postcondition check plus the level-transition handoff: each live
+/// line narrows its destination range to the half it landed in, so the next
+/// level's entry tags derive from the retained range.
+fn leave_block(lines: &mut [FastLine], base: usize, size: usize) -> Result<(), CoreError> {
+    let half = size / 2;
+    for (pos, line) in lines[base..base + size].iter_mut().enumerate() {
+        let t = line.tag;
+        let ok = if pos < half {
+            t != Tag::One && t != Tag::Alpha
+        } else {
+            t != Tag::Zero && t != Tag::Alpha
+        };
+        if !ok {
+            return Err(CoreError::Internal(format!(
+                "BSN postcondition violated: tag {t} at output {pos} of {size}"
+            )));
+        }
+        if line.src != NO_SRC {
+            if pos < half {
+                line.d_hi = line.d_mid;
+            } else {
+                line.d_lo = line.d_mid;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Routes one BSN block `[base, base + size)` in place: entry tags, capacity
-/// check, packed scatter plan + run, packed quasisort plan + run,
+/// check, packed scatter plan + run, fused quasisort plan + run,
 /// postcondition check. Mirrors [`crate::bsn::Bsn::route`] step for step
-/// (including its error values) without allocating.
+/// (including its error values) without allocating. When `capture` is given,
+/// the freshly planned scatter and quasisort stages of this block are
+/// snapshotted into the plan right after each planning call (the settings
+/// table is a shared scratch, overwritten per phase per block — capture must
+/// ride the planning loop, it cannot run after the frame).
 #[allow(clippy::too_many_arguments)]
 fn route_bsn_fast(
     asg: &MulticastAssignment,
@@ -250,15 +352,26 @@ fn route_bsn_fast(
     size: usize,
     level: usize,
     trace: Option<&mut RouteTrace>,
+    mut capture: Option<&mut CapturedPlan>,
 ) -> Result<(), CoreError> {
-    for line in lines[base..base + size].iter_mut() {
-        line.tag = if line.src == NO_SRC {
-            Tag::Eps
+    // Entry tags fused with the scatter sweep's tag packing: one pass both
+    // derives each line's tag from its retained range and packs it into the
+    // planner's bit planes.
+    let mid = base + size / 2;
+    sweep.set_tags(size, |i| {
+        let line = &mut lines[base + i];
+        if line.src == NO_SRC {
+            line.tag = Tag::Eps;
         } else {
-            entry_tag_fast(asg.dests(line.src as usize), base, size)
-        };
-    }
-    sweep.set_tags(size, |i| lines[base + i].tag);
+            let dests = asg.dests(line.src as usize);
+            let (d_mid, tag) =
+                entry_tag_ranged(dests, mid, line.d_lo as usize, line.d_hi as usize);
+            debug_assert_eq!(tag, entry_tag_fast(dests, base, size));
+            line.d_mid = d_mid as u32;
+            line.tag = tag;
+        }
+        line.tag
+    });
 
     // Eq. (2): a realizable load never requests more than n/2 outputs per
     // half.
@@ -280,6 +393,9 @@ fn route_bsn_fast(
 
     // Scatter network: eliminate αs (Theorem 2; nα ≤ nε by Eq. 3).
     sweep.plan_scatter(0, base, settings);
+    if let Some(plan) = capture.as_deref_mut() {
+        plan.store_phase(level, PHASE_SCATTER, base, size, settings);
+    }
     run_block_fast(lines, base, size, settings, wiring)?;
     let after_scatter: Vec<Tag> = if trace.is_some() {
         lines[base..base + size].iter().map(|l| l.tag).collect()
@@ -287,26 +403,16 @@ fn route_bsn_fast(
         Vec::new()
     };
 
-    // Quasisorting network: ε-divide then bit-sort (unicast only).
+    // Quasisorting network: ε-divide + bit-sort, both backward waves fused
+    // into one pass (unicast only).
     sweep.set_tags(size, |i| lines[base + i].tag);
-    sweep.eps_divide()?;
-    sweep.plan_bitsort(size / 2, base, settings);
+    sweep.plan_quasisort_fused(base, settings)?;
+    if let Some(plan) = capture.as_deref_mut() {
+        plan.store_phase(level, PHASE_QUASISORT, base, size, settings);
+    }
     run_block_fast(lines, base, size, settings, wiring)?;
 
-    // Eq. (4) postconditions, kept on in release builds like the reference.
-    for (pos, line) in lines[base..base + size].iter().enumerate() {
-        let t = line.tag;
-        let ok = if pos < size / 2 {
-            t != Tag::One && t != Tag::Alpha
-        } else {
-            t != Tag::Zero && t != Tag::Alpha
-        };
-        if !ok {
-            return Err(CoreError::Internal(format!(
-                "BSN postcondition violated: tag {t} at output {pos} of {size}"
-            )));
-        }
-    }
+    leave_block(lines, base, size)?;
 
     if let Some(t) = trace {
         t.levels[level - 1].blocks.push(BsnTrace {
@@ -320,20 +426,15 @@ fn route_bsn_fast(
 
 /// The final 2×2 switch over outputs `{lo, lo+1}`, in place. The setting
 /// table and error values match [`crate::brsmn`]'s `final_switch` exactly.
+/// Returns the chosen setting so the capture path can record it.
 fn final_switch_fast(
     asg: &MulticastAssignment,
     lines: &mut [FastLine],
     lo: usize,
     trace: &mut Option<&mut RouteTrace>,
-) -> Result<(), CoreError> {
+) -> Result<SwitchSetting, CoreError> {
     use SwitchSetting::*;
-    for line in lines[lo..lo + 2].iter_mut() {
-        line.tag = if line.src == NO_SRC {
-            Tag::Eps
-        } else {
-            entry_tag_fast(asg.dests(line.src as usize), lo, 2)
-        };
-    }
+    enter_block(asg, lines, lo, 2);
     let (tu, tl) = (lines[lo].tag, lines[lo + 1].tag);
     let setting = match (tu, tl) {
         (Tag::Alpha, Tag::Eps) => UpperBroadcast,
@@ -351,20 +452,61 @@ fn final_switch_fast(
         t.final_tags[lo + 1] = tl;
         t.final_settings[lo / 2] = setting;
     }
+    apply_final_setting(lines, lo, setting);
+    Ok(setting)
+}
+
+/// Applies a final-stage setting to the pair `{lo, lo+1}` — shared by the
+/// fresh path (setting just derived from tags) and plan replay (setting read
+/// from the captured arena).
+fn apply_final_setting(lines: &mut [FastLine], lo: usize, setting: SwitchSetting) {
+    use SwitchSetting::*;
     match setting {
         Parallel => {}
         Crossing => lines.swap(lo, lo + 1),
         UpperBroadcast | LowerBroadcast => {
-            let src = if setting == UpperBroadcast {
-                lines[lo].src
+            let a = if setting == UpperBroadcast {
+                lines[lo]
             } else {
-                lines[lo + 1].src
+                lines[lo + 1]
             };
-            lines[lo] = FastLine {
-                tag: Tag::Zero,
-                src,
-            };
-            lines[lo + 1] = FastLine { tag: Tag::One, src };
+            lines[lo] = FastLine { tag: Tag::Zero, ..a };
+            lines[lo + 1] = FastLine { tag: Tag::One, ..a };
+        }
+    }
+}
+
+/// Loads a frame's input lines into the arena: idle inputs get
+/// [`FastLine::EMPTY`], live inputs start with their whole destination set
+/// as the retained range.
+fn init_lines(asg: &MulticastAssignment, lines: &mut [FastLine]) {
+    for (i, line) in lines.iter_mut().enumerate() {
+        let d = asg.dests(i);
+        *line = if d.is_empty() {
+            FastLine::EMPTY
+        } else {
+            FastLine {
+                tag: Tag::Eps,
+                src: i as u32,
+                d_lo: 0,
+                d_mid: d.len() as u32,
+                d_hi: d.len() as u32,
+            }
+        };
+    }
+}
+
+/// Final delivery verification, shared by fresh routing and replay: every
+/// delivered message must belong at its output *per the actual assignment*
+/// (the reference does this in `extract_result`). On the replay path this
+/// is the last line of defense against a corrupted or foreign plan.
+fn verify_delivery(asg: &MulticastAssignment, lines: &[FastLine]) -> Result<(), CoreError> {
+    for (o, line) in lines.iter().enumerate() {
+        if line.src != NO_SRC && asg.dests(line.src as usize).binary_search(&o).is_err() {
+            return Err(CoreError::Internal(format!(
+                "message from input {} misdelivered to output {o}",
+                line.src
+            )));
         }
     }
     Ok(())
@@ -373,7 +515,8 @@ fn final_switch_fast(
 /// Routes `asg` end to end on the fast path, leaving the delivered lines in
 /// `scratch` (read them via [`RouteScratch::output_sources`]). Optionally
 /// fills a [`RouteTrace`] and/or a [`StageTimer`] (the timer records exactly
-/// what the reference engine's instrumented recursion records).
+/// what the reference engine's instrumented recursion records), and/or
+/// snapshots every planned setting into a [`CapturedPlan`] for later replay.
 pub(crate) fn route_assignment_fast(
     n: usize,
     wiring: &RbnWiring,
@@ -381,6 +524,7 @@ pub(crate) fn route_assignment_fast(
     scratch: &mut RouteScratch,
     mut trace: Option<&mut RouteTrace>,
     mut timer: Option<&mut StageTimer>,
+    mut capture: Option<&mut CapturedPlan>,
 ) -> Result<(), CoreError> {
     assert_eq!(asg.n(), n, "assignment size mismatch");
     scratch.ensure(n);
@@ -391,16 +535,7 @@ pub(crate) fn route_assignment_fast(
         ..
     } = scratch;
 
-    for (i, line) in lines.iter_mut().enumerate() {
-        *line = if asg.dests(i).is_empty() {
-            FastLine::EMPTY
-        } else {
-            FastLine {
-                tag: Tag::Eps,
-                src: i as u32,
-            }
-        };
-    }
+    init_lines(asg, lines);
 
     // Levels 1 … m−1: BSNs of halving size, blocks left to right (the same
     // order the reference's depth-first recursion pushes trace blocks).
@@ -419,6 +554,7 @@ pub(crate) fn route_assignment_fast(
                 size,
                 level,
                 trace.as_deref_mut(),
+                capture.as_deref_mut(),
             )?;
             if let (Some(tm), Some(t0)) = (timer.as_deref_mut(), t0) {
                 tm.record_bsn(level, size, t0.elapsed());
@@ -431,22 +567,16 @@ pub(crate) fn route_assignment_fast(
     // Final level: n/2 plain 2×2 switches.
     for lo in (0..n).step_by(2) {
         let t0 = timer.as_ref().map(|_| Instant::now());
-        final_switch_fast(asg, lines, lo, &mut trace)?;
+        let setting = final_switch_fast(asg, lines, lo, &mut trace)?;
+        if let Some(plan) = capture.as_deref_mut() {
+            plan.set_final(lo / 2, setting);
+        }
         if let (Some(tm), Some(t0)) = (timer.as_deref_mut(), t0) {
             tm.record_final(t0.elapsed());
         }
     }
 
-    // Delivery verification (the reference does this in `extract_result`).
-    for (o, line) in lines.iter().enumerate() {
-        if line.src != NO_SRC && asg.dests(line.src as usize).binary_search(&o).is_err() {
-            return Err(CoreError::Internal(format!(
-                "message from input {} misdelivered to output {o}",
-                line.src
-            )));
-        }
-    }
-    Ok(())
+    verify_delivery(asg, lines)
 }
 
 /// Routes and collects the result (one `Vec` allocation for the result).
@@ -457,8 +587,171 @@ pub(crate) fn route_assignment_fast_buffered(
     scratch: &mut RouteScratch,
     trace: Option<&mut RouteTrace>,
     timer: Option<&mut StageTimer>,
+    capture: Option<&mut CapturedPlan>,
 ) -> Result<RoutingResult, CoreError> {
-    route_assignment_fast(n, wiring, asg, scratch, trace, timer)?;
+    route_assignment_fast(n, wiring, asg, scratch, trace, timer, capture)?;
+    Ok(scratch.to_result())
+}
+
+/// Replays one BSN block from the captured plan with full tracing: entry
+/// tags are derived exactly like the fresh path (the trace must be
+/// bit-identical), but both phases' settings are *loaded* from the plan into
+/// the live table instead of planned, and executed through the same
+/// [`run_block_fast`] (whose broadcast legality checks double as replay
+/// integrity checks).
+#[allow(clippy::too_many_arguments)]
+fn replay_bsn_traced(
+    asg: &MulticastAssignment,
+    lines: &mut [FastLine],
+    settings: &mut RbnSettings,
+    wiring: &RbnWiring,
+    plan: &CapturedPlan,
+    base: usize,
+    size: usize,
+    level: usize,
+    trace: &mut RouteTrace,
+) -> Result<(), CoreError> {
+    enter_block(asg, lines, base, size);
+    let input_tags: Vec<Tag> = lines[base..base + size].iter().map(|l| l.tag).collect();
+
+    plan.load_phase(level, PHASE_SCATTER, base, size, settings);
+    run_block_fast(lines, base, size, settings, wiring)?;
+    let after_scatter: Vec<Tag> = lines[base..base + size].iter().map(|l| l.tag).collect();
+
+    plan.load_phase(level, PHASE_QUASISORT, base, size, settings);
+    run_block_fast(lines, base, size, settings, wiring)?;
+
+    leave_block(lines, base, size)?;
+    trace.levels[level - 1].blocks.push(BsnTrace {
+        input_tags,
+        after_scatter,
+        output_tags: lines[base..base + size].iter().map(|l| l.tag).collect(),
+    });
+    Ok(())
+}
+
+/// Replays one BSN block lean: no tags, no planes, no checks beyond the
+/// frame-final delivery verification — just the captured 2-bit codes decoded
+/// straight from the packed arena and applied to the source ids. This is the
+/// warm-cache steady state: per block, `2·k` stage passes of shifts and
+/// swaps, zero planning.
+fn replay_bsn_lean(
+    lines: &mut [FastLine],
+    wiring: &RbnWiring,
+    plan: &CapturedPlan,
+    base: usize,
+    size: usize,
+    level: usize,
+) {
+    let k = log2_exact(size) as usize;
+    for phase in [PHASE_SCATTER, PHASE_QUASISORT] {
+        let phase_off = plan.phase_base(level, phase);
+        for j in 0..k {
+            let pairs = wiring.stage(j);
+            for idx in base / 2..(base + size) / 2 {
+                let (u, l) = pairs[idx];
+                let (u, l) = (u as usize, l as usize);
+                match plan.stage_code(phase_off, j, idx) {
+                    0 => {}
+                    1 => lines.swap(u, l),
+                    2 => {
+                        let a = lines[u];
+                        lines[u] = FastLine { tag: Tag::Zero, ..a };
+                        lines[l] = FastLine { tag: Tag::One, ..a };
+                    }
+                    _ => {
+                        let a = lines[l];
+                        lines[u] = FastLine { tag: Tag::Zero, ..a };
+                        lines[l] = FastLine { tag: Tag::One, ..a };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Replays a captured plan for `asg` end to end, leaving the delivered lines
+/// in `scratch`. Bit-identical to fresh routing of the same assignment:
+/// same result, same trace (when requested), same final settings table (on
+/// the traced path). The untraced path skips tag derivation entirely and
+/// executes the packed codes directly — the warm-cache fast path.
+///
+/// The plan must have been captured for an equal assignment; the frame-final
+/// delivery verification rejects replays against a different one.
+pub(crate) fn route_assignment_replay(
+    n: usize,
+    wiring: &RbnWiring,
+    asg: &MulticastAssignment,
+    plan: &CapturedPlan,
+    scratch: &mut RouteScratch,
+    mut trace: Option<&mut RouteTrace>,
+    mut timer: Option<&mut StageTimer>,
+) -> Result<(), CoreError> {
+    assert_eq!(asg.n(), n, "assignment size mismatch");
+    if plan.n() != n {
+        return Err(CoreError::Config(format!(
+            "captured plan is for n = {}, network is n = {n}",
+            plan.n()
+        )));
+    }
+    scratch.ensure(n);
+    let RouteScratch {
+        lines, settings, ..
+    } = scratch;
+
+    init_lines(asg, lines);
+
+    let mut size = n;
+    let mut level = 1;
+    while size > 2 {
+        for b in 0..n / size {
+            let t0 = timer.as_ref().map(|_| Instant::now());
+            if let Some(t) = trace.as_deref_mut() {
+                replay_bsn_traced(
+                    asg, lines, settings, wiring, plan, b * size, size, level, t,
+                )?;
+            } else {
+                replay_bsn_lean(lines, wiring, plan, b * size, size, level);
+            }
+            if let (Some(tm), Some(t0)) = (timer.as_deref_mut(), t0) {
+                tm.record_bsn_replay(level, size, t0.elapsed());
+            }
+        }
+        size /= 2;
+        level += 1;
+    }
+
+    for lo in (0..n).step_by(2) {
+        let t0 = timer.as_ref().map(|_| Instant::now());
+        let setting = plan.final_setting(lo / 2);
+        if let Some(t) = trace.as_deref_mut() {
+            // The trace records entry tags; derive them exactly like the
+            // fresh path (the captured setting matches what they imply).
+            enter_block(asg, lines, lo, 2);
+            t.final_tags[lo] = lines[lo].tag;
+            t.final_tags[lo + 1] = lines[lo + 1].tag;
+            t.final_settings[lo / 2] = setting;
+        }
+        apply_final_setting(lines, lo, setting);
+        if let (Some(tm), Some(t0)) = (timer.as_deref_mut(), t0) {
+            tm.record_final(t0.elapsed());
+        }
+    }
+
+    verify_delivery(asg, lines)
+}
+
+/// Replays and collects the result (one `Vec` allocation for the result).
+pub(crate) fn route_assignment_replay_buffered(
+    n: usize,
+    wiring: &RbnWiring,
+    asg: &MulticastAssignment,
+    plan: &CapturedPlan,
+    scratch: &mut RouteScratch,
+    trace: Option<&mut RouteTrace>,
+    timer: Option<&mut StageTimer>,
+) -> Result<RoutingResult, CoreError> {
+    route_assignment_replay(n, wiring, asg, plan, scratch, trace, timer)?;
     Ok(scratch.to_result())
 }
 
@@ -498,6 +791,9 @@ mod tests {
         s.lines[0] = FastLine {
             tag: Tag::Zero,
             src: 1,
+            d_lo: 0,
+            d_mid: 1,
+            d_hi: 1,
         };
         let v: Vec<Option<usize>> = s.output_sources().collect();
         assert_eq!(v, vec![Some(1), None]);

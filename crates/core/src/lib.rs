@@ -21,6 +21,11 @@
 //!   tracing;
 //! * [`fastpath`] — the zero-allocation routing fast path: reusable
 //!   [`RouteScratch`] arenas over the packed-word planners of `brsmn-rbn`;
+//! * [`plancache`] — plan capture and replay: the self-routing property
+//!   makes settings a pure function of the assignment, so a routed frame's
+//!   full setting tensor is snapshotted once ([`CapturedPlan`]) and repeated
+//!   assignments replay through a sharded LRU [`PlanCache`] at
+//!   execution-only cost;
 //! * [`feedback`] — the single-RBN feedback implementation (Section 7.3)
 //!   cutting hardware to `Θ(n log n)`;
 //! * [`metrics`] — exact switch/gate/depth accounting (Section 7.4);
@@ -60,6 +65,7 @@ pub mod fastpath;
 pub mod feedback;
 pub mod metrics;
 pub mod payload;
+pub mod plancache;
 pub mod render;
 pub mod stream;
 pub mod tags;
@@ -78,6 +84,9 @@ pub use error::CoreError;
 pub use fastpath::{with_thread_scratch, RouteScratch};
 pub use feedback::{FeedbackBrsmn, FeedbackStats};
 pub use payload::{RoutePayload, SelfRoutedMsg, SemanticMsg};
+pub use plancache::{
+    fingerprint_inputs, plan_fingerprint, CapturedPlan, PlanCache, PlanCacheStats,
+};
 pub use render::{render_rbn, render_trace};
 pub use stream::{stream_split, ForwardMode, StreamSplitter};
 pub use tags::{seq_for_dests, TagSeq, TagTree};

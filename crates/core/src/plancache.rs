@@ -1,0 +1,537 @@
+//! Plan capture and replay: route an assignment once, snapshot every switch
+//! setting the planner chose, and replay the snapshot for every later frame
+//! carrying the same assignment — no sweeps, no planning, no allocation.
+//!
+//! # Why settings are assignment-pure
+//!
+//! The network is *self-routing* (Section 6, Tables 3–6): every switch
+//! setting is computed bottom-up from the tag/`SEQ` words of the messages
+//! entering its block, and those words are a pure function of the
+//! destination-address sets — nothing else (no timestamps, no arrival
+//! order, no global state). Two frames with equal [`MulticastAssignment`]s
+//! therefore drive every 2×2 switch of every level to the *same* setting,
+//! which is what makes capturing the full per-level/per-stage setting tensor
+//! once and replaying it bit-identically sound.
+//!
+//! # Data flow
+//!
+//! ```text
+//! assignment ──(plan_fingerprint: order-independent fold over the
+//! │             per-input words SEQ derives from, Eqs. 11–12)──► u64 key
+//! │
+//! ├─ hit  ──► PlanCache shard (read lock + LRU stamp bump) ──► Arc<CapturedPlan>
+//! │           └─► replay: decode 2-bit planes level by level through the
+//! │               iterative router — bit-identical result/trace/settings
+//! └─ miss ──► fast-path planner (fused sweeps) with capture hooks
+//!             └─► CapturedPlan arena (one contiguous bit-packed allocation)
+//!                 inserted under the fingerprint (full-equality checked)
+//! ```
+//!
+//! A hit performs **zero** heap allocations (pinned by the `alloc-count`
+//! test in `brsmn-bench`): the fingerprint is an arithmetic fold, the shard
+//! probe takes a shared read lock, the LRU stamp is an atomic store, and the
+//! plan travels as an [`Arc`] clone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::assignment::MulticastAssignment;
+use crate::error::CoreError;
+use brsmn_rbn::{PackedSettings, RbnSettings};
+use brsmn_switch::SwitchSetting;
+use brsmn_topology::{check_size, log2_exact};
+
+/// splitmix64 finalizer — the mixing primitive of the fingerprint.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Canonical fingerprint of a multicast assignment, computed from `(input,
+/// destination-set)` pairs supplied **in any order**.
+///
+/// Each pair hashes to one word (inputs with empty destination sets
+/// contribute nothing), and the per-input words are folded with two
+/// commutative reductions (wrapping sum and xor), so the result is
+/// independent of iteration order — the property the plan-cache proptests
+/// pin. The per-input word is exactly the data the paper's `SEQ` words
+/// (Eqs. 11–12) are derived from — `SEQ(n, I_i)` is a pure function of
+/// `(n, i, I_i)` — so equal fingerprint inputs mean equal wire-level
+/// routing requests. Collisions are still possible (it is a 64-bit hash);
+/// [`PlanCache::lookup`] guards every hit with a full-equality check.
+pub fn fingerprint_inputs<'a, I>(n: usize, inputs: I) -> u64
+where
+    I: IntoIterator<Item = (usize, &'a [usize])>,
+{
+    let mut sum = 0u64;
+    let mut xor = 0u64;
+    for (i, dests) in inputs {
+        if dests.is_empty() {
+            continue;
+        }
+        let mut h = mix(i as u64 ^ 0x9E37_79B9_7F4A_7C15);
+        h = mix(h ^ dests.len() as u64);
+        for &d in dests {
+            h = mix(h ^ d as u64);
+        }
+        sum = sum.wrapping_add(h);
+        xor ^= h;
+    }
+    mix(sum ^ xor.rotate_left(32) ^ (n as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+/// [`fingerprint_inputs`] over an assignment's canonical iteration — the key
+/// under which the engines cache captured plans. Allocation-free.
+pub fn plan_fingerprint(asg: &MulticastAssignment) -> u64 {
+    fingerprint_inputs(asg.n(), asg.iter())
+}
+
+/// A captured routing plan: every switch setting the fast-path planner chose
+/// for one assignment, bit-packed (2 bits per setting) into **one**
+/// contiguous allocation.
+///
+/// Layout, in setting index order: for each BSN level `ℓ = 1 … m−1` (block
+/// size `s = n >> (ℓ−1)`, `k = log₂ s` stages), the scatter phase's `k`
+/// stage planes of `n/2` settings each, then the quasisort phase's `k`
+/// planes; finally the `n/2` settings of the last 2×2 stage. Stage planes
+/// are full network width — the blocks of a level tile `[0, n/2)`, so each
+/// block's capture writes its own slice and a level's planes fill exactly.
+///
+/// For `n = 256` the whole tensor is 9,088 settings ≈ 2.3 KB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapturedPlan {
+    n: usize,
+    planes: PackedSettings,
+}
+
+/// Phase index of the scatter RBN within a level's capture region.
+pub(crate) const PHASE_SCATTER: usize = 0;
+/// Phase index of the quasisort RBN within a level's capture region.
+pub(crate) const PHASE_QUASISORT: usize = 1;
+
+impl CapturedPlan {
+    /// An all-[`SwitchSetting::Parallel`] plan sized for an `n × n` network,
+    /// ready to be filled by a capture pass.
+    pub fn new(n: usize) -> Result<Self, CoreError> {
+        check_size(n)?;
+        Ok(CapturedPlan {
+            n,
+            planes: PackedSettings::with_len(Self::total_settings(n)),
+        })
+    }
+
+    /// Network size this plan was captured for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of settings in the tensor for an `n × n` network.
+    fn total_settings(n: usize) -> usize {
+        let m = log2_exact(n) as usize;
+        // Levels 1..m−1 store 2 phases × (m−ℓ+1) stages × n/2 switches, the
+        // final stage stores n/2.
+        let levels: usize = (1..m).map(|l| 2 * (m - l + 1) * (n / 2)).sum();
+        levels + n / 2
+    }
+
+    /// Offset of the first setting of `(level, phase)`.
+    fn phase_offset(&self, level: usize, phase: usize) -> usize {
+        let m = log2_exact(self.n) as usize;
+        debug_assert!((1..m).contains(&level) && phase < 2);
+        let before: usize = (1..level).map(|l| 2 * (m - l + 1) * (self.n / 2)).sum();
+        before + phase * (m - level + 1) * (self.n / 2)
+    }
+
+    /// Offset of the final-stage settings.
+    fn final_offset(&self) -> usize {
+        Self::total_settings(self.n) - self.n / 2
+    }
+
+    /// Captures the freshly planned stages of the block `[base, base+size)`
+    /// at `(level, phase)` from the live settings table.
+    pub(crate) fn store_phase(
+        &mut self,
+        level: usize,
+        phase: usize,
+        base: usize,
+        size: usize,
+        settings: &RbnSettings,
+    ) {
+        let k = log2_exact(size) as usize;
+        let off = self.phase_offset(level, phase);
+        for j in 0..k {
+            let stage = &settings.stage(j)[base / 2..(base + size) / 2];
+            self.planes.store_slice(off + j * (self.n / 2) + base / 2, stage);
+        }
+    }
+
+    /// Restores the block's stages at `(level, phase)` into the live
+    /// settings table — the inverse of [`CapturedPlan::store_phase`].
+    pub(crate) fn load_phase(
+        &self,
+        level: usize,
+        phase: usize,
+        base: usize,
+        size: usize,
+        settings: &mut RbnSettings,
+    ) {
+        let k = log2_exact(size) as usize;
+        let off = self.phase_offset(level, phase);
+        for j in 0..k {
+            let stage = &mut settings.stage_mut(j)[base / 2..(base + size) / 2];
+            self.planes.load_slice(off + j * (self.n / 2) + base / 2, stage);
+        }
+    }
+
+    /// Raw 2-bit code of switch `idx` in stage `j` of `(level, phase)` —
+    /// the replay executor decodes settings straight from the packed words.
+    #[inline]
+    pub(crate) fn stage_code(&self, phase_off: usize, j: usize, idx: usize) -> u64 {
+        self.planes.code(phase_off + j * (self.n / 2) + idx)
+    }
+
+    /// Precomputed phase offset for [`CapturedPlan::stage_code`] loops.
+    #[inline]
+    pub(crate) fn phase_base(&self, level: usize, phase: usize) -> usize {
+        self.phase_offset(level, phase)
+    }
+
+    /// Records the final-stage setting of output pair `pair`.
+    pub(crate) fn set_final(&mut self, pair: usize, s: SwitchSetting) {
+        let off = self.final_offset();
+        self.planes.set(off + pair, s);
+    }
+
+    /// The captured final-stage setting of output pair `pair`.
+    pub(crate) fn final_setting(&self, pair: usize) -> SwitchSetting {
+        self.planes.get(self.final_offset() + pair)
+    }
+
+    /// Heap bytes held by the packed arena.
+    pub fn footprint_bytes(&self) -> usize {
+        self.planes.footprint_bytes()
+    }
+}
+
+/// One cached plan: the fingerprint, the full assignment for the
+/// collision-proofing equality check, the shared plan, and its LRU stamp.
+#[derive(Debug)]
+struct Entry {
+    fp: u64,
+    asg: MulticastAssignment,
+    plan: Arc<CapturedPlan>,
+    stamp: AtomicU64,
+}
+
+/// One shard: a small linear-probed entry list with its own capacity slice.
+#[derive(Debug)]
+struct Shard {
+    cap: usize,
+    entries: Vec<Entry>,
+}
+
+/// Cumulative counters of a [`PlanCache`], readable at any time without
+/// locking the shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups that returned a plan (fingerprint *and* full assignment
+    /// matched).
+    pub hits: u64,
+    /// Lookups that found nothing (or a fingerprint collision).
+    pub misses: u64,
+    /// Plans inserted.
+    pub insertions: u64,
+    /// Plans evicted to make room.
+    pub evictions: u64,
+}
+
+/// A sharded LRU cache of captured plans, keyed by assignment fingerprint.
+///
+/// * **Reads take no exclusive lock**: a hit acquires only the shard's
+///   shared read lock, bumps the entry's LRU stamp with one atomic store,
+///   and clones the [`Arc`] — no allocation, no writer blocking readers.
+/// * **Capacity** is a global bound split across `min(capacity, 8)` shards;
+///   eviction is per-shard LRU (smallest stamp), so with multiple shards
+///   the policy is approximate LRU. `capacity = 1` collapses to one shard
+///   of one entry — exact LRU, which the eviction-boundary proptests use.
+/// * **Collision-proof**: a hit requires the stored assignment to equal the
+///   probe assignment, not just the 64-bit fingerprints.
+///
+/// Counters are interior [`AtomicU64`]s; [`PlanCache::stats`] reads them
+/// relaxed (they are monotone tallies, not synchronization).
+#[derive(Debug)]
+pub struct PlanCache {
+    shards: Vec<RwLock<Shard>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let nshards = capacity.min(8);
+        let shards = (0..nshards)
+            .map(|i| {
+                let cap = capacity / nshards + usize::from(i < capacity % nshards);
+                RwLock::new(Shard {
+                    cap,
+                    entries: Vec::with_capacity(cap.min(64)),
+                })
+            })
+            .collect();
+        PlanCache {
+            shards,
+            capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured global capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of plans currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("plan-cache shard poisoned").entries.len())
+            .sum()
+    }
+
+    /// `true` when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn shard_of(&self, fp: u64) -> usize {
+        // High bits: the low bits feed nothing else, but mix() output is
+        // uniform so any slice works; modulo keeps every shard reachable.
+        (fp >> 32) as usize % self.shards.len()
+    }
+
+    /// Looks up the plan for `asg` under fingerprint `fp` (compute it with
+    /// [`plan_fingerprint`]). A hit requires full assignment equality, not
+    /// just the fingerprint; hits refresh the entry's LRU stamp.
+    pub fn lookup(&self, fp: u64, asg: &MulticastAssignment) -> Option<Arc<CapturedPlan>> {
+        let shard = self.shards[self.shard_of(fp)]
+            .read()
+            .expect("plan-cache shard poisoned");
+        for e in &shard.entries {
+            if e.fp == fp && e.asg == *asg {
+                let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+                e.stamp.store(now, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(&e.plan));
+            }
+        }
+        drop(shard);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Inserts (or refreshes) the plan for `asg` under fingerprint `fp`,
+    /// evicting the shard's least-recently-used entry if it is full.
+    /// Returns `true` when an eviction happened.
+    pub fn insert(&self, fp: u64, asg: &MulticastAssignment, plan: Arc<CapturedPlan>) -> bool {
+        let mut shard = self.shards[self.shard_of(fp)]
+            .write()
+            .expect("plan-cache shard poisoned");
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(e) = shard
+            .entries
+            .iter_mut()
+            .find(|e| e.fp == fp && e.asg == *asg)
+        {
+            // A racing worker captured the same assignment first; keep the
+            // resident plan (both are bit-identical) and refresh its stamp.
+            e.stamp.store(now, Ordering::Relaxed);
+            return false;
+        }
+        let mut evicted = false;
+        if shard.entries.len() >= shard.cap {
+            let victim = shard
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+                .expect("full shard has a victim");
+            shard.entries.swap_remove(victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            evicted = true;
+        }
+        shard.entries.push(Entry {
+            fp,
+            asg: asg.clone(),
+            plan,
+            stamp: AtomicU64::new(now),
+        });
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Approximate heap bytes held by the cached plans and keys (the
+    /// `scratch_bytes`-style accounting the engine reports).
+    pub fn footprint_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.read().expect("plan-cache shard poisoned");
+                shard
+                    .entries
+                    .iter()
+                    .map(|e| {
+                        e.plan.footprint_bytes()
+                            + e.asg.total_connections() * std::mem::size_of::<usize>()
+                            + std::mem::size_of::<Entry>()
+                    })
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asg(n: usize, sets: Vec<Vec<usize>>) -> MulticastAssignment {
+        MulticastAssignment::from_sets(n, sets).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_ignores_input_order() {
+        let a = asg(8, vec![
+            vec![0, 1],
+            vec![],
+            vec![3, 4, 7],
+            vec![2],
+            vec![],
+            vec![],
+            vec![],
+            vec![5, 6],
+        ]);
+        let fwd = plan_fingerprint(&a);
+        let pairs: Vec<(usize, &[usize])> = a.iter().collect();
+        let rev = fingerprint_inputs(8, pairs.into_iter().rev());
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn fingerprint_separates_near_misses() {
+        let a = asg(4, vec![vec![0], vec![1], vec![], vec![]]);
+        // Same multiset of destinations, different owners.
+        let b = asg(4, vec![vec![1], vec![0], vec![], vec![]]);
+        // Same pairs, different network size is impossible to confuse via n.
+        assert_ne!(plan_fingerprint(&a), plan_fingerprint(&b));
+        let wide = fingerprint_inputs(8, a.iter());
+        assert_ne!(plan_fingerprint(&a), wide);
+    }
+
+    #[test]
+    fn captured_plan_layout_round_trips() {
+        let n = 16;
+        let mut plan = CapturedPlan::new(n).unwrap();
+        let mut table = RbnSettings::identity(n);
+        // Write a recognizable pattern into level 2's quasisort phase for
+        // the block at base 8 (size 8, 3 stages).
+        for j in 0..3 {
+            for idx in 4..8 {
+                table.stage_mut(j)[idx] = if (j + idx) % 2 == 0 {
+                    SwitchSetting::Crossing
+                } else {
+                    SwitchSetting::UpperBroadcast
+                };
+            }
+        }
+        plan.store_phase(2, PHASE_QUASISORT, 8, 8, &table);
+        let mut out = RbnSettings::identity(n);
+        plan.load_phase(2, PHASE_QUASISORT, 8, 8, &mut out);
+        for j in 0..3 {
+            assert_eq!(&out.stage(j)[4..8], &table.stage(j)[4..8], "stage {j}");
+            // The sibling block's slice stays untouched.
+            assert_eq!(&out.stage(j)[..4], &[SwitchSetting::Parallel; 4]);
+        }
+        // Scatter phase of the same level is a distinct region.
+        let mut other = RbnSettings::identity(n);
+        plan.load_phase(2, PHASE_SCATTER, 8, 8, &mut other);
+        assert_eq!(other, RbnSettings::identity(n));
+        // Final settings live past every level region.
+        plan.set_final(7, SwitchSetting::LowerBroadcast);
+        assert_eq!(plan.final_setting(7), SwitchSetting::LowerBroadcast);
+        assert_eq!(plan.final_setting(0), SwitchSetting::Parallel);
+    }
+
+    #[test]
+    fn captured_plan_is_one_compact_allocation() {
+        let plan = CapturedPlan::new(256).unwrap();
+        // 9,088 settings at 2 bits: 284 words = 2,272 bytes.
+        assert_eq!(CapturedPlan::total_settings(256), 9088);
+        assert_eq!(plan.footprint_bytes(), 9088 / 32 * 8);
+    }
+
+    #[test]
+    fn cache_hits_require_full_equality() {
+        let cache = PlanCache::new(4);
+        let a = asg(4, vec![vec![0, 1], vec![], vec![2], vec![3]]);
+        let b = asg(4, vec![vec![2, 3], vec![], vec![0], vec![1]]);
+        let fp = plan_fingerprint(&a);
+        cache.insert(fp, &a, Arc::new(CapturedPlan::new(4).unwrap()));
+        assert!(cache.lookup(fp, &a).is_some());
+        // Same fingerprint key, different assignment: must miss, not
+        // misdeliver a foreign plan.
+        assert!(cache.lookup(fp, &b).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_one_evicts_lru() {
+        let cache = PlanCache::new(1);
+        assert_eq!(cache.capacity(), 1);
+        let a = asg(4, vec![vec![0], vec![], vec![], vec![]]);
+        let b = asg(4, vec![vec![1], vec![], vec![], vec![]]);
+        let (fa, fb) = (plan_fingerprint(&a), plan_fingerprint(&b));
+        assert!(!cache.insert(fa, &a, Arc::new(CapturedPlan::new(4).unwrap())));
+        assert!(cache.insert(fb, &b, Arc::new(CapturedPlan::new(4).unwrap())));
+        assert!(cache.lookup(fa, &a).is_none(), "a was evicted");
+        assert!(cache.lookup(fb, &b).is_some());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_same_assignment_refreshes_instead_of_duplicating() {
+        let cache = PlanCache::new(2);
+        let a = asg(4, vec![vec![0], vec![], vec![], vec![]]);
+        let fp = plan_fingerprint(&a);
+        cache.insert(fp, &a, Arc::new(CapturedPlan::new(4).unwrap()));
+        cache.insert(fp, &a, Arc::new(CapturedPlan::new(4).unwrap()));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().insertions, 1);
+        assert!(cache.footprint_bytes() > 0);
+    }
+}

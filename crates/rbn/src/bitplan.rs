@@ -307,9 +307,12 @@ pub struct SweepScratch {
     tags: TagVec,
     alpha: BitVec,
     eps: BitVec,
+    ones: BitVec,
     gamma: BitVec,
     cur: Vec<usize>,
     next: Vec<usize>,
+    cur_q: Vec<usize>,
+    next_q: Vec<usize>,
 }
 
 impl SweepScratch {
@@ -352,14 +355,26 @@ impl SweepScratch {
         self.tags.footprint_bytes()
             + self.alpha.footprint_bytes()
             + self.eps.footprint_bytes()
+            + self.ones.footprint_bytes()
             + self.gamma.footprint_bytes()
-            + (self.cur.capacity() + self.next.capacity()) * std::mem::size_of::<usize>()
+            + (self.cur.capacity()
+                + self.next.capacity()
+                + self.cur_q.capacity()
+                + self.next_q.capacity())
+                * std::mem::size_of::<usize>()
     }
 
     fn ensure_levels(&mut self, len: usize) {
         if self.cur.len() < len {
             self.cur.resize(len, 0);
             self.next.resize(len, 0);
+        }
+    }
+
+    fn ensure_quota_levels(&mut self, len: usize) {
+        if self.cur_q.len() < len {
+            self.cur_q.resize(len, 0);
+            self.next_q.resize(len, 0);
         }
     }
 
@@ -571,6 +586,95 @@ impl SweepScratch {
         self.plan_bitsort(half, base, settings);
         Ok(())
     }
+
+    /// Fused Table 6 + Table 3: the complete quasisort plan (ε-divide, then
+    /// bit-sort with target `len/2`) in a **single** backward wave.
+    ///
+    /// [`SweepScratch::plan_quasisort`] runs two tree sweeps with an `O(n)`
+    /// per-leaf unpack/repack between them: the ε-divide wave materializes
+    /// the γ sort-bit plane leaf by leaf (a branchy per-element pass over the
+    /// tag planes), and the bit-sort wave immediately re-aggregates that
+    /// plane into range counts. The fusion exploits the identity
+    ///
+    /// ```text
+    /// γ(j, b) = n₁(j, b) + (n_ε(j, b) − ε₀(j, b))
+    /// ```
+    ///
+    /// — the sort-bit count under a node is fully determined by the `1`/ε
+    /// range counts (word-parallel popcounts) and the ε₀ quota *already
+    /// travelling down* the ε-divide wave — so both backward phases ride one
+    /// top-down pass and the γ plane is never materialized. Settings and
+    /// error values are bit-for-bit those of
+    /// [`SweepScratch::plan_quasisort`] (pinned by the tests below and by
+    /// the fast-path equivalence suite in `brsmn-core`).
+    ///
+    /// The γ plane is left untouched (stale); use
+    /// [`SweepScratch::plan_quasisort`] when you need to inspect it.
+    pub fn plan_quasisort_fused(
+        &mut self,
+        base: usize,
+        settings: &mut RbnSettings,
+    ) -> Result<(), PlanError> {
+        let sz = self.tags.len();
+        let m = log2_exact(sz) as usize;
+        if let Some(position) = self.tags.first_in_plane(TagPlane::Alpha) {
+            return Err(PlanError::AlphaInQuasisort { position });
+        }
+        let counts = self.counts();
+        if counts.n0 > sz / 2 || counts.n1 > sz / 2 {
+            return Err(PlanError::HalfOverflow {
+                n0: counts.n0,
+                n1: counts.n1,
+                half: sz / 2,
+            });
+        }
+        self.tags.extract_plane(TagPlane::Eps, &mut self.eps);
+        self.tags.extract_plane(TagPlane::One, &mut self.ones);
+        self.ensure_levels(sz);
+        self.ensure_quota_levels(sz);
+        // Root of both waves: the bit-sort target is len/2, and the ε₀ quota
+        // is n_ε − (n/2 − n₁) exactly as in `eps_divide`.
+        self.cur[0] = sz / 2;
+        self.cur_q[0] = counts.ne - (sz / 2 - counts.n1);
+        for j in (1..=m).rev() {
+            let half = 1usize << (j - 1);
+            for b in 0..(sz >> j) {
+                let s_node = self.cur[b];
+                let e0 = self.cur_q[b];
+                let (u_lo, u_hi) = (2 * b * half, (2 * b + 1) * half);
+                // ε-divide split (Table 6): the upper child takes as many ε₀
+                // as it has ε leaves.
+                let upper_eps = self.eps.count_range(u_lo, u_hi);
+                let u_e0 = e0.min(upper_eps);
+                // Bit-sort forward value (Table 3) without the γ plane:
+                // sort-down leaves under the upper child are its 1s plus its
+                // ε₁s, and ε₁ = ε − ε₀.
+                let l0 = self.ones.count_range(u_lo, u_hi) + (upper_eps - u_e0);
+                let s0 = s_node % half;
+                let s1 = (s_node + l0) % half;
+                let bset = ((s_node + l0) / half) % 2;
+                let (b_val, b_comp) = if bset == 1 {
+                    (SwitchSetting::Crossing, SwitchSetting::Parallel)
+                } else {
+                    (SwitchSetting::Parallel, SwitchSetting::Crossing)
+                };
+                binary_compact_setting_into(
+                    settings.block_mut(j - 1, (base >> j) + b),
+                    0,
+                    s1,
+                    b_comp,
+                    b_val,
+                );
+                self.next[2 * b] = s0;
+                self.next[2 * b + 1] = s1;
+                self.next_q[2 * b] = u_e0;
+                self.next_q[2 * b + 1] = e0 - u_e0;
+            }
+            std::mem::swap(&mut self.cur, &mut self.next);
+            std::mem::swap(&mut self.cur_q, &mut self.next_q);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -768,5 +872,102 @@ mod tests {
         scratch.plan_quasisort(0, &mut got).unwrap();
         let (_, sort) = crate::plan::plan_quasisort(&tags).unwrap();
         assert_eq!(got, sort.settings);
+    }
+
+    #[test]
+    fn fused_quasisort_matches_two_sweep_exhaustively_n8() {
+        // Every 0/1/ε pattern of length 8 (α is rejected by both paths).
+        let n = 8;
+        let mut scratch = SweepScratch::new();
+        for pattern in 0..3usize.pow(n as u32) {
+            let tags: Vec<Tag> = (0..n)
+                .map(|i| match pattern / 3usize.pow(i as u32) % 3 {
+                    0 => Tag::Zero,
+                    1 => Tag::One,
+                    _ => Tag::Eps,
+                })
+                .collect();
+            let mut want = RbnSettings::identity(n);
+            scratch.set_tags(n, |i| tags[i]);
+            let want_res = scratch.plan_quasisort(0, &mut want);
+            let mut got = RbnSettings::identity(n);
+            scratch.set_tags(n, |i| tags[i]);
+            let got_res = scratch.plan_quasisort_fused(0, &mut got);
+            assert_eq!(got_res, want_res, "tags={tags:?}");
+            if want_res.is_ok() {
+                assert_eq!(got, want, "tags={tags:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_quasisort_matches_two_sweep_randomized() {
+        let mut scratch = SweepScratch::new();
+        let mut state = 0xD1B54A32D192ED03u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [2usize, 16, 64, 256, 1024] {
+            let mut checked = 0;
+            while checked < 25 {
+                let tags: Vec<Tag> = (0..n)
+                    .map(|_| match rng() % 4 {
+                        0 => Tag::Zero,
+                        1 => Tag::One,
+                        _ => Tag::Eps,
+                    })
+                    .collect();
+                let mut want = RbnSettings::identity(n);
+                scratch.set_tags(n, |i| tags[i]);
+                if scratch.plan_quasisort(0, &mut want).is_err() {
+                    continue;
+                }
+                let mut got = RbnSettings::identity(n);
+                scratch.set_tags(n, |i| tags[i]);
+                scratch.plan_quasisort_fused(0, &mut got).unwrap();
+                assert_eq!(got, want, "n={n}");
+                checked += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn fused_quasisort_rejects_like_two_sweep() {
+        let mut scratch = SweepScratch::new();
+        let mut table = RbnSettings::identity(2);
+        scratch.set_tags(2, |i| if i == 0 { Tag::Alpha } else { Tag::Eps });
+        assert_eq!(
+            scratch.plan_quasisort_fused(0, &mut table).unwrap_err(),
+            PlanError::AlphaInQuasisort { position: 0 }
+        );
+        use Tag::*;
+        let tags = [One, One, One, Eps];
+        let mut table = RbnSettings::identity(4);
+        scratch.set_tags(4, |i| tags[i]);
+        assert!(matches!(
+            scratch.plan_quasisort_fused(0, &mut table).unwrap_err(),
+            PlanError::HalfOverflow { n1: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn fused_quasisort_writes_at_block_offsets() {
+        use Tag::*;
+        let tags = [One, Eps, Zero, Eps];
+        let mut scratch = SweepScratch::new();
+        let mut table = RbnSettings::identity(8);
+        scratch.set_tags(4, |i| tags[i]);
+        scratch.plan_quasisort_fused(0, &mut table).unwrap();
+        let mut want = RbnSettings::identity(8);
+        scratch.set_tags(4, |i| tags[i]);
+        scratch.plan_quasisort(0, &mut want).unwrap();
+        assert_eq!(table, want);
+        // The other block's slice stays identity.
+        for j in 0..2 {
+            assert_eq!(&table.stage(j)[2..4], &[SwitchSetting::Parallel; 2]);
+        }
     }
 }

@@ -45,6 +45,7 @@ pub mod bitplan;
 pub mod distributed;
 pub mod fabric;
 pub mod network;
+pub mod packed;
 pub mod par;
 pub mod plan;
 pub mod sequence;
@@ -56,6 +57,7 @@ pub use distributed::{
 };
 pub use fabric::{clone_split, RbnSettings, RbnWiring};
 pub use network::{BitSortingRbn, QuasisortRbn, RbnError, ScatterRbn};
+pub use packed::{setting_code, setting_from_code, PackedSettings};
 pub use plan::{
     eps_divide, plan_bitsort, plan_quasisort, plan_scatter, BitsortPlan, DomType, EpsDividePlan,
     PlanError, ScatterNode, ScatterPlan,

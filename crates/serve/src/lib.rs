@@ -146,6 +146,12 @@ pub struct ServeConfig {
     /// Record each request's delivered [`RoutingResult`] in the report's
     /// completion log (memory-heavy; meant for tests and small traces).
     pub record_outputs: bool,
+    /// Capacity of the plan-capture cache shared by the BRSMN backend's
+    /// shards (`0` disables; ignored by the other backends). Repeated
+    /// assignments — the common case for serving traffic with hot
+    /// source/destination pairs — then replay their captured switch
+    /// settings instead of re-planning.
+    pub plan_cache: usize,
 }
 
 impl ServeConfig {
@@ -165,6 +171,7 @@ impl ServeConfig {
             batch_window: 32,
             backend: BackendKind::Brsmn,
             record_outputs: false,
+            plan_cache: 0,
         }
     }
 
@@ -401,6 +408,12 @@ pub struct ServeReport {
     pub wall_nanos: u64,
     /// Served requests per second of serving-thread wall time.
     pub frames_per_sec: f64,
+    /// Served requests whose switch settings replayed from the plan cache
+    /// (0 with the cache off or a non-BRSMN backend).
+    pub plan_hits: u64,
+    /// Fast-path requests that planned fresh (and captured) because their
+    /// assignment was not resident in the plan cache.
+    pub plan_misses: u64,
     /// Headline latency figures.
     pub latency: LatencySummary,
     /// Full log₂ latency histogram.
@@ -448,7 +461,7 @@ impl Fabric {
             BackendKind::Brsmn => Ok(Fabric::Sharded(ShardedEngine::with_config(
                 n,
                 cfg.shards,
-                EngineConfig::batch(cfg.workers_per_shard),
+                EngineConfig::batch(cfg.workers_per_shard).with_plan_cache(cfg.plan_cache),
             )?)),
             BackendKind::Reference => {
                 make_shards(&|| Ok(Box::new(ReferenceRouter::new(n)?) as Box<dyn RouterBackend>))
@@ -689,6 +702,8 @@ impl Server {
             rounds: outcome.rounds,
             wall_nanos: outcome.wall_nanos,
             frames_per_sec,
+            plan_hits: engine.plan_hits,
+            plan_misses: engine.plan_misses,
             latency: LatencySummary::from_histogram(&outcome.histogram),
             histogram: outcome.histogram,
             engine,
@@ -965,6 +980,47 @@ mod tests {
             assert_eq!(kind.label().parse::<BackendKind>().unwrap(), kind);
         }
         assert!("warp-drive".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn plan_cache_hits_surface_in_the_report() {
+        // The same hot request resubmitted: after the first capture, every
+        // repeat replays from the shared cache, and the outputs match a
+        // cache-less server bit for bit.
+        let mut cached = small_cfg(16);
+        cached.shards = 2;
+        cached.plan_cache = 64;
+        cached.record_outputs = true;
+        let mut plain = cached;
+        plain.plan_cache = 0;
+
+        let submit_all = |cfg: ServeConfig| {
+            let mut server = Server::start(cfg).unwrap();
+            for i in 0..32 {
+                server.submit(i % 4, &[(i % 4 + 5) % 16, (i % 4 + 9) % 16]).unwrap();
+            }
+            server.shutdown()
+        };
+        let a = submit_all(cached);
+        let b = submit_all(plain);
+        assert!(a.conserves(), "{a:?}");
+        assert_eq!(a.served_ok, 32);
+        // 4 distinct assignments; each shard-visible first occurrence can
+        // miss, everything else must hit.
+        assert!(a.plan_misses >= 4 && a.plan_misses <= 8, "{}", a.plan_misses);
+        assert_eq!(a.plan_hits + a.plan_misses, 32);
+        assert_eq!(b.plan_hits, 0);
+        assert_eq!(b.plan_misses, 0);
+        let key = |r: &ServeReport| {
+            let mut v: Vec<(u64, RoutingResult)> = r
+                .completions
+                .iter()
+                .map(|c| (c.id, c.result.clone().unwrap()))
+                .collect();
+            v.sort_by_key(|(id, _)| *id);
+            v
+        };
+        assert_eq!(key(&a), key(&b));
     }
 
     #[test]
