@@ -1,0 +1,78 @@
+//! Acceptance gate for the canonical cache tier on churn traffic: a batch
+//! where **every frame is a distinct relabeling of one shape** never hits
+//! the exact tier after the first frame, yet rides the canonical tier for
+//! everything else — and the permuted replay stays bit-identical to a
+//! cache-less engine. This is the workload the exact tier is blind to
+//! (every fingerprint is new) and the canonical tier was built for.
+
+use std::sync::Arc;
+
+use brsmn_bench::dense_workload;
+use brsmn_core::{
+    relabel_inputs, relabel_outputs, Engine, EngineConfig, MulticastAssignment, PlanCache,
+};
+
+/// `frames` distinct relabelings of one dense shape: frame `k` rotates
+/// both port spaces by `k` (rotations of `0..n` are distinct for distinct
+/// `k < n`, and a dense frame pins the rotation in the assignment).
+fn churn_batch(n: usize, frames: usize, seed: u64) -> Vec<MulticastAssignment> {
+    let base = dense_workload(n, seed);
+    (0..frames)
+        .map(|k| {
+            let rot: Vec<usize> = (0..n).map(|i| (i + k) % n).collect();
+            relabel_inputs(&relabel_outputs(&base, &rot), &rot)
+        })
+        .collect()
+}
+
+#[test]
+fn churn_traffic_rides_the_canonical_tier_bit_identically() {
+    let n = 256;
+    let frames = 24;
+    let batch = churn_batch(n, frames, 11);
+    assert!(
+        batch.windows(2).all(|w| w[0] != w[1]),
+        "churn frames must be pairwise distinct"
+    );
+
+    let plain = Engine::with_config(n, EngineConfig::sequential()).unwrap();
+    let cached = Engine::with_config(n, EngineConfig::sequential().with_plan_cache(64)).unwrap();
+    let want = plain.route_batch(&batch);
+    let got = cached.route_batch(&batch);
+    for (frame, (a, b)) in want.results.iter().zip(&got.results).enumerate() {
+        assert_eq!(
+            a.as_ref().unwrap(),
+            b.as_ref().unwrap(),
+            "frame {frame} diverged from the cache-less engine"
+        );
+    }
+
+    // Exact tier: blind (one miss, zero hits). Canonical tier: everything.
+    assert_eq!(got.stats.plan_misses, 1, "one capture seeds the class");
+    assert_eq!(got.stats.plan_exact_hits, 0, "every fingerprint is new");
+    assert_eq!(got.stats.plan_canonical_hits, frames as u64 - 1);
+    assert_eq!(got.stats.plan_hits, frames as u64 - 1);
+
+    // Replay skipped the planner: far fewer sweep passes than fresh work.
+    assert!(
+        got.stats.stages.sweep_passes < want.stats.stages.sweep_passes,
+        "canonical replay must skip planning ({} >= {})",
+        got.stats.stages.sweep_passes,
+        want.stats.stages.sweep_passes
+    );
+
+    // Snapshot-warmed engine: first pass over the same churn replays
+    // everything — zero fresh planning.
+    let snap = cached.plan_cache().unwrap().snapshot();
+    let warmed = Arc::new(PlanCache::new(64));
+    assert_eq!(warmed.load_snapshot(&snap).unwrap().loaded, 1);
+    let mut warm_engine =
+        Engine::with_config(n, EngineConfig::sequential().with_plan_cache(64)).unwrap();
+    warm_engine.share_plan_cache(warmed);
+    let warm = warm_engine.route_batch(&batch);
+    assert_eq!(warm.stats.plan_misses, 0, "warm start plans nothing");
+    assert_eq!(warm.stats.plan_hits, frames as u64);
+    for (a, b) in want.results.iter().zip(&warm.results) {
+        assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+    }
+}

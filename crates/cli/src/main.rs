@@ -13,13 +13,14 @@
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use brsmn_baselines::{ChengChenNetwork, CopyBenesMulticast, Crossbar};
 use brsmn_core::{
     metrics, render_trace, Brsmn, Engine, EngineConfig, FeedbackBrsmn, MulticastAssignment,
-    RoutingResult, TagTree,
+    PlanCache, PlanCacheSnapshot, RoutingResult, TagTree,
 };
-use brsmn_serve::{serve_trace, BackendKind, ServeConfig, Trace};
+use brsmn_serve::{serve_trace, serve_trace_warm, BackendKind, ServeConfig, Trace};
 use brsmn_sim::{brsmn_routing_time, feedback_routing_time, run_single_fault_campaign};
 use brsmn_workloads::{
     barrier_broadcast, even_conferences, random_multicast, random_permutation, replica_update,
@@ -49,10 +50,12 @@ fn usage() -> &'static str {
        route  (--file F | --n N --workload W [--seed S])\n\
               [--engine E] [--trace]                    route an assignment\n\
        route  --parallel [--batch B] [--workers K] [--fork-depth D] [--no-scratch]\n\
-              [--cache [CAP]] [--stats]\n\
-              batched multi-threaded routing; --cache replays repeated frames\n\
-              from the plan-capture cache (default capacity 256); --stats\n\
-              prints EngineStats JSON; an output hash goes to stderr\n\
+              [--cache [CAP]] [--cache-load F] [--cache-save F] [--stats]\n\
+              batched multi-threaded routing; --cache replays repeated (or\n\
+              relabeled) frames from the two-tier plan cache (default capacity\n\
+              256); --cache-load/--cache-save persist the working set as a\n\
+              snapshot JSON (each implies --cache); --stats prints EngineStats\n\
+              JSON; an output hash goes to stderr\n\
        info   --n N                                     cost/depth/time sheet\n\
        seq    --n N --dests A,B,C                       routing-tag sequence\n\
        faults --n N [--faults F] [--frames K] [--seed S] [--json] [--per-fault]\n\
@@ -61,7 +64,10 @@ fn usage() -> &'static str {
               [--save-trace OUT] | --trace-file F)\n\
               [--shards S] [--workers W] [--capacity C] [--batch-window B]\n\
               [--backend B] [--record-outputs] [--plan-cache CAP]\n\
+              [--cache-load F] [--cache-save F]\n\
               replay a workload trace through the sharded serving loop;\n\
+              --cache-load warm-starts the plan cache from a snapshot and\n\
+              --cache-save persists it after the run (brsmn backend only);\n\
               prints the JSON ServeReport on stdout, a summary on stderr\n\
      workloads: dense | sparse | broadcast | permutation | conferences | replicas\n\
      engines:   semantic | self-routing | feedback | classical | crossbar | chengchen\n\
@@ -85,6 +91,27 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+/// Reads a [`PlanCacheSnapshot`] JSON file into `cache`, returning how many
+/// plans survived validation (a corrupt file is a typed error, not a panic).
+fn load_cache_snapshot(cache: &PlanCache, path: &str) -> Result<u64, String> {
+    let buf = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let snap: PlanCacheSnapshot =
+        serde_json::from_str(&buf).map_err(|e| format!("parse {path}: {e}"))?;
+    let stats = cache
+        .load_snapshot(&snap)
+        .map_err(|e| format!("{path}: {e}"))?;
+    Ok(stats.loaded)
+}
+
+/// Writes `cache`'s exact-tier working set to `path` as snapshot JSON,
+/// returning how many plans were persisted.
+fn save_cache_snapshot(cache: &PlanCache, path: &str) -> Result<usize, String> {
+    let snap = cache.snapshot();
+    let json = serde_json::to_string(&snap).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    Ok(snap.entries.len())
 }
 
 fn load_workload(args: &Args) -> Result<MulticastAssignment, String> {
@@ -230,10 +257,13 @@ fn cmd_route_parallel(args: &Args) -> Result<(), String> {
     let n = batch[0].n();
 
     // --cache alone turns the plan cache on at the default capacity;
-    // --cache CAP (or --cache=CAP) sizes it explicitly.
+    // --cache CAP (or --cache=CAP) sizes it explicitly. --cache-load /
+    // --cache-save imply the cache (snapshots need one to live in).
+    let cache_load = args.get("cache-load").map(str::to_string);
+    let cache_save = args.get("cache-save").map(str::to_string);
     let plan_cache: usize = match args.get_parse::<usize>("cache")? {
         Some(cap) => cap,
-        None if args.flag("cache") => 256,
+        None if args.flag("cache") || cache_load.is_some() || cache_save.is_some() => 256,
         None => 0,
     };
     let cfg = EngineConfig {
@@ -245,7 +275,19 @@ fn cmd_route_parallel(args: &Args) -> Result<(), String> {
         use_scratch: !args.flag("no-scratch"),
         plan_cache,
     };
-    let engine = Engine::with_config(n, cfg).map_err(|e| e.to_string())?;
+    let mut engine = Engine::with_config(n, cfg).map_err(|e| e.to_string())?;
+    // Snapshot persistence wants a cache handle that outlives the engine.
+    let cache: Option<Arc<PlanCache>> = if plan_cache > 0 {
+        let cache = Arc::new(PlanCache::new(plan_cache));
+        if let Some(path) = &cache_load {
+            let loaded = load_cache_snapshot(&cache, path)?;
+            eprintln!("plan cache: warm-started with {loaded} plan(s) from {path}");
+        }
+        engine.share_plan_cache(Arc::clone(&cache));
+        Some(cache)
+    } else {
+        None
+    };
     let engine_name = args.get("engine").unwrap_or("semantic");
     let out = match engine_name {
         "semantic" => engine.route_batch(&batch),
@@ -287,9 +329,19 @@ fn cmd_route_parallel(args: &Args) -> Result<(), String> {
     );
     if plan_cache > 0 {
         eprintln!(
-            "plan cache: {} hits, {} misses, {} evictions, {} resident bytes",
-            stats.plan_hits, stats.plan_misses, stats.plan_evictions, stats.plan_cache_bytes
+            "plan cache: {} hits ({} exact, {} canonical), {} misses, {} evictions, \
+             {} resident bytes",
+            stats.plan_hits,
+            stats.plan_exact_hits,
+            stats.plan_canonical_hits,
+            stats.plan_misses,
+            stats.plan_evictions,
+            stats.plan_cache_bytes
         );
+    }
+    if let (Some(cache), Some(path)) = (&cache, &cache_save) {
+        let saved = save_cache_snapshot(cache, path)?;
+        eprintln!("plan cache: {saved} plan(s) saved to {path}");
     }
     // FNV-1a over every frame's delivered source table — two runs routed the
     // same batch identically iff the hashes match (the CI cache-smoke step
@@ -468,11 +520,50 @@ fn cmd_serve_sim(args: &Args) -> Result<(), String> {
         cfg.backend = backend.parse::<BackendKind>()?;
     }
     cfg.record_outputs = args.flag("record-outputs");
-    if let Some(cap) = args.get_parse::<usize>("plan-cache")? {
-        cfg.plan_cache = cap;
-    }
+    let cache_load = args.get("cache-load").map(str::to_string);
+    let cache_save = args.get("cache-save").map(str::to_string);
+    cfg.plan_cache = match args.get_parse::<usize>("plan-cache")? {
+        Some(cap) => cap,
+        // Snapshot flags imply a cache at the default capacity.
+        None if cache_load.is_some() || cache_save.is_some() => 256,
+        None => cfg.plan_cache,
+    };
 
-    let report = serve_trace(cfg, &trace).map_err(|e| e.to_string())?;
+    // Snapshot persistence holds the cache outside the server so the
+    // working set can be loaded before serving and saved after.
+    let cache: Option<Arc<PlanCache>> = if cfg.plan_cache > 0
+        && (cache_load.is_some() || cache_save.is_some())
+    {
+        let cache = Arc::new(PlanCache::new(cfg.plan_cache));
+        if let Some(path) = &cache_load {
+            let loaded = load_cache_snapshot(&cache, path)?;
+            eprintln!("plan cache: warm-started with {loaded} plan(s) from {path}");
+        }
+        Some(cache)
+    } else {
+        None
+    };
+
+    let report = match &cache {
+        Some(cache) => {
+            serve_trace_warm(cfg, &trace, Arc::clone(cache)).map_err(|e| e.to_string())?
+        }
+        None => serve_trace(cfg, &trace).map_err(|e| e.to_string())?,
+    };
+
+    if cfg.plan_cache > 0 {
+        eprintln!(
+            "plan cache: {} hits ({} canonical), {} misses, {} snapshot-loaded",
+            report.plan_hits,
+            report.plan_canonical_hits,
+            report.plan_misses,
+            report.plan_snapshot_loaded
+        );
+    }
+    if let (Some(cache), Some(path)) = (&cache, &cache_save) {
+        let saved = save_cache_snapshot(cache, path)?;
+        eprintln!("plan cache: {saved} plan(s) saved to {path}");
+    }
 
     eprintln!(
         "served {}/{} requests ({} drained, {} rejected) on {} shard(s), backend `{}`: \

@@ -48,6 +48,21 @@ pub fn restrict(
 
 /// Output relabeling: applies the permutation `perm` (a bijection on
 /// `0..n`) to every destination: `d ↦ perm[d]`.
+///
+/// Together with [`relabel_inputs`] this generates the relabeling
+/// equivalence the plan cache's canonical tier keys on
+/// ([`crate::canonicalize`]): two assignments that differ only by port
+/// relabelings share one captured plan.
+///
+/// ```
+/// use brsmn_core::{relabel_outputs, MulticastAssignment};
+///
+/// let a = MulticastAssignment::from_sets(4, vec![vec![0, 2], vec![3], vec![], vec![]]).unwrap();
+/// let rotate: Vec<usize> = (0..4).map(|d| (d + 1) % 4).collect();
+/// let b = relabel_outputs(&a, &rotate);
+/// assert_eq!(b.dests(0), &[1, 3]); // 0 ↦ 1, 2 ↦ 3
+/// assert_eq!(b.dests(1), &[0]);    // 3 ↦ 0
+/// ```
 pub fn relabel_outputs(a: &MulticastAssignment, perm: &[usize]) -> MulticastAssignment {
     let n = a.n();
     assert_eq!(perm.len(), n);
@@ -58,6 +73,22 @@ pub fn relabel_outputs(a: &MulticastAssignment, perm: &[usize]) -> MulticastAssi
 }
 
 /// Input relabeling: moves input `i`'s destination set to input `perm[i]`.
+///
+/// Fanouts are preserved, so relabeling never changes an assignment's
+/// canonical representative ([`crate::canonicalize`]) — the property the
+/// plan cache's canonical tier exploits to replay one captured plan for a
+/// whole relabeling class.
+///
+/// ```
+/// use brsmn_core::{canonicalize, relabel_inputs, MulticastAssignment};
+///
+/// let a = MulticastAssignment::from_sets(4, vec![vec![1, 2], vec![], vec![0], vec![]]).unwrap();
+/// let swap = vec![3usize, 1, 0, 2]; // input 0 ↦ 3, input 2 ↦ 0
+/// let b = relabel_inputs(&a, &swap);
+/// assert_eq!(b.dests(3), &[1, 2]);
+/// assert_eq!(b.dests(0), &[0]);
+/// assert_eq!(canonicalize(&a).canonical, canonicalize(&b).canonical);
+/// ```
 pub fn relabel_inputs(a: &MulticastAssignment, perm: &[usize]) -> MulticastAssignment {
     let n = a.n();
     assert_eq!(perm.len(), n);

@@ -248,6 +248,47 @@ impl Brsmn {
         Ok((r, trace))
     }
 
+    /// Replays a plan captured for a **relabeling** of `asg`: live input
+    /// `i` enters the plan at `input_map[i]`, live output `d` reads its
+    /// delivery from `output_map[d]` (both bijections on `0..n`, typically
+    /// composed from two [`crate::canonicalize`] runs — see
+    /// [`crate::PlanCache::lookup_canonical`], which hands back exactly
+    /// these maps). The result is bit-identical to fresh planning of `asg`
+    /// itself; an inconsistent plan/permutation combination fails delivery
+    /// verification rather than misrouting silently.
+    pub fn route_replay_permuted(
+        &self,
+        asg: &MulticastAssignment,
+        plan: &CapturedPlan,
+        input_map: &[usize],
+        output_map: &[usize],
+        scratch: &mut RouteScratch,
+    ) -> Result<RoutingResult, CoreError> {
+        for (name, map) in [("input_map", input_map), ("output_map", output_map)] {
+            let mut seen = vec![false; self.n];
+            if map.len() != self.n
+                || !map.iter().all(|&p| {
+                    p < self.n && !std::mem::replace(&mut seen[p.min(self.n - 1)], true)
+                })
+            {
+                return Err(CoreError::Config(format!(
+                    "{name} is not a permutation of 0..{}",
+                    self.n
+                )));
+            }
+        }
+        fastpath::route_assignment_replay_permuted(
+            self.n,
+            &self.wiring,
+            asg,
+            plan,
+            input_map,
+            output_map,
+            scratch,
+            None,
+        )
+    }
+
     /// Routes `asg` with the PR-1 allocating reference engine (recursive,
     /// payload-splitting, array planners). Kept verbatim as the oracle for
     /// the fast path and as the engine's `--no-scratch` escape hatch.

@@ -279,18 +279,32 @@ pub struct EngineStats {
     /// Largest per-worker scratch-arena footprint observed, bytes (0 on the
     /// reference path).
     pub scratch_bytes: u64,
-    /// Frames served by replaying a captured plan from the [`PlanCache`]
-    /// (0 when [`EngineConfig::plan_cache`] is 0).
+    /// Frames served by replaying a captured plan from the [`PlanCache`] —
+    /// exact and canonical tiers combined (0 when
+    /// [`EngineConfig::plan_cache`] is 0).
     pub plan_hits: u64,
-    /// Fast-path frames that missed the plan cache and planned fresh while
-    /// capturing (equals `fastpath_frames` when the cache is cold or off).
+    /// Fast-path frames that missed both cache tiers and planned fresh
+    /// while capturing (equals `fastpath_frames` when the cache is cold or
+    /// off).
     pub plan_misses: u64,
+    /// The subset of `plan_hits` served by the exact tier (the stored
+    /// assignment equalled the frame's).
+    pub plan_exact_hits: u64,
+    /// The subset of `plan_hits` served by the canonical tier: the frame
+    /// was a *relabeling* of a cached plan's assignment, replayed through
+    /// the permuted executor.
+    pub plan_canonical_hits: u64,
     /// Captured plans evicted from the cache during this batch (LRU
-    /// pressure; 0 until the cache overflows its capacity).
+    /// pressure across both tiers; 0 until the cache overflows its
+    /// capacity).
     pub plan_evictions: u64,
     /// Resident footprint of the plan cache at the end of the batch, bytes
     /// (packed setting planes plus keys; 0 with the cache off).
     pub plan_cache_bytes: u64,
+    /// Plans the cache was warm-started with from a persisted snapshot
+    /// (cumulative over the cache's lifetime; 0 without
+    /// `PlanCache::load_snapshot`).
+    pub plan_snapshot_loaded: u64,
 }
 
 impl EngineStats {
@@ -331,8 +345,11 @@ impl EngineStats {
             scratch_bytes: 0,
             plan_hits: 0,
             plan_misses: 0,
+            plan_exact_hits: 0,
+            plan_canonical_hits: 0,
             plan_evictions: 0,
             plan_cache_bytes: 0,
+            plan_snapshot_loaded: 0,
         }
     }
 
@@ -363,8 +380,13 @@ impl EngineStats {
         self.scratch_bytes = self.scratch_bytes.max(other.scratch_bytes);
         self.plan_hits += other.plan_hits;
         self.plan_misses += other.plan_misses;
+        self.plan_exact_hits += other.plan_exact_hits;
+        self.plan_canonical_hits += other.plan_canonical_hits;
         self.plan_evictions += other.plan_evictions;
         self.plan_cache_bytes = self.plan_cache_bytes.max(other.plan_cache_bytes);
+        // Snapshot loads are a cache-lifetime tally shared by every shard
+        // holding the cache, so max (like the footprint), not sum.
+        self.plan_snapshot_loaded = self.plan_snapshot_loaded.max(other.plan_snapshot_loaded);
     }
 }
 
@@ -513,14 +535,17 @@ impl Engine {
 
     /// The fast-path batch driver: one thread-local [`RouteScratch`] per
     /// worker, zero heap allocation per frame after warm-up (one `Vec` per
-    /// result aside). With a [`PlanCache`] configured, each frame first
-    /// looks its assignment fingerprint up: a hit replays the captured
-    /// setting planes (no planner sweeps at all), a miss plans fresh while
-    /// capturing the plan and inserts it for the next occurrence.
+    /// result aside). With a [`PlanCache`] configured, each frame probes
+    /// two tiers: the assignment fingerprint first (an exact hit replays
+    /// the captured setting planes verbatim — no planner sweeps at all),
+    /// then the canonical relabeling class (a canonical hit replays a
+    /// class member's plan through the permuted executor). A miss in both
+    /// plans fresh while capturing, and inserts the capture into both
+    /// tiers for the next occurrence — exact or relabeled.
     fn route_batch_fast(&self, batch: &[MulticastAssignment]) -> BatchOutput {
         use crate::fastpath::{
             route_assignment_fast_buffered, route_assignment_replay_buffered,
-            with_thread_scratch,
+            route_assignment_replay_permuted, with_thread_scratch,
         };
         let n = self.net.n();
         let workers = par::effective_workers(self.cfg.workers).min(batch.len().max(1));
@@ -530,7 +555,7 @@ impl Engine {
         let frames = par::par_map(batch, workers, |_idx, asg| {
             let frame_start = Instant::now();
             let mut timer = StageTimer::new();
-            let (mut hit, mut miss, mut evict) = (0u64, 0u64, 0u64);
+            let (mut exact_hit, mut canon_hit, mut miss, mut evict) = (0u64, 0u64, 0u64, 0u64);
             let (result, bytes) = with_thread_scratch(n, |scratch| {
                 let r = match cache {
                     None => route_assignment_fast_buffered(
@@ -545,7 +570,7 @@ impl Engine {
                     Some(cache) => {
                         let fp = plan_fingerprint(asg);
                         if let Some(plan) = cache.lookup(fp, asg) {
-                            hit = 1;
+                            exact_hit = 1;
                             route_assignment_replay_buffered(
                                 n,
                                 self.net.wiring(),
@@ -553,6 +578,20 @@ impl Engine {
                                 &plan,
                                 scratch,
                                 None,
+                                Some(&mut timer),
+                            )
+                        } else if let Some(hit) =
+                            cache.lookup_canonical(&crate::canonical::canonicalize(asg))
+                        {
+                            canon_hit = 1;
+                            route_assignment_replay_permuted(
+                                n,
+                                self.net.wiring(),
+                                asg,
+                                &hit.plan,
+                                &hit.input_map,
+                                &hit.output_map,
+                                scratch,
                                 Some(&mut timer),
                             )
                         } else {
@@ -569,8 +608,19 @@ impl Engine {
                                         Some(&mut timer),
                                         Some(&mut plan),
                                     );
-                                    if r.is_ok() && cache.insert(fp, asg, Arc::new(plan)) {
-                                        evict = 1;
+                                    if r.is_ok() {
+                                        let plan = Arc::new(plan);
+                                        if cache.insert(fp, asg, Arc::clone(&plan)) {
+                                            evict = 1;
+                                        }
+                                        // The same capture seeds its whole
+                                        // relabeling class.
+                                        if cache.insert_canonical(
+                                            &crate::canonical::canonicalize(asg),
+                                            plan,
+                                        ) {
+                                            evict = 1;
+                                        }
                                     }
                                     r
                                 }
@@ -585,7 +635,8 @@ impl Engine {
                 timer,
                 frame_start.elapsed().as_nanos() as u64,
                 bytes,
-                hit,
+                exact_hit,
+                canon_hit,
                 miss,
                 evict,
             )
@@ -597,12 +648,14 @@ impl Engine {
         let mut scratch_bytes = 0u64;
         let mut results = Vec::with_capacity(frames.len());
         let (mut frames_ok, mut frames_failed) = (0usize, 0usize);
-        let (mut plan_hits, mut plan_misses, mut plan_evictions) = (0u64, 0u64, 0u64);
-        for (result, timer, frame_nanos, bytes, hit, miss, evict) in frames {
+        let (mut plan_exact_hits, mut plan_canonical_hits) = (0u64, 0u64);
+        let (mut plan_misses, mut plan_evictions) = (0u64, 0u64);
+        for (result, timer, frame_nanos, bytes, exact_hit, canon_hit, miss, evict) in frames {
             stages.merge(&timer);
             busy_nanos += frame_nanos;
             scratch_bytes = scratch_bytes.max(bytes);
-            plan_hits += hit;
+            plan_exact_hits += exact_hit;
+            plan_canonical_hits += canon_hit;
             plan_misses += miss;
             plan_evictions += evict;
             match &result {
@@ -628,10 +681,13 @@ impl Engine {
                 busy_nanos,
                 fastpath_frames: batch.len() as u64,
                 scratch_bytes,
-                plan_hits,
+                plan_hits: plan_exact_hits + plan_canonical_hits,
                 plan_misses,
+                plan_exact_hits,
+                plan_canonical_hits,
                 plan_evictions,
                 plan_cache_bytes: cache.map_or(0, |c| c.footprint_bytes() as u64),
+                plan_snapshot_loaded: cache.map_or(0, |c| c.stats().snapshot_loaded),
             },
         }
     }
@@ -729,8 +785,11 @@ impl Engine {
                     scratch_bytes: 0,
                     plan_hits: 0,
                     plan_misses: 0,
+                    plan_exact_hits: 0,
+                    plan_canonical_hits: 0,
                     plan_evictions: 0,
                     plan_cache_bytes: 0,
+                    plan_snapshot_loaded: 0,
                 },
             },
             outcomes,
@@ -792,8 +851,11 @@ impl Engine {
                 scratch_bytes: 0,
                 plan_hits: 0,
                 plan_misses: 0,
+                plan_exact_hits: 0,
+                plan_canonical_hits: 0,
                 plan_evictions: 0,
                 plan_cache_bytes: 0,
+                plan_snapshot_loaded: 0,
             },
         }
     }
@@ -919,6 +981,16 @@ impl ShardedEngine {
     /// The plan cache shared by every shard, if configured.
     pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
         self.shards[0].plan_cache()
+    }
+
+    /// Replaces every shard's plan cache with `cache`, pooling capture and
+    /// replay across the fleet. The usual use is warm-starting: load a
+    /// [`PlanCacheSnapshot`](crate::plancache::PlanCacheSnapshot) into a
+    /// cache before serving and hand it to the engine here.
+    pub fn share_plan_cache(&mut self, cache: Arc<PlanCache>) {
+        for shard in &mut self.shards {
+            shard.share_plan_cache(Arc::clone(&cache));
+        }
     }
 
     /// Routes a batch striped round-robin across the shards; results come
@@ -1242,14 +1314,12 @@ mod tests {
     #[test]
     fn plan_cache_capacity_pressure_evicts_and_stays_correct() {
         let n = 16;
+        // Distinct fanouts put every frame in its own relabeling class, so
+        // neither the exact nor the canonical tier can absorb the churn.
         let distinct: Vec<MulticastAssignment> = (0..6)
             .map(|f| {
                 let mut sets = vec![Vec::new(); n];
-                sets[f] = vec![(f * 3) % n, (f * 5 + 1) % n, (f * 7 + 2) % n]
-                    .into_iter()
-                    .collect::<std::collections::BTreeSet<_>>()
-                    .into_iter()
-                    .collect();
+                sets[f] = (0..=f).map(|k| (f * 3 + k) % n).collect();
                 MulticastAssignment::from_sets(n, sets).unwrap()
             })
             .collect();

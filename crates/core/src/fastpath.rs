@@ -741,6 +741,128 @@ pub(crate) fn route_assignment_replay(
     verify_delivery(asg, lines)
 }
 
+/// Loads a frame's input lines into the arena *through a permutation*:
+/// live input `i`'s message enters at plan-space position `input_map[i]`.
+/// The permuted counterpart of [`init_lines`].
+fn init_lines_permuted(asg: &MulticastAssignment, lines: &mut [FastLine], input_map: &[usize]) {
+    lines.fill(FastLine::EMPTY);
+    for (i, d) in asg.iter() {
+        if d.is_empty() {
+            continue;
+        }
+        lines[input_map[i]] = FastLine {
+            tag: Tag::Eps,
+            src: i as u32,
+            d_lo: 0,
+            d_mid: d.len() as u32,
+            d_hi: d.len() as u32,
+        };
+    }
+}
+
+/// Delivery verification through the output permutation: the message the
+/// plan delivered to plan-space position `output_map[d]` must belong at
+/// *live* output `d` per the live assignment. Exactly as strong as
+/// [`verify_delivery`] — `output_map` is a bijection, so every delivered
+/// line is checked — and the last line of defense against a foreign plan
+/// or an inconsistent permutation pair.
+fn verify_delivery_permuted(
+    asg: &MulticastAssignment,
+    lines: &[FastLine],
+    output_map: &[usize],
+) -> Result<(), CoreError> {
+    for (o, &q) in output_map.iter().enumerate() {
+        let line = &lines[q];
+        if line.src != NO_SRC && asg.dests(line.src as usize).binary_search(&o).is_err() {
+            return Err(CoreError::Internal(format!(
+                "message from input {} misdelivered to output {o} (plan line {q})",
+                line.src
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Replays a plan captured for a *relabeling* of `asg` — the canonical
+/// cache tier's executor. `input_map[i]` / `output_map[d]` give the
+/// plan-space position of live input `i` / live output `d` (both full
+/// bijections on `0..n`, e.g. composed from two [`crate::canonicalize`]
+/// runs by the cache).
+///
+/// The live sources enter at their plan-space positions, the captured
+/// setting planes execute verbatim (same lean decode loops as an exact
+/// replay — no planning, no tag derivation), and each live output reads
+/// its delivered source back through `output_map`. The returned result is
+/// **bit-identical to fresh planning of the live assignment**: a routing
+/// result is a pure function of its assignment (every claimed output
+/// receives exactly its unique owner), and the frame-final permuted
+/// delivery verification rejects any plan/permutation pair that violates
+/// it. The trace/settings side channels are deliberately absent here —
+/// they describe the *representative's* planes (shared by the whole
+/// equivalence class), so traced requests take the fresh path instead.
+pub(crate) fn route_assignment_replay_permuted(
+    n: usize,
+    wiring: &RbnWiring,
+    asg: &MulticastAssignment,
+    plan: &CapturedPlan,
+    input_map: &[usize],
+    output_map: &[usize],
+    scratch: &mut RouteScratch,
+    mut timer: Option<&mut StageTimer>,
+) -> Result<RoutingResult, CoreError> {
+    assert_eq!(asg.n(), n, "assignment size mismatch");
+    if plan.n() != n {
+        return Err(CoreError::Config(format!(
+            "captured plan is for n = {}, network is n = {n}",
+            plan.n()
+        )));
+    }
+    if input_map.len() != n || output_map.len() != n {
+        return Err(CoreError::Config(format!(
+            "permutation length mismatch: maps are {}/{}, network is n = {n}",
+            input_map.len(),
+            output_map.len()
+        )));
+    }
+    scratch.ensure(n);
+    let RouteScratch { lines, .. } = scratch;
+
+    init_lines_permuted(asg, lines, input_map);
+
+    let mut size = n;
+    let mut level = 1;
+    while size > 2 {
+        for b in 0..n / size {
+            let t0 = timer.as_ref().map(|_| Instant::now());
+            replay_bsn_lean(lines, wiring, plan, b * size, size, level);
+            if let (Some(tm), Some(t0)) = (timer.as_deref_mut(), t0) {
+                tm.record_bsn_replay(level, size, t0.elapsed());
+            }
+        }
+        size /= 2;
+        level += 1;
+    }
+
+    for lo in (0..n).step_by(2) {
+        let t0 = timer.as_ref().map(|_| Instant::now());
+        apply_final_setting(lines, lo, plan.final_setting(lo / 2));
+        if let (Some(tm), Some(t0)) = (timer.as_deref_mut(), t0) {
+            tm.record_final(t0.elapsed());
+        }
+    }
+
+    verify_delivery_permuted(asg, lines, output_map)?;
+    Ok(RoutingResult::new(
+        output_map
+            .iter()
+            .map(|&q| match lines[q].src {
+                NO_SRC => None,
+                s => Some(s as usize),
+            })
+            .collect(),
+    ))
+}
+
 /// Replays and collects the result (one `Vec` allocation for the result).
 pub(crate) fn route_assignment_replay_buffered(
     n: usize,

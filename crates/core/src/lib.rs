@@ -23,9 +23,14 @@
 //!   [`RouteScratch`] arenas over the packed-word planners of `brsmn-rbn`;
 //! * [`plancache`] — plan capture and replay: the self-routing property
 //!   makes settings a pure function of the assignment, so a routed frame's
-//!   full setting tensor is snapshotted once ([`CapturedPlan`]) and repeated
-//!   assignments replay through a sharded LRU [`PlanCache`] at
-//!   execution-only cost;
+//!   full setting tensor is snapshotted once ([`CapturedPlan`]) and served
+//!   again through a two-tier sharded LRU [`PlanCache`] at execution-only
+//!   cost — exact recurrences replay directly, *relabeled* recurrences
+//!   replay through the canonical tier's permuted executor, and the whole
+//!   working set persists across restarts via snapshots;
+//! * [`canonical`] — canonicalization of assignments up to input/output
+//!   relabeling ([`canonicalize`]), the equivalence the cache's canonical
+//!   tier keys on;
 //! * [`feedback`] — the single-RBN feedback implementation (Section 7.3)
 //!   cutting hardware to `Θ(n log n)`;
 //! * [`metrics`] — exact switch/gate/depth accounting (Section 7.4);
@@ -59,6 +64,7 @@ pub mod assignment;
 pub mod backend;
 pub mod brsmn;
 pub mod bsn;
+pub mod canonical;
 pub mod engine;
 pub mod error;
 pub mod fastpath;
@@ -76,6 +82,7 @@ pub use assignment::{AssignmentError, MulticastAssignment, RoutingResult};
 pub use backend::{ReferenceRouter, RouterBackend};
 pub use brsmn::{Brsmn, LevelTrace, RouteTrace};
 pub use bsn::{Bsn, BsnTrace};
+pub use canonical::{canonicalize, invert_permutation, Canonicalized};
 pub use engine::{
     BatchOutput, Engine, EngineConfig, EngineStats, FrameOutcome, LevelStats, ResilientRouter,
     ShardedEngine, StageTimer,
@@ -85,7 +92,8 @@ pub use fastpath::{with_thread_scratch, RouteScratch};
 pub use feedback::{FeedbackBrsmn, FeedbackStats};
 pub use payload::{RoutePayload, SelfRoutedMsg, SemanticMsg};
 pub use plancache::{
-    fingerprint_inputs, plan_fingerprint, CapturedPlan, PlanCache, PlanCacheStats,
+    fingerprint_inputs, plan_fingerprint, CanonicalHit, CapturedPlan, PlanCache, PlanCacheSnapshot,
+    PlanCacheStats, PlanSnapshotEntry, SnapshotError, SnapshotLoadStats, SNAPSHOT_VERSION,
 };
 pub use render::{render_rbn, render_trace};
 pub use stream::{stream_split, ForwardMode, StreamSplitter};

@@ -13,33 +13,49 @@
 //! which is what makes capturing the full per-level/per-stage setting tensor
 //! once and replaying it bit-identically sound.
 //!
-//! # Data flow
+//! # Data flow: two lookup tiers
 //!
 //! ```text
 //! assignment ──(plan_fingerprint: order-independent fold over the
 //! │             per-input words SEQ derives from, Eqs. 11–12)──► u64 key
 //! │
-//! ├─ hit  ──► PlanCache shard (read lock + LRU stamp bump) ──► Arc<CapturedPlan>
-//! │           └─► replay: decode 2-bit planes level by level through the
-//! │               iterative router — bit-identical result/trace/settings
-//! └─ miss ──► fast-path planner (fused sweeps) with capture hooks
-//!             └─► CapturedPlan arena (one contiguous bit-packed allocation)
-//!                 inserted under the fingerprint (full-equality checked)
+//! ├─ exact hit ──► exact shard (read lock + LRU stamp bump) ──► Arc<CapturedPlan>
+//! │                └─► replay: decode 2-bit planes level by level through
+//! │                    the iterative router — bit-identical
+//! │                    result/trace/settings
+//! ├─ exact miss ──► canonicalize (crate::canonical): reduce to the
+//! │   │             relabeling-class representative + permutation pair
+//! │   ├─ canonical hit ──► canonical shard ──► Arc<CapturedPlan> + the
+//! │   │                    composed live→plan permutations; replayed via
+//! │   │                    the permuted executor — result bit-identical
+//! │   │                    to fresh planning of the live assignment
+//! │   └─ canonical miss ──► fast-path planner (fused sweeps) with capture
+//! │                         hooks ──► CapturedPlan arena inserted into
+//! │                         *both* tiers (full-equality checked in each)
+//! └─ snapshot ──► serialize every exact-tier (assignment, plan) pair;
+//!                 loading re-inserts each pair into both tiers, so a
+//!                 restarted engine replays its working set on first sight
 //! ```
 //!
-//! A hit performs **zero** heap allocations (pinned by the `alloc-count`
-//! test in `brsmn-bench`): the fingerprint is an arithmetic fold, the shard
-//! probe takes a shared read lock, the LRU stamp is an atomic store, and the
-//! plan travels as an [`Arc`] clone.
+//! An exact hit performs **zero** heap allocations (pinned by the
+//! `alloc-count` test in `brsmn-bench`): the fingerprint is an arithmetic
+//! fold, the shard probe takes a shared read lock, the LRU stamp is an
+//! atomic store, and the plan travels as an [`Arc`] clone. A canonical hit
+//! is *low*-allocation, not zero: it builds the probe's canonical form and
+//! composes two permutation arrays (a few `O(n)` buffers — still no
+//! planning sweeps, which is where the time goes).
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use crate::assignment::MulticastAssignment;
+use crate::canonical::{invert_permutation, Canonicalized};
 use crate::error::CoreError;
 use brsmn_rbn::{PackedSettings, RbnSettings};
 use brsmn_switch::SwitchSetting;
 use brsmn_topology::{check_size, log2_exact};
+use serde::{Deserialize, Serialize};
 
 /// splitmix64 finalizer — the mixing primitive of the fingerprint.
 #[inline]
@@ -100,7 +116,12 @@ pub fn plan_fingerprint(asg: &MulticastAssignment) -> u64 {
 /// block's capture writes its own slice and a level's planes fill exactly.
 ///
 /// For `n = 256` the whole tensor is 9,088 settings ≈ 2.3 KB.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Serializes as the raw `(n, packed planes)` pair — the 2-bit setting
+/// codes are pinned by `brsmn_rbn::setting_code`, which is what makes a
+/// persisted plan portable across processes. A deserialized plan is only
+/// trusted after [`PlanCache::load_snapshot`]'s consistency checks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CapturedPlan {
     n: usize,
     planes: PackedSettings,
@@ -213,6 +234,16 @@ impl CapturedPlan {
     pub fn footprint_bytes(&self) -> usize {
         self.planes.footprint_bytes()
     }
+
+    /// `true` when a (possibly deserialized) plan is internally consistent:
+    /// `n` is a valid network size, the arena holds exactly the setting
+    /// tensor for `n`, and the packed words are sized for it. Replaying a
+    /// plan that fails this check could index out of bounds.
+    fn is_consistent(&self) -> bool {
+        check_size(self.n).is_ok()
+            && self.planes.len() == Self::total_settings(self.n)
+            && self.planes.invariants_ok()
+    }
 }
 
 /// One cached plan: the fingerprint, the full assignment for the
@@ -225,26 +256,76 @@ struct Entry {
     stamp: AtomicU64,
 }
 
+/// One canonical-tier entry: the class fingerprint, the canonical
+/// representative (equality guard — the class identity), the
+/// canonical-position → plan-position maps (inverses of the *stored
+/// member's* canonicalization permutations), the member's plan, and the
+/// LRU stamp.
+#[derive(Debug)]
+struct CanonEntry {
+    fp: u64,
+    canon: MulticastAssignment,
+    from_canon_inputs: Vec<usize>,
+    from_canon_outputs: Vec<usize>,
+    plan: Arc<CapturedPlan>,
+    stamp: AtomicU64,
+}
+
 /// One shard: a small linear-probed entry list with its own capacity slice.
 #[derive(Debug)]
-struct Shard {
+struct Shard<E> {
     cap: usize,
-    entries: Vec<Entry>,
+    entries: Vec<E>,
+}
+
+/// A canonical-tier hit: the stored member's plan plus the composed
+/// live → plan-space permutations, ready for the permuted replay executor.
+#[derive(Debug, Clone)]
+pub struct CanonicalHit {
+    /// The captured plan of the class's stored representative member.
+    pub plan: Arc<CapturedPlan>,
+    /// Live input `i` enters the plan at position `input_map[i]`.
+    pub input_map: Vec<usize>,
+    /// Live output `d` reads the plan's delivery at position
+    /// `output_map[d]`.
+    pub output_map: Vec<usize>,
 }
 
 /// Cumulative counters of a [`PlanCache`], readable at any time without
-/// locking the shards.
+/// locking the shards. Each tier counts its own lookups: an engine frame
+/// that replays canonically shows up as one `exact_misses` *and* one
+/// `canonical_hits` (the exact tier is always probed first).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PlanCacheStats {
-    /// Lookups that returned a plan (fingerprint *and* full assignment
-    /// matched).
-    pub hits: u64,
-    /// Lookups that found nothing (or a fingerprint collision).
-    pub misses: u64,
-    /// Plans inserted.
+    /// Exact-tier lookups that returned a plan (fingerprint *and* full
+    /// assignment matched).
+    pub exact_hits: u64,
+    /// Exact-tier lookups that found nothing (or a fingerprint collision).
+    pub exact_misses: u64,
+    /// Canonical-tier lookups that returned a plan (class fingerprint
+    /// *and* full canonical-representative equality matched).
+    pub canonical_hits: u64,
+    /// Canonical-tier lookups that found nothing — for the engine's
+    /// two-tier probe order, the frames that had to plan fresh.
+    pub canonical_misses: u64,
+    /// Plans inserted into the exact tier.
     pub insertions: u64,
-    /// Plans evicted to make room.
+    /// Class representatives inserted into the canonical tier.
+    pub canonical_insertions: u64,
+    /// Exact-tier entries evicted to make room.
     pub evictions: u64,
+    /// Canonical-tier entries evicted to make room.
+    pub canonical_evictions: u64,
+    /// Plans re-inserted from a persisted snapshot
+    /// ([`PlanCache::load_snapshot`]).
+    pub snapshot_loaded: u64,
+}
+
+impl PlanCacheStats {
+    /// Total lookups served from either tier.
+    pub fn hits(&self) -> u64 {
+        self.exact_hits + self.canonical_hits
+    }
 }
 
 /// A sharded LRU cache of captured plans, keyed by assignment fingerprint.
@@ -261,39 +342,64 @@ pub struct PlanCacheStats {
 ///
 /// Counters are interior [`AtomicU64`]s; [`PlanCache::stats`] reads them
 /// relaxed (they are monotone tallies, not synchronization).
+///
+/// The **canonical tier** ([`PlanCache::lookup_canonical`] /
+/// [`PlanCache::insert_canonical`]) lives in its own shard set with the
+/// same capacity bound, keyed by the fingerprint of the
+/// [`Canonicalized`] representative. Both tiers share the plan `Arc`s —
+/// eviction from either tier never invalidates a replay in flight,
+/// because a looked-up plan is an owned `Arc` clone that keeps the arena
+/// alive until the replay drops it.
 #[derive(Debug)]
 pub struct PlanCache {
-    shards: Vec<RwLock<Shard>>,
+    shards: Vec<RwLock<Shard<Entry>>>,
+    canon_shards: Vec<RwLock<Shard<CanonEntry>>>,
     capacity: usize,
     clock: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    exact_hits: AtomicU64,
+    exact_misses: AtomicU64,
+    canonical_hits: AtomicU64,
+    canonical_misses: AtomicU64,
     insertions: AtomicU64,
+    canonical_insertions: AtomicU64,
     evictions: AtomicU64,
+    canonical_evictions: AtomicU64,
+    snapshot_loaded: AtomicU64,
+}
+
+fn make_shards<E>(capacity: usize) -> Vec<RwLock<Shard<E>>> {
+    let nshards = capacity.min(8);
+    (0..nshards)
+        .map(|i| {
+            let cap = capacity / nshards + usize::from(i < capacity % nshards);
+            RwLock::new(Shard {
+                cap,
+                entries: Vec::with_capacity(cap.min(64)),
+            })
+        })
+        .collect()
 }
 
 impl PlanCache {
-    /// A cache holding at most `capacity` plans (clamped to at least 1).
+    /// A cache holding at most `capacity` plans per tier (clamped to at
+    /// least 1): up to `capacity` exact entries plus `capacity` canonical
+    /// class representatives.
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
-        let nshards = capacity.min(8);
-        let shards = (0..nshards)
-            .map(|i| {
-                let cap = capacity / nshards + usize::from(i < capacity % nshards);
-                RwLock::new(Shard {
-                    cap,
-                    entries: Vec::with_capacity(cap.min(64)),
-                })
-            })
-            .collect();
         PlanCache {
-            shards,
+            shards: make_shards(capacity),
+            canon_shards: make_shards(capacity),
             capacity,
             clock: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            exact_hits: AtomicU64::new(0),
+            exact_misses: AtomicU64::new(0),
+            canonical_hits: AtomicU64::new(0),
+            canonical_misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
+            canonical_insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            canonical_evictions: AtomicU64::new(0),
+            snapshot_loaded: AtomicU64::new(0),
         }
     }
 
@@ -302,7 +408,7 @@ impl PlanCache {
         self.capacity
     }
 
-    /// Number of plans currently cached.
+    /// Number of plans currently cached in the exact tier.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
@@ -310,9 +416,18 @@ impl PlanCache {
             .sum()
     }
 
-    /// `true` when no plans are cached.
+    /// Number of class representatives currently cached in the canonical
+    /// tier.
+    pub fn canonical_len(&self) -> usize {
+        self.canon_shards
+            .iter()
+            .map(|s| s.read().expect("plan-cache shard poisoned").entries.len())
+            .sum()
+    }
+
+    /// `true` when no plans are cached in either tier.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len() == 0 && self.canonical_len() == 0
     }
 
     #[inline]
@@ -322,9 +437,10 @@ impl PlanCache {
         (fp >> 32) as usize % self.shards.len()
     }
 
-    /// Looks up the plan for `asg` under fingerprint `fp` (compute it with
-    /// [`plan_fingerprint`]). A hit requires full assignment equality, not
-    /// just the fingerprint; hits refresh the entry's LRU stamp.
+    /// Looks up the **exact-tier** plan for `asg` under fingerprint `fp`
+    /// (compute it with [`plan_fingerprint`]). A hit requires full
+    /// assignment equality, not just the fingerprint; hits refresh the
+    /// entry's LRU stamp. Counted as `exact_hits`/`exact_misses`.
     pub fn lookup(&self, fp: u64, asg: &MulticastAssignment) -> Option<Arc<CapturedPlan>> {
         let shard = self.shards[self.shard_of(fp)]
             .read()
@@ -333,12 +449,50 @@ impl PlanCache {
             if e.fp == fp && e.asg == *asg {
                 let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
                 e.stamp.store(now, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.exact_hits.fetch_add(1, Ordering::Relaxed);
                 return Some(Arc::clone(&e.plan));
             }
         }
         drop(shard);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.exact_misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Looks up the **canonical tier** for the equivalence class of a
+    /// canonicalized probe (build it with [`crate::canonicalize`]). A hit
+    /// requires the stored canonical representative to equal the probe's —
+    /// the same collision-proofing discipline as the exact tier — and
+    /// returns the stored member's plan together with the composed
+    /// live → plan-space permutations (probe's live→canonical maps chained
+    /// through the entry's canonical→plan maps). Counted as
+    /// `canonical_hits`/`canonical_misses`.
+    pub fn lookup_canonical(&self, canon: &Canonicalized) -> Option<CanonicalHit> {
+        let fp = canon.fingerprint();
+        let shard = self.canon_shards[self.shard_of(fp)]
+            .read()
+            .expect("plan-cache shard poisoned");
+        for e in &shard.entries {
+            if e.fp == fp && e.canon == canon.canonical {
+                let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+                e.stamp.store(now, Ordering::Relaxed);
+                self.canonical_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(CanonicalHit {
+                    plan: Arc::clone(&e.plan),
+                    input_map: canon
+                        .input_perm
+                        .iter()
+                        .map(|&c| e.from_canon_inputs[c])
+                        .collect(),
+                    output_map: canon
+                        .output_perm
+                        .iter()
+                        .map(|&c| e.from_canon_outputs[c])
+                        .collect(),
+                });
+            }
+        }
+        drop(shard);
+        self.canonical_misses.fetch_add(1, Ordering::Relaxed);
         None
     }
 
@@ -383,20 +537,75 @@ impl PlanCache {
         evicted
     }
 
+    /// Inserts (or refreshes) `plan` as the stored member of `canon`'s
+    /// equivalence class, evicting the canonical shard's least-recently-used
+    /// entry if it is full. `canon` must be the canonicalization of the
+    /// assignment `plan` was captured for — the entry keeps the *inverses*
+    /// of its permutations so later members can be composed onto the plan.
+    /// Returns `true` when an eviction happened.
+    pub fn insert_canonical(&self, canon: &Canonicalized, plan: Arc<CapturedPlan>) -> bool {
+        let fp = canon.fingerprint();
+        let mut shard = self.canon_shards[self.shard_of(fp)]
+            .write()
+            .expect("plan-cache shard poisoned");
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(e) = shard
+            .entries
+            .iter_mut()
+            .find(|e| e.fp == fp && e.canon == canon.canonical)
+        {
+            // Another member of the class is already resident; its plan
+            // serves the whole class, so keep it and refresh the stamp.
+            e.stamp.store(now, Ordering::Relaxed);
+            return false;
+        }
+        let mut evicted = false;
+        if shard.entries.len() >= shard.cap {
+            let victim = shard
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+                .expect("full shard has a victim");
+            shard.entries.swap_remove(victim);
+            self.canonical_evictions.fetch_add(1, Ordering::Relaxed);
+            evicted = true;
+        }
+        shard.entries.push(CanonEntry {
+            fp,
+            canon: canon.canonical.clone(),
+            from_canon_inputs: invert_permutation(&canon.input_perm),
+            from_canon_outputs: invert_permutation(&canon.output_perm),
+            plan,
+            stamp: AtomicU64::new(now),
+        });
+        self.canonical_insertions.fetch_add(1, Ordering::Relaxed);
+        evicted
+    }
+
     /// Snapshot of the cumulative counters.
     pub fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            exact_hits: self.exact_hits.load(Ordering::Relaxed),
+            exact_misses: self.exact_misses.load(Ordering::Relaxed),
+            canonical_hits: self.canonical_hits.load(Ordering::Relaxed),
+            canonical_misses: self.canonical_misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
+            canonical_insertions: self.canonical_insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            canonical_evictions: self.canonical_evictions.load(Ordering::Relaxed),
+            snapshot_loaded: self.snapshot_loaded.load(Ordering::Relaxed),
         }
     }
 
     /// Approximate heap bytes held by the cached plans and keys (the
-    /// `scratch_bytes`-style accounting the engine reports).
+    /// `scratch_bytes`-style accounting the engine reports). Plans shared
+    /// between the tiers (one capture inserts its `Arc` into both) are
+    /// counted once per tier — an upper bound, not an exact census.
     pub fn footprint_bytes(&self) -> usize {
-        self.shards
+        let exact: usize = self
+            .shards
             .iter()
             .map(|s| {
                 let shard = s.read().expect("plan-cache shard poisoned");
@@ -410,9 +619,182 @@ impl PlanCache {
                     })
                     .sum::<usize>()
             })
-            .sum()
+            .sum();
+        let canonical: usize = self
+            .canon_shards
+            .iter()
+            .map(|s| {
+                let shard = s.read().expect("plan-cache shard poisoned");
+                shard
+                    .entries
+                    .iter()
+                    .map(|e| {
+                        e.plan.footprint_bytes()
+                            + e.canon.total_connections() * std::mem::size_of::<usize>()
+                            + 2 * e.from_canon_inputs.len() * std::mem::size_of::<usize>()
+                            + std::mem::size_of::<CanonEntry>()
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        exact + canonical
+    }
+
+    /// Serializes the exact tier's working set: every resident
+    /// `(assignment, plan)` pair, in shard order. The canonical tier is
+    /// *not* written — [`PlanCache::load_snapshot`] re-derives it, since
+    /// each exact pair doubles as its class representative.
+    pub fn snapshot(&self) -> PlanCacheSnapshot {
+        let mut entries = Vec::new();
+        for s in &self.shards {
+            let shard = s.read().expect("plan-cache shard poisoned");
+            for e in &shard.entries {
+                entries.push(PlanSnapshotEntry {
+                    n: e.asg.n(),
+                    sets: (0..e.asg.n()).map(|i| e.asg.dests(i).to_vec()).collect(),
+                    plan: (*e.plan).clone(),
+                });
+            }
+        }
+        PlanCacheSnapshot {
+            version: SNAPSHOT_VERSION,
+            entries,
+        }
+    }
+
+    /// Loads a snapshot, re-inserting every entry into **both** tiers so a
+    /// restarted (or freshly provisioned) engine replays its working set on
+    /// first sight — exact recurrences through the exact tier, relabeled
+    /// recurrences through the canonical tier.
+    ///
+    /// Every entry is fully re-validated before anything is trusted: the
+    /// assignment must pass `MulticastAssignment::from_sets` and the plan's
+    /// packed arena must be exactly the setting tensor for its `n` — a
+    /// corrupted or hand-edited file fails with a typed [`SnapshotError`],
+    /// never a panic, and a failing entry aborts the load (earlier entries
+    /// stay resident; the permuted replay's delivery verification would
+    /// reject any plan these checks could miss). Loading into a smaller
+    /// cache simply evicts as usual.
+    pub fn load_snapshot(
+        &self,
+        snapshot: &PlanCacheSnapshot,
+    ) -> Result<SnapshotLoadStats, SnapshotError> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Version {
+                found: snapshot.version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let mut stats = SnapshotLoadStats::default();
+        for (index, e) in snapshot.entries.iter().enumerate() {
+            let asg = MulticastAssignment::from_sets(e.n, e.sets.clone()).map_err(|err| {
+                SnapshotError::Entry {
+                    index,
+                    reason: format!("invalid assignment: {err}"),
+                }
+            })?;
+            if e.plan.n() != e.n || !e.plan.is_consistent() {
+                return Err(SnapshotError::Entry {
+                    index,
+                    reason: format!(
+                        "plan arena inconsistent (plan n = {}, entry n = {}, {} settings)",
+                        e.plan.n(),
+                        e.n,
+                        e.plan.planes.len()
+                    ),
+                });
+            }
+            let plan = Arc::new(e.plan.clone());
+            if self.insert(plan_fingerprint(&asg), &asg, Arc::clone(&plan)) {
+                stats.evicted += 1;
+            }
+            if self.insert_canonical(&crate::canonical::canonicalize(&asg), plan) {
+                stats.evicted += 1;
+            }
+            stats.loaded += 1;
+        }
+        self.snapshot_loaded
+            .fetch_add(stats.loaded, Ordering::Relaxed);
+        Ok(stats)
     }
 }
+
+/// Format version written by [`PlanCache::snapshot`]; bumped on any layout
+/// change to the entry encoding or the packed-plane tensor.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One persisted plan: the raw `(n, destination sets)` of the assignment it
+/// was captured for — re-validated through `from_sets` on load, so the
+/// serialized form can never smuggle an invalid assignment past the
+/// constructor — and the captured plan itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanSnapshotEntry {
+    /// Network size of the captured frame.
+    pub n: usize,
+    /// Destination sets, indexed by input.
+    pub sets: Vec<Vec<usize>>,
+    /// The captured bit-packed setting tensor.
+    pub plan: CapturedPlan,
+}
+
+/// A persisted plan-cache working set: what [`PlanCache::snapshot`] writes
+/// and [`PlanCache::load_snapshot`] restores. Serialize it with the compat
+/// serde shims (the CLI stores it as JSON via `serde_json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanCacheSnapshot {
+    /// Format version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The persisted `(assignment, plan)` pairs.
+    pub entries: Vec<PlanSnapshotEntry>,
+}
+
+/// What a [`PlanCache::load_snapshot`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotLoadStats {
+    /// Plans re-inserted (each lands in both tiers).
+    pub loaded: u64,
+    /// Evictions the re-insertions caused (nonzero when the snapshot
+    /// exceeds the cache capacity).
+    pub evicted: u64,
+}
+
+/// Why a snapshot failed to load — a typed error, never a panic, so a
+/// corrupt or stale file degrades a warm start into a cold one instead of
+/// taking the process down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file was written by an incompatible format version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads.
+        supported: u32,
+    },
+    /// An entry failed validation (invalid assignment or inconsistent
+    /// plan arena).
+    Entry {
+        /// Index of the offending entry.
+        index: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Version { found, supported } => write!(
+                f,
+                "snapshot version {found} is not supported (this build reads {supported})"
+            ),
+            SnapshotError::Entry { index, reason } => {
+                write!(f, "snapshot entry {index}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 #[cfg(test)]
 mod tests {
@@ -505,7 +887,118 @@ mod tests {
         // misdeliver a foreign plan.
         assert!(cache.lookup(fp, &b).is_none());
         let s = cache.stats();
-        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!((s.exact_hits, s.exact_misses, s.insertions), (1, 1, 1));
+        assert_eq!((s.canonical_hits, s.canonical_misses), (0, 0));
+    }
+
+    #[test]
+    fn canonical_tier_hits_across_relabelings_and_counts_separately() {
+        use crate::canonical::canonicalize;
+        let cache = PlanCache::new(4);
+        let a = asg(4, vec![vec![0, 1], vec![], vec![2], vec![]]);
+        // Same shape (fanouts {2, 1}), entirely different labels.
+        let b = asg(4, vec![vec![], vec![3], vec![], vec![1, 2]]);
+        let plan = Arc::new(CapturedPlan::new(4).unwrap());
+        cache.insert_canonical(&canonicalize(&a), Arc::clone(&plan));
+        assert_eq!(cache.canonical_len(), 1);
+
+        let hit = cache.lookup_canonical(&canonicalize(&b)).expect("class hit");
+        assert!(Arc::ptr_eq(&hit.plan, &plan));
+        // b's input 3 owns the fanout-2 set, which a stored at input 0.
+        assert_eq!(hit.input_map[3], 0);
+        // b's outputs {1, 2} land on a's canonical slots for {0, 1}.
+        assert_eq!((hit.output_map[1], hit.output_map[2]), (0, 1));
+        // A different shape misses.
+        let c = asg(4, vec![vec![0], vec![1], vec![2], vec![]]);
+        assert!(cache.lookup_canonical(&canonicalize(&c)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.canonical_hits, s.canonical_misses), (1, 1));
+        assert_eq!((s.exact_hits, s.exact_misses), (0, 0));
+        assert_eq!(s.canonical_insertions, 1);
+        assert_eq!(s.hits(), 1);
+    }
+
+    #[test]
+    fn evicted_plan_stays_valid_while_a_replay_holds_its_arc() {
+        // The Arc discipline the eviction audit pins: a plan looked up
+        // before an eviction storm must stay usable afterwards.
+        let cache = PlanCache::new(1);
+        let a = asg(4, vec![vec![0, 1], vec![], vec![2], vec![]]);
+        let ca = crate::canonical::canonicalize(&a);
+        cache.insert_canonical(&ca, Arc::new(CapturedPlan::new(4).unwrap()));
+        let held = cache.lookup_canonical(&ca).expect("resident");
+        for k in 0..4usize {
+            let other = asg(4, vec![vec![k], vec![], vec![], vec![]]);
+            cache.insert_canonical(&crate::canonical::canonicalize(&other), Arc::new(CapturedPlan::new(4).unwrap()));
+        }
+        assert!(cache.stats().canonical_evictions > 0);
+        // The held Arc still owns a full, consistent arena.
+        assert!(held.plan.is_consistent());
+        assert_eq!(held.plan.n(), 4);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_both_tiers() {
+        let cache = PlanCache::new(8);
+        let a = asg(4, vec![vec![0, 1], vec![], vec![2], vec![]]);
+        let fp = plan_fingerprint(&a);
+        cache.insert(fp, &a, Arc::new(CapturedPlan::new(4).unwrap()));
+        let snap = cache.snapshot();
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        assert_eq!(snap.entries.len(), 1);
+
+        let warm = PlanCache::new(8);
+        let loaded = warm.load_snapshot(&snap).unwrap();
+        assert_eq!((loaded.loaded, loaded.evicted), (1, 0));
+        assert!(warm.lookup(fp, &a).is_some(), "exact tier warm");
+        let relabeled = asg(4, vec![vec![], vec![2, 3], vec![], vec![0]]);
+        assert!(
+            warm.lookup_canonical(&crate::canonical::canonicalize(&relabeled))
+                .is_some(),
+            "canonical tier warm"
+        );
+        assert_eq!(warm.stats().snapshot_loaded, 1);
+    }
+
+    #[test]
+    fn corrupt_snapshots_fail_with_typed_errors() {
+        let ok_plan = CapturedPlan::new(4).unwrap();
+        // Wrong version.
+        let snap = PlanCacheSnapshot {
+            version: SNAPSHOT_VERSION + 1,
+            entries: vec![],
+        };
+        assert_eq!(
+            PlanCache::new(2).load_snapshot(&snap),
+            Err(SnapshotError::Version {
+                found: SNAPSHOT_VERSION + 1,
+                supported: SNAPSHOT_VERSION
+            })
+        );
+        // Invalid assignment (overlapping destinations).
+        let snap = PlanCacheSnapshot {
+            version: SNAPSHOT_VERSION,
+            entries: vec![PlanSnapshotEntry {
+                n: 4,
+                sets: vec![vec![0], vec![0], vec![], vec![]],
+                plan: ok_plan.clone(),
+            }],
+        };
+        assert!(matches!(
+            PlanCache::new(2).load_snapshot(&snap),
+            Err(SnapshotError::Entry { index: 0, .. })
+        ));
+        // Plan sized for a different network than the entry claims.
+        let snap = PlanCacheSnapshot {
+            version: SNAPSHOT_VERSION,
+            entries: vec![PlanSnapshotEntry {
+                n: 8,
+                sets: vec![vec![0], vec![], vec![], vec![], vec![], vec![], vec![], vec![]],
+                plan: ok_plan,
+            }],
+        };
+        let err = PlanCache::new(2).load_snapshot(&snap).unwrap_err();
+        assert!(err.to_string().contains("entry 0"), "{err}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! it later without re-running any planning sweep.
 
 use brsmn_switch::SwitchSetting;
+use serde::{Deserialize, Serialize};
 
 /// The canonical 2-bit code of a setting. Stable across versions: captured
 /// plans serialized elsewhere rely on this mapping.
@@ -36,7 +37,12 @@ pub fn setting_from_code(code: u64) -> SwitchSetting {
 /// A fixed-length array of [`SwitchSetting`]s packed 2 bits each into `u64`
 /// words — one contiguous allocation, `Clone`-cheap relative to the unpacked
 /// tables it snapshots.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Serializes as the raw `(words, len)` pair — the stable 2-bit code
+/// mapping above is what makes persisted arenas portable. Deserialization
+/// is unchecked; consumers of untrusted bytes must call
+/// [`PackedSettings::invariants_ok`] before indexing.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct PackedSettings {
     words: Vec<u64>,
     len: usize,
@@ -101,6 +107,13 @@ impl PackedSettings {
     /// Heap bytes reserved by the word buffer.
     pub fn footprint_bytes(&self) -> usize {
         self.words.capacity() * 8
+    }
+
+    /// `true` when the word buffer is exactly sized for `len` settings —
+    /// the invariant every constructor upholds and a deserialized value
+    /// must be checked against (indexing a short buffer would panic).
+    pub fn invariants_ok(&self) -> bool {
+        self.words.len() == self.len.div_ceil(32)
     }
 }
 

@@ -58,8 +58,8 @@ pub use trace::{Trace, TraceRequest};
 use brsmn_baselines::{CopyBenesMulticast, Crossbar};
 use brsmn_core::backend::{ReferenceRouter, RouterBackend};
 use brsmn_core::{
-    CoreError, EngineConfig, EngineStats, FeedbackBrsmn, MulticastAssignment, RoutingResult,
-    ShardedEngine,
+    CoreError, EngineConfig, EngineStats, FeedbackBrsmn, MulticastAssignment, PlanCache,
+    RoutingResult, ShardedEngine,
 };
 use brsmn_rbn::par;
 use brsmn_workloads::queueing::{QueueConfig, QueueError};
@@ -414,6 +414,13 @@ pub struct ServeReport {
     /// Fast-path requests that planned fresh (and captured) because their
     /// assignment was not resident in the plan cache.
     pub plan_misses: u64,
+    /// Subset of `plan_hits` served by the canonical tier: the exact
+    /// fingerprint missed, but a relabeling-equivalent plan replayed through
+    /// the permuted executor.
+    pub plan_canonical_hits: u64,
+    /// Plans resident at startup from a warm-start snapshot
+    /// ([`Server::start_warm`]); 0 for cold starts.
+    pub plan_snapshot_loaded: u64,
     /// Headline latency figures.
     pub latency: LatencySummary,
     /// Full log₂ latency histogram.
@@ -449,8 +456,16 @@ enum Fabric {
 }
 
 impl Fabric {
-    fn build(cfg: &ServeConfig) -> Result<Fabric, ServeError> {
+    fn build(cfg: &ServeConfig, warm_cache: Option<Arc<PlanCache>>) -> Result<Fabric, ServeError> {
         let n = cfg.queue.n;
+        // A pre-warmed cache only makes sense on the BRSMN fast path — the
+        // other backends never consult a plan cache.
+        if warm_cache.is_some() && cfg.backend != BackendKind::Brsmn {
+            return Err(ServeError::Core(CoreError::Config(format!(
+                "warm-start plan cache requires the brsmn backend, not {}",
+                cfg.backend
+            ))));
+        }
         let make_shards = |f: &dyn Fn() -> Result<Box<dyn RouterBackend>, ServeError>| {
             (0..cfg.shards)
                 .map(|_| f())
@@ -458,11 +473,17 @@ impl Fabric {
                 .map(|shards| Fabric::Backends { n, shards })
         };
         match cfg.backend {
-            BackendKind::Brsmn => Ok(Fabric::Sharded(ShardedEngine::with_config(
-                n,
-                cfg.shards,
-                EngineConfig::batch(cfg.workers_per_shard).with_plan_cache(cfg.plan_cache),
-            )?)),
+            BackendKind::Brsmn => {
+                let mut engine = ShardedEngine::with_config(
+                    n,
+                    cfg.shards,
+                    EngineConfig::batch(cfg.workers_per_shard).with_plan_cache(cfg.plan_cache),
+                )?;
+                if let Some(cache) = warm_cache {
+                    engine.share_plan_cache(cache);
+                }
+                Ok(Fabric::Sharded(engine))
+            }
             BackendKind::Reference => {
                 make_shards(&|| Ok(Box::new(ReferenceRouter::new(n)?) as Box<dyn RouterBackend>))
             }
@@ -572,8 +593,24 @@ impl Server {
     /// Validates `cfg`, builds the backend fabric, and spawns the serving
     /// thread.
     pub fn start(cfg: ServeConfig) -> Result<Server, ServeError> {
+        Server::start_with_cache(cfg, None)
+    }
+
+    /// Like [`Server::start`], but the BRSMN fabric serves out of `cache`
+    /// instead of building a cold one — the warm-start path. Load a
+    /// [`brsmn_core::PlanCacheSnapshot`] into the cache first and the very
+    /// first pass over recurring shapes replays at warm throughput. Only
+    /// the `brsmn` backend accepts a warm cache.
+    pub fn start_warm(cfg: ServeConfig, cache: Arc<PlanCache>) -> Result<Server, ServeError> {
+        Server::start_with_cache(cfg, Some(cache))
+    }
+
+    fn start_with_cache(
+        cfg: ServeConfig,
+        warm_cache: Option<Arc<PlanCache>>,
+    ) -> Result<Server, ServeError> {
         let cfg = cfg.validate()?;
-        let fabric = Fabric::build(&cfg)?;
+        let fabric = Fabric::build(&cfg, warm_cache)?;
         let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_capacity);
         let draining = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&draining);
@@ -704,6 +741,8 @@ impl Server {
             frames_per_sec,
             plan_hits: engine.plan_hits,
             plan_misses: engine.plan_misses,
+            plan_canonical_hits: engine.plan_canonical_hits,
+            plan_snapshot_loaded: engine.plan_snapshot_loaded,
             latency: LatencySummary::from_histogram(&outcome.histogram),
             histogram: outcome.histogram,
             engine,
@@ -805,6 +844,25 @@ fn serve_loop(
 /// `cfg` (as fast as submission allows — queue pressure, not tick pacing)
 /// and shuts down gracefully, returning the report.
 pub fn serve_trace(cfg: ServeConfig, trace: &Trace) -> Result<ServeReport, ServeError> {
+    serve_trace_with_cache(cfg, trace, None)
+}
+
+/// [`serve_trace`] against a server warm-started from `cache`
+/// ([`Server::start_warm`]): plans loaded from a snapshot replay on first
+/// sight instead of being planned fresh.
+pub fn serve_trace_warm(
+    cfg: ServeConfig,
+    trace: &Trace,
+    cache: Arc<PlanCache>,
+) -> Result<ServeReport, ServeError> {
+    serve_trace_with_cache(cfg, trace, Some(cache))
+}
+
+fn serve_trace_with_cache(
+    cfg: ServeConfig,
+    trace: &Trace,
+    warm_cache: Option<Arc<PlanCache>>,
+) -> Result<ServeReport, ServeError> {
     let cfg = cfg.validate()?;
     if trace.n != cfg.queue.n {
         return Err(ServeError::TraceMismatch {
@@ -812,7 +870,7 @@ pub fn serve_trace(cfg: ServeConfig, trace: &Trace) -> Result<ServeReport, Serve
             cfg_n: cfg.queue.n,
         });
     }
-    let mut server = Server::start(cfg)?;
+    let mut server = Server::start_with_cache(cfg, warm_cache)?;
     for req in &trace.requests {
         let _ = server.submit(req.source, &req.dests);
     }
@@ -1005,12 +1063,17 @@ mod tests {
         let b = submit_all(plain);
         assert!(a.conserves(), "{a:?}");
         assert_eq!(a.served_ok, 32);
-        // 4 distinct assignments; each shard-visible first occurrence can
-        // miss, everything else must hit.
-        assert!(a.plan_misses >= 4 && a.plan_misses <= 8, "{}", a.plan_misses);
+        // 4 distinct assignments, but all single-source fanout-2 — one
+        // relabeling class. Only first occurrences racing across the two
+        // shards can plan fresh; later first occurrences land in the
+        // canonical tier and every repeat is an exact hit.
+        assert!(a.plan_misses >= 1 && a.plan_misses <= 4, "{}", a.plan_misses);
+        assert!(a.plan_canonical_hits >= 2, "{}", a.plan_canonical_hits);
+        assert!(a.plan_canonical_hits <= a.plan_hits);
         assert_eq!(a.plan_hits + a.plan_misses, 32);
         assert_eq!(b.plan_hits, 0);
         assert_eq!(b.plan_misses, 0);
+        assert_eq!(b.plan_canonical_hits, 0);
         let key = |r: &ServeReport| {
             let mut v: Vec<(u64, RoutingResult)> = r
                 .completions
@@ -1021,6 +1084,58 @@ mod tests {
             v
         };
         assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn warm_started_server_replays_on_first_sight() {
+        // Serve a trace cold, snapshot the cache, then serve the same trace
+        // on a fresh server warm-started from the snapshot: zero fresh
+        // planning, identical outputs.
+        let mut cfg = small_cfg(16);
+        cfg.plan_cache = 64;
+        cfg.record_outputs = true;
+        let trace = Trace::generate(cfg.queue, 11, 24).unwrap();
+
+        // Capture run: an externally owned (but empty) cache, so the
+        // captured working set survives the server.
+        let source = Arc::new(PlanCache::new(64));
+        let cold = serve_trace_warm(cfg, &trace, Arc::clone(&source)).unwrap();
+        assert!(cold.plan_misses > 0);
+
+        // Round-trip the snapshot through JSON like the CLI does.
+        let json = serde_json::to_string(&source.snapshot()).unwrap();
+        let snap: brsmn_core::PlanCacheSnapshot = serde_json::from_str(&json).unwrap();
+        let warmed = Arc::new(PlanCache::new(64));
+        let stats = warmed.load_snapshot(&snap).unwrap();
+        assert!(stats.loaded > 0);
+
+        let warm = serve_trace_warm(cfg, &trace, warmed).unwrap();
+        assert_eq!(warm.plan_misses, 0, "{warm:?}");
+        assert_eq!(
+            warm.plan_hits,
+            warm.accepted + warm.drained,
+            "every served request must replay"
+        );
+        assert_eq!(warm.plan_snapshot_loaded, stats.loaded);
+
+        let key = |r: &ServeReport| {
+            let mut v: Vec<(u64, RoutingResult)> = r
+                .completions
+                .iter()
+                .map(|c| (c.id, c.result.clone().unwrap()))
+                .collect();
+            v.sort_by_key(|(id, _)| *id);
+            v
+        };
+        assert_eq!(key(&cold), key(&warm));
+    }
+
+    #[test]
+    fn warm_start_rejects_non_brsmn_backends() {
+        let mut cfg = small_cfg(8);
+        cfg.backend = BackendKind::Crossbar;
+        let err = Server::start_warm(cfg, Arc::new(PlanCache::new(8)));
+        assert!(err.is_err());
     }
 
     #[test]
