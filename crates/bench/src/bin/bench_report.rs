@@ -1,8 +1,10 @@
 //! `bench_report` — records the fast-path bench trajectory as
 //! `BENCH_route.json`: frames/s and ns/frame for the scratch-arena fast
-//! path, the PR-1 allocating reference path, and the plan-capture cache
-//! (cold capture / warm replay) at n ∈ {64, 256, 1024}, sequential and on
-//! 4 workers, over dense 64-frame batches.
+//! path, the PR-1 allocating reference path, the plan-capture cache
+//! (cold capture / warm replay), and the cache-less cold planners
+//! (per-frame `simd-cold` vs SoA lockstep `batch-cold`) at
+//! n ∈ {64, 256, 1024}, sequential and on 4 workers, over dense 64-frame
+//! batches.
 //!
 //! ```text
 //! cargo run --release -p brsmn-bench --bin bench_report             # writes ./BENCH_route.json
@@ -15,14 +17,19 @@
 //! * `speedup_fast_vs_reference_seq_n1024` — the same ratio at n = 1024;
 //! * `speedup_warm_replay_vs_fast_seq_n256` — warm plan-cache replay over
 //!   fresh fast-path planning at n = 256, sequential (the plan-cache PR's
-//!   acceptance bar: ≥ 2×).
+//!   acceptance bar: ≥ 2×);
+//! * `speedup_batch_cold_vs_simd_cold_seq_n256` — SoA lockstep batch
+//!   planning over per-frame planning on a cache-less engine at n = 256,
+//!   sequential (how much the batch transpose buys with no replay to hide
+//!   behind; the 1.5× cold-vs-warm target itself is gated by
+//!   `tests/cold_speedup.rs`).
 //!
 //! `hardware_threads` records the host's available parallelism: when it is
 //! 1, the 4-worker points time-slice one core and their throughput matching
 //! the sequential points (busy/wall ≈ 1.0 per point) is expected, not a
 //! scheduling defect.
 
-use brsmn_bench::{measure_replay_path, measure_route_path, RoutePoint};
+use brsmn_bench::{measure_cold_path, measure_replay_path, measure_route_path, RoutePoint};
 use serde::{Deserialize, Serialize};
 
 const FRAMES: usize = 64;
@@ -50,6 +57,9 @@ struct RouteBenchReport {
     /// Warm plan-cache replay over fresh fast-path planning at n = 256,
     /// sequential — the plan-cache PR's acceptance headline.
     speedup_warm_replay_vs_fast_seq_n256: f64,
+    /// SoA lockstep batch planning over per-frame planning on a cache-less
+    /// engine at n = 256, sequential — the batch-planner PR's headline.
+    speedup_batch_cold_vs_simd_cold_seq_n256: f64,
     /// One measurement per (n, workers, path).
     points: Vec<RoutePoint>,
 }
@@ -66,6 +76,7 @@ fn main() {
     let mut seq_fast = [0.0f64; 2]; // [n=256, n=1024]
     let mut seq_ref = [0.0f64; 2];
     let mut seq_warm_n256 = 0.0f64;
+    let mut seq_cold_n256 = [0.0f64; 2]; // [simd-cold, batch-cold]
     for n in [64usize, 256, 1024] {
         for workers in [1usize, 4] {
             for use_scratch in [true, false] {
@@ -84,6 +95,14 @@ fn main() {
                             seq_ref[s] = p.frames_per_sec;
                         }
                     }
+                }
+                points.push(p);
+            }
+            for batch_plan in [false, true] {
+                let p = measure_cold_path(n, FRAMES, SEED, workers, batch_plan, repeats);
+                print_point(&p);
+                if n == 256 && workers == 1 {
+                    seq_cold_n256[batch_plan as usize] = p.frames_per_sec;
                 }
                 points.push(p);
             }
@@ -107,16 +126,18 @@ fn main() {
         speedup_fast_vs_reference_seq_n256: ratio(seq_fast[0], seq_ref[0]),
         speedup_fast_vs_reference_seq_n1024: ratio(seq_fast[1], seq_ref[1]),
         speedup_warm_replay_vs_fast_seq_n256: ratio(seq_warm_n256, seq_fast[0]),
+        speedup_batch_cold_vs_simd_cold_seq_n256: ratio(seq_cold_n256[1], seq_cold_n256[0]),
         points,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(out_path, format!("{json}\n")).expect("write report");
     eprintln!(
         "wrote {out_path}: fast/reference n=256 = {:.2}x, n=1024 = {:.2}x, \
-         warm-replay/fast n=256 = {:.2}x",
+         warm-replay/fast n=256 = {:.2}x, batch-cold/simd-cold n=256 = {:.2}x",
         report.speedup_fast_vs_reference_seq_n256,
         report.speedup_fast_vs_reference_seq_n1024,
         report.speedup_warm_replay_vs_fast_seq_n256,
+        report.speedup_batch_cold_vs_simd_cold_seq_n256,
     );
 }
 

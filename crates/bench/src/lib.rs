@@ -293,6 +293,73 @@ pub fn measure_route_path(
     }
 }
 
+/// Measures pure **cold planning** throughput: a cache-less engine plans
+/// every frame of a dense batch fresh, either per frame on the wide-lane
+/// kernels (`batch_plan = false`, the `"simd-cold"` point) or in lockstep
+/// SoA chunks through the `BatchPlanner` (`batch_plan = true`, the
+/// `"batch-cold"` point). Results are asserted bit-identical between the
+/// two schedules, and the returned point records how many frames the SoA
+/// driver actually batch-planned.
+pub fn measure_cold_path(
+    n: usize,
+    frames: usize,
+    seed: u64,
+    workers: usize,
+    batch_plan: bool,
+    repeats: usize,
+) -> RoutePoint {
+    let batch = dense_batch(n, frames, seed);
+    let cfg = if batch_plan {
+        EngineConfig::batch(workers)
+    } else {
+        EngineConfig::batch(workers).without_batch_plan()
+    };
+    let engine = Engine::with_config(n, cfg).expect("valid size");
+
+    // Bit-identity oracle: the same batch planned per frame.
+    let want = Engine::with_config(n, EngineConfig::batch(workers).without_batch_plan())
+        .expect("valid size")
+        .route_batch(&batch);
+
+    let mut best: Option<EngineStats> = None;
+    for _ in 0..repeats.max(1) {
+        let out = engine.route_batch(&batch);
+        for (a, b) in want.results.iter().zip(&out.results) {
+            assert_eq!(
+                a.as_ref().expect("dense workload routes"),
+                b.as_ref().expect("dense workload routes"),
+                "batch planning changed a routing result"
+            );
+        }
+        if batch_plan {
+            assert_eq!(
+                out.stats.batch_planned_frames, frames as u64,
+                "cache-less multi-frame batches plan every frame in SoA chunks"
+            );
+        } else {
+            assert_eq!(out.stats.batch_planned_frames, 0);
+        }
+        if best
+            .as_ref()
+            .is_none_or(|b| out.stats.wall_nanos < b.wall_nanos)
+        {
+            best = Some(out.stats);
+        }
+    }
+    let stats = best.expect("at least one repeat");
+    RoutePoint {
+        n,
+        workers: stats.workers,
+        path: if batch_plan { "batch-cold" } else { "simd-cold" }.into(),
+        frames_per_sec: stats.frames_per_sec(),
+        ns_per_frame: stats.wall_nanos as f64 / frames as f64,
+        scratch_bytes: stats.scratch_bytes,
+        plan_hits: stats.plan_hits,
+        plan_misses: stats.plan_misses,
+        busy_over_wall: stats.speedup(),
+    }
+}
+
 /// Measures the plan-capture cache on a batch of `frames` frames cycling
 /// `distinct` dense assignments.
 ///

@@ -14,7 +14,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use brsmn_bench::dense_batch;
-use brsmn_core::{plan_fingerprint, Brsmn, PlanCache, RouteScratch};
+use brsmn_core::{
+    plan_fingerprint, BatchPlanner, Brsmn, MulticastAssignment, PlanCache, RouteScratch,
+    StageTimer,
+};
 use std::sync::Arc;
 
 /// Wraps the system allocator, counting every allocation and reallocation.
@@ -118,6 +121,48 @@ fn warm_plan_cache_hit_allocates_nothing() {
         after - before,
         0,
         "warm plan-cache hit allocated in steady state at n={n}"
+    );
+    assert!(delivered > 0, "workload delivered nothing");
+}
+
+#[test]
+fn soa_batch_planning_steady_state_allocates_nothing() {
+    // The lockstep SoA planner shares the invariant of the per-frame fast
+    // path: after one warm-up batch at a fixed (n, frames) shape, planning
+    // and executing a whole batch — and reading every delivery out of the
+    // arena — is heap-silent. (StageTimer is warmed too: its per-level rows
+    // grow only on first sight of each level.)
+    let n = 256;
+    let frames = 8;
+    let net = Brsmn::new(n).unwrap();
+    let batch = dense_batch(n, frames, 3);
+    let refs: Vec<&MulticastAssignment> = batch.iter().collect();
+    let mut planner = BatchPlanner::new();
+    planner.ensure(n, frames);
+    let mut timer = StageTimer::new();
+
+    // Warm up: the SoA planes, rank rows, and line arenas take their
+    // one-time allocations for this shape.
+    planner
+        .route_frames(net.wiring(), &refs, &mut timer, None)
+        .unwrap();
+    assert!(planner.footprint_bytes() > 0, "arena reports no footprint");
+
+    let mut delivered = 0usize;
+    let before = allocs();
+    for _ in 0..10 {
+        planner
+            .route_frames(net.wiring(), &refs, &mut timer, None)
+            .unwrap();
+        for f in 0..frames {
+            delivered += planner.frame_delivery(f).flatten().count();
+        }
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "SoA batch planner allocated in steady state at n={n}, frames={frames}"
     );
     assert!(delivered > 0, "workload delivered nothing");
 }

@@ -50,8 +50,10 @@ fn usage() -> &'static str {
        route  (--file F | --n N --workload W [--seed S])\n\
               [--engine E] [--trace]                    route an assignment\n\
        route  --parallel [--batch B] [--workers K] [--fork-depth D] [--no-scratch]\n\
-              [--cache [CAP]] [--cache-load F] [--cache-save F] [--stats]\n\
-              batched multi-threaded routing; --cache replays repeated (or\n\
+              [--no-batch-plan] [--cache [CAP]] [--cache-load F] [--cache-save F]\n\
+              [--stats] batched multi-threaded routing; --no-batch-plan plans\n\
+              every frame individually instead of grouping cache misses into\n\
+              lockstep SoA chunks; --cache replays repeated (or\n\
               relabeled) frames from the two-tier plan cache (default capacity\n\
               256); --cache-load/--cache-save persist the working set as a\n\
               snapshot JSON (each implies --cache); --stats prints EngineStats\n\
@@ -274,6 +276,9 @@ fn cmd_route_parallel(args: &Args) -> Result<(), String> {
         // router (results are bit-identical; only speed differs).
         use_scratch: !args.flag("no-scratch"),
         plan_cache,
+        // --no-batch-plan: per-frame planning instead of lockstep SoA
+        // chunks (results are bit-identical; only the schedule differs).
+        batch_plan: !args.flag("no-batch-plan"),
     };
     let mut engine = Engine::with_config(n, cfg).map_err(|e| e.to_string())?;
     // Snapshot persistence wants a cache handle that outlives the engine.
@@ -337,6 +342,12 @@ fn cmd_route_parallel(args: &Args) -> Result<(), String> {
             stats.plan_misses,
             stats.plan_evictions,
             stats.plan_cache_bytes
+        );
+    }
+    if stats.batch_planned_frames > 0 {
+        eprintln!(
+            "simd: lane width {} words, {} frame(s) planned in lockstep SoA chunks",
+            stats.simd_lane_width, stats.batch_planned_frames
         );
     }
     if let (Some(cache), Some(path)) = (&cache, &cache_save) {

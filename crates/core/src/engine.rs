@@ -52,7 +52,7 @@ use crate::brsmn::{final_switch, Brsmn};
 use crate::bsn::Bsn;
 use crate::error::CoreError;
 use crate::payload::{RoutePayload, SelfRoutedMsg, SemanticMsg};
-use crate::plancache::{plan_fingerprint, CapturedPlan, PlanCache};
+use crate::plancache::{plan_fingerprint, CanonicalHit, CapturedPlan, PlanCache};
 use crate::verify::{verify_routing, FaultReport};
 use brsmn_rbn::par;
 use brsmn_switch::{Line, Tag};
@@ -90,6 +90,13 @@ pub struct EngineConfig {
     /// for next time. Only the fast path consults the cache — the reference
     /// and self-routing models always plan fresh.
     pub plan_cache: usize,
+    /// Group the cache-miss frames of a multi-frame batch into SoA chunks
+    /// planned in lockstep by the [`crate::BatchPlanner`] (up to
+    /// [`crate::MAX_BATCH_FRAMES`] frames per chunk) while cache hits keep
+    /// replaying. Off (`--no-batch-plan` in the CLI) plans every frame
+    /// individually; results, stats and cache behavior are bit-identical
+    /// either way — only the planning schedule differs.
+    pub batch_plan: bool,
 }
 
 impl Default for EngineConfig {
@@ -110,6 +117,7 @@ impl EngineConfig {
             fork_depth: 0,
             use_scratch: true,
             plan_cache: 0,
+            batch_plan: true,
         }
     }
 
@@ -123,6 +131,7 @@ impl EngineConfig {
             fork_depth: 0,
             use_scratch: true,
             plan_cache: 0,
+            batch_plan: true,
         }
     }
 
@@ -135,6 +144,7 @@ impl EngineConfig {
             fork_depth,
             use_scratch: true,
             plan_cache: 0,
+            batch_plan: true,
         }
     }
 
@@ -149,6 +159,13 @@ impl EngineConfig {
     /// plans (see [`EngineConfig::plan_cache`]; `0` disables).
     pub fn with_plan_cache(mut self, capacity: usize) -> Self {
         self.plan_cache = capacity;
+        self
+    }
+
+    /// Disables SoA batch-parallel planning (see
+    /// [`EngineConfig::batch_plan`]).
+    pub fn without_batch_plan(mut self) -> Self {
+        self.batch_plan = false;
         self
     }
 }
@@ -305,6 +322,16 @@ pub struct EngineStats {
     /// (cumulative over the cache's lifetime; 0 without
     /// `PlanCache::load_snapshot`).
     pub plan_snapshot_loaded: u64,
+    /// Width, in `u64` words, of the SIMD lane blocks the fast path's
+    /// plane sweeps ran on ([`brsmn_rbn::LANES`]). 0 on the reference
+    /// path, whose array-based planners don't vectorize. Merges by max.
+    pub simd_lane_width: u64,
+    /// Frames planned in lockstep SoA chunks by the
+    /// [`crate::BatchPlanner`] — a subset of `plan_misses` when the cache
+    /// is on (hits keep replaying) and of `fastpath_frames` always. 0 with
+    /// [`EngineConfig::batch_plan`] off, for single-frame batches, and for
+    /// frames that fell back to per-frame scalar planning.
+    pub batch_planned_frames: u64,
 }
 
 impl EngineStats {
@@ -350,6 +377,8 @@ impl EngineStats {
             plan_evictions: 0,
             plan_cache_bytes: 0,
             plan_snapshot_loaded: 0,
+            simd_lane_width: 0,
+            batch_planned_frames: 0,
         }
     }
 
@@ -387,6 +416,9 @@ impl EngineStats {
         // Snapshot loads are a cache-lifetime tally shared by every shard
         // holding the cache, so max (like the footprint), not sum.
         self.plan_snapshot_loaded = self.plan_snapshot_loaded.max(other.plan_snapshot_loaded);
+        // The lane width is a property of the code path, not a tally.
+        self.simd_lane_width = self.simd_lane_width.max(other.simd_lane_width);
+        self.batch_planned_frames += other.batch_planned_frames;
     }
 }
 
@@ -471,6 +503,32 @@ pub struct Engine {
     plan_cache: Option<Arc<PlanCache>>,
 }
 
+/// Pass-A verdict for one frame of a batched fast-path route
+/// ([`Engine::route_batch_fast_batched`]).
+enum FrameProbe {
+    /// Replay this already-looked-up exact-tier plan.
+    ExactHit(Arc<CapturedPlan>),
+    /// Replay this canonical-tier hit through the permuted executor.
+    CanonHit(CanonicalHit),
+    /// An earlier in-batch miss claimed this frame's fingerprint or
+    /// relabeling class: route after the SoA chunks land, through the
+    /// normal per-frame ladder (it then hits what the chunk inserted — or
+    /// re-plans if the chunk failed, byte-identically to scalar routing).
+    Deferred,
+}
+
+/// What one SoA chunk (or its scalar fallback) produced.
+struct ChunkOut {
+    /// `(frame index, result)` for every frame of the chunk.
+    entries: Vec<(usize, Result<RoutingResult, CoreError>)>,
+    timer: StageTimer,
+    busy_nanos: u64,
+    scratch_bytes: u64,
+    /// `[exact_hits, canonical_hits, misses, evictions]`.
+    tallies: [u64; 4],
+    batch_planned: u64,
+}
+
 impl Engine {
     /// An engine over an `n × n` BRSMN with the default (batch) config.
     pub fn new(n: usize) -> Result<Self, CoreError> {
@@ -542,11 +600,15 @@ impl Engine {
     /// class member's plan through the permuted executor). A miss in both
     /// plans fresh while capturing, and inserts the capture into both
     /// tiers for the next occurrence — exact or relabeled.
+    ///
+    /// Multi-frame batches with [`EngineConfig::batch_plan`] on take the
+    /// SoA batched driver instead, which plans all cache-miss frames in
+    /// lockstep; single frames and the `--no-batch-plan` escape hatch run
+    /// this per-frame loop.
     fn route_batch_fast(&self, batch: &[MulticastAssignment]) -> BatchOutput {
-        use crate::fastpath::{
-            route_assignment_fast_buffered, route_assignment_replay_buffered,
-            route_assignment_replay_permuted, with_thread_scratch,
-        };
+        if self.cfg.batch_plan && batch.len() > 1 {
+            return self.route_batch_fast_batched(batch);
+        }
         let n = self.net.n();
         let workers = par::effective_workers(self.cfg.workers).min(batch.len().max(1));
         let cache = self.plan_cache.as_deref();
@@ -555,90 +617,13 @@ impl Engine {
         let frames = par::par_map(batch, workers, |_idx, asg| {
             let frame_start = Instant::now();
             let mut timer = StageTimer::new();
-            let (mut exact_hit, mut canon_hit, mut miss, mut evict) = (0u64, 0u64, 0u64, 0u64);
-            let (result, bytes) = with_thread_scratch(n, |scratch| {
-                let r = match cache {
-                    None => route_assignment_fast_buffered(
-                        n,
-                        self.net.wiring(),
-                        asg,
-                        scratch,
-                        None,
-                        Some(&mut timer),
-                        None,
-                    ),
-                    Some(cache) => {
-                        let fp = plan_fingerprint(asg);
-                        if let Some(plan) = cache.lookup(fp, asg) {
-                            exact_hit = 1;
-                            route_assignment_replay_buffered(
-                                n,
-                                self.net.wiring(),
-                                asg,
-                                &plan,
-                                scratch,
-                                None,
-                                Some(&mut timer),
-                            )
-                        } else if let Some(hit) =
-                            cache.lookup_canonical(&crate::canonical::canonicalize(asg))
-                        {
-                            canon_hit = 1;
-                            route_assignment_replay_permuted(
-                                n,
-                                self.net.wiring(),
-                                asg,
-                                &hit.plan,
-                                &hit.input_map,
-                                &hit.output_map,
-                                scratch,
-                                Some(&mut timer),
-                            )
-                        } else {
-                            miss = 1;
-                            match CapturedPlan::new(n) {
-                                Err(e) => Err(e),
-                                Ok(mut plan) => {
-                                    let r = route_assignment_fast_buffered(
-                                        n,
-                                        self.net.wiring(),
-                                        asg,
-                                        scratch,
-                                        None,
-                                        Some(&mut timer),
-                                        Some(&mut plan),
-                                    );
-                                    if r.is_ok() {
-                                        let plan = Arc::new(plan);
-                                        if cache.insert(fp, asg, Arc::clone(&plan)) {
-                                            evict = 1;
-                                        }
-                                        // The same capture seeds its whole
-                                        // relabeling class.
-                                        if cache.insert_canonical(
-                                            &crate::canonical::canonicalize(asg),
-                                            plan,
-                                        ) {
-                                            evict = 1;
-                                        }
-                                    }
-                                    r
-                                }
-                            }
-                        }
-                    }
-                };
-                (r, scratch.footprint_bytes() as u64)
-            });
+            let (result, bytes, tallies) = self.route_frame_cached(asg, &mut timer);
             (
                 result,
                 timer,
                 frame_start.elapsed().as_nanos() as u64,
                 bytes,
-                exact_hit,
-                canon_hit,
-                miss,
-                evict,
+                tallies,
             )
         });
         let wall_nanos = wall_start.elapsed().as_nanos() as u64;
@@ -648,22 +633,21 @@ impl Engine {
         let mut scratch_bytes = 0u64;
         let mut results = Vec::with_capacity(frames.len());
         let (mut frames_ok, mut frames_failed) = (0usize, 0usize);
-        let (mut plan_exact_hits, mut plan_canonical_hits) = (0u64, 0u64);
-        let (mut plan_misses, mut plan_evictions) = (0u64, 0u64);
-        for (result, timer, frame_nanos, bytes, exact_hit, canon_hit, miss, evict) in frames {
+        let mut cache_tallies = [0u64; 4];
+        for (result, timer, frame_nanos, bytes, tallies) in frames {
             stages.merge(&timer);
             busy_nanos += frame_nanos;
             scratch_bytes = scratch_bytes.max(bytes);
-            plan_exact_hits += exact_hit;
-            plan_canonical_hits += canon_hit;
-            plan_misses += miss;
-            plan_evictions += evict;
+            for (acc, d) in cache_tallies.iter_mut().zip(tallies) {
+                *acc += d;
+            }
             match &result {
                 Ok(_) => frames_ok += 1,
                 Err(_) => frames_failed += 1,
             }
             results.push(result);
         }
+        let [plan_exact_hits, plan_canonical_hits, plan_misses, plan_evictions] = cache_tallies;
 
         BatchOutput {
             results,
@@ -688,6 +672,387 @@ impl Engine {
                 plan_evictions,
                 plan_cache_bytes: cache.map_or(0, |c| c.footprint_bytes() as u64),
                 plan_snapshot_loaded: cache.map_or(0, |c| c.stats().snapshot_loaded),
+                simd_lane_width: brsmn_rbn::LANES as u64,
+                batch_planned_frames: 0,
+            },
+        }
+    }
+
+    /// Routes one fast-path frame through the full per-frame ladder:
+    /// exact-tier replay, then canonical-tier permuted replay, then fresh
+    /// planning with capture and two-tier insertion. Returns the result,
+    /// the scratch footprint in bytes, and the cache tallies
+    /// `[exact_hits, canonical_hits, misses, evictions]`.
+    fn route_frame_cached(
+        &self,
+        asg: &MulticastAssignment,
+        timer: &mut StageTimer,
+    ) -> (Result<RoutingResult, CoreError>, u64, [u64; 4]) {
+        use crate::fastpath::{
+            route_assignment_fast_buffered, route_assignment_replay_buffered,
+            route_assignment_replay_permuted, with_thread_scratch,
+        };
+        let n = self.net.n();
+        let cache = self.plan_cache.as_deref();
+        let (mut exact_hit, mut canon_hit, mut miss, mut evict) = (0u64, 0u64, 0u64, 0u64);
+        let (result, bytes) = with_thread_scratch(n, |scratch| {
+            let r = match cache {
+                None => route_assignment_fast_buffered(
+                    n,
+                    self.net.wiring(),
+                    asg,
+                    scratch,
+                    None,
+                    Some(timer),
+                    None,
+                ),
+                Some(cache) => {
+                    let fp = plan_fingerprint(asg);
+                    if let Some(plan) = cache.lookup(fp, asg) {
+                        exact_hit = 1;
+                        route_assignment_replay_buffered(
+                            n,
+                            self.net.wiring(),
+                            asg,
+                            &plan,
+                            scratch,
+                            None,
+                            Some(timer),
+                        )
+                    } else if let Some(hit) =
+                        cache.lookup_canonical(&crate::canonical::canonicalize(asg))
+                    {
+                        canon_hit = 1;
+                        route_assignment_replay_permuted(
+                            n,
+                            self.net.wiring(),
+                            asg,
+                            &hit.plan,
+                            &hit.input_map,
+                            &hit.output_map,
+                            scratch,
+                            Some(timer),
+                        )
+                    } else {
+                        miss = 1;
+                        match CapturedPlan::new(n) {
+                            Err(e) => Err(e),
+                            Ok(mut plan) => {
+                                let r = route_assignment_fast_buffered(
+                                    n,
+                                    self.net.wiring(),
+                                    asg,
+                                    scratch,
+                                    None,
+                                    Some(timer),
+                                    Some(&mut plan),
+                                );
+                                if r.is_ok() {
+                                    let plan = Arc::new(plan);
+                                    if cache.insert(fp, asg, Arc::clone(&plan)) {
+                                        evict = 1;
+                                    }
+                                    // The same capture seeds its whole
+                                    // relabeling class.
+                                    if cache.insert_canonical(
+                                        &crate::canonical::canonicalize(asg),
+                                        plan,
+                                    ) {
+                                        evict = 1;
+                                    }
+                                }
+                                r
+                            }
+                        }
+                    }
+                }
+            };
+            (r, scratch.footprint_bytes() as u64)
+        });
+        (result, bytes, [exact_hit, canon_hit, miss, evict])
+    }
+
+    /// The batched fast-path driver ([`EngineConfig::batch_plan`]): probe
+    /// the cache once per frame, group the misses into SoA chunks planned
+    /// in lockstep by [`crate::BatchPlanner`], then serve hits by replay
+    /// and deferred duplicates through the per-frame ladder. Results,
+    /// hit/miss tallies and captured plans are identical to the per-frame
+    /// driver's — the passes only reorder *when* each frame runs, never
+    /// what it computes:
+    ///
+    /// * **Pass A** (sequential) classifies each frame: exact hit,
+    ///   canonical hit, miss, or *deferred* — an earlier miss in this
+    ///   batch already claimed the same fingerprint or relabeling class,
+    ///   so probing now would miss but by pass C the chunk's insert serves
+    ///   it, exactly like the sequential per-frame driver's later-frame
+    ///   hits.
+    /// * **Pass B** fans the misses out in chunks of up to
+    ///   [`crate::MAX_BATCH_FRAMES`] frames through thread-local
+    ///   [`crate::BatchPlanner`] arenas; each chunk success inserts its
+    ///   captures into both cache tiers. A chunk that fails re-routes
+    ///   every one of its frames through the per-frame ladder so error
+    ///   values stay byte-identical to scalar routing.
+    /// * **Pass C** replays the pass-A hits and routes the deferred
+    ///   frames.
+    fn route_batch_fast_batched(&self, batch: &[MulticastAssignment]) -> BatchOutput {
+        use crate::batch::with_thread_batch_planner;
+        use crate::fastpath::{
+            route_assignment_replay_buffered, route_assignment_replay_permuted,
+            with_thread_scratch,
+        };
+        use std::collections::HashSet;
+
+        let n = self.net.n();
+        let workers = par::effective_workers(self.cfg.workers).min(batch.len().max(1));
+        let cache = self.plan_cache.as_deref();
+        let wiring = self.net.wiring();
+        let wall_start = Instant::now();
+
+        // Pass A: classify every frame with at most one probe per cache
+        // tier, claiming each fingerprint / relabeling class for its first
+        // miss so no plan is computed twice within the batch.
+        let mut probes: Vec<(usize, FrameProbe)> = Vec::new();
+        let mut miss_idx: Vec<usize> = Vec::new();
+        match cache {
+            None => miss_idx.extend(0..batch.len()),
+            Some(cache) => {
+                let mut claimed_fp: HashSet<u64> = HashSet::new();
+                let mut claimed_class: HashSet<u64> = HashSet::new();
+                for (i, asg) in batch.iter().enumerate() {
+                    let fp = plan_fingerprint(asg);
+                    if claimed_fp.contains(&fp) {
+                        probes.push((i, FrameProbe::Deferred));
+                        continue;
+                    }
+                    if let Some(plan) = cache.lookup(fp, asg) {
+                        probes.push((i, FrameProbe::ExactHit(plan)));
+                        continue;
+                    }
+                    let canon = crate::canonical::canonicalize(asg);
+                    if claimed_class.contains(&canon.fingerprint()) {
+                        probes.push((i, FrameProbe::Deferred));
+                        continue;
+                    }
+                    if let Some(hit) = cache.lookup_canonical(&canon) {
+                        probes.push((i, FrameProbe::CanonHit(hit)));
+                        continue;
+                    }
+                    claimed_fp.insert(fp);
+                    claimed_class.insert(canon.fingerprint());
+                    miss_idx.push(i);
+                }
+            }
+        }
+
+        // Pass B: lockstep-plan the misses. Chunks spread across the
+        // worker pool while respecting the SoA frame cap.
+        let chunk_size = miss_idx
+            .len()
+            .div_ceil(workers.max(1))
+            .clamp(1, crate::MAX_BATCH_FRAMES);
+        let chunks: Vec<&[usize]> = miss_idx.chunks(chunk_size).collect();
+        let chunk_outs = par::par_map(&chunks, workers, |_ci, chunk| {
+            let chunk: &[usize] = chunk;
+            let t0 = Instant::now();
+            let mut timer = StageTimer::new();
+            let planned: Result<(Vec<Result<RoutingResult, CoreError>>, u64, u64), CoreError> =
+                with_thread_batch_planner(n, chunk.len(), |bp| {
+                    let mut refs: [&MulticastAssignment; crate::MAX_BATCH_FRAMES] =
+                        [&batch[0]; crate::MAX_BATCH_FRAMES];
+                    for (k, &i) in chunk.iter().enumerate() {
+                        refs[k] = &batch[i];
+                    }
+                    let refs = &refs[..chunk.len()];
+                    let mut evictions = 0u64;
+                    match cache {
+                        None => bp.route_frames(wiring, refs, &mut timer, None)?,
+                        Some(cache) => {
+                            let mut caps = Vec::with_capacity(chunk.len());
+                            for _ in 0..chunk.len() {
+                                caps.push(CapturedPlan::new(n)?);
+                            }
+                            bp.route_frames(wiring, refs, &mut timer, Some(&mut caps))?;
+                            for (&i, plan) in chunk.iter().zip(caps) {
+                                let asg = &batch[i];
+                                let plan = Arc::new(plan);
+                                if cache.insert(plan_fingerprint(asg), asg, Arc::clone(&plan)) {
+                                    evictions += 1;
+                                }
+                                // The same capture seeds its whole
+                                // relabeling class.
+                                if cache
+                                    .insert_canonical(&crate::canonical::canonicalize(asg), plan)
+                                {
+                                    evictions += 1;
+                                }
+                            }
+                        }
+                    }
+                    Ok((
+                        (0..chunk.len()).map(|k| Ok(bp.frame_result(k))).collect(),
+                        evictions,
+                        bp.footprint_bytes() as u64,
+                    ))
+                });
+            match planned {
+                Ok((results, evictions, bytes)) => ChunkOut {
+                    entries: chunk.iter().copied().zip(results).collect(),
+                    timer,
+                    busy_nanos: t0.elapsed().as_nanos() as u64,
+                    scratch_bytes: bytes,
+                    // Misses are a cache statistic: without a cache there is
+                    // nothing to miss (matching the per-frame driver).
+                    tallies: [
+                        0,
+                        0,
+                        if cache.is_some() { chunk.len() as u64 } else { 0 },
+                        evictions,
+                    ],
+                    batch_planned: chunk.len() as u64,
+                },
+                Err(_) => {
+                    // All-or-nothing: any frame error reroutes the whole
+                    // chunk through the per-frame ladder, so each frame's
+                    // result — error values included — is byte-identical
+                    // to scalar routing. The partial lockstep timer is
+                    // discarded to avoid double-counting.
+                    let mut timer = StageTimer::new();
+                    let mut entries = Vec::with_capacity(chunk.len());
+                    let mut tallies = [0u64; 4];
+                    let mut bytes = 0u64;
+                    let mut busy = 0u64;
+                    for &i in chunk {
+                        let f0 = Instant::now();
+                        let (result, b, t) = self.route_frame_cached(&batch[i], &mut timer);
+                        busy += f0.elapsed().as_nanos() as u64;
+                        bytes = bytes.max(b);
+                        for (acc, d) in tallies.iter_mut().zip(t) {
+                            *acc += d;
+                        }
+                        entries.push((i, result));
+                    }
+                    ChunkOut {
+                        entries,
+                        timer,
+                        busy_nanos: busy,
+                        scratch_bytes: bytes,
+                        tallies,
+                        batch_planned: 0,
+                    }
+                }
+            }
+        });
+
+        // Pass C: replay the hits; deferred frames re-probe the (now
+        // warmed) cache through the normal per-frame ladder.
+        let hit_outs = par::par_map(&probes, workers, |_k, (i, probe)| {
+            let t0 = Instant::now();
+            let mut timer = StageTimer::new();
+            let (result, bytes, tallies) = match probe {
+                FrameProbe::ExactHit(plan) => with_thread_scratch(n, |scratch| {
+                    let r = route_assignment_replay_buffered(
+                        n,
+                        wiring,
+                        &batch[*i],
+                        plan,
+                        scratch,
+                        None,
+                        Some(&mut timer),
+                    );
+                    (r, scratch.footprint_bytes() as u64, [1, 0, 0, 0])
+                }),
+                FrameProbe::CanonHit(hit) => with_thread_scratch(n, |scratch| {
+                    let r = route_assignment_replay_permuted(
+                        n,
+                        wiring,
+                        &batch[*i],
+                        &hit.plan,
+                        &hit.input_map,
+                        &hit.output_map,
+                        scratch,
+                        Some(&mut timer),
+                    );
+                    (r, scratch.footprint_bytes() as u64, [0, 1, 0, 0])
+                }),
+                FrameProbe::Deferred => self.route_frame_cached(&batch[*i], &mut timer),
+            };
+            (
+                *i,
+                result,
+                timer,
+                t0.elapsed().as_nanos() as u64,
+                bytes,
+                tallies,
+            )
+        });
+        let wall_nanos = wall_start.elapsed().as_nanos() as u64;
+
+        let mut stages = StageTimer::new();
+        let mut busy_nanos = 0u64;
+        let mut scratch_bytes = 0u64;
+        let mut cache_tallies = [0u64; 4];
+        let mut batch_planned_frames = 0u64;
+        let mut slots: Vec<Option<Result<RoutingResult, CoreError>>> =
+            (0..batch.len()).map(|_| None).collect();
+        for out in chunk_outs {
+            stages.merge(&out.timer);
+            busy_nanos += out.busy_nanos;
+            scratch_bytes = scratch_bytes.max(out.scratch_bytes);
+            for (acc, d) in cache_tallies.iter_mut().zip(out.tallies) {
+                *acc += d;
+            }
+            batch_planned_frames += out.batch_planned;
+            for (i, r) in out.entries {
+                slots[i] = Some(r);
+            }
+        }
+        for (i, result, timer, nanos, bytes, tallies) in hit_outs {
+            stages.merge(&timer);
+            busy_nanos += nanos;
+            scratch_bytes = scratch_bytes.max(bytes);
+            for (acc, d) in cache_tallies.iter_mut().zip(tallies) {
+                *acc += d;
+            }
+            slots[i] = Some(result);
+        }
+        let results: Vec<Result<RoutingResult, CoreError>> = slots
+            .into_iter()
+            .map(|s| s.expect("every frame is routed by exactly one pass"))
+            .collect();
+        let (mut frames_ok, mut frames_failed) = (0usize, 0usize);
+        for r in &results {
+            match r {
+                Ok(_) => frames_ok += 1,
+                Err(_) => frames_failed += 1,
+            }
+        }
+        let [plan_exact_hits, plan_canonical_hits, plan_misses, plan_evictions] = cache_tallies;
+
+        BatchOutput {
+            results,
+            stats: EngineStats {
+                n,
+                batch: batch.len(),
+                workers,
+                parallel_halves: false,
+                frames_ok,
+                frames_failed,
+                frames_retried: 0,
+                frames_degraded: 0,
+                stages,
+                wall_nanos,
+                busy_nanos,
+                fastpath_frames: batch.len() as u64,
+                scratch_bytes,
+                plan_hits: plan_exact_hits + plan_canonical_hits,
+                plan_misses,
+                plan_exact_hits,
+                plan_canonical_hits,
+                plan_evictions,
+                plan_cache_bytes: cache.map_or(0, |c| c.footprint_bytes() as u64),
+                plan_snapshot_loaded: cache.map_or(0, |c| c.stats().snapshot_loaded),
+                simd_lane_width: brsmn_rbn::LANES as u64,
+                batch_planned_frames,
             },
         }
     }
@@ -790,6 +1155,8 @@ impl Engine {
                     plan_evictions: 0,
                     plan_cache_bytes: 0,
                     plan_snapshot_loaded: 0,
+                    simd_lane_width: 0,
+                    batch_planned_frames: 0,
                 },
             },
             outcomes,
@@ -856,6 +1223,8 @@ impl Engine {
                 plan_evictions: 0,
                 plan_cache_bytes: 0,
                 plan_snapshot_loaded: 0,
+                simd_lane_width: 0,
+                batch_planned_frames: 0,
             },
         }
     }
@@ -1337,6 +1706,57 @@ mod tests {
         assert!(b.stats.plan_evictions > 0);
         assert_eq!(b.stats.plan_hits + b.stats.plan_misses, 12);
         assert!(cached.plan_cache().unwrap().len() <= 2);
+    }
+
+    #[test]
+    fn batch_plan_matches_per_frame_driver_and_counts() {
+        let n = 16;
+        // 4 distinct shapes cycled over 20 frames: duplicates exercise the
+        // claim-and-defer pass, distinct frames the SoA chunks.
+        let distinct: Vec<MulticastAssignment> = (0..4)
+            .map(|f| {
+                let mut sets = vec![Vec::new(); n];
+                sets[f] = (0..n).step_by(f + 1).collect();
+                MulticastAssignment::from_sets(n, sets).unwrap()
+            })
+            .collect();
+        let batch: Vec<MulticastAssignment> = (0..20).map(|i| distinct[i % 4].clone()).collect();
+
+        let batched = Engine::with_config(n, EngineConfig::sequential()).unwrap();
+        let per_frame =
+            Engine::with_config(n, EngineConfig::sequential().without_batch_plan()).unwrap();
+        let a = batched.route_batch(&batch);
+        let b = per_frame.route_batch(&batch);
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
+        }
+        // Same work, different schedule: identical stage counters either way.
+        assert_eq!(
+            a.stats.stages.switch_settings,
+            b.stats.stages.switch_settings
+        );
+        assert_eq!(a.stats.stages.sweep_passes, b.stats.stages.sweep_passes);
+        // Without a cache every frame of the batch plans in an SoA chunk.
+        assert_eq!(a.stats.batch_planned_frames, 20);
+        assert_eq!(b.stats.batch_planned_frames, 0);
+        assert_eq!(a.stats.simd_lane_width, brsmn_rbn::LANES as u64);
+        assert_eq!(b.stats.simd_lane_width, brsmn_rbn::LANES as u64);
+        // The reference path reports no lane width at all.
+        let reference =
+            Engine::with_config(n, EngineConfig::sequential().without_scratch()).unwrap();
+        let c = reference.route_batch(&batch);
+        assert_eq!(c.stats.simd_lane_width, 0);
+        assert_eq!(c.stats.batch_planned_frames, 0);
+
+        // With a cache, only the misses are batch-planned — hits replay.
+        let cached =
+            Engine::with_config(n, EngineConfig::sequential().with_plan_cache(64)).unwrap();
+        let cold = cached.route_batch(&batch);
+        assert_eq!(cold.stats.plan_misses, 4);
+        assert_eq!(cold.stats.batch_planned_frames, 4);
+        let warm = cached.route_batch(&batch);
+        assert_eq!(warm.stats.plan_hits, 20);
+        assert_eq!(warm.stats.batch_planned_frames, 0);
     }
 
     #[test]

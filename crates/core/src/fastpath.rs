@@ -39,7 +39,7 @@ use brsmn_switch::{SwitchError, SwitchSetting, Tag};
 use brsmn_topology::{check_size, log2_exact};
 
 /// Sentinel source id of an empty line.
-const NO_SRC: u32 = u32::MAX;
+pub(crate) const NO_SRC: u32 = u32::MAX;
 
 /// One line of the fast path: the current tag, the source input of the
 /// message on it (`NO_SRC` when idle), and the message's *destination range*
@@ -55,16 +55,16 @@ const NO_SRC: u32 = u32::MAX;
 /// range is down to one destination) instead of re-searching the full
 /// destination set three times.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct FastLine {
-    tag: Tag,
-    src: u32,
-    d_lo: u32,
-    d_mid: u32,
-    d_hi: u32,
+pub(crate) struct FastLine {
+    pub(crate) tag: Tag,
+    pub(crate) src: u32,
+    pub(crate) d_lo: u32,
+    pub(crate) d_mid: u32,
+    pub(crate) d_hi: u32,
 }
 
 impl FastLine {
-    const EMPTY: FastLine = FastLine {
+    pub(crate) const EMPTY: FastLine = FastLine {
         tag: Tag::Eps,
         src: NO_SRC,
         d_lo: 0,
@@ -195,7 +195,7 @@ pub fn with_thread_scratch<R>(n: usize, f: impl FnOnce(&mut RouteScratch) -> R) 
 /// [`entry_tag_ranged`], which answers the same question from the line's
 /// retained range with at most one search.
 #[inline]
-fn entry_tag_fast(dests: &[usize], lo: usize, size: usize) -> Tag {
+pub(crate) fn entry_tag_fast(dests: &[usize], lo: usize, size: usize) -> Tag {
     let mid = lo + size / 2;
     let i_lo = dests.partition_point(|&d| d < lo);
     let i_mid = dests.partition_point(|&d| d < mid);
@@ -216,7 +216,7 @@ fn entry_tag_fast(dests: &[usize], lo: usize, size: usize) -> Tag {
 /// `partition_point` over the narrowed slice instead of three over the full
 /// set.
 #[inline]
-fn entry_tag_ranged(dests: &[usize], mid: usize, d_lo: usize, d_hi: usize) -> (usize, Tag) {
+pub(crate) fn entry_tag_ranged(dests: &[usize], mid: usize, d_lo: usize, d_hi: usize) -> (usize, Tag) {
     debug_assert!(d_lo < d_hi, "live line with an empty destination range");
     let d_mid = if d_hi - d_lo == 1 {
         if dests[d_lo] < mid {
@@ -240,7 +240,7 @@ fn entry_tag_ranged(dests: &[usize], mid: usize, d_lo: usize, d_hi: usize) -> (u
 /// of `[base, base + size)`, walking the precomputed wiring. Splitting an α
 /// copies the source id; the broadcast legality checks match
 /// [`RbnSettings::run_block`] exactly.
-fn run_block_fast(
+pub(crate) fn run_block_fast(
     lines: &mut [FastLine],
     base: usize,
     size: usize,
@@ -308,7 +308,7 @@ fn enter_block(asg: &MulticastAssignment, lines: &mut [FastLine], base: usize, s
 /// Eq. (4) postcondition check plus the level-transition handoff: each live
 /// line narrows its destination range to the half it landed in, so the next
 /// level's entry tags derive from the retained range.
-fn leave_block(lines: &mut [FastLine], base: usize, size: usize) -> Result<(), CoreError> {
+pub(crate) fn leave_block(lines: &mut [FastLine], base: usize, size: usize) -> Result<(), CoreError> {
     let half = size / 2;
     for (pos, line) in lines[base..base + size].iter_mut().enumerate() {
         let t = line.tag;
@@ -427,7 +427,7 @@ fn route_bsn_fast(
 /// The final 2×2 switch over outputs `{lo, lo+1}`, in place. The setting
 /// table and error values match [`crate::brsmn`]'s `final_switch` exactly.
 /// Returns the chosen setting so the capture path can record it.
-fn final_switch_fast(
+pub(crate) fn final_switch_fast(
     asg: &MulticastAssignment,
     lines: &mut [FastLine],
     lo: usize,
@@ -459,7 +459,7 @@ fn final_switch_fast(
 /// Applies a final-stage setting to the pair `{lo, lo+1}` — shared by the
 /// fresh path (setting just derived from tags) and plan replay (setting read
 /// from the captured arena).
-fn apply_final_setting(lines: &mut [FastLine], lo: usize, setting: SwitchSetting) {
+pub(crate) fn apply_final_setting(lines: &mut [FastLine], lo: usize, setting: SwitchSetting) {
     use SwitchSetting::*;
     match setting {
         Parallel => {}
@@ -479,7 +479,7 @@ fn apply_final_setting(lines: &mut [FastLine], lo: usize, setting: SwitchSetting
 /// Loads a frame's input lines into the arena: idle inputs get
 /// [`FastLine::EMPTY`], live inputs start with their whole destination set
 /// as the retained range.
-fn init_lines(asg: &MulticastAssignment, lines: &mut [FastLine]) {
+pub(crate) fn init_lines(asg: &MulticastAssignment, lines: &mut [FastLine]) {
     for (i, line) in lines.iter_mut().enumerate() {
         let d = asg.dests(i);
         *line = if d.is_empty() {
@@ -500,7 +500,7 @@ fn init_lines(asg: &MulticastAssignment, lines: &mut [FastLine]) {
 /// delivered message must belong at its output *per the actual assignment*
 /// (the reference does this in `extract_result`). On the replay path this
 /// is the last line of defense against a corrupted or foreign plan.
-fn verify_delivery(asg: &MulticastAssignment, lines: &[FastLine]) -> Result<(), CoreError> {
+pub(crate) fn verify_delivery(asg: &MulticastAssignment, lines: &[FastLine]) -> Result<(), CoreError> {
     for (o, line) in lines.iter().enumerate() {
         if line.src != NO_SRC && asg.dests(line.src as usize).binary_search(&o).is_err() {
             return Err(CoreError::Internal(format!(

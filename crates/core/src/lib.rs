@@ -62,6 +62,7 @@
 pub mod algebra;
 pub mod assignment;
 pub mod backend;
+pub mod batch;
 pub mod brsmn;
 pub mod bsn;
 pub mod canonical;
@@ -80,6 +81,7 @@ pub mod verify;
 pub use algebra::{idle_outputs, relabel_inputs, relabel_outputs, restrict, union};
 pub use assignment::{AssignmentError, MulticastAssignment, RoutingResult};
 pub use backend::{ReferenceRouter, RouterBackend};
+pub use batch::{with_thread_batch_planner, BatchPlanner, MAX_BATCH_FRAMES};
 pub use brsmn::{Brsmn, LevelTrace, RouteTrace};
 pub use bsn::{Bsn, BsnTrace};
 pub use canonical::{canonicalize, invert_permutation, Canonicalized};

@@ -1,0 +1,611 @@
+//! Structure-of-arrays batch planning: the Tables 4 + 6 sweeps advanced for
+//! up to [`MAX_BATCH_FRAMES`] same-size frames in lockstep.
+//!
+//! A batch of assignments at the same `n` runs the *identical* plane-sweep
+//! schedule — the tree levels, node ranges and word boundaries of every
+//! forward query are functions of `n` alone, not of the tags. That makes a
+//! structure-of-arrays transpose natural: [`BatchSweep`] stores the two tag
+//! bit planes of `F` frames **word-major, frame-minor** (`lo[w·F + f]`), so
+//! one sweep iteration touches the same word row of every frame as one
+//! contiguous run. The per-node backward state (`s` values and ε₀ quotas)
+//! is likewise node-major, frame-minor, so the inner loop of every tree
+//! level walks contiguous memory across frames.
+//!
+//! Each frame still gets its own switch settings: the backward waves write
+//! through [`crate::setting::binary_compact_setting_into`] into per-frame
+//! [`RbnSettings`] tables, so the output of the lockstep planner is
+//! **bit-for-bit** the output of running [`crate::bitplan::SweepScratch`]
+//! on each frame alone — the equivalence suites here and in `brsmn-core`
+//! pin that.
+//!
+//! Error semantics: the quasisort constraint checks (no α, half-capacity)
+//! report the **first offending frame**; the caller is expected to fall
+//! back to the scalar path for the whole batch so error values stay
+//! byte-identical to single-frame planning.
+
+use crate::bitplan::lane_tail_mask;
+use crate::fabric::RbnSettings;
+use crate::plan::PlanError;
+use crate::setting::binary_compact_setting_into;
+use brsmn_switch::tag::TagCounts;
+use brsmn_switch::{SwitchSetting, Tag};
+use brsmn_topology::log2_exact;
+
+/// Maximum number of frames one [`BatchSweep`] advances in lockstep. With
+/// 64 frames a word row of one plane is 512 bytes — eight cache lines that
+/// every query of the same tree node walks contiguously.
+pub const MAX_BATCH_FRAMES: usize = 64;
+
+/// Reusable SoA state for lockstep batch planning: the packed tag planes of
+/// all frames, the derived per-frame rank rows, and the node-major backward
+/// buffers. Size once ([`BatchSweep::begin`] at the largest `frames × len`
+/// grows the buffers), then plan any number of batches with zero heap
+/// allocation — the `brsmn-bench` `alloc-count` test pins this end to end.
+#[derive(Debug, Clone, Default)]
+pub struct BatchSweep {
+    frames: usize,
+    len: usize,
+    nwords: usize,
+    /// Tag planes, word-major frame-minor: `lo[w * frames + f]`.
+    lo: Vec<u64>,
+    hi: Vec<u64>,
+    /// Derived single-tag planes in the same layout.
+    alpha: Vec<u64>,
+    eps: Vec<u64>,
+    ones: Vec<u64>,
+    /// Word-granular rank rows, `(nwords + 1) × frames`: `rank[w·F + f]` =
+    /// set bits of frame `f` in words `[0, w)`; row `nwords` holds totals.
+    alpha_rank: Vec<u32>,
+    eps_rank: Vec<u32>,
+    ones_rank: Vec<u32>,
+    /// Backward-wave state, node-major frame-minor: `cur[b * frames + f]`.
+    cur: Vec<u32>,
+    next: Vec<u32>,
+    cur_q: Vec<u32>,
+    next_q: Vec<u32>,
+}
+
+impl BatchSweep {
+    /// An empty batch scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        BatchSweep::default()
+    }
+
+    /// Number of frames loaded in the current batch.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Tag count per frame of the current batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no batch has been started.
+    pub fn is_empty(&self) -> bool {
+        self.frames == 0 || self.len == 0
+    }
+
+    /// Starts a batch of `frames` frames of `len` tags each (`len` a power
+    /// of two, `frames ≤ MAX_BATCH_FRAMES`). Grows the buffers if this
+    /// shape is larger than any seen before; otherwise allocation-free.
+    /// Every frame in `0..frames` must then be loaded with
+    /// [`BatchSweep::load_frame`] before planning.
+    pub fn begin(&mut self, frames: usize, len: usize) {
+        assert!(frames >= 1 && frames <= MAX_BATCH_FRAMES);
+        assert!(len.is_power_of_two());
+        self.frames = frames;
+        self.len = len;
+        self.nwords = len.div_ceil(64);
+        let plane = self.nwords * frames;
+        let rank = (self.nwords + 1) * frames;
+        if self.lo.len() < plane {
+            self.lo.resize(plane, 0);
+            self.hi.resize(plane, 0);
+            self.alpha.resize(plane, 0);
+            self.eps.resize(plane, 0);
+            self.ones.resize(plane, 0);
+        }
+        if self.alpha_rank.len() < rank {
+            self.alpha_rank.resize(rank, 0);
+            self.eps_rank.resize(rank, 0);
+            self.ones_rank.resize(rank, 0);
+        }
+        let nodes = len * frames;
+        if self.cur.len() < nodes {
+            self.cur.resize(nodes, 0);
+            self.next.resize(nodes, 0);
+            self.cur_q.resize(nodes, 0);
+            self.next_q.resize(nodes, 0);
+        }
+    }
+
+    /// Loads frame `f`'s tags into its plane column (strided writes; the
+    /// sweeps that follow read word rows contiguously).
+    pub fn load_frame<F: FnMut(usize) -> Tag>(&mut self, f: usize, mut tag: F) {
+        debug_assert!(f < self.frames);
+        let fr = self.frames;
+        let (mut alo, mut ahi) = (0u64, 0u64);
+        for i in 0..self.len {
+            let (blo, bhi) = match tag(i) {
+                Tag::Zero => (0, 0),
+                Tag::One => (1, 0),
+                Tag::Alpha => (0, 1),
+                Tag::Eps => (1, 1),
+            };
+            let sh = i & 63;
+            alo |= (blo as u64) << sh;
+            ahi |= (bhi as u64) << sh;
+            if sh == 63 {
+                self.lo[(i >> 6) * fr + f] = alo;
+                self.hi[(i >> 6) * fr + f] = ahi;
+                (alo, ahi) = (0, 0);
+            }
+        }
+        if self.len & 63 != 0 {
+            self.lo[(self.len >> 6) * fr + f] = alo;
+            self.hi[(self.len >> 6) * fr + f] = ahi;
+        }
+    }
+
+    /// Tag at position `i` of frame `f`.
+    #[inline]
+    pub fn get(&self, f: usize, i: usize) -> Tag {
+        debug_assert!(f < self.frames && i < self.len);
+        let idx = (i >> 6) * self.frames + f;
+        let sh = i & 63;
+        match (self.lo[idx] >> sh & 1, self.hi[idx] >> sh & 1) {
+            (0, 0) => Tag::Zero,
+            (1, 0) => Tag::One,
+            (0, 1) => Tag::Alpha,
+            _ => Tag::Eps,
+        }
+    }
+
+    /// Tallies all four tags of every loaded frame in one word-major pass
+    /// (the inner frame loop is contiguous). `out[f]` receives frame `f`'s
+    /// counts; `out` must hold at least `frames` entries.
+    pub fn counts_all(&self, out: &mut [TagCounts]) {
+        let fr = self.frames;
+        for c in out[..fr].iter_mut() {
+            *c = TagCounts::default();
+        }
+        for w in 0..self.nwords {
+            let m = lane_tail_mask(self.len, w);
+            let row = w * fr;
+            for f in 0..fr {
+                let (lo, hi) = (self.lo[row + f], self.hi[row + f]);
+                out[f].n0 += ((!lo & !hi) & m).count_ones() as usize;
+                out[f].n1 += ((lo & !hi) & m).count_ones() as usize;
+                out[f].na += ((!lo & hi) & m).count_ones() as usize;
+                out[f].ne += ((lo & hi) & m).count_ones() as usize;
+            }
+        }
+    }
+
+    /// Position of the first α tag of frame `f`, if any — the quasisort
+    /// precondition check, matching [`crate::bitplan::TagVec::first_in_plane`].
+    pub fn first_alpha(&self, f: usize) -> Option<usize> {
+        let fr = self.frames;
+        for w in 0..self.nwords {
+            let (lo, hi) = (self.lo[w * fr + f], self.hi[w * fr + f]);
+            let x = (!lo & hi) & lane_tail_mask(self.len, w);
+            if x != 0 {
+                return Some((w << 6) + x.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Derives one single-tag plane (and its rank rows) for all frames in a
+    /// word-major pass: the inner frame loop is a contiguous run of boolean
+    /// ops, masks and popcounts that the compiler autovectorizes.
+    fn derive_plane(plane: u8, len: usize, nwords: usize, fr: usize, lo: &[u64], hi: &[u64], out: &mut [u64], rank: &mut [u32]) {
+        rank[..fr].fill(0);
+        for w in 0..nwords {
+            let m = lane_tail_mask(len, w);
+            let row = w * fr;
+            for f in 0..fr {
+                let (l, h) = (lo[row + f], hi[row + f]);
+                let x = match plane {
+                    0 => (l & !h) & m,  // ones
+                    1 => (!l & h) & m,  // alpha
+                    _ => (l & h) & m,   // eps
+                };
+                out[row + f] = x;
+                rank[row + fr + f] = rank[row + f] + x.count_ones();
+            }
+        }
+    }
+
+    /// Rank of frame `f` at bit `i` in the plane `(plane, rank)` pair.
+    #[inline]
+    fn plane_rank(plane: &[u64], rank: &[u32], fr: usize, f: usize, i: usize) -> usize {
+        let (w, r) = (i >> 6, i & 63);
+        let base = rank[w * fr + f] as usize;
+        if r == 0 {
+            base
+        } else {
+            base + (plane[w * fr + f] & ((1u64 << r) - 1)).count_ones() as usize
+        }
+    }
+
+    /// `nα − nε` over the leaves of node `(j, b)` for frame `f` — the signed
+    /// Table 4 forward value, as in [`crate::bitplan::SweepScratch`].
+    #[inline]
+    fn scatter_value(&self, f: usize, j: usize, b: usize) -> isize {
+        let fr = self.frames;
+        let (lo, hi) = (b << j, (b + 1) << j);
+        let na = Self::plane_rank(&self.alpha, &self.alpha_rank, fr, f, hi)
+            - Self::plane_rank(&self.alpha, &self.alpha_rank, fr, f, lo);
+        let ne = Self::plane_rank(&self.eps, &self.eps_rank, fr, f, hi)
+            - Self::plane_rank(&self.eps, &self.eps_rank, fr, f, lo);
+        na as isize - ne as isize
+    }
+
+    /// The `(l, dominant-is-α)` forward pair of node `(j, b)` for frame `f`,
+    /// ties resolved down the upper-child spine exactly like the scalar
+    /// sweep.
+    fn scatter_node(&self, f: usize, j: usize, b: usize) -> (usize, bool) {
+        let v = self.scatter_value(f, j, b);
+        if v > 0 {
+            return (v as usize, true);
+        }
+        if v < 0 {
+            return (v.unsigned_abs(), false);
+        }
+        let (mut jj, mut bb) = (j, b);
+        while jj > 0 {
+            jj -= 1;
+            bb <<= 1;
+            let v = self.scatter_value(f, jj, bb);
+            if v > 0 {
+                return (0, true);
+            }
+            if v < 0 {
+                return (0, false);
+            }
+        }
+        (0, false)
+    }
+
+    /// Lockstep Table 4: plans a scatter with target start `s_target` for
+    /// every loaded frame, writing frame `f`'s settings into `settings[f]`
+    /// (same `base` block offset for all frames). Bit-for-bit equal to
+    /// running [`crate::bitplan::SweepScratch::plan_scatter`] per frame.
+    pub fn plan_scatter_all(&mut self, s_target: usize, base: usize, settings: &mut [RbnSettings]) {
+        let (sz, fr) = (self.len, self.frames);
+        let m = log2_exact(sz) as usize;
+        assert!(s_target < sz);
+        assert!(settings.len() >= fr);
+        Self::derive_plane(1, sz, self.nwords, fr, &self.lo, &self.hi, &mut self.alpha, &mut self.alpha_rank);
+        Self::derive_plane(2, sz, self.nwords, fr, &self.lo, &self.hi, &mut self.eps, &mut self.eps_rank);
+        self.cur[..fr].fill(s_target as u32);
+        for j in (1..=m).rev() {
+            let half = 1usize << (j - 1);
+            let n_prime = 1usize << j;
+            for b in 0..(sz >> j) {
+                for (f, table) in settings[..fr].iter_mut().enumerate() {
+                    let s_node = self.cur[b * fr + f] as usize;
+                    let (l_node, _) = self.scatter_node(f, j, b);
+                    let (l0, a0) = self.scatter_node(f, j - 1, 2 * b);
+                    let (l1, a1) = self.scatter_node(f, j - 1, 2 * b + 1);
+                    let slice = table.block_mut(j - 1, (base >> j) + b);
+                    let (s0, s1);
+                    if a0 == a1 {
+                        // ε/α-addition: Lemma 1.
+                        s0 = s_node % half;
+                        s1 = (s_node + l0) % half;
+                        let bset = ((s_node + l0) / half) % 2;
+                        let (b_val, b_comp) = if bset == 1 {
+                            (SwitchSetting::Crossing, SwitchSetting::Parallel)
+                        } else {
+                            (SwitchSetting::Parallel, SwitchSetting::Crossing)
+                        };
+                        binary_compact_setting_into(slice, 0, s1, b_comp, b_val);
+                    } else {
+                        // ε/α-elimination: Lemmas 2–5.
+                        let bcast = if a0 {
+                            SwitchSetting::UpperBroadcast
+                        } else {
+                            SwitchSetting::LowerBroadcast
+                        };
+                        let (s_tmp, l_tmp, ucast);
+                        if l0 >= l1 {
+                            s0 = s_node % half;
+                            s1 = (s_node + l_node) % half;
+                            s_tmp = s1;
+                            l_tmp = l1;
+                            ucast = SwitchSetting::Parallel;
+                        } else {
+                            s0 = (s_node + l_node) % half;
+                            s1 = s_node % half;
+                            s_tmp = s0;
+                            l_tmp = l0;
+                            ucast = SwitchSetting::Crossing;
+                        }
+                        let ucomp = ucast.complement();
+                        if s_node + l_node < half {
+                            binary_compact_setting_into(slice, s_tmp, l_tmp, ucast, bcast);
+                        } else if s_node < half {
+                            crate::setting::trinary_compact_setting_into(
+                                slice, s_tmp, l_tmp, ucomp, bcast, ucast,
+                            );
+                        } else if s_node + l_node < n_prime {
+                            binary_compact_setting_into(slice, s_tmp, l_tmp, ucomp, bcast);
+                        } else {
+                            crate::setting::trinary_compact_setting_into(
+                                slice, s_tmp, l_tmp, ucast, bcast, ucomp,
+                            );
+                        }
+                    }
+                    self.next[(2 * b) * fr + f] = s0 as u32;
+                    self.next[(2 * b + 1) * fr + f] = s1 as u32;
+                }
+            }
+            std::mem::swap(&mut self.cur, &mut self.next);
+        }
+    }
+
+    /// Lockstep fused Table 6 + Table 3: the complete quasisort plan for
+    /// every loaded frame in a single backward wave per tree level, using
+    /// the same `γ(j,b) = n₁ + (n_ε − ε₀)` identity as
+    /// [`crate::bitplan::SweepScratch::plan_quasisort_fused`].
+    ///
+    /// On a constraint violation returns `Err((frame, error))` for the
+    /// first offending frame **before any settings are written**, so the
+    /// caller can fall back to per-frame planning with untouched state.
+    pub fn plan_quasisort_fused_all(
+        &mut self,
+        base: usize,
+        settings: &mut [RbnSettings],
+    ) -> Result<(), (usize, PlanError)> {
+        let (sz, fr) = (self.len, self.frames);
+        let m = log2_exact(sz) as usize;
+        assert!(settings.len() >= fr);
+        Self::derive_plane(0, sz, self.nwords, fr, &self.lo, &self.hi, &mut self.ones, &mut self.ones_rank);
+        Self::derive_plane(2, sz, self.nwords, fr, &self.lo, &self.hi, &mut self.eps, &mut self.eps_rank);
+        for f in 0..fr {
+            if let Some(position) = self.first_alpha(f) {
+                return Err((f, PlanError::AlphaInQuasisort { position }));
+            }
+            let n1 = self.ones_rank[self.nwords * fr + f] as usize;
+            let ne = self.eps_rank[self.nwords * fr + f] as usize;
+            let n0 = sz - n1 - ne;
+            if n0 > sz / 2 || n1 > sz / 2 {
+                return Err((
+                    f,
+                    PlanError::HalfOverflow {
+                        n0,
+                        n1,
+                        half: sz / 2,
+                    },
+                ));
+            }
+            self.cur[f] = (sz / 2) as u32;
+            self.cur_q[f] = (ne - (sz / 2 - n1)) as u32;
+        }
+        for j in (1..=m).rev() {
+            let half = 1usize << (j - 1);
+            for b in 0..(sz >> j) {
+                let (u_lo, u_hi) = (2 * b * half, (2 * b + 1) * half);
+                for (f, table) in settings[..fr].iter_mut().enumerate() {
+                    let s_node = self.cur[b * fr + f] as usize;
+                    let e0 = self.cur_q[b * fr + f] as usize;
+                    let upper_eps = Self::plane_rank(&self.eps, &self.eps_rank, fr, f, u_hi)
+                        - Self::plane_rank(&self.eps, &self.eps_rank, fr, f, u_lo);
+                    let u_e0 = e0.min(upper_eps);
+                    let l0 = Self::plane_rank(&self.ones, &self.ones_rank, fr, f, u_hi)
+                        - Self::plane_rank(&self.ones, &self.ones_rank, fr, f, u_lo)
+                        + (upper_eps - u_e0);
+                    let s0 = s_node % half;
+                    let s1 = (s_node + l0) % half;
+                    let bset = ((s_node + l0) / half) % 2;
+                    let (b_val, b_comp) = if bset == 1 {
+                        (SwitchSetting::Crossing, SwitchSetting::Parallel)
+                    } else {
+                        (SwitchSetting::Parallel, SwitchSetting::Crossing)
+                    };
+                    binary_compact_setting_into(
+                        table.block_mut(j - 1, (base >> j) + b),
+                        0,
+                        s1,
+                        b_comp,
+                        b_val,
+                    );
+                    self.next[(2 * b) * fr + f] = s0 as u32;
+                    self.next[(2 * b + 1) * fr + f] = s1 as u32;
+                    self.next_q[(2 * b) * fr + f] = u_e0 as u32;
+                    self.next_q[(2 * b + 1) * fr + f] = (e0 - u_e0) as u32;
+                }
+            }
+            std::mem::swap(&mut self.cur, &mut self.next);
+            std::mem::swap(&mut self.cur_q, &mut self.next_q);
+        }
+        Ok(())
+    }
+
+    /// Heap bytes currently reserved by all SoA buffers.
+    pub fn footprint_bytes(&self) -> usize {
+        (self.lo.capacity()
+            + self.hi.capacity()
+            + self.alpha.capacity()
+            + self.eps.capacity()
+            + self.ones.capacity())
+            * 8
+            + (self.alpha_rank.capacity()
+                + self.eps_rank.capacity()
+                + self.ones_rank.capacity()
+                + self.cur.capacity()
+                + self.next.capacity()
+                + self.cur_q.capacity()
+                + self.next_q.capacity())
+                * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitplan::SweepScratch;
+
+    fn tag_of(code: u64) -> Tag {
+        match code & 3 {
+            0 => Tag::Zero,
+            1 => Tag::One,
+            2 => Tag::Alpha,
+            _ => Tag::Eps,
+        }
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn batch_scatter_matches_per_frame_sweep() {
+        let mut batch = BatchSweep::new();
+        let mut scratch = SweepScratch::new();
+        let mut state = 0xA076_1D64_78BD_642Fu64;
+        for n in [4usize, 8, 64, 256] {
+            for frames in [1usize, 3, 7, 64] {
+                let tags: Vec<Vec<Tag>> = (0..frames)
+                    .map(|_| (0..n).map(|_| tag_of(xorshift(&mut state))).collect())
+                    .collect();
+                batch.begin(frames, n);
+                for (f, t) in tags.iter().enumerate() {
+                    batch.load_frame(f, |i| t[i]);
+                }
+                let mut got: Vec<RbnSettings> =
+                    (0..frames).map(|_| RbnSettings::identity(n)).collect();
+                batch.plan_scatter_all(0, 0, &mut got);
+                for (f, t) in tags.iter().enumerate() {
+                    let mut want = RbnSettings::identity(n);
+                    scratch.set_tags(n, |i| t[i]);
+                    scratch.plan_scatter(0, 0, &mut want);
+                    assert_eq!(got[f], want, "n={n} frames={frames} f={f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_quasisort_matches_per_frame_sweep() {
+        let mut batch = BatchSweep::new();
+        let mut scratch = SweepScratch::new();
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        for n in [4usize, 8, 64, 256] {
+            for frames in [1usize, 2, 5, 64] {
+                // ε-heavy draw so the half constraints usually hold; retry
+                // whole batches until every frame is feasible.
+                let tags: Vec<Vec<Tag>> = loop {
+                    let cand: Vec<Vec<Tag>> = (0..frames)
+                        .map(|_| {
+                            (0..n)
+                                .map(|_| match xorshift(&mut state) % 4 {
+                                    0 => Tag::Zero,
+                                    1 => Tag::One,
+                                    _ => Tag::Eps,
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    let ok = cand.iter().all(|t| {
+                        let mut s = SweepScratch::new();
+                        s.set_tags(n, |i| t[i]);
+                        s.eps_divide().is_ok()
+                    });
+                    if ok {
+                        break cand;
+                    }
+                };
+                batch.begin(frames, n);
+                for (f, t) in tags.iter().enumerate() {
+                    batch.load_frame(f, |i| t[i]);
+                }
+                let mut got: Vec<RbnSettings> =
+                    (0..frames).map(|_| RbnSettings::identity(n)).collect();
+                batch.plan_quasisort_fused_all(0, &mut got).unwrap();
+                for (f, t) in tags.iter().enumerate() {
+                    let mut want = RbnSettings::identity(n);
+                    scratch.set_tags(n, |i| t[i]);
+                    scratch.plan_quasisort_fused(0, &mut want).unwrap();
+                    assert_eq!(got[f], want, "n={n} frames={frames} f={f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_quasisort_reports_first_offending_frame() {
+        let mut batch = BatchSweep::new();
+        batch.begin(3, 4);
+        use Tag::*;
+        let frames = [
+            [One, Eps, Zero, Eps],   // fine
+            [One, One, One, Eps],    // half overflow (n1 = 3)
+            [Alpha, Eps, Zero, Eps], // alpha — later frame, must not win
+        ];
+        for (f, t) in frames.iter().enumerate() {
+            batch.load_frame(f, |i| t[i]);
+        }
+        let mut settings: Vec<RbnSettings> = (0..3).map(|_| RbnSettings::identity(4)).collect();
+        assert_eq!(
+            batch.plan_quasisort_fused_all(0, &mut settings),
+            Err((1, PlanError::HalfOverflow { n0: 0, n1: 3, half: 2 }))
+        );
+    }
+
+    #[test]
+    fn batch_counts_and_first_alpha_match_scalar() {
+        let mut batch = BatchSweep::new();
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for n in [2usize, 8, 64, 128] {
+            let frames = 9;
+            let tags: Vec<Vec<Tag>> = (0..frames)
+                .map(|_| (0..n).map(|_| tag_of(xorshift(&mut state))).collect())
+                .collect();
+            batch.begin(frames, n);
+            for (f, t) in tags.iter().enumerate() {
+                batch.load_frame(f, |i| t[i]);
+            }
+            let mut counts = vec![TagCounts::default(); frames];
+            batch.counts_all(&mut counts);
+            for (f, t) in tags.iter().enumerate() {
+                assert_eq!(counts[f], TagCounts::of(t), "n={n} f={f}");
+                assert_eq!(
+                    batch.first_alpha(f),
+                    t.iter().position(|&x| x == Tag::Alpha),
+                    "n={n} f={f}"
+                );
+                for (i, &x) in t.iter().enumerate() {
+                    assert_eq!(batch.get(f, i), x, "n={n} f={f} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_writes_at_block_offsets() {
+        // Two frames of a 4-wide block planned at base 4 of an 8-wide table.
+        let mut batch = BatchSweep::new();
+        let mut scratch = SweepScratch::new();
+        use Tag::*;
+        let frames = [[Alpha, Eps, Zero, One], [Eps, Alpha, One, Zero]];
+        batch.begin(2, 4);
+        for (f, t) in frames.iter().enumerate() {
+            batch.load_frame(f, |i| t[i]);
+        }
+        let mut got: Vec<RbnSettings> = (0..2).map(|_| RbnSettings::identity(8)).collect();
+        batch.plan_scatter_all(0, 4, &mut got);
+        for (f, t) in frames.iter().enumerate() {
+            let mut want = RbnSettings::identity(8);
+            scratch.set_tags(4, |i| t[i]);
+            scratch.plan_scatter(0, 4, &mut want);
+            assert_eq!(got[f], want, "f={f}");
+        }
+    }
+}

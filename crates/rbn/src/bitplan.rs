@@ -33,18 +33,44 @@ use brsmn_switch::tag::TagCounts;
 use brsmn_switch::{SwitchSetting, Tag};
 use brsmn_topology::log2_exact;
 
-/// A bit vector packed into `u64` words with a word-granular rank index,
-/// rebuilt on every [`BitVec::fill_from`] in a single pass.
+/// Number of `u64` lanes per block. The sweep kernels below operate on
+/// `[u64; LANES]` blocks with fixed-width array ops, which the compiler
+/// autovectorizes on stable Rust (u64x4 ≙ one AVX2 register, two NEON
+/// registers) — no nightly / portable-SIMD dependency.
+pub const LANES: usize = 4;
+
+/// Bits covered by one `[u64; LANES]` lane block.
+pub const BLOCK_BITS: usize = LANES * 64;
+
+/// Mask selecting the bits of word `w` that fall below `len` (all-ones for
+/// interior words, a partial mask for the tail word, zero past the end).
+/// Written so `1u64 << r` is never evaluated at `r == 64`.
+#[inline]
+pub(crate) fn lane_tail_mask(len: usize, w: usize) -> u64 {
+    let start = w << 6;
+    if len >= start + 64 {
+        !0u64
+    } else if len <= start {
+        0
+    } else {
+        (1u64 << (len - start)) - 1
+    }
+}
+
+/// A bit vector packed into `[u64; LANES]` lane blocks with a lane-wise
+/// rank index, rebuilt on every [`BitVec::fill_from`] in a single pass.
 ///
 /// `rank(i)` — the number of set bits in `[0, i)` — is O(1): one table
 /// lookup plus one masked popcount. All forward-phase tree queries of the
 /// packed planners reduce to [`BitVec::count_range`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BitVec {
-    words: Vec<u64>,
-    /// `rank_index[w]` = set bits in words `[0, w)`; one extra entry so that
-    /// `rank(len)` works when `len` is a multiple of 64.
-    rank_index: Vec<usize>,
+    blocks: Vec<[u64; LANES]>,
+    /// `rank_index[b][l]` = set bits in words `[0, LANES·b + l)`. Lanes past
+    /// the last stored word are never read (guarded by `nwords`).
+    rank_index: Vec<[u32; LANES]>,
+    total_ones: usize,
+    nwords: usize,
     len: usize,
 }
 
@@ -64,48 +90,85 @@ impl BitVec {
         self.len == 0
     }
 
+    fn clear(&mut self, len: usize) {
+        self.blocks.clear();
+        self.rank_index.clear();
+        self.total_ones = 0;
+        self.nwords = 0;
+        self.len = len;
+    }
+
+    /// Appends word `nwords`, extending the lane block and rank index.
+    #[inline]
+    fn push_word(&mut self, x: u64) {
+        let lane = self.nwords & (LANES - 1);
+        if lane == 0 {
+            self.blocks.push([0u64; LANES]);
+            self.rank_index.push([0u32; LANES]);
+        }
+        let blk = self.nwords / LANES;
+        self.blocks[blk][lane] = x;
+        self.rank_index[blk][lane] = self.total_ones as u32;
+        self.total_ones += x.count_ones() as usize;
+        self.nwords += 1;
+    }
+
     /// Rebuilds the vector as `len` bits produced by `f`, packing 64 at a
-    /// time and building the rank index in the same pass. Reuses the word
+    /// time and building the rank index in the same pass. Reuses the block
     /// buffers: no allocation once capacity has grown to `len` bits.
     pub fn fill_from<F: FnMut(usize) -> bool>(&mut self, len: usize, mut f: F) {
-        self.words.clear();
-        self.rank_index.clear();
-        self.len = len;
-        self.rank_index.push(0);
+        self.clear(len);
         let mut acc = 0u64;
-        let mut total = 0usize;
         for i in 0..len {
             if f(i) {
                 acc |= 1u64 << (i & 63);
             }
             if i & 63 == 63 {
-                self.words.push(acc);
-                total += acc.count_ones() as usize;
-                self.rank_index.push(total);
+                self.push_word(acc);
                 acc = 0;
             }
         }
         if len & 63 != 0 {
-            self.words.push(acc);
-            total += acc.count_ones() as usize;
-            self.rank_index.push(total);
+            self.push_word(acc);
         }
     }
 
     /// Rebuilds from whole pre-packed words: `word(w)` must return word `w`
-    /// with any bits at positions `≥ len` already zero. This is how
-    /// [`TagVec::extract_plane`] derives a plane word-parallel.
+    /// with any bits at positions `≥ len` already zero.
     pub fn fill_from_words<F: FnMut(usize) -> u64>(&mut self, len: usize, mut word: F) {
-        self.words.clear();
-        self.rank_index.clear();
-        self.len = len;
-        self.rank_index.push(0);
-        let mut total = 0usize;
+        self.clear(len);
         for w in 0..len.div_ceil(64) {
-            let x = word(w);
-            self.words.push(x);
-            total += x.count_ones() as usize;
-            self.rank_index.push(total);
+            self.push_word(word(w));
+        }
+    }
+
+    /// Rebuilds from whole pre-packed lane blocks: `block(b)` must return
+    /// lane block `b` with any bits at positions `≥ len` already zero in the
+    /// tail *word* (whole lanes past the end are cleared here). This is how
+    /// [`TagVec::extract_plane`] derives a plane block-parallel: the popcount
+    /// and lane-wise rank construction below are fixed-width array ops.
+    pub fn fill_from_blocks<F: FnMut(usize) -> [u64; LANES]>(&mut self, len: usize, mut block: F) {
+        self.clear(len);
+        self.nwords = len.div_ceil(64);
+        let nblocks = self.nwords.div_ceil(LANES);
+        for b in 0..nblocks {
+            let mut blk = block(b);
+            for (l, lane) in blk.iter_mut().enumerate() {
+                if b * LANES + l >= self.nwords {
+                    *lane = 0;
+                }
+            }
+            let mut ranks = [0u32; LANES];
+            let mut acc = self.total_ones as u32;
+            for l in 0..LANES {
+                // Lanes past the last word stay 0, matching `push_word`, so
+                // the derived equality over the whole struct is canonical.
+                ranks[l] = if b * LANES + l < self.nwords { acc } else { 0 };
+                acc += blk[l].count_ones();
+            }
+            self.total_ones = acc as usize;
+            self.blocks.push(blk);
+            self.rank_index.push(ranks);
         }
     }
 
@@ -113,7 +176,8 @@ impl BitVec {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
-        self.words[i >> 6] >> (i & 63) & 1 == 1
+        let w = i >> 6;
+        self.blocks[w / LANES][w & (LANES - 1)] >> (i & 63) & 1 == 1
     }
 
     /// Number of set bits in `[0, i)` (requires `i ≤ len`).
@@ -121,13 +185,26 @@ impl BitVec {
     pub fn rank(&self, i: usize) -> usize {
         debug_assert!(i <= self.len);
         let w = i >> 6;
+        if w >= self.nwords {
+            // i == len with len a multiple of 64: past the last stored word.
+            return self.total_ones;
+        }
         let r = i & 63;
-        let partial = if r == 0 {
-            0
+        let word = self.blocks[w / LANES][w & (LANES - 1)];
+        let base = self.rank_index[w / LANES][w & (LANES - 1)] as usize;
+        if r == 0 {
+            base
         } else {
-            (self.words[w] & ((1u64 << r) - 1)).count_ones() as usize
-        };
-        self.rank_index[w] + partial
+            base + (word & ((1u64 << r) - 1)).count_ones() as usize
+        }
+    }
+
+    /// Scalar oracle for [`BitVec::rank`]: a bit-at-a-time walk with no rank
+    /// index. Kept (like `route_reference`) so the lane-blocked fast path
+    /// always has an obviously-correct implementation to be tested against.
+    pub fn rank_scalar(&self, i: usize) -> usize {
+        debug_assert!(i <= self.len);
+        (0..i).filter(|&idx| self.get(idx)).count()
     }
 
     /// Number of set bits in `[a, b)`.
@@ -139,14 +216,24 @@ impl BitVec {
 
     /// Total number of set bits.
     pub fn count_ones(&self) -> usize {
-        *self.rank_index.last().unwrap_or(&0)
+        self.total_ones
     }
 
-    /// Position of the first set bit, if any.
+    /// Position of the first set bit, if any. Lanes past the end are kept
+    /// zero by construction, so whole blocks are rejected with one wide OR.
     pub fn first_set(&self) -> Option<usize> {
-        for (w, &x) in self.words.iter().enumerate() {
-            if x != 0 {
-                return Some((w << 6) + x.trailing_zeros() as usize);
+        for (b, blk) in self.blocks.iter().enumerate() {
+            let mut any = 0u64;
+            for lane in blk {
+                any |= lane;
+            }
+            if any == 0 {
+                continue;
+            }
+            for (l, &x) in blk.iter().enumerate() {
+                if x != 0 {
+                    return Some(((b * LANES + l) << 6) + x.trailing_zeros() as usize);
+                }
             }
         }
         None
@@ -154,7 +241,8 @@ impl BitVec {
 
     /// Heap bytes currently reserved (capacity, not length).
     pub fn footprint_bytes(&self) -> usize {
-        self.words.capacity() * 8 + self.rank_index.capacity() * std::mem::size_of::<usize>()
+        self.blocks.capacity() * std::mem::size_of::<[u64; LANES]>()
+            + self.rank_index.capacity() * std::mem::size_of::<[u32; LANES]>()
     }
 }
 
@@ -171,15 +259,19 @@ pub enum TagPlane {
     Eps,
 }
 
-/// A tag vector packed two bits per tag into two `u64` planes.
+/// A tag vector packed two bits per tag into two bit planes stored as
+/// `[u64; LANES]` lane blocks.
 ///
 /// Encoding (`lo`, `hi`): `0 = (0,0)`, `1 = (1,0)`, `α = (0,1)`,
-/// `ε = (1,1)`. Any single-tag plane is one boolean word expression over
-/// the two planes, so counting and extracting planes is word-parallel.
+/// `ε = (1,1)`. Any single-tag plane is one boolean expression over the two
+/// planes, evaluated a whole lane block at a time (`plane_block`); the
+/// single-word scalar form (`plane_word`) is retained as the oracle the
+/// wide kernels are tested against.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TagVec {
-    lo: Vec<u64>,
-    hi: Vec<u64>,
+    lo: Vec<[u64; LANES]>,
+    hi: Vec<[u64; LANES]>,
+    nwords: usize,
     len: usize,
 }
 
@@ -199,11 +291,25 @@ impl TagVec {
         self.len == 0
     }
 
+    #[inline]
+    fn push_words(&mut self, wlo: u64, whi: u64) {
+        let lane = self.nwords & (LANES - 1);
+        if lane == 0 {
+            self.lo.push([0u64; LANES]);
+            self.hi.push([0u64; LANES]);
+        }
+        let blk = self.nwords / LANES;
+        self.lo[blk][lane] = wlo;
+        self.hi[blk][lane] = whi;
+        self.nwords += 1;
+    }
+
     /// Rebuilds the vector as `len` tags produced by `f`, packing both
     /// planes 64 tags at a time. No allocation once capacity suffices.
     pub fn fill_from<F: FnMut(usize) -> Tag>(&mut self, len: usize, mut f: F) {
         self.lo.clear();
         self.hi.clear();
+        self.nwords = 0;
         self.len = len;
         let (mut alo, mut ahi) = (0u64, 0u64);
         for i in 0..len {
@@ -217,14 +323,12 @@ impl TagVec {
             alo |= (blo as u64) << sh;
             ahi |= (bhi as u64) << sh;
             if sh == 63 {
-                self.lo.push(alo);
-                self.hi.push(ahi);
+                self.push_words(alo, ahi);
                 (alo, ahi) = (0, 0);
             }
         }
         if len & 63 != 0 {
-            self.lo.push(alo);
-            self.hi.push(ahi);
+            self.push_words(alo, ahi);
         }
     }
 
@@ -233,7 +337,8 @@ impl TagVec {
     pub fn get(&self, i: usize) -> Tag {
         debug_assert!(i < self.len);
         let (w, sh) = (i >> 6, i & 63);
-        match (self.lo[w] >> sh & 1, self.hi[w] >> sh & 1) {
+        let (blk, lane) = (w / LANES, w & (LANES - 1));
+        match (self.lo[blk][lane] >> sh & 1, self.hi[blk][lane] >> sh & 1) {
             (0, 0) => Tag::Zero,
             (1, 0) => Tag::One,
             (0, 1) => Tag::Alpha,
@@ -241,28 +346,70 @@ impl TagVec {
         }
     }
 
-    /// Word `w` of the requested plane, with bits beyond `len` cleared.
+    /// Word `w` of the requested plane, with bits beyond `len` cleared —
+    /// the scalar oracle for [`TagVec::plane_block`].
     #[inline]
     fn plane_word(&self, plane: TagPlane, w: usize) -> u64 {
-        let (lo, hi) = (self.lo[w], self.hi[w]);
+        let (blk, lane) = (w / LANES, w & (LANES - 1));
+        let (lo, hi) = (self.lo[blk][lane], self.hi[blk][lane]);
         let raw = match plane {
             TagPlane::Zero => !lo & !hi,
             TagPlane::One => lo & !hi,
             TagPlane::Alpha => !lo & hi,
             TagPlane::Eps => lo & hi,
         };
-        let tail = self.len - (w << 6);
-        if tail >= 64 {
-            raw
-        } else {
-            raw & ((1u64 << tail) - 1)
-        }
+        raw & lane_tail_mask(self.len, w)
     }
 
-    /// Tallies all four tags by popcount over the packed planes.
+    /// Lane block `b` of the requested plane, with bits beyond `len`
+    /// cleared. Interior blocks are four unmasked boolean lane ops; only the
+    /// final block pays the per-lane tail mask.
+    #[inline]
+    fn plane_block(&self, plane: TagPlane, b: usize) -> [u64; LANES] {
+        let (lo, hi) = (&self.lo[b], &self.hi[b]);
+        let mut out = [0u64; LANES];
+        for l in 0..LANES {
+            out[l] = match plane {
+                TagPlane::Zero => !lo[l] & !hi[l],
+                TagPlane::One => lo[l] & !hi[l],
+                TagPlane::Alpha => !lo[l] & hi[l],
+                TagPlane::Eps => lo[l] & hi[l],
+            };
+        }
+        if (b + 1) * BLOCK_BITS > self.len {
+            for (l, lane) in out.iter_mut().enumerate() {
+                *lane &= lane_tail_mask(self.len, b * LANES + l);
+            }
+        }
+        out
+    }
+
+    /// Tallies all four tags by popcount over the packed planes, one lane
+    /// block per iteration.
     pub fn counts(&self) -> TagCounts {
         let mut c = TagCounts::default();
-        for w in 0..self.lo.len() {
+        for b in 0..self.lo.len() {
+            let (lo, hi) = (&self.lo[b], &self.hi[b]);
+            let full = (b + 1) * BLOCK_BITS <= self.len;
+            for l in 0..LANES {
+                let m = if full {
+                    !0u64
+                } else {
+                    lane_tail_mask(self.len, b * LANES + l)
+                };
+                c.n0 += ((!lo[l] & !hi[l]) & m).count_ones() as usize;
+                c.n1 += ((lo[l] & !hi[l]) & m).count_ones() as usize;
+                c.na += ((!lo[l] & hi[l]) & m).count_ones() as usize;
+                c.ne += ((lo[l] & hi[l]) & m).count_ones() as usize;
+            }
+        }
+        c
+    }
+
+    /// Scalar oracle for [`TagVec::counts`]: the retained single-u64 loop.
+    pub fn counts_scalar(&self) -> TagCounts {
+        let mut c = TagCounts::default();
+        for w in 0..self.nwords {
             c.n0 += self.plane_word(TagPlane::Zero, w).count_ones() as usize;
             c.n1 += self.plane_word(TagPlane::One, w).count_ones() as usize;
             c.na += self.plane_word(TagPlane::Alpha, w).count_ones() as usize;
@@ -271,25 +418,42 @@ impl TagVec {
         c
     }
 
-    /// Position of the first tag in `plane`, if any.
+    /// Position of the first tag in `plane`, if any. Whole lane blocks with
+    /// no hit are rejected with one wide OR before any scalar scan.
     pub fn first_in_plane(&self, plane: TagPlane) -> Option<usize> {
-        for w in 0..self.lo.len() {
-            let x = self.plane_word(plane, w);
-            if x != 0 {
-                return Some((w << 6) + x.trailing_zeros() as usize);
+        for b in 0..self.lo.len() {
+            let blk = self.plane_block(plane, b);
+            let mut any = 0u64;
+            for lane in &blk {
+                any |= lane;
+            }
+            if any == 0 {
+                continue;
+            }
+            for (l, &x) in blk.iter().enumerate() {
+                if x != 0 {
+                    return Some(((b * LANES + l) << 6) + x.trailing_zeros() as usize);
+                }
             }
         }
         None
     }
 
-    /// Extracts one plane into `out` (with its rank index), word-parallel.
+    /// Extracts one plane into `out` (with its rank index), one lane block
+    /// at a time.
     pub fn extract_plane(&self, plane: TagPlane, out: &mut BitVec) {
+        out.fill_from_blocks(self.len, |b| self.plane_block(plane, b));
+    }
+
+    /// Scalar oracle for [`TagVec::extract_plane`]: the retained word-at-a-
+    /// time path through [`BitVec::fill_from_words`].
+    pub fn extract_plane_scalar(&self, plane: TagPlane, out: &mut BitVec) {
         out.fill_from_words(self.len, |w| self.plane_word(plane, w));
     }
 
     /// Heap bytes currently reserved.
     pub fn footprint_bytes(&self) -> usize {
-        (self.lo.capacity() + self.hi.capacity()) * 8
+        (self.lo.capacity() + self.hi.capacity()) * std::mem::size_of::<[u64; LANES]>()
     }
 }
 
@@ -733,6 +897,64 @@ mod tests {
                     assert_eq!(plane.get(i), t == want, "len={len} i={i} {want:?}");
                 }
                 assert_eq!(tv.first_in_plane(p), tags.iter().position(|&t| t == want));
+            }
+        }
+    }
+
+    /// Satellite audit: every `1u64 << r`-style mask in this module must be
+    /// guarded against `r == 64` (full tail word) and against tail words at
+    /// lengths not a multiple of 64. Pin the boundary lengths, including the
+    /// all-ones pattern that maximizes the damage of an unmasked tail.
+    #[test]
+    fn shift_overflow_boundaries_pinned() {
+        let mut bv = BitVec::new();
+        let mut tv = TagVec::new();
+        for len in [1usize, 63, 64, 65, 127, 128, 191, 192, 255, 256, 257] {
+            // All-ones: rank at word boundaries exercises the r == 0 / past-
+            // the-last-word paths; plane masks must not leak phantom bits.
+            bv.fill_from(len, |_| true);
+            assert_eq!(bv.rank(len), len, "len={len}");
+            assert_eq!(bv.count_ones(), len, "len={len}");
+            for i in (0..=len).filter(|i| i % 63 == 0 || i % 64 == 0) {
+                assert_eq!(bv.rank(i), i, "len={len} i={i}");
+            }
+            // All-Zero tags: the Zero plane is computed by negation, the
+            // worst case for tail masking (bits past `len` read as Zero).
+            tv.fill_from(len, |_| Tag::Zero);
+            let c = tv.counts();
+            assert_eq!((c.n0, c.n1, c.na, c.ne), (len, 0, 0, 0), "len={len}");
+            assert_eq!(tv.first_in_plane(TagPlane::Zero), Some(0));
+            assert_eq!(tv.first_in_plane(TagPlane::Eps), None);
+            // All-ε: both planes all-ones in the tail word.
+            tv.fill_from(len, |_| Tag::Eps);
+            let c = tv.counts();
+            assert_eq!((c.n0, c.n1, c.na, c.ne), (0, 0, 0, len), "len={len}");
+            let mut plane = BitVec::new();
+            tv.extract_plane(TagPlane::Eps, &mut plane);
+            assert_eq!(plane.count_ones(), len, "len={len}");
+            assert_eq!(plane.rank(len), len, "len={len}");
+        }
+    }
+
+    /// The lane-blocked kernels must agree with the retained scalar oracles
+    /// at every boundary length (satellite n ∈ {1, 63, 64, 65, 127} plus the
+    /// block-boundary lengths of the [u64; LANES] layout).
+    #[test]
+    fn wide_lanes_match_scalar_oracles() {
+        let mut tv = TagVec::new();
+        let (mut wide, mut scalar) = (BitVec::new(), BitVec::new());
+        for len in [1usize, 63, 64, 65, 127, 255, 256, 257, 300] {
+            let tags: Vec<Tag> = (0..len).map(|i| tag_of(i * 11 + len)).collect();
+            tv.fill_from(len, |i| tags[i]);
+            assert_eq!(tv.counts(), tv.counts_scalar(), "len={len}");
+            assert_eq!(tv.counts(), TagCounts::of(&tags), "len={len}");
+            for plane in [TagPlane::Zero, TagPlane::One, TagPlane::Alpha, TagPlane::Eps] {
+                tv.extract_plane(plane, &mut wide);
+                tv.extract_plane_scalar(plane, &mut scalar);
+                assert_eq!(wide, scalar, "len={len} {plane:?}");
+                for i in 0..=len {
+                    assert_eq!(wide.rank(i), scalar.rank_scalar(i), "len={len} i={i}");
+                }
             }
         }
     }

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod batchplan;
 pub mod bitplan;
 pub mod distributed;
 pub mod fabric;
@@ -51,7 +52,8 @@ pub mod plan;
 pub mod sequence;
 pub mod setting;
 
-pub use bitplan::{BitVec, SweepScratch, TagPlane, TagVec};
+pub use batchplan::{BatchSweep, MAX_BATCH_FRAMES};
+pub use bitplan::{BitVec, SweepScratch, TagPlane, TagVec, LANES};
 pub use distributed::{
     distributed_bitsort, distributed_eps_divide, distributed_scatter, SweepStats,
 };

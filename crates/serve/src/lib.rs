@@ -421,6 +421,13 @@ pub struct ServeReport {
     /// Plans resident at startup from a warm-start snapshot
     /// ([`Server::start_warm`]); 0 for cold starts.
     pub plan_snapshot_loaded: u64,
+    /// Width, in `u64` words, of the SIMD lane blocks the fast path's
+    /// plane sweeps ran on (0 with a non-fast-path backend).
+    pub simd_lane_width: u64,
+    /// Served requests planned in lockstep SoA batches by the engine's
+    /// `BatchPlanner` (cache misses grouped per round; 0 with
+    /// `--no-batch-plan` or a non-BRSMN backend).
+    pub batch_planned_frames: u64,
     /// Headline latency figures.
     pub latency: LatencySummary,
     /// Full log₂ latency histogram.
@@ -743,6 +750,8 @@ impl Server {
             plan_misses: engine.plan_misses,
             plan_canonical_hits: engine.plan_canonical_hits,
             plan_snapshot_loaded: engine.plan_snapshot_loaded,
+            simd_lane_width: engine.simd_lane_width,
+            batch_planned_frames: engine.batch_planned_frames,
             latency: LatencySummary::from_histogram(&outcome.histogram),
             histogram: outcome.histogram,
             engine,
@@ -1074,6 +1083,13 @@ mod tests {
         assert_eq!(b.plan_hits, 0);
         assert_eq!(b.plan_misses, 0);
         assert_eq!(b.plan_canonical_hits, 0);
+        // SIMD/SoA instrumentation rides along: the BRSMN fast path always
+        // reports its lane width, and the cache-less server batch-plans
+        // every multi-frame round while the cached one only plans misses.
+        assert_eq!(a.simd_lane_width, brsmn_rbn::LANES as u64);
+        assert_eq!(b.simd_lane_width, brsmn_rbn::LANES as u64);
+        assert!(a.batch_planned_frames <= a.plan_misses);
+        assert!(b.batch_planned_frames <= 32);
         let key = |r: &ServeReport| {
             let mut v: Vec<(u64, RoutingResult)> = r
                 .completions
