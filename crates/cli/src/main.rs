@@ -63,14 +63,20 @@ fn usage() -> &'static str {
        faults --n N [--faults F] [--frames K] [--seed S] [--json] [--per-fault]\n\
               seeded single-fault injection campaign (detection/recovery rates)\n\
        serve-sim (--n N [--rounds R] [--seed S] [--p-arrival P] [--max-fanout F]\n\
+              [--churn [--tenants T] [--deadline-slack D] [--p-expired P]]\n\
               [--save-trace OUT] | --trace-file F)\n\
               [--shards S] [--workers W] [--capacity C] [--batch-window B]\n\
-              [--backend B] [--record-outputs] [--plan-cache CAP]\n\
-              [--cache-load F] [--cache-save F]\n\
-              replay a workload trace through the sharded serving loop;\n\
+              [--quota Q] [--weights W0,W1,..] [--backend B] [--record-outputs]\n\
+              [--plan-cache CAP] [--cache-load F] [--cache-save F]\n\
+              replay a workload trace through the multi-tenant serving loop;\n\
+              --churn generates the conference-churn session workload (one\n\
+              session per tenant, tenant-tagged requests with deadlines);\n\
+              tenants are inferred from the trace, --quota bounds each\n\
+              tenant's queue share and --weights skews round composition;\n\
               --cache-load warm-starts the plan cache from a snapshot and\n\
               --cache-save persists it after the run (brsmn backend only);\n\
-              prints the JSON ServeReport on stdout, a summary on stderr\n\
+              prints the JSON ServeReport on stdout, a summary plus\n\
+              per-tenant lines and an output-hash on stderr\n\
      workloads: dense | sparse | broadcast | permutation | conferences | replicas\n\
      engines:   semantic | self-routing | feedback | classical | crossbar | chengchen\n\
                 (--parallel supports semantic and self-routing)\n\
@@ -483,11 +489,29 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
 /// `serve-sim`: replay a workload trace (generated or loaded) through the
 /// sharded serving loop and emit the JSON [`brsmn_serve::ServeReport`].
 fn cmd_serve_sim(args: &Args) -> Result<(), String> {
-    // The trace: either replayed from a file or generated from the same
-    // seeded arrival process the queueing model uses.
+    // The trace: replayed from a file, generated by the multi-tenant
+    // conference-churn session model (`--churn`), or generated from the
+    // same seeded flat arrival process the queueing model uses.
     let trace = if let Some(path) = args.get("trace-file") {
         let buf = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         Trace::from_json(&buf).map_err(|e| format!("parse {path}: {e}"))?
+    } else if args.flag("churn") {
+        let n: usize = args.get_parse("n")?.ok_or("--n or --trace-file is required")?;
+        let seed: u64 = args.get_parse("seed")?.unwrap_or(1);
+        let mut spec = brsmn_serve::ChurnTraceSpec::default_for(n);
+        if let Some(r) = args.get_parse::<usize>("rounds")? {
+            spec.rounds = r;
+        }
+        if let Some(t) = args.get_parse::<u32>("tenants")? {
+            spec.tenants = t;
+        }
+        if let Some(s) = args.get_parse::<u64>("deadline-slack")? {
+            spec.deadline_slack = s;
+        }
+        if let Some(p) = args.get_parse::<f64>("p-expired")? {
+            spec.p_expired = p;
+        }
+        Trace::from_churn(spec, seed)?
     } else {
         let n: usize = args.get_parse("n")?.ok_or("--n or --trace-file is required")?;
         let seed: u64 = args.get_parse("seed")?.unwrap_or(1);
@@ -531,6 +555,30 @@ fn cmd_serve_sim(args: &Args) -> Result<(), String> {
         cfg.backend = backend.parse::<BackendKind>()?;
     }
     cfg.record_outputs = args.flag("record-outputs");
+    // Tenants: sized to admit every tenant the trace names (old
+    // single-tenant traces infer one). `--quota` caps each tenant's queue
+    // share; `--weights a,b,c` skews the weighted-round-robin composer.
+    let tenant_count = trace.tenant_count().max(1) as usize;
+    let quota = match args.get_parse::<usize>("quota")? {
+        Some(q) => q,
+        None => cfg.queue_capacity.div_ceil(tenant_count).max(1),
+    };
+    cfg.tenants = vec![brsmn_serve::TenantSpec { quota, weight: 1 }; tenant_count];
+    if let Some(raw) = args.get("weights") {
+        let weights: Vec<u32> = raw
+            .split(',')
+            .map(|w| w.trim().parse::<u32>().map_err(|e| format!("--weights: {e}")))
+            .collect::<Result<_, _>>()?;
+        if weights.len() != tenant_count {
+            return Err(format!(
+                "--weights: got {} entries for {tenant_count} tenant(s)",
+                weights.len()
+            ));
+        }
+        for (spec, w) in cfg.tenants.iter_mut().zip(weights) {
+            spec.weight = w;
+        }
+    }
     let cache_load = args.get("cache-load").map(str::to_string);
     let cache_save = args.get("cache-save").map(str::to_string);
     cfg.plan_cache = match args.get_parse::<usize>("plan-cache")? {
@@ -555,6 +603,7 @@ fn cmd_serve_sim(args: &Args) -> Result<(), String> {
         None
     };
 
+    let plan_cache = cfg.plan_cache;
     let report = match &cache {
         Some(cache) => {
             serve_trace_warm(cfg, &trace, Arc::clone(cache)).map_err(|e| e.to_string())?
@@ -562,7 +611,7 @@ fn cmd_serve_sim(args: &Args) -> Result<(), String> {
         None => serve_trace(cfg, &trace).map_err(|e| e.to_string())?,
     };
 
-    if cfg.plan_cache > 0 {
+    if plan_cache > 0 {
         eprintln!(
             "plan cache: {} hits ({} canonical), {} misses, {} snapshot-loaded",
             report.plan_hits,
@@ -588,6 +637,25 @@ fn cmd_serve_sim(args: &Args) -> Result<(), String> {
         report.frames_per_sec,
         report.latency.p99_ns,
     );
+    for t in &report.tenants {
+        eprintln!(
+            "tenant {}: {} submitted, {} served, {} rejected \
+             ({} quota, {} deadline), peak queue {}/{} (weight {})",
+            t.tenant,
+            t.submitted,
+            t.served_ok + t.served_err,
+            t.rejected,
+            t.rejections.quota_exceeded,
+            t.rejections.deadline_exceeded,
+            t.max_queued,
+            t.quota,
+            t.weight,
+        );
+    }
+    // Order-independent digest of every delivered output; two replays of
+    // the same trace must print the same hash (the CI determinism gate
+    // diffs this line).
+    eprintln!("output-hash: {:#018x}", report.output_hash);
     println!(
         "{}",
         serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
@@ -595,6 +663,9 @@ fn cmd_serve_sim(args: &Args) -> Result<(), String> {
 
     if !report.conserves() {
         return Err("serving conservation law violated".into());
+    }
+    if !report.quotas_respected() {
+        return Err("per-tenant quota exceeded".into());
     }
     if report.served_err > 0 {
         return Err(format!("{} request(s) failed to route", report.served_err));

@@ -167,6 +167,98 @@ fn serve_sim_replays_committed_demo_trace() {
     assert_eq!(report.served_err, 0);
 }
 
+/// Pull the `output-hash: 0x…` line out of serve-sim's stderr summary.
+fn output_hash_line(stderr: &[u8]) -> String {
+    String::from_utf8_lossy(stderr)
+        .lines()
+        .find(|l| l.starts_with("output-hash:"))
+        .expect("serve-sim prints an output-hash line")
+        .to_string()
+}
+
+#[test]
+fn serve_sim_churn_builds_multi_tenant_report() {
+    let out = bin()
+        .args([
+            "serve-sim", "--n", "32", "--churn", "--tenants", "3", "--rounds", "12",
+            "--p-expired", "0.1", "--seed", "7", "--capacity", "64", "--quota", "24",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report: brsmn_serve::ServeReport =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert!(report.conserves(), "{report:?}");
+    assert!(report.quotas_respected(), "{report:?}");
+    assert_eq!(report.tenants.len(), 3);
+    assert!(report.rejections.deadline_exceeded > 0, "p-expired 0.1 must shed");
+    for tr in &report.tenants {
+        assert!(tr.submitted > 0, "tenant {} got no traffic", tr.tenant);
+        assert_eq!(tr.quota, 24);
+    }
+
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("tenant 0:"), "{err}");
+    assert!(err.contains("tenant 2:"), "{err}");
+    assert!(err.contains("output-hash: 0x"), "{err}");
+}
+
+#[test]
+fn serve_sim_committed_churn_trace_is_bit_deterministic() {
+    // The committed 3-tenant churn trace must replay with identical
+    // output hashes run to run and across queue capacities — the same
+    // gate CI applies.
+    let trace = "../../traces/churn_3tenants_n256.json";
+    let run = |capacity: &str| {
+        let out = bin()
+            .args([
+                "serve-sim", "--trace-file", trace, "--capacity", capacity, "--quota", "32",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let report: brsmn_serve::ServeReport =
+            serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+        (report, output_hash_line(&out.stderr))
+    };
+    let (a, hash_a) = run("96");
+    let (b, hash_b) = run("96");
+    let (tiny, hash_tiny) = run("8");
+
+    for r in [&a, &b, &tiny] {
+        assert!(r.conserves(), "{r:?}");
+        assert!(r.quotas_respected(), "{r:?}");
+        assert_eq!(r.tenants.len(), 3, "tenant count inferred from the trace");
+        assert_eq!(r.submitted, a.submitted, "trace replay lost requests");
+        assert!(r.rejections.deadline_exceeded > 0, "trace carries expiries");
+        assert_eq!(r.rejected, r.rejections.deadline_exceeded);
+    }
+    assert_eq!(hash_a, hash_b, "same capacity, different outputs");
+    assert_eq!(hash_a, hash_tiny, "queue capacity leaked into outputs");
+}
+
+#[test]
+fn serve_sim_rejects_bad_tenant_flags() {
+    // Wrong number of --weights entries for the inferred tenant count.
+    let out = bin()
+        .args([
+            "serve-sim", "--n", "16", "--churn", "--tenants", "3", "--rounds", "4",
+            "--weights", "1,2",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--weights"), "{err}");
+
+    // Zero quota is rejected by config validation.
+    let out = bin()
+        .args(["serve-sim", "--n", "16", "--rounds", "4", "--quota", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
 #[test]
 fn serve_sim_alternate_backends_and_bad_backend() {
     let out = bin()

@@ -1,6 +1,9 @@
 //! Power-of-two latency histograms: fixed memory, O(1) record, exact
-//! count/sum/max plus bucketed quantiles — the serving loop records one
-//! sample per completed request.
+//! count/sum/max plus bucketed quantiles — the serving loop records each
+//! completed request twice, once into the global histogram and once into
+//! the submitting tenant's, so the 64-word footprint is per tenant and
+//! per-tenant tail latencies (`TenantReport::latency`) cost no extra
+//! allocation on the serving path.
 
 use serde::{Deserialize, Serialize};
 

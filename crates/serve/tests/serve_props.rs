@@ -10,7 +10,9 @@
 
 use std::collections::HashSet;
 
-use brsmn_serve::{BackendKind, Completion, ServeConfig, Server};
+use brsmn_serve::{
+    serve_trace, BackendKind, Completion, EpochUpdate, ServeConfig, Server, TenantSpec, Trace,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -117,6 +119,96 @@ proptest! {
                 a.id
             );
         }
+    }
+
+    /// Trace replay is bit-deterministic across queue capacities: after
+    /// the lossy-replay fix, capacity shifts *when* requests are admitted
+    /// but never what is delivered or the order-independent output hash.
+    #[test]
+    fn replay_deterministic_across_capacities(seed in 0u64..1000) {
+        let mut base = ServeConfig::new(16);
+        base.queue.max_fanout = 5;
+        let trace = Trace::generate(base.queue, seed, 12).unwrap();
+        prop_assume!(!trace.is_empty());
+
+        let mut reference: Option<u64> = None;
+        for capacity in [2usize, 64, 1024] {
+            let mut cfg = base.clone();
+            cfg.queue_capacity = capacity;
+            cfg.batch_window = 4;
+            let report = serve_trace(cfg, &trace).unwrap();
+            prop_assert!(report.conserves(), "capacity {}: {:?}", capacity, report);
+            prop_assert_eq!(
+                report.accepted + report.drained,
+                trace.len() as u64,
+                "capacity {} lost requests", capacity
+            );
+            prop_assert_eq!(report.rejected, 0);
+            match reference {
+                None => reference = Some(report.output_hash),
+                Some(expect) => prop_assert_eq!(
+                    report.output_hash, expect,
+                    "capacity {} changed delivered outputs", capacity
+                ),
+            }
+        }
+    }
+
+    /// The extended conservation law survives adversarial multi-tenant
+    /// streams: arbitrary tenants (including unknown ones), mixed
+    /// deadlines (none / generous / already expired), and a mid-run epoch
+    /// change that rewrites quotas and weights.
+    #[test]
+    fn per_tenant_conservation_with_epoch_change(
+        reqs in vec(
+            (
+                0u32..5,                       // tenants 3..4 are unknown
+                0usize..16,
+                vec(0usize..16, 1..=4),
+                prop_oneof![
+                    Just(None),
+                    Just(Some(3_600_000_000_000u64)), // one hour: never sheds
+                    Just(Some(0u64)),                 // sheds at composition
+                ],
+            ),
+            1..60,
+        ),
+        new_quota in 1usize..64,
+    ) {
+        let mut cfg = ServeConfig::new(16);
+        cfg.queue.max_fanout = 16;
+        cfg.queue_capacity = 256;
+        cfg.tenants = vec![
+            TenantSpec { quota: 64, weight: 2 },
+            TenantSpec { quota: 64, weight: 1 },
+            TenantSpec { quota: 64, weight: 1 },
+        ];
+        let mut server = Server::start(cfg).unwrap();
+        let half = reqs.len() / 2;
+        for (tenant, src, dests, deadline) in &reqs[..half] {
+            let _ = server.submit_for(*tenant, *src, dests, *deadline);
+        }
+        let epoch = server.reconfigure(EpochUpdate {
+            quotas: Some(vec![new_quota; 3]),
+            weights: Some(vec![1, 3, 2]),
+            ..EpochUpdate::default()
+        }).unwrap();
+        prop_assert_eq!(epoch, 1);
+        for (tenant, src, dests, deadline) in &reqs[half..] {
+            let _ = server.submit_for(*tenant, *src, dests, *deadline);
+        }
+        let report = server.shutdown();
+
+        prop_assert!(report.conserves(), "conservation broken: {report:?}");
+        prop_assert_eq!(report.submitted, reqs.len() as u64);
+        prop_assert_eq!(report.epoch, 1);
+        let unknown = reqs.iter().filter(|(t, ..)| *t >= 3).count() as u64;
+        prop_assert_eq!(report.rejections.unknown_tenant, unknown);
+        // Every known-tenant submission with an expired deadline is shed;
+        // nothing else is (capacity 256 > 60 requests, quotas >= 1 retry-free
+        // because live submissions are per-attempt — shed happens in-loop).
+        let tenant_sub: u64 = report.tenants.iter().map(|t| t.submitted).sum();
+        prop_assert_eq!(tenant_sub + unknown, report.submitted);
     }
 
     /// Every non-BRSMN backend conserves and serves the same stream the

@@ -1,0 +1,147 @@
+//! Multi-tenant serving: per-tenant quotas, deadline shedding, epoch-based
+//! reconfiguration, and the extended (per-tenant) conservation law.
+
+use brsmn_serve::{
+    serve_trace, ChurnTraceSpec, EpochUpdate, ServeConfig, Server, TenantSpec, Trace,
+};
+
+#[test]
+fn churn_trace_replay_conserves_per_tenant() {
+    // Three tenants' conference-churn sessions with mixed deadlines (some
+    // already expired at arrival), replayed through a quota-bound server.
+    let mut spec = ChurnTraceSpec::default_for(64);
+    spec.rounds = 30;
+    spec.p_expired = 0.1;
+    let trace = Trace::from_churn(spec, 21).unwrap();
+    assert_eq!(trace.tenant_count(), 3);
+
+    let mut cfg = ServeConfig::new(64);
+    cfg.queue.max_fanout = 64;
+    cfg.queue_capacity = 48;
+    cfg.batch_window = 8;
+    cfg.tenants = vec![TenantSpec { quota: 16, weight: 1 }; 3];
+    let report = serve_trace(cfg, &trace).unwrap();
+
+    assert!(report.conserves(), "{report:?}");
+    assert!(report.quotas_respected(), "{report:?}");
+    assert_eq!(report.submitted, trace.len() as u64);
+    assert_eq!(report.tenants.len(), 3);
+
+    // Replay loses nothing: every request is served or deterministically
+    // shed as expired-at-arrival; quota/backpressure never drops one.
+    let expired = trace
+        .requests
+        .iter()
+        .filter(|r| r.expired_at_arrival())
+        .count() as u64;
+    assert!(expired > 0);
+    assert_eq!(report.rejections.deadline_exceeded, expired);
+    assert_eq!(report.rejected, expired);
+    assert_eq!(report.accepted + report.drained, trace.len() as u64 - expired);
+
+    for (t, tr) in report.tenants.iter().enumerate() {
+        assert!(tr.submitted > 0, "tenant {t} got no traffic");
+        assert!(tr.max_queued <= tr.quota, "tenant {t} overflowed its quota");
+        // Per-tenant shed counts reconcile against the trace.
+        let t_expired = trace
+            .requests
+            .iter()
+            .filter(|r| r.tenant_id() as usize == t && r.expired_at_arrival())
+            .count() as u64;
+        assert_eq!(tr.rejections.deadline_exceeded, t_expired, "tenant {t}");
+        assert_eq!(tr.served_ok + tr.served_err, tr.submitted - t_expired, "tenant {t}");
+    }
+}
+
+#[test]
+fn live_mixed_deadlines_with_mid_run_epoch_change() {
+    // Three tenants submit live with a mix of no deadline, a generous
+    // deadline, and an instantly-expired one; quotas and weights change
+    // mid-run. Conservation must hold per tenant, and every completion
+    // must carry the epoch under which it was admitted.
+    const HOUR_NS: u64 = 3_600_000_000_000;
+    let mut cfg = ServeConfig::new(16);
+    cfg.queue.max_fanout = 16;
+    cfg.queue_capacity = 512;
+    cfg.tenants = vec![
+        TenantSpec { quota: 256, weight: 2 },
+        TenantSpec { quota: 256, weight: 1 },
+        TenantSpec { quota: 256, weight: 1 },
+    ];
+    cfg.record_outputs = true;
+    let mut server = Server::start(cfg).unwrap();
+
+    let submit_wave = |server: &mut Server| {
+        for i in 0..30usize {
+            let tenant = (i % 3) as u32;
+            let deadline = match (i / 3) % 3 {
+                0 => None,
+                1 => Some(HOUR_NS),
+                _ => Some(0), // expired the instant it is queued
+            };
+            server
+                .submit_for(tenant, i % 16, &[(i + 5) % 16, (i + 9) % 16], deadline)
+                .unwrap();
+        }
+    };
+    submit_wave(&mut server);
+    let epoch = server
+        .reconfigure(EpochUpdate {
+            quotas: Some(vec![128, 128, 300]),
+            weights: Some(vec![1, 1, 3]),
+            ..EpochUpdate::default()
+        })
+        .unwrap();
+    assert_eq!(epoch, 1);
+    submit_wave(&mut server);
+    let report = server.shutdown();
+
+    assert!(report.conserves(), "{report:?}");
+    assert_eq!(report.epoch, 1);
+    assert_eq!(report.submitted, 60);
+    assert_eq!(report.tenants.len(), 3);
+    // Per wave, each tenant gets exactly 3 instantly-expired requests.
+    assert_eq!(report.rejections.deadline_exceeded, 18);
+    assert_eq!(report.served_ok, 42);
+    for tr in &report.tenants {
+        assert_eq!(tr.submitted, 20);
+        assert_eq!(tr.rejections.deadline_exceeded, 6);
+        assert_eq!(tr.served_ok, 14);
+        // Final quotas/weights (the reconfigured ones) land in the report.
+        assert_eq!(
+            (tr.quota, tr.weight),
+            if tr.tenant == 2 { (300, 3) } else { (128, 1) }
+        );
+    }
+    // Completions are stamped with their admission epoch: 21 survivors
+    // from each wave.
+    let mut by_epoch = [0u64; 2];
+    for c in &report.completions {
+        by_epoch[c.epoch as usize] += 1;
+    }
+    assert_eq!(by_epoch, [21, 21]);
+}
+
+#[test]
+fn churn_replay_respects_lowered_mid_trace_quotas_too() {
+    // Same churn trace, much tighter quotas: replay retries QuotaExceeded
+    // instead of dropping, so tight quotas slow the replay down but still
+    // lose nothing.
+    let mut spec = ChurnTraceSpec::default_for(32);
+    spec.rounds = 16;
+    let trace = Trace::from_churn(spec, 4).unwrap();
+    let mut cfg = ServeConfig::new(32);
+    cfg.queue.max_fanout = 32;
+    cfg.queue_capacity = 16;
+    cfg.batch_window = 4;
+    cfg.tenants = vec![TenantSpec { quota: 2, weight: 1 }; 3];
+    let report = serve_trace(cfg, &trace).unwrap();
+    assert!(report.conserves(), "{report:?}");
+    assert!(report.quotas_respected(), "{report:?}");
+    assert_eq!(report.accepted + report.drained + report.rejected, trace.len() as u64);
+    assert_eq!(report.rejections.quota_exceeded, 0, "quota pressure must retry, not drop");
+    assert_eq!(report.rejections.queue_full, 0);
+    for tr in &report.tenants {
+        assert!(tr.max_queued <= 2);
+    }
+}

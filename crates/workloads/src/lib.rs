@@ -37,4 +37,4 @@ pub use patterns::{
 pub use random::{random_multicast, random_partial_permutation, random_permutation, RandomSpec};
 pub use queueing::{simulate_queueing, QueueConfig, QueueError, QueueStats};
 pub use schedule::{rounds_lower_bound, schedule_rounds, Request, Schedule};
-pub use sessions::{simulate, SessionConfig, SessionSim, SessionStats};
+pub use sessions::{simulate, SessionConfig, SessionRouteError, SessionSim, SessionStats};

@@ -102,10 +102,14 @@ impl SessionSim {
                 }
                 self.conferences.swap_remove(k);
                 changed = true;
-                // Re-index owners after swap_remove.
-                for (ci, conf) in self.conferences.iter().enumerate() {
-                    for &m in &conf.members {
-                        self.owner[m] = Some(ci);
+                // swap_remove moved (at most) the last conference into slot
+                // k; only its members' owner entries are stale. Every other
+                // conference kept its index, so re-indexing just the moved
+                // one keeps the step linear instead of quadratic in the
+                // number of live conferences.
+                if k < self.conferences.len() {
+                    for &m in &self.conferences[k].members {
+                        self.owner[m] = Some(k);
                     }
                 }
             } else {
@@ -182,6 +186,15 @@ impl SessionSim {
         self.conferences.len()
     }
 
+    /// The live conferences as `(speaker, members)` views — one multicast
+    /// request each. Multi-tenant serving drives each conference as its own
+    /// single-source frame instead of merging them into one assignment.
+    pub fn conferences(&self) -> impl Iterator<Item = (usize, &[usize])> + '_ {
+        self.conferences
+            .iter()
+            .map(|c| (c.speaker, c.members.as_slice()))
+    }
+
     fn first_free_output(&mut self) -> Option<usize> {
         let n = self.config.n;
         let start = self.rng.gen_range(0..n);
@@ -191,20 +204,60 @@ impl SessionSim {
     }
 }
 
+/// A churn round whose assignment the router under test failed to realize.
+///
+/// Carries everything needed to reproduce the failure offline: which round
+/// failed and the exact assignment it was handed. A multi-tenant campaign
+/// can log it and keep the other tenants running instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRouteError {
+    /// Zero-based round index that failed.
+    pub round: usize,
+    /// The assignment the router could not realize.
+    pub assignment: MulticastAssignment,
+    /// Statistics accumulated over the rounds that did route.
+    pub stats: SessionStats,
+}
+
+impl std::fmt::Display for SessionRouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "churn round {} failed to route ({} connections, max fanout {})",
+            self.round,
+            self.assignment.total_connections(),
+            self.assignment.max_fanout()
+        )
+    }
+}
+
+impl std::error::Error for SessionRouteError {}
+
 /// Runs `rounds` of churn, routing every round through `router` (which
 /// returns whether the round was realized), and accumulates statistics.
-/// Panics if any round fails to route — with the BRSMN that cannot happen.
+///
+/// A round the router fails to realize returns a typed
+/// [`SessionRouteError`] naming the round and carrying the failing
+/// assignment (plus the stats accumulated so far) — with the BRSMN that
+/// cannot happen, but campaigns over lossy or faulty backends must not
+/// abort mid-run.
 pub fn simulate<F: FnMut(&MulticastAssignment) -> bool>(
     config: SessionConfig,
     seed: u64,
     rounds: usize,
     mut router: F,
-) -> SessionStats {
+) -> Result<SessionStats, SessionRouteError> {
     let mut sim = SessionSim::new(config, seed);
     let mut stats = SessionStats::default();
     for round in 0..rounds {
         let (asg, changed) = sim.step();
-        assert!(router(&asg), "round {round} failed to route");
+        if !router(&asg) {
+            return Err(SessionRouteError {
+                round,
+                assignment: asg,
+                stats,
+            });
+        }
         stats.rounds += 1;
         stats.total_connections += asg.total_connections();
         stats.max_fanout = stats.max_fanout.max(asg.max_fanout());
@@ -213,7 +266,7 @@ pub fn simulate<F: FnMut(&MulticastAssignment) -> bool>(
             stats.churn_rounds += 1;
         }
     }
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -237,7 +290,8 @@ mod tests {
         let net = Brsmn::new(n).unwrap();
         let stats = simulate(SessionConfig::default_for(n), 7, 300, |asg| {
             net.route(asg).map(|r| r.realizes(asg)).unwrap_or(false)
-        });
+        })
+        .expect("BRSMN routes every churn round");
         assert_eq!(stats.rounds, 300);
         assert!(stats.churn_rounds > 100, "{stats:?}");
         assert!(stats.max_live_conferences >= 2);
@@ -250,8 +304,25 @@ mod tests {
         let net = FeedbackBrsmn::new(n).unwrap();
         let stats = simulate(SessionConfig::default_for(n), 11, 150, |asg| {
             net.route(asg).map(|(r, _)| r.realizes(asg)).unwrap_or(false)
-        });
+        })
+        .expect("feedback network routes every churn round");
         assert_eq!(stats.rounds, 150);
+    }
+
+    #[test]
+    fn routing_failure_is_a_typed_error_not_a_panic() {
+        // A router that gives up on round 3: the error names the round,
+        // carries the failing assignment, and keeps the stats up to there.
+        let mut calls = 0usize;
+        let err = simulate(SessionConfig::default_for(16), 5, 50, |_| {
+            calls += 1;
+            calls <= 3
+        })
+        .unwrap_err();
+        assert_eq!(err.round, 3);
+        assert_eq!(err.stats.rounds, 3);
+        assert_eq!(err.assignment.n(), 16);
+        assert!(err.to_string().contains("round 3"), "{err}");
     }
 
     #[test]
@@ -274,8 +345,52 @@ mod tests {
             p_leave: 0.0,
             p_speaker_change: 0.0,
         };
-        let stats = simulate(config, 1, 20, |asg| asg.total_connections() == 0);
+        let stats = simulate(config, 1, 20, |asg| asg.total_connections() == 0).unwrap();
         assert_eq!(stats.churn_rounds, 0);
         assert_eq!(stats.total_connections, 0);
+    }
+
+    /// FNV-1a over the JSON of every emitted assignment — a stable digest
+    /// of the whole churn stream.
+    fn stream_digest(n: usize, seed: u64, rounds: usize) -> u64 {
+        let mut sim = SessionSim::new(SessionConfig::default_for(n), seed);
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for _ in 0..rounds {
+            let (asg, _) = sim.step();
+            for byte in serde_json::to_string(&asg).unwrap().bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        hash
+    }
+
+    #[test]
+    fn seed_determinism_regression() {
+        // Pinned digests of the churn stream: the linear swap_remove
+        // re-index must keep emitting bit-identical rounds (it only touches
+        // the conference that swap_remove moved — every other index is
+        // already correct), and any future change to event ordering or RNG
+        // consumption shows up here as a digest drift, not a silent shift.
+        assert_eq!(stream_digest(16, 3, 120), stream_digest(16, 3, 120));
+        assert_eq!(stream_digest(64, 42, 200), 0xf785_bf19_7528_e454);
+        assert_eq!(stream_digest(16, 7, 120), 0x09c9_461a_ff4a_84e2);
+    }
+
+    #[test]
+    fn conferences_view_matches_assignment() {
+        let mut sim = SessionSim::new(SessionConfig::default_for(32), 9);
+        for _ in 0..50 {
+            sim.step();
+            let asg = sim.assignment();
+            let mut by_view = 0usize;
+            for (speaker, members) in sim.conferences() {
+                assert!(speaker < 32);
+                assert!(!members.is_empty());
+                by_view += members.len();
+            }
+            assert_eq!(by_view, asg.total_connections());
+            assert_eq!(sim.conferences().count(), sim.live());
+        }
     }
 }

@@ -14,12 +14,22 @@ fn main() {
     let net = Brsmn::new(n).unwrap();
 
     println!("simulating {rounds} rounds of conference churn on a {n}-endpoint fabric…\n");
-    let stats = simulate(SessionConfig::default_for(n), 2026, rounds, |asg| {
+    let stats = match simulate(SessionConfig::default_for(n), 2026, rounds, |asg| {
         // Route with the faithful self-routing engine every round.
         net.route_self_routing(asg)
             .map(|r| r.realizes(asg))
             .unwrap_or(false)
-    });
+    }) {
+        Ok(stats) => stats,
+        // With the BRSMN this is unreachable (the nonblocking theorem), but
+        // the harness no longer panics: a failing round comes back typed,
+        // with the round index and the assignment that did it.
+        Err(err) => {
+            eprintln!("churn campaign aborted: {err}");
+            eprintln!("stats up to the failure: {:?}", err.stats);
+            std::process::exit(1);
+        }
+    };
 
     println!("rounds simulated        : {}", stats.rounds);
     println!("rounds with churn       : {}", stats.churn_rounds);
