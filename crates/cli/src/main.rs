@@ -9,6 +9,7 @@
 //! brsmn-cli seq    --n 8 --dests 3,4,7                       # routing-tag sequence
 //! brsmn-cli faults --n 64 --faults 64 --seed 1               # fault campaign
 //! brsmn-cli serve-sim --n 64 --shards 4 --rounds 32          # serving-loop replay
+//! brsmn-cli cluster-sim --nodes 4 --seed 7 --drop 0.2        # control-plane campaign
 //! ```
 
 use std::io::Read;
@@ -20,6 +21,7 @@ use brsmn_core::{
     metrics, render_trace, Brsmn, Engine, EngineConfig, FeedbackBrsmn, MulticastAssignment,
     PlanCache, PlanCacheSnapshot, RoutingResult, TagTree,
 };
+use brsmn_cluster::{run_campaign, CampaignSpec};
 use brsmn_serve::{serve_trace, serve_trace_warm, BackendKind, ServeConfig, Trace};
 use brsmn_sim::{brsmn_routing_time, feedback_routing_time, run_single_fault_campaign};
 use brsmn_workloads::{
@@ -77,10 +79,20 @@ fn usage() -> &'static str {
               --cache-save persists it after the run (brsmn backend only);\n\
               prints the JSON ServeReport on stdout, a summary plus\n\
               per-tenant lines and an output-hash on stderr\n\
+       cluster-sim [--n N] [--nodes K] [--seed S] [--ticks T] [--drop P]\n\
+              [--inbox C] [--frames F] [--invalidations I] [--partition A,B]\n\
+              [--crash NODE,A,B] [--remove-node K] [--settle T]\n\
+              run a deterministic fault campaign over the simulated\n\
+              distributed control plane (virtual-time network, Paxos-style\n\
+              membership, reliable invalidation broadcast, anti-entropy);\n\
+              prints the JSON CampaignReport on stdout, a summary on stderr;\n\
+              exits nonzero on a lost invalidation, split-brain decided\n\
+              logs, non-convergence, or routing divergence from the\n\
+              single-process sharded oracle\n\
      workloads: dense | sparse | broadcast | permutation | conferences | replicas\n\
      engines:   semantic | self-routing | feedback | classical | crossbar | chengchen\n\
                 (--parallel supports semantic and self-routing)\n\
-     backends (serve-sim): brsmn | reference | feedback | crossbar | copy-benes"
+     backends (serve-sim): brsmn | reference | feedback | crossbar | copy-benes | cluster"
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -93,6 +105,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "seq" => cmd_seq(&args),
         "faults" => cmd_faults(&args),
         "serve-sim" => cmd_serve_sim(&args),
+        "cluster-sim" => cmd_cluster_sim(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -669,6 +682,139 @@ fn cmd_serve_sim(args: &Args) -> Result<(), String> {
     }
     if report.served_err > 0 {
         return Err(format!("{} request(s) failed to route", report.served_err));
+    }
+    Ok(())
+}
+
+/// `cluster-sim`: one scripted fault campaign over the simulated
+/// distributed control plane, with every invariant checked — the CLI face
+/// of [`brsmn_cluster::run_campaign`].
+fn cmd_cluster_sim(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.get_parse("seed")?.unwrap_or(1);
+    let mut spec = CampaignSpec::default_at(seed);
+    if let Some(n) = args.get_parse::<usize>("n")? {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(format!("n must be a power of two >= 2, got {n}"));
+        }
+        spec.n = n;
+    }
+    if let Some(k) = args.get_parse::<usize>("nodes")? {
+        if k == 0 {
+            return Err("--nodes must be >= 1".into());
+        }
+        spec.nodes = k;
+    }
+    if let Some(t) = args.get_parse::<u64>("ticks")? {
+        spec.ticks = t;
+    }
+    if let Some(p) = args.get_parse::<f64>("drop")? {
+        if !(0.0..1.0).contains(&p) {
+            return Err(format!("--drop must be in [0, 1), got {p}"));
+        }
+        spec.drop_p = p;
+    }
+    if let Some(c) = args.get_parse::<usize>("inbox")? {
+        spec.inbox_capacity = c.max(1);
+    }
+    if let Some(f) = args.get_parse::<usize>("frames")? {
+        spec.frames = f;
+    }
+    if let Some(i) = args.get_parse::<usize>("invalidations")? {
+        spec.invalidations = i;
+    }
+    if let Some(t) = args.get_parse::<u64>("settle")? {
+        spec.settle_ticks = t;
+    }
+    // Windows parse as comma lists; `--partition none` / `--crash none`
+    // clear the default windows.
+    let parse_window = |raw: &str, what: &str| -> Result<Vec<u64>, String> {
+        raw.split(',')
+            .map(|v| v.trim().parse::<u64>().map_err(|e| format!("--{what}: {e}")))
+            .collect()
+    };
+    if let Some(raw) = args.get("partition") {
+        if raw == "none" {
+            spec.partition = None;
+        } else {
+            let w = parse_window(raw, "partition")?;
+            if w.len() != 2 || w[0] >= w[1] {
+                return Err("--partition wants START,END with START < END".into());
+            }
+            spec.partition = Some((w[0], w[1]));
+        }
+    }
+    if let Some(raw) = args.get("crash") {
+        if raw == "none" {
+            spec.crash = None;
+        } else {
+            let w = parse_window(raw, "crash")?;
+            if w.len() != 3 || w[1] >= w[2] {
+                return Err("--crash wants NODE,START,END with START < END".into());
+            }
+            if w[0] as usize >= spec.nodes {
+                return Err(format!("--crash: node {} out of range", w[0]));
+            }
+            spec.crash = Some((w[0] as usize, w[1], w[2]));
+        }
+    }
+    if let Some(k) = args.get_parse::<usize>("remove-node")? {
+        if k >= spec.nodes {
+            return Err(format!("--remove-node: node {k} out of range"));
+        }
+        spec.remove_node = Some(k);
+    }
+    if spec.nodes == 1 {
+        // A single node has no peers to partition from or reconcile with.
+        spec.partition = None;
+        spec.crash = None;
+    }
+
+    let report = run_campaign(&spec).map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "cluster-sim: {} node(s) x n={} over {} tick(s), drop {:.0}%, inbox {}: {} msg(s) sent, {} dropped, {} backpressure tick(s)",
+        report.nodes,
+        report.n,
+        report.ticks_run,
+        report.drop_p * 100.0,
+        report.inbox_capacity,
+        report.messages_sent,
+        report.messages_dropped,
+        report.backpressure_ticks,
+    );
+    eprintln!(
+        "cluster-sim: epoch {}, members {:?}, {} frame(s) compared, trace-digest {:#018x}, state-digest {:#018x}",
+        report.final_epoch,
+        report.final_members,
+        report.frames_compared,
+        report.trace_digest,
+        report.state_digest,
+    );
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+    );
+
+    if !report.converged {
+        return Err("cluster failed to converge within the settle budget".into());
+    }
+    if !report.single_leader {
+        return Err("split leadership after heal".into());
+    }
+    if report.lost_invalidations > 0 {
+        return Err(format!(
+            "{} cache invalidation(s) lost",
+            report.lost_invalidations
+        ));
+    }
+    if !report.decided_logs_consistent {
+        return Err("split brain: two nodes decided different views for one epoch".into());
+    }
+    if report.routing_divergence > 0 {
+        return Err(format!(
+            "{} frame(s) diverged from the sharded oracle",
+            report.routing_divergence
+        ));
     }
     Ok(())
 }

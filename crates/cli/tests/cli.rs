@@ -282,6 +282,102 @@ fn serve_sim_alternate_backends_and_bad_backend() {
 }
 
 #[test]
+fn cluster_sim_reports_healthy_campaign_json() {
+    let out = bin()
+        .args([
+            "cluster-sim", "--n", "8", "--nodes", "3", "--seed", "7", "--ticks", "200",
+            "--drop", "0.2", "--frames", "8", "--invalidations", "6",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(report["healthy"], serde_json::Value::Bool(true));
+    assert_eq!(report["lost_invalidations"].as_u64(), Some(0));
+    assert_eq!(report["routing_divergence"].as_u64(), Some(0));
+    assert_eq!(report["decided_logs_consistent"], serde_json::Value::Bool(true));
+}
+
+#[test]
+fn cluster_sim_same_seed_replays_identical_digests() {
+    let run = || {
+        let out = bin()
+            .args(["cluster-sim", "--n", "8", "--nodes", "4", "--seed", "11", "--ticks", "150"])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let report: serde_json::Value =
+            serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+        (
+            report["trace_digest"].as_u64().unwrap(),
+            report["state_digest"].as_u64().unwrap(),
+        )
+    };
+    assert_eq!(run(), run(), "same seed must replay byte-identically");
+}
+
+#[test]
+fn cluster_sim_removes_a_faulty_shard() {
+    let out = bin()
+        .args([
+            "cluster-sim", "--n", "8", "--nodes", "4", "--seed", "23", "--ticks", "300",
+            "--remove-node", "3", "--crash", "none",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    let members: Vec<u64> = report["final_members"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    assert_eq!(members, vec![0, 1, 2]);
+}
+
+#[test]
+fn cluster_sim_rejects_bad_flags() {
+    for bad in [
+        vec!["cluster-sim", "--n", "7"],
+        vec!["cluster-sim", "--drop", "1.5"],
+        vec!["cluster-sim", "--nodes", "0"],
+        vec!["cluster-sim", "--partition", "9"],
+        vec!["cluster-sim", "--nodes", "3", "--crash", "7,10,20"],
+        vec!["cluster-sim", "--nodes", "3", "--remove-node", "5"],
+    ] {
+        let out = bin().args(&bad).output().unwrap();
+        assert!(!out.status.success(), "{bad:?} should fail");
+    }
+}
+
+#[test]
+fn serve_sim_cluster_backend_matches_brsmn_output_hash() {
+    let run = |backend: &str| {
+        let out = bin()
+            .args([
+                "serve-sim", "--n", "8", "--rounds", "6", "--seed", "3", "--capacity", "1024",
+                "--backend", backend,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let report: brsmn_serve::ServeReport =
+            serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+        report
+    };
+    let cluster = run("cluster");
+    let brsmn = run("brsmn");
+    assert_eq!(cluster.backend, "cluster");
+    // The simulated control plane serves the very same bits as the
+    // single-process fast path.
+    assert_eq!(cluster.output_hash, brsmn.output_hash);
+    assert_eq!(cluster.engine.cluster_nodes, cluster.shards as u64);
+}
+
+#[test]
 fn bad_input_fails_cleanly() {
     let out = bin().args(["route", "--n", "7"]).output().unwrap();
     assert!(!out.status.success());

@@ -1,0 +1,34 @@
+//! Simulated distributed control plane for the self-routing multicast fabric.
+//!
+//! This crate grows the single-process engines of `brsmn-core` into a
+//! cluster of actor-style nodes, each owning one fabric shard plus its plan
+//! cache, connected by a *deterministic* virtual-time network
+//! ([`VirtualNet`]). Messages can be dropped, delayed, reordered, and
+//! partitioned — all as pure functions of the seed, so a campaign replays
+//! byte-for-byte: same seed ⇒ same event trace ⇒ same final state digest.
+//!
+//! Layering:
+//!
+//! * [`net`] — addresses, the message vocabulary, and the seeded
+//!   virtual-time scheduler with bounded inboxes and fault injection.
+//! * [`node`] — one control-plane actor: Paxos-style membership epochs,
+//!   reliable broadcast of plan-cache invalidations, and anti-entropy
+//!   reconciliation of cache contents over the snapshot wire format.
+//! * [`cluster`] — the simulation loop tying nodes to the network, the
+//!   invariant checks (single leader, no lost invalidation, decided-log
+//!   consistency), and scripted fault campaigns.
+//! * [`engine`] — [`DistributedEngine`], the cluster wrapped as a
+//!   `RouterBackend`: bit-identical to `ShardedEngine` when fault-free.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cluster;
+pub mod engine;
+pub mod net;
+pub mod node;
+
+pub use cluster::{run_campaign, CampaignReport, CampaignSpec, Cluster, ClusterParams};
+pub use engine::DistributedEngine;
+pub use net::{Ballot, ClusterView, Envelope, Message, NetStats, NodeId, SimConfig, VirtualNet};
+pub use node::{Node, NodeStats, Outbox, Protocol};

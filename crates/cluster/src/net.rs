@@ -1,0 +1,765 @@
+//! The seeded virtual-time message network under the simulated cluster.
+//!
+//! Every non-determinism a real deployment would face — message drops,
+//! variable delivery delay, reordering, partitions, crashed peers, bounded
+//! ingest rates — is reproduced here as a *pure function of the seed*:
+//!
+//! * **Drop and delay are decided at send time** from a hash of
+//!   `(seed, from, to, per-link counter)`, not from a shared RNG stream, so
+//!   the fate of the `i`-th message on a link never depends on how other
+//!   links interleave.
+//! * **Delivery order** is total: in-flight messages land in arrival order,
+//!   ties broken by a global send sequence number.
+//! * **Partitions** are checked at *arrival*, so healing a partition lets
+//!   later traffic through while messages cut mid-flight stay lost.
+//! * **Bounded inboxes** model a node's finite ingest rate: each node
+//!   drains at most [`SimConfig::inbox_capacity`] messages per tick; the
+//!   rest stay queued in FIFO order. Capacity therefore shifts *when*
+//!   messages are processed, never *which* messages were sent or dropped on
+//!   a link — the protocols converge to the same final state at any
+//!   capacity, which is exactly what the determinism gate asserts.
+//!
+//! Everything that happens is folded into a running [trace
+//! digest](VirtualNet::trace_digest): two runs with the same seed and
+//! configuration produce byte-identical event streams, so a single `u64`
+//! comparison replays the whole campaign.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use brsmn_core::PlanSnapshotEntry;
+
+/// Explicit address of one control-plane node (also its index in the
+/// cluster's node table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A Paxos ballot: totally ordered, with the proposing node as tiebreak so
+/// no two candidates ever share one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Ballot {
+    /// Monotone round counter (bumped past any ballot the node has seen).
+    pub round: u64,
+    /// Proposer, as tiebreak.
+    pub node: NodeId,
+}
+
+/// One agreed cluster configuration: the value Paxos decides, one decree
+/// per epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterView {
+    /// Decree index: how many configurations precede this one.
+    pub epoch: u64,
+    /// The shard node the members currently follow.
+    pub leader: NodeId,
+    /// Member shard nodes, sorted by id.
+    pub members: Vec<NodeId>,
+}
+
+impl ClusterView {
+    /// The initial configuration every node boots with: node 0 leads all
+    /// `nodes` shards at epoch 0.
+    pub fn initial(nodes: usize) -> Self {
+        ClusterView {
+            epoch: 0,
+            leader: NodeId(0),
+            members: (0..nodes).map(NodeId).collect(),
+        }
+    }
+
+    /// `true` when `id` is a member of this configuration.
+    pub fn has_member(&self, id: NodeId) -> bool {
+        self.members.binary_search(&id).is_ok()
+    }
+
+    /// Votes needed to decide a decree among these members.
+    pub fn majority(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    /// Order-independent digest of the configuration, used by the
+    /// split-brain check: two nodes that decided the same epoch must hold
+    /// equal digests.
+    pub fn digest(&self) -> u64 {
+        let mut h = fold(0x9E3779B97F4A7C15, self.epoch);
+        h = fold(h, self.leader.0 as u64);
+        for m in &self.members {
+            h = fold(h, m.0 as u64 + 1);
+        }
+        h
+    }
+}
+
+/// Identity of one reliable-broadcast invalidation: origin plus its
+/// per-origin sequence number.
+pub type BroadcastId = (NodeId, u64);
+
+/// Node-local timers, delivered by the scheduler as self-addressed events
+/// that are never dropped, delayed past their deadline, or partitioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Periodic liveness check: start a candidacy when the leader's
+    /// heartbeats have gone stale.
+    Election,
+    /// Leader's periodic heartbeat fan-out.
+    Heartbeat,
+    /// Re-flood invalidations still missing acknowledgements.
+    Retransmit,
+    /// Start one anti-entropy exchange with the next peer in rotation.
+    AntiEntropy,
+}
+
+impl TimerKind {
+    fn code(self) -> u64 {
+        match self {
+            TimerKind::Election => 1,
+            TimerKind::Heartbeat => 2,
+            TimerKind::Retransmit => 3,
+            TimerKind::AntiEntropy => 4,
+        }
+    }
+}
+
+/// The control-plane wire protocol.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// Paxos phase 1a for decree `epoch` (the proposer's `view.epoch + 1`).
+    Prepare {
+        /// Decree being contested.
+        decree: u64,
+        /// Proposer's ballot.
+        ballot: Ballot,
+    },
+    /// Paxos phase 1b: a promise not to accept lower ballots, carrying any
+    /// value already accepted for this decree.
+    Promise {
+        /// Decree being contested.
+        decree: u64,
+        /// The promised ballot.
+        ballot: Ballot,
+        /// Previously accepted `(ballot, value)` for this decree, if any.
+        accepted: Option<(Ballot, ClusterView)>,
+    },
+    /// Paxos phase 2a: accept this configuration for the decree.
+    Accept {
+        /// Decree being decided.
+        decree: u64,
+        /// Proposer's ballot.
+        ballot: Ballot,
+        /// Proposed configuration (`value.epoch == decree`).
+        value: ClusterView,
+    },
+    /// Paxos phase 2b acknowledgement.
+    Accepted {
+        /// Decree voted on.
+        decree: u64,
+        /// Ballot voted for.
+        ballot: Ballot,
+    },
+    /// A decided configuration, flooded by the decider and replayed to
+    /// stale peers (`value.epoch` is the decree).
+    Decide {
+        /// The decided configuration.
+        value: ClusterView,
+    },
+    /// Leader liveness beacon; carries the full view so laggards catch up.
+    Heartbeat {
+        /// The leader's current view.
+        view: ClusterView,
+    },
+    /// Reliable-broadcast plan-cache invalidation (flooded on first
+    /// receipt, retransmitted by the origin until every member acks).
+    Invalidate {
+        /// `(origin, per-origin sequence)` — the dedup key.
+        id: BroadcastId,
+        /// Exact-tier fingerprint to evict and tombstone.
+        fp: u64,
+    },
+    /// Acknowledgement of an invalidation, sent to its origin.
+    InvalidateAck {
+        /// The broadcast being acknowledged.
+        id: BroadcastId,
+    },
+    /// Anti-entropy round trip 1/3: the initiator's cache digest.
+    SyncDigest {
+        /// Sorted exact-tier fingerprints resident at the initiator.
+        exact: Vec<u64>,
+        /// Invalidations the initiator has applied: `(origin, seq, fp)`.
+        inval: Vec<(NodeId, u64, u64)>,
+    },
+    /// Anti-entropy 2/3: plans the peer has that the initiator lacks, the
+    /// fingerprints the peer wants back, and invalidations the initiator
+    /// was missing.
+    SyncReply {
+        /// Plans for the initiator, in snapshot wire format.
+        entries: Vec<PlanSnapshotEntry>,
+        /// Fingerprints the peer asks the initiator to push.
+        want: Vec<u64>,
+        /// Invalidations the initiator lacked.
+        inval: Vec<(NodeId, u64, u64)>,
+    },
+    /// Anti-entropy 3/3: the plans the peer asked for.
+    SyncPush {
+        /// Plans for the peer, in snapshot wire format.
+        entries: Vec<PlanSnapshotEntry>,
+    },
+    /// Self-addressed timer expiry (scheduler-internal).
+    Timer {
+        /// Which timer fired.
+        kind: TimerKind,
+    },
+}
+
+impl Message {
+    fn code(&self) -> u64 {
+        match self {
+            Message::Prepare { .. } => 1,
+            Message::Promise { .. } => 2,
+            Message::Accept { .. } => 3,
+            Message::Accepted { .. } => 4,
+            Message::Decide { .. } => 5,
+            Message::Heartbeat { .. } => 6,
+            Message::Invalidate { .. } => 7,
+            Message::InvalidateAck { .. } => 8,
+            Message::SyncDigest { .. } => 9,
+            Message::SyncReply { .. } => 10,
+            Message::SyncPush { .. } => 11,
+            Message::Timer { .. } => 12,
+        }
+    }
+
+    /// Content hash folded into the event trace: covers every scalar field
+    /// and summarizes bulk payloads, so a reordered, altered, or differently
+    /// populated message changes the trace digest.
+    fn content_hash(&self) -> u64 {
+        let mut h = fold(0xA076_1D64_78BD_642F, self.code());
+        let ballot = |h: u64, b: &Ballot| fold(fold(h, b.round), b.node.0 as u64);
+        match self {
+            Message::Prepare { decree, ballot: b } => {
+                h = ballot(fold(h, *decree), b);
+            }
+            Message::Promise {
+                decree,
+                ballot: b,
+                accepted,
+            } => {
+                h = ballot(fold(h, *decree), b);
+                if let Some((ab, v)) = accepted {
+                    h = ballot(h, ab);
+                    h = fold(h, v.digest());
+                }
+            }
+            Message::Accept {
+                decree,
+                ballot: b,
+                value,
+            } => {
+                h = ballot(fold(h, *decree), b);
+                h = fold(h, value.digest());
+            }
+            Message::Accepted { decree, ballot: b } => {
+                h = ballot(fold(h, *decree), b);
+            }
+            Message::Decide { value } => h = fold(h, value.digest()),
+            Message::Heartbeat { view } => h = fold(h, view.digest()),
+            Message::Invalidate { id, fp } => {
+                h = fold(fold(fold(h, id.0 .0 as u64), id.1), *fp);
+            }
+            Message::InvalidateAck { id } => {
+                h = fold(fold(h, id.0 .0 as u64), id.1);
+            }
+            Message::SyncDigest { exact, inval } => {
+                h = fold(h, exact.len() as u64);
+                for fp in exact {
+                    h = fold(h, *fp);
+                }
+                h = fold(h, inval.len() as u64);
+                for (o, s, fp) in inval {
+                    h = fold(fold(fold(h, o.0 as u64), *s), *fp);
+                }
+            }
+            Message::SyncReply {
+                entries,
+                want,
+                inval,
+            } => {
+                h = fold(h, entries.len() as u64);
+                for e in entries {
+                    h = fold(fold(h, e.n as u64), e.sets.iter().map(|s| s.len()).sum::<usize>() as u64);
+                }
+                h = fold(h, want.len() as u64);
+                for fp in want {
+                    h = fold(h, *fp);
+                }
+                h = fold(h, inval.len() as u64);
+            }
+            Message::SyncPush { entries } => {
+                h = fold(h, entries.len() as u64);
+                for e in entries {
+                    h = fold(fold(h, e.n as u64), e.sets.iter().map(|s| s.len()).sum::<usize>() as u64);
+                }
+            }
+            Message::Timer { kind } => h = fold(h, kind.code()),
+        }
+        h
+    }
+}
+
+/// One addressed message, as the scheduler carries it.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// Payload.
+    pub msg: Message,
+}
+
+/// Virtual-network knobs; all behavior is a pure function of these plus the
+/// send sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Seed of every drop/delay decision.
+    pub seed: u64,
+    /// Per-message drop probability on each unicast link (timers exempt).
+    pub drop_p: f64,
+    /// Minimum delivery delay, ticks (clamped to ≥ 1).
+    pub min_delay: u64,
+    /// Maximum delivery delay, ticks (≥ `min_delay`; the spread is what
+    /// makes reordering happen).
+    pub max_delay: u64,
+    /// Messages a node may drain from its inbox per tick (≥ 1); the rest
+    /// wait in FIFO order.
+    pub inbox_capacity: usize,
+}
+
+impl SimConfig {
+    /// A perfectly reliable network: no drops, unit delay, effectively
+    /// unbounded ingest. This is the configuration under which
+    /// `DistributedEngine` is pinned bit-identical to `ShardedEngine`.
+    pub fn fault_free(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            drop_p: 0.0,
+            min_delay: 1,
+            max_delay: 1,
+            inbox_capacity: usize::MAX,
+        }
+    }
+
+    /// A lossy, reordering network: `drop_p` drops with delivery delays
+    /// uniform in `[1, 4]` ticks and the given inbox drain bound.
+    pub fn lossy(seed: u64, drop_p: f64, inbox_capacity: usize) -> Self {
+        SimConfig {
+            seed,
+            drop_p,
+            min_delay: 1,
+            max_delay: 4,
+            inbox_capacity,
+        }
+    }
+}
+
+/// Cumulative network counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Unicast messages offered to the network (timers excluded).
+    pub sent: u64,
+    /// Messages handed to a node's protocol handler.
+    pub delivered: u64,
+    /// Messages lost to the seeded drop coin.
+    pub dropped_lossy: u64,
+    /// Messages lost to an active partition at arrival time.
+    pub dropped_partition: u64,
+    /// Messages lost because the recipient was crashed at arrival.
+    pub dropped_crashed: u64,
+    /// Ticks on which some inbox held more than the drain bound (a
+    /// backpressure signal, not a loss).
+    pub backpressure_ticks: u64,
+}
+
+impl NetStats {
+    /// Everything the network lost, for the `EngineStats` threading.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_lossy + self.dropped_partition + self.dropped_crashed
+    }
+}
+
+/// splitmix64 finalizer — the mixing primitive of every digest here.
+#[inline]
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Folds one value into a running digest.
+#[inline]
+pub(crate) fn fold(h: u64, v: u64) -> u64 {
+    mix(h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+const EV_SEND: u64 = 1;
+const EV_DROP_LOSSY: u64 = 2;
+const EV_DROP_PARTITION: u64 = 3;
+const EV_DROP_CRASHED: u64 = 4;
+const EV_DELIVER: u64 = 5;
+const EV_TIMER: u64 = 6;
+const EV_NOTE: u64 = 7;
+const EV_CRASH: u64 = 8;
+const EV_RECOVER: u64 = 9;
+const EV_PARTITION: u64 = 10;
+const EV_HEAL: u64 = 11;
+
+/// The seeded virtual-time scheduler: owns the flights, the per-node FIFO
+/// inboxes, the fault state, and the event-trace digest.
+#[derive(Debug)]
+pub struct VirtualNet {
+    cfg: SimConfig,
+    nodes: usize,
+    now: u64,
+    seq: u64,
+    /// In-flight messages, totally ordered by `(arrival tick, send seq)`.
+    flights: BTreeMap<(u64, u64), Envelope>,
+    /// Per-node FIFO of arrived-but-unprocessed messages.
+    inboxes: Vec<VecDeque<Envelope>>,
+    /// Per-link send counters feeding the hash-based drop/delay decisions.
+    link_seq: Vec<u64>,
+    /// Partition group of each node (messages cross groups only when the
+    /// groups are equal).
+    group: Vec<u8>,
+    crashed: Vec<bool>,
+    stats: NetStats,
+    trace_hash: u64,
+    trace_len: u64,
+}
+
+impl VirtualNet {
+    /// A network connecting `nodes` nodes under `cfg`.
+    pub fn new(nodes: usize, cfg: SimConfig) -> Self {
+        VirtualNet {
+            cfg: SimConfig {
+                min_delay: cfg.min_delay.max(1),
+                max_delay: cfg.max_delay.max(cfg.min_delay.max(1)),
+                inbox_capacity: cfg.inbox_capacity.max(1),
+                ..cfg
+            },
+            nodes,
+            now: 0,
+            seq: 0,
+            flights: BTreeMap::new(),
+            inboxes: (0..nodes).map(|_| VecDeque::new()).collect(),
+            link_seq: vec![0; nodes * nodes],
+            group: vec![0; nodes],
+            crashed: vec![false; nodes],
+            stats: NetStats::default(),
+            trace_hash: 0x0123_4567_89AB_CDEF,
+            trace_len: 0,
+        }
+    }
+
+    /// Current virtual tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Digest of every event so far (sends, fates, deliveries, timers,
+    /// protocol notes, fault transitions) in global order. Equal seeds and
+    /// configurations ⇒ equal digests, byte for byte.
+    pub fn trace_digest(&self) -> u64 {
+        fold(self.trace_hash, self.trace_len)
+    }
+
+    /// Events folded so far.
+    pub fn trace_len(&self) -> u64 {
+        self.trace_len
+    }
+
+    fn note_event(&mut self, code: u64, a: u64, b: u64, c: u64) {
+        let mut h = self.trace_hash;
+        h = fold(h, code);
+        h = fold(h, self.now);
+        h = fold(h, a);
+        h = fold(h, b);
+        h = fold(h, c);
+        self.trace_hash = h;
+        self.trace_len += 1;
+    }
+
+    /// Folds a protocol milestone (decide, apply, election, …) into the
+    /// trace so node-level behavior is digested alongside deliveries.
+    pub fn note(&mut self, node: NodeId, tag: u64, value: u64) {
+        self.note_event(EV_NOTE, node.0 as u64, tag, value);
+    }
+
+    /// `true` while `id` is crash-stopped.
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        self.crashed[id.0]
+    }
+
+    /// Crash-stops a node: its pending and future arrivals are dropped, it
+    /// processes nothing, and (being fail-stop, not Byzantine) its state
+    /// freezes until [`VirtualNet::recover`].
+    pub fn crash(&mut self, id: NodeId) {
+        if !self.crashed[id.0] {
+            self.crashed[id.0] = true;
+            self.inboxes[id.0].clear();
+            self.note_event(EV_CRASH, id.0 as u64, 0, 0);
+        }
+    }
+
+    /// Ends a crash; the caller must re-arm the node's timers.
+    pub fn recover(&mut self, id: NodeId) {
+        if self.crashed[id.0] {
+            self.crashed[id.0] = false;
+            self.note_event(EV_RECOVER, id.0 as u64, 0, 0);
+        }
+    }
+
+    /// Splits the network: nodes in `side` form one group, everyone else
+    /// the other; cross-group messages are dropped at arrival until
+    /// [`VirtualNet::heal`].
+    pub fn partition(&mut self, side: &[NodeId]) {
+        for g in self.group.iter_mut() {
+            *g = 0;
+        }
+        let mut digest = 0u64;
+        for id in side {
+            self.group[id.0] = 1;
+            digest = fold(digest, id.0 as u64);
+        }
+        self.note_event(EV_PARTITION, digest, side.len() as u64, 0);
+    }
+
+    /// Removes any partition.
+    pub fn heal(&mut self) {
+        for g in self.group.iter_mut() {
+            *g = 0;
+        }
+        self.note_event(EV_HEAL, 0, 0, 0);
+    }
+
+    fn link_rand(&mut self, from: NodeId, to: NodeId) -> u64 {
+        let slot = from.0 * self.nodes + to.0;
+        let counter = self.link_seq[slot];
+        self.link_seq[slot] += 1;
+        mix(self
+            .cfg
+            .seed
+            .wrapping_add(mix((slot as u64) << 32 | counter)))
+    }
+
+    /// Offers one message to the network. Its fate (drop, delay) is decided
+    /// now from the per-link hash; partition and crash checks happen at
+    /// arrival.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: Message) {
+        self.seq += 1;
+        let seq = self.seq;
+        self.stats.sent += 1;
+        self.note_event(EV_SEND, from.0 as u64, to.0 as u64, msg.content_hash());
+        let r = self.link_rand(from, to);
+        // Top 53 bits → uniform in [0, 1): the drop coin.
+        if ((r >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < self.cfg.drop_p {
+            self.stats.dropped_lossy += 1;
+            self.note_event(EV_DROP_LOSSY, from.0 as u64, to.0 as u64, msg.content_hash());
+            return;
+        }
+        let span = self.cfg.max_delay - self.cfg.min_delay + 1;
+        let delay = self.cfg.min_delay + mix(r) % span;
+        self.flights
+            .insert((self.now + delay, seq), Envelope { from, to, msg });
+    }
+
+    /// Arms a timer: a self-addressed delivery after `delay` ticks that no
+    /// fault model touches.
+    pub fn set_timer(&mut self, node: NodeId, delay: u64, kind: TimerKind) {
+        self.seq += 1;
+        self.flights.insert(
+            (self.now + delay.max(1), self.seq),
+            Envelope {
+                from: node,
+                to: node,
+                msg: Message::Timer { kind },
+            },
+        );
+    }
+
+    /// Advances one tick: moves due flights into inboxes (applying
+    /// partition and crash fates at arrival), then drains up to the inbox
+    /// bound per node, handing each message to `handle` in deterministic
+    /// `(arrival, seq)` / node-id order. `handle` receives `(now, envelope)`
+    /// and may call back into the net via the returned outbox pattern —
+    /// the caller (the cluster) owns that loop; this method only returns
+    /// the drained envelopes per node.
+    pub fn advance(&mut self) -> Vec<(NodeId, Vec<Envelope>)> {
+        self.now += 1;
+        // Arrivals.
+        let due: Vec<(u64, u64)> = self
+            .flights
+            .range(..=(self.now, u64::MAX))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in due {
+            let env = self.flights.remove(&key).expect("due flight present");
+            let is_timer = matches!(env.msg, Message::Timer { .. });
+            if self.crashed[env.to.0] {
+                if !is_timer {
+                    self.stats.dropped_crashed += 1;
+                }
+                self.note_event(
+                    EV_DROP_CRASHED,
+                    env.from.0 as u64,
+                    env.to.0 as u64,
+                    env.msg.content_hash(),
+                );
+                continue;
+            }
+            if !is_timer && self.group[env.from.0] != self.group[env.to.0] {
+                self.stats.dropped_partition += 1;
+                self.note_event(
+                    EV_DROP_PARTITION,
+                    env.from.0 as u64,
+                    env.to.0 as u64,
+                    env.msg.content_hash(),
+                );
+                continue;
+            }
+            self.inboxes[env.to.0].push_back(env);
+        }
+        // Bounded drain, node-id order.
+        let mut drained = Vec::new();
+        let mut saw_backpressure = false;
+        for i in 0..self.nodes {
+            if self.crashed[i] {
+                continue;
+            }
+            if self.inboxes[i].len() > self.cfg.inbox_capacity {
+                saw_backpressure = true;
+            }
+            let k = self.inboxes[i].len().min(self.cfg.inbox_capacity);
+            if k == 0 {
+                continue;
+            }
+            let mut batch = Vec::with_capacity(k);
+            for _ in 0..k {
+                let env = self.inboxes[i].pop_front().expect("counted above");
+                match env.msg {
+                    Message::Timer { kind } => {
+                        self.note_event(EV_TIMER, i as u64, kind.code(), 0);
+                    }
+                    _ => {
+                        self.stats.delivered += 1;
+                        self.note_event(
+                            EV_DELIVER,
+                            env.from.0 as u64,
+                            env.to.0 as u64,
+                            env.msg.content_hash(),
+                        );
+                    }
+                }
+                batch.push(env);
+            }
+            drained.push((NodeId(i), batch));
+        }
+        if saw_backpressure {
+            self.stats.backpressure_ticks += 1;
+        }
+        drained
+    }
+
+    /// `true` when nothing is in flight or queued — the network is quiet.
+    pub fn is_quiet(&self) -> bool {
+        self.flights.is_empty() && self.inboxes.iter().all(|q| q.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_fates_are_deterministic_and_link_local() {
+        let mk = || {
+            let mut net = VirtualNet::new(3, SimConfig::lossy(7, 0.4, 8));
+            for _ in 0..64 {
+                net.send(NodeId(0), NodeId(1), Message::InvalidateAck { id: (NodeId(0), 1) });
+            }
+            (net.stats().dropped_lossy, net.trace_digest())
+        };
+        assert_eq!(mk(), mk());
+
+        // Interleaving traffic on another link does not change 0→1 fates.
+        let mut net = VirtualNet::new(3, SimConfig::lossy(7, 0.4, 8));
+        for _ in 0..64 {
+            net.send(NodeId(2), NodeId(1), Message::InvalidateAck { id: (NodeId(2), 1) });
+            net.send(NodeId(0), NodeId(1), Message::InvalidateAck { id: (NodeId(0), 1) });
+        }
+        // Count 0→1 drops alone by replaying the pure per-link function.
+        let solo = mk().0;
+        let mixed = net.stats().dropped_lossy;
+        // The 2→1 link has its own fate stream; total drops must contain
+        // exactly `solo` drops from the 0→1 link (can't observe directly
+        // here, but determinism of the combined run is still pinned).
+        let mut net2 = VirtualNet::new(3, SimConfig::lossy(7, 0.4, 8));
+        for _ in 0..64 {
+            net2.send(NodeId(2), NodeId(1), Message::InvalidateAck { id: (NodeId(2), 1) });
+            net2.send(NodeId(0), NodeId(1), Message::InvalidateAck { id: (NodeId(0), 1) });
+        }
+        assert_eq!(mixed, net2.stats().dropped_lossy);
+        assert_eq!(net.trace_digest(), net2.trace_digest());
+        assert!(solo <= mixed);
+    }
+
+    #[test]
+    fn partition_blocks_at_arrival_and_heals() {
+        let mut net = VirtualNet::new(2, SimConfig::fault_free(1));
+        net.partition(&[NodeId(1)]);
+        net.send(NodeId(0), NodeId(1), Message::Heartbeat { view: ClusterView::initial(2) });
+        let delivered: usize = net.advance().iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(delivered, 0);
+        assert_eq!(net.stats().dropped_partition, 1);
+
+        net.heal();
+        net.send(NodeId(0), NodeId(1), Message::Heartbeat { view: ClusterView::initial(2) });
+        let delivered: usize = net.advance().iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(delivered, 1);
+    }
+
+    #[test]
+    fn inbox_bound_defers_but_never_loses() {
+        let mut net = VirtualNet::new(2, SimConfig::fault_free(1));
+        for _ in 0..10 {
+            net.send(NodeId(0), NodeId(1), Message::InvalidateAck { id: (NodeId(0), 9) });
+        }
+        let mut cfg = *net.config();
+        cfg.inbox_capacity = 3;
+        // Rebuild with the bound (config is fixed at construction).
+        let mut net = VirtualNet::new(2, cfg);
+        for _ in 0..10 {
+            net.send(NodeId(0), NodeId(1), Message::InvalidateAck { id: (NodeId(0), 9) });
+        }
+        let mut total = 0;
+        for _ in 0..6 {
+            total += net.advance().iter().map(|(_, b)| b.len()).sum::<usize>();
+        }
+        assert_eq!(total, 10, "deferred messages must all drain");
+        assert!(net.stats().backpressure_ticks >= 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Anti-entropy convergence property: two nodes whose plan caches diverge
+//! (each routed a disjoint set of frames on its own shard) reconcile by
+//! exchanging snapshots until **both tiers'** fingerprint sets are equal —
+//! exact and canonical — within a bounded number of virtual ticks. A
+//! tombstoned (invalidated) fingerprint never resurrects through the
+//! exchange.
+
+use brsmn_cluster::{Cluster, ClusterParams, NodeId};
+use brsmn_core::{plan_fingerprint, MulticastAssignment};
+use proptest::collection::vec;
+use proptest::option;
+use proptest::prelude::*;
+
+fn assignment_from_choices(n: usize, choices: &[Option<usize>]) -> MulticastAssignment {
+    let mut sets = vec![Vec::new(); n];
+    for (o, c) in choices.iter().enumerate() {
+        if let Some(src) = c {
+            sets[*src].push(o);
+        }
+    }
+    MulticastAssignment::from_sets(n, sets).expect("choices form a valid assignment")
+}
+
+fn frames(n: usize, count: usize) -> impl Strategy<Value = Vec<MulticastAssignment>> {
+    vec(vec(option::weighted(0.8, 0..n), n), count)
+        .prop_map(move |all| all.iter().map(|c| assignment_from_choices(n, c)).collect())
+}
+
+/// Runs the cluster in small steps until both tiers match, returning how
+/// many ticks it took (or `None` if the bound was exhausted).
+fn ticks_to_tier_convergence(cluster: &mut Cluster, bound: u64) -> Option<u64> {
+    let tiers = |cluster: &Cluster, id: NodeId| {
+        (
+            cluster.node(id).cache().resident_fingerprints(),
+            cluster.node(id).cache().resident_canonical_fingerprints(),
+        )
+    };
+    let mut elapsed = 0;
+    loop {
+        if tiers(cluster, NodeId(0)) == tiers(cluster, NodeId(1)) {
+            return Some(elapsed);
+        }
+        if elapsed >= bound {
+            return None;
+        }
+        cluster.run(4);
+        elapsed += 4;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn divergent_caches_reconcile_both_tiers(
+        (n, left, right) in prop_oneof![Just(8usize), Just(16)]
+            .prop_flat_map(|n| (Just(n), frames(n, 3), frames(n, 3))),
+        seed in 0u64..1000,
+    ) {
+        let mut cluster = Cluster::new(ClusterParams::fault_free(n, 2, seed)).expect("cluster");
+        cluster.route_batch_on(&left, &[NodeId(0)]);
+        cluster.route_batch_on(&right, &[NodeId(1)]);
+
+        // Two anti-entropy periods (plus message round trips) bound a full
+        // pairwise reconciliation between two nodes.
+        let ticks = ticks_to_tier_convergence(&mut cluster, 200);
+        prop_assert!(
+            ticks.is_some(),
+            "caches failed to reconcile within 200 ticks"
+        );
+    }
+}
+
+#[test]
+fn reconciliation_is_the_union_minus_tombstones() {
+    let n = 16;
+    let mk = |seed: u64| {
+        brsmn_workloads::random_multicast(
+            brsmn_workloads::RandomSpec {
+                n,
+                load: 0.9,
+                source_fraction: 0.4,
+            },
+            seed,
+        )
+    };
+    let left: Vec<_> = (0..4).map(|i| mk(100 + i)).collect();
+    let right: Vec<_> = (0..4).map(|i| mk(200 + i)).collect();
+
+    let mut cluster = Cluster::new(ClusterParams::fault_free(n, 2, 5)).expect("cluster");
+    cluster.route_batch_on(&left, &[NodeId(0)]);
+    cluster.route_batch_on(&right, &[NodeId(1)]);
+
+    // Invalidate one of node 0's plans; the tombstone must hold on both
+    // sides even though node 1 never held the plan.
+    let dead = plan_fingerprint(&left[0]);
+    cluster.invalidate_from(NodeId(0), dead);
+
+    let converged = ticks_to_tier_convergence(&mut cluster, 400);
+    assert!(converged.is_some(), "caches must reconcile");
+
+    let resident = cluster.node(NodeId(0)).cache().resident_fingerprints();
+    assert!(
+        !resident.contains(&dead),
+        "a tombstoned plan must not resurrect through anti-entropy"
+    );
+    let mut expected: Vec<u64> = left
+        .iter()
+        .chain(right.iter())
+        .map(plan_fingerprint)
+        .filter(|&fp| fp != dead)
+        .collect();
+    expected.sort_unstable();
+    expected.dedup();
+    assert_eq!(
+        resident, expected,
+        "converged exact tier must be the union of both working sets minus tombstones"
+    );
+}

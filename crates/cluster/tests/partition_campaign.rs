@@ -1,0 +1,125 @@
+//! Fault campaigns over the simulated control plane: under ≤ 30% message
+//! drop, a healed two-way partition, a crash/recover window, and a
+//! mid-campaign shard removal, the cluster must end with a single leader,
+//! zero lost invalidations, consistent decided logs (no split brain), and
+//! routing bit-identical to the single-process `ShardedEngine` oracle.
+
+use brsmn_cluster::{run_campaign, CampaignSpec, Cluster, ClusterParams, NodeId};
+
+fn assert_healthy(spec: &CampaignSpec, label: &str) {
+    let report = run_campaign(spec).expect("campaign runs");
+    assert!(
+        report.converged,
+        "{label}: cluster failed to converge within the settle budget"
+    );
+    assert!(report.single_leader, "{label}: split leadership after heal");
+    assert_eq!(
+        report.lost_invalidations, 0,
+        "{label}: a cache invalidation was lost"
+    );
+    assert!(
+        report.decided_logs_consistent,
+        "{label}: two nodes decided different views for one epoch"
+    );
+    assert_eq!(
+        report.routing_divergence, 0,
+        "{label}: cluster routing diverged from the sharded oracle ({} frames compared)",
+        report.frames_compared
+    );
+    assert!(report.healthy, "{label}: report not healthy");
+}
+
+#[test]
+fn default_campaign_is_healthy() {
+    for seed in [3u64, 17, 101] {
+        assert_healthy(&CampaignSpec::default_at(seed), &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn thirty_percent_drop_with_partition_and_crash() {
+    let spec = CampaignSpec {
+        drop_p: 0.3,
+        ..CampaignSpec::default_at(7)
+    };
+    assert_healthy(&spec, "30% drop");
+}
+
+#[test]
+fn removing_a_faulty_shard_routes_around_it() {
+    let spec = CampaignSpec {
+        remove_node: Some(3),
+        crash: None,
+        ..CampaignSpec::default_at(23)
+    };
+    let report = run_campaign(&spec).expect("campaign runs");
+    assert!(report.healthy, "removal campaign not healthy");
+    assert_eq!(
+        report.final_members,
+        vec![0, 1, 2],
+        "the faulty shard must be out of the member set"
+    );
+    assert!(report.final_epoch >= 1, "removal must have decided an epoch");
+}
+
+#[test]
+fn partitioned_minority_cannot_split_brain() {
+    // 5 nodes, leader isolated with one peer: the 3-node majority side can
+    // elect, the 2-node minority cannot — decided logs stay consistent.
+    let mut cluster = Cluster::new(ClusterParams::lossy(8, 5, 42, 0.1, 8)).expect("cluster");
+    cluster.run(20);
+    cluster.partition(&[NodeId(0), NodeId(1)]);
+    cluster.run(400);
+    cluster.heal();
+    assert!(
+        cluster.run_until_converged(4000),
+        "cluster must converge after healing"
+    );
+    assert!(cluster.single_leader(), "exactly one leader after heal");
+    assert!(
+        cluster.decided_logs_consistent(),
+        "no two nodes may decide different views for one epoch"
+    );
+    // The majority side must have moved leadership off the isolated node.
+    let epoch = cluster.epoch();
+    assert!(epoch >= 1, "majority side should have elected (epoch {epoch})");
+}
+
+#[test]
+fn crashed_node_catches_up_on_recovery() {
+    let mut cluster = Cluster::new(ClusterParams::lossy(8, 3, 9, 0.15, 8)).expect("cluster");
+    cluster.run(20);
+    cluster.crash(NodeId(2));
+    // Invalidations originated while node 2 is down must reach it after
+    // recovery (origin retransmits until every member acks).
+    let frames: Vec<_> = (0..4)
+        .map(|i| {
+            brsmn_workloads::random_multicast(
+                brsmn_workloads::RandomSpec {
+                    n: 8,
+                    load: 0.9,
+                    source_fraction: 0.5,
+                },
+                900 + i,
+            )
+        })
+        .collect();
+    let live = cluster.live_members();
+    cluster.route_batch_on(&frames, &live);
+    let ids: Vec<_> = (0..3)
+        .map(|i| cluster.invalidate_from(NodeId(0), brsmn_core::plan_fingerprint(&frames[i])))
+        .collect();
+    cluster.run(100);
+    cluster.recover(NodeId(2));
+    assert!(
+        cluster.run_until_converged(4000),
+        "cluster must converge after the crash heals"
+    );
+    for id in ids {
+        assert!(
+            cluster.node(NodeId(2)).has_applied(id),
+            "recovered node must have applied invalidation {id:?}"
+        );
+    }
+    assert_eq!(cluster.lost_invalidations(), 0);
+}

@@ -332,6 +332,20 @@ pub struct EngineStats {
     /// [`EngineConfig::batch_plan`] off, for single-frame batches, and for
     /// frames that fell back to per-frame scalar planning.
     pub batch_planned_frames: u64,
+    /// Live member nodes of the distributed control plane that striped
+    /// this batch (`brsmn-cluster`'s `DistributedEngine`; 0 for
+    /// single-process engines). Merges by max.
+    pub cluster_nodes: u64,
+    /// Control-plane messages delivered so far by the cluster's virtual
+    /// network (cumulative over the cluster's lifetime, like
+    /// `plan_snapshot_loaded`; 0 single-process). Merges by max.
+    pub cluster_messages: u64,
+    /// Control-plane messages lost to simulated drops or partitions
+    /// (cumulative; 0 single-process). Merges by max.
+    pub cluster_messages_dropped: u64,
+    /// Membership epoch the cluster had agreed on when the batch routed
+    /// (0 single-process and before any reconfiguration). Merges by max.
+    pub cluster_epoch: u64,
 }
 
 impl EngineStats {
@@ -379,6 +393,10 @@ impl EngineStats {
             plan_snapshot_loaded: 0,
             simd_lane_width: 0,
             batch_planned_frames: 0,
+            cluster_nodes: 0,
+            cluster_messages: 0,
+            cluster_messages_dropped: 0,
+            cluster_epoch: 0,
         }
     }
 
@@ -419,6 +437,14 @@ impl EngineStats {
         // The lane width is a property of the code path, not a tally.
         self.simd_lane_width = self.simd_lane_width.max(other.simd_lane_width);
         self.batch_planned_frames += other.batch_planned_frames;
+        // Cluster figures are cluster-wide lifetime values (every node's
+        // stats record reports the same shared control plane), so max.
+        self.cluster_nodes = self.cluster_nodes.max(other.cluster_nodes);
+        self.cluster_messages = self.cluster_messages.max(other.cluster_messages);
+        self.cluster_messages_dropped = self
+            .cluster_messages_dropped
+            .max(other.cluster_messages_dropped);
+        self.cluster_epoch = self.cluster_epoch.max(other.cluster_epoch);
     }
 }
 
@@ -674,6 +700,10 @@ impl Engine {
                 plan_snapshot_loaded: cache.map_or(0, |c| c.stats().snapshot_loaded),
                 simd_lane_width: brsmn_rbn::LANES as u64,
                 batch_planned_frames: 0,
+                cluster_nodes: 0,
+                cluster_messages: 0,
+                cluster_messages_dropped: 0,
+                cluster_epoch: 0,
             },
         }
     }
@@ -1053,6 +1083,10 @@ impl Engine {
                 plan_snapshot_loaded: cache.map_or(0, |c| c.stats().snapshot_loaded),
                 simd_lane_width: brsmn_rbn::LANES as u64,
                 batch_planned_frames,
+                cluster_nodes: 0,
+                cluster_messages: 0,
+                cluster_messages_dropped: 0,
+                cluster_epoch: 0,
             },
         }
     }
@@ -1157,6 +1191,10 @@ impl Engine {
                     plan_snapshot_loaded: 0,
                     simd_lane_width: 0,
                     batch_planned_frames: 0,
+                    cluster_nodes: 0,
+                    cluster_messages: 0,
+                    cluster_messages_dropped: 0,
+                    cluster_epoch: 0,
                 },
             },
             outcomes,
@@ -1225,6 +1263,10 @@ impl Engine {
                 plan_snapshot_loaded: 0,
                 simd_lane_width: 0,
                 batch_planned_frames: 0,
+                cluster_nodes: 0,
+                cluster_messages: 0,
+                cluster_messages_dropped: 0,
+                cluster_epoch: 0,
             },
         }
     }

@@ -319,6 +319,9 @@ pub struct PlanCacheStats {
     /// Plans re-inserted from a persisted snapshot
     /// ([`PlanCache::load_snapshot`]).
     pub snapshot_loaded: u64,
+    /// Exact-tier plans dropped by [`PlanCache::invalidate`] (the
+    /// distributed control plane's invalidation broadcast lands here).
+    pub invalidations: u64,
 }
 
 impl PlanCacheStats {
@@ -365,6 +368,7 @@ pub struct PlanCache {
     evictions: AtomicU64,
     canonical_evictions: AtomicU64,
     snapshot_loaded: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 fn make_shards<E>(capacity: usize) -> Vec<RwLock<Shard<E>>> {
@@ -400,6 +404,7 @@ impl PlanCache {
             evictions: AtomicU64::new(0),
             canonical_evictions: AtomicU64::new(0),
             snapshot_loaded: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -596,6 +601,7 @@ impl PlanCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             canonical_evictions: self.canonical_evictions.load(Ordering::Relaxed),
             snapshot_loaded: self.snapshot_loaded.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 
@@ -638,6 +644,123 @@ impl PlanCache {
             })
             .sum();
         exact + canonical
+    }
+
+    /// Drops the exact-tier plan with fingerprint `fp`, together with the
+    /// canonical-tier representative of its relabeling class (but only when
+    /// the class entry was seeded by this very assignment — a class entry
+    /// captured from a *different* member stays, since its plan is still
+    /// valid for the class). Returns `true` when an exact entry was
+    /// removed. This is the hook the distributed control plane's
+    /// invalidation broadcast calls into: a node that learns a cached plan
+    /// is stale evicts it locally and gossips the fingerprint as a
+    /// tombstone so anti-entropy never resurrects it.
+    pub fn invalidate(&self, fp: u64) -> bool {
+        let removed_asg = {
+            let mut shard = self.shards[self.shard_of(fp)]
+                .write()
+                .expect("plan-cache shard poisoned");
+            match shard.entries.iter().position(|e| e.fp == fp) {
+                Some(i) => Some(shard.entries.swap_remove(i).asg),
+                None => None,
+            }
+        };
+        let Some(asg) = removed_asg else {
+            return false;
+        };
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        let canon = crate::canonical::canonicalize(&asg);
+        let cfp = canon.fingerprint();
+        let mut shard = self.canon_shards[self.shard_of(cfp)]
+            .write()
+            .expect("plan-cache shard poisoned");
+        if let Some(i) = shard
+            .entries
+            .iter()
+            .position(|e| e.fp == cfp && e.canon == canon.canonical)
+        {
+            // Same plan Arc ⇒ this class entry was seeded by the
+            // invalidated capture; a different Arc means another member
+            // re-captured the class and its plan is independently valid.
+            let exact_gone = {
+                let probe = &shard.entries[i];
+                self.shards[self.shard_of(plan_fingerprint(&asg))]
+                    .read()
+                    .expect("plan-cache shard poisoned")
+                    .entries
+                    .iter()
+                    .all(|e| !Arc::ptr_eq(&e.plan, &probe.plan))
+            };
+            if exact_gone {
+                shard.entries.swap_remove(i);
+            }
+        }
+        true
+    }
+
+    /// Fingerprints of every plan resident in the exact tier, sorted. This
+    /// is the digest the distributed control plane's anti-entropy exchange
+    /// compares between nodes: two caches with equal fingerprint sets hold
+    /// the same working set (fingerprints are collision-checked against
+    /// full assignments on every insert path).
+    pub fn resident_fingerprints(&self) -> Vec<u64> {
+        let mut fps: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("plan-cache shard poisoned")
+                    .entries
+                    .iter()
+                    .map(|e| e.fp)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        fps.sort_unstable();
+        fps
+    }
+
+    /// Class fingerprints of every representative resident in the
+    /// canonical tier, sorted — the second set anti-entropy convergence is
+    /// judged on.
+    pub fn resident_canonical_fingerprints(&self) -> Vec<u64> {
+        let mut fps: Vec<u64> = self
+            .canon_shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("plan-cache shard poisoned")
+                    .entries
+                    .iter()
+                    .map(|e| e.fp)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        fps.sort_unstable();
+        fps
+    }
+
+    /// The resident `(assignment, plan)` pairs whose exact-tier
+    /// fingerprints are in `want` (pass a sorted slice), encoded as
+    /// snapshot entries — the unit of transfer of the anti-entropy
+    /// protocol: a node answers a peer's digest diff with exactly the
+    /// plans the peer lacks, in the same wire format the persistence
+    /// snapshots use.
+    pub fn entries_for(&self, want: &[u64]) -> Vec<PlanSnapshotEntry> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let shard = s.read().expect("plan-cache shard poisoned");
+            for e in &shard.entries {
+                if want.binary_search(&e.fp).is_ok() {
+                    out.push(PlanSnapshotEntry {
+                        n: e.asg.n(),
+                        sets: (0..e.asg.n()).map(|i| e.asg.dests(i).to_vec()).collect(),
+                        plan: (*e.plan).clone(),
+                    });
+                }
+            }
+        }
+        out
     }
 
     /// Serializes the exact tier's working set: every resident

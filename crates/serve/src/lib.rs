@@ -66,6 +66,7 @@ pub use histogram::LatencyHistogram;
 pub use trace::{ChurnTraceSpec, Trace, TraceRequest};
 
 use brsmn_baselines::{CopyBenesMulticast, Crossbar};
+use brsmn_cluster::DistributedEngine;
 use brsmn_core::backend::{ReferenceRouter, RouterBackend};
 use brsmn_core::{
     CoreError, EngineConfig, EngineStats, FeedbackBrsmn, MulticastAssignment, PlanCache,
@@ -96,6 +97,10 @@ pub enum BackendKind {
     /// The classical copy-then-route baseline, one [`CopyBenesMulticast`]
     /// per shard.
     CopyBenes,
+    /// The simulated distributed control plane
+    /// ([`DistributedEngine`]): one
+    /// fault-free cluster node per shard, bit-identical to `Brsmn`.
+    Cluster,
 }
 
 impl BackendKind {
@@ -107,6 +112,7 @@ impl BackendKind {
             BackendKind::Feedback => "feedback",
             BackendKind::Crossbar => "crossbar",
             BackendKind::CopyBenes => "copy-benes",
+            BackendKind::Cluster => "cluster",
         }
     }
 }
@@ -127,8 +133,9 @@ impl FromStr for BackendKind {
             "feedback" => Ok(BackendKind::Feedback),
             "crossbar" => Ok(BackendKind::Crossbar),
             "copy-benes" => Ok(BackendKind::CopyBenes),
+            "cluster" => Ok(BackendKind::Cluster),
             other => Err(format!(
-                "unknown backend {other:?} (expected brsmn, reference, feedback, crossbar, copy-benes)"
+                "unknown backend {other:?} (expected brsmn, reference, feedback, crossbar, copy-benes, cluster)"
             )),
         }
     }
@@ -640,6 +647,7 @@ impl ServeReport {
 /// striping.
 enum Fabric {
     Sharded(ShardedEngine),
+    Cluster(DistributedEngine),
     Backends {
         n: usize,
         shards: Vec<Box<dyn RouterBackend>>,
@@ -690,6 +698,10 @@ impl Fabric {
                 })?;
                 Ok(Box::new(net) as Box<dyn RouterBackend>)
             }),
+            // One fault-free simulated control-plane node per shard; the
+            // round striping happens inside the cluster, mirroring
+            // `ShardedEngine` bit for bit.
+            BackendKind::Cluster => Ok(Fabric::Cluster(DistributedEngine::new(n, cfg.shards)?)),
         }
     }
 
@@ -700,6 +712,10 @@ impl Fabric {
     ) -> (Vec<Result<RoutingResult, CoreError>>, EngineStats) {
         match self {
             Fabric::Sharded(engine) => {
+                let out = engine.route_batch(batch);
+                (out.results, out.stats)
+            }
+            Fabric::Cluster(engine) => {
                 let out = engine.route_batch(batch);
                 (out.results, out.stats)
             }
@@ -1308,6 +1324,7 @@ fn serve_loop(
 ) -> LoopOutcome {
     let n = match &fabric {
         Fabric::Sharded(e) => e.n(),
+        Fabric::Cluster(e) => e.n(),
         Fabric::Backends { n, .. } => *n,
     };
     let mut out = LoopOutcome {
@@ -1786,6 +1803,7 @@ mod tests {
             BackendKind::Feedback,
             BackendKind::Crossbar,
             BackendKind::CopyBenes,
+            BackendKind::Cluster,
         ] {
             let mut cfg = small_cfg(8);
             cfg.backend = backend;
@@ -1850,6 +1868,7 @@ mod tests {
             BackendKind::Feedback,
             BackendKind::Crossbar,
             BackendKind::CopyBenes,
+            BackendKind::Cluster,
         ] {
             assert_eq!(kind.label().parse::<BackendKind>().unwrap(), kind);
         }

@@ -23,6 +23,7 @@
 //! | [`sim`] | `brsmn-sim` | gate-delay timing: pipelined bit-serial adders, routing-time measurement |
 //! | [`workloads`] | `brsmn-workloads` | multicast assignment generators, queueing/admission models |
 //! | [`serve`] | `brsmn-serve` | sharded serving loop: bounded queue, admission control, latency histograms, graceful drain |
+//! | [`cluster`] | `brsmn-cluster` | simulated distributed control plane: virtual-time network, Paxos-style membership, invalidation broadcast, anti-entropy |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@
 //! ```
 
 pub use brsmn_baselines as baselines;
+pub use brsmn_cluster as cluster;
 pub use brsmn_core as core;
 pub use brsmn_rbn as rbn;
 pub use brsmn_serve as serve;

@@ -9,6 +9,7 @@
 //! a permutation, and the empty assignment, at n ∈ {8, 16, 64}.
 
 use brsmn::baselines::{CopyBenesMulticast, Crossbar};
+use brsmn::cluster::DistributedEngine;
 use brsmn::core::{
     Brsmn, Engine, FeedbackBrsmn, MulticastAssignment, ReferenceRouter, RouterBackend,
     ShardedEngine,
@@ -46,6 +47,7 @@ fn backends(n: usize) -> Vec<Box<dyn RouterBackend>> {
         Box::new(CopyBenesMulticast::new(n).unwrap()),
         Box::new(Engine::new(n).unwrap()),
         Box::new(ShardedEngine::new(n, 3).unwrap()),
+        Box::new(DistributedEngine::new(n, 3).unwrap()),
     ]
 }
 
@@ -89,6 +91,40 @@ fn every_backend_realizes_every_fixture() {
                 }
             }
         }
+    }
+}
+
+/// Satellite of the distributed-control-plane issue: the cluster backend,
+/// batch for batch, is **bit-identical** to `ShardedEngine` across the
+/// whole fixture matrix — striping across simulated nodes and the per-node
+/// plan caches cannot move an output bit, because settings are a pure
+/// function of the assignment.
+#[test]
+fn distributed_matches_sharded_bit_for_bit() {
+    for n in [8usize, 16, 64] {
+        let sharded = ShardedEngine::new(n, 3).unwrap();
+        let cluster = DistributedEngine::new(n, 3).unwrap();
+        let frames: Vec<MulticastAssignment> =
+            fixtures(n).into_iter().map(|(_, asg)| asg).collect();
+
+        // Frame level, through the uniform backend interface.
+        for (label, asg) in fixtures(n) {
+            let a = cluster.route_assignment(&asg).unwrap();
+            let b = sharded.route_assignment(&asg).unwrap();
+            assert_eq!(a, b, "cluster vs sharded diverged on {label}@{n}");
+        }
+
+        // Batch level, where the round-robin striping actually engages.
+        let a = cluster.route_batch(&frames);
+        let b = sharded.route_batch(&frames);
+        assert_eq!(a.results.len(), b.results.len());
+        for (i, (x, y)) in a.results.iter().zip(b.results.iter()).enumerate() {
+            match (x, y) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y, "frame {i}@{n} diverged"),
+                _ => panic!("frame {i}@{n}: unexpected routing error"),
+            }
+        }
+        assert_eq!(a.stats.cluster_nodes, 3, "cluster stats must be threaded");
     }
 }
 
