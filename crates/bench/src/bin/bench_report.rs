@@ -30,6 +30,7 @@
 //! scheduling defect.
 
 use brsmn_bench::{measure_cold_path, measure_replay_path, measure_route_path, RoutePoint};
+use brsmn_core::PlanOpProfile;
 use serde::{Deserialize, Serialize};
 
 const FRAMES: usize = 64;
@@ -60,7 +61,14 @@ struct RouteBenchReport {
     /// SoA lockstep batch planning over per-frame planning on a cache-less
     /// engine at n = 256, sequential — the batch-planner PR's headline.
     speedup_batch_cold_vs_simd_cold_seq_n256: f64,
-    /// One measurement per (n, workers, path).
+    /// Where cold planning time goes, per op category, at n = 256
+    /// sequential on the per-frame wide-lane kernels. Op counts are always
+    /// exact; nanosecond columns need the `plan-profile` cargo feature.
+    plan_profile_simd_cold_seq_n256: PlanOpProfile,
+    /// The same breakdown on the SoA lockstep batch planner.
+    plan_profile_batch_cold_seq_n256: PlanOpProfile,
+    /// One measurement per (n, workers, path); every point also embeds its
+    /// own `plan_profile`.
     points: Vec<RoutePoint>,
 }
 
@@ -77,6 +85,7 @@ fn main() {
     let mut seq_ref = [0.0f64; 2];
     let mut seq_warm_n256 = 0.0f64;
     let mut seq_cold_n256 = [0.0f64; 2]; // [simd-cold, batch-cold]
+    let mut seq_cold_profiles: [PlanOpProfile; 2] = Default::default();
     for n in [64usize, 256, 1024] {
         for workers in [1usize, 4] {
             for use_scratch in [true, false] {
@@ -103,6 +112,7 @@ fn main() {
                 print_point(&p);
                 if n == 256 && workers == 1 {
                     seq_cold_n256[batch_plan as usize] = p.frames_per_sec;
+                    seq_cold_profiles[batch_plan as usize] = p.plan_profile.clone();
                 }
                 points.push(p);
             }
@@ -127,6 +137,8 @@ fn main() {
         speedup_fast_vs_reference_seq_n1024: ratio(seq_fast[1], seq_ref[1]),
         speedup_warm_replay_vs_fast_seq_n256: ratio(seq_warm_n256, seq_fast[0]),
         speedup_batch_cold_vs_simd_cold_seq_n256: ratio(seq_cold_n256[1], seq_cold_n256[0]),
+        plan_profile_simd_cold_seq_n256: seq_cold_profiles[0].clone(),
+        plan_profile_batch_cold_seq_n256: seq_cold_profiles[1].clone(),
         points,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -8,6 +8,7 @@
 use brsmn_baselines::{BatcherBanyan, BenesNetwork, ComplexityModel, CopyBenesMulticast, NetworkKind};
 use brsmn_core::{
     metrics, Brsmn, Engine, EngineConfig, EngineStats, FeedbackBrsmn, MulticastAssignment,
+    PlanOpProfile,
 };
 use brsmn_sim::{brsmn_routing_time, feedback_routing_time, looping_routing_time};
 use brsmn_workloads::{random_multicast, random_permutation, RandomSpec};
@@ -244,8 +245,20 @@ pub struct RoutePoint {
     /// Achieved parallelism of the best run (`busy_nanos / wall_nanos`).
     /// On a 1-hardware-thread host this stays ≈ 1.0 at every requested
     /// worker count — the honest explanation of flat multi-worker scaling.
+    /// With the `plan-profile` feature and per-thread timers, the profiled
+    /// nano totals likewise sum across workers, so a derived busy/wall
+    /// ratio **above 1.0 is expected**, not double counting.
     pub busy_over_wall: f64,
+    /// Per-op planning profile of the best run (where cold-path planning
+    /// time went). Op counts are always exact; nanosecond totals are zero
+    /// unless the crate was built with the `plan-profile` feature.
+    pub plan_profile: PlanOpProfile,
 }
+
+/// Unmeasured passes each `measure_*` function runs before its timed
+/// best-of-N repeats: they populate the per-worker thread-local arenas and
+/// warm the branch predictors so the first timed repeat is not an outlier.
+pub const WARMUP_PASSES: usize = 1;
 
 /// Routes `repeats` batches of `frames` dense frames through an engine and
 /// returns the best-run measurement. `use_scratch = false` selects the PR-1
@@ -265,6 +278,10 @@ pub fn measure_route_path(
         EngineConfig::batch(workers).without_scratch()
     };
     let engine = Engine::with_config(n, cfg).expect("valid size");
+    for _ in 0..WARMUP_PASSES {
+        let out = engine.route_batch(&batch);
+        assert!(out.results.iter().all(|r| r.is_ok()), "warm-up routes");
+    }
     let mut best: Option<EngineStats> = None;
     for _ in 0..repeats.max(1) {
         let out = engine.route_batch(&batch);
@@ -290,6 +307,7 @@ pub fn measure_route_path(
         plan_hits: stats.plan_hits,
         plan_misses: stats.plan_misses,
         busy_over_wall: stats.speedup(),
+        plan_profile: stats.stages.plan_profile,
     }
 }
 
@@ -321,6 +339,12 @@ pub fn measure_cold_path(
         .expect("valid size")
         .route_batch(&batch);
 
+    // Cold refers to the (absent) plan cache, not the arenas: unmeasured
+    // warm-up passes populate the per-worker scratch before timing.
+    for _ in 0..WARMUP_PASSES {
+        let out = engine.route_batch(&batch);
+        assert!(out.results.iter().all(|r| r.is_ok()), "warm-up routes");
+    }
     let mut best: Option<EngineStats> = None;
     for _ in 0..repeats.max(1) {
         let out = engine.route_batch(&batch);
@@ -357,6 +381,7 @@ pub fn measure_cold_path(
         plan_hits: stats.plan_hits,
         plan_misses: stats.plan_misses,
         busy_over_wall: stats.speedup(),
+        plan_profile: stats.stages.plan_profile,
     }
 }
 
@@ -399,10 +424,15 @@ pub fn measure_replay_path(
     let mut best: Option<EngineStats> = None;
     let mut engine = Engine::with_config(n, cfg).expect("valid size");
     if warm {
-        // One unmeasured pass captures every distinct plan.
-        let out = engine.route_batch(&batch);
-        assert!(out.results.iter().all(|r| r.is_ok()), "warm-up routes");
+        // Unmeasured passes capture every distinct plan (doubling as the
+        // arena warm-up the other measure functions run).
+        for _ in 0..WARMUP_PASSES {
+            let out = engine.route_batch(&batch);
+            assert!(out.results.iter().all(|r| r.is_ok()), "warm-up routes");
+        }
     }
+    // The cold arm deliberately skips warm-up: a fresh engine per repeat is
+    // the point (capture + insert on every frame, arenas included).
     for _ in 0..repeats.max(1) {
         if !warm {
             // Cold means cold: a fresh cache every repeat.
@@ -439,6 +469,7 @@ pub fn measure_replay_path(
         plan_hits: stats.plan_hits,
         plan_misses: stats.plan_misses,
         busy_over_wall: stats.speedup(),
+        plan_profile: stats.stages.plan_profile,
     }
 }
 

@@ -168,6 +168,54 @@ fn soa_batch_planning_steady_state_allocates_nothing() {
 }
 
 #[test]
+fn profiled_paths_stay_heap_silent() {
+    // The per-op planning profiler must be free in steady state on both the
+    // scalar and the SoA paths: op tallies are plain adds on TLS/arena
+    // state, and the ProfClock reads compile to constants without the
+    // `plan-profile` feature. CI runs this suite with the feature both off
+    // and on (`--features alloc-count` and `--features
+    // alloc-count,plan-profile`); the assertion is identical.
+    let n = 256;
+    let frames = 8;
+    let net = Brsmn::new(n).unwrap();
+    let batch = dense_batch(n, frames, 3);
+    let refs: Vec<&MulticastAssignment> = batch.iter().collect();
+    let mut scratch = RouteScratch::new(n).unwrap();
+    let mut planner = BatchPlanner::new();
+    planner.ensure(n, frames);
+    let mut timer = StageTimer::new();
+
+    // Warm up both paths with the timer attached (its level rows take
+    // their one-time allocations here).
+    for asg in &batch {
+        net.route_into_timed(asg, &mut scratch, &mut timer).unwrap();
+    }
+    planner
+        .route_frames(net.wiring(), &refs, &mut timer, None)
+        .unwrap();
+    assert!(
+        timer.plan_profile.total_ops() > 0,
+        "profiler recorded no planning ops"
+    );
+
+    let before = allocs();
+    for _ in 0..10 {
+        for asg in &batch {
+            net.route_into_timed(asg, &mut scratch, &mut timer).unwrap();
+        }
+        planner
+            .route_frames(net.wiring(), &refs, &mut timer, None)
+            .unwrap();
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "profiled carried-rank paths allocated in steady state at n={n}"
+    );
+}
+
+#[test]
 fn reference_path_allocates_per_frame() {
     // Sanity check that the counter works at all: the PR-1 reference router
     // allocates heavily on every frame.

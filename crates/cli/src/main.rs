@@ -53,7 +53,10 @@ fn usage() -> &'static str {
               [--engine E] [--trace]                    route an assignment\n\
        route  --parallel [--batch B] [--workers K] [--fork-depth D] [--no-scratch]\n\
               [--no-batch-plan] [--cache [CAP]] [--cache-load F] [--cache-save F]\n\
-              [--stats] batched multi-threaded routing; --no-batch-plan plans\n\
+              [--stats] [--plan-profile]\n\
+              batched multi-threaded routing; --plan-profile prints per-op\n\
+              planning tallies (nanos need the plan-profile cargo feature);\n\
+              --no-batch-plan plans\n\
               every frame individually instead of grouping cache misses into\n\
               lockstep SoA chunks; --cache replays repeated (or\n\
               relabeled) frames from the two-tier plan cache (default capacity\n\
@@ -368,6 +371,17 @@ fn cmd_route_parallel(args: &Args) -> Result<(), String> {
             "simd: lane width {} words, {} frame(s) planned in lockstep SoA chunks",
             stats.simd_lane_width, stats.batch_planned_frames
         );
+    }
+    if args.flag("plan-profile") {
+        // Op counts are always exact; the nanosecond columns need the
+        // `plan-profile` cargo feature compiled in (zero otherwise).
+        let p = &stats.stages.plan_profile;
+        eprintln!("plan profile (op counts always on; nanos need the plan-profile feature):");
+        eprintln!("  tag-derive: {:>12} ops {:>12} ns", p.tag_derive_ops, p.tag_derive_nanos);
+        eprintln!("  rank:       {:>12} ops {:>12} ns", p.rank_ops, p.rank_nanos);
+        eprintln!("  scatter:    {:>12} ops {:>12} ns", p.scatter_ops, p.scatter_nanos);
+        eprintln!("  quasisort:  {:>12} ops {:>12} ns", p.quasisort_ops, p.quasisort_nanos);
+        eprintln!("  total:      {:>12} ops {:>12} ns", p.total_ops(), p.total_nanos());
     }
     if let (Some(cache), Some(path)) = (&cache, &cache_save) {
         let saved = save_cache_snapshot(cache, path)?;

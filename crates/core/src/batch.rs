@@ -37,7 +37,7 @@ use crate::fastpath::{
     final_switch_fast, init_lines, leave_block, run_block_fast, verify_delivery, FastLine,
     NO_SRC,
 };
-use crate::fastpath::entry_tag_ranged;
+use crate::fastpath::entry_tag_line;
 use crate::plancache::{CapturedPlan, PHASE_QUASISORT, PHASE_SCATTER};
 use brsmn_rbn::{BatchSweep, RbnSettings, RbnWiring};
 use brsmn_switch::tag::TagCounts;
@@ -194,27 +194,17 @@ impl BatchPlanner {
                 let t0 = Instant::now();
                 sweep.begin(fr, size);
 
-                // Entry tags fused with the SoA tag packing, per frame.
-                for (f, asg) in asgs.iter().enumerate() {
-                    let frame_lines = &mut lines[f * n..(f + 1) * n];
-                    sweep.load_frame(f, |i| {
-                        let line = &mut frame_lines[base + i];
-                        if line.src == NO_SRC {
-                            line.tag = Tag::Eps;
-                        } else {
-                            let dests = asg.dests(line.src as usize);
-                            let (d_mid, tag) = entry_tag_ranged(
-                                dests,
-                                mid,
-                                line.d_lo as usize,
-                                line.d_hi as usize,
-                            );
-                            line.d_mid = d_mid as u32;
-                            line.tag = tag;
-                        }
-                        line.tag
-                    });
-                }
+                // Entry tags fused with the SoA tag packing, all frames in
+                // one call (one profiler clock pair per block).
+                sweep.load_frames(|f, i| {
+                    let line = &mut lines[f * n + base + i];
+                    if line.src == NO_SRC {
+                        line.tag = Tag::Eps;
+                    } else {
+                        entry_tag_line(&asgs[f], line, mid);
+                    }
+                    line.tag
+                });
 
                 // Eq. (2) capacity check for all frames from one pass.
                 sweep.counts_all(counts);
@@ -240,10 +230,7 @@ impl BatchPlanner {
 
                 // Quasisort: reload post-scatter tags, fused lockstep plan,
                 // per-frame capture + run + postcondition.
-                for f in 0..fr {
-                    let frame_lines = &lines[f * n..(f + 1) * n];
-                    sweep.load_frame(f, |i| frame_lines[base + i].tag);
-                }
+                sweep.load_frames_codes(|f, i| lines[f * n + base + i].tag as u8);
                 sweep
                     .plan_quasisort_fused_all(base, settings)
                     .map_err(|(_f, e)| CoreError::from(e))?;
@@ -280,6 +267,9 @@ impl BatchPlanner {
             }
             verify_delivery(asg, frame_lines)?;
         }
+
+        // Drain the lockstep sweep's per-op profile into the batch timer.
+        timer.plan_profile.merge(&sweep.take_profile());
         Ok(())
     }
 }

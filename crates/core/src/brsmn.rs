@@ -14,6 +14,7 @@
 
 use crate::assignment::{MulticastAssignment, RoutingResult};
 use crate::bsn::{Bsn, BsnTrace};
+use crate::engine::StageTimer;
 use crate::error::CoreError;
 use crate::fastpath::{self, with_thread_scratch, RouteScratch};
 use crate::payload::{RoutePayload, SelfRoutedMsg, SemanticMsg};
@@ -145,6 +146,19 @@ impl Brsmn {
         scratch: &mut RouteScratch,
     ) -> Result<(), CoreError> {
         fastpath::route_assignment_fast(self.n, &self.wiring, asg, scratch, None, None, None)
+    }
+
+    /// [`Brsmn::route_into`] with per-stage instrumentation: the frame's
+    /// level timings and per-op planning profile accumulate into `timer`
+    /// (what the engine's workers record per frame). Heap-silent in steady
+    /// state once `timer` has seen every level, like `route_into`.
+    pub fn route_into_timed(
+        &self,
+        asg: &MulticastAssignment,
+        scratch: &mut RouteScratch,
+        timer: &mut StageTimer,
+    ) -> Result<(), CoreError> {
+        fastpath::route_assignment_fast(self.n, &self.wiring, asg, scratch, None, Some(timer), None)
     }
 
     /// [`Brsmn::route_into`] plus collecting the delivery into a fresh

@@ -55,6 +55,7 @@ use crate::payload::{RoutePayload, SelfRoutedMsg, SemanticMsg};
 use crate::plancache::{plan_fingerprint, CanonicalHit, CapturedPlan, PlanCache};
 use crate::verify::{verify_routing, FaultReport};
 use brsmn_rbn::par;
+use brsmn_rbn::PlanOpProfile;
 use brsmn_switch::{Line, Tag};
 use brsmn_topology::log2_exact;
 use serde::{Deserialize, Serialize};
@@ -200,6 +201,10 @@ pub struct StageTimer {
     /// Planner tree sweeps executed (forward/backward waves of the scatter,
     /// ε-divide and bit-sort planners).
     pub sweep_passes: u64,
+    /// Per-op planning profile: what the sweeps spent their time on. Op
+    /// counts are always exact; nanosecond totals are nonzero only when the
+    /// `plan-profile` feature is compiled in.
+    pub plan_profile: PlanOpProfile,
 }
 
 impl StageTimer {
@@ -256,6 +261,7 @@ impl StageTimer {
         self.final_nanos += other.final_nanos;
         self.switch_settings += other.switch_settings;
         self.sweep_passes += other.sweep_passes;
+        self.plan_profile.merge(&other.plan_profile);
     }
 }
 

@@ -41,6 +41,9 @@ use brsmn_topology::{check_size, log2_exact};
 /// Sentinel source id of an empty line.
 pub(crate) const NO_SRC: u32 = u32::MAX;
 
+/// Sentinel for [`FastLine::d_val`]: lone destination not yet cached.
+pub(crate) const NO_VAL: u32 = u32::MAX;
+
 /// One line of the fast path: the current tag, the source input of the
 /// message on it (`NO_SRC` when idle), and the message's *destination range*
 /// — `dests(src)[d_lo..d_hi)` is exactly the destination subset the message
@@ -61,6 +64,13 @@ pub(crate) struct FastLine {
     pub(crate) d_lo: u32,
     pub(crate) d_mid: u32,
     pub(crate) d_hi: u32,
+    /// The lone destination once the range is unicast, cached on the first
+    /// entry-tag evaluation ([`NO_VAL`] until then). A range never grows, so
+    /// the cache needs no invalidation; every later level's entry tag is
+    /// then a single compare with no assignment pointer chase. Broadcast
+    /// splits copy the whole struct, and an α range is never unicast, so
+    /// copies always inherit `NO_VAL`.
+    pub(crate) d_val: u32,
 }
 
 impl FastLine {
@@ -70,6 +80,7 @@ impl FastLine {
         d_lo: 0,
         d_mid: 0,
         d_hi: 0,
+        d_val: NO_VAL,
     };
 }
 
@@ -236,6 +247,39 @@ pub(crate) fn entry_tag_ranged(dests: &[usize], mid: usize, d_lo: usize, d_hi: u
     (d_mid, tag)
 }
 
+/// Entry tag of a live line at the block with absolute midpoint `mid`,
+/// updating the line's split point (and tag) in place. The unicast case —
+/// the common one deep in the network — reads the cached [`FastLine::d_val`]
+/// and never touches the assignment after the first evaluation; the
+/// multicast case defers to [`entry_tag_ranged`].
+#[inline]
+pub(crate) fn entry_tag_line(asg: &MulticastAssignment, line: &mut FastLine, mid: usize) -> Tag {
+    let tag = if line.d_hi - line.d_lo == 1 {
+        let v = if line.d_val != NO_VAL {
+            line.d_val as usize
+        } else {
+            let v = asg.dests(line.src as usize)[line.d_lo as usize];
+            line.d_val = v as u32;
+            v
+        };
+        if v < mid {
+            line.d_mid = line.d_hi;
+            Tag::Zero
+        } else {
+            line.d_mid = line.d_lo;
+            Tag::One
+        }
+    } else {
+        let dests = asg.dests(line.src as usize);
+        let (d_mid, tag) =
+            entry_tag_ranged(dests, mid, line.d_lo as usize, line.d_hi as usize);
+        line.d_mid = d_mid as u32;
+        tag
+    };
+    line.tag = tag;
+    tag
+}
+
 /// Executes stages `[0, log2 size)` of the settings table on the fast lines
 /// of `[base, base + size)`, walking the precomputed wiring. Splitting an α
 /// copies the source id; the broadcast legality checks match
@@ -295,12 +339,8 @@ fn enter_block(asg: &MulticastAssignment, lines: &mut [FastLine], base: usize, s
         if line.src == NO_SRC {
             line.tag = Tag::Eps;
         } else {
-            let dests = asg.dests(line.src as usize);
-            let (d_mid, tag) =
-                entry_tag_ranged(dests, mid, line.d_lo as usize, line.d_hi as usize);
-            debug_assert_eq!(tag, entry_tag_fast(dests, base, size));
-            line.d_mid = d_mid as u32;
-            line.tag = tag;
+            let tag = entry_tag_line(asg, line, mid);
+            debug_assert_eq!(tag, entry_tag_fast(asg.dests(line.src as usize), base, size));
         }
     }
 }
@@ -363,12 +403,8 @@ fn route_bsn_fast(
         if line.src == NO_SRC {
             line.tag = Tag::Eps;
         } else {
-            let dests = asg.dests(line.src as usize);
-            let (d_mid, tag) =
-                entry_tag_ranged(dests, mid, line.d_lo as usize, line.d_hi as usize);
-            debug_assert_eq!(tag, entry_tag_fast(dests, base, size));
-            line.d_mid = d_mid as u32;
-            line.tag = tag;
+            let tag = entry_tag_line(asg, line, mid);
+            debug_assert_eq!(tag, entry_tag_fast(asg.dests(line.src as usize), base, size));
         }
         line.tag
     });
@@ -404,8 +440,9 @@ fn route_bsn_fast(
     };
 
     // Quasisorting network: ε-divide + bit-sort, both backward waves fused
-    // into one pass (unicast only).
-    sweep.set_tags(size, |i| lines[base + i].tag);
+    // into one pass (unicast only). The tags are already materialized on
+    // the lines, so the branchless code packing applies.
+    sweep.set_tags_from_codes(size, |i| lines[base + i].tag as u8);
     sweep.plan_quasisort_fused(base, settings)?;
     if let Some(plan) = capture.as_deref_mut() {
         plan.store_phase(level, PHASE_QUASISORT, base, size, settings);
@@ -491,6 +528,7 @@ pub(crate) fn init_lines(asg: &MulticastAssignment, lines: &mut [FastLine]) {
                 d_lo: 0,
                 d_mid: d.len() as u32,
                 d_hi: d.len() as u32,
+                d_val: if d.len() == 1 { d[0] as u32 } else { NO_VAL },
             }
         };
     }
@@ -574,6 +612,13 @@ pub(crate) fn route_assignment_fast(
         if let (Some(tm), Some(t0)) = (timer.as_deref_mut(), t0) {
             tm.record_final(t0.elapsed());
         }
+    }
+
+    // Drain the sweep's per-op profile unconditionally (so it never leaks
+    // into a later, unrelated route) and fold it into the frame's timer.
+    let profile = sweep.take_profile();
+    if let Some(tm) = timer.as_deref_mut() {
+        tm.plan_profile.merge(&profile);
     }
 
     verify_delivery(asg, lines)
@@ -756,6 +801,7 @@ fn init_lines_permuted(asg: &MulticastAssignment, lines: &mut [FastLine], input_
             d_lo: 0,
             d_mid: d.len() as u32,
             d_hi: d.len() as u32,
+            d_val: if d.len() == 1 { d[0] as u32 } else { NO_VAL },
         };
     }
 }
@@ -916,6 +962,7 @@ mod tests {
             d_lo: 0,
             d_mid: 1,
             d_hi: 1,
+            d_val: NO_VAL,
         };
         let v: Vec<Option<usize>> = s.output_sources().collect();
         assert_eq!(v, vec![Some(1), None]);

@@ -89,6 +89,7 @@ pub use engine::{
     BatchOutput, Engine, EngineConfig, EngineStats, FrameOutcome, LevelStats, ResilientRouter,
     ShardedEngine, StageTimer,
 };
+pub use brsmn_rbn::PlanOpProfile;
 pub use error::CoreError;
 pub use fastpath::{with_thread_scratch, RouteScratch};
 pub use feedback::{FeedbackBrsmn, FeedbackStats};

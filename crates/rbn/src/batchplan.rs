@@ -5,11 +5,13 @@
 //! schedule — the tree levels, node ranges and word boundaries of every
 //! forward query are functions of `n` alone, not of the tags. That makes a
 //! structure-of-arrays transpose natural: [`BatchSweep`] stores the two tag
-//! bit planes of `F` frames **word-major, frame-minor** (`lo[w·F + f]`), so
-//! one sweep iteration touches the same word row of every frame as one
-//! contiguous run. The per-node backward state (`s` values and ε₀ quotas)
-//! is likewise node-major, frame-minor, so the inner loop of every tree
-//! level walks contiguous memory across frames.
+//! bit planes of `F` frames **frame-major** (`lo[f·W + w]`, one contiguous
+//! word column per frame), and each backward-wave level runs its node loop
+//! per frame: frame `f`'s pass reads its own contiguous plane column,
+//! carries its `s` values / ε₀ quotas / (α, ε) counts through contiguous
+//! per-frame node rows (`cur[f·n + b]`), and streams its switch settings
+//! into a single [`RbnSettings`] table — instead of interleaving 64 tables
+//! one node at a time.
 //!
 //! Each frame still gets its own switch settings: the backward waves write
 //! through [`crate::setting::binary_compact_setting_into`] into per-frame
@@ -22,22 +24,31 @@
 //! report the **first offending frame**; the caller is expected to fall
 //! back to the scalar path for the whole batch so error values stay
 //! byte-identical to single-frame planning.
+//!
+//! Like the scalar [`SweepScratch`](crate::bitplan::SweepScratch), the
+//! sweeps here are **carried-rank**: every forward query is an aligned
+//! segment count answered by strided popcounts over the plane columns (no
+//! per-frame rank rows are built any more), the scatter wave carries each
+//! node's own (α, ε) counts down from its parent, and empty subtrees
+//! short-circuit their tie walks. A [`PlanOpProfile`] tallies the ops (see
+//! [`crate::profile`]); drain it with [`BatchSweep::take_profile`].
 
 use crate::bitplan::lane_tail_mask;
 use crate::fabric::RbnSettings;
 use crate::plan::PlanError;
+use crate::profile::{PlanOpProfile, ProfClock};
 use crate::setting::binary_compact_setting_into;
 use brsmn_switch::tag::TagCounts;
 use brsmn_switch::{SwitchSetting, Tag};
 use brsmn_topology::log2_exact;
 
-/// Maximum number of frames one [`BatchSweep`] advances in lockstep. With
-/// 64 frames a word row of one plane is 512 bytes — eight cache lines that
-/// every query of the same tree node walks contiguously.
+/// Maximum number of frames one [`BatchSweep`] advances in lockstep. The
+/// cap bounds the SoA buffer growth (planes, carried node rows) to one
+/// known shape per `n`.
 pub const MAX_BATCH_FRAMES: usize = 64;
 
 /// Reusable SoA state for lockstep batch planning: the packed tag planes of
-/// all frames, the derived per-frame rank rows, and the node-major backward
+/// all frames, the derived single-tag planes, and the node-major backward
 /// buffers. Size once ([`BatchSweep::begin`] at the largest `frames × len`
 /// grows the buffers), then plan any number of batches with zero heap
 /// allocation — the `brsmn-bench` `alloc-count` test pins this end to end.
@@ -46,23 +57,32 @@ pub struct BatchSweep {
     frames: usize,
     len: usize,
     nwords: usize,
-    /// Tag planes, word-major frame-minor: `lo[w * frames + f]`.
+    /// Tag planes, frame-major: `lo[f * nwords + w]`.
     lo: Vec<u64>,
     hi: Vec<u64>,
     /// Derived single-tag planes in the same layout.
     alpha: Vec<u64>,
     eps: Vec<u64>,
     ones: Vec<u64>,
-    /// Word-granular rank rows, `(nwords + 1) × frames`: `rank[w·F + f]` =
-    /// set bits of frame `f` in words `[0, w)`; row `nwords` holds totals.
-    alpha_rank: Vec<u32>,
-    eps_rank: Vec<u32>,
-    ones_rank: Vec<u32>,
-    /// Backward-wave state, node-major frame-minor: `cur[b * frames + f]`.
+    /// Per-frame plane totals (one `u32` per frame), produced as a side
+    /// effect of plane derivation — the only remnant of the old
+    /// `(nwords + 1) × frames` rank rows, which the carried-rank sweeps no
+    /// longer need.
+    alpha_tot: Vec<u32>,
+    eps_tot: Vec<u32>,
+    ones_tot: Vec<u32>,
+    /// Backward-wave state, frame-major: `cur[f * len + b]`.
     cur: Vec<u32>,
     next: Vec<u32>,
     cur_q: Vec<u32>,
     next_q: Vec<u32>,
+    /// Carried per-node (α, ε) counts of the live scatter level, same
+    /// layout as `cur`.
+    cur_a: Vec<u32>,
+    next_a: Vec<u32>,
+    cur_e: Vec<u32>,
+    next_e: Vec<u32>,
+    profile: PlanOpProfile,
 }
 
 impl BatchSweep {
@@ -98,7 +118,6 @@ impl BatchSweep {
         self.len = len;
         self.nwords = len.div_ceil(64);
         let plane = self.nwords * frames;
-        let rank = (self.nwords + 1) * frames;
         if self.lo.len() < plane {
             self.lo.resize(plane, 0);
             self.hi.resize(plane, 0);
@@ -106,10 +125,10 @@ impl BatchSweep {
             self.eps.resize(plane, 0);
             self.ones.resize(plane, 0);
         }
-        if self.alpha_rank.len() < rank {
-            self.alpha_rank.resize(rank, 0);
-            self.eps_rank.resize(rank, 0);
-            self.ones_rank.resize(rank, 0);
+        if self.alpha_tot.len() < frames {
+            self.alpha_tot.resize(frames, 0);
+            self.eps_tot.resize(frames, 0);
+            self.ones_tot.resize(frames, 0);
         }
         let nodes = len * frames;
         if self.cur.len() < nodes {
@@ -117,14 +136,16 @@ impl BatchSweep {
             self.next.resize(nodes, 0);
             self.cur_q.resize(nodes, 0);
             self.next_q.resize(nodes, 0);
+            self.cur_a.resize(nodes, 0);
+            self.next_a.resize(nodes, 0);
+            self.cur_e.resize(nodes, 0);
+            self.next_e.resize(nodes, 0);
         }
     }
 
-    /// Loads frame `f`'s tags into its plane column (strided writes; the
-    /// sweeps that follow read word rows contiguously).
-    pub fn load_frame<F: FnMut(usize) -> Tag>(&mut self, f: usize, mut tag: F) {
+    fn load_frame_raw<F: FnMut(usize) -> Tag>(&mut self, f: usize, mut tag: F) {
         debug_assert!(f < self.frames);
-        let fr = self.frames;
+        let col = f * self.nwords;
         let (mut alo, mut ahi) = (0u64, 0u64);
         for i in 0..self.len {
             let (blo, bhi) = match tag(i) {
@@ -137,22 +158,106 @@ impl BatchSweep {
             alo |= (blo as u64) << sh;
             ahi |= (bhi as u64) << sh;
             if sh == 63 {
-                self.lo[(i >> 6) * fr + f] = alo;
-                self.hi[(i >> 6) * fr + f] = ahi;
+                self.lo[col + (i >> 6)] = alo;
+                self.hi[col + (i >> 6)] = ahi;
                 (alo, ahi) = (0, 0);
             }
         }
         if self.len & 63 != 0 {
-            self.lo[(self.len >> 6) * fr + f] = alo;
-            self.hi[(self.len >> 6) * fr + f] = ahi;
+            self.lo[col + (self.len >> 6)] = alo;
+            self.hi[col + (self.len >> 6)] = ahi;
         }
+    }
+
+    /// Loads frame `f`'s tags into its contiguous plane column.
+    pub fn load_frame<F: FnMut(usize) -> Tag>(&mut self, f: usize, tag: F) {
+        let clock = ProfClock::start();
+        self.load_frame_raw(f, tag);
+        self.profile.tag_derive_ops += self.len as u64;
+        self.profile.tag_derive_nanos += clock.elapsed_nanos();
+    }
+
+    /// Loads every frame's tags in one call — `tag(f, i)` is frame `f`'s
+    /// tag at position `i`. One profiler clock pair covers the whole batch
+    /// (a per-frame [`BatchSweep::load_frame`] loop pays two timestamp
+    /// reads per frame per block when the `plan-profile` feature is on —
+    /// measurable distortion at deep recursion levels).
+    pub fn load_frames<F: FnMut(usize, usize) -> Tag>(&mut self, mut tag: F) {
+        let clock = ProfClock::start();
+        for f in 0..self.frames {
+            self.load_frame_raw(f, |i| tag(f, i));
+        }
+        self.profile.tag_derive_ops += (self.frames * self.len) as u64;
+        self.profile.tag_derive_nanos += clock.elapsed_nanos();
+    }
+
+    /// Branchless [`BatchSweep::load_frame`] from discriminant codes
+    /// (`tag as u8`): the two low bits of the code are exactly the
+    /// `(lo, hi)` plane encoding, mirroring
+    /// [`crate::bitplan::TagVec::fill_from_codes`]. Use when the tags are
+    /// already materialized (the post-scatter reload).
+    fn load_frame_codes_raw<F: FnMut(usize) -> u8>(&mut self, f: usize, mut code: F) {
+        debug_assert!(f < self.frames);
+        let col = f * self.nwords;
+        let (mut alo, mut ahi) = (0u64, 0u64);
+        for i in 0..self.len {
+            let t = code(i) as u64;
+            debug_assert!(t < 4);
+            let sh = i & 63;
+            alo |= (t & 1) << sh;
+            ahi |= ((t >> 1) & 1) << sh;
+            if sh == 63 {
+                self.lo[col + (i >> 6)] = alo;
+                self.hi[col + (i >> 6)] = ahi;
+                (alo, ahi) = (0, 0);
+            }
+        }
+        if self.len & 63 != 0 {
+            self.lo[col + (self.len >> 6)] = alo;
+            self.hi[col + (self.len >> 6)] = ahi;
+        }
+    }
+
+    /// Branchless [`BatchSweep::load_frame`] from discriminant codes
+    /// (`tag as u8`): the two low bits of the code are exactly the
+    /// `(lo, hi)` plane encoding, mirroring
+    /// [`crate::bitplan::TagVec::fill_from_codes`]. Use when the tags are
+    /// already materialized (the post-scatter reload).
+    pub fn load_frame_codes<F: FnMut(usize) -> u8>(&mut self, f: usize, code: F) {
+        let clock = ProfClock::start();
+        self.load_frame_codes_raw(f, code);
+        self.profile.tag_derive_ops += self.len as u64;
+        self.profile.tag_derive_nanos += clock.elapsed_nanos();
+    }
+
+    /// Branchless [`BatchSweep::load_frames`] from discriminant codes —
+    /// `code(f, i)` is frame `f`'s `tag as u8` at position `i`; one clock
+    /// pair covers the whole batch.
+    pub fn load_frames_codes<F: FnMut(usize, usize) -> u8>(&mut self, mut code: F) {
+        let clock = ProfClock::start();
+        for f in 0..self.frames {
+            self.load_frame_codes_raw(f, |i| code(f, i));
+        }
+        self.profile.tag_derive_ops += (self.frames * self.len) as u64;
+        self.profile.tag_derive_nanos += clock.elapsed_nanos();
+    }
+
+    /// The per-op profile accumulated since the last take, leaving zeros
+    /// behind (see [`crate::profile`]).
+    pub fn take_profile(&mut self) -> PlanOpProfile {
+        std::mem::take(&mut self.profile)
+    }
+
+    /// The per-op profile accumulated so far.
+    pub fn profile(&self) -> &PlanOpProfile {
+        &self.profile
     }
 
     /// Tag at position `i` of frame `f`.
     #[inline]
     pub fn get(&self, f: usize, i: usize) -> Tag {
         debug_assert!(f < self.frames && i < self.len);
-        let idx = (i >> 6) * self.frames + f;
+        let idx = f * self.nwords + (i >> 6);
         let sh = i & 63;
         match (self.lo[idx] >> sh & 1, self.hi[idx] >> sh & 1) {
             (0, 0) => Tag::Zero,
@@ -162,23 +267,20 @@ impl BatchSweep {
         }
     }
 
-    /// Tallies all four tags of every loaded frame in one word-major pass
-    /// (the inner frame loop is contiguous). `out[f]` receives frame `f`'s
-    /// counts; `out` must hold at least `frames` entries.
+    /// Tallies all four tags of every loaded frame, one contiguous plane
+    /// column per frame. `out[f]` receives frame `f`'s counts; `out` must
+    /// hold at least `frames` entries.
     pub fn counts_all(&self, out: &mut [TagCounts]) {
-        let fr = self.frames;
-        for c in out[..fr].iter_mut() {
+        for (f, c) in out[..self.frames].iter_mut().enumerate() {
             *c = TagCounts::default();
-        }
-        for w in 0..self.nwords {
-            let m = lane_tail_mask(self.len, w);
-            let row = w * fr;
-            for f in 0..fr {
-                let (lo, hi) = (self.lo[row + f], self.hi[row + f]);
-                out[f].n0 += ((!lo & !hi) & m).count_ones() as usize;
-                out[f].n1 += ((lo & !hi) & m).count_ones() as usize;
-                out[f].na += ((!lo & hi) & m).count_ones() as usize;
-                out[f].ne += ((lo & hi) & m).count_ones() as usize;
+            let col = f * self.nwords;
+            for w in 0..self.nwords {
+                let m = lane_tail_mask(self.len, w);
+                let (lo, hi) = (self.lo[col + w], self.hi[col + w]);
+                c.n0 += ((!lo & !hi) & m).count_ones() as usize;
+                c.n1 += ((lo & !hi) & m).count_ones() as usize;
+                c.na += ((!lo & hi) & m).count_ones() as usize;
+                c.ne += ((lo & hi) & m).count_ones() as usize;
             }
         }
     }
@@ -186,9 +288,9 @@ impl BatchSweep {
     /// Position of the first α tag of frame `f`, if any — the quasisort
     /// precondition check, matching [`crate::bitplan::TagVec::first_in_plane`].
     pub fn first_alpha(&self, f: usize) -> Option<usize> {
-        let fr = self.frames;
+        let col = f * self.nwords;
         for w in 0..self.nwords {
-            let (lo, hi) = (self.lo[w * fr + f], self.hi[w * fr + f]);
+            let (lo, hi) = (self.lo[col + w], self.hi[col + w]);
             let x = (!lo & hi) & lane_tail_mask(self.len, w);
             if x != 0 {
                 return Some((w << 6) + x.trailing_zeros() as usize);
@@ -197,76 +299,106 @@ impl BatchSweep {
         None
     }
 
-    /// Derives one single-tag plane (and its rank rows) for all frames in a
-    /// word-major pass: the inner frame loop is a contiguous run of boolean
-    /// ops, masks and popcounts that the compiler autovectorizes.
-    fn derive_plane(plane: u8, len: usize, nwords: usize, fr: usize, lo: &[u64], hi: &[u64], out: &mut [u64], rank: &mut [u32]) {
-        rank[..fr].fill(0);
-        for w in 0..nwords {
-            let m = lane_tail_mask(len, w);
-            let row = w * fr;
-            for f in 0..fr {
-                let (l, h) = (lo[row + f], hi[row + f]);
+    /// Derives one single-tag plane (and its per-frame totals) for all
+    /// frames, streaming each frame's contiguous word column: boolean ops,
+    /// masks and popcounts the compiler autovectorizes. The totals seed the
+    /// carried scatter root and the quasisort Eq. 2 pre-check — no per-word
+    /// rank rows are built.
+    fn derive_plane(
+        plane: u8,
+        len: usize,
+        nwords: usize,
+        fr: usize,
+        lo: &[u64],
+        hi: &[u64],
+        out: &mut [u64],
+        tot: &mut [u32],
+    ) {
+        for (f, t) in tot[..fr].iter_mut().enumerate() {
+            let col = f * nwords;
+            let mut acc = 0u32;
+            for w in 0..nwords {
+                let m = lane_tail_mask(len, w);
+                let (l, h) = (lo[col + w], hi[col + w]);
                 let x = match plane {
                     0 => (l & !h) & m,  // ones
                     1 => (!l & h) & m,  // alpha
                     _ => (l & h) & m,   // eps
                 };
-                out[row + f] = x;
-                rank[row + fr + f] = rank[row + f] + x.count_ones();
+                out[col + w] = x;
+                acc += x.count_ones();
             }
+            *t = acc;
         }
     }
 
-    /// Rank of frame `f` at bit `i` in the plane `(plane, rank)` pair.
+    /// Ones in the aligned segment `[pos, pos + seg)` of frame `f`'s
+    /// contiguous column of `plane` — the batch analogue of
+    /// [`crate::bitplan::BitVec::seg_count`]. Every query the backward
+    /// waves issue is of this aligned form, so no rank rows are needed.
     #[inline]
-    fn plane_rank(plane: &[u64], rank: &[u32], fr: usize, f: usize, i: usize) -> usize {
-        let (w, r) = (i >> 6, i & 63);
-        let base = rank[w * fr + f] as usize;
-        if r == 0 {
-            base
+    fn seg_count(plane: &[u64], nwords: usize, f: usize, pos: usize, seg: usize) -> usize {
+        debug_assert!(seg.is_power_of_two(), "seg={seg}");
+        debug_assert!(pos % seg == 0, "pos={pos} seg={seg}");
+        let col = f * nwords;
+        if seg < 64 {
+            let w = pos >> 6;
+            if w >= nwords {
+                return 0;
+            }
+            ((plane[col + w] >> (pos & 63)) & ((1u64 << seg) - 1)).count_ones() as usize
         } else {
-            base + (plane[w * fr + f] & ((1u64 << r) - 1)).count_ones() as usize
+            let w1 = ((pos + seg) >> 6).min(nwords);
+            let mut acc = 0u32;
+            for w in (pos >> 6)..w1 {
+                acc += plane[col + w].count_ones();
+            }
+            acc as usize
         }
     }
 
-    /// `nα − nε` over the leaves of node `(j, b)` for frame `f` — the signed
-    /// Table 4 forward value, as in [`crate::bitplan::SweepScratch`].
+    /// The `(l, dominant-is-α)` forward pair of a child node whose own
+    /// `(α, ε)` counts were just split off its parent's carried counts —
+    /// the strided analogue of the scalar sweep's `child_pair`. An empty
+    /// subtree (`a + e == 0`) short-circuits to `(0, ε)`: every spine
+    /// descendant is also empty, so the reference tie walk provably ends at
+    /// a leaf returning ε.
     #[inline]
-    fn scatter_value(&self, f: usize, j: usize, b: usize) -> isize {
-        let fr = self.frames;
-        let (lo, hi) = (b << j, (b + 1) << j);
-        let na = Self::plane_rank(&self.alpha, &self.alpha_rank, fr, f, hi)
-            - Self::plane_rank(&self.alpha, &self.alpha_rank, fr, f, lo);
-        let ne = Self::plane_rank(&self.eps, &self.eps_rank, fr, f, hi)
-            - Self::plane_rank(&self.eps, &self.eps_rank, fr, f, lo);
-        na as isize - ne as isize
+    fn child_pair(&self, f: usize, a: usize, e: usize, j: usize, b: usize, steps: &mut u64) -> (usize, bool) {
+        if a > e {
+            return (a - e, true);
+        }
+        if e > a {
+            return (e - a, false);
+        }
+        if a == 0 {
+            return (0, false);
+        }
+        (0, self.tie_type(f, j, b, steps))
     }
 
-    /// The `(l, dominant-is-α)` forward pair of node `(j, b)` for frame `f`,
-    /// ties resolved down the upper-child spine exactly like the scalar
-    /// sweep.
-    fn scatter_node(&self, f: usize, j: usize, b: usize) -> (usize, bool) {
-        let v = self.scatter_value(f, j, b);
-        if v > 0 {
-            return (v as usize, true);
-        }
-        if v < 0 {
-            return (v.unsigned_abs(), false);
-        }
+    /// Resolves an `nα == nε` tie by walking the upper-child spine exactly
+    /// like the scalar sweep, with the same empty-subtree early exit.
+    fn tie_type(&self, f: usize, j: usize, b: usize, steps: &mut u64) -> bool {
         let (mut jj, mut bb) = (j, b);
         while jj > 0 {
             jj -= 1;
             bb <<= 1;
-            let v = self.scatter_value(f, jj, bb);
-            if v > 0 {
-                return (0, true);
+            *steps += 1;
+            let seg = 1usize << jj;
+            let a = Self::seg_count(&self.alpha, self.nwords, f, bb * seg, seg);
+            let e = Self::seg_count(&self.eps, self.nwords, f, bb * seg, seg);
+            if a > e {
+                return true;
             }
-            if v < 0 {
-                return (0, false);
+            if e > a {
+                return false;
+            }
+            if a == 0 {
+                return false;
             }
         }
-        (0, false)
+        false
     }
 
     /// Lockstep Table 4: plans a scatter with target start `s_target` for
@@ -278,18 +410,39 @@ impl BatchSweep {
         let m = log2_exact(sz) as usize;
         assert!(s_target < sz);
         assert!(settings.len() >= fr);
-        Self::derive_plane(1, sz, self.nwords, fr, &self.lo, &self.hi, &mut self.alpha, &mut self.alpha_rank);
-        Self::derive_plane(2, sz, self.nwords, fr, &self.lo, &self.hi, &mut self.eps, &mut self.eps_rank);
-        self.cur[..fr].fill(s_target as u32);
+        let clock = ProfClock::start();
+        Self::derive_plane(1, sz, self.nwords, fr, &self.lo, &self.hi, &mut self.alpha, &mut self.alpha_tot);
+        Self::derive_plane(2, sz, self.nwords, fr, &self.lo, &self.hi, &mut self.eps, &mut self.eps_tot);
+        self.profile.rank_nanos += clock.elapsed_nanos();
+        let clock = ProfClock::start();
+        let mut steps = 0u64;
+        // Root carried counts come straight from the plane totals; each
+        // level then splits a node's own counts into its children with two
+        // segment counts (upper) and two subtractions (lower).
+        for f in 0..fr {
+            self.cur[f * sz] = s_target as u32;
+            self.cur_a[f * sz] = self.alpha_tot[f];
+            self.cur_e[f * sz] = self.eps_tot[f];
+        }
         for j in (1..=m).rev() {
             let half = 1usize << (j - 1);
             let n_prime = 1usize << j;
-            for b in 0..(sz >> j) {
-                for (f, table) in settings[..fr].iter_mut().enumerate() {
-                    let s_node = self.cur[b * fr + f] as usize;
-                    let (l_node, _) = self.scatter_node(f, j, b);
-                    let (l0, a0) = self.scatter_node(f, j - 1, 2 * b);
-                    let (l1, a1) = self.scatter_node(f, j - 1, 2 * b + 1);
+            for (f, table) in settings[..fr].iter_mut().enumerate() {
+                let row = f * sz;
+                for b in 0..(sz >> j) {
+                    let s_node = self.cur[row + b] as usize;
+                    let a_node = self.cur_a[row + b] as usize;
+                    let e_node = self.cur_e[row + b] as usize;
+                    let a_up = Self::seg_count(&self.alpha, self.nwords, f, 2 * b * half, half);
+                    let e_up = Self::seg_count(&self.eps, self.nwords, f, 2 * b * half, half);
+                    let (a_dn, e_dn) = (a_node - a_up, e_node - e_up);
+                    let l_node = (a_node as isize - e_node as isize).unsigned_abs();
+                    let (l0, a0) = self.child_pair(f, a_up, e_up, j - 1, 2 * b, &mut steps);
+                    let (l1, a1) = self.child_pair(f, a_dn, e_dn, j - 1, 2 * b + 1, &mut steps);
+                    self.next_a[row + 2 * b] = a_up as u32;
+                    self.next_e[row + 2 * b] = e_up as u32;
+                    self.next_a[row + 2 * b + 1] = a_dn as u32;
+                    self.next_e[row + 2 * b + 1] = e_dn as u32;
                     let slice = table.block_mut(j - 1, (base >> j) + b);
                     let (s0, s1);
                     if a0 == a1 {
@@ -339,12 +492,17 @@ impl BatchSweep {
                             );
                         }
                     }
-                    self.next[(2 * b) * fr + f] = s0 as u32;
-                    self.next[(2 * b + 1) * fr + f] = s1 as u32;
+                    self.next[row + 2 * b] = s0 as u32;
+                    self.next[row + 2 * b + 1] = s1 as u32;
                 }
             }
             std::mem::swap(&mut self.cur, &mut self.next);
+            std::mem::swap(&mut self.cur_a, &mut self.next_a);
+            std::mem::swap(&mut self.cur_e, &mut self.next_e);
         }
+        self.profile.scatter_ops += fr as u64 * (sz as u64 - 1);
+        self.profile.rank_ops += fr as u64 * 2 * (sz as u64 - 1) + 2 * steps;
+        self.profile.scatter_nanos += clock.elapsed_nanos();
     }
 
     /// Lockstep fused Table 6 + Table 3: the complete quasisort plan for
@@ -363,14 +521,17 @@ impl BatchSweep {
         let (sz, fr) = (self.len, self.frames);
         let m = log2_exact(sz) as usize;
         assert!(settings.len() >= fr);
-        Self::derive_plane(0, sz, self.nwords, fr, &self.lo, &self.hi, &mut self.ones, &mut self.ones_rank);
-        Self::derive_plane(2, sz, self.nwords, fr, &self.lo, &self.hi, &mut self.eps, &mut self.eps_rank);
+        let clock = ProfClock::start();
+        Self::derive_plane(0, sz, self.nwords, fr, &self.lo, &self.hi, &mut self.ones, &mut self.ones_tot);
+        Self::derive_plane(2, sz, self.nwords, fr, &self.lo, &self.hi, &mut self.eps, &mut self.eps_tot);
+        self.profile.rank_nanos += clock.elapsed_nanos();
+        let clock = ProfClock::start();
         for f in 0..fr {
             if let Some(position) = self.first_alpha(f) {
                 return Err((f, PlanError::AlphaInQuasisort { position }));
             }
-            let n1 = self.ones_rank[self.nwords * fr + f] as usize;
-            let ne = self.eps_rank[self.nwords * fr + f] as usize;
+            let n1 = self.ones_tot[f] as usize;
+            let ne = self.eps_tot[f] as usize;
             let n0 = sz - n1 - ne;
             if n0 > sz / 2 || n1 > sz / 2 {
                 return Err((
@@ -382,21 +543,20 @@ impl BatchSweep {
                     },
                 ));
             }
-            self.cur[f] = (sz / 2) as u32;
-            self.cur_q[f] = (ne - (sz / 2 - n1)) as u32;
+            self.cur[f * sz] = (sz / 2) as u32;
+            self.cur_q[f * sz] = (ne - (sz / 2 - n1)) as u32;
         }
         for j in (1..=m).rev() {
             let half = 1usize << (j - 1);
-            for b in 0..(sz >> j) {
-                let (u_lo, u_hi) = (2 * b * half, (2 * b + 1) * half);
-                for (f, table) in settings[..fr].iter_mut().enumerate() {
-                    let s_node = self.cur[b * fr + f] as usize;
-                    let e0 = self.cur_q[b * fr + f] as usize;
-                    let upper_eps = Self::plane_rank(&self.eps, &self.eps_rank, fr, f, u_hi)
-                        - Self::plane_rank(&self.eps, &self.eps_rank, fr, f, u_lo);
+            for (f, table) in settings[..fr].iter_mut().enumerate() {
+                let row = f * sz;
+                for b in 0..(sz >> j) {
+                    let u_lo = 2 * b * half;
+                    let s_node = self.cur[row + b] as usize;
+                    let e0 = self.cur_q[row + b] as usize;
+                    let upper_eps = Self::seg_count(&self.eps, self.nwords, f, u_lo, half);
                     let u_e0 = e0.min(upper_eps);
-                    let l0 = Self::plane_rank(&self.ones, &self.ones_rank, fr, f, u_hi)
-                        - Self::plane_rank(&self.ones, &self.ones_rank, fr, f, u_lo)
+                    let l0 = Self::seg_count(&self.ones, self.nwords, f, u_lo, half)
                         + (upper_eps - u_e0);
                     let s0 = s_node % half;
                     let s1 = (s_node + l0) % half;
@@ -413,15 +573,18 @@ impl BatchSweep {
                         b_comp,
                         b_val,
                     );
-                    self.next[(2 * b) * fr + f] = s0 as u32;
-                    self.next[(2 * b + 1) * fr + f] = s1 as u32;
-                    self.next_q[(2 * b) * fr + f] = u_e0 as u32;
-                    self.next_q[(2 * b + 1) * fr + f] = (e0 - u_e0) as u32;
+                    self.next[row + 2 * b] = s0 as u32;
+                    self.next[row + 2 * b + 1] = s1 as u32;
+                    self.next_q[row + 2 * b] = u_e0 as u32;
+                    self.next_q[row + 2 * b + 1] = (e0 - u_e0) as u32;
                 }
             }
             std::mem::swap(&mut self.cur, &mut self.next);
             std::mem::swap(&mut self.cur_q, &mut self.next_q);
         }
+        self.profile.quasisort_ops += fr as u64 * (sz as u64 - 1);
+        self.profile.rank_ops += fr as u64 * 2 * (sz as u64 - 1);
+        self.profile.quasisort_nanos += clock.elapsed_nanos();
         Ok(())
     }
 
@@ -433,13 +596,17 @@ impl BatchSweep {
             + self.eps.capacity()
             + self.ones.capacity())
             * 8
-            + (self.alpha_rank.capacity()
-                + self.eps_rank.capacity()
-                + self.ones_rank.capacity()
+            + (self.alpha_tot.capacity()
+                + self.eps_tot.capacity()
+                + self.ones_tot.capacity()
                 + self.cur.capacity()
                 + self.next.capacity()
                 + self.cur_q.capacity()
-                + self.next_q.capacity())
+                + self.next_q.capacity()
+                + self.cur_a.capacity()
+                + self.next_a.capacity()
+                + self.cur_e.capacity()
+                + self.next_e.capacity())
                 * 4
     }
 }
@@ -586,6 +753,60 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn load_frame_codes_matches_load_frame() {
+        let mut a = BatchSweep::new();
+        let mut b = BatchSweep::new();
+        let mut state = 0x6C62_272E_07BB_0142u64;
+        for n in [2usize, 64, 128, 256] {
+            let frames = 5;
+            let tags: Vec<Vec<Tag>> = (0..frames)
+                .map(|_| (0..n).map(|_| tag_of(xorshift(&mut state))).collect())
+                .collect();
+            a.begin(frames, n);
+            b.begin(frames, n);
+            for (f, t) in tags.iter().enumerate() {
+                a.load_frame(f, |i| t[i]);
+                b.load_frame_codes(f, |i| t[i] as u8);
+            }
+            for (f, t) in tags.iter().enumerate() {
+                for (i, &x) in t.iter().enumerate() {
+                    assert_eq!(b.get(f, i), x, "n={n} f={f} i={i}");
+                    assert_eq!(a.get(f, i), b.get(f, i), "n={n} f={f} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_profile_counts_are_exact_closed_forms() {
+        let (n, frames) = (64usize, 3usize);
+        let mut batch = BatchSweep::new();
+        batch.begin(frames, n);
+        for f in 0..frames {
+            batch.load_frame(f, |i| if i % 2 == 0 { Tag::Alpha } else { Tag::Eps });
+        }
+        let mut settings: Vec<RbnSettings> = (0..frames).map(|_| RbnSettings::identity(n)).collect();
+        batch.plan_scatter_all(0, 0, &mut settings);
+        let p = batch.take_profile();
+        assert_eq!(p.tag_derive_ops, (frames * n) as u64);
+        assert_eq!(p.scatter_ops, (frames * (n - 1)) as u64);
+        assert!(p.rank_ops >= (frames * 2 * (n - 1)) as u64);
+        assert_eq!(p.quasisort_ops, 0);
+        assert!(batch.profile().is_empty(), "take must drain");
+
+        // Fused quasisort wave books its own categories.
+        for f in 0..frames {
+            batch.load_frame_codes(f, |i| if i % 2 == 0 { Tag::One as u8 } else { Tag::Eps as u8 });
+        }
+        batch.plan_quasisort_fused_all(0, &mut settings).unwrap();
+        let q = batch.take_profile();
+        assert_eq!(q.tag_derive_ops, (frames * n) as u64);
+        assert_eq!(q.quasisort_ops, (frames * (n - 1)) as u64);
+        assert_eq!(q.rank_ops, (frames * 2 * (n - 1)) as u64);
+        assert_eq!(q.scatter_ops, 0);
     }
 
     #[test]

@@ -23,11 +23,33 @@
 //! heap allocation** — the property the `brsmn-bench` `alloc-count` test
 //! pins down end to end.
 //!
+//! ## Carried-rank sweeps
+//!
+//! Every forward-phase query the waves issue is an **aligned segment
+//! count**: node `(j, b)` covers exactly `[b·2^j, (b+1)·2^j)`, never an
+//! arbitrary `[0, i)` prefix. [`BitVec::seg_count`] answers those directly
+//! (one masked popcount for sub-word segments, whole-word popcounts
+//! otherwise), so the general-purpose rank index is dead weight on the
+//! sweep path — the fill paths skip its O(len/64) build entirely and
+//! [`BitVec::rank`] rebuilds lazily (well, falls back to a word scan;
+//! [`BitVec::ensure_rank_index`] restores O(1)) for random-access users.
+//! The scatter wave additionally *carries* each node's own (α, ε) counts
+//! down from its parent, so settling a node costs two segment counts for
+//! the upper child and two subtractions for the lower — and a subtree with
+//! no α and no ε at all short-circuits its tie walk to ε immediately.
+//!
+//! ## Per-op profiler
+//!
+//! Each scratch tallies a [`crate::profile::PlanOpProfile`]
+//! (op counts always on, nanos behind the `plan-profile` feature); callers
+//! drain it with [`SweepScratch::take_profile`].
+//!
 //! Equivalence with the reference planners is exhaustively tested here and
 //! property-tested end to end in `brsmn-core`.
 
 use crate::fabric::RbnSettings;
 use crate::plan::{DomType, PlanError};
+use crate::profile::{PlanOpProfile, ProfClock};
 use crate::setting::{binary_compact_setting_into, trinary_compact_setting_into};
 use brsmn_switch::tag::TagCounts;
 use brsmn_switch::{SwitchSetting, Tag};
@@ -57,22 +79,41 @@ pub(crate) fn lane_tail_mask(len: usize, w: usize) -> u64 {
     }
 }
 
-/// A bit vector packed into `[u64; LANES]` lane blocks with a lane-wise
-/// rank index, rebuilt on every [`BitVec::fill_from`] in a single pass.
+/// A bit vector packed into `[u64; LANES]` lane blocks with an *optional*
+/// lane-wise rank index.
 ///
-/// `rank(i)` — the number of set bits in `[0, i)` — is O(1): one table
-/// lookup plus one masked popcount. All forward-phase tree queries of the
-/// packed planners reduce to [`BitVec::count_range`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// The packed planners only ever issue aligned segment counts
+/// ([`BitVec::seg_count`]), which need no index, so the fill paths no
+/// longer build one — that O(len/64) pass per fill was pure overhead on
+/// the sweep path. Random-access [`BitVec::rank`] still works on an
+/// index-less vector (word-scan fallback); call
+/// [`BitVec::ensure_rank_index`] first to make it O(1) again.
+#[derive(Debug, Clone, Default)]
 pub struct BitVec {
     blocks: Vec<[u64; LANES]>,
     /// `rank_index[b][l]` = set bits in words `[0, LANES·b + l)`. Lanes past
-    /// the last stored word are never read (guarded by `nwords`).
+    /// the last stored word are never read (guarded by `nwords`). Empty
+    /// until [`BitVec::ensure_rank_index`] builds it.
     rank_index: Vec<[u32; LANES]>,
     total_ones: usize,
     nwords: usize,
     len: usize,
 }
+
+/// The rank index is derived (and built lazily), so equality is over the
+/// semantic fields only: an indexed and an index-less vector holding the
+/// same bits compare equal. Lanes past the last word are zeroed by every
+/// fill path, keeping the block comparison canonical.
+impl PartialEq for BitVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self.nwords == other.nwords
+            && self.total_ones == other.total_ones
+            && self.blocks == other.blocks
+    }
+}
+
+impl Eq for BitVec {}
 
 impl BitVec {
     /// An empty bit vector (fill it with [`BitVec::fill_from`]).
@@ -98,24 +139,24 @@ impl BitVec {
         self.len = len;
     }
 
-    /// Appends word `nwords`, extending the lane block and rank index.
+    /// Appends word `nwords`, extending the lane block. The rank index is
+    /// **not** maintained here — see [`BitVec::ensure_rank_index`].
     #[inline]
     fn push_word(&mut self, x: u64) {
         let lane = self.nwords & (LANES - 1);
         if lane == 0 {
             self.blocks.push([0u64; LANES]);
-            self.rank_index.push([0u32; LANES]);
         }
         let blk = self.nwords / LANES;
         self.blocks[blk][lane] = x;
-        self.rank_index[blk][lane] = self.total_ones as u32;
         self.total_ones += x.count_ones() as usize;
         self.nwords += 1;
     }
 
     /// Rebuilds the vector as `len` bits produced by `f`, packing 64 at a
-    /// time and building the rank index in the same pass. Reuses the block
-    /// buffers: no allocation once capacity has grown to `len` bits.
+    /// time. Reuses the block buffers: no allocation once capacity has
+    /// grown to `len` bits. The rank index is *not* built (the sweeps only
+    /// issue [`BitVec::seg_count`] queries).
     pub fn fill_from<F: FnMut(usize) -> bool>(&mut self, len: usize, mut f: F) {
         self.clear(len);
         let mut acc = 0u64;
@@ -145,8 +186,8 @@ impl BitVec {
     /// Rebuilds from whole pre-packed lane blocks: `block(b)` must return
     /// lane block `b` with any bits at positions `≥ len` already zero in the
     /// tail *word* (whole lanes past the end are cleared here). This is how
-    /// [`TagVec::extract_plane`] derives a plane block-parallel: the popcount
-    /// and lane-wise rank construction below are fixed-width array ops.
+    /// [`TagVec::extract_plane`] derives a plane block-parallel: the
+    /// popcount below is a fixed-width array op.
     pub fn fill_from_blocks<F: FnMut(usize) -> [u64; LANES]>(&mut self, len: usize, mut block: F) {
         self.clear(len);
         self.nwords = len.div_ceil(64);
@@ -154,20 +195,36 @@ impl BitVec {
         for b in 0..nblocks {
             let mut blk = block(b);
             for (l, lane) in blk.iter_mut().enumerate() {
+                // Lanes past the last word stay 0, matching `push_word`, so
+                // the block comparison in `PartialEq` is canonical.
                 if b * LANES + l >= self.nwords {
                     *lane = 0;
                 }
             }
+            let mut acc = 0u32;
+            for lane in &blk {
+                acc += lane.count_ones();
+            }
+            self.total_ones += acc as usize;
+            self.blocks.push(blk);
+        }
+    }
+
+    /// Builds the lane-wise rank index so [`BitVec::rank`] is O(1). The
+    /// fill paths skip this — the sweeps only issue aligned
+    /// [`BitVec::seg_count`] queries — so random-access users rebuild it
+    /// lazily here. Idempotent; a no-op once built.
+    pub fn ensure_rank_index(&mut self) {
+        if !self.rank_index.is_empty() || self.nwords == 0 {
+            return;
+        }
+        let mut acc = 0u32;
+        for (b, blk) in self.blocks.iter().enumerate() {
             let mut ranks = [0u32; LANES];
-            let mut acc = self.total_ones as u32;
             for l in 0..LANES {
-                // Lanes past the last word stay 0, matching `push_word`, so
-                // the derived equality over the whole struct is canonical.
                 ranks[l] = if b * LANES + l < self.nwords { acc } else { 0 };
                 acc += blk[l].count_ones();
             }
-            self.total_ones = acc as usize;
-            self.blocks.push(blk);
             self.rank_index.push(ranks);
         }
     }
@@ -180,7 +237,10 @@ impl BitVec {
         self.blocks[w / LANES][w & (LANES - 1)] >> (i & 63) & 1 == 1
     }
 
-    /// Number of set bits in `[0, i)` (requires `i ≤ len`).
+    /// Number of set bits in `[0, i)` (requires `i ≤ len`). O(1) once
+    /// [`BitVec::ensure_rank_index`] has run; otherwise falls back to a
+    /// word-scan prefix (the fill paths no longer build the index, because
+    /// the sweeps only need [`BitVec::seg_count`]).
     #[inline]
     pub fn rank(&self, i: usize) -> usize {
         debug_assert!(i <= self.len);
@@ -191,11 +251,50 @@ impl BitVec {
         }
         let r = i & 63;
         let word = self.blocks[w / LANES][w & (LANES - 1)];
-        let base = self.rank_index[w / LANES][w & (LANES - 1)] as usize;
+        let base = if self.rank_index.is_empty() {
+            let mut acc = 0usize;
+            for ww in 0..w {
+                acc += self.blocks[ww / LANES][ww & (LANES - 1)].count_ones() as usize;
+            }
+            acc
+        } else {
+            self.rank_index[w / LANES][w & (LANES - 1)] as usize
+        };
         if r == 0 {
             base
         } else {
             base + (word & ((1u64 << r) - 1)).count_ones() as usize
+        }
+    }
+
+    /// Number of set bits in the aligned segment `[pos, pos + seg)` —
+    /// `pos` must be a multiple of `seg`, and `seg` a power of two. Every
+    /// forward-phase tree query has this shape (node `(j, b)` covers
+    /// exactly `[b·2^j, (b+1)·2^j)`), and unlike [`BitVec::rank`] it needs
+    /// no rank index: a sub-word segment is one shift + masked popcount
+    /// (alignment guarantees it never straddles a word), and a multi-word
+    /// segment is a short run of whole-word popcounts. This is the
+    /// carried-rank form of the in-order sweeps — it is what lets the fill
+    /// paths skip the O(len/64) index build entirely.
+    #[inline]
+    pub fn seg_count(&self, pos: usize, seg: usize) -> usize {
+        debug_assert!(seg.is_power_of_two(), "seg={seg}");
+        debug_assert!(pos % seg == 0, "pos={pos} seg={seg}");
+        debug_assert!(pos + seg <= self.len.next_multiple_of(seg.max(1)));
+        if seg < 64 {
+            let w = pos >> 6;
+            if w >= self.nwords {
+                return 0;
+            }
+            let word = self.blocks[w / LANES][w & (LANES - 1)];
+            ((word >> (pos & 63)) & ((1u64 << seg) - 1)).count_ones() as usize
+        } else {
+            let w1 = ((pos + seg) >> 6).min(self.nwords);
+            let mut acc = 0u32;
+            for w in (pos >> 6)..w1 {
+                acc += self.blocks[w / LANES][w & (LANES - 1)].count_ones();
+            }
+            acc as usize
         }
     }
 
@@ -322,6 +421,37 @@ impl TagVec {
             let sh = i & 63;
             alo |= (blo as u64) << sh;
             ahi |= (bhi as u64) << sh;
+            if sh == 63 {
+                self.push_words(alo, ahi);
+                (alo, ahi) = (0, 0);
+            }
+        }
+        if len & 63 != 0 {
+            self.push_words(alo, ahi);
+        }
+    }
+
+    /// Branchless [`TagVec::fill_from`]: `f` returns the tag's discriminant
+    /// code (`tag as u8`). The declaration order of [`Tag`] makes the two
+    /// low bits of the code exactly the `(lo, hi)` plane encoding — `lo =
+    /// t & 1`, `hi = (t >> 1) & 1` — so the per-element 4-way match of
+    /// [`TagVec::fill_from`] (kept as the oracle) disappears from the
+    /// packing loop. This is the incremental form of tag derivation used
+    /// when the tags are already materialized (the post-scatter reload):
+    /// the planes are rebuilt by shift/mask alone, with no per-tag
+    /// branching.
+    pub fn fill_from_codes<F: FnMut(usize) -> u8>(&mut self, len: usize, mut f: F) {
+        self.lo.clear();
+        self.hi.clear();
+        self.nwords = 0;
+        self.len = len;
+        let (mut alo, mut ahi) = (0u64, 0u64);
+        for i in 0..len {
+            let t = f(i) as u64;
+            debug_assert!(t < 4);
+            let sh = i & 63;
+            alo |= (t & 1) << sh;
+            ahi |= ((t >> 1) & 1) << sh;
             if sh == 63 {
                 self.push_words(alo, ahi);
                 (alo, ahi) = (0, 0);
@@ -477,6 +607,13 @@ pub struct SweepScratch {
     next: Vec<usize>,
     cur_q: Vec<usize>,
     next_q: Vec<usize>,
+    /// Carried (α, ε) counts of the live scatter level (see
+    /// [`SweepScratch::plan_scatter`]).
+    cur_a: Vec<usize>,
+    next_a: Vec<usize>,
+    cur_e: Vec<usize>,
+    next_e: Vec<usize>,
+    profile: PlanOpProfile,
 }
 
 impl SweepScratch {
@@ -489,7 +626,33 @@ impl SweepScratch {
     /// planes. Call before [`SweepScratch::plan_scatter`] and again (with the
     /// post-scatter tags) before [`SweepScratch::eps_divide`].
     pub fn set_tags<F: FnMut(usize) -> Tag>(&mut self, len: usize, f: F) {
+        let clock = ProfClock::start();
         self.tags.fill_from(len, f);
+        self.profile.tag_derive_ops += len as u64;
+        self.profile.tag_derive_nanos += clock.elapsed_nanos();
+    }
+
+    /// Loads the block's tags from discriminant codes (`tag as u8`) via the
+    /// branchless [`TagVec::fill_from_codes`] packing — use when the tags
+    /// are already materialized (e.g. the post-scatter reload).
+    pub fn set_tags_from_codes<F: FnMut(usize) -> u8>(&mut self, len: usize, f: F) {
+        let clock = ProfClock::start();
+        self.tags.fill_from_codes(len, f);
+        self.profile.tag_derive_ops += len as u64;
+        self.profile.tag_derive_nanos += clock.elapsed_nanos();
+    }
+
+    /// The per-op profile accumulated since the last take, leaving zeros
+    /// behind. Counts are always exact; nanos are nonzero only with the
+    /// `plan-profile` feature (see [`crate::profile`]).
+    pub fn take_profile(&mut self) -> PlanOpProfile {
+        std::mem::take(&mut self.profile)
+    }
+
+    /// The per-op profile accumulated so far (see
+    /// [`SweepScratch::take_profile`]).
+    pub fn profile(&self) -> &PlanOpProfile {
+        &self.profile
     }
 
     /// The currently loaded tags.
@@ -524,7 +687,11 @@ impl SweepScratch {
             + (self.cur.capacity()
                 + self.next.capacity()
                 + self.cur_q.capacity()
-                + self.next_q.capacity())
+                + self.next_q.capacity()
+                + self.cur_a.capacity()
+                + self.next_a.capacity()
+                + self.cur_e.capacity()
+                + self.next_e.capacity())
                 * std::mem::size_of::<usize>()
     }
 
@@ -542,6 +709,15 @@ impl SweepScratch {
         }
     }
 
+    fn ensure_count_levels(&mut self, len: usize) {
+        if self.cur_a.len() < len {
+            self.cur_a.resize(len, 0);
+            self.next_a.resize(len, 0);
+            self.cur_e.resize(len, 0);
+            self.next_e.resize(len, 0);
+        }
+    }
+
     /// Word-parallel Table 3: plans a bit sort of the loaded γ plane with
     /// target start `s_target`, writing the merging-stage settings of the
     /// sub-RBN occupying lines `[base, base + len)` into `settings` (stages
@@ -555,12 +731,13 @@ impl SweepScratch {
         assert!(s_target < sz);
         assert!(base.is_multiple_of(sz) && base + sz <= settings.n());
         self.ensure_levels(sz);
+        let clock = ProfClock::start();
         self.cur[0] = s_target;
         for j in (1..=m).rev() {
             let half = 1usize << (j - 1);
             for b in 0..(sz >> j) {
                 let s_node = self.cur[b];
-                let l0 = self.gamma.count_range(2 * b * half, (2 * b + 1) * half);
+                let l0 = self.gamma.seg_count(2 * b * half, half);
                 let s0 = s_node % half;
                 let s1 = (s_node + l0) % half;
                 let bset = ((s_node + l0) / half) % 2;
@@ -581,65 +758,102 @@ impl SweepScratch {
             }
             std::mem::swap(&mut self.cur, &mut self.next);
         }
+        // One node settled and one segment count per tree node: sz − 1 each.
+        self.profile.quasisort_ops += (sz - 1) as u64;
+        self.profile.rank_ops += (sz - 1) as u64;
+        self.profile.quasisort_nanos += clock.elapsed_nanos();
     }
 
-    /// `nα − nε` over the leaves of node `(j, b)` — the signed form of the
-    /// Table 4 forward value.
+    /// The `(l, type)` forward pair of a child node whose (α, ε) leaf
+    /// counts are already known. For `nα = nε` the reference combine rule
+    /// inherits the upper child's type, so the tie is resolved by
+    /// [`SweepScratch::tie_type`] — unless the subtree holds no α and no ε
+    /// at all, in which case every spine descendant is also empty and the
+    /// walk provably ends at a χ/ε leaf: ε, immediately. Dense blocks (all
+    /// tags χ after a scatter has consumed the α/ε pairs) hit that
+    /// shortcut at every node.
     #[inline]
-    fn scatter_value(&self, j: usize, b: usize) -> isize {
-        let lo = b << j;
-        let hi = (b + 1) << j;
-        self.alpha.count_range(lo, hi) as isize - self.eps.count_range(lo, hi) as isize
+    fn child_pair(&self, a: usize, e: usize, j: usize, b: usize, steps: &mut u64) -> (usize, DomType) {
+        if a > e {
+            return (a - e, DomType::Alpha);
+        }
+        if e > a {
+            return (e - a, DomType::Eps);
+        }
+        if a == 0 {
+            return (0, DomType::Eps);
+        }
+        (0, self.tie_type(j, b, steps))
     }
 
-    /// The `(l, type)` forward pair of node `(j, b)`. For `l = 0` the
-    /// reference combine rule always inherits the upper child's type, so the
-    /// tie is resolved by walking the upper-child spine down to the first
-    /// non-zero value (a χ leaf yields ε).
-    fn scatter_node(&self, j: usize, b: usize) -> (usize, DomType) {
-        let v = self.scatter_value(j, b);
-        if v > 0 {
-            return (v as usize, DomType::Alpha);
-        }
-        if v < 0 {
-            return (v.unsigned_abs(), DomType::Eps);
-        }
+    /// Tie resolution for a node with `nα = nε > 0`: walk the upper-child
+    /// spine down to the first non-zero value (a χ leaf yields ε), exactly
+    /// the reference combine rule. Each step is two aligned segment
+    /// counts; an empty subtree (`nα = nε = 0`) exits to ε at once.
+    fn tie_type(&self, j: usize, b: usize, steps: &mut u64) -> DomType {
         let (mut jj, mut bb) = (j, b);
         while jj > 0 {
             jj -= 1;
             bb <<= 1;
-            let v = self.scatter_value(jj, bb);
-            if v > 0 {
-                return (0, DomType::Alpha);
+            *steps += 1;
+            let seg = 1usize << jj;
+            let a = self.alpha.seg_count(bb * seg, seg);
+            let e = self.eps.seg_count(bb * seg, seg);
+            if a > e {
+                return DomType::Alpha;
             }
-            if v < 0 {
-                return (0, DomType::Eps);
+            if e > a {
+                return DomType::Eps;
+            }
+            if a == 0 {
+                return DomType::Eps;
             }
         }
-        (0, DomType::Eps)
+        DomType::Eps
     }
 
     /// Word-parallel Table 4: plans a scatter of the loaded tags with target
     /// start `s_target`, writing into `settings` exactly like
     /// [`SweepScratch::plan_bitsort`]. Bit-for-bit equal to
     /// [`crate::plan::plan_scatter`].
+    ///
+    /// The wave carries each node's own (α, ε) counts down from its parent
+    /// (`cur_a`/`cur_e`, seeded with the plane totals at the root), so
+    /// settling a node costs two segment counts — the upper child's — and
+    /// two subtractions for the lower child, instead of six range counts
+    /// from scratch.
     pub fn plan_scatter(&mut self, s_target: usize, base: usize, settings: &mut RbnSettings) {
         let sz = self.tags.len();
         let m = log2_exact(sz) as usize;
         assert!(s_target < sz);
         assert!(base.is_multiple_of(sz) && base + sz <= settings.n());
+        let clock = ProfClock::start();
         self.tags.extract_plane(TagPlane::Alpha, &mut self.alpha);
         self.tags.extract_plane(TagPlane::Eps, &mut self.eps);
+        self.profile.rank_nanos += clock.elapsed_nanos();
         self.ensure_levels(sz);
+        self.ensure_count_levels(sz);
+        let clock = ProfClock::start();
+        let mut steps = 0u64;
         self.cur[0] = s_target;
+        self.cur_a[0] = self.alpha.count_ones();
+        self.cur_e[0] = self.eps.count_ones();
         for j in (1..=m).rev() {
             let half = 1usize << (j - 1);
             let n_prime = 1usize << j;
             for b in 0..(sz >> j) {
                 let s_node = self.cur[b];
-                let (l_node, _) = self.scatter_node(j, b);
-                let (l0, ty0) = self.scatter_node(j - 1, 2 * b);
-                let (l1, ty1) = self.scatter_node(j - 1, 2 * b + 1);
+                let (a_node, e_node) = (self.cur_a[b], self.cur_e[b]);
+                let a_up = self.alpha.seg_count(2 * b * half, half);
+                let e_up = self.eps.seg_count(2 * b * half, half);
+                let (a_dn, e_dn) = (a_node - a_up, e_node - e_up);
+                let l_node = (a_node as isize - e_node as isize).unsigned_abs();
+                let (l0, ty0) = self.child_pair(a_up, e_up, j - 1, 2 * b, &mut steps);
+                let (l1, ty1) = self.child_pair(a_dn, e_dn, j - 1, 2 * b + 1, &mut steps);
+                self.next_a[2 * b] = a_up;
+                self.next_e[2 * b] = e_up;
+                self.next_a[2 * b + 1] = a_dn;
+                self.next_e[2 * b + 1] = e_dn;
                 let slice = settings.block_mut(j - 1, (base >> j) + b);
                 let (s0, s1);
                 if ty0 == ty1 {
@@ -689,7 +903,14 @@ impl SweepScratch {
                 self.next[2 * b + 1] = s1;
             }
             std::mem::swap(&mut self.cur, &mut self.next);
+            std::mem::swap(&mut self.cur_a, &mut self.next_a);
+            std::mem::swap(&mut self.cur_e, &mut self.next_e);
         }
+        // Closed form: sz − 1 nodes settled, two segment counts per node
+        // plus two per tie-walk step.
+        self.profile.scatter_ops += (sz - 1) as u64;
+        self.profile.rank_ops += 2 * (sz - 1) as u64 + 2 * steps;
+        self.profile.scatter_nanos += clock.elapsed_nanos();
     }
 
     /// Word-parallel Table 6: resolves every ε of the loaded tags to `ε₀` or
@@ -711,8 +932,11 @@ impl SweepScratch {
                 half: sz / 2,
             });
         }
+        let clock = ProfClock::start();
         self.tags.extract_plane(TagPlane::Eps, &mut self.eps);
+        self.profile.rank_nanos += clock.elapsed_nanos();
         self.ensure_levels(sz);
+        let clock = ProfClock::start();
         // Backward phase: split the root quota n_ε0 = n_ε − (n/2 − n1) down
         // the tree; only the ε₀ quota needs to travel.
         let root_e1 = sz / 2 - counts.n1;
@@ -721,7 +945,7 @@ impl SweepScratch {
             let half = 1usize << (j - 1);
             for b in 0..(sz >> j) {
                 let e0 = self.cur[b];
-                let upper_eps = self.eps.count_range(2 * b * half, (2 * b + 1) * half);
+                let upper_eps = self.eps.seg_count(2 * b * half, half);
                 let u_e0 = e0.min(upper_eps);
                 self.next[2 * b] = u_e0;
                 self.next[2 * b + 1] = e0 - u_e0;
@@ -735,6 +959,9 @@ impl SweepScratch {
             Tag::Eps => quota[i] == 0,
             _ => false,
         });
+        self.profile.quasisort_ops += (sz - 1) as u64;
+        self.profile.rank_ops += (sz - 1) as u64;
+        self.profile.quasisort_nanos += clock.elapsed_nanos();
         Ok(())
     }
 
@@ -792,10 +1019,13 @@ impl SweepScratch {
                 half: sz / 2,
             });
         }
+        let clock = ProfClock::start();
         self.tags.extract_plane(TagPlane::Eps, &mut self.eps);
         self.tags.extract_plane(TagPlane::One, &mut self.ones);
+        self.profile.rank_nanos += clock.elapsed_nanos();
         self.ensure_levels(sz);
         self.ensure_quota_levels(sz);
+        let clock = ProfClock::start();
         // Root of both waves: the bit-sort target is len/2, and the ε₀ quota
         // is n_ε − (n/2 − n₁) exactly as in `eps_divide`.
         self.cur[0] = sz / 2;
@@ -805,15 +1035,15 @@ impl SweepScratch {
             for b in 0..(sz >> j) {
                 let s_node = self.cur[b];
                 let e0 = self.cur_q[b];
-                let (u_lo, u_hi) = (2 * b * half, (2 * b + 1) * half);
+                let u_lo = 2 * b * half;
                 // ε-divide split (Table 6): the upper child takes as many ε₀
                 // as it has ε leaves.
-                let upper_eps = self.eps.count_range(u_lo, u_hi);
+                let upper_eps = self.eps.seg_count(u_lo, half);
                 let u_e0 = e0.min(upper_eps);
                 // Bit-sort forward value (Table 3) without the γ plane:
                 // sort-down leaves under the upper child are its 1s plus its
                 // ε₁s, and ε₁ = ε − ε₀.
-                let l0 = self.ones.count_range(u_lo, u_hi) + (upper_eps - u_e0);
+                let l0 = self.ones.seg_count(u_lo, half) + (upper_eps - u_e0);
                 let s0 = s_node % half;
                 let s1 = (s_node + l0) % half;
                 let bset = ((s_node + l0) / half) % 2;
@@ -837,6 +1067,11 @@ impl SweepScratch {
             std::mem::swap(&mut self.cur, &mut self.next);
             std::mem::swap(&mut self.cur_q, &mut self.next_q);
         }
+        // Closed form: sz − 1 nodes, two segment counts (ε and 1 planes)
+        // per node.
+        self.profile.quasisort_ops += (sz - 1) as u64;
+        self.profile.rank_ops += 2 * (sz - 1) as u64;
+        self.profile.quasisort_nanos += clock.elapsed_nanos();
         Ok(())
     }
 }
@@ -873,6 +1108,86 @@ mod tests {
             assert_eq!(bv.count_ones(), acc);
             assert_eq!(bv.first_set(), bits.iter().position(|&b| b));
         }
+    }
+
+    #[test]
+    fn rank_agrees_with_and_without_index() {
+        let mut bv = BitVec::new();
+        for len in [1usize, 63, 64, 65, 127, 256, 300] {
+            bv.fill_from(len, |i| (i * 13 + len) % 5 < 2);
+            let lazy: Vec<usize> = (0..=len).map(|i| bv.rank(i)).collect();
+            bv.ensure_rank_index();
+            for i in 0..=len {
+                assert_eq!(bv.rank(i), lazy[i], "len={len} i={i}");
+                assert_eq!(bv.rank(i), bv.rank_scalar(i), "len={len} i={i}");
+            }
+            // Idempotent, and a refill drops the index again.
+            bv.ensure_rank_index();
+            assert_eq!(bv.rank(len), lazy[len]);
+        }
+    }
+
+    #[test]
+    fn seg_count_matches_rank_oracle_at_every_node() {
+        let mut bv = BitVec::new();
+        for len in [1usize, 2, 63, 64, 65, 127, 128, 256, 512] {
+            bv.fill_from(len, |i| (i * 7 + len) % 3 == 0);
+            let cap = len.next_power_of_two();
+            let mut seg = 1usize;
+            while seg <= cap {
+                for b in 0..len.div_ceil(seg) {
+                    let (lo, hi) = (b * seg, ((b + 1) * seg).min(len));
+                    let want = bv.rank_scalar(hi) - bv.rank_scalar(lo);
+                    assert_eq!(bv.seg_count(lo, seg), want, "len={len} seg={seg} b={b}");
+                }
+                seg *= 2;
+            }
+        }
+    }
+
+    #[test]
+    fn fill_from_codes_matches_fill_from() {
+        // The branchless packing relies on Tag's declaration order matching
+        // the (lo, hi) plane encoding — pin the discriminants first.
+        assert_eq!(
+            [Tag::Zero as u8, Tag::One as u8, Tag::Alpha as u8, Tag::Eps as u8],
+            [0, 1, 2, 3]
+        );
+        let (mut branchy, mut branchless) = (TagVec::new(), TagVec::new());
+        for len in [1usize, 63, 64, 65, 127, 256] {
+            let tags: Vec<Tag> = (0..len).map(|i| tag_of(i * 5 + len)).collect();
+            branchy.fill_from(len, |i| tags[i]);
+            branchless.fill_from_codes(len, |i| tags[i] as u8);
+            assert_eq!(branchless, branchy, "len={len}");
+            for (i, &t) in tags.iter().enumerate() {
+                assert_eq!(branchless.get(i), t, "len={len} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_profile_counts_are_exact_closed_forms() {
+        let n = 64usize;
+        let mut scratch = SweepScratch::new();
+        scratch.set_tags(n, |i| tag_of(i * 11 + 2));
+        let mut table = RbnSettings::identity(n);
+        scratch.plan_scatter(0, 0, &mut table);
+        let p = scratch.take_profile();
+        assert_eq!(p.tag_derive_ops, n as u64);
+        assert_eq!(p.scatter_ops, (n - 1) as u64);
+        // Two segment counts per settled node, plus two per tie-walk step.
+        assert!(p.rank_ops >= 2 * (n - 1) as u64, "rank_ops={}", p.rank_ops);
+        assert_eq!(p.quasisort_ops, 0);
+        // Draining left zeros behind.
+        assert!(scratch.profile().is_empty());
+        // A fused quasisort wave books under the quasisort category.
+        scratch.set_tags_from_codes(n, |i| [0u8, 1, 3][i % 3]);
+        scratch.plan_quasisort_fused(0, &mut table).unwrap();
+        let p = scratch.take_profile();
+        assert_eq!(p.tag_derive_ops, n as u64);
+        assert_eq!(p.quasisort_ops, (n - 1) as u64);
+        assert_eq!(p.rank_ops, 2 * (n - 1) as u64);
+        assert_eq!(p.scatter_ops, 0);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod network;
 pub mod packed;
 pub mod par;
 pub mod plan;
+pub mod profile;
 pub mod sequence;
 pub mod setting;
 
@@ -64,6 +65,7 @@ pub use plan::{
     eps_divide, plan_bitsort, plan_quasisort, plan_scatter, BitsortPlan, DomType, EpsDividePlan,
     PlanError, ScatterNode, ScatterPlan,
 };
+pub use profile::PlanOpProfile;
 pub use sequence::{compact_sequence, is_compact_at, recognize_compact, Compact};
 pub use setting::{
     binary_compact_setting, binary_compact_setting_into, trinary_compact_setting,

@@ -89,13 +89,16 @@ pub fn binary_compact_setting_into(
         "s={s} out of range for {half} switches"
     );
     assert!(l <= half, "l={l} out of range for {half} switches");
-    out.fill(setting1);
     let end = s + l;
     if end <= half {
+        out[..s].fill(setting1);
         out[s..end].fill(setting2);
+        out[end..].fill(setting1);
     } else {
+        let wrap = end - half;
+        out[..wrap].fill(setting2);
+        out[wrap..s].fill(setting1);
         out[s..].fill(setting2);
-        out[..end - half].fill(setting2);
     }
 }
 
